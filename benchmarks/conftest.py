@@ -1,0 +1,59 @@
+"""Shared benchmark infrastructure.
+
+Every figure benchmark regenerates its paper artifact at reduced (but
+shape-preserving) scale, saves the rendered tables under
+``benchmarks/results/``, and reports wall-clock through pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.experiments import (ExperimentConfig, ResultTable,
+                               render_tables)
+
+#: Reduced scale used by all figure benchmarks.
+BENCH_CONFIG = ExperimentConfig(
+    runs=2,
+    node_count=60,
+    node_counts=(40, 80, 120),
+    radii=(10.0, 20.0, 30.0, 40.0),
+    default_radius=20.0,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def bench_config() -> ExperimentConfig:
+    """The shared reduced-scale experiment configuration."""
+    return BENCH_CONFIG
+
+
+@pytest.fixture
+def save_tables():
+    """Persist rendered experiment tables next to the benchmarks."""
+
+    def _save(experiment_id: str, tables: List[ResultTable]) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(render_tables(tables))
+            handle.write("\n")
+
+    return _save
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under the benchmark timer.
+
+    Figure regenerations are seconds-long; repeating them for statistics
+    would make the suite unusable, so every figure bench uses one round.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)

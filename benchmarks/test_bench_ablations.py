@@ -1,0 +1,200 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each bench runs the full planner at reduced scale under one design
+variant and records the achieved energy, so variants can be compared
+from the saved tables:
+
+* TSP pipeline choice (bare NN vs NN+2-opt vs greedy-edge+2-opt).
+* Algorithm 3 sweep budget (paper's single pass vs convergence).
+* Definition 3 displacement cap vs unconstrained anchors.
+* Dominated-candidate pruning on/off (result must be identical).
+"""
+
+from conftest import run_once
+
+from repro.bundling import greedy_bundles
+from repro.charging import CostParameters
+from repro.experiments import ResultTable
+from repro.network import uniform_deployment
+from repro.planners import BundleChargingOptPlanner, \
+    BundleChargingPlanner
+from repro.tour import evaluate_plan, optimize_tour
+
+NODE_COUNT = 80
+RADIUS = 30.0
+SEED = 20190710
+
+
+def _network():
+    return uniform_deployment(count=NODE_COUNT, seed=SEED)
+
+
+def test_bench_ablation_tsp_strategy(benchmark, save_tables):
+    network = _network()
+    cost = CostParameters.paper_defaults()
+
+    def run():
+        table = ResultTable(
+            "Ablation: TSP pipeline vs BC plan energy",
+            ["strategy", "total_kj", "tour_km"])
+        for strategy in ("nn", "nn+2opt", "greedy+2opt"):
+            planner = BundleChargingPlanner(RADIUS,
+                                            tsp_strategy=strategy)
+            plan = planner.plan(network, cost)
+            metrics = evaluate_plan(plan, network.locations, cost)
+            table.add_row(strategy=strategy,
+                          total_kj=metrics.total_j / 1000.0,
+                          tour_km=metrics.energy.tour_length_m / 1000.0)
+        return table
+
+    table = run_once(benchmark, run)
+    save_tables("ablation_tsp", [table])
+    totals = dict(zip(table.column("strategy"),
+                      table.mean_of("total_kj")))
+    # Local search must not hurt.
+    assert totals["nn+2opt"] <= totals["nn"] + 1e-6
+
+
+def test_bench_ablation_sweep_budget(benchmark, save_tables):
+    network = _network()
+    cost = CostParameters.paper_defaults()
+
+    def run():
+        table = ResultTable(
+            "Ablation: Algorithm 3 sweep budget vs BC-OPT energy",
+            ["max_sweeps", "total_kj", "moves"])
+        for sweeps in (1, 2, 8):
+            planner = BundleChargingOptPlanner(RADIUS,
+                                               max_sweeps=sweeps)
+            plan = planner.plan(network, cost)
+            metrics = evaluate_plan(plan, network.locations, cost)
+            table.add_row(max_sweeps=sweeps,
+                          total_kj=metrics.total_j / 1000.0,
+                          moves=planner.last_report.moves)
+        return table
+
+    table = run_once(benchmark, run)
+    save_tables("ablation_sweeps", [table])
+    totals = table.mean_of("total_kj")
+    # More sweeps never worsen the plan.
+    assert totals[-1] <= totals[0] + 1e-6
+
+
+def test_bench_ablation_definition3_cap(benchmark, save_tables):
+    network = _network()
+    cost = CostParameters.paper_defaults()
+    base = BundleChargingPlanner(RADIUS).plan(network, cost)
+
+    def run():
+        table = ResultTable(
+            "Ablation: Definition 3 displacement cap vs free anchors",
+            ["variant", "total_kj"])
+        capped, _ = optimize_tour(base, network.locations, cost,
+                                  bundle_radius=RADIUS)
+        free, _ = optimize_tour(base, network.locations, cost)
+        for label, plan in (("capped(def3)", capped), ("free", free)):
+            metrics = evaluate_plan(plan, network.locations, cost)
+            table.add_row(variant=label,
+                          total_kj=metrics.total_j / 1000.0)
+        return table
+
+    table = run_once(benchmark, run)
+    save_tables("ablation_def3_cap", [table])
+    totals = dict(zip(table.column("variant"),
+                      table.mean_of("total_kj")))
+    # The cap is a constraint: removing it can only help the objective.
+    assert totals["free"] <= totals["capped(def3)"] + 1e-6
+
+
+def test_bench_ablation_candidate_pruning(benchmark, save_tables):
+    network = _network()
+
+    def run():
+        table = ResultTable(
+            "Ablation: dominated-candidate pruning (must not change "
+            "the cover)", ["variant", "bundles"])
+        pruned = greedy_bundles(network, RADIUS, prune_dominated=True)
+        full = greedy_bundles(network, RADIUS, prune_dominated=False)
+        table.add_row(variant="pruned", bundles=len(pruned))
+        table.add_row(variant="full", bundles=len(full))
+        return table
+
+    table = run_once(benchmark, run)
+    save_tables("ablation_pruning", [table])
+    counts = table.mean_of("bundles")
+    assert counts[0] == counts[1]
+
+
+def test_bench_ablation_dwell_policy(benchmark, save_tables):
+    """The Eq. 3 accounting ablation behind EXPERIMENTS.md's Fig. 6(b)
+    discussion: under the text's simultaneous (farthest-member) dwell
+    the total energy is monotone decreasing over the paper's radius
+    range, while the sequential (per-sensor-sum) reading produces the
+    interior optimal radius the paper plots."""
+    from repro.charging import FriisChargingModel
+    network = _network()
+    simultaneous = CostParameters.paper_defaults()
+    sequential = CostParameters(model=FriisChargingModel(),
+                                dwell_policy="sequential")
+
+    def run():
+        table = ResultTable(
+            "Ablation: Eq. 3 dwell accounting vs BC total energy (kJ)",
+            ["radius_m", "simultaneous", "sequential"])
+        for radius in (5.0, 15.0, 30.0, 60.0, 120.0):
+            planner = BundleChargingPlanner(radius)
+            row = {}
+            for label, cost in (("simultaneous", simultaneous),
+                                ("sequential", sequential)):
+                plan = planner.plan(network, cost)
+                metrics = evaluate_plan(plan, network.locations, cost)
+                row[label] = metrics.total_j / 1000.0
+            table.add_row(radius_m=radius, **row)
+        return table
+
+    table = run_once(benchmark, run)
+    save_tables("ablation_dwell_policy", [table])
+    seq = table.mean_of("sequential")
+    sim = table.mean_of("simultaneous")
+    # Sequential accounting blows up at large radii (the right branch
+    # of the paper's U-shape; the left branch is shallow and seed-
+    # dependent at this single-seed scale)...
+    assert seq[-1] > 1.5 * seq[0]
+    assert min(seq) < seq[-1]
+    # ...while simultaneous accounting keeps improving over this range.
+    assert sim[-1] <= sim[0]
+
+
+def test_bench_ablation_bundle_generators(benchmark, save_tables):
+    """Bundle-count comparison across all four OBG algorithms (the
+    Fig. 11 pair plus the fast k-center generator)."""
+    from repro.bundling import grid_bundles, kcenter_bundles, \
+        optimal_bundles
+    network = _network()
+
+    def run():
+        table = ResultTable(
+            "Ablation: bundle counts per generator",
+            ["radius_m", "grid", "kcenter", "greedy", "optimal"])
+        for radius in (20.0, 40.0, 60.0):
+            row = {
+                "grid": len(grid_bundles(network, radius)),
+                "kcenter": len(kcenter_bundles(network, radius)),
+                "greedy": len(greedy_bundles(network, radius)),
+            }
+            try:
+                row["optimal"] = len(
+                    optimal_bundles(network, radius,
+                                    node_budget=200_000))
+            except Exception:
+                row["optimal"] = float("nan")
+            table.add_row(radius_m=radius, **row)
+        return table
+
+    table = run_once(benchmark, run)
+    save_tables("ablation_generators", [table])
+    for grid_count, kc, greedy_count in zip(table.mean_of("grid"),
+                                            table.mean_of("kcenter"),
+                                            table.mean_of("greedy")):
+        assert greedy_count <= grid_count + 1e-9
+        assert greedy_count <= kc + 1e-9

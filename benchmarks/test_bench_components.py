@@ -1,0 +1,57 @@
+"""Component micro-benchmarks: the substrate's hot paths.
+
+Unlike the figure benches (one shot, seconds), these are real
+pytest-benchmark microbenchmarks with statistics — useful for catching
+performance regressions in MinDisk, candidate enumeration, the greedy
+cover, TSP local search and the Theorem 4/5 search.
+"""
+
+import random
+
+from repro.bundling import candidate_member_sets, greedy_set_cover
+from repro.geometry import Point, min_focal_sum_on_circle, \
+    smallest_enclosing_disk
+from repro.network import uniform_deployment
+from repro.tsp import DistanceMatrix, nearest_neighbor_tour, two_opt
+
+
+def _points(n, seed=0, side=1000.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, side), rng.uniform(0, side))
+            for _ in range(n)]
+
+
+def test_bench_minidisk_500_points(benchmark):
+    pts = _points(500, seed=1)
+    disk = benchmark(lambda: smallest_enclosing_disk(pts))
+    assert disk.radius > 0.0
+
+
+def test_bench_candidate_enumeration_n100(benchmark):
+    network = uniform_deployment(count=100, seed=2)
+    candidates = benchmark(
+        lambda: candidate_member_sets(network.locations, 40.0))
+    assert candidates
+
+
+def test_bench_greedy_cover_n100(benchmark):
+    network = uniform_deployment(count=100, seed=3)
+    candidates = candidate_member_sets(network.locations, 40.0)
+    chosen = benchmark(lambda: greedy_set_cover(candidates, 100))
+    assert chosen
+
+
+def test_bench_tsp_two_opt_n100(benchmark):
+    pts = _points(100, seed=4)
+    matrix = DistanceMatrix(pts)
+    start = nearest_neighbor_tour(matrix)
+    improved = benchmark(lambda: two_opt(start, matrix))
+    assert improved.length(matrix) <= start.length(matrix) + 1e-9
+
+
+def test_bench_theorem45_search(benchmark):
+    center = Point(0.0, 80.0)
+    f1, f2 = Point(-300.0, 0.0), Point(250.0, 40.0)
+    point, value = benchmark(
+        lambda: min_focal_sum_on_circle(center, 25.0, f1, f2))
+    assert value > 0.0

@@ -1,0 +1,73 @@
+"""Benches: regenerate the extension experiments (beyond the paper)."""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+#: Extension benches run even leaner than the figure benches.
+EXT_CONFIG = ExperimentConfig(runs=1, node_count=50, node_counts=(50,),
+                              radii=(20.0,), default_radius=25.0)
+
+
+def test_bench_ext_deploy(benchmark, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("extDeploy", EXT_CONFIG))
+    save_tables("ext_deploy", tables)
+    (table,) = tables
+    savings = dict(zip(table.column("deployment"),
+                       table.mean_of("saving_pct")))
+    assert savings["clustered"] > savings["uniform"]
+
+
+def test_bench_ext_fleet(benchmark, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("extFleet", EXT_CONFIG))
+    save_tables("ext_fleet", tables)
+    (table,) = tables
+    makespans = table.mean_of("makespan_h")
+    assert makespans[-1] <= makespans[0]
+
+
+def test_bench_ext_latency(benchmark, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("extLatency", EXT_CONFIG))
+    save_tables("ext_latency", tables)
+    (table,) = tables
+    for gain in table.mean_of("latency_gain_pct"):
+        assert gain >= -1e-6
+
+
+def test_bench_ext_lifetime(benchmark, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("extLifetime", EXT_CONFIG))
+    save_tables("ext_lifetime", tables)
+    (table,) = tables
+    assert table.column("planner") == ["SC", "CSS", "BC", "BC-OPT"]
+
+
+def test_bench_ext_dwell(benchmark, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("extDwell", EXT_CONFIG))
+    save_tables("ext_dwell", tables)
+    (table,) = tables
+    seq = table.mean_of("sequential")
+    # The sequential blow-up at huge radii is the table's signature.
+    assert seq[-1] > seq[0]
+
+
+def test_bench_ext_robust(benchmark, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("extRobust", EXT_CONFIG))
+    save_tables("ext_robust", tables)
+    (table,) = tables
+    for margin in table.mean_of("break_even_scale"):
+        assert 0.0 < margin <= 1.0
+
+
+def test_bench_ext_concur(benchmark, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("extConcur", EXT_CONFIG))
+    save_tables("ext_concur", tables)
+    (table,) = tables
+    speedups = table.mean_of("speedup")
+    assert speedups == sorted(speedups, reverse=True)

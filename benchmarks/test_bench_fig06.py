@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 6 (the bundle-radius trade-off)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig06_tradeoff(benchmark, bench_config, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("fig06", bench_config))
+    save_tables("fig06", tables)
+
+    table_a, table_b = tables
+    tour = table_a.mean_of("tour_length_km")
+    charge_time = table_a.mean_of("charging_time_ks")
+    # Fig. 6(a): tour length falls, charging time rises with the radius.
+    assert tour[0] > tour[-1]
+    assert charge_time[-1] > charge_time[0]
+    # Fig. 6(b): the ledger decomposes exactly.
+    for row in table_b.rows:
+        assert row["total_kj"].mean > 0.0

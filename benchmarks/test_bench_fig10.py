@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 10 (50-node running examples)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig10_examples(benchmark, bench_config, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("fig10", bench_config))
+    save_tables("fig10", tables)
+
+    table = tables[0]
+    bundles = table.mean_of("bundles")
+    # Bigger example radius -> fewer bundles (the figure's storyline).
+    assert bundles == sorted(bundles, reverse=True)
+    # BC-OPT's dotted tour is never longer in energy than BC's.
+    for bc, opt in zip(table.mean_of("bc_total_kj"),
+                       table.mean_of("bcopt_total_kj")):
+        assert opt <= bc + 1e-6

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 11 (grid vs greedy vs optimal bundle counts)."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig11_bundle_generation(benchmark, bench_config,
+                                       save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("fig11", bench_config))
+    save_tables("fig11", tables)
+
+    for table in tables:
+        grid = table.mean_of("grid")
+        greedy = table.mean_of("greedy")
+        optimal = table.mean_of("optimal")
+        for g, gr, opt in zip(grid, greedy, optimal):
+            # Fig. 11's ordering: optimal <= greedy <= grid.
+            assert gr <= g + 1e-9
+            if not math.isnan(opt):
+                assert opt <= gr + 1e-9

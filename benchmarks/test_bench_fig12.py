@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 12 (SC/CSS/BC/BC-OPT across bundle radii)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig12_radius_sweep(benchmark, bench_config, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("fig12", bench_config))
+    save_tables("fig12", tables)
+
+    energy, tour, charge_time = tables
+    sc = energy.mean_of("SC")
+    opt = energy.mean_of("BC-OPT")
+    bc = energy.mean_of("BC")
+    # Fig. 12(a): BC-OPT dominates BC everywhere and beats SC at the
+    # larger radii.
+    for b, o in zip(bc, opt):
+        assert o <= b + 1e-6
+    assert opt[-1] < sc[-1]
+    # Fig. 12(b): bundle algorithms shorten the SC tour at the top end.
+    assert tour.mean_of("BC-OPT")[-1] < tour.mean_of("SC")[-1]
+    # Fig. 12(c): SC's per-sensor charging time is radius-independent.
+    sc_times = charge_time.mean_of("SC")
+    assert max(sc_times) - min(sc_times) < 1e-6

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 13 (SC/CSS/BC/BC-OPT across densities)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig13_node_sweep(benchmark, bench_config, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("fig13", bench_config))
+    save_tables("fig13", tables)
+
+    energy = tables[0]
+    sc = energy.mean_of("SC")
+    bc = energy.mean_of("BC")
+    opt = energy.mean_of("BC-OPT")
+    # Fig. 13(a): energy grows with density for everyone; BC-OPT stays
+    # the cheapest; BC's advantage over SC does not shrink with density.
+    assert sc[-1] > sc[0]
+    for s, b, o in zip(sc, bc, opt):
+        assert o <= b + 1e-6
+        assert o <= s + 1e-6
+    gain_sparse = 1.0 - bc[0] / sc[0]
+    gain_dense = 1.0 - bc[-1] / sc[-1]
+    assert gain_dense >= gain_sparse - 0.02

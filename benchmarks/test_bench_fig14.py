@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 14 (optimal bundle radius, dense network)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig14_optimal_radius(benchmark, bench_config,
+                                    save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("fig14", bench_config))
+    save_tables("fig14", tables)
+
+    decomposition, totals = tables
+    # Fig. 14(a): the trade-off components move in opposite directions.
+    movement = decomposition.mean_of("movement_kj")
+    charging = decomposition.mean_of("charging_kj")
+    assert movement[0] > movement[-1]
+    assert charging[-1] > charging[0]
+    # Fig. 14(b): BC-OPT's gain over BC is non-negative at every radius
+    # and the sweep reports a best radius.
+    for gain in totals.mean_of("bcopt_gain_pct"):
+        assert gain >= -1e-6
+    assert "optimal radius" in totals.title

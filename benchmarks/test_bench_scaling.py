@@ -1,0 +1,43 @@
+"""Planner runtime scaling: how the stack behaves as n grows.
+
+Measures full planner runs (bundle generation + TSP + refinement) at
+increasing node counts, so performance regressions in any layer show up
+as a scaling break.  One timed round per point (the runs are seconds).
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.charging import CostParameters
+from repro.network import uniform_deployment
+from repro.planners import make_planner
+
+SCALES = (50, 100, 200)
+
+
+@pytest.mark.parametrize("node_count", SCALES)
+def test_bench_scaling_bc(benchmark, node_count):
+    network = uniform_deployment(count=node_count, seed=1)
+    cost = CostParameters.paper_defaults()
+    planner = make_planner("BC", 30.0)
+    plan = run_once(benchmark, lambda: planner.plan(network, cost))
+    assert len(plan) <= node_count
+
+
+@pytest.mark.parametrize("node_count", SCALES)
+def test_bench_scaling_bc_opt(benchmark, node_count):
+    network = uniform_deployment(count=node_count, seed=1)
+    cost = CostParameters.paper_defaults()
+    planner = make_planner("BC-OPT", 30.0)
+    plan = run_once(benchmark, lambda: planner.plan(network, cost))
+    assert len(plan) <= node_count
+
+
+@pytest.mark.parametrize("node_count", SCALES)
+def test_bench_scaling_css(benchmark, node_count):
+    network = uniform_deployment(count=node_count, seed=1)
+    cost = CostParameters.paper_defaults()
+    planner = make_planner("CSS", 30.0)
+    plan = run_once(benchmark, lambda: planner.plan(network, cost))
+    assert len(plan) <= node_count

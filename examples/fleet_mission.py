@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fleet operations: k chargers and finite batteries.
+
+Plans one BC-OPT mission over 100 sensors, then answers the two
+deployment questions the single-charger paper leaves open:
+
+1. How does the mission makespan scale if we field k chargers?
+   (contiguous tour splitting, exact for a fixed stop order)
+2. What happens when a charger's own battery cannot cover the whole
+   tour? (pass scheduling with depot returns)
+
+Run:  python examples/fleet_mission.py
+"""
+
+from repro import CostParameters, make_planner, uniform_deployment
+from repro.fleet import (minimum_feasible_capacity,
+                         schedule_with_capacity, split_plan)
+
+NODE_COUNT = 100
+RADIUS_M = 25.0
+SEED = 314
+SPEED_M_PER_S = 1.0
+
+
+def main() -> None:
+    network = uniform_deployment(count=NODE_COUNT, seed=SEED)
+    cost = CostParameters.paper_defaults()
+    plan = make_planner("BC-OPT", radius=RADIUS_M).plan(network, cost)
+    print(f"Mission: {len(plan)} stops, {plan.tour_length():.0f} m "
+          f"tour, {plan.total_dwell_s() / 3600:.1f} h of charging\n")
+
+    print("Fleet scaling (contiguous tour split):")
+    print(f"{'chargers':>9s} {'makespan (h)':>13s} {'speedup':>8s} "
+          f"{'energy (kJ)':>12s}")
+    single = split_plan(plan, 1, cost, speed_m_per_s=SPEED_M_PER_S)
+    for k in (1, 2, 3, 4, 6, 8):
+        fleet = split_plan(plan, k, cost, speed_m_per_s=SPEED_M_PER_S)
+        speedup = single.makespan_s / fleet.makespan_s
+        print(f"{k:9d} {fleet.makespan_s / 3600:13.1f} "
+              f"{speedup:8.2f} {fleet.total_energy_j / 1000:12.1f}")
+
+    print("\nBattery-constrained passes (one charger):")
+    floor = minimum_feasible_capacity(plan, cost)
+    print(f"  minimum feasible battery: {floor / 1000:.1f} kJ")
+    print(f"{'battery (kJ)':>13s} {'passes':>7s} "
+          f"{'overhead (kJ)':>14s} {'total time (h)':>15s}")
+    for factor in (1.1, 1.5, 3.0, 10.0):
+        budget = floor * factor
+        schedule = schedule_with_capacity(plan, budget, cost,
+                                          speed_m_per_s=SPEED_M_PER_S)
+        print(f"{budget / 1000:13.1f} {schedule.pass_count:7d} "
+              f"{schedule.overhead_j / 1000:14.2f} "
+              f"{schedule.total_time_s / 3600:15.1f}")
+
+    print("\nTakeaway: splitting is near-linear in makespan but every "
+          "extra charger (or battery-forced pass) pays fresh depot "
+          "legs — the energy/latency trade-off in one table.")
+
+
+if __name__ == "__main__":
+    main()

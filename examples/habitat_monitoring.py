@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Habitat monitoring: clustered deployments and radius auto-tuning.
+
+The paper motivates bundle charging with dense-cluster deployments
+(jungle habitat monitoring, DARPA smart dust).  This example deploys 120
+sensors in 6 Gaussian hot spots, uses the Section IV-C radius search to
+pick the best bundle radius for BC-OPT, and shows how much bundle
+charging beats per-sensor charging when sensors really do cluster.
+
+Run:  python examples/habitat_monitoring.py
+"""
+
+from repro import (CostParameters, clustered_deployment, evaluate_plan,
+                   find_optimal_radius, make_planner)
+
+NODE_COUNT = 120
+CLUSTERS = 6
+CLUSTER_SPREAD_M = 40.0
+SEED = 2019
+CANDIDATE_RADII = (10.0, 20.0, 30.0, 40.0, 60.0, 80.0)
+
+
+def main() -> None:
+    network = clustered_deployment(
+        count=NODE_COUNT, seed=SEED, clusters=CLUSTERS,
+        spread_m=CLUSTER_SPREAD_M)
+    cost = CostParameters.paper_defaults()
+    print(f"Habitat deployment: {NODE_COUNT} sensors in {CLUSTERS} "
+          f"hot spots (sigma = {CLUSTER_SPREAD_M:.0f} m)\n")
+
+    # Baseline: charge every sensor individually.
+    sc_plan = make_planner("SC", radius=0.0).plan(network, cost)
+    sc_total = evaluate_plan(sc_plan, network.locations, cost).total_j
+    print(f"SC baseline: {sc_total / 1000:.1f} kJ "
+          f"({len(sc_plan)} stops)\n")
+
+    # Section IV-C: sweep candidate radii with BC-OPT and keep the best.
+    def objective(radius: float) -> float:
+        plan = make_planner("BC-OPT", radius=radius).plan(network, cost)
+        return evaluate_plan(plan, network.locations, cost).total_j
+
+    print(f"{'radius (m)':>10s} {'BC-OPT total (kJ)':>18s}")
+    sweep = find_optimal_radius(objective, CANDIDATE_RADII)
+    for radius, total in sweep.evaluations:
+        marker = "  <-- best" if radius == sweep.best_radius else ""
+        print(f"{radius:10.0f} {total / 1000:18.2f}{marker}")
+
+    saving = 100.0 * (1.0 - sweep.best_value / sc_total)
+    best_plan = make_planner(
+        "BC-OPT", radius=sweep.best_radius).plan(network, cost)
+    print(f"\nBest bundle radius: {sweep.best_radius:.0f} m -> "
+          f"{sweep.best_value / 1000:.1f} kJ with {len(best_plan)} stops "
+          f"({saving:.0f}% below SC)")
+    print("Clustered fields reward bundle charging far more than the "
+          "uniform fields of the paper's Fig. 12: whole hot spots "
+          "collapse into single charging stops.")
+
+
+if __name__ == "__main__":
+    main()

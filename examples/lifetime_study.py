@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Network-lifetime study: which planner keeps sensors alive cheapest?
+
+Simulates 30 days of operation: sensors drain (duty-cycled sensing with
+30 % heterogeneity), a charging round is triggered whenever 5 sensors
+drop below 0.5 J, the planner dispatches the charger, batteries refill
+(clipped at the 2 J WISP capacity), repeat.  Reports the operational
+scoreboard per planner.
+
+Run:  python examples/lifetime_study.py
+"""
+
+from repro import CostParameters, make_planner, uniform_deployment
+from repro.lifetime import ConstantDrain, LifetimeSimulator
+from repro.planners import PAPER_ALGORITHMS
+
+NODE_COUNT = 50
+RADIUS_M = 30.0
+SEED = 99
+DAYS = 30
+DRAIN_W = 5e-6  # 5 uW average sensing draw
+
+
+def main() -> None:
+    print(f"{NODE_COUNT} sensors, {DAYS} days, {DRAIN_W * 1e6:.0f} uW "
+          f"mean drain, trigger = 5 sensors below 0.5 J\n")
+    header = (f"{'planner':9s} {'rounds':>7s} {'kJ/day':>8s} "
+              f"{'availability':>13s} {'min battery':>12s}")
+    print(header)
+    print("-" * len(header))
+
+    for name in PAPER_ALGORITHMS:
+        network = uniform_deployment(count=NODE_COUNT, seed=SEED)
+        simulator = LifetimeSimulator(
+            network=network,
+            planner=make_planner(name, RADIUS_M),
+            cost=CostParameters.paper_defaults(),
+            consumption=ConstantDrain(rate_w=DRAIN_W, spread=0.3,
+                                      sensor_count=NODE_COUNT,
+                                      seed=SEED),
+            battery_capacity_j=2.0,
+            trigger_threshold_j=0.5,
+            trigger_count=5,
+        )
+        result = simulator.run(horizon_s=DAYS * 86_400.0)
+        print(f"{name:9s} {result.round_count:7d} "
+              f"{result.energy_per_day_j / 1000:8.2f} "
+              f"{100 * result.availability:12.2f}% "
+              f"{result.min_battery_j:11.3f} J")
+
+    print("\nNote the tension the single-mission figures hide: "
+          "energy-cheap planners (CSS, BC-OPT) charge from farther "
+          "away, so their missions dwell much longer — and sensors "
+          "waiting at the end of a multi-day round can hit empty "
+          "before the charger arrives. Energy per day and availability "
+          "trade off; pick the planner for the battery headroom you "
+          "actually have.")
+
+
+if __name__ == "__main__":
+    main()

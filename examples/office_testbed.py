@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Replicate the paper's Section VII Powercast testbed.
+
+Six P2110-equipped sensors in a 5 m x 5 m office, a robot car with a 3 W
+TX91501 transmitter at 915 MHz, 4 mJ per-sensor requirement.  We run SC,
+BC and BC-OPT at the paper's highlighted radius (1.2 m) and report the
+same quantities Fig. 16 plots, plus the AP's per-sensor harvest log.
+
+Run:  python examples/office_testbed.py
+"""
+
+from repro import constants, make_planner
+from repro.planners import (BundleChargingOptPlanner,
+                            BundleChargingPlanner, SingleChargingPlanner)
+from repro.testbed import paper_testbed, run_testbed
+
+RADIUS_M = 1.2
+
+
+def main() -> None:
+    scenario = paper_testbed()
+    model = scenario.cost.model
+    print("Powercast testbed (simulated):")
+    print(f"  transmitter: {model.source_power_w:.0f} W at "
+          f"{constants.TESTBED_FREQUENCY_HZ / 1e6:.0f} MHz "
+          f"(lambda = {model.wavelength_m:.2f} m)")
+    print(f"  harvester cutoff range: {model.max_charging_range():.1f} m")
+    print(f"  sensors: {len(scenario.network)} at "
+          f"{[s.location.as_tuple() for s in scenario.network]}")
+    print(f"  requirement: "
+          f"{scenario.network[0].required_j * 1000:.0f} mJ/sensor, "
+          f"car speed {scenario.speed_m_per_s} m/s\n")
+
+    planners = {
+        "SC": SingleChargingPlanner(tsp_strategy="exact"),
+        "BC": BundleChargingPlanner(RADIUS_M, tsp_strategy="exact"),
+        "BC-OPT": BundleChargingOptPlanner(RADIUS_M,
+                                           tsp_strategy="exact"),
+    }
+
+    header = (f"{'algorithm':9s} {'stops':>5s} {'tour (m)':>9s} "
+              f"{'time (s)':>9s} {'total (J)':>10s} {'vs SC':>7s}")
+    print(header)
+    print("-" * len(header))
+    sc_energy = None
+    for name, planner in planners.items():
+        run = run_testbed(planner, scenario)
+        if sc_energy is None:
+            sc_energy = run.total_energy_j
+        saving = 100.0 * (1.0 - run.total_energy_j / sc_energy)
+        print(f"{name:9s} {len(run.plan):5d} {run.tour_length_m:9.2f} "
+              f"{run.mission_time_s:9.1f} {run.total_energy_j:10.2f} "
+              f"{saving:6.1f}%")
+
+    # Peek at what the access point recorded during the BC-OPT mission.
+    run = run_testbed(planners["BC-OPT"], scenario)
+    print(f"\nAP collected {run.reports} report frames; "
+          f"{run.charged_sensors}/{len(scenario.network)} sensors "
+          f"reached their requirement.")
+    print("Same qualitative picture as the paper's Fig. 16: bundling "
+          "saves energy even with only six sensors, and the gain comes "
+          "almost entirely from the shorter tour.")
+
+
+if __name__ == "__main__":
+    main()
+
+
+# `make_planner` is the registry route to the same objects:
+assert make_planner("BC", 1.2).name == "BC"

@@ -1,0 +1,17 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .`` via the PEP 517 path) cannot build; this shim lets
+``pip install -e . --no-use-pep517`` (or ``python setup.py develop``)
+install the package offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+# Entry points are duplicated from pyproject.toml because the legacy
+# ``setup.py develop`` path does not read ``[project.scripts]``.
+setup(entry_points={
+    "console_scripts": [
+        "bundle-charging = repro.cli:main",
+    ],
+})

@@ -1,0 +1,109 @@
+"""Bundle Charging — a full reproduction of Wang, Wu & Dai (ICDCS 2019).
+
+*Bundle Charging: Wireless Charging Energy Minimization in Dense Wireless
+Sensor Networks.*
+
+Quick start::
+
+    from repro import (CostParameters, uniform_deployment,
+                       make_planner, evaluate_plan)
+
+    network = uniform_deployment(count=100, seed=7)
+    cost = CostParameters.paper_defaults()
+    plan = make_planner("BC-OPT", radius=20.0).plan(network, cost)
+    metrics = evaluate_plan(plan, network.locations, cost)
+    print(f"total energy: {metrics.total_j / 1000:.1f} kJ")
+
+Layer map (bottom-up):
+
+* :mod:`repro.geometry` — points, MinDisk, ellipse tangency.
+* :mod:`repro.charging` — Eq. 1 and friends, energy accounting.
+* :mod:`repro.network` — sensors and deployments.
+* :mod:`repro.bundling` — OBG: greedy / grid / optimal bundle generation.
+* :mod:`repro.tsp` — TSP solvers.
+* :mod:`repro.tour` — BTO: plans, evaluation, Theorems 4/5, Algorithm 3.
+* :mod:`repro.planners` — SC, CSS, BC, BC-OPT.
+* :mod:`repro.sim` — discrete-event mission execution and validation.
+* :mod:`repro.testbed` — the simulated Powercast testbed.
+* :mod:`repro.experiments` — every figure of the paper, regenerated.
+"""
+
+from . import analysis, constants, fleet, io, lifetime, tspn, velocity, viz
+from .bundling import (Bundle, BundleSet, find_optimal_radius,
+                       greedy_bundles, grid_bundles, optimal_bundles)
+from .charging import (ChargingModel, CostParameters, EnergyBreakdown,
+                       FriisChargingModel, IdealDiskChargingModel,
+                       LinearChargingModel, PowercastChargingModel)
+from .errors import BundleChargingError
+from .geometry import Disk, Point, smallest_enclosing_disk
+from .network import (SensorNetwork, clustered_deployment,
+                      grid_deployment, poisson_deployment,
+                      testbed_deployment, uniform_deployment)
+from .planners import (PAPER_ALGORITHMS, BundleChargingOptPlanner,
+                       BundleChargingPlanner,
+                       CombineSkipSubstitutePlanner, Planner,
+                       SingleChargingPlanner, make_planner,
+                       planner_names, register_planner)
+from .sim import run_mission, validate_plan
+from .testbed import paper_testbed, run_testbed
+from .tour import (ChargingPlan, PlanMetrics, Stop, evaluate_plan,
+                   optimize_tour, plan_total_energy)
+from .tsp import Tour, solve_tsp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "fleet",
+    "io",
+    "lifetime",
+    "tspn",
+    "velocity",
+    "viz",
+    "Bundle",
+    "BundleChargingError",
+    "BundleChargingOptPlanner",
+    "BundleChargingPlanner",
+    "BundleSet",
+    "ChargingModel",
+    "ChargingPlan",
+    "CombineSkipSubstitutePlanner",
+    "CostParameters",
+    "Disk",
+    "EnergyBreakdown",
+    "FriisChargingModel",
+    "IdealDiskChargingModel",
+    "LinearChargingModel",
+    "PAPER_ALGORITHMS",
+    "Planner",
+    "PlanMetrics",
+    "Point",
+    "PowercastChargingModel",
+    "SensorNetwork",
+    "SingleChargingPlanner",
+    "Stop",
+    "Tour",
+    "clustered_deployment",
+    "constants",
+    "evaluate_plan",
+    "find_optimal_radius",
+    "greedy_bundles",
+    "grid_bundles",
+    "grid_deployment",
+    "make_planner",
+    "optimal_bundles",
+    "optimize_tour",
+    "paper_testbed",
+    "plan_total_energy",
+    "planner_names",
+    "poisson_deployment",
+    "register_planner",
+    "run_mission",
+    "run_testbed",
+    "smallest_enclosing_disk",
+    "solve_tsp",
+    "testbed_deployment",
+    "uniform_deployment",
+    "validate_plan",
+    "__version__",
+]

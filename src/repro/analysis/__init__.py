@@ -1,0 +1,15 @@
+"""Closed-form analysis companions (bounds, break-even, BHH)."""
+
+from .theory import (BHH_CONSTANT, bhh_tour_length, break_even_distance,
+                     charging_energy_per_sensor, expected_bundle_size,
+                     fraction_within, greedy_cover_bound)
+
+__all__ = [
+    "BHH_CONSTANT",
+    "bhh_tour_length",
+    "break_even_distance",
+    "charging_energy_per_sensor",
+    "expected_bundle_size",
+    "fraction_within",
+    "greedy_cover_bound",
+]

@@ -1,0 +1,105 @@
+"""Closed-form analysis companions to the algorithms.
+
+These functions compute the theoretical quantities that the design
+documents and the test suite reason with:
+
+* the greedy set-cover guarantee of Theorem 2;
+* the movement/charging break-even distance implied by Eq. 1 + Eq. 3
+  (the two-bundle marginal analysis of Section V-B in closed form);
+* the BHH tour-length estimate used to sanity-check TSP output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..charging import CostParameters, FriisChargingModel
+from ..errors import ModelError
+
+#: Beardwood-Halton-Hammersley constant (empirical ~0.7124) for the
+#: expected optimal tour through n uniform points in a unit square.
+BHH_CONSTANT = 0.7124
+
+
+def greedy_cover_bound(n: int) -> float:
+    """Return Theorem 2's approximation factor ``ln n + 1``.
+
+    Raises:
+        ModelError: for non-positive ``n``.
+    """
+    if n <= 0:
+        raise ModelError(f"need a positive sensor count: {n!r}")
+    return math.log(n) + 1.0
+
+
+def break_even_distance(cost: CostParameters) -> float:
+    """Return the charging distance where anchor pull-in stops paying.
+
+    From the Section V-B two-bundle analysis under Eq. 1: pulling an
+    anchor 1 m closer to the tour saves ``2 E_m`` of movement (the leg
+    is traversed out and back) and costs
+    ``2 delta (d + beta) / alpha`` of extra charging per affected
+    sensor-requirement; they balance at
+
+    ``d* = E_m * alpha / delta - beta``.
+
+    Beyond ``d*`` the quadratic charging penalty dominates and larger
+    charging distances are never profitable.  With the paper's
+    constants this is ``5.59 * 36 / 2 - 30 ~= 70.6 m`` — which is why
+    the simultaneous-dwell objective keeps improving across the paper's
+    5-40 m radius sweep (see EXPERIMENTS.md).
+
+    Raises:
+        ModelError: when the cost's model is not the Eq. 1 Friis form.
+    """
+    model = cost.model
+    if not isinstance(model, FriisChargingModel):
+        raise ModelError(
+            "break-even distance is closed-form only for the Eq. 1 "
+            "Friis model")
+    return max(0.0, cost.move_cost_j_per_m * model.alpha / cost.delta_j
+               - model.beta)
+
+
+def bhh_tour_length(n: int, field_side_m: float) -> float:
+    """Return the BHH estimate of the optimal tour through n points.
+
+    ``L ~ BHH_CONSTANT * sqrt(n * A)`` for uniform deployments — used
+    to sanity-check heuristic TSP output at scale.
+    """
+    if n <= 1 or field_side_m <= 0.0:
+        return 0.0
+    area = field_side_m * field_side_m
+    return BHH_CONSTANT * math.sqrt(n * area)
+
+
+def expected_bundle_size(n: int, field_side_m: float,
+                         radius: float) -> float:
+    """Return the Poisson-mean sensor count of one radius-``r`` disk.
+
+    ``lambda = n * pi r^2 / A`` — the density heuristic behind "how
+    much does bundling help at these parameters".
+    """
+    if n < 0 or field_side_m <= 0.0 or radius < 0.0:
+        raise ModelError("invalid bundle-size parameters")
+    area = field_side_m * field_side_m
+    return n * math.pi * radius * radius / area
+
+
+def charging_energy_per_sensor(cost: CostParameters,
+                               distance_m: float) -> float:
+    """Return the Eq. 3 charging energy to deliver delta at a distance."""
+    return cost.charging_energy_for_distance(distance_m)
+
+
+def fraction_within(values: Iterable[float], limit: float) -> float:
+    """Return the fraction of ``values`` that are <= ``limit``.
+
+    Small reporting helper (e.g. what share of stops are within the
+    break-even distance).
+    """
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(1 for v in data if v <= limit) / len(data)

@@ -1,0 +1,47 @@
+"""Charging-bundle generation (the paper's OBG problem, Section IV).
+
+* :func:`greedy_bundles` — Algorithm 2, the ``ln n + 1``-approximate
+  greedy generator.
+* :func:`grid_bundles` — the grid baseline of He et al. [8].
+* :func:`optimal_bundles` — exact minimum cover by branch and bound
+  (Fig. 11's "optimal" line, small instances).
+* :func:`find_optimal_radius` — the Section IV-C radius search.
+"""
+
+from .bundle import Bundle, BundleSet, make_bundle
+from .candidates import (candidate_member_sets, maximal_candidates,
+                         validate_candidates)
+from .greedy import (coverage_gain_curve, greedy_bundles, greedy_set_cover,
+                     singleton_bundles)
+from .grid import grid_bundles, grid_cell_count
+from .kcenter import (gonzalez_centers, kcenter_bundle_count,
+                      kcenter_bundles)
+from .optimal import (minimum_set_cover, optimal_bundle_count,
+                      optimal_bundles)
+from .radius_search import (RadiusSweepResult, find_optimal_radius,
+                            refine_radius, sweep_radii)
+
+__all__ = [
+    "Bundle",
+    "BundleSet",
+    "RadiusSweepResult",
+    "candidate_member_sets",
+    "coverage_gain_curve",
+    "find_optimal_radius",
+    "gonzalez_centers",
+    "greedy_bundles",
+    "greedy_set_cover",
+    "grid_bundles",
+    "grid_cell_count",
+    "kcenter_bundle_count",
+    "kcenter_bundles",
+    "make_bundle",
+    "maximal_candidates",
+    "minimum_set_cover",
+    "optimal_bundle_count",
+    "optimal_bundles",
+    "refine_radius",
+    "singleton_bundles",
+    "sweep_radii",
+    "validate_candidates",
+]

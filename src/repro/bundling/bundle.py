@@ -1,0 +1,169 @@
+"""Charging bundles (Definitions 1-3 of the paper).
+
+A :class:`Bundle` is a set of sensors charged simultaneously from one
+*anchor point*.  The energy-optimal anchor for a fixed membership is the
+center of the smallest enclosing disk of the member locations (the paper's
+observation in Section III-B), because the dwell time is set by the
+*farthest* member and the SED center minimizes that maximum distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..errors import BundlingError, CoverageError
+from ..geometry import Point, max_distance, smallest_enclosing_disk
+from ..network import SensorNetwork
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """One charging bundle.
+
+    Attributes:
+        members: sensor indices charged from this bundle's anchor.
+        anchor: the charging position (Definition 2).
+        radius: the smallest enclosing disk radius of the members — the
+            worst-case charging distance when charging from ``anchor``.
+    """
+
+    members: FrozenSet[int]
+    anchor: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise BundlingError("a bundle must contain at least one sensor")
+        if self.radius < 0.0 or not math.isfinite(self.radius):
+            raise BundlingError(f"invalid bundle radius: {self.radius!r}")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def worst_distance(self, locations: Sequence[Point],
+                       anchor: Point = None) -> float:
+        """Return the farthest member distance from ``anchor``.
+
+        Args:
+            locations: the network's sensor locations (indexable by member
+                index).
+            anchor: override position; defaults to the bundle anchor.
+        """
+        position = anchor if anchor is not None else self.anchor
+        return max_distance(position,
+                            (locations[i] for i in self.members))
+
+    def with_anchor(self, anchor: Point,
+                    locations: Sequence[Point]) -> "Bundle":
+        """Return a copy charged from a different anchor.
+
+        The stored ``radius`` is recomputed as the new worst-case member
+        distance, so downstream energy accounting stays consistent.
+        """
+        worst = max_distance(anchor, (locations[i] for i in self.members))
+        return Bundle(self.members, anchor, worst)
+
+
+def make_bundle(member_indices: Sequence[int],
+                locations: Sequence[Point]) -> Bundle:
+    """Build a bundle with the optimal (SED-center) anchor.
+
+    Args:
+        member_indices: sensor indices to include.
+        locations: the network's sensor locations.
+
+    Raises:
+        BundlingError: on an empty member list.
+    """
+    members = frozenset(member_indices)
+    if not members:
+        raise BundlingError("cannot build a bundle from zero sensors")
+    disk = smallest_enclosing_disk([locations[i] for i in members])
+    return Bundle(members, disk.center, disk.radius)
+
+
+@dataclass
+class BundleSet:
+    """A complete bundle configuration for a network.
+
+    Attributes:
+        bundles: the selected bundles.
+        bundle_radius: the generation radius ``r`` the configuration was
+            built for (every bundle's own radius is <= this).
+    """
+
+    bundles: List[Bundle]
+    bundle_radius: float
+    assignment: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.bundle_radius < 0.0:
+            raise BundlingError(
+                f"invalid generation radius: {self.bundle_radius!r}")
+        if not self.assignment:
+            self.assignment = self._compute_assignment()
+
+    def _compute_assignment(self) -> Tuple[int, ...]:
+        """Map each covered sensor index to the bundle that charges it."""
+        mapping = {}
+        for bundle_index, bundle in enumerate(self.bundles):
+            for sensor_index in bundle.members:
+                # First bundle wins; generation never double-assigns, but a
+                # hand-built overlap should still be deterministic.
+                mapping.setdefault(sensor_index, bundle_index)
+        if not mapping:
+            return ()
+        size = max(mapping) + 1
+        ordered = [-1] * size
+        for sensor_index, bundle_index in mapping.items():
+            ordered[sensor_index] = bundle_index
+        return tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self.bundles)
+
+    def __iter__(self):
+        return iter(self.bundles)
+
+    def covered_sensors(self) -> FrozenSet[int]:
+        """Return the union of all member sets."""
+        covered: set = set()
+        for bundle in self.bundles:
+            covered |= bundle.members
+        return frozenset(covered)
+
+    def anchors(self) -> List[Point]:
+        """Return the anchor points in bundle order."""
+        return [bundle.anchor for bundle in self.bundles]
+
+    def validate_cover(self, network: SensorNetwork) -> None:
+        """Ensure every sensor of ``network`` is covered.
+
+        Raises:
+            CoverageError: listing the uncovered indices.
+        """
+        covered = self.covered_sensors()
+        missing = [sensor.index for sensor in network
+                   if sensor.index not in covered]
+        if missing:
+            raise CoverageError(
+                f"{len(missing)} sensors uncovered: {missing[:10]}...")
+
+    def validate_radius(self, network: SensorNetwork,
+                        tol: float = 1e-6) -> None:
+        """Ensure every bundle honours the generation radius.
+
+        Raises:
+            BundlingError: when a bundle's worst member distance exceeds
+                ``bundle_radius`` beyond tolerance.
+        """
+        locations = network.locations
+        slack = tol * max(1.0, self.bundle_radius)
+        for bundle in self.bundles:
+            worst = bundle.worst_distance(locations)
+            if worst > self.bundle_radius + slack:
+                raise BundlingError(
+                    f"bundle at {bundle.anchor} has worst distance "
+                    f"{worst:.6f} > radius {self.bundle_radius:.6f}")

@@ -1,0 +1,139 @@
+"""k-center bundle generation (Gonzalez's farthest-point traversal).
+
+Minimum disk cover and k-center are dual problems: the smallest number
+of radius-``r`` bundles equals the smallest ``k`` whose optimal
+k-center radius is <= ``r``.  Gonzalez's farthest-point traversal gives
+a 2-approximate k-center in O(n k); binary-searching ``k`` against the
+decisional test "traversal radius <= r" yields a *fast* bundle
+generator that trades a little count quality (vs the greedy set-cover
+of Algorithm 2) for near-linear running time — the right tool when
+``n`` is large or the bundle generator sits inside a radius sweep.
+
+Guarantee: because the traversal is 2-approximate, the returned count
+is at most the optimal count *for radius r/2*; empirically it sits
+between greedy and the grid baseline (see the ablation bench).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import BundlingError
+from ..geometry import Point
+from ..network import SensorNetwork
+from .bundle import Bundle, BundleSet, make_bundle
+
+
+def gonzalez_centers(points: Sequence[Point], k: int,
+                     seed: int = 0) -> Tuple[List[int], float]:
+    """Pick ``k`` centers by farthest-point traversal.
+
+    Args:
+        points: the point set.
+        k: number of centers (clamped to ``len(points)``).
+        seed: picks the (randomized) first center.
+
+    Returns:
+        ``(center_indices, radius)`` where ``radius`` is the maximum
+        distance from any point to its nearest chosen center (the
+        traversal's k-center objective value, <= 2x optimal).
+    """
+    n = len(points)
+    if n == 0:
+        return [], 0.0
+    if k <= 0:
+        raise BundlingError(f"need at least one center: {k!r}")
+    k = min(k, n)
+    rng = random.Random(seed)
+    first = rng.randrange(n)
+    centers = [first]
+    nearest = [points[i].distance_to(points[first]) for i in range(n)]
+    while len(centers) < k:
+        farthest = max(range(n), key=lambda i: nearest[i])
+        if nearest[farthest] == 0.0:
+            break  # every remaining point coincides with a center
+        centers.append(farthest)
+        for i in range(n):
+            distance = points[i].distance_to(points[farthest])
+            if distance < nearest[i]:
+                nearest[i] = distance
+    return centers, max(nearest) if nearest else 0.0
+
+
+def kcenter_bundles(network: SensorNetwork, radius: float,
+                    seed: int = 0) -> BundleSet:
+    """Cover the network with bundles via k-center binary search.
+
+    Finds the smallest ``k`` whose Gonzalez traversal radius is
+    <= ``radius``, assigns every sensor to its nearest center, and
+    re-anchors each group at its smallest-enclosing-disk center (which
+    can only shrink the worst distance, so the radius constraint is
+    preserved).
+
+    Args:
+        network: the sensors to cover.
+        radius: the bundle radius ``r``.
+        seed: traversal seed (first-center choice).
+
+    Raises:
+        BundlingError: on a negative radius.
+    """
+    if radius < 0.0:
+        raise BundlingError(f"negative bundle radius: {radius!r}")
+    points = network.locations
+    n = len(points)
+    if n == 0:
+        return BundleSet([], radius)
+
+    def radius_for(k: int) -> Tuple[List[int], float]:
+        return gonzalez_centers(points, k, seed=seed)
+
+    # Exponential probe then binary search on the smallest feasible k.
+    # The traversal radius is non-increasing in k for a fixed traversal
+    # order (adding centers never hurts), so the search is sound.
+    low, high = 1, 1
+    centers, reach = radius_for(1)
+    while reach > radius and high < n:
+        low = high + 1
+        high = min(n, high * 2)
+        centers, reach = radius_for(high)
+    if reach > radius:
+        # Degenerate: duplicated points always terminate above, so this
+        # only happens for radius < 0 handled earlier; keep a guard.
+        high = n
+        centers, reach = radius_for(n)
+
+    best_centers: Optional[List[int]] = centers if reach <= radius \
+        else None
+    while low < high:
+        middle = (low + high) // 2
+        centers, reach = radius_for(middle)
+        if reach <= radius:
+            best_centers = centers
+            high = middle
+        else:
+            low = middle + 1
+    if best_centers is None:
+        best_centers, _ = radius_for(high)
+
+    # Assign sensors to their nearest center; re-anchor per group.
+    groups: List[List[int]] = [[] for _ in best_centers]
+    for index, point in enumerate(points):
+        owner = min(range(len(best_centers)),
+                    key=lambda c: point.distance_to(
+                        points[best_centers[c]]))
+        groups[owner].append(index)
+
+    bundles: List[Bundle] = [make_bundle(group, points)
+                             for group in groups if group]
+    bundle_set = BundleSet(bundles, radius)
+    bundle_set.validate_cover(network)
+    bundle_set.validate_radius(network)
+    return bundle_set
+
+
+def kcenter_bundle_count(network: SensorNetwork, radius: float,
+                         seed: int = 0) -> int:
+    """Return only the k-center cover's bundle count."""
+    return len(kcenter_bundles(network, radius, seed=seed))

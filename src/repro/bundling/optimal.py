@@ -1,0 +1,137 @@
+"""Exact (exhaustive) bundle generation — the "optimal" curve of Fig. 11.
+
+Solves minimum set cover over the candidate-disk family exactly with a
+branch-and-bound search.  Set cover is NP-hard (Theorem 1), so this is
+only feasible for the small instances on which the paper reports the
+optimal line; the implementation guards itself with an explicit node
+budget rather than silently hanging.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Sequence, Set
+
+from ..errors import BundlingError, CoverageError
+from ..network import SensorNetwork
+from .bundle import BundleSet, make_bundle
+from .candidates import candidate_member_sets, maximal_candidates
+from .greedy import greedy_set_cover
+
+
+def optimal_bundles(network: SensorNetwork, radius: float,
+                    node_budget: int = 2_000_000) -> BundleSet:
+    """Return a provably minimum-cardinality bundle cover.
+
+    Args:
+        network: the sensor network to cover.
+        radius: the generation radius ``r``.
+        node_budget: maximum branch-and-bound nodes to explore before
+            giving up.
+
+    Raises:
+        BundlingError: when the search exceeds ``node_budget`` (instance
+            too large for exact solving).
+    """
+    locations = network.locations
+    candidates = maximal_candidates(
+        candidate_member_sets(locations, radius))
+    selected = minimum_set_cover(candidates, len(network),
+                                 node_budget=node_budget)
+    bundles = [make_bundle(sorted(members), locations)
+               for members in _disjointify(selected)]
+    bundle_set = BundleSet(bundles, radius)
+    bundle_set.validate_cover(network)
+    return bundle_set
+
+
+def _disjointify(selected: Sequence[FrozenSet[int]]
+                 ) -> List[FrozenSet[int]]:
+    """Assign each covered element to exactly one selected set."""
+    assigned: Set[int] = set()
+    result: List[FrozenSet[int]] = []
+    for members in selected:
+        fresh = frozenset(members - assigned)
+        if fresh:
+            result.append(fresh)
+            assigned |= members
+    return result
+
+
+def minimum_set_cover(candidates: Sequence[FrozenSet[int]],
+                      universe_size: int,
+                      node_budget: int = 2_000_000
+                      ) -> List[FrozenSet[int]]:
+    """Exact minimum set cover via branch and bound.
+
+    The search branches on the lowest-index uncovered element: one of the
+    candidate sets containing it *must* be chosen, so the branching factor
+    is the element's candidate degree.  The greedy solution provides the
+    initial upper bound; a simple max-set-size lower bound prunes.
+
+    Args:
+        candidates: the candidate family.
+        universe_size: elements to cover are ``range(universe_size)``.
+        node_budget: abort threshold on explored nodes.
+
+    Returns:
+        A minimum-cardinality sub-family covering the universe.
+
+    Raises:
+        CoverageError: when full coverage is impossible.
+        BundlingError: when the node budget is exhausted.
+    """
+    if universe_size == 0:
+        return []
+
+    family = [frozenset(members) for members in candidates]
+    covering: List[List[int]] = [[] for _ in range(universe_size)]
+    for set_index, members in enumerate(family):
+        for element in members:
+            if 0 <= element < universe_size:
+                covering[element].append(set_index)
+    for element in range(universe_size):
+        if not covering[element]:
+            raise CoverageError(
+                f"element {element} is not covered by any candidate")
+
+    greedy_solution = greedy_set_cover(family, universe_size)
+    best_size = len(greedy_solution)
+    best: List[FrozenSet[int]] = list(greedy_solution)
+    max_set_size = max(len(members) for members in family)
+
+    nodes_explored = 0
+
+    def search(uncovered: Set[int], chosen: List[int]) -> None:
+        nonlocal best, best_size, nodes_explored
+        nodes_explored += 1
+        if nodes_explored > node_budget:
+            raise BundlingError(
+                f"exact set cover exceeded node budget ({node_budget})")
+        if not uncovered:
+            if len(chosen) < best_size:
+                best_size = len(chosen)
+                best = [family[i] for i in chosen]
+            return
+        # Lower bound: need at least ceil(|uncovered| / max set size).
+        lower = len(chosen) + math.ceil(len(uncovered) / max_set_size)
+        if lower >= best_size:
+            return
+        pivot = min(uncovered)
+        # Branch on the sets covering the pivot, biggest gain first.
+        branches = sorted(covering[pivot],
+                          key=lambda i: -len(family[i] & uncovered))
+        for set_index in branches:
+            gained = family[set_index] & uncovered
+            chosen.append(set_index)
+            search(uncovered - gained, chosen)
+            chosen.pop()
+
+    search(set(range(universe_size)), [])
+    return best
+
+
+def optimal_bundle_count(network: SensorNetwork, radius: float,
+                         node_budget: int = 2_000_000) -> int:
+    """Return only the minimum bundle count (Fig. 11's optimal line)."""
+    return len(optimal_bundles(network, radius, node_budget=node_budget))

@@ -1,0 +1,119 @@
+"""Optimal bundle-radius selection (paper Section IV-C).
+
+The paper observes that total energy is U-shaped in the bundle radius and
+recommends "try different charging bundle radii until a best bundle radius
+is found".  This module provides exactly that: a deterministic sweep with
+optional local refinement around the best coarse radius.
+
+The objective is supplied by the caller (typically
+``lambda r: plan_with_radius(r).energy.total_j``), which keeps this module
+free of planner dependencies and reusable for ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import BundlingError
+
+Objective = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class RadiusSweepResult:
+    """Outcome of a radius sweep.
+
+    Attributes:
+        best_radius: the minimizing radius found.
+        best_value: the objective at ``best_radius``.
+        evaluations: every ``(radius, value)`` pair evaluated, in order.
+    """
+
+    best_radius: float
+    best_value: float
+    evaluations: Tuple[Tuple[float, float], ...]
+
+
+def sweep_radii(objective: Objective,
+                radii: Sequence[float]) -> RadiusSweepResult:
+    """Evaluate ``objective`` on every radius and return the best.
+
+    Args:
+        objective: maps a bundle radius to a cost (e.g. total energy).
+        radii: the radii to try; must be non-empty.
+
+    Raises:
+        BundlingError: on an empty radius list.
+    """
+    if not radii:
+        raise BundlingError("radius sweep needs at least one radius")
+    evaluations: List[Tuple[float, float]] = []
+    best_radius = radii[0]
+    best_value = math.inf
+    for radius in radii:
+        value = objective(radius)
+        evaluations.append((radius, value))
+        if value < best_value:
+            best_value = value
+            best_radius = radius
+    return RadiusSweepResult(best_radius, best_value, tuple(evaluations))
+
+
+def refine_radius(objective: Objective, coarse: RadiusSweepResult,
+                  rounds: int = 3) -> RadiusSweepResult:
+    """Refine a coarse sweep by bisecting around the best radius.
+
+    Each round evaluates the midpoints between the incumbent and its two
+    sweep neighbours and adopts any improvement.  With a U-shaped
+    objective this converges toward the interior optimum; with a noisy or
+    flat objective it simply keeps the coarse best.
+
+    Args:
+        objective: same objective as the coarse sweep.
+        coarse: result of :func:`sweep_radii`.
+        rounds: number of bisection rounds.
+    """
+    evaluations = list(coarse.evaluations)
+    radii_sorted = sorted(radius for radius, _ in evaluations)
+    best_radius, best_value = coarse.best_radius, coarse.best_value
+
+    position = radii_sorted.index(best_radius)
+    left = radii_sorted[position - 1] if position > 0 else best_radius
+    right = (radii_sorted[position + 1]
+             if position + 1 < len(radii_sorted) else best_radius)
+
+    for _ in range(rounds):
+        probes = []
+        if left < best_radius:
+            probes.append((left + best_radius) / 2.0)
+        if right > best_radius:
+            probes.append((best_radius + right) / 2.0)
+        if not probes:
+            break
+        improved = False
+        for radius in probes:
+            value = objective(radius)
+            evaluations.append((radius, value))
+            if value < best_value:
+                # Shrink the bracket around the new incumbent.
+                if radius < best_radius:
+                    right = best_radius
+                else:
+                    left = best_radius
+                best_radius, best_value = radius, value
+                improved = True
+        if not improved:
+            left = (left + best_radius) / 2.0
+            right = (best_radius + right) / 2.0
+    return RadiusSweepResult(best_radius, best_value, tuple(evaluations))
+
+
+def find_optimal_radius(objective: Objective, radii: Sequence[float],
+                        refine_rounds: int = 0) -> RadiusSweepResult:
+    """Sweep then optionally refine; the Section IV-C procedure."""
+    coarse = sweep_radii(objective, radii)
+    if refine_rounds <= 0:
+        return coarse
+    return refine_radius(objective, coarse, rounds=refine_rounds)

@@ -1,0 +1,26 @@
+"""Charging physics: attenuation models and energy accounting.
+
+The paper's Eq. 1 (quadratic WISP/Friis attenuation) is
+:class:`FriisChargingModel`; alternative laws and the simulated Powercast
+testbed front end plug into the same :class:`ChargingModel` interface.
+"""
+
+from .empirical import EmpiricalChargingModel
+from .energy import DWELL_POLICIES, CostParameters, EnergyBreakdown
+from .friis import FriisChargingModel
+from .linear import IdealDiskChargingModel, LinearChargingModel
+from .model import ChargingModel
+from .powercast import P2110_SENSITIVITY_W, PowercastChargingModel
+
+__all__ = [
+    "ChargingModel",
+    "CostParameters",
+    "DWELL_POLICIES",
+    "EmpiricalChargingModel",
+    "EnergyBreakdown",
+    "FriisChargingModel",
+    "IdealDiskChargingModel",
+    "LinearChargingModel",
+    "P2110_SENSITIVITY_W",
+    "PowercastChargingModel",
+]

@@ -1,0 +1,94 @@
+"""Empirical (measured-curve) charging model.
+
+The paper's Eq. 1 constants come from fitting measurements; downstream
+users often have the measurements but not the fit.  This model skips
+the fitting step: give it ``(distance, received power)`` sample pairs
+and it interpolates — log-linear between samples (power curves are
+near-exponential on the ranges of interest), zero beyond the last
+sample, constant below the first.
+
+Monotonicity is enforced at construction: planners assume received
+power never *increases* with distance (dwell sizing uses the farthest
+member), so a noisy, non-monotone measurement table is rejected
+loudly rather than silently producing invalid dwells.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import ModelError
+from .model import ChargingModel
+
+
+class EmpiricalChargingModel(ChargingModel):
+    """Interpolate received power from measured samples."""
+
+    def __init__(self, samples: Sequence[Tuple[float, float]],
+                 source_power_w: float) -> None:
+        """Create the model.
+
+        Args:
+            samples: ``(distance_m, received_power_w)`` pairs; at least
+                two, strictly increasing distances, non-increasing and
+                positive powers.
+            source_power_w: the transmitter's radiated power (used only
+                for charger-side cost accounting).
+
+        Raises:
+            ModelError: on malformed or non-monotone samples.
+        """
+        super().__init__(source_power_w)
+        points = sorted(samples)
+        if len(points) < 2:
+            raise ModelError(
+                f"need at least two samples, got {len(points)}")
+        distances: List[float] = []
+        powers: List[float] = []
+        for distance, power in points:
+            if distance < 0.0 or not math.isfinite(distance):
+                raise ModelError(f"invalid sample distance: {distance!r}")
+            if power <= 0.0 or not math.isfinite(power):
+                raise ModelError(f"invalid sample power: {power!r}")
+            if distances and distance <= distances[-1]:
+                raise ModelError(
+                    f"duplicate sample distance: {distance!r}")
+            if powers and power > powers[-1] + 1e-15:
+                raise ModelError(
+                    "received power must be non-increasing with "
+                    f"distance; sample at {distance} m breaks it")
+            distances.append(distance)
+            powers.append(power)
+        self._distances = distances
+        self._log_powers = [math.log(p) for p in powers]
+
+    @property
+    def max_distance_m(self) -> float:
+        """Return the last measured distance (power is 0 beyond it)."""
+        return self._distances[-1]
+
+    def received_power(self, distance_m: float) -> float:
+        """Log-linear interpolation; clamped below, zero above."""
+        self._check_distance(distance_m)
+        if distance_m <= self._distances[0]:
+            return math.exp(self._log_powers[0])
+        if distance_m > self._distances[-1]:
+            return 0.0
+        index = bisect.bisect_right(self._distances, distance_m) - 1
+        index = min(index, len(self._distances) - 2)
+        d0 = self._distances[index]
+        d1 = self._distances[index + 1]
+        t = (distance_m - d0) / (d1 - d0)
+        log_power = (self._log_powers[index] * (1.0 - t)
+                     + self._log_powers[index + 1] * t)
+        return math.exp(log_power)
+
+    @classmethod
+    def from_model(cls, model: ChargingModel,
+                   distances_m: Sequence[float]
+                   ) -> "EmpiricalChargingModel":
+        """Tabulate another model (testing/round-trip helper)."""
+        samples = [(d, model.received_power(d)) for d in distances_m]
+        return cls(samples, source_power_w=model.source_power_w)

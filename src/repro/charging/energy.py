@@ -1,0 +1,158 @@
+"""Cost parameters and energy accounting for a charging mission.
+
+This module is the single place where "energy" is defined, so every
+planner, the tour optimizer and the simulator agree on the objective:
+
+``total = E_m * tour_length + sum_i p_c * t_i``    (Eq. 3's objective)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from .. import constants
+from ..errors import ModelError
+from .friis import FriisChargingModel
+from .model import ChargingModel
+
+#: Valid dwell policies (see :class:`CostParameters.dwell_policy`).
+DWELL_POLICIES = ("simultaneous", "sequential")
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Mission-level cost constants (paper Section VI-A defaults).
+
+    Attributes:
+        model: the distance-to-power charging model.
+        move_cost_j_per_m: ``E_m``, joules per meter of charger travel.
+        delta_j: per-sensor required energy (the charging threshold).
+        dwell_policy: how a stop's dwell time is sized.
+            ``"simultaneous"`` (default, the paper's stated rule from
+            Fig. 1): one-to-many charging, dwell = time for the
+            *farthest* assigned sensor.  ``"sequential"``: the charger
+            effectively serves assigned sensors one at a time, dwell =
+            *sum* of per-sensor times — an alternative Eq. 3 reading
+            used by the accounting ablation (see EXPERIMENTS.md).
+    """
+
+    model: ChargingModel
+    move_cost_j_per_m: float = constants.MOVE_COST_J_PER_M
+    delta_j: float = constants.DELTA_J
+    dwell_policy: str = "simultaneous"
+
+    def __post_init__(self) -> None:
+        if self.move_cost_j_per_m < 0.0 or not math.isfinite(
+                self.move_cost_j_per_m):
+            raise ModelError(
+                f"invalid movement cost: {self.move_cost_j_per_m!r}")
+        if self.delta_j <= 0.0 or not math.isfinite(self.delta_j):
+            raise ModelError(f"invalid delta: {self.delta_j!r}")
+        if self.dwell_policy not in DWELL_POLICIES:
+            raise ModelError(
+                f"unknown dwell policy {self.dwell_policy!r}; choose "
+                f"from {DWELL_POLICIES}")
+
+    @staticmethod
+    def paper_defaults() -> "CostParameters":
+        """Return the exact Section VI-A simulation configuration."""
+        return CostParameters(model=FriisChargingModel())
+
+    def movement_energy(self, length_m: float) -> float:
+        """Return the energy to move ``length_m`` meters."""
+        if length_m < 0.0:
+            raise ModelError(f"negative length: {length_m!r}")
+        return self.move_cost_j_per_m * length_m
+
+    def dwell_time_for_distance(self, worst_distance_m: float) -> float:
+        """Return the stop dwell time for a worst assigned distance.
+
+        The stop must deliver ``delta_j`` to its *farthest* assigned sensor
+        (all nearer ones are then over-provisioned automatically, because
+        received power is monotone in distance).
+        """
+        return self.model.charge_time(worst_distance_m, self.delta_j)
+
+    def charging_energy_for_distance(self, worst_distance_m: float) -> float:
+        """Return charger-side energy for a stop, ``p_c * dwell``."""
+        return self.model.charge_energy_cost(worst_distance_m, self.delta_j)
+
+    def dwell_time_for_distances(self,
+                                 distances_m: Iterable[float]) -> float:
+        """Return the stop dwell for a full assigned-distance list.
+
+        Dispatches on :attr:`dwell_policy`; an empty list means a stop
+        with no assigned sensors, which needs zero dwell.
+        """
+        distances = list(distances_m)
+        if not distances:
+            return 0.0
+        if self.dwell_policy == "simultaneous":
+            return self.model.charge_time(max(distances), self.delta_j)
+        return sum(self.model.charge_time(d, self.delta_j)
+                   for d in distances)
+
+    def charging_energy_for_distances(self,
+                                      distances_m: Iterable[float]
+                                      ) -> float:
+        """Return charger-side stop energy for an assigned-distance list."""
+        distances = list(distances_m)
+        if not distances:
+            return 0.0
+        if self.dwell_policy == "simultaneous":
+            return self.model.charge_energy_cost(max(distances),
+                                                 self.delta_j)
+        return sum(self.model.charge_energy_cost(d, self.delta_j)
+                   for d in distances)
+
+
+@dataclass
+class EnergyBreakdown:
+    """A mission's energy ledger, split by cause.
+
+    Attributes:
+        movement_j: total movement energy.
+        charging_j: total charger-side radiated energy over all stops.
+        tour_length_m: total tour length.
+        dwell_times_s: per-stop dwell durations, in tour order.
+    """
+
+    movement_j: float = 0.0
+    charging_j: float = 0.0
+    tour_length_m: float = 0.0
+    dwell_times_s: List[float] = field(default_factory=list)
+
+    @property
+    def total_j(self) -> float:
+        """Return movement + charging energy."""
+        return self.movement_j + self.charging_j
+
+    @property
+    def total_charging_time_s(self) -> float:
+        """Return the summed dwell time over all stops."""
+        return sum(self.dwell_times_s)
+
+    def add_leg(self, length_m: float, cost: CostParameters) -> None:
+        """Account one movement leg of ``length_m`` meters."""
+        self.tour_length_m += length_m
+        self.movement_j += cost.movement_energy(length_m)
+
+    def add_stop(self, dwell_s: float, cost: CostParameters) -> None:
+        """Account one charging stop of ``dwell_s`` seconds."""
+        if dwell_s < 0.0 or not math.isfinite(dwell_s):
+            raise ModelError(f"invalid dwell time: {dwell_s!r}")
+        self.dwell_times_s.append(dwell_s)
+        self.charging_j += cost.model.source_power_w * dwell_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a plain-dict summary (for tables/CSV)."""
+        return {
+            "total_j": self.total_j,
+            "movement_j": self.movement_j,
+            "charging_j": self.charging_j,
+            "tour_length_m": self.tour_length_m,
+            "charging_time_s": self.total_charging_time_s,
+            "stops": float(len(self.dwell_times_s)),
+        }

@@ -1,0 +1,88 @@
+"""The paper's quadratic-attenuation (WISP / Friis) charging model, Eq. 1.
+
+``p_r = alpha / (d + beta)^2 * p_c`` where ``alpha`` bundles the antenna
+gains, wavelength, polarization loss and rectifier efficiency, and
+``beta`` corrects the Friis equation at short range.  The paper's
+simulations use the fit ``alpha = 36``, ``beta = 30`` from Fu et al.
+(INFOCOM 2013) and a WISP charging requirement of 2 J.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import constants
+from ..errors import ModelError
+from .model import ChargingModel
+
+
+class FriisChargingModel(ChargingModel):
+    """Quadratic-attenuation charging (the paper's Eq. 1)."""
+
+    def __init__(self,
+                 alpha: float = constants.ALPHA,
+                 beta: float = constants.BETA,
+                 source_power_w: float = constants.CHARGE_POWER_W) -> None:
+        """Create the model.
+
+        Args:
+            alpha: Friis gain constant (m^2); paper value 36.
+            beta: short-range correction (m); paper value 30.
+            source_power_w: charger radiated power ``p_c`` (W); paper value
+                0.9 J/min = 0.015 W.
+        """
+        super().__init__(source_power_w)
+        if alpha <= 0.0 or not math.isfinite(alpha):
+            raise ModelError(f"invalid alpha: {alpha!r}")
+        if beta <= 0.0 or not math.isfinite(beta):
+            raise ModelError(f"invalid beta: {beta!r}")
+        self.alpha = alpha
+        self.beta = beta
+
+    def received_power(self, distance_m: float) -> float:
+        """Return ``alpha / (d + beta)^2 * p_c``; strictly decreasing in d."""
+        self._check_distance(distance_m)
+        return self.alpha / (distance_m + self.beta) ** 2 * self.source_power_w
+
+    def charge_energy_cost(self, distance_m: float,
+                           energy_j: float) -> float:
+        """Return ``delta * (d + beta)^2 / alpha``.
+
+        For Eq. 1 the charger-side cost is independent of ``p_c``: a larger
+        source power shortens the dwell exactly in proportion.  Overridden
+        here in closed form to avoid the inf/0 dance of the generic path.
+        """
+        self._check_distance(distance_m)
+        if energy_j < 0.0:
+            raise ModelError(f"negative energy request: {energy_j!r}")
+        return energy_j * (distance_m + self.beta) ** 2 / self.alpha
+
+    @classmethod
+    def from_friis_parameters(cls, transmit_gain_dbi: float,
+                              receive_gain_dbi: float,
+                              wavelength_m: float,
+                              rectifier_efficiency: float,
+                              polarization_loss: float,
+                              beta: float,
+                              source_power_w: float) -> "FriisChargingModel":
+        """Build alpha from first principles (Eq. 1's second formula).
+
+        ``alpha = G_s * G_r * eta * (lambda / (4 pi))^2 / L_p`` with gains
+        converted from dBi.  The paper quotes G_s = 8 dBi (WISP reader),
+        G_r = 2 dBi (dipole tag), lambda ~= 0.33 m at 915-925 MHz.
+        """
+        if wavelength_m <= 0.0:
+            raise ModelError(f"invalid wavelength: {wavelength_m!r}")
+        if not 0.0 < rectifier_efficiency <= 1.0:
+            raise ModelError(
+                f"rectifier efficiency must be in (0, 1]: "
+                f"{rectifier_efficiency!r}")
+        if polarization_loss <= 0.0:
+            raise ModelError(
+                f"invalid polarization loss: {polarization_loss!r}")
+        transmit_gain = 10.0 ** (transmit_gain_dbi / 10.0)
+        receive_gain = 10.0 ** (receive_gain_dbi / 10.0)
+        alpha = (transmit_gain * receive_gain * rectifier_efficiency
+                 * (wavelength_m / (4.0 * math.pi)) ** 2
+                 / polarization_loss)
+        return cls(alpha=alpha, beta=beta, source_power_w=source_power_w)

@@ -1,0 +1,77 @@
+"""Alternative charging models.
+
+The paper argues its framework extends to other attenuation laws with
+"minimum modification"; these models make that concrete and power the
+ablation benchmarks:
+
+* :class:`LinearChargingModel` — efficiency decays linearly to a cutoff
+  range (a common simplification in earlier literature).
+* :class:`IdealDiskChargingModel` — full power inside a range, nothing
+  outside.  This is the "charging is instant within proximity" assumption
+  of Qi-Ferry-style work [1, 5], the assumption the paper criticizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ModelError
+from .model import ChargingModel
+
+
+class LinearChargingModel(ChargingModel):
+    """Received power decays linearly from ``peak`` at d=0 to 0 at cutoff."""
+
+    def __init__(self, peak_efficiency: float, cutoff_m: float,
+                 source_power_w: float) -> None:
+        """Create the model.
+
+        Args:
+            peak_efficiency: ``p_r / p_c`` at zero distance, in (0, 1].
+            cutoff_m: distance at which received power reaches zero.
+            source_power_w: charger radiated power in watts.
+        """
+        super().__init__(source_power_w)
+        if not 0.0 < peak_efficiency <= 1.0:
+            raise ModelError(
+                f"peak efficiency must be in (0, 1]: {peak_efficiency!r}")
+        if cutoff_m <= 0.0 or not math.isfinite(cutoff_m):
+            raise ModelError(f"invalid cutoff: {cutoff_m!r}")
+        self.peak_efficiency = peak_efficiency
+        self.cutoff_m = cutoff_m
+
+    def received_power(self, distance_m: float) -> float:
+        """Return linearly decaying power, zero at and beyond the cutoff."""
+        self._check_distance(distance_m)
+        if distance_m >= self.cutoff_m:
+            return 0.0
+        fraction = 1.0 - distance_m / self.cutoff_m
+        return self.peak_efficiency * fraction * self.source_power_w
+
+
+class IdealDiskChargingModel(ChargingModel):
+    """Distance-independent charging inside a hard range (legacy baseline)."""
+
+    def __init__(self, efficiency: float, range_m: float,
+                 source_power_w: float) -> None:
+        """Create the model.
+
+        Args:
+            efficiency: constant ``p_r / p_c`` within range, in (0, 1].
+            range_m: hard charging range in meters.
+            source_power_w: charger radiated power in watts.
+        """
+        super().__init__(source_power_w)
+        if not 0.0 < efficiency <= 1.0:
+            raise ModelError(f"efficiency must be in (0, 1]: {efficiency!r}")
+        if range_m <= 0.0 or not math.isfinite(range_m):
+            raise ModelError(f"invalid range: {range_m!r}")
+        self.efficiency_value = efficiency
+        self.range_m = range_m
+
+    def received_power(self, distance_m: float) -> float:
+        """Return constant power within range, zero outside."""
+        self._check_distance(distance_m)
+        if distance_m > self.range_m:
+            return 0.0
+        return self.efficiency_value * self.source_power_w

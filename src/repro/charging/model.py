@@ -1,0 +1,74 @@
+"""Abstract charging model.
+
+The paper's algorithms only ever ask a charging model two questions:
+
+1. *received power* at a given charger-to-sensor distance, and
+2. *dwell time* needed to deliver a required energy at that distance.
+
+Everything else (Friis constants, harvester curves, cutoffs) is a model
+detail, so alternative hardware plugs in by subclassing
+:class:`ChargingModel` — exactly the extensibility the paper claims for
+Eq. 1 ("our work can extend to other charging models with the minimum
+modification").
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from ..errors import ModelError
+
+
+class ChargingModel(ABC):
+    """Maps charger-sensor distance to received power.
+
+    Attributes:
+        source_power_w: the charger's radiated (source) power ``p_c`` in
+            watts; the charger spends ``p_c * t`` joules to dwell ``t``
+            seconds regardless of how much any sensor harvests.
+    """
+
+    def __init__(self, source_power_w: float) -> None:
+        if source_power_w <= 0.0 or not math.isfinite(source_power_w):
+            raise ModelError(f"invalid source power: {source_power_w!r}")
+        self.source_power_w = source_power_w
+
+    @abstractmethod
+    def received_power(self, distance_m: float) -> float:
+        """Return the power (W) harvested by a sensor ``distance_m`` away."""
+
+    def charge_time(self, distance_m: float, energy_j: float) -> float:
+        """Return the dwell time (s) to deliver ``energy_j`` at a distance.
+
+        Returns ``inf`` when the received power at that distance is zero
+        (e.g. beyond a hard cutoff), so callers can detect infeasibility.
+
+        Raises:
+            ModelError: if ``energy_j`` is negative.
+        """
+        if energy_j < 0.0:
+            raise ModelError(f"negative energy request: {energy_j!r}")
+        if energy_j == 0.0:
+            return 0.0
+        power = self.received_power(distance_m)
+        if power <= 0.0:
+            return math.inf
+        return energy_j / power
+
+    def charge_energy_cost(self, distance_m: float,
+                           energy_j: float) -> float:
+        """Return the *charger-side* energy (J) to deliver ``energy_j``.
+
+        This is ``p_c * charge_time`` — what the objective in Eq. 3 counts.
+        """
+        return self.source_power_w * self.charge_time(distance_m, energy_j)
+
+    def efficiency(self, distance_m: float) -> float:
+        """Return the power-transfer efficiency ``p_r / p_c`` at a distance."""
+        return self.received_power(distance_m) / self.source_power_w
+
+    def _check_distance(self, distance_m: float) -> None:
+        """Validate a distance argument; shared by subclasses."""
+        if distance_m < 0.0 or not math.isfinite(distance_m):
+            raise ModelError(f"invalid distance: {distance_m!r}")

@@ -1,0 +1,98 @@
+"""Simulated Powercast hardware (the paper's Section VII testbed).
+
+The real testbed uses a TX91501 3 W transmitter at 915 MHz on a robot car
+and P2110 Powerharvester receivers.  We do not have that hardware, so this
+module builds the closest synthetic equivalent: a Friis-form front end
+parameterized with the TX91501/P2110 datasheet figures, plus a hard
+sensitivity cutoff (the P2110 stops harvesting below about -11 dBm RF
+input).  The planner code path exercised is *identical* to simulation —
+only the ``ChargingModel`` differs, which is the substitution DESIGN.md
+documents.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import constants
+from ..errors import ModelError
+from .model import ChargingModel
+
+#: Speed of light (m/s) for wavelength computation.
+_SPEED_OF_LIGHT = 299_792_458.0
+
+#: P2110 harvester sensitivity: RF input below this power yields nothing.
+P2110_SENSITIVITY_W = 10.0 ** (-11.0 / 10.0) / 1000.0  # -11 dBm
+
+
+class PowercastChargingModel(ChargingModel):
+    """Friis propagation + P2110 harvester efficiency + sensitivity cutoff.
+
+    ``p_rf(d) = p_c * G_t * G_r * (lambda / (4 pi (d + d0)))^2`` and the
+    harvested power is ``eta * p_rf`` when ``p_rf`` exceeds the harvester
+    sensitivity, else zero.  ``d0`` regularizes the near field the same way
+    the paper's ``beta`` does.
+    """
+
+    def __init__(self,
+                 source_power_w: float = constants.TESTBED_TX_POWER_W,
+                 frequency_hz: float = constants.TESTBED_FREQUENCY_HZ,
+                 transmit_gain_dbi: float = 8.0,
+                 receive_gain_dbi: float = 2.0,
+                 harvester_efficiency: float = 0.55,
+                 near_field_offset_m: float = 0.25,
+                 sensitivity_w: float = P2110_SENSITIVITY_W) -> None:
+        """Create the model from datasheet-style figures.
+
+        Args:
+            source_power_w: TX91501 radiated power (3 W).
+            frequency_hz: carrier frequency (915 MHz).
+            transmit_gain_dbi: transmitter antenna gain.
+            receive_gain_dbi: P2110 patch-antenna gain.
+            harvester_efficiency: RF-to-DC conversion efficiency.
+            near_field_offset_m: near-field regularization distance.
+            sensitivity_w: minimum RF input that produces DC output.
+        """
+        super().__init__(source_power_w)
+        if frequency_hz <= 0.0:
+            raise ModelError(f"invalid frequency: {frequency_hz!r}")
+        if not 0.0 < harvester_efficiency <= 1.0:
+            raise ModelError(
+                f"harvester efficiency must be in (0, 1]: "
+                f"{harvester_efficiency!r}")
+        if near_field_offset_m <= 0.0:
+            raise ModelError(
+                f"invalid near-field offset: {near_field_offset_m!r}")
+        if sensitivity_w < 0.0:
+            raise ModelError(f"invalid sensitivity: {sensitivity_w!r}")
+        self.wavelength_m = _SPEED_OF_LIGHT / frequency_hz
+        self.transmit_gain = 10.0 ** (transmit_gain_dbi / 10.0)
+        self.receive_gain = 10.0 ** (receive_gain_dbi / 10.0)
+        self.harvester_efficiency = harvester_efficiency
+        self.near_field_offset_m = near_field_offset_m
+        self.sensitivity_w = sensitivity_w
+
+    def rf_input_power(self, distance_m: float) -> float:
+        """Return the RF power (W) arriving at the harvester antenna."""
+        self._check_distance(distance_m)
+        path = distance_m + self.near_field_offset_m
+        gain = (self.wavelength_m / (4.0 * math.pi * path)) ** 2
+        return (self.source_power_w * self.transmit_gain
+                * self.receive_gain * gain)
+
+    def received_power(self, distance_m: float) -> float:
+        """Return harvested DC power; zero below the P2110 sensitivity."""
+        rf = self.rf_input_power(distance_m)
+        if rf < self.sensitivity_w:
+            return 0.0
+        return self.harvester_efficiency * rf
+
+    def max_charging_range(self) -> float:
+        """Return the distance at which the sensitivity cutoff is reached."""
+        if self.sensitivity_w == 0.0:
+            return math.inf
+        numerator = (self.source_power_w * self.transmit_gain
+                     * self.receive_gain)
+        path = (self.wavelength_m / (4.0 * math.pi)) * math.sqrt(
+            numerator / self.sensitivity_w)
+        return max(0.0, path - self.near_field_offset_m)

@@ -1,0 +1,91 @@
+"""Command-line interface.
+
+Regenerate any paper figure's data::
+
+    bundle-charging fig12                 # laptop scale (10 seeds)
+    bundle-charging fig13 --fast          # CI scale
+    bundle-charging all --runs 100        # full paper scale
+    bundle-charging fig14 --csv out/      # also dump CSVs
+
+(or ``python -m repro.cli ...`` without installing the entry point.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import (ExperimentConfig, experiment_ids, print_tables,
+                          run_experiment)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="bundle-charging",
+        description="Regenerate the evaluation figures of 'Bundle "
+                    "Charging' (ICDCS 2019).")
+    parser.add_argument(
+        "experiment",
+        choices=experiment_ids() + ["all", "check"],
+        help="which figure to regenerate; 'all' runs everything, "
+             "'check' runs the reproduction-verdict harness")
+    parser.add_argument(
+        "--runs", type=int, default=None,
+        help="random seeds per data point (default 10; paper used 100)")
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="CI scale: fewer seeds, nodes and radii")
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write each table as CSV into DIR")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the base seed")
+    parser.add_argument(
+        "--render", action="store_true",
+        help="for fig10: also draw the example tours as ASCII art")
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Translate CLI flags into an :class:`ExperimentConfig`."""
+    config = (ExperimentConfig.fast() if args.fast
+              else ExperimentConfig.default())
+    if args.runs is not None:
+        config = config.with_runs(args.runs)
+    if args.seed is not None:
+        from dataclasses import replace
+        config = replace(config, base_seed=args.seed)
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    config = make_config(args)
+    if args.experiment == "check":
+        from .experiments import render_findings, \
+            run_reproduction_check
+        findings = run_reproduction_check(config)
+        print(render_findings(findings))
+        return 0 if all(f.passed for f in findings) else 1
+    targets = (experiment_ids() if args.experiment == "all"
+               else [args.experiment])
+    for experiment_id in targets:
+        started = time.perf_counter()
+        tables = run_experiment(experiment_id, config)
+        elapsed = time.perf_counter() - started
+        print_tables(tables, csv_dir=args.csv)
+        if args.render and experiment_id == "fig10":
+            from .experiments.fig10_examples import render_examples
+            print()
+            print(render_examples(config))
+        print(f"[{experiment_id} finished in {elapsed:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

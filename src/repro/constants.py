@@ -1,0 +1,70 @@
+"""Paper constants for the ICDCS 2019 bundle-charging evaluation.
+
+All values come from Section VI-A (simulation) and Section VII (testbed)
+of the paper; the sources cited there are Fu et al. (INFOCOM 2013) for the
+charging-model fit and Wang et al. (SECON 2014) for the movement cost.
+"""
+
+from __future__ import annotations
+
+# --- Charging model (Eq. 1), fitted constants from [3]'s experiments -----
+
+#: Friis-form gain constant ``alpha`` in ``p_r = alpha / (d + beta)^2 * p_c``.
+ALPHA = 36.0
+
+#: Short-distance correction ``beta`` (meters) in Eq. 1.
+BETA = 30.0
+
+# --- Energy budget --------------------------------------------------------
+
+#: Per-sensor charging requirement ``delta`` in joules ("charging capacity
+#: is 2 J, also drawn from [3]").
+DELTA_J = 2.0
+
+#: Mobile-charger movement cost in joules per meter (from [4]).
+MOVE_COST_J_PER_M = 5.59
+
+#: Charger power draw while radiating, in watts.  The paper states
+#: "0.9 J/min (5 mA x 3 V x 60 s)" = 0.015 W.
+CHARGE_POWER_W = 0.9 / 60.0
+
+# --- Simulation field ------------------------------------------------------
+
+#: Side length of the square deployment field, meters.
+FIELD_SIDE_M = 1000.0
+
+#: Node counts evaluated in the paper ("number of nodes ... is 40 to 200").
+NODE_COUNTS = (40, 80, 120, 160, 200)
+
+#: Bundle radii swept in Figs. 12 and 14 (meters).
+BUNDLE_RADII_M = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0)
+
+#: Number of random seeds averaged per data point in the paper (100 runs).
+PAPER_RUNS = 100
+
+# --- Testbed (Section VII) -------------------------------------------------
+
+#: Powercast TX91501 transmit power, watts.
+TESTBED_TX_POWER_W = 3.0
+
+#: Testbed charging frequency, Hz (915 MHz => wavelength ~0.33 m).
+TESTBED_FREQUENCY_HZ = 915e6
+
+#: Testbed robot-car speed, m/s.
+TESTBED_SPEED_M_PER_S = 0.3
+
+#: Testbed per-sensor energy requirement, joules (4 mJ from [38]).
+TESTBED_DELTA_J = 4e-3
+
+#: Testbed room side length, meters (5 m x 5 m office area).
+TESTBED_SIDE_M = 5.0
+
+#: The six sensor coordinates of the paper's testbed (Section VII).
+TESTBED_SENSORS = (
+    (1.0, 1.0),
+    (1.0, 3.0),
+    (1.0, 4.0),
+    (2.0, 4.0),
+    (4.0, 4.0),
+    (4.0, 1.0),
+)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the bundle-charging library.
+
+Every error raised on purpose by this package derives from
+:class:`BundleChargingError`, so callers can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class BundleChargingError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(BundleChargingError):
+    """Raised for invalid geometric inputs (degenerate disks, bad radii)."""
+
+
+class ModelError(BundleChargingError):
+    """Raised for invalid charging-model parameters or queries."""
+
+
+class DeploymentError(BundleChargingError):
+    """Raised when a sensor deployment cannot be generated as requested."""
+
+
+class BundlingError(BundleChargingError):
+    """Raised when bundle generation fails or is given invalid input."""
+
+
+class CoverageError(BundlingError):
+    """Raised when a bundle set does not cover every sensor it must cover."""
+
+
+class TourError(BundleChargingError):
+    """Raised for invalid tours (wrong permutation, unknown stop index)."""
+
+
+class PlanError(BundleChargingError):
+    """Raised when a charging plan is internally inconsistent."""
+
+
+class SimulationError(BundleChargingError):
+    """Raised by the discrete-event simulator on invalid schedules."""
+
+
+class ExperimentError(BundleChargingError):
+    """Raised by the experiment harness for unknown or bad configs."""
+
+
+class ValidationError(BundleChargingError):
+    """Raised when a produced plan violates the charging constraint."""

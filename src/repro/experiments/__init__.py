@@ -1,0 +1,88 @@
+"""Experiment harness: one module per data figure of the paper.
+
+``EXPERIMENTS`` maps experiment ids (``fig06`` .. ``fig16``) to their
+modules; each module exposes ``run(config) -> [ResultTable]`` and a
+printing ``main``.  The CLI (:mod:`repro.cli`) is a thin wrapper over
+this registry.
+"""
+
+from types import ModuleType
+from typing import Dict, List
+
+from ..errors import ExperimentError
+from . import (ext_deployments, ext_dwell, ext_fleet, ext_interference,
+               ext_latency, ext_lifetime, ext_robustness,
+               fig06_tradeoff, fig10_examples, fig11_bundles,
+               fig12_radius, fig13_nodes, fig14_optimal_radius,
+               fig16_testbed)
+from .aggregate import CellStats, aggregate_rows, mean_std
+from .config import ExperimentConfig
+from .expectations import (EXPECTATIONS, Finding, render_findings,
+                           run_reproduction_check)
+from .runner import run_algorithms_once, run_averaged
+from .stats import (TTestResult, paired_t_test, student_t_sf,
+                    welch_t_test)
+from .tables import ResultTable, print_tables, render_tables
+
+#: Paper figures first (ids match the paper), extensions after.
+EXPERIMENTS: Dict[str, ModuleType] = {
+    "fig06": fig06_tradeoff,
+    "fig10": fig10_examples,
+    "fig11": fig11_bundles,
+    "fig12": fig12_radius,
+    "fig13": fig13_nodes,
+    "fig14": fig14_optimal_radius,
+    "fig16": fig16_testbed,
+    "extDwell": ext_dwell,
+    "extDeploy": ext_deployments,
+    "extFleet": ext_fleet,
+    "extLifetime": ext_lifetime,
+    "extLatency": ext_latency,
+    "extRobust": ext_robustness,
+    "extConcur": ext_interference,
+}
+
+
+def experiment_ids() -> List[str]:
+    """Return all experiment ids, in figure order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str,
+                   config: ExperimentConfig) -> List[ResultTable]:
+    """Run one experiment by id.
+
+    Raises:
+        ExperimentError: for an unknown id.
+    """
+    try:
+        module = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{experiment_ids()}") from None
+    return module.run(config)
+
+
+__all__ = [
+    "CellStats",
+    "EXPECTATIONS",
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "Finding",
+    "ResultTable",
+    "TTestResult",
+    "aggregate_rows",
+    "paired_t_test",
+    "student_t_sf",
+    "welch_t_test",
+    "experiment_ids",
+    "mean_std",
+    "print_tables",
+    "render_findings",
+    "render_tables",
+    "run_algorithms_once",
+    "run_averaged",
+    "run_experiment",
+    "run_reproduction_check",
+]

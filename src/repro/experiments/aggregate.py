@@ -1,0 +1,83 @@
+"""Statistical aggregation over repeated runs.
+
+The paper averages each data point over 100 random seeds; these helpers
+collect per-run metric dictionaries and reduce them to mean/std cells.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Mean and spread of one metric over repeated runs.
+
+    Attributes:
+        mean: arithmetic mean.
+        std: sample standard deviation (0 for a single run).
+        count: number of runs aggregated.
+    """
+
+    mean: float
+    std: float
+    count: int
+
+    def __str__(self) -> str:
+        if self.count <= 1:
+            return f"{self.mean:.4g}"
+        return f"{self.mean:.4g}±{self.std:.2g}"
+
+
+def mean_std(values: Sequence[float]) -> CellStats:
+    """Reduce raw values to a :class:`CellStats`.
+
+    Raises:
+        ExperimentError: on an empty sequence.
+    """
+    if not values:
+        raise ExperimentError("cannot aggregate zero runs")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return CellStats(mean, 0.0, 1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return CellStats(mean, math.sqrt(variance), n)
+
+
+def aggregate_rows(rows: Iterable[Mapping[str, float]]
+                   ) -> Dict[str, CellStats]:
+    """Aggregate metric dictionaries key-by-key.
+
+    All rows must share the same keys.
+
+    Raises:
+        ExperimentError: on no rows or on mismatched keys.
+    """
+    collected: Dict[str, List[float]] = {}
+    count = 0
+    for row in rows:
+        count += 1
+        if not collected:
+            collected = {key: [value] for key, value in row.items()}
+            continue
+        if set(row) != set(collected):
+            raise ExperimentError(
+                f"run metric keys diverge: {sorted(row)} vs "
+                f"{sorted(collected)}")
+        for key, value in row.items():
+            collected[key].append(value)
+    if count == 0:
+        raise ExperimentError("cannot aggregate zero runs")
+    return {key: mean_std(values) for key, values in collected.items()}
+
+
+def ratio(numerator: CellStats, denominator: CellStats) -> float:
+    """Return the ratio of two cell means (guarding zero denominators)."""
+    if denominator.mean == 0.0:
+        return math.inf if numerator.mean > 0.0 else 1.0
+    return numerator.mean / denominator.mean

@@ -1,0 +1,80 @@
+"""Experiment configuration.
+
+One dataclass holds everything a paper-figure run needs: the paper's
+full-scale parameters are the defaults, and :meth:`ExperimentConfig.fast`
+returns a scaled-down variant for CI/benchmarks (fewer seeds, fewer
+nodes) that preserves every qualitative shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .. import constants
+from ..charging import CostParameters
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared experiment knobs.
+
+    Attributes:
+        runs: random seeds averaged per data point (paper: 100).
+        node_count: default sensor count for radius sweeps (paper: 100).
+        node_counts: sweep values for density experiments (paper: 40-200).
+        radii: bundle-radius sweep values (paper: 5-40 m).
+        default_radius: radius used by node-count sweeps.
+        field_side_m: deployment field side.
+        tsp_strategy: TSP pipeline name for all planners.
+        base_seed: root of the per-run seed derivation.
+    """
+
+    runs: int = 10
+    node_count: int = 100
+    node_counts: Tuple[int, ...] = constants.NODE_COUNTS
+    radii: Tuple[float, ...] = constants.BUNDLE_RADII_M
+    default_radius: float = 20.0
+    field_side_m: float = constants.FIELD_SIDE_M
+    tsp_strategy: str = "nn+2opt"
+    base_seed: int = 20190707  # ICDCS 2019 presentation week
+
+    def __post_init__(self) -> None:
+        if self.runs <= 0:
+            raise ExperimentError(f"runs must be positive: {self.runs!r}")
+        if self.node_count <= 0:
+            raise ExperimentError(
+                f"node_count must be positive: {self.node_count!r}")
+        if not self.radii:
+            raise ExperimentError("need at least one radius")
+        if not self.node_counts:
+            raise ExperimentError("need at least one node count")
+
+    def cost(self) -> CostParameters:
+        """Return the paper's cost parameters (fresh instance)."""
+        return CostParameters.paper_defaults()
+
+    @staticmethod
+    def paper() -> "ExperimentConfig":
+        """Full paper scale: 100 runs per point (slow!)."""
+        return ExperimentConfig(runs=constants.PAPER_RUNS)
+
+    @staticmethod
+    def default() -> "ExperimentConfig":
+        """Laptop scale: 10 runs per point."""
+        return ExperimentConfig()
+
+    @staticmethod
+    def fast() -> "ExperimentConfig":
+        """CI/benchmark scale: tiny but shape-preserving."""
+        return ExperimentConfig(
+            runs=2,
+            node_count=60,
+            node_counts=(40, 80, 120),
+            radii=(10.0, 20.0, 30.0, 40.0),
+        )
+
+    def with_runs(self, runs: int) -> "ExperimentConfig":
+        """Return a copy with a different run count."""
+        return replace(self, runs=runs)

@@ -1,0 +1,207 @@
+"""Encoded paper expectations and the reproduction-verdict harness.
+
+EXPERIMENTS.md records shapes we claim to reproduce; this module makes
+those claims *executable*: each figure gets a list of named predicates
+over its regenerated tables, and :func:`run_reproduction_check` runs
+every figure and returns a pass/fail scoreboard.  ``bundle-charging
+check`` prints it.
+
+Checks are deliberately shape-level (orderings, monotonicity, signs) so
+they hold at reduced seed counts; magnitude comparisons live in
+EXPERIMENTS.md prose where the caveats can live next to them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+Checker = Callable[[Sequence[ResultTable]], bool]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One expectation's verdict.
+
+    Attributes:
+        experiment_id: which figure the check belongs to.
+        claim: the paper claim being checked.
+        passed: the verdict.
+    """
+
+    experiment_id: str
+    claim: str
+    passed: bool
+
+
+def _non_increasing(values: Sequence[float], slack: float = 0.0) -> bool:
+    return all(b <= a + slack for a, b in zip(values, values[1:]))
+
+
+def _check_fig06(tables: Sequence[ResultTable]) -> List[Finding]:
+    trade, energy = tables
+    tour = trade.mean_of("tour_length_km")
+    time = trade.mean_of("charging_time_ks")
+    bundles = trade.mean_of("bundles")
+    return [
+        Finding("fig06", "tour length decreases with bundle radius",
+                tour[-1] < tour[0]),
+        Finding("fig06", "total charging time increases with radius",
+                time[-1] > time[0]),
+        Finding("fig06", "bundle count decreases with radius",
+                _non_increasing(bundles, slack=1e-9)),
+        Finding("fig06", "ledger decomposes (move + charge = total)",
+                all(abs(row["total_kj"].mean - row["movement_kj"].mean
+                        - row["charging_kj"].mean) < 1e-6
+                    for row in energy.rows)),
+    ]
+
+
+def _check_fig10(tables: Sequence[ResultTable]) -> List[Finding]:
+    (table,) = tables
+    bundles = table.mean_of("bundles")
+    bc = table.mean_of("bc_total_kj")
+    opt = table.mean_of("bcopt_total_kj")
+    return [
+        Finding("fig10", "larger example radius -> fewer bundles",
+                _non_increasing(bundles, slack=1e-9)),
+        Finding("fig10", "BC-OPT tour never costs more than BC",
+                all(o <= b + 1e-6 for b, o in zip(bc, opt))),
+    ]
+
+
+def _check_fig11(tables: Sequence[ResultTable]) -> List[Finding]:
+    findings = []
+    for table in tables:
+        grid = table.mean_of("grid")
+        greedy = table.mean_of("greedy")
+        optimal = table.mean_of("optimal")
+        findings.append(Finding(
+            "fig11", f"greedy never needs more bundles than grid "
+                     f"({table.title.split(':')[0]})",
+            all(gr <= g + 1e-9 for g, gr in zip(grid, greedy))))
+        findings.append(Finding(
+            "fig11", f"greedy within the exact optimum's ballpark "
+                     f"({table.title.split(':')[0]})",
+            all(math.isnan(o) or gr <= o * 1.05 + 0.5
+                for gr, o in zip(greedy, optimal))))
+    return findings
+
+
+def _check_fig12(tables: Sequence[ResultTable]) -> List[Finding]:
+    energy, tour, charge_time = tables
+    sc = energy.mean_of("SC")
+    bc = energy.mean_of("BC")
+    opt = energy.mean_of("BC-OPT")
+    sc_time = charge_time.mean_of("SC")
+    css_time = charge_time.mean_of("CSS")
+    return [
+        Finding("fig12", "SC energy is radius-independent (flat)",
+                max(sc) - min(sc) < 0.05 * max(sc)),
+        Finding("fig12", "BC-OPT beats BC at every radius",
+                all(o <= b + 1e-6 for b, o in zip(bc, opt))),
+        Finding("fig12", "BC-OPT beats SC at the largest radius",
+                opt[-1] < sc[-1]),
+        Finding("fig12", "bundle algorithms shorten the SC tour",
+                tour.mean_of("BC-OPT")[-1] < tour.mean_of("SC")[-1]),
+        Finding("fig12", "SC per-sensor charging time constant",
+                max(sc_time) - min(sc_time) < 1e-6),
+        Finding("fig12", "CSS charging time above SC and growing",
+                css_time[-1] > css_time[0]
+                and all(c >= s - 1e-9
+                        for c, s in zip(css_time, sc_time))),
+    ]
+
+
+def _check_fig13(tables: Sequence[ResultTable]) -> List[Finding]:
+    energy = tables[0]
+    sc = energy.mean_of("SC")
+    bc = energy.mean_of("BC")
+    opt = energy.mean_of("BC-OPT")
+    gain_sparse = 1.0 - bc[0] / sc[0]
+    gain_dense = 1.0 - bc[-1] / sc[-1]
+    return [
+        Finding("fig13", "energy grows with network density",
+                sc[-1] > sc[0] and opt[-1] > opt[0]),
+        Finding("fig13", "BC-OPT is the cheapest at every density",
+                all(o <= min(s, b) + 1e-6
+                    for s, b, o in zip(sc, bc, opt))),
+        Finding("fig13", "BC's gain over SC grows with density",
+                gain_dense >= gain_sparse - 0.02),
+    ]
+
+
+def _check_fig14(tables: Sequence[ResultTable]) -> List[Finding]:
+    decomposition, totals = tables
+    movement = decomposition.mean_of("movement_kj")
+    charging = decomposition.mean_of("charging_kj")
+    gains = totals.mean_of("bcopt_gain_pct")
+    return [
+        Finding("fig14", "movement energy falls with radius",
+                movement[-1] < movement[0]),
+        Finding("fig14", "charging energy rises with radius",
+                charging[-1] > charging[0]),
+        Finding("fig14", "BC-OPT gain over BC is never negative",
+                all(g >= -1e-6 for g in gains)),
+    ]
+
+
+def _check_fig16(tables: Sequence[ResultTable]) -> List[Finding]:
+    energy, tour = tables
+    radii = energy.mean_of("radius_m")
+    bc_saving = energy.mean_of("bc_saving_pct")
+    opt_saving = energy.mean_of("bcopt_saving_pct")
+    at_min = 0
+    at_12 = radii.index(1.2) if 1.2 in radii else len(radii) // 2
+    return [
+        Finding("fig16", "BC equals SC at a tiny radius",
+                abs(bc_saving[at_min]) < 1e-6),
+        Finding("fig16", "BC saves energy at r = 1.2 m",
+                bc_saving[at_12] > 0.0),
+        Finding("fig16", "BC-OPT saves more than BC at r = 1.2 m",
+                opt_saving[at_12] > bc_saving[at_12]),
+        Finding("fig16", "BC-OPT tour >= 20% shorter than SC",
+                tour.mean_of("BC-OPT")[at_12]
+                < 0.8 * tour.mean_of("SC")[at_12]),
+    ]
+
+
+EXPECTATIONS: Dict[str, Callable[[Sequence[ResultTable]],
+                                 List[Finding]]] = {
+    "fig06": _check_fig06,
+    "fig10": _check_fig10,
+    "fig11": _check_fig11,
+    "fig12": _check_fig12,
+    "fig13": _check_fig13,
+    "fig14": _check_fig14,
+    "fig16": _check_fig16,
+}
+
+
+def run_reproduction_check(config: ExperimentConfig
+                           ) -> List[Finding]:
+    """Regenerate every paper figure and evaluate its expectations."""
+    from . import run_experiment
+
+    findings: List[Finding] = []
+    for experiment_id, checker in EXPECTATIONS.items():
+        tables = run_experiment(experiment_id, config)
+        findings.extend(checker(tables))
+    return findings
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """Return the scoreboard as text."""
+    lines = ["== Reproduction check =="]
+    passed = 0
+    for finding in findings:
+        mark = "PASS" if finding.passed else "FAIL"
+        passed += finding.passed
+        lines.append(f"  [{mark}] {finding.experiment_id}: "
+                     f"{finding.claim}")
+    lines.append(f"{passed}/{len(findings)} expectations hold")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""extDeploy — bundle charging across deployment structures (beyond the
+paper).
+
+The paper's motivation is *dense* deployments (jungles, smart dust);
+its simulations only use uniform fields.  This experiment quantifies
+how much more bundle charging pays when the density claim actually
+holds: uniform vs Gaussian-clustered vs jittered-lattice deployments at
+equal sensor counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from ..network import (SensorNetwork, clustered_deployment, derive_seed,
+                       grid_deployment, uniform_deployment)
+from ..planners import make_planner
+from ..tour import evaluate_plan
+from .aggregate import mean_std
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+EXPERIMENT_ID = "extDeploy"
+
+DeploymentFactory = Callable[[int, int, float], SensorNetwork]
+
+
+def _uniform(count: int, seed: int, side: float) -> SensorNetwork:
+    return uniform_deployment(count, seed, field_side_m=side)
+
+
+def _clustered(count: int, seed: int, side: float) -> SensorNetwork:
+    return clustered_deployment(count, seed, clusters=6, spread_m=40.0,
+                                field_side_m=side)
+
+
+def _lattice(count: int, seed: int, side: float) -> SensorNetwork:
+    edge = max(2, round(math.sqrt(count)))
+    return grid_deployment(rows=edge, cols=edge, field_side_m=side,
+                           jitter_m=20.0, seed=seed)
+
+
+DEPLOYMENTS: Dict[str, DeploymentFactory] = {
+    "uniform": _uniform,
+    "clustered": _clustered,
+    "lattice": _lattice,
+}
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate the deployment-structure table."""
+    radius = config.default_radius
+    cost = config.cost()
+    table = ResultTable(
+        f"extDeploy: BC-OPT savings over SC by deployment structure "
+        f"(radius {radius:.0f} m)",
+        ["deployment", "nodes", "sc_kj", "bcopt_kj", "saving_pct",
+         "bundles"])
+
+    for label, factory in DEPLOYMENTS.items():
+        sc_totals = []
+        opt_totals = []
+        bundle_counts = []
+        nodes_used = config.node_count
+        for run_index in range(config.runs):
+            seed = derive_seed(config.base_seed, EXPERIMENT_ID, label,
+                               run_index)
+            network = factory(config.node_count, seed,
+                              config.field_side_m)
+            nodes_used = len(network)
+            sc_plan = make_planner(
+                "SC", radius,
+                tsp_strategy=config.tsp_strategy).plan(network, cost)
+            opt_plan = make_planner(
+                "BC-OPT", radius,
+                tsp_strategy=config.tsp_strategy).plan(network, cost)
+            sc_totals.append(evaluate_plan(
+                sc_plan, network.locations, cost).total_j / 1000.0)
+            opt_totals.append(evaluate_plan(
+                opt_plan, network.locations, cost).total_j / 1000.0)
+            bundle_counts.append(float(len(opt_plan)))
+        sc_cell = mean_std(sc_totals)
+        opt_cell = mean_std(opt_totals)
+        saving = 100.0 * (1.0 - opt_cell.mean / sc_cell.mean)
+        table.add_row(deployment=label, nodes=nodes_used,
+                      sc_kj=sc_cell, bcopt_kj=opt_cell,
+                      saving_pct=saving,
+                      bundles=mean_std(bundle_counts))
+    return [table]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

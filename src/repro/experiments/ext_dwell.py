@@ -1,0 +1,67 @@
+"""extDwell — the Eq. 3 accounting ablation (beyond the paper).
+
+Runs BC under both dwell accountings across a wide radius ladder:
+
+* ``simultaneous`` (the paper's Fig. 1 rule, our default) — one-to-many
+  dwell sized by the farthest bundle member;
+* ``sequential`` — dwell is the sum of per-member charge times.
+
+The sequential column reproduces the interior optimal radius of the
+paper's Figs. 6(b)/14(b); the simultaneous column is monotone over the
+same range.  See EXPERIMENTS.md, "Accounting note".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..charging import CostParameters, FriisChargingModel
+from ..network import derive_seed, uniform_deployment
+from ..planners import BundleChargingPlanner
+from ..tour import evaluate_plan
+from .aggregate import mean_std
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+EXPERIMENT_ID = "extDwell"
+
+#: Wide ladder so both the paper's range and the far side are visible.
+RADII = (2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0)
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate the accounting-ablation table."""
+    policies = {
+        "simultaneous": CostParameters(model=FriisChargingModel()),
+        "sequential": CostParameters(model=FriisChargingModel(),
+                                     dwell_policy="sequential"),
+    }
+    table = ResultTable(
+        "extDwell: BC total energy (kJ) under both Eq. 3 accountings",
+        ["radius_m", "simultaneous", "sequential"])
+    for radius in RADII:
+        cells = {}
+        for label, cost in policies.items():
+            totals = []
+            for run_index in range(config.runs):
+                seed = derive_seed(config.base_seed, EXPERIMENT_ID,
+                                   radius, run_index)
+                network = uniform_deployment(
+                    config.node_count, seed,
+                    field_side_m=config.field_side_m)
+                plan = BundleChargingPlanner(
+                    radius,
+                    tsp_strategy=config.tsp_strategy).plan(network, cost)
+                metrics = evaluate_plan(plan, network.locations, cost)
+                totals.append(metrics.total_j / 1000.0)
+            cells[label] = mean_std(totals)
+        table.add_row(radius_m=radius, **cells)
+    return [table]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

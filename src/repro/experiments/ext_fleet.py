@@ -1,0 +1,72 @@
+"""extFleet — multi-charger makespan scaling (beyond the paper).
+
+Splits the BC-OPT mission across k = 1..8 chargers (contiguous-cut
+m-TSP, :func:`repro.fleet.split_plan`) and reports makespan, speedup
+and the energy overhead of the extra depot legs — the deployment
+question the paper's refs [26, 27] motivate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..fleet import split_plan
+from ..network import derive_seed, uniform_deployment
+from ..planners import BundleChargingOptPlanner
+from .aggregate import mean_std
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+EXPERIMENT_ID = "extFleet"
+
+FLEET_SIZES = (1, 2, 3, 4, 6, 8)
+
+#: Charger ground speed for the makespan accounting (m/s).
+SPEED_M_PER_S = 1.0
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate the fleet-scaling table."""
+    radius = config.default_radius
+    cost = config.cost()
+    table = ResultTable(
+        f"extFleet: BC-OPT mission split over k chargers "
+        f"({config.node_count} nodes, radius {radius:.0f} m)",
+        ["chargers", "makespan_h", "speedup", "energy_kj",
+         "overhead_pct"])
+
+    per_k = {k: {"makespan": [], "energy": []} for k in FLEET_SIZES}
+    for run_index in range(config.runs):
+        seed = derive_seed(config.base_seed, EXPERIMENT_ID, run_index)
+        network = uniform_deployment(config.node_count, seed,
+                                     field_side_m=config.field_side_m)
+        plan = BundleChargingOptPlanner(
+            radius, tsp_strategy=config.tsp_strategy).plan(network,
+                                                           cost)
+        for k in FLEET_SIZES:
+            fleet = split_plan(plan, k, cost,
+                               speed_m_per_s=SPEED_M_PER_S)
+            per_k[k]["makespan"].append(fleet.makespan_s / 3600.0)
+            per_k[k]["energy"].append(fleet.total_energy_j / 1000.0)
+
+    base_makespan = mean_std(per_k[1]["makespan"]).mean
+    base_energy = mean_std(per_k[1]["energy"]).mean
+    for k in FLEET_SIZES:
+        makespan = mean_std(per_k[k]["makespan"])
+        energy = mean_std(per_k[k]["energy"])
+        speedup = (base_makespan / makespan.mean
+                   if makespan.mean > 0 else 1.0)
+        overhead = 100.0 * (energy.mean / base_energy - 1.0) \
+            if base_energy > 0 else 0.0
+        table.add_row(chargers=k, makespan_h=makespan,
+                      speedup=speedup, energy_kj=energy,
+                      overhead_pct=overhead)
+    return [table]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

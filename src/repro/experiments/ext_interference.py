@@ -1,0 +1,76 @@
+"""extConcur — interference-limited concurrent charging (beyond the
+paper).
+
+If a fleet could park one charger at every BC stop and radiate
+simultaneously, the charging wall-clock would collapse — except that
+concurrent transmissions interfere (the paper's refs [14, 38]).  This
+experiment sweeps the interference distance and reports the
+conflict-free concurrency schedule's dwell speedup and round count,
+with and without a fleet-size cap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..fleet import concurrent_schedule
+from ..network import derive_seed, uniform_deployment
+from ..planners import BundleChargingPlanner
+from .aggregate import mean_std
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+EXPERIMENT_ID = "extConcur"
+
+#: Interference distances swept (meters).
+INTERFERENCE_DISTANCES = (25.0, 50.0, 100.0, 200.0, 400.0)
+
+#: Fleet-size cap for the capped column.
+FLEET_CAP = 8
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate the concurrency table."""
+    radius = config.default_radius
+    cost = config.cost()
+    table = ResultTable(
+        f"extConcur: concurrent-dwell speedup vs interference distance "
+        f"({config.node_count} nodes, radius {radius:.0f} m)",
+        ["interference_m", "rounds", "speedup",
+         f"speedup_cap{FLEET_CAP}"])
+
+    per_distance = {d: {"rounds": [], "speedup": [], "capped": []}
+                    for d in INTERFERENCE_DISTANCES}
+    for run_index in range(config.runs):
+        seed = derive_seed(config.base_seed, EXPERIMENT_ID, run_index)
+        network = uniform_deployment(config.node_count, seed,
+                                     field_side_m=config.field_side_m)
+        plan = BundleChargingPlanner(
+            radius, tsp_strategy=config.tsp_strategy).plan(network,
+                                                           cost)
+        for distance in INTERFERENCE_DISTANCES:
+            free = concurrent_schedule(plan, distance)
+            capped = concurrent_schedule(plan, distance,
+                                         max_concurrent=FLEET_CAP)
+            per_distance[distance]["rounds"].append(
+                float(free.rounds_used))
+            per_distance[distance]["speedup"].append(free.speedup)
+            per_distance[distance]["capped"].append(capped.speedup)
+
+    for distance in INTERFERENCE_DISTANCES:
+        data = per_distance[distance]
+        table.add_row(
+            interference_m=distance,
+            rounds=mean_std(data["rounds"]),
+            speedup=mean_std(data["speedup"]),
+            **{f"speedup_cap{FLEET_CAP}": mean_std(data["capped"])},
+        )
+    return [table]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

@@ -1,0 +1,79 @@
+"""extLatency — the energy/latency trade the paper discusses vs [3].
+
+The paper minimizes energy; Fu et al. [3] minimize charging latency on
+the same physics.  This experiment scores every planner on *both*
+objectives, and measures how much the minimum-latency reordering
+(:func:`repro.tour.reorder_for_latency`) buys each plan — latency falls
+while the energy changes by the reordering's tour-length delta.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..network import derive_seed, uniform_deployment
+from ..planners import PAPER_ALGORITHMS, make_planner
+from ..tour import evaluate_plan, latency_metrics, reorder_for_latency
+from .aggregate import mean_std
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+EXPERIMENT_ID = "extLatency"
+
+#: Charger ground speed for the latency accounting (m/s).
+SPEED_M_PER_S = 1.0
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate the energy/latency scoreboard."""
+    radius = config.default_radius
+    cost = config.cost()
+    table = ResultTable(
+        f"extLatency: energy vs mean charging latency "
+        f"({config.node_count} nodes, radius {radius:.0f} m, "
+        f"{SPEED_M_PER_S:.0f} m/s)",
+        ["planner", "energy_kj", "mean_latency_h", "max_latency_h",
+         "latency_gain_pct"])
+
+    for name in PAPER_ALGORITHMS:
+        energy = []
+        mean_latency = []
+        max_latency = []
+        gains = []
+        for run_index in range(config.runs):
+            seed = derive_seed(config.base_seed, EXPERIMENT_ID, name,
+                               run_index)
+            network = uniform_deployment(
+                config.node_count, seed,
+                field_side_m=config.field_side_m)
+            plan = make_planner(
+                name, radius,
+                tsp_strategy=config.tsp_strategy).plan(network, cost)
+            metrics = evaluate_plan(plan, network.locations, cost)
+            latencies = latency_metrics(plan, SPEED_M_PER_S)
+            reordered = reorder_for_latency(plan, SPEED_M_PER_S)
+            after = latency_metrics(reordered, SPEED_M_PER_S)
+            energy.append(metrics.total_j / 1000.0)
+            mean_latency.append(latencies.mean_s / 3600.0)
+            max_latency.append(latencies.max_s / 3600.0)
+            if latencies.mean_s > 0.0:
+                gains.append(100.0 * (1.0 - after.mean_s
+                                      / latencies.mean_s))
+            else:
+                gains.append(0.0)
+        table.add_row(
+            planner=name,
+            energy_kj=mean_std(energy),
+            mean_latency_h=mean_std(mean_latency),
+            max_latency_h=mean_std(max_latency),
+            latency_gain_pct=mean_std(gains),
+        )
+    return [table]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

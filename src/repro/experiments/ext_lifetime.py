@@ -1,0 +1,81 @@
+"""extLifetime — long-horizon operation per planner (beyond the paper).
+
+Runs the drain/trigger/recharge loop for 30 simulated days under each
+planner and reports rounds, charger energy per day, and availability —
+the operational comparison the paper's single-mission metrics imply but
+never run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lifetime import ConstantDrain, LifetimeSimulator
+from ..network import derive_seed, uniform_deployment
+from ..planners import PAPER_ALGORITHMS, make_planner
+from .aggregate import mean_std
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+EXPERIMENT_ID = "extLifetime"
+
+HORIZON_S = 30 * 86_400.0
+DRAIN_RATE_W = 5e-6
+BATTERY_J = 2.0
+TRIGGER_J = 0.5
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate the lifetime comparison table."""
+    radius = config.default_radius
+    node_count = min(config.node_count, 60)  # lifetime runs are heavy
+    trigger_count = max(1, node_count // 8)
+    table = ResultTable(
+        f"extLifetime: 30-day operation ({node_count} nodes, radius "
+        f"{radius:.0f} m, {DRAIN_RATE_W * 1e6:.0f} uW drain)",
+        ["planner", "rounds", "energy_per_day_kj", "availability_pct",
+         "min_battery_j"])
+
+    for name in PAPER_ALGORITHMS:
+        rounds = []
+        energy = []
+        availability = []
+        min_battery = []
+        for run_index in range(config.runs):
+            seed = derive_seed(config.base_seed, EXPERIMENT_ID, name,
+                               run_index)
+            network = uniform_deployment(
+                node_count, seed, field_side_m=config.field_side_m)
+            simulator = LifetimeSimulator(
+                network=network,
+                planner=make_planner(name, radius,
+                                     tsp_strategy=config.tsp_strategy),
+                cost=config.cost(),
+                consumption=ConstantDrain(
+                    rate_w=DRAIN_RATE_W, spread=0.3,
+                    sensor_count=node_count, seed=seed),
+                battery_capacity_j=BATTERY_J,
+                trigger_threshold_j=TRIGGER_J,
+                trigger_count=trigger_count,
+            )
+            result = simulator.run(horizon_s=HORIZON_S)
+            rounds.append(float(result.round_count))
+            energy.append(result.energy_per_day_j / 1000.0)
+            availability.append(100.0 * result.availability)
+            min_battery.append(result.min_battery_j)
+        table.add_row(
+            planner=name,
+            rounds=mean_std(rounds),
+            energy_per_day_kj=mean_std(energy),
+            availability_pct=mean_std(availability),
+            min_battery_j=mean_std(min_battery),
+        )
+    return [table]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

@@ -1,0 +1,59 @@
+"""Fig. 6 — the bundle-charging trade-off (Section IV-C).
+
+Sweep the bundle radius with the BC planner and report:
+
+* (a) trajectory length (decreasing in r) and total charging time
+  (increasing in r);
+* (b) total energy, which is U-shaped with an interior optimal radius.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..planners import PAPER_ALGORITHMS
+from .config import ExperimentConfig
+from .runner import kilo, run_averaged
+from .tables import ResultTable
+
+EXPERIMENT_ID = "fig06"
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate both panels of Fig. 6 as tables."""
+    table_a = ResultTable(
+        "Fig. 6(a): BC trade-off — tour length and charging time vs "
+        "bundle radius",
+        ["radius_m", "bundles", "tour_length_km", "charging_time_ks"])
+    table_b = ResultTable(
+        "Fig. 6(b): BC total energy vs bundle radius (U-shaped)",
+        ["radius_m", "movement_kj", "charging_kj", "total_kj"])
+
+    for radius in config.radii:
+        aggregated = run_averaged(config, config.node_count, radius,
+                                  ["BC"], EXPERIMENT_ID)
+        row = aggregated["BC"]
+        table_a.add_row(
+            radius_m=radius,
+            bundles=row["stops"],
+            tour_length_km=kilo(row["tour_length_m"]),
+            charging_time_ks=kilo(row["charging_time_s"]),
+        )
+        table_b.add_row(
+            radius_m=radius,
+            movement_kj=kilo(row["movement_j"]),
+            charging_kj=kilo(row["charging_j"]),
+            total_kj=kilo(row["total_j"]),
+        )
+    return [table_a, table_b]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables
+
+
+assert "BC" in PAPER_ALGORITHMS

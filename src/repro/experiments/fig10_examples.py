@@ -1,0 +1,106 @@
+"""Fig. 10 — three running examples with 50 nodes.
+
+The paper's figure shows one 50-node deployment bundled at three radii,
+with the BC tour (black) and the BC-OPT tour (dotted red).  We emit the
+quantitative content: bundle count, both tour lengths, and both energies
+per radius — including the figure's two qualitative claims:
+
+* at a tiny radius BC-OPT ~ SC (sensors visited one by one);
+* as the radius grows the bundle count and tour length drop sharply.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..network import derive_seed, uniform_deployment
+from ..planners import (BundleChargingOptPlanner, BundleChargingPlanner,
+                        SingleChargingPlanner)
+from ..tour import evaluate_plan
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+EXPERIMENT_ID = "fig10"
+
+#: The three example radii (small / medium / large), meters.
+EXAMPLE_RADII = (5.0, 25.0, 60.0)
+
+#: Fixed node count of the figure.
+NODE_COUNT = 50
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate the Fig. 10 example data."""
+    seed = derive_seed(config.base_seed, EXPERIMENT_ID)
+    network = uniform_deployment(NODE_COUNT, seed,
+                                 field_side_m=config.field_side_m)
+    cost = config.cost()
+
+    sc_plan = SingleChargingPlanner(
+        tsp_strategy=config.tsp_strategy).plan(network, cost)
+    sc_metrics = evaluate_plan(sc_plan, network.locations, cost)
+
+    table = ResultTable(
+        f"Fig. 10: 50-node examples (SC tour = "
+        f"{sc_metrics.energy.tour_length_m:.0f} m, SC total = "
+        f"{sc_metrics.total_j / 1000:.1f} kJ)",
+        ["radius_m", "bundles", "bc_tour_m", "bcopt_tour_m",
+         "bc_total_kj", "bcopt_total_kj"])
+
+    for radius in EXAMPLE_RADII:
+        bc = BundleChargingPlanner(radius,
+                                   tsp_strategy=config.tsp_strategy)
+        bc_plan = bc.plan(network, cost)
+        bc_metrics = evaluate_plan(bc_plan, network.locations, cost)
+
+        bc_opt = BundleChargingOptPlanner(
+            radius, tsp_strategy=config.tsp_strategy)
+        opt_plan = bc_opt.plan(network, cost)
+        opt_metrics = evaluate_plan(opt_plan, network.locations, cost)
+
+        table.add_row(
+            radius_m=radius,
+            bundles=len(bc_plan),
+            bc_tour_m=bc_metrics.energy.tour_length_m,
+            bcopt_tour_m=opt_metrics.energy.tour_length_m,
+            bc_total_kj=bc_metrics.total_j / 1000.0,
+            bcopt_total_kj=opt_metrics.total_j / 1000.0,
+        )
+    return [table]
+
+
+def render_examples(config: ExperimentConfig,
+                    width: int = 72, height: int = 24) -> str:
+    """Render the three example tours as ASCII art (the figure itself).
+
+    The paper's Fig. 10 is a picture of tours; this is our terminal
+    equivalent — sensors ``*``, anchors ``A``, depot ``D``, tour ``.``.
+    """
+    from ..planners import BundleChargingOptPlanner
+    from ..viz import render_plan
+
+    seed = derive_seed(config.base_seed, EXPERIMENT_ID)
+    network = uniform_deployment(NODE_COUNT, seed,
+                                 field_side_m=config.field_side_m)
+    cost = config.cost()
+    panels = []
+    for radius in EXAMPLE_RADII:
+        plan = BundleChargingOptPlanner(
+            radius, tsp_strategy=config.tsp_strategy).plan(network, cost)
+        art = render_plan(plan, network.locations,
+                          config.field_side_m, width=width,
+                          height=height)
+        panels.append(f"-- BC-OPT tour, bundle radius {radius:.0f} m --\n"
+                      f"{art}")
+    return "\n\n".join(panels)
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print (tables + ASCII tours)."""
+    from .tables import print_tables
+    config = config or ExperimentConfig.default()
+    tables = run(config)
+    print_tables(tables)
+    print()
+    print(render_examples(config))
+    return tables

@@ -1,0 +1,105 @@
+"""Fig. 11 — bundle generation comparison: grid vs greedy vs optimal.
+
+* (a) bundle count vs radius at a fixed (small) node count;
+* (b) bundle count vs node count at a fixed radius.
+
+The exact optimum is branch-and-bound set cover; on instances where the
+search exceeds its node budget the cell is reported as NaN (the paper
+likewise only shows the optimal line where exhaustive search is viable).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..bundling import greedy_bundles, grid_bundles, optimal_bundles
+from ..errors import BundlingError
+from ..network import derive_seed, uniform_deployment
+from .aggregate import CellStats, mean_std
+from .config import ExperimentConfig
+from .tables import ResultTable
+
+EXPERIMENT_ID = "fig11"
+
+#: Node count for the radius sweep (small so the exact line is feasible).
+RADIUS_SWEEP_NODES = 40
+
+#: Radius for the node-count sweep.
+NODE_SWEEP_RADIUS = 40.0
+
+#: Branch-and-bound node budget per exact solve.
+EXACT_BUDGET = 400_000
+
+
+def _optimal_count(network, radius: float) -> Optional[int]:
+    """Exact bundle count, or None when the search budget is exceeded."""
+    try:
+        return len(optimal_bundles(network, radius,
+                                   node_budget=EXACT_BUDGET))
+    except BundlingError:
+        return None
+
+
+def _stats(values: List[Optional[float]]) -> CellStats:
+    """Aggregate, mapping any None (budget exceeded) to a NaN cell."""
+    concrete = [v for v in values if v is not None]
+    if not concrete or len(concrete) < len(values):
+        return CellStats(math.nan, 0.0, len(concrete))
+    return mean_std(concrete)
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate both panels of Fig. 11."""
+    table_a = ResultTable(
+        f"Fig. 11(a): bundle count vs radius ({RADIUS_SWEEP_NODES} "
+        f"nodes) — grid vs greedy vs optimal",
+        ["radius_m", "grid", "greedy", "optimal"])
+    for radius in config.radii:
+        grid_counts: List[float] = []
+        greedy_counts: List[float] = []
+        optimal_counts: List[Optional[float]] = []
+        for run_index in range(config.runs):
+            seed = derive_seed(config.base_seed, EXPERIMENT_ID, "radius",
+                               radius, run_index)
+            network = uniform_deployment(
+                RADIUS_SWEEP_NODES, seed,
+                field_side_m=config.field_side_m)
+            grid_counts.append(len(grid_bundles(network, radius)))
+            greedy_counts.append(len(greedy_bundles(network, radius)))
+            optimal_counts.append(_optimal_count(network, radius))
+        table_a.add_row(radius_m=radius, grid=mean_std(grid_counts),
+                        greedy=mean_std(greedy_counts),
+                        optimal=_stats(optimal_counts))
+
+    table_b = ResultTable(
+        f"Fig. 11(b): bundle count vs node count (radius "
+        f"{NODE_SWEEP_RADIUS:.0f} m)",
+        ["nodes", "grid", "greedy", "optimal"])
+    for node_count in config.node_counts:
+        grid_counts = []
+        greedy_counts = []
+        optimal_counts = []
+        for run_index in range(config.runs):
+            seed = derive_seed(config.base_seed, EXPERIMENT_ID, "nodes",
+                               node_count, run_index)
+            network = uniform_deployment(
+                node_count, seed, field_side_m=config.field_side_m)
+            grid_counts.append(len(grid_bundles(network,
+                                                NODE_SWEEP_RADIUS)))
+            greedy_counts.append(len(greedy_bundles(network,
+                                                    NODE_SWEEP_RADIUS)))
+            optimal_counts.append(
+                _optimal_count(network, NODE_SWEEP_RADIUS))
+        table_b.add_row(nodes=node_count, grid=mean_std(grid_counts),
+                        greedy=mean_std(greedy_counts),
+                        optimal=_stats(optimal_counts))
+    return [table_a, table_b]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

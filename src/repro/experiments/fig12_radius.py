@@ -1,0 +1,57 @@
+"""Fig. 12 — SC / CSS / BC / BC-OPT across bundle radii.
+
+Three panels at a fixed node count:
+
+* (a) total energy — expected ordering BC-OPT < BC ~ CSS < SC, with the
+  bundle algorithms improving as the radius grows;
+* (b) tour length — CSS, BC and BC-OPT all shorten the SC tour;
+* (c) average per-sensor charging time — SC is optimal (always charges
+  at zero distance); BC-OPT's average *decreases* with radius thanks to
+  one-to-many charging.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..planners import PAPER_ALGORITHMS
+from .config import ExperimentConfig
+from .runner import kilo, run_averaged
+from .tables import ResultTable
+
+EXPERIMENT_ID = "fig12"
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate all three panels of Fig. 12."""
+    algorithms = list(PAPER_ALGORITHMS)
+    columns = ["radius_m"] + algorithms
+    table_a = ResultTable("Fig. 12(a): total energy (kJ) vs bundle radius",
+                          columns)
+    table_b = ResultTable("Fig. 12(b): tour length (km) vs bundle radius",
+                          columns)
+    table_c = ResultTable(
+        "Fig. 12(c): average charging time per sensor (s) vs bundle "
+        "radius", columns)
+
+    for radius in config.radii:
+        aggregated = run_averaged(config, config.node_count, radius,
+                                  algorithms, EXPERIMENT_ID)
+        table_a.add_row(radius_m=radius, **{
+            name: kilo(aggregated[name]["total_j"])
+            for name in algorithms})
+        table_b.add_row(radius_m=radius, **{
+            name: kilo(aggregated[name]["tour_length_m"])
+            for name in algorithms})
+        table_c.add_row(radius_m=radius, **{
+            name: aggregated[name]["avg_charging_time_s"]
+            for name in algorithms})
+    return [table_a, table_b, table_c]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

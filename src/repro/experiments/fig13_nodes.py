@@ -1,0 +1,60 @@
+"""Fig. 13 — SC / CSS / BC / BC-OPT across network densities.
+
+Same three panels as Fig. 12, swept over the node count at a fixed
+bundle radius.  The headline claims this experiment checks:
+
+* SC degrades with density (its tour must reach every sensor);
+* BC's advantage over SC grows with density;
+* BC-OPT matches CSS on tour length but keeps a lower charging time
+  (CSS "has the similar concept of charging bundle, but it does not
+  optimize the charging location").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..planners import PAPER_ALGORITHMS
+from .config import ExperimentConfig
+from .runner import kilo, run_averaged
+from .tables import ResultTable
+
+EXPERIMENT_ID = "fig13"
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate all three panels of Fig. 13."""
+    algorithms = list(PAPER_ALGORITHMS)
+    columns = ["nodes"] + algorithms
+    radius = config.default_radius
+    table_a = ResultTable(
+        f"Fig. 13(a): total energy (kJ) vs node count "
+        f"(radius {radius:.0f} m)", columns)
+    table_b = ResultTable(
+        f"Fig. 13(b): tour length (km) vs node count "
+        f"(radius {radius:.0f} m)", columns)
+    table_c = ResultTable(
+        f"Fig. 13(c): average charging time per sensor (s) vs node count "
+        f"(radius {radius:.0f} m)", columns)
+
+    for node_count in config.node_counts:
+        aggregated = run_averaged(config, node_count, radius, algorithms,
+                                  EXPERIMENT_ID)
+        table_a.add_row(nodes=node_count, **{
+            name: kilo(aggregated[name]["total_j"])
+            for name in algorithms})
+        table_b.add_row(nodes=node_count, **{
+            name: kilo(aggregated[name]["tour_length_m"])
+            for name in algorithms})
+        table_c.add_row(nodes=node_count, **{
+            name: aggregated[name]["avg_charging_time_s"]
+            for name in algorithms})
+    return [table_a, table_b, table_c]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

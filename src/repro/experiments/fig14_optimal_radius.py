@@ -1,0 +1,76 @@
+"""Fig. 14 — the optimal bundle radius in a dense network (200 nodes).
+
+Sweep the radius for BC and BC-OPT at the paper's densest setting:
+
+* (a) the moving/charging decomposition that creates the optimum;
+* (b) total energy — BC has an interior-optimal radius, while BC-OPT
+  keeps improving (its tour optimizer converts overly large radii back
+  into energy savings; the paper reports BC-OPT up to ~2x better than BC
+  at the largest radii).
+
+The Section IV-C radius search (:func:`repro.bundling.find_optimal_radius`)
+is also exercised here and its pick is reported in the table title.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bundling import sweep_radii
+from .config import ExperimentConfig
+from .runner import kilo, run_averaged
+from .tables import ResultTable
+
+EXPERIMENT_ID = "fig14"
+
+#: The paper's dense setting.
+NODE_COUNT = 200
+
+
+def run(config: ExperimentConfig) -> List[ResultTable]:
+    """Regenerate both panels of Fig. 14."""
+    node_count = min(NODE_COUNT, max(config.node_counts))
+    aggregated_by_radius = {}
+    for radius in config.radii:
+        aggregated_by_radius[radius] = run_averaged(
+            config, node_count, radius, ["BC", "BC-OPT"], EXPERIMENT_ID)
+
+    table_a = ResultTable(
+        f"Fig. 14(a): BC energy decomposition vs radius "
+        f"({node_count} nodes)",
+        ["radius_m", "bundles", "movement_kj", "charging_kj"])
+    table_b = ResultTable(
+        f"Fig. 14(b): total energy (kJ) vs radius ({node_count} nodes)",
+        ["radius_m", "BC", "BC-OPT", "bcopt_gain_pct"])
+
+    for radius in config.radii:
+        bc = aggregated_by_radius[radius]["BC"]
+        opt = aggregated_by_radius[radius]["BC-OPT"]
+        table_a.add_row(
+            radius_m=radius,
+            bundles=bc["stops"],
+            movement_kj=kilo(bc["movement_j"]),
+            charging_kj=kilo(bc["charging_j"]),
+        )
+        gain = 100.0 * (1.0 - opt["total_j"].mean / bc["total_j"].mean)
+        table_b.add_row(radius_m=radius, **{
+            "BC": kilo(bc["total_j"]),
+            "BC-OPT": kilo(opt["total_j"]),
+            "bcopt_gain_pct": gain,
+        })
+
+    # Section IV-C: pick the best radius from the sweep we just ran.
+    best = sweep_radii(
+        lambda r: aggregated_by_radius[r]["BC"]["total_j"].mean,
+        list(config.radii))
+    table_b.title += (f" — BC-optimal radius from sweep: "
+                      f"{best.best_radius:.0f} m")
+    return [table_a, table_b]
+
+
+def main(config: ExperimentConfig = None) -> List[ResultTable]:
+    """CLI entry point: run and print."""
+    from .tables import print_tables
+    tables = run(config or ExperimentConfig.default())
+    print_tables(tables)
+    return tables

@@ -1,0 +1,88 @@
+"""Multi-seed experiment execution.
+
+The runner owns the loop every figure shares: deploy a seeded network,
+run each algorithm, evaluate the plan, average over seeds.  Figures then
+differ only in which parameter they sweep and which metrics they tabulate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from ..charging import CostParameters
+from ..network import SensorNetwork, derive_seed, uniform_deployment
+from ..planners import make_planner
+from ..tour import evaluate_plan
+from .aggregate import CellStats, aggregate_rows
+from .config import ExperimentConfig
+
+MetricRow = Dict[str, float]
+AggregatedRun = Dict[str, Dict[str, CellStats]]
+
+
+def run_algorithms_once(network: SensorNetwork, cost: CostParameters,
+                        radius: float, algorithms: Sequence[str],
+                        tsp_strategy: str = "nn+2opt",
+                        seed: int = 0) -> Dict[str, MetricRow]:
+    """Plan and evaluate each algorithm once on one network.
+
+    Returns:
+        ``{algorithm: metric_row}`` with the metric keys of
+        :meth:`repro.tour.PlanMetrics.as_row`.
+    """
+    results: Dict[str, MetricRow] = {}
+    for name in algorithms:
+        planner = make_planner(name, radius, tsp_strategy=tsp_strategy,
+                               seed=seed)
+        plan = planner.plan(network, cost)
+        metrics = evaluate_plan(plan, network.locations, cost)
+        results[name] = metrics.as_row()
+    return results
+
+
+def run_averaged(config: ExperimentConfig, node_count: int, radius: float,
+                 algorithms: Sequence[str],
+                 experiment_label: str) -> AggregatedRun:
+    """Run all algorithms over ``config.runs`` seeded deployments.
+
+    Args:
+        config: shared knobs (runs, field, TSP strategy, base seed).
+        node_count: sensors per deployment.
+        radius: bundle/range radius handed to every planner.
+        algorithms: planner names to compare.
+        experiment_label: namespaces the seed stream so different figures
+            draw independent deployments.
+
+    Returns:
+        ``{algorithm: {metric: CellStats}}``.
+    """
+    cost = config.cost()
+    per_algorithm: Dict[str, list] = {name: [] for name in algorithms}
+    for run_index in range(config.runs):
+        seed = derive_seed(config.base_seed, experiment_label, node_count,
+                           radius, run_index)
+        network = uniform_deployment(node_count, seed,
+                                     field_side_m=config.field_side_m)
+        once = run_algorithms_once(network, cost, radius, algorithms,
+                                   tsp_strategy=config.tsp_strategy,
+                                   seed=seed)
+        for name, row in once.items():
+            per_algorithm[name].append(row)
+    return {name: aggregate_rows(rows)
+            for name, rows in per_algorithm.items()}
+
+
+def metric_series(aggregated: Iterable[AggregatedRun], algorithm: str,
+                  metric: str) -> list:
+    """Extract one algorithm's metric across a sweep of aggregated runs."""
+    return [point[algorithm][metric] for point in aggregated]
+
+
+def kilo(cell: CellStats) -> CellStats:
+    """Rescale a CellStats from joules to kilojoules (or m to km)."""
+    return CellStats(cell.mean / 1000.0, cell.std / 1000.0, cell.count)
+
+
+def pick(row: Mapping[str, CellStats], *metrics: str) -> list:
+    """Return the requested metrics from an aggregated row, in order."""
+    return [row[m] for m in metrics]

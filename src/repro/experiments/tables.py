@@ -1,0 +1,120 @@
+"""Result tables: the harness's ASCII/CSV output format.
+
+Every experiment emits :class:`ResultTable` objects whose rows mirror the
+corresponding paper figure's data series, so "regenerating Fig. 12(a)"
+means printing one of these tables.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ExperimentError
+from .aggregate import CellStats
+
+CellValue = Union[float, int, str, CellStats]
+
+
+class ResultTable:
+    """A titled table with named columns and formatted rendering."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        """Create a table.
+
+        Args:
+            title: heading (e.g. ``"Fig. 12(a): total energy (kJ)"``).
+            columns: ordered column names; rows must supply exactly these.
+        """
+        if not columns:
+            raise ExperimentError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Dict[str, CellValue]] = []
+
+    def add_row(self, **values: CellValue) -> None:
+        """Append a row given as column=value keywords.
+
+        Raises:
+            ExperimentError: when the keys do not match the columns.
+        """
+        if set(values) != set(self.columns):
+            raise ExperimentError(
+                f"row keys {sorted(values)} do not match columns "
+                f"{sorted(self.columns)}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[CellValue]:
+        """Return one column's cells, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"unknown column: {name!r}")
+        return [row[name] for row in self.rows]
+
+    def mean_of(self, name: str) -> List[float]:
+        """Return a column as plain floats (CellStats reduced to mean)."""
+        values = []
+        for cell in self.column(name):
+            if isinstance(cell, CellStats):
+                values.append(cell.mean)
+            else:
+                values.append(float(cell))
+        return values
+
+    # --- rendering ------------------------------------------------------
+
+    @staticmethod
+    def _format(cell: CellValue) -> str:
+        if isinstance(cell, CellStats):
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Return the table as aligned ASCII text."""
+        header = list(self.columns)
+        body = [[self._format(row[col]) for col in header]
+                for row in self.rows]
+        widths = [max(len(header[i]),
+                      *(len(line[i]) for line in body)) if body
+                  else len(header[i])
+                  for i in range(len(header))]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(header[i].rjust(widths[i])
+                               for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i]
+                               for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].rjust(widths[i])
+                                   for i in range(len(header))))
+        return "\n".join(lines)
+
+    def to_csv(self, path: str) -> None:
+        """Write the table (means only for CellStats) to a CSV file."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            for row in self.rows:
+                writer.writerow([
+                    cell.mean if isinstance(cell, CellStats) else cell
+                    for cell in (row[col] for col in self.columns)
+                ])
+
+
+def render_tables(tables: Sequence[ResultTable],
+                  separator: str = "\n\n") -> str:
+    """Render several tables as one report string."""
+    return separator.join(table.render() for table in tables)
+
+
+def print_tables(tables: Sequence[ResultTable],
+                 csv_dir: Optional[str] = None) -> None:
+    """Print tables to stdout and optionally dump CSVs next to them."""
+    print(render_tables(tables))
+    if csv_dir is not None:
+        import os
+        import re
+        os.makedirs(csv_dir, exist_ok=True)
+        for table in tables:
+            slug = re.sub(r"[^a-z0-9]+", "_", table.title.lower()).strip("_")
+            table.to_csv(os.path.join(csv_dir, f"{slug}.csv"))

@@ -1,0 +1,29 @@
+"""Multi-charger and battery-capacity extensions.
+
+Tour splitting across k chargers (makespan-optimal contiguous cuts) and
+battery-budgeted pass scheduling — the operational layer above the
+single-charger planners.
+"""
+
+from .capacity import (CapacityPass, CapacitySchedule,
+                       minimum_feasible_capacity,
+                       schedule_with_capacity)
+from .interference import (ConcurrentSchedule, concurrent_schedule,
+                           conflict_graph, greedy_coloring)
+from .split import (FleetAssignment, FleetPlan, fleet_speedup,
+                    split_plan)
+
+__all__ = [
+    "CapacityPass",
+    "CapacitySchedule",
+    "ConcurrentSchedule",
+    "FleetAssignment",
+    "FleetPlan",
+    "concurrent_schedule",
+    "conflict_graph",
+    "fleet_speedup",
+    "greedy_coloring",
+    "minimum_feasible_capacity",
+    "schedule_with_capacity",
+    "split_plan",
+]

@@ -1,0 +1,140 @@
+"""Battery-capacity-constrained missions (Wang et al., SECON 2014).
+
+The movement-cost baseline the paper adopts ([4]) actually studies
+chargers with a finite battery: the vehicle must return to the depot to
+swap/recharge before its own budget runs out.  This module splits a
+plan into depot-rooted *passes* whose energy stays within the budget —
+the operational constraint any real deployment of bundle charging hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..charging import CostParameters
+from ..errors import PlanError
+from ..geometry import Point
+from ..tour import ChargingPlan, Stop
+from .split import _chunk_energy, _chunk_time
+
+
+@dataclass(frozen=True)
+class CapacityPass:
+    """One depot-to-depot pass.
+
+    Attributes:
+        stops: stops served in this pass, in order.
+        energy_j: the pass's movement + charging energy.
+        time_s: the pass's duration at the given speed.
+    """
+
+    stops: List[Stop]
+    energy_j: float
+    time_s: float
+
+
+@dataclass(frozen=True)
+class CapacitySchedule:
+    """A full mission split into battery-feasible passes.
+
+    Attributes:
+        passes: the depot-rooted passes, in execution order.
+        total_energy_j: summed energy including every return leg.
+        total_time_s: summed duration (one charger runs passes
+            back-to-back; depot turnaround time is not modeled).
+        overhead_j: extra energy versus the unsplit mission (the cost
+            of the additional depot returns).
+    """
+
+    passes: List[CapacityPass]
+    total_energy_j: float
+    total_time_s: float
+    overhead_j: float
+
+    @property
+    def pass_count(self) -> int:
+        """Return how many passes the battery forced."""
+        return len(self.passes)
+
+
+def schedule_with_capacity(plan: ChargingPlan, capacity_j: float,
+                           cost: CostParameters,
+                           speed_m_per_s: float = 1.0
+                           ) -> CapacitySchedule:
+    """Split ``plan`` into passes of energy at most ``capacity_j``.
+
+    The stop order is preserved; a stop is deferred to the next pass as
+    soon as appending it (plus the return leg) would exceed the budget.
+
+    Args:
+        plan: a depot-rooted plan.
+        capacity_j: the charger's battery budget per pass.
+        cost: mission cost constants.
+        speed_m_per_s: charger ground speed.
+
+    Raises:
+        PlanError: when the plan lacks a depot, the capacity is not
+            positive, or a single stop alone exceeds the budget (no
+            feasible schedule exists).
+    """
+    if plan.depot is None:
+        raise PlanError("capacity scheduling needs a depot-rooted plan")
+    if capacity_j <= 0.0:
+        raise PlanError(f"invalid capacity: {capacity_j!r}")
+    depot = plan.depot
+
+    passes: List[CapacityPass] = []
+    current: List[Stop] = []
+    for stop in plan.stops:
+        candidate = current + [stop]
+        if _chunk_energy(candidate, depot, cost) <= capacity_j:
+            current = candidate
+            continue
+        if not current:
+            raise PlanError(
+                f"stop at {stop.position} needs "
+                f"{_chunk_energy([stop], depot, cost):.1f} J alone, "
+                f"over the {capacity_j:.1f} J battery budget")
+        passes.append(_close_pass(current, depot, cost, speed_m_per_s))
+        current = [stop]
+        if _chunk_energy(current, depot, cost) > capacity_j:
+            raise PlanError(
+                f"stop at {stop.position} exceeds the battery budget")
+    if current:
+        passes.append(_close_pass(current, depot, cost, speed_m_per_s))
+
+    total_energy = sum(p.energy_j for p in passes)
+    total_time = sum(p.time_s for p in passes)
+    unsplit = _chunk_energy(list(plan.stops), depot, cost) \
+        if plan.stops else 0.0
+    return CapacitySchedule(
+        passes=passes,
+        total_energy_j=total_energy,
+        total_time_s=total_time,
+        overhead_j=max(0.0, total_energy - unsplit),
+    )
+
+
+def _close_pass(stops: Sequence[Stop], depot: Point,
+                cost: CostParameters,
+                speed_m_per_s: float) -> CapacityPass:
+    return CapacityPass(
+        stops=list(stops),
+        energy_j=_chunk_energy(stops, depot, cost),
+        time_s=_chunk_time(stops, depot, cost, speed_m_per_s),
+    )
+
+
+def minimum_feasible_capacity(plan: ChargingPlan,
+                              cost: CostParameters) -> float:
+    """Return the smallest battery that admits any schedule.
+
+    That is the energy of the most expensive single-stop pass.
+    """
+    if plan.depot is None:
+        raise PlanError("capacity scheduling needs a depot-rooted plan")
+    if not plan.stops:
+        return 0.0
+    return max(_chunk_energy([stop], plan.depot, cost)
+               for stop in plan.stops)

@@ -1,0 +1,193 @@
+"""Splitting one charging plan across k mobile chargers (m-TSP).
+
+The paper's related work asks for the minimum number of chargers to keep
+a network alive [26, 27]; the operational question downstream users hit
+first is the dual: *given* k chargers, split the mission to minimize the
+makespan (the slowest charger's mission time).
+
+We use the classic tour-splitting scheme: keep the single-charger stop
+order (a good TSP tour) and cut it into k contiguous chunks, each served
+depot -> chunk -> depot.  The optimal contiguous cut for a fixed order
+is found by binary search on the makespan with a greedy feasibility
+check — the standard scheduling argument, exact for this formulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..charging import CostParameters
+from ..errors import PlanError
+from ..geometry import Point
+from ..tour import ChargingPlan, Stop
+
+
+@dataclass(frozen=True)
+class FleetAssignment:
+    """One charger's share of the mission.
+
+    Attributes:
+        charger_index: which charger this is (0-based).
+        plan: the charger's own depot-rooted plan.
+        mission_time_s: travel + dwell time at ``speed_m_per_s``.
+        energy_j: movement + charging energy of this share.
+    """
+
+    charger_index: int
+    plan: ChargingPlan
+    mission_time_s: float
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """A full k-charger mission.
+
+    Attributes:
+        assignments: one entry per charger (possibly with empty plans
+            when k exceeds the useful parallelism).
+        makespan_s: the slowest charger's mission time.
+        total_energy_j: summed energy over all chargers.
+    """
+
+    assignments: List[FleetAssignment]
+    makespan_s: float
+    total_energy_j: float
+
+    @property
+    def charger_count(self) -> int:
+        """Return the fleet size."""
+        return len(self.assignments)
+
+
+def _chunk_time(stops: Sequence[Stop], depot: Point,
+                cost: CostParameters, speed_m_per_s: float) -> float:
+    """Mission time of serving ``stops`` in order from the depot."""
+    if not stops:
+        return 0.0
+    length = depot.distance_to(stops[0].position)
+    for i in range(len(stops) - 1):
+        length += stops[i].position.distance_to(stops[i + 1].position)
+    length += stops[-1].position.distance_to(depot)
+    dwell = sum(stop.dwell_s for stop in stops)
+    return length / speed_m_per_s + dwell
+
+
+def _chunk_energy(stops: Sequence[Stop], depot: Point,
+                  cost: CostParameters) -> float:
+    """Energy of serving ``stops`` in order from the depot."""
+    if not stops:
+        return 0.0
+    length = depot.distance_to(stops[0].position)
+    for i in range(len(stops) - 1):
+        length += stops[i].position.distance_to(stops[i + 1].position)
+    length += stops[-1].position.distance_to(depot)
+    charging = sum(cost.model.source_power_w * stop.dwell_s
+                   for stop in stops)
+    return cost.movement_energy(length) + charging
+
+
+def _feasible_chunks(stops: Sequence[Stop], depot: Point,
+                     cost: CostParameters, speed_m_per_s: float,
+                     limit_s: float) -> Optional[List[List[Stop]]]:
+    """Greedily cut ``stops`` into chunks of time <= ``limit_s``.
+
+    Returns None when some single stop alone exceeds the limit.
+    """
+    chunks: List[List[Stop]] = []
+    current: List[Stop] = []
+    for stop in stops:
+        candidate = current + [stop]
+        if _chunk_time(candidate, depot, cost, speed_m_per_s) \
+                <= limit_s:
+            current = candidate
+            continue
+        if not current:
+            return None  # even the lone stop does not fit
+        chunks.append(current)
+        current = [stop]
+        if _chunk_time(current, depot, cost, speed_m_per_s) > limit_s:
+            return None
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def split_plan(plan: ChargingPlan, chargers: int,
+               cost: CostParameters, speed_m_per_s: float = 1.0,
+               tolerance_s: float = 1.0) -> FleetPlan:
+    """Split ``plan`` across ``chargers`` vehicles minimizing makespan.
+
+    The stop *order* of the input plan is preserved; only contiguous
+    cuts are considered (the standard tour-splitting relaxation, within
+    a constant factor of the optimal m-TSP split for metric costs).
+
+    Args:
+        plan: a depot-rooted single-charger plan.
+        chargers: fleet size ``k >= 1``.
+        cost: mission cost constants.
+        speed_m_per_s: charger ground speed.
+        tolerance_s: binary-search resolution on the makespan.
+
+    Raises:
+        PlanError: when the plan has no depot or ``chargers < 1``.
+    """
+    if chargers < 1:
+        raise PlanError(f"need at least one charger: {chargers!r}")
+    if plan.depot is None:
+        raise PlanError("fleet splitting needs a depot-rooted plan")
+    depot = plan.depot
+    stops = list(plan.stops)
+
+    if not stops:
+        assignments = [
+            FleetAssignment(i, ChargingPlan(stops=(), depot=depot,
+                                            label=plan.label), 0.0, 0.0)
+            for i in range(chargers)]
+        return FleetPlan(assignments, 0.0, 0.0)
+
+    # Binary search on the makespan.
+    low = max(_chunk_time([stop], depot, cost, speed_m_per_s)
+              for stop in stops)
+    high = _chunk_time(stops, depot, cost, speed_m_per_s)
+    while high - low > tolerance_s:
+        middle = (low + high) / 2.0
+        chunks = _feasible_chunks(stops, depot, cost, speed_m_per_s,
+                                  middle)
+        if chunks is not None and len(chunks) <= chargers:
+            high = middle
+        else:
+            low = middle
+    chunks = _feasible_chunks(stops, depot, cost, speed_m_per_s, high)
+    if chunks is None or len(chunks) > chargers:
+        # Numerical corner: fall back to the single-chunk split.
+        chunks = [stops]
+
+    assignments: List[FleetAssignment] = []
+    makespan = 0.0
+    total_energy = 0.0
+    for index in range(chargers):
+        chunk = chunks[index] if index < len(chunks) else []
+        sub_plan = ChargingPlan(stops=tuple(chunk), depot=depot,
+                                label=f"{plan.label}/charger{index}")
+        time_s = _chunk_time(chunk, depot, cost, speed_m_per_s)
+        energy = _chunk_energy(chunk, depot, cost)
+        makespan = max(makespan, time_s)
+        total_energy += energy
+        assignments.append(FleetAssignment(index, sub_plan, time_s,
+                                           energy))
+    return FleetPlan(assignments, makespan, total_energy)
+
+
+def fleet_speedup(plan: ChargingPlan, chargers: int,
+                  cost: CostParameters,
+                  speed_m_per_s: float = 1.0) -> float:
+    """Return single-charger time divided by the k-charger makespan."""
+    single = split_plan(plan, 1, cost, speed_m_per_s=speed_m_per_s)
+    fleet = split_plan(plan, chargers, cost,
+                       speed_m_per_s=speed_m_per_s)
+    if fleet.makespan_s == 0.0:
+        return 1.0 if single.makespan_s == 0.0 else math.inf
+    return single.makespan_s / fleet.makespan_s

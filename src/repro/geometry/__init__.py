@@ -1,0 +1,44 @@
+"""Computational-geometry substrate.
+
+Everything the bundle-charging algorithms need from the plane: points,
+disks, segments, Welzl's smallest-enclosing-disk (Algorithm 1 of the
+paper), the ellipse-tangency machinery behind Theorems 4/5, convex hulls,
+and a uniform-grid spatial index.
+"""
+
+from .disk import (Disk, disk_from_three_points, disk_from_two_points,
+                   disks_through_pair_with_radius)
+from .ellipse import (Ellipse, bisector_residual, focal_sum,
+                      min_focal_sum_on_circle)
+from .grid_index import GridIndex
+from .hull import convex_hull, hull_perimeter
+from .minidisk import (brute_force_enclosing_disk, enclosing_disk_radius,
+                       fits_in_radius, smallest_enclosing_disk)
+from .point import (ORIGIN, Point, as_point, centroid, max_distance,
+                    polyline_length)
+from .segment import Segment
+
+__all__ = [
+    "ORIGIN",
+    "Disk",
+    "Ellipse",
+    "GridIndex",
+    "Point",
+    "Segment",
+    "as_point",
+    "bisector_residual",
+    "brute_force_enclosing_disk",
+    "centroid",
+    "convex_hull",
+    "disk_from_three_points",
+    "disk_from_two_points",
+    "disks_through_pair_with_radius",
+    "enclosing_disk_radius",
+    "fits_in_radius",
+    "focal_sum",
+    "hull_perimeter",
+    "max_distance",
+    "min_focal_sum_on_circle",
+    "polyline_length",
+    "smallest_enclosing_disk",
+]

@@ -1,0 +1,120 @@
+"""Closed disks in the plane.
+
+Disks are the geometric carrier of *charging bundles*: a bundle is valid for
+radius ``r`` exactly when its sensors fit inside some disk of radius ``r``
+(Definition 3 in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..errors import GeometryError
+from .point import Point
+
+#: Relative slack used for containment checks, so that points produced by
+#: the minimum-enclosing-disk solver itself always test as inside.
+CONTAINMENT_EPS = 1e-7
+
+
+@dataclass(frozen=True)
+class Disk:
+    """A closed disk given by its ``center`` and ``radius``."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0 or not math.isfinite(self.radius):
+            raise GeometryError(f"invalid disk radius: {self.radius!r}")
+
+    def contains(self, point: Point, eps: float = CONTAINMENT_EPS) -> bool:
+        """Return True when ``point`` lies in the closed disk.
+
+        A small relative tolerance ``eps`` absorbs floating-point noise on
+        boundary points.
+        """
+        slack = eps * max(1.0, self.radius)
+        limit = (self.radius + slack) ** 2
+        return self.center.distance_squared_to(point) <= limit
+
+    def contains_all(self, points: Iterable[Point],
+                     eps: float = CONTAINMENT_EPS) -> bool:
+        """Return True when every point of ``points`` is inside the disk."""
+        return all(self.contains(point, eps) for point in points)
+
+    def intersects(self, other: "Disk") -> bool:
+        """Return True when the two closed disks share at least one point."""
+        reach = self.radius + other.radius
+        return self.center.distance_squared_to(other.center) <= reach * reach
+
+    def area(self) -> float:
+        """Return the disk area."""
+        return math.pi * self.radius * self.radius
+
+    def boundary_point(self, angle: float) -> Point:
+        """Return the boundary point at polar ``angle`` from the center."""
+        return self.center + Point.from_polar(self.radius, angle)
+
+    def scaled(self, factor: float) -> "Disk":
+        """Return a concentric disk with the radius scaled by ``factor``."""
+        return Disk(self.center, self.radius * factor)
+
+
+def disk_from_two_points(a: Point, b: Point) -> Disk:
+    """Return the smallest disk with both ``a`` and ``b`` on its boundary."""
+    center = (a + b) * 0.5
+    return Disk(center, center.distance_to(a))
+
+
+def disk_from_three_points(a: Point, b: Point, c: Point) -> Optional[Disk]:
+    """Return the circumscribed disk of the triangle ``a b c``.
+
+    Returns None when the three points are (numerically) collinear, in which
+    case no finite circumcircle exists.
+    """
+    ab = b - a
+    ac = c - a
+    double_cross = 2.0 * ab.cross(ac)
+    scale = max(ab.norm(), ac.norm(), 1.0)
+    if abs(double_cross) <= 1e-12 * scale * scale:
+        return None
+    ab_sq = ab.norm_squared()
+    ac_sq = ac.norm_squared()
+    ux = (ac.y * ab_sq - ab.y * ac_sq) / double_cross
+    uy = (ab.x * ac_sq - ac.x * ab_sq) / double_cross
+    center = a + Point(ux, uy)
+    return Disk(center, center.distance_to(a))
+
+
+def disks_through_pair_with_radius(a: Point, b: Point,
+                                   radius: float) -> tuple:
+    """Return the (0, 1 or 2) radius-``radius`` disks through ``a`` and ``b``.
+
+    These are the classic candidate disks for geometric unit-disk cover:
+    every maximal radius-``radius`` disk can be translated so that two input
+    points lie on its boundary (or one point at its center).
+
+    Returns:
+        A tuple of 0, 1 or 2 ``Disk`` objects.  Empty when the two points
+        are more than ``2 * radius`` apart.
+    """
+    if radius < 0.0:
+        raise GeometryError(f"negative radius: {radius!r}")
+    separation = a.distance_to(b)
+    if separation > 2.0 * radius:
+        return ()
+    midpoint = (a + b) * 0.5
+    if separation == 0.0:
+        return (Disk(a, radius),)
+    half = separation / 2.0
+    offset_sq = radius * radius - half * half
+    if offset_sq <= 0.0:
+        return (Disk(midpoint, radius),)
+    offset = math.sqrt(offset_sq)
+    direction = (b - a).normalized().perpendicular()
+    first = Disk(midpoint + direction * offset, radius)
+    second = Disk(midpoint - direction * offset, radius)
+    return (first, second)

@@ -1,0 +1,48 @@
+"""Convex hulls (Andrew's monotone chain).
+
+The hull is used for diagnostics (deployment statistics, tour sanity
+checks) and by the test suite: the smallest enclosing disk of a set equals
+the smallest enclosing disk of its hull.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .point import Point
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Return the convex hull of ``points`` in counter-clockwise order.
+
+    Collinear points on the hull boundary are dropped.  Inputs with fewer
+    than three distinct points are returned as-is (deduplicated, sorted).
+    """
+    unique = sorted(set(points))
+    if len(unique) <= 2:
+        return unique
+
+    def half_hull(ordered: Sequence[Point]) -> List[Point]:
+        chain: List[Point] = []
+        for point in ordered:
+            while (len(chain) >= 2
+                   and (chain[-1] - chain[-2]).cross(point - chain[-1])
+                   <= 0.0):
+                chain.pop()
+            chain.append(point)
+        return chain
+
+    lower = half_hull(unique)
+    upper = half_hull(list(reversed(unique)))
+    return lower[:-1] + upper[:-1]
+
+
+def hull_perimeter(points: Sequence[Point]) -> float:
+    """Return the perimeter of the convex hull of ``points``."""
+    hull = convex_hull(points)
+    if len(hull) < 2:
+        return 0.0
+    total = 0.0
+    for i, point in enumerate(hull):
+        total += point.distance_to(hull[(i + 1) % len(hull)])
+    return total

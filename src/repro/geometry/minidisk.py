@@ -1,0 +1,163 @@
+"""Welzl's MinDisk: smallest enclosing disk of a planar point set.
+
+This is Algorithm 1 of the paper (a restatement of Welzl 1991).  Two
+entry points are provided:
+
+* :func:`smallest_enclosing_disk` — the optimization version (returns the
+  disk itself), expected linear time over a shuffled input.
+* :func:`fits_in_radius` — the *decisional* version used by the bundle
+  generator (Algorithm 2 line 4): does the point set fit inside some disk
+  of radius ``r``?
+
+The implementation is iterative (move-to-front style) rather than
+recursive, so it never hits Python's recursion limit on large bundles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import GeometryError
+from .disk import (Disk, disk_from_three_points, disk_from_two_points)
+from .point import Point
+
+#: Relative tolerance for "point inside disk" tests during construction.
+_EPS = 1e-10
+
+
+def _trivial_disk(boundary: Sequence[Point]) -> Disk:
+    """Return the smallest disk with all of ``boundary`` on its boundary.
+
+    ``boundary`` has at most three points (the support set of the smallest
+    enclosing disk in the plane never needs more).
+    """
+    if not boundary:
+        return Disk(Point.origin(), 0.0)
+    if len(boundary) == 1:
+        return Disk(boundary[0], 0.0)
+    if len(boundary) == 2:
+        return disk_from_two_points(boundary[0], boundary[1])
+    if len(boundary) == 3:
+        circum = disk_from_three_points(*boundary)
+        if circum is not None:
+            return circum
+        # Collinear support: fall back to the widest pair.
+        candidates = [
+            disk_from_two_points(boundary[0], boundary[1]),
+            disk_from_two_points(boundary[0], boundary[2]),
+            disk_from_two_points(boundary[1], boundary[2]),
+        ]
+        for disk in sorted(candidates, key=lambda d: d.radius):
+            if disk.contains_all(boundary):
+                return disk
+        return max(candidates, key=lambda d: d.radius)
+    raise GeometryError(
+        f"support set of a planar min-disk has <= 3 points, got "
+        f"{len(boundary)}")
+
+
+def _inside(disk: Disk, point: Point) -> bool:
+    """Containment test with construction tolerance."""
+    slack = _EPS * max(1.0, disk.radius)
+    return (disk.center.distance_squared_to(point)
+            <= (disk.radius + slack) ** 2)
+
+
+def smallest_enclosing_disk(points: Iterable[Point],
+                            rng: Optional[random.Random] = None) -> Disk:
+    """Return the smallest disk enclosing ``points``.
+
+    Args:
+        points: the input set; an empty input yields a zero disk at the
+            origin.
+        rng: optional random source used to shuffle the input (the shuffle
+            is what makes the expected running time linear).  Pass a seeded
+            ``random.Random`` for reproducibility; by default a fixed seed
+            is used so results are deterministic.
+
+    Returns:
+        The minimum enclosing ``Disk``.  Every input point is contained
+        (within floating-point tolerance) and no smaller disk contains all
+        of them.
+    """
+    pts: List[Point] = list(points)
+    if not pts:
+        return Disk(Point.origin(), 0.0)
+    if rng is None:
+        rng = random.Random(0x5EED)
+    shuffled = pts[:]
+    rng.shuffle(shuffled)
+
+    disk = Disk(shuffled[0], 0.0)
+    for i in range(1, len(shuffled)):
+        p = shuffled[i]
+        if _inside(disk, p):
+            continue
+        # p must be on the boundary of the new disk.
+        disk = Disk(p, 0.0)
+        for j in range(i):
+            q = shuffled[j]
+            if _inside(disk, q):
+                continue
+            # p and q are both on the boundary.
+            disk = disk_from_two_points(p, q)
+            for k in range(j):
+                s = shuffled[k]
+                if _inside(disk, s):
+                    continue
+                disk = _trivial_disk([p, q, s])
+    return disk
+
+
+def fits_in_radius(points: Iterable[Point], radius: float,
+                   rng: Optional[random.Random] = None) -> bool:
+    """Decisional MinDisk: do ``points`` fit in some disk of ``radius``?
+
+    This is the feasibility check the bundle generator performs on every
+    candidate bundle (Algorithm 2, lines 4-6).
+    """
+    if radius < 0.0:
+        raise GeometryError(f"negative radius: {radius!r}")
+    disk = smallest_enclosing_disk(points, rng=rng)
+    slack = 1e-9 * max(1.0, radius)
+    return disk.radius <= radius + slack
+
+
+def enclosing_disk_radius(points: Iterable[Point],
+                          rng: Optional[random.Random] = None) -> float:
+    """Return only the radius of the smallest enclosing disk."""
+    return smallest_enclosing_disk(points, rng=rng).radius
+
+
+def brute_force_enclosing_disk(points: Sequence[Point]) -> Disk:
+    """O(n^4) reference implementation used by the test suite.
+
+    Tries every disk defined by one, two or three input points and returns
+    the smallest one that encloses the whole set.  Only suitable for tiny
+    inputs; exists so property tests can cross-check Welzl's algorithm.
+    """
+    pts = list(points)
+    if not pts:
+        return Disk(Point.origin(), 0.0)
+    if len(pts) == 1:
+        return Disk(pts[0], 0.0)
+
+    best: Optional[Disk] = None
+    candidates: List[Disk] = []
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            candidates.append(disk_from_two_points(pts[i], pts[j]))
+            for k in range(j + 1, len(pts)):
+                circum = disk_from_three_points(pts[i], pts[j], pts[k])
+                if circum is not None:
+                    candidates.append(circum)
+    for disk in candidates:
+        if not disk.contains_all(pts, eps=1e-9):
+            continue
+        if best is None or disk.radius < best.radius:
+            best = disk
+    if best is None:
+        # All points coincide.
+        return Disk(pts[0], 0.0)
+    return best

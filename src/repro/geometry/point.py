@@ -1,0 +1,175 @@
+"""2-D points and elementary vector operations.
+
+The whole library works in the Euclidean plane; this module provides the
+single point type everything else builds on.  ``Point`` is an immutable,
+hashable value type so points can be dictionary keys and set members.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable point (or vector) in the plane.
+
+    Supports the usual vector arithmetic so geometric code reads naturally::
+
+        midpoint = (a + b) * 0.5
+        direction = (b - a).normalized()
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    def __rmul__(self, scalar: float) -> "Point":
+        return self.__mul__(scalar)
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Return the dot product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Return the z component of the 2-D cross product."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Return the Euclidean length of this vector."""
+        return math.hypot(self.x, self.y)
+
+    def norm_squared(self) -> float:
+        """Return the squared Euclidean length (no sqrt)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_squared_to(self, other: "Point") -> float:
+        """Return the squared distance to ``other`` (no sqrt)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def normalized(self) -> "Point":
+        """Return a unit vector in this direction.
+
+        Raises:
+            ZeroDivisionError: if this is the zero vector.
+        """
+        length = self.norm()
+        return Point(self.x / length, self.y / length)
+
+    def rotated(self, angle: float) -> "Point":
+        """Return this vector rotated counter-clockwise by ``angle`` rad."""
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        return Point(self.x * cos_a - self.y * sin_a,
+                     self.x * sin_a + self.y * cos_a)
+
+    def perpendicular(self) -> "Point":
+        """Return this vector rotated by +90 degrees."""
+        return Point(-self.y, self.x)
+
+    def angle(self) -> float:
+        """Return the polar angle of this vector in ``(-pi, pi]``."""
+        return math.atan2(self.y, self.x)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """Return True when both coordinates match within ``tol``."""
+        return (math.isclose(self.x, other.x, abs_tol=tol, rel_tol=0.0)
+                and math.isclose(self.y, other.y, abs_tol=tol, rel_tol=0.0))
+
+    @staticmethod
+    def from_polar(radius: float, angle: float) -> "Point":
+        """Build a point from polar coordinates ``(radius, angle)``."""
+        return Point(radius * math.cos(angle), radius * math.sin(angle))
+
+    @staticmethod
+    def origin() -> "Point":
+        """Return the origin (0, 0)."""
+        return Point(0.0, 0.0)
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+def as_point(value: "Point | Sequence[float]") -> Point:
+    """Coerce a ``Point`` or an ``(x, y)`` sequence into a ``Point``."""
+    if isinstance(value, Point):
+        return value
+    x, y = value
+    return Point(float(x), float(y))
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Return the arithmetic mean of ``points``.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    total_x = 0.0
+    total_y = 0.0
+    count = 0
+    for point in points:
+        total_x += point.x
+        total_y += point.y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid of an empty point set is undefined")
+    return Point(total_x / count, total_y / count)
+
+
+def polyline_length(points: Sequence[Point], closed: bool = False) -> float:
+    """Return the total length of the polyline through ``points``.
+
+    Args:
+        points: ordered waypoints.
+        closed: when True, also count the segment from the last point back
+            to the first (i.e. measure a closed tour).
+    """
+    if len(points) < 2:
+        return 0.0
+    total = sum(points[i].distance_to(points[i + 1])
+                for i in range(len(points) - 1))
+    if closed:
+        total += points[-1].distance_to(points[0])
+    return total
+
+
+def max_distance(origin_point: Point, points: Iterable[Point]) -> float:
+    """Return the largest distance from ``origin_point`` to ``points``.
+
+    Returns 0.0 for an empty iterable, which matches the convention that a
+    stop with no assigned sensors needs zero dwell time.
+    """
+    best = 0.0
+    for point in points:
+        best = max(best, origin_point.distance_to(point))
+    return best

@@ -1,0 +1,78 @@
+"""Line segments and point/segment queries.
+
+Used by the CSS baseline (Skip and Substitute steps walk the tour's
+segments) and by the tour optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .disk import Disk
+from .point import Point
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        """Return the segment length."""
+        return self.start.distance_to(self.end)
+
+    def point_at(self, t: float) -> Point:
+        """Return the point at parameter ``t`` in [0, 1] along the segment."""
+        return self.start + (self.end - self.start) * t
+
+    def midpoint(self) -> Point:
+        """Return the midpoint."""
+        return self.point_at(0.5)
+
+    def closest_parameter(self, point: Point) -> float:
+        """Return the parameter ``t`` of the closest segment point."""
+        direction = self.end - self.start
+        denom = direction.norm_squared()
+        if denom == 0.0:
+            return 0.0
+        t = (point - self.start).dot(direction) / denom
+        return min(1.0, max(0.0, t))
+
+    def closest_point(self, point: Point) -> Point:
+        """Return the segment point closest to ``point``."""
+        return self.point_at(self.closest_parameter(point))
+
+    def distance_to_point(self, point: Point) -> float:
+        """Return the distance from ``point`` to this segment."""
+        return self.closest_point(point).distance_to(point)
+
+    def intersects_disk(self, disk: Disk) -> bool:
+        """Return True when the segment passes through the closed disk."""
+        return self.distance_to_point(disk.center) <= disk.radius + 1e-12
+
+    def first_point_in_disk(self, disk: Disk) -> Point:
+        """Return the earliest segment point inside ``disk``.
+
+        Assumes :meth:`intersects_disk` is True; if the whole segment lies
+        outside, the closest point is returned instead (best effort).
+        """
+        d = self.end - self.start
+        f = self.start - disk.center
+        a = d.norm_squared()
+        if a == 0.0:
+            return self.start
+        b = 2.0 * f.dot(d)
+        c = f.norm_squared() - disk.radius * disk.radius
+        discriminant = b * b - 4.0 * a * c
+        if discriminant < 0.0:
+            return self.closest_point(disk.center)
+        root = math.sqrt(discriminant)
+        t1 = (-b - root) / (2.0 * a)
+        t2 = (-b + root) / (2.0 * a)
+        for t in (t1, t2):
+            if 0.0 <= t <= 1.0:
+                return self.point_at(t)
+        return self.closest_point(disk.center)

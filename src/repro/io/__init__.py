@@ -1,0 +1,17 @@
+"""JSON persistence for reproduction artifacts (networks and plans)."""
+
+from .serialize import (SCHEMA_NETWORK, SCHEMA_PLAN, SerializationError,
+                        load_json, network_from_dict, network_to_dict,
+                        plan_from_dict, plan_to_dict, save_json)
+
+__all__ = [
+    "SCHEMA_NETWORK",
+    "SCHEMA_PLAN",
+    "SerializationError",
+    "load_json",
+    "network_from_dict",
+    "network_to_dict",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_json",
+]

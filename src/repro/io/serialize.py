@@ -1,0 +1,167 @@
+"""JSON persistence for networks and plans.
+
+Reproduction artifacts need to be shareable: a deployment you found a
+bug on, a plan you want to replay on the testbed, a tour to diff across
+library versions.  This module round-trips the two core value types
+through plain JSON (no pickle — artifacts stay portable and auditable).
+
+Schema versioning: every document carries ``"schema"``; loaders reject
+unknown versions loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from ..errors import BundleChargingError
+from ..geometry import Point
+from ..network import Sensor, SensorNetwork
+from ..tour import ChargingPlan, Stop
+
+SCHEMA_NETWORK = "bundle-charging/network/v1"
+SCHEMA_PLAN = "bundle-charging/plan/v1"
+
+
+class SerializationError(BundleChargingError):
+    """Raised on malformed or version-mismatched documents."""
+
+
+def _point_to_list(point: Point) -> list:
+    return [point.x, point.y]
+
+
+def _point_from_list(raw: Any) -> Point:
+    try:
+        x, y = raw
+        return Point(float(x), float(y))
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"bad point payload: {raw!r}") \
+            from error
+
+
+# --- networks -------------------------------------------------------------
+
+def network_to_dict(network: SensorNetwork) -> Dict[str, Any]:
+    """Serialize a network to a JSON-compatible dict."""
+    return {
+        "schema": SCHEMA_NETWORK,
+        "field_side_m": network.field_side_m,
+        "base_station": _point_to_list(network.base_station),
+        "sensors": [
+            {
+                "index": sensor.index,
+                "location": _point_to_list(sensor.location),
+                "required_j": sensor.required_j,
+            }
+            for sensor in network
+        ],
+    }
+
+
+def network_from_dict(raw: Dict[str, Any]) -> SensorNetwork:
+    """Deserialize a network.
+
+    Raises:
+        SerializationError: on schema mismatch or malformed payloads.
+    """
+    if not isinstance(raw, dict) \
+            or raw.get("schema") != SCHEMA_NETWORK:
+        raise SerializationError(
+            f"expected schema {SCHEMA_NETWORK!r}, got "
+            f"{raw.get('schema') if isinstance(raw, dict) else raw!r}")
+    try:
+        sensors = [
+            Sensor(index=int(entry["index"]),
+                   location=_point_from_list(entry["location"]),
+                   required_j=float(entry["required_j"]))
+            for entry in raw["sensors"]
+        ]
+        return SensorNetwork(
+            sensors, float(raw["field_side_m"]),
+            base_station=_point_from_list(raw["base_station"]))
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(
+            f"malformed network document: {error}") from error
+
+
+# --- plans -------------------------------------------------------------------
+
+def plan_to_dict(plan: ChargingPlan) -> Dict[str, Any]:
+    """Serialize a plan to a JSON-compatible dict."""
+    return {
+        "schema": SCHEMA_PLAN,
+        "label": plan.label,
+        "depot": (_point_to_list(plan.depot)
+                  if plan.depot is not None else None),
+        "stops": [
+            {
+                "position": _point_to_list(stop.position),
+                "sensors": sorted(stop.sensors),
+                "dwell_s": stop.dwell_s,
+            }
+            for stop in plan.stops
+        ],
+    }
+
+
+def plan_from_dict(raw: Dict[str, Any]) -> ChargingPlan:
+    """Deserialize a plan.
+
+    Raises:
+        SerializationError: on schema mismatch or malformed payloads.
+    """
+    if not isinstance(raw, dict) or raw.get("schema") != SCHEMA_PLAN:
+        raise SerializationError(
+            f"expected schema {SCHEMA_PLAN!r}, got "
+            f"{raw.get('schema') if isinstance(raw, dict) else raw!r}")
+    try:
+        stops = tuple(
+            Stop(position=_point_from_list(entry["position"]),
+                 sensors=frozenset(int(i) for i in entry["sensors"]),
+                 dwell_s=float(entry["dwell_s"]))
+            for entry in raw["stops"]
+        )
+        depot = (_point_from_list(raw["depot"])
+                 if raw.get("depot") is not None else None)
+        return ChargingPlan(stops=stops, depot=depot,
+                            label=str(raw.get("label", "")))
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(
+            f"malformed plan document: {error}") from error
+
+
+# --- files ---------------------------------------------------------------------
+
+Serializable = Union[SensorNetwork, ChargingPlan]
+
+
+def save_json(obj: Serializable, path: str) -> None:
+    """Write a network or plan to ``path`` as JSON."""
+    if isinstance(obj, SensorNetwork):
+        document = network_to_dict(obj)
+    elif isinstance(obj, ChargingPlan):
+        document = plan_to_dict(obj)
+    else:
+        raise SerializationError(
+            f"cannot serialize objects of type {type(obj).__name__}")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> Serializable:
+    """Read a network or plan back from ``path``.
+
+    Dispatches on the document's ``schema`` field.
+    """
+    with open(path) as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, dict):
+        raise SerializationError("document root must be an object")
+    schema = raw.get("schema")
+    if schema == SCHEMA_NETWORK:
+        return network_from_dict(raw)
+    if schema == SCHEMA_PLAN:
+        return plan_from_dict(raw)
+    raise SerializationError(f"unknown schema: {schema!r}")

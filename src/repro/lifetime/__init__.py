@@ -1,0 +1,19 @@
+"""Long-horizon network-lifetime simulation.
+
+Closes the paper's energy loop: sensors drain (constant or Poisson
+event-driven), a charging round triggers when enough run low, the
+planner's mission recharges them, repeat — yielding operational metrics
+(availability, charger energy per day, downtime) per planner.
+"""
+
+from .consumption import ConstantDrain, ConsumptionModel, EventDrain
+from .simulation import (LifetimeResult, LifetimeSimulator, RoundRecord)
+
+__all__ = [
+    "ConstantDrain",
+    "ConsumptionModel",
+    "EventDrain",
+    "LifetimeResult",
+    "LifetimeSimulator",
+    "RoundRecord",
+]

@@ -1,0 +1,21 @@
+"""Sensor-network model: nodes, the field, and deployment generators."""
+
+from .deployment import (clustered_deployment, grid_deployment,
+                         poisson_deployment, testbed_deployment,
+                         uniform_deployment)
+from .network import SensorNetwork
+from .rng import derive_seed, make_rng, seed_sequence
+from .sensor import Sensor
+
+__all__ = [
+    "Sensor",
+    "SensorNetwork",
+    "clustered_deployment",
+    "derive_seed",
+    "grid_deployment",
+    "make_rng",
+    "poisson_deployment",
+    "seed_sequence",
+    "testbed_deployment",
+    "uniform_deployment",
+]

@@ -1,0 +1,186 @@
+"""Deployment generators.
+
+The paper deploys sensors "randomly ... over a 2-D square field with side
+length 1000 m" — that is :func:`uniform_deployment`.  The other generators
+provide the density structure its motivation invokes (dense jungles, smart
+dust clusters) and power additional experiments:
+
+* :func:`clustered_deployment` — Gaussian clusters (hot spots), where
+  bundle charging should shine most.
+* :func:`grid_deployment` — a regular lattice (worst case for bundling
+  when spacing exceeds 2r).
+* :func:`poisson_deployment` — a homogeneous Poisson process, where the
+  node *count* itself is random.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from .. import constants
+from ..errors import DeploymentError
+from ..geometry import Point
+from .network import SensorNetwork
+from .sensor import Sensor
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return min(high, max(low, value))
+
+
+def _build_network(locations: Sequence[Point], field_side_m: float,
+                   required_j: float,
+                   base_station: Optional[Point]) -> SensorNetwork:
+    sensors = [Sensor(index=i, location=loc, required_j=required_j)
+               for i, loc in enumerate(locations)]
+    return SensorNetwork(sensors, field_side_m, base_station=base_station)
+
+
+def uniform_deployment(count: int, seed: int,
+                       field_side_m: float = constants.FIELD_SIDE_M,
+                       required_j: float = constants.DELTA_J,
+                       base_station: Optional[Point] = None
+                       ) -> SensorNetwork:
+    """Deploy ``count`` sensors uniformly at random (the paper's setting).
+
+    Args:
+        count: number of sensors (paper sweeps 40..200).
+        seed: RNG seed; identical seeds give identical deployments.
+        field_side_m: square field side (paper: 1000 m).
+        required_j: per-sensor charging requirement (paper: 2 J).
+        base_station: depot; defaults to the field corner.
+    """
+    if count < 0:
+        raise DeploymentError(f"negative sensor count: {count!r}")
+    rng = random.Random(seed)
+    locations = [Point(rng.uniform(0.0, field_side_m),
+                       rng.uniform(0.0, field_side_m))
+                 for _ in range(count)]
+    return _build_network(locations, field_side_m, required_j, base_station)
+
+
+def clustered_deployment(count: int, seed: int, clusters: int = 5,
+                         spread_m: float = 50.0,
+                         field_side_m: float = constants.FIELD_SIDE_M,
+                         required_j: float = constants.DELTA_J,
+                         base_station: Optional[Point] = None
+                         ) -> SensorNetwork:
+    """Deploy sensors in Gaussian clusters around random centers.
+
+    Args:
+        count: total number of sensors.
+        seed: RNG seed.
+        clusters: number of cluster centers.
+        spread_m: cluster standard deviation.
+        field_side_m: square field side.
+        required_j: per-sensor charging requirement.
+        base_station: depot; defaults to the field corner.
+    """
+    if count < 0:
+        raise DeploymentError(f"negative sensor count: {count!r}")
+    if clusters <= 0:
+        raise DeploymentError(f"need at least one cluster: {clusters!r}")
+    if spread_m < 0.0:
+        raise DeploymentError(f"negative spread: {spread_m!r}")
+    rng = random.Random(seed)
+    centers = [Point(rng.uniform(0.0, field_side_m),
+                     rng.uniform(0.0, field_side_m))
+               for _ in range(clusters)]
+    locations: List[Point] = []
+    for _ in range(count):
+        center = rng.choice(centers)
+        x = _clamp(rng.gauss(center.x, spread_m), 0.0, field_side_m)
+        y = _clamp(rng.gauss(center.y, spread_m), 0.0, field_side_m)
+        locations.append(Point(x, y))
+    return _build_network(locations, field_side_m, required_j, base_station)
+
+
+def grid_deployment(rows: int, cols: int,
+                    field_side_m: float = constants.FIELD_SIDE_M,
+                    jitter_m: float = 0.0, seed: int = 0,
+                    required_j: float = constants.DELTA_J,
+                    base_station: Optional[Point] = None) -> SensorNetwork:
+    """Deploy sensors on a ``rows x cols`` lattice with optional jitter.
+
+    Args:
+        rows: lattice rows.
+        cols: lattice columns.
+        field_side_m: square field side.
+        jitter_m: uniform perturbation half-width applied per coordinate.
+        seed: RNG seed (only used when ``jitter_m > 0``).
+        required_j: per-sensor charging requirement.
+        base_station: depot; defaults to the field corner.
+    """
+    if rows <= 0 or cols <= 0:
+        raise DeploymentError(
+            f"lattice dimensions must be positive: {rows}x{cols}")
+    if jitter_m < 0.0:
+        raise DeploymentError(f"negative jitter: {jitter_m!r}")
+    rng = random.Random(seed)
+    x_step = field_side_m / (cols + 1)
+    y_step = field_side_m / (rows + 1)
+    locations: List[Point] = []
+    for row in range(1, rows + 1):
+        for col in range(1, cols + 1):
+            x = col * x_step
+            y = row * y_step
+            if jitter_m > 0.0:
+                x = _clamp(x + rng.uniform(-jitter_m, jitter_m),
+                           0.0, field_side_m)
+                y = _clamp(y + rng.uniform(-jitter_m, jitter_m),
+                           0.0, field_side_m)
+            locations.append(Point(x, y))
+    return _build_network(locations, field_side_m, required_j, base_station)
+
+
+def poisson_deployment(intensity_per_km2: float, seed: int,
+                       field_side_m: float = constants.FIELD_SIDE_M,
+                       required_j: float = constants.DELTA_J,
+                       base_station: Optional[Point] = None
+                       ) -> SensorNetwork:
+    """Deploy a homogeneous Poisson point process.
+
+    Args:
+        intensity_per_km2: expected sensors per square kilometer.
+        seed: RNG seed.
+        field_side_m: square field side.
+        required_j: per-sensor charging requirement.
+        base_station: depot; defaults to the field corner.
+    """
+    if intensity_per_km2 < 0.0:
+        raise DeploymentError(
+            f"negative intensity: {intensity_per_km2!r}")
+    rng = random.Random(seed)
+    area_km2 = (field_side_m / 1000.0) ** 2
+    expected = intensity_per_km2 * area_km2
+    count = _poisson_sample(rng, expected)
+    locations = [Point(rng.uniform(0.0, field_side_m),
+                       rng.uniform(0.0, field_side_m))
+                 for _ in range(count)]
+    return _build_network(locations, field_side_m, required_j, base_station)
+
+
+def _poisson_sample(rng: random.Random, mean: float) -> int:
+    """Draw one Poisson variate (Knuth for small means, normal approx)."""
+    if mean <= 0.0:
+        return 0
+    if mean > 700.0:
+        # Normal approximation avoids exp underflow for huge intensities.
+        return max(0, round(rng.gauss(mean, math.sqrt(mean))))
+    threshold = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def testbed_deployment(required_j: float = constants.TESTBED_DELTA_J
+                       ) -> SensorNetwork:
+    """Return the paper's six-sensor office testbed (Section VII)."""
+    locations = [Point(x, y) for x, y in constants.TESTBED_SENSORS]
+    return _build_network(locations, constants.TESTBED_SIDE_M,
+                          required_j, base_station=Point(0.0, 0.0))

@@ -1,0 +1,117 @@
+"""The sensor network container.
+
+:class:`SensorNetwork` owns the sensors, the field geometry and the base
+station, and provides the spatial queries every algorithm layer shares.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import DeploymentError
+from ..geometry import GridIndex, Point, convex_hull
+
+
+class SensorNetwork:
+    """A set of sensors in a rectangular field, plus a base station.
+
+    The base station (depot) is where the mobile charger starts and ends
+    its tour; the paper deploys the charger "from the base-station".
+    """
+
+    def __init__(self, sensors: Sequence["Sensor"], field_side_m: float,
+                 base_station: Optional[Point] = None) -> None:
+        """Create a network.
+
+        Args:
+            sensors: sensor nodes; indices must be 0..n-1 in order.
+            field_side_m: square field side length (meters).
+            base_station: depot location; defaults to the field corner
+                (0, 0).
+        """
+        from .sensor import Sensor  # local import avoids cycle at typing
+
+        if field_side_m <= 0.0 or not math.isfinite(field_side_m):
+            raise DeploymentError(f"invalid field side: {field_side_m!r}")
+        self._sensors: List[Sensor] = list(sensors)
+        for expected, sensor in enumerate(self._sensors):
+            if sensor.index != expected:
+                raise DeploymentError(
+                    f"sensor indices must be consecutive from 0; found "
+                    f"{sensor.index} at position {expected}")
+        self.field_side_m = field_side_m
+        self.base_station = base_station or Point(0.0, 0.0)
+        self._index_cache: Optional[Tuple[float, GridIndex]] = None
+
+    # --- container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def __iter__(self) -> Iterator["Sensor"]:
+        return iter(self._sensors)
+
+    def __getitem__(self, index: int) -> "Sensor":
+        return self._sensors[index]
+
+    @property
+    def sensors(self) -> List["Sensor"]:
+        """Return the sensor list (by reference)."""
+        return self._sensors
+
+    @property
+    def locations(self) -> List[Point]:
+        """Return all sensor locations, in index order."""
+        return [sensor.location for sensor in self._sensors]
+
+    # --- spatial queries -------------------------------------------------
+
+    def spatial_index(self, cell_size: float) -> GridIndex:
+        """Return a grid index over sensor locations (cached per size)."""
+        if self._index_cache is not None:
+            cached_size, cached_index = self._index_cache
+            if cached_size == cell_size:
+                return cached_index
+        index = GridIndex(self.locations, cell_size)
+        self._index_cache = (cell_size, index)
+        return index
+
+    def neighbors_within(self, sensor_index: int,
+                         radius: float) -> List[int]:
+        """Return indices of sensors within ``radius`` of a sensor.
+
+        The queried sensor itself is included (it is within radius 0 of
+        itself), matching Algorithm 2's "find all its neighbors" step
+        where each node seeds its own candidate bundles.
+        """
+        index = self.spatial_index(max(radius, 1e-9))
+        center = self._sensors[sensor_index].location
+        return index.neighbors_within(center, radius)
+
+    def density_per_km2(self) -> float:
+        """Return sensors per square kilometer."""
+        area_km2 = (self.field_side_m / 1000.0) ** 2
+        if area_km2 == 0.0:
+            return 0.0
+        return len(self._sensors) / area_km2
+
+    def hull(self) -> List[Point]:
+        """Return the convex hull of the deployment."""
+        return convex_hull(self.locations)
+
+    # --- mission state -----------------------------------------------------
+
+    def reset_energy(self) -> None:
+        """Clear all sensors' harvested energy."""
+        for sensor in self._sensors:
+            sensor.reset()
+
+    def unsatisfied(self) -> List["Sensor"]:
+        """Return sensors still below their requirement."""
+        return [sensor for sensor in self._sensors
+                if not sensor.is_satisfied]
+
+    def all_satisfied(self) -> bool:
+        """Return True when every sensor met its requirement."""
+        return not self.unsatisfied()

@@ -1,0 +1,62 @@
+"""Sensor nodes.
+
+A sensor is a location plus a residual-energy state.  The planning
+algorithms only need the location; the discrete-event simulator also
+tracks harvested energy against the per-sensor requirement ``delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+from ..geometry import Point
+
+
+@dataclass
+class Sensor:
+    """One wireless rechargeable sensor node.
+
+    Attributes:
+        index: position of this sensor in its network (stable identifier).
+        location: deployment coordinates.
+        required_j: energy this sensor must receive during the mission.
+        harvested_j: energy received so far (mutated by the simulator).
+    """
+
+    index: int
+    location: Point
+    required_j: float = 2.0
+    harvested_j: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ModelError(f"negative sensor index: {self.index!r}")
+        if self.required_j < 0.0 or not math.isfinite(self.required_j):
+            raise ModelError(
+                f"invalid energy requirement: {self.required_j!r}")
+
+    @property
+    def is_satisfied(self) -> bool:
+        """Return True once harvested energy meets the requirement."""
+        return self.harvested_j >= self.required_j - 1e-12
+
+    @property
+    def deficit_j(self) -> float:
+        """Return the remaining energy needed (never negative)."""
+        return max(0.0, self.required_j - self.harvested_j)
+
+    def harvest(self, energy_j: float) -> None:
+        """Credit ``energy_j`` joules of received energy.
+
+        Raises:
+            ModelError: on a negative or non-finite credit.
+        """
+        if energy_j < 0.0 or not math.isfinite(energy_j):
+            raise ModelError(f"invalid harvest amount: {energy_j!r}")
+        self.harvested_j += energy_j
+
+    def reset(self) -> None:
+        """Clear harvested energy (reuse the sensor across runs)."""
+        self.harvested_j = 0.0

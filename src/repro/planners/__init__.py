@@ -1,0 +1,28 @@
+"""Charging-trajectory planners: the four algorithms of Figs. 12-13.
+
+* :class:`SingleChargingPlanner` (SC) — per-sensor TSP baseline [6].
+* :class:`CombineSkipSubstitutePlanner` (CSS) — mobile-ferry baseline
+  [36] adapted to charging.
+* :class:`BundleChargingPlanner` (BC) — the paper's bundle scheme.
+* :class:`BundleChargingOptPlanner` (BC-OPT) — BC + Algorithm 3.
+"""
+
+from .base import Planner
+from .bc import BundleChargingPlanner
+from .bc_opt import BundleChargingOptPlanner
+from .css import CombineSkipSubstitutePlanner
+from .registry import (PAPER_ALGORITHMS, make_planner, planner_names,
+                       register_planner)
+from .sc import SingleChargingPlanner
+
+__all__ = [
+    "PAPER_ALGORITHMS",
+    "BundleChargingOptPlanner",
+    "BundleChargingPlanner",
+    "CombineSkipSubstitutePlanner",
+    "Planner",
+    "SingleChargingPlanner",
+    "make_planner",
+    "planner_names",
+    "register_planner",
+]

@@ -1,0 +1,75 @@
+"""The planner interface and shared tour-ordering machinery.
+
+A planner turns a :class:`SensorNetwork` plus :class:`CostParameters`
+into a :class:`ChargingPlan`.  All four algorithms the paper compares
+(SC, CSS, BC, BC-OPT) implement this interface, so the experiment harness
+treats them uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from ..charging import CostParameters
+from ..errors import PlanError
+from ..geometry import Point
+from ..network import SensorNetwork
+from ..tour import ChargingPlan
+from ..tsp import solve_tsp
+
+
+class Planner(ABC):
+    """Base class for charging-trajectory planners.
+
+    Attributes:
+        name: short algorithm label used in result tables.
+        tsp_strategy: which TSP pipeline orders the stops.
+        use_depot: when True the tour starts and ends at the network's
+            base station, as the paper's mission model prescribes.
+    """
+
+    name: str = "planner"
+
+    def __init__(self, tsp_strategy: str = "nn+2opt",
+                 use_depot: bool = True, seed: int = 0) -> None:
+        self.tsp_strategy = tsp_strategy
+        self.use_depot = use_depot
+        self.seed = seed
+
+    @abstractmethod
+    def plan(self, network: SensorNetwork,
+             cost: CostParameters) -> ChargingPlan:
+        """Produce a complete charging plan for ``network``."""
+
+    def _depot_for(self, network: SensorNetwork) -> Optional[Point]:
+        """Return the depot to use, honoring ``use_depot``."""
+        return network.base_station if self.use_depot else None
+
+    def order_positions(self, positions: Sequence[Point],
+                        depot: Optional[Point]) -> List[int]:
+        """Return visiting order (indices into ``positions``) via TSP.
+
+        When a depot is given it is appended as an extra TSP city and the
+        tour is rotated to start right after it, so the returned order is
+        the stop sequence of a depot-rooted round trip.
+        """
+        n = len(positions)
+        if n == 0:
+            return []
+        if n == 1:
+            return [0]
+        cities = list(positions)
+        if depot is not None:
+            cities.append(depot)
+            tour = solve_tsp(cities, strategy=self.tsp_strategy,
+                             seed=self.seed)
+            rooted = tour.rotated_to_start(n)  # depot has index n
+            order = [city for city in rooted if city != n]
+        else:
+            tour = solve_tsp(cities, strategy=self.tsp_strategy,
+                             seed=self.seed)
+            order = tour.order
+        if sorted(order) != list(range(n)):
+            raise PlanError("TSP ordering lost or duplicated stops")
+        return order

@@ -1,0 +1,80 @@
+"""Bundle Charging (BC) — the paper's main algorithm without tour
+refinement.
+
+Pipeline: Algorithm 2 greedy bundle generation, anchor each bundle at its
+members' SED center, TSP over the anchors, dwell per bundle sized by its
+farthest member (its SED radius).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..bundling import BundleSet, greedy_bundles
+from ..charging import CostParameters
+from ..errors import PlanError
+from ..network import SensorNetwork
+from ..tour import ChargingPlan, stop_for_sensors
+from .base import Planner
+
+BundleGenerator = Callable[[SensorNetwork, float], BundleSet]
+
+
+class BundleChargingPlanner(Planner):
+    """Greedy bundles + TSP over bundle anchors."""
+
+    name = "BC"
+
+    def __init__(self, radius: float, tsp_strategy: str = "nn+2opt",
+                 use_depot: bool = True, seed: int = 0,
+                 bundle_generator: Optional[BundleGenerator] = None
+                 ) -> None:
+        """Create the planner.
+
+        Args:
+            radius: the bundle generation radius ``r``.
+            tsp_strategy: TSP pipeline over the anchors.
+            use_depot: root the tour at the base station.
+            seed: TSP seed.
+            bundle_generator: override the OBG algorithm (defaults to the
+                paper's greedy Algorithm 2; pass ``grid_bundles`` or
+                ``optimal_bundles`` for ablations).
+        """
+        super().__init__(tsp_strategy=tsp_strategy, use_depot=use_depot,
+                         seed=seed)
+        if radius < 0.0:
+            raise PlanError(f"negative bundle radius: {radius!r}")
+        self.radius = radius
+        self.bundle_generator = bundle_generator or greedy_bundles
+
+    def generate_bundles(self, network: SensorNetwork) -> BundleSet:
+        """Run the configured OBG algorithm."""
+        return self.bundle_generator(network, self.radius)
+
+    def plan(self, network: SensorNetwork,
+             cost: CostParameters) -> ChargingPlan:
+        """Build the bundle-charging plan."""
+        bundle_set = self.generate_bundles(network)
+        return self.plan_from_bundles(network, cost, bundle_set)
+
+    def plan_from_bundles(self, network: SensorNetwork,
+                          cost: CostParameters,
+                          bundle_set: BundleSet) -> ChargingPlan:
+        """Order a given bundle configuration into a plan.
+
+        Exposed separately so BC-OPT (and tests) can reuse the exact same
+        bundle set for both the unoptimized and optimized tours.
+        """
+        locations = network.locations
+        depot = self._depot_for(network)
+        anchors = bundle_set.anchors()
+        order = self.order_positions(anchors, depot)
+        stops = tuple(
+            stop_for_sensors(anchors[i],
+                             sorted(bundle_set.bundles[i].members),
+                             locations, cost)
+            for i in order
+        )
+        plan = ChargingPlan(stops=stops, depot=depot, label=self.name)
+        plan.validate_complete(len(network))
+        return plan

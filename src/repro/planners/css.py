@@ -1,0 +1,188 @@
+"""Combine-Skip-Substitute (CSS) — He, Pan & Xu's mobile-ferry baseline.
+
+CSS was designed for data collection: the ferry must come within a
+communication range ``r`` of every sensor, and three tour-shortening
+passes are applied to an initial per-sensor TSP tour:
+
+* **Combine** — merge consecutive stops whose range disks admit a common
+  stop position (here: the run of sensors fits in a radius-``r`` disk).
+* **Skip** — drop a stop whose feasible disk the remaining path already
+  crosses, stopping at the crossing point instead.
+* **Substitute** — slide each stop to the feasible point nearest the
+  surrounding path, shortening the two adjacent legs.
+
+Adapted to charging, the dwell at each stop follows Eq. 1 with the
+*actual* stop-to-sensor distances.  CSS therefore shortens the tour like
+bundle charging does, but chooses stop positions for path length only —
+it never trades charging efficiency against movement, which is exactly
+the deficiency the paper's Figs. 12-13 expose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..charging import CostParameters
+from ..errors import PlanError
+from ..geometry import (Disk, Point, Segment, fits_in_radius,
+                        smallest_enclosing_disk)
+from ..network import SensorNetwork
+from ..tour import ChargingPlan, stop_for_sensors
+from .base import Planner
+
+
+class _Group:
+    """A combined stop: member sensors plus a feasible stop position."""
+
+    __slots__ = ("members", "center", "slack", "position")
+
+    def __init__(self, members: List[int], center: Point, slack: float,
+                 position: Point) -> None:
+        self.members = members
+        self.center = center      # SED center of the members
+        self.slack = slack        # r - SED radius: feasible-disk radius
+        self.position = position  # current stop position
+
+    def feasible_disk(self) -> Disk:
+        """Positions guaranteed within range of every member."""
+        return Disk(self.center, max(0.0, self.slack))
+
+
+class CombineSkipSubstitutePlanner(Planner):
+    """The CSS baseline with a range parameter ``radius``."""
+
+    name = "CSS"
+
+    def __init__(self, radius: float, tsp_strategy: str = "nn+2opt",
+                 use_depot: bool = True, seed: int = 0,
+                 substitute_rounds: int = 3) -> None:
+        """Create the planner.
+
+        Args:
+            radius: the per-sensor communication/charging range ``r``.
+            tsp_strategy: TSP pipeline for the initial per-sensor tour.
+            use_depot: root the tour at the base station.
+            seed: TSP seed.
+            substitute_rounds: sweeps of the Substitute pass.
+        """
+        super().__init__(tsp_strategy=tsp_strategy, use_depot=use_depot,
+                         seed=seed)
+        if radius < 0.0:
+            raise PlanError(f"negative CSS radius: {radius!r}")
+        self.radius = radius
+        self.substitute_rounds = substitute_rounds
+
+    def plan(self, network: SensorNetwork,
+             cost: CostParameters) -> ChargingPlan:
+        """Run the three CSS passes and emit the charging plan."""
+        locations = network.locations
+        depot = self._depot_for(network)
+        order = self.order_positions(locations, depot)
+
+        groups = self._combine(order, locations)
+        self._skip(groups, depot)
+        for _ in range(self.substitute_rounds):
+            self._substitute(groups, depot)
+
+        stops = tuple(
+            stop_for_sensors(group.position, group.members, locations,
+                             cost)
+            for group in groups
+        )
+        plan = ChargingPlan(stops=stops, depot=depot, label=self.name)
+        plan.validate_complete(len(network))
+        return plan
+
+    # --- Combine -----------------------------------------------------------
+
+    def _combine(self, order: Sequence[int],
+                 locations: Sequence[Point]) -> List[_Group]:
+        """Greedily merge consecutive tour sensors into range groups."""
+        groups: List[_Group] = []
+        run: List[int] = []
+        for sensor in order:
+            trial = run + [sensor]
+            points = [locations[i] for i in trial]
+            if fits_in_radius(points, self.radius):
+                run = trial
+                continue
+            groups.append(self._close_group(run, locations))
+            run = [sensor]
+        if run:
+            groups.append(self._close_group(run, locations))
+        return groups
+
+    def _close_group(self, members: List[int],
+                     locations: Sequence[Point]) -> _Group:
+        disk = smallest_enclosing_disk([locations[i] for i in members])
+        slack = self.radius - disk.radius
+        return _Group(members, disk.center, slack, disk.center)
+
+    # --- Skip ----------------------------------------------------------------
+
+    def _skip(self, groups: List[_Group],
+              depot: Optional[Point]) -> None:
+        """Relocate stops whose feasible disk the bypass path crosses.
+
+        CSS's Skip removes the detour to a stop when the direct path
+        between its neighbours already passes within range; the ferry
+        halts at the entry point.  We keep the group (its sensors still
+        need their dwell) but pin its position onto the bypass segment.
+        """
+        for i, group in enumerate(groups):
+            disk = group.feasible_disk()
+            if disk.radius <= 0.0:
+                continue
+            prev_point = self._neighbor_position(groups, depot, i, -1)
+            next_point = self._neighbor_position(groups, depot, i, +1)
+            if prev_point is None or next_point is None:
+                continue
+            segment = Segment(prev_point, next_point)
+            if segment.intersects_disk(disk):
+                group.position = segment.first_point_in_disk(disk)
+
+    # --- Substitute ------------------------------------------------------------
+
+    def _substitute(self, groups: List[_Group],
+                    depot: Optional[Point]) -> None:
+        """Slide each stop toward the path through its neighbours."""
+        for i, group in enumerate(groups):
+            disk = group.feasible_disk()
+            prev_point = self._neighbor_position(groups, depot, i, -1)
+            next_point = self._neighbor_position(groups, depot, i, +1)
+            if prev_point is None or next_point is None:
+                continue
+            segment = Segment(prev_point, next_point)
+            candidate = segment.closest_point(group.center)
+            # Clamp into the feasible disk so every member stays in range.
+            offset = candidate - group.center
+            distance = offset.norm()
+            if distance > disk.radius:
+                if disk.radius <= 0.0 or distance == 0.0:
+                    candidate = group.center
+                else:
+                    candidate = (group.center
+                                 + offset * (disk.radius / distance))
+            old_legs = (group.position.distance_to(prev_point)
+                        + group.position.distance_to(next_point))
+            new_legs = (candidate.distance_to(prev_point)
+                        + candidate.distance_to(next_point))
+            if new_legs < old_legs - 1e-12:
+                group.position = candidate
+
+    @staticmethod
+    def _neighbor_position(groups: Sequence[_Group],
+                           depot: Optional[Point], index: int,
+                           direction: int) -> Optional[Point]:
+        """Position of the tour neighbour (depot-aware, cyclic)."""
+        n = len(groups)
+        if n == 0:
+            return None
+        target = index + direction
+        if depot is not None:
+            if target < 0 or target >= n:
+                return depot
+            return groups[target].position
+        if n == 1:
+            return None
+        return groups[target % n].position

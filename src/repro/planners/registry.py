@@ -1,0 +1,82 @@
+"""Planner registry.
+
+The experiment harness and CLI refer to planners by short names; this
+registry maps those names to configured planner instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ExperimentError
+from .base import Planner
+from .bc import BundleChargingPlanner
+from .bc_opt import BundleChargingOptPlanner
+from .css import CombineSkipSubstitutePlanner
+from .sc import SingleChargingPlanner
+
+#: Factories take (radius, tsp_strategy, seed) and return a planner.  SC
+#: ignores the radius — it has no range concept — but keeps the signature
+#: so callers can build all four uniformly.
+PlannerFactory = Callable[[float, str, int], Planner]
+
+def _make_tspn(radius: float, strategy: str, seed: int) -> Planner:
+    """Factory for the optional TSPN baseline (lazy import: the tspn
+    package sits above planners in the layering)."""
+    from ..tspn import TspnChargingPlanner
+    return TspnChargingPlanner(radius, tsp_strategy=strategy, seed=seed)
+
+
+_REGISTRY: Dict[str, PlannerFactory] = {
+    "SC": lambda radius, strategy, seed: SingleChargingPlanner(
+        tsp_strategy=strategy, seed=seed),
+    "CSS": lambda radius, strategy, seed: CombineSkipSubstitutePlanner(
+        radius, tsp_strategy=strategy, seed=seed),
+    "BC": lambda radius, strategy, seed: BundleChargingPlanner(
+        radius, tsp_strategy=strategy, seed=seed),
+    "BC-OPT": lambda radius, strategy, seed: BundleChargingOptPlanner(
+        radius, tsp_strategy=strategy, seed=seed),
+    # Extension baseline (not part of the paper's four-way comparison).
+    "TSPN": _make_tspn,
+}
+
+#: The paper's comparison order (Figs. 12-13).
+PAPER_ALGORITHMS = ("SC", "CSS", "BC", "BC-OPT")
+
+
+def planner_names() -> List[str]:
+    """Return the registered planner names, in comparison order."""
+    return list(PAPER_ALGORITHMS)
+
+
+def make_planner(name: str, radius: float,
+                 tsp_strategy: str = "nn+2opt", seed: int = 0) -> Planner:
+    """Instantiate a registered planner.
+
+    Args:
+        name: one of ``SC``, ``CSS``, ``BC``, ``BC-OPT``.
+        radius: bundle/range radius (ignored by SC).
+        tsp_strategy: TSP pipeline name.
+        seed: TSP seed.
+
+    Raises:
+        ExperimentError: for an unknown planner name.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown planner {name!r}; choose from "
+            f"{sorted(_REGISTRY)}") from None
+    return factory(radius, tsp_strategy, seed)
+
+
+def register_planner(name: str, factory: PlannerFactory) -> None:
+    """Register a custom planner factory (extension point).
+
+    Raises:
+        ExperimentError: when the name is already taken.
+    """
+    if name in _REGISTRY:
+        raise ExperimentError(f"planner {name!r} already registered")
+    _REGISTRY[name] = factory

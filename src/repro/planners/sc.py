@@ -1,0 +1,34 @@
+"""Single Charging (SC) — the traditional per-sensor baseline [6].
+
+No bundling: the charger drives a TSP tour through *every sensor* and
+charges each at zero distance.  Charging efficiency is maximal (shortest
+possible dwell per sensor) but the tour is as long as tours get, which is
+why SC degrades with density (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from ..charging import CostParameters
+from ..network import SensorNetwork
+from ..tour import ChargingPlan, stop_for_sensors
+from .base import Planner
+
+
+class SingleChargingPlanner(Planner):
+    """TSP over all sensors; one stop per sensor at the sensor itself."""
+
+    name = "SC"
+
+    def plan(self, network: SensorNetwork,
+             cost: CostParameters) -> ChargingPlan:
+        """Build the per-sensor plan."""
+        locations = network.locations
+        depot = self._depot_for(network)
+        order = self.order_positions(locations, depot)
+        stops = tuple(
+            stop_for_sensors(locations[i], [i], locations, cost)
+            for i in order
+        )
+        plan = ChargingPlan(stops=stops, depot=depot, label=self.name)
+        plan.validate_complete(len(network))
+        return plan

@@ -1,0 +1,28 @@
+"""Discrete-event execution of charging plans.
+
+The simulator drives the mobile charger through a plan, credits every
+sensor's one-to-many harvest, and validates the Eq. 3 per-sensor energy
+constraint end-to-end.
+"""
+
+from .charger import DEFAULT_SPEED_M_PER_S, MobileCharger, run_mission
+from .engine import SimulationEngine
+from .events import Event, EventQueue
+from .trace import (ChargeRecord, HarvestRecord, MissionTrace, MoveRecord)
+from .validate import ValidationResult, robustness_margin, validate_plan
+
+__all__ = [
+    "DEFAULT_SPEED_M_PER_S",
+    "ChargeRecord",
+    "Event",
+    "EventQueue",
+    "HarvestRecord",
+    "MissionTrace",
+    "MobileCharger",
+    "MoveRecord",
+    "SimulationEngine",
+    "ValidationResult",
+    "robustness_margin",
+    "run_mission",
+    "validate_plan",
+]

@@ -1,0 +1,177 @@
+"""The mobile-charger process: executes a :class:`ChargingPlan`.
+
+The charger alternates MOVE and CHARGE phases through the plan's
+waypoints on the DES kernel.  While it radiates at a stop, *every* sensor
+in the network harvests according to the charging model and its distance
+— the one-to-many property of wireless charging — so sensors near a
+foreign bundle receive incidental energy exactly as Eq. 3's constraint
+(which sums over all stops) allows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..charging import CostParameters
+from ..errors import SimulationError
+from ..geometry import Point
+from ..network import SensorNetwork
+from ..tour import ChargingPlan
+from .engine import SimulationEngine
+from .events import Event
+from .trace import ChargeRecord, HarvestRecord, MissionTrace, MoveRecord
+
+#: Default charger ground speed (m/s); the testbed robot drives 0.3 m/s,
+#: field vehicles in the cited literature drive ~1 m/s.
+DEFAULT_SPEED_M_PER_S = 1.0
+
+
+class MobileCharger:
+    """Drives the plan on a simulation engine and fills a trace."""
+
+    def __init__(self, engine: SimulationEngine, plan: ChargingPlan,
+                 network: SensorNetwork, cost: CostParameters,
+                 speed_m_per_s: float = DEFAULT_SPEED_M_PER_S,
+                 harvest_scale: float = 1.0) -> None:
+        """Create the charger process.
+
+        Args:
+            engine: the DES engine to schedule on.
+            plan: the mission to execute.
+            network: sensors that harvest while the charger radiates.
+            cost: mission cost constants (movement + model).
+            speed_m_per_s: charger ground speed.
+            harvest_scale: failure-injection knob — sensors harvest
+                this fraction of the model's prediction (1.0 = nominal;
+                0.9 models a 10 % optimistic charging model, antenna
+                misalignment, obstruction losses, ...).
+
+        Raises:
+            SimulationError: on a non-positive speed or scale.
+        """
+        if speed_m_per_s <= 0.0 or not math.isfinite(speed_m_per_s):
+            raise SimulationError(f"invalid speed: {speed_m_per_s!r}")
+        if harvest_scale <= 0.0 or not math.isfinite(harvest_scale):
+            raise SimulationError(
+                f"invalid harvest scale: {harvest_scale!r}")
+        self.engine = engine
+        self.plan = plan
+        self.network = network
+        self.cost = cost
+        self.speed = speed_m_per_s
+        self.harvest_scale = harvest_scale
+        self.trace = MissionTrace()
+        self.position: Point = (plan.depot if plan.depot is not None
+                                else self._first_position())
+        self._next_stop = 0
+        self._finished = False
+
+    def _first_position(self) -> Point:
+        if not self.plan.stops:
+            return Point(0.0, 0.0)
+        return self.plan.stops[0].position
+
+    @property
+    def finished(self) -> bool:
+        """True once the charger has returned home."""
+        return self._finished
+
+    def start(self) -> None:
+        """Kick off the mission at the engine's current time."""
+        self.engine.schedule_after(0.0, "depart", self._on_depart)
+
+    # --- phases ----------------------------------------------------------
+
+    def _on_depart(self, _: Event) -> None:
+        """Leave the current position toward the next waypoint."""
+        if self._next_stop < len(self.plan.stops):
+            destination = self.plan.stops[self._next_stop].position
+            arrival_kind = "arrive"
+            handler = self._on_arrive
+        else:
+            home = (self.plan.depot if self.plan.depot is not None
+                    else self._first_position())
+            destination = home
+            arrival_kind = "home"
+            handler = self._on_home
+        length = self.position.distance_to(destination)
+        travel_s = length / self.speed
+        start_s = self.engine.now_s
+        origin = self.position
+
+        def arrive(event: Event) -> None:
+            self.trace.moves.append(MoveRecord(
+                start_s=start_s, end_s=event.time_s, origin=origin,
+                destination=destination, length_m=length,
+                energy_j=self.cost.movement_energy(length)))
+            self.position = destination
+            handler(event)
+
+        self.engine.schedule_after(travel_s, arrival_kind, arrive)
+
+    def _on_arrive(self, _: Event) -> None:
+        """Arrived at a stop: begin the dwell."""
+        stop = self.plan.stops[self._next_stop]
+        dwell = stop.dwell_s
+        start_s = self.engine.now_s
+        stop_index = self._next_stop
+
+        def finish(event: Event) -> None:
+            self._credit_harvest(stop_index, dwell)
+            self.trace.charges.append(ChargeRecord(
+                start_s=start_s, end_s=event.time_s,
+                position=stop.position, stop_index=stop_index,
+                energy_j=self.cost.model.source_power_w * dwell))
+            self._next_stop += 1
+            self.engine.schedule_after(0.0, "depart", self._on_depart)
+
+        self.engine.schedule_after(dwell, "charge", finish)
+
+    def _on_home(self, _: Event) -> None:
+        """Mission complete."""
+        self._finished = True
+
+    # --- harvesting -------------------------------------------------------------
+
+    def _credit_harvest(self, stop_index: int, dwell_s: float) -> None:
+        """Credit every sensor for one dwell (one-to-many charging)."""
+        stop = self.plan.stops[stop_index]
+        for sensor in self.network:
+            distance = stop.position.distance_to(sensor.location)
+            power = self.cost.model.received_power(distance)
+            if power <= 0.0:
+                continue
+            energy = power * dwell_s * self.harvest_scale
+            sensor.harvest(energy)
+            self.trace.harvests.append(HarvestRecord(
+                sensor_index=sensor.index, stop_index=stop_index,
+                distance_m=distance, energy_j=energy,
+                assigned=sensor.index in stop.sensors))
+
+
+def run_mission(plan: ChargingPlan, network: SensorNetwork,
+                cost: CostParameters,
+                speed_m_per_s: float = DEFAULT_SPEED_M_PER_S,
+                reset_energy: bool = True,
+                harvest_scale: float = 1.0) -> MissionTrace:
+    """Execute ``plan`` on a fresh engine and return the trace.
+
+    Args:
+        plan: the mission.
+        network: the sensors (their ``harvested_j`` is mutated).
+        cost: mission cost constants.
+        speed_m_per_s: charger ground speed.
+        reset_energy: clear sensors' harvested energy first.
+        harvest_scale: failure-injection factor on received power.
+    """
+    if reset_energy:
+        network.reset_energy()
+    engine = SimulationEngine()
+    charger = MobileCharger(engine, plan, network, cost,
+                            speed_m_per_s=speed_m_per_s,
+                            harvest_scale=harvest_scale)
+    charger.start()
+    engine.run()
+    if not charger.finished:
+        raise SimulationError("mission ended before the charger got home")
+    return charger.trace

@@ -1,0 +1,76 @@
+"""The simulation engine: clock + event loop.
+
+Handlers get the engine through closure and may schedule follow-up
+events; the loop runs until the queue drains or a step/time limit hits
+(so runaway schedules fail loudly rather than spin).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import SimulationError
+from .events import Event, EventHandler, EventQueue
+
+
+class SimulationEngine:
+    """Event-driven clock."""
+
+    def __init__(self, max_steps: int = 10_000_000) -> None:
+        """Create an engine.
+
+        Args:
+            max_steps: hard cap on processed events.
+        """
+        if max_steps <= 0:
+            raise SimulationError(f"invalid step cap: {max_steps!r}")
+        self.queue = EventQueue()
+        self.now_s = 0.0
+        self.steps = 0
+        self._max_steps = max_steps
+
+    def schedule_at(self, time_s: float, kind: str,
+                    handler: Optional[EventHandler] = None) -> Event:
+        """Schedule an event at absolute time ``time_s``.
+
+        Raises:
+            SimulationError: when scheduling into the past.
+        """
+        if time_s < self.now_s - 1e-12:
+            raise SimulationError(
+                f"cannot schedule into the past: {time_s} < {self.now_s}")
+        return self.queue.schedule(max(time_s, self.now_s), kind, handler)
+
+    def schedule_after(self, delay_s: float, kind: str,
+                       handler: Optional[EventHandler] = None) -> Event:
+        """Schedule an event ``delay_s`` seconds from now."""
+        if delay_s < 0.0 or not math.isfinite(delay_s):
+            raise SimulationError(f"invalid delay: {delay_s!r}")
+        return self.schedule_at(self.now_s + delay_s, kind, handler)
+
+    def run(self, until_s: float = math.inf) -> float:
+        """Process events in time order until the queue drains.
+
+        Args:
+            until_s: stop (without firing) at the first event past this
+                time.
+
+        Returns:
+            The final simulation time.
+
+        Raises:
+            SimulationError: when the step cap is exceeded.
+        """
+        while len(self.queue) > 0:
+            next_time = self.queue.peek_time()
+            if next_time is not None and next_time > until_s:
+                break
+            event = self.queue.pop()
+            self.now_s = event.time_s
+            self.steps += 1
+            if self.steps > self._max_steps:
+                raise SimulationError(
+                    f"exceeded {self._max_steps} simulation steps")
+            event.fire()
+        return self.now_s

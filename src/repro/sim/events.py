@@ -1,0 +1,76 @@
+"""Discrete-event core: events and the time-ordered event queue.
+
+A tiny but real DES kernel: events carry a firing time and a handler;
+the engine pops them in time order (FIFO among ties) and lets handlers
+schedule further events.  The mobile-charger process in
+:mod:`repro.sim.charger` is built on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import SimulationError
+
+EventHandler = Callable[["Event"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Ordering is (time, sequence number) so simultaneous events fire in
+    scheduling order — determinism the tests rely on.
+    """
+
+    time_s: float
+    sequence: int
+    kind: str = field(compare=False)
+    handler: Optional[EventHandler] = field(compare=False, default=None)
+
+    def fire(self) -> None:
+        """Invoke the handler, if any."""
+        if self.handler is not None:
+            self.handler(self)
+
+
+class EventQueue:
+    """A priority queue of events with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time_s: float, kind: str,
+                 handler: Optional[EventHandler] = None) -> Event:
+        """Schedule an event at absolute time ``time_s``.
+
+        Raises:
+            SimulationError: on a negative or non-finite time.
+        """
+        if time_s < 0.0 or not math.isfinite(time_s):
+            raise SimulationError(f"invalid event time: {time_s!r}")
+        event = Event(time_s, next(self._counter), kind, handler)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            SimulationError: when the queue is empty.
+        """
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Return the next event time, or None when empty."""
+        return self._heap[0].time_s if self._heap else None

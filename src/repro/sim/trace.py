@@ -1,0 +1,128 @@
+"""Mission traces: what the simulated charger actually did.
+
+The trace is an append-only list of typed records; analysis helpers
+aggregate it back into the same metrics the static evaluator computes,
+which gives the integration tests a strong cross-check (static plan
+economics must equal simulated mission economics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..geometry import Point
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """The charger drove one leg.
+
+    Attributes:
+        start_s / end_s: departure and arrival times.
+        origin / destination: leg endpoints.
+        length_m: leg length.
+        energy_j: movement energy spent on the leg.
+    """
+
+    start_s: float
+    end_s: float
+    origin: Point
+    destination: Point
+    length_m: float
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class ChargeRecord:
+    """The charger dwelled and radiated at one stop.
+
+    Attributes:
+        start_s / end_s: dwell window.
+        position: stop position.
+        stop_index: index of the stop in the plan.
+        energy_j: charger-side radiated energy (p_c * dwell).
+    """
+
+    start_s: float
+    end_s: float
+    position: Point
+    stop_index: int
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class HarvestRecord:
+    """One sensor's harvest from one dwell.
+
+    Attributes:
+        sensor_index: which sensor harvested.
+        stop_index: which stop was radiating.
+        distance_m: charger-to-sensor distance during the dwell.
+        energy_j: energy credited to the sensor.
+        assigned: True when this stop is the sensor's responsible stop
+            (False = incidental cross-bundle harvesting).
+    """
+
+    sensor_index: int
+    stop_index: int
+    distance_m: float
+    energy_j: float
+    assigned: bool
+
+
+class MissionTrace:
+    """Append-only record of a simulated mission."""
+
+    def __init__(self) -> None:
+        self.moves: List[MoveRecord] = []
+        self.charges: List[ChargeRecord] = []
+        self.harvests: List[HarvestRecord] = []
+
+    # --- aggregation ------------------------------------------------------
+
+    @property
+    def tour_length_m(self) -> float:
+        """Total driven distance."""
+        return sum(record.length_m for record in self.moves)
+
+    @property
+    def movement_energy_j(self) -> float:
+        """Total movement energy."""
+        return sum(record.energy_j for record in self.moves)
+
+    @property
+    def charging_energy_j(self) -> float:
+        """Total charger-side radiated energy."""
+        return sum(record.energy_j for record in self.charges)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Movement + charging energy."""
+        return self.movement_energy_j + self.charging_energy_j
+
+    @property
+    def total_charging_time_s(self) -> float:
+        """Summed dwell time."""
+        return sum(record.end_s - record.start_s
+                   for record in self.charges)
+
+    @property
+    def mission_time_s(self) -> float:
+        """End time of the last record."""
+        ends = [record.end_s for record in self.moves]
+        ends += [record.end_s for record in self.charges]
+        return max(ends) if ends else 0.0
+
+    def harvested_by_sensor(self) -> dict:
+        """Return total harvested energy per sensor index."""
+        totals: dict = {}
+        for record in self.harvests:
+            totals[record.sensor_index] = (
+                totals.get(record.sensor_index, 0.0) + record.energy_j)
+        return totals
+
+    def incidental_energy_j(self) -> float:
+        """Return total energy harvested from non-assigned stops."""
+        return sum(record.energy_j for record in self.harvests
+                   if not record.assigned)

@@ -1,0 +1,18 @@
+"""Simulated Powercast testbed (the paper's Section VII rig)."""
+
+from .hardware import AccessPoint, PowerharvesterSensor, RobotCar
+from .runner import (REPORT_INTERVAL_S, TestbedRun, compare_planners,
+                     run_testbed)
+from .scenario import TestbedScenario, paper_testbed
+
+__all__ = [
+    "AccessPoint",
+    "PowerharvesterSensor",
+    "REPORT_INTERVAL_S",
+    "RobotCar",
+    "TestbedRun",
+    "TestbedScenario",
+    "compare_planners",
+    "paper_testbed",
+    "run_testbed",
+]

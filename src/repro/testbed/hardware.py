@@ -1,0 +1,118 @@
+"""Simulated testbed hardware (paper Section VII).
+
+We do not have the physical Powercast robot-car rig, so this module
+models its components explicitly — the substitution DESIGN.md documents:
+
+* :class:`RobotCar` — a 0.3 m/s ground vehicle with the same 5.59 J/m
+  movement cost the paper reuses from simulation.
+* :class:`PowerharvesterSensor` — a P2110-backed node that reports its
+  harvested energy to the access point.
+* :class:`AccessPoint` — collects sensor reports, like the laptop+AP in
+  Fig. 15.
+
+The RF front end lives in :class:`repro.charging.PowercastChargingModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .. import constants
+from ..errors import ModelError
+from ..geometry import Point
+
+
+@dataclass
+class RobotCar:
+    """The TX91501-carrying robot car.
+
+    Attributes:
+        speed_m_per_s: ground speed (paper: 0.3 m/s).
+        move_cost_j_per_m: movement energy cost (paper reuses 5.59 J/m).
+        position: current location.
+        odometer_m: total driven distance.
+        energy_spent_j: movement energy spent so far.
+    """
+
+    speed_m_per_s: float = constants.TESTBED_SPEED_M_PER_S
+    move_cost_j_per_m: float = constants.MOVE_COST_J_PER_M
+    position: Point = field(default_factory=lambda: Point(0.0, 0.0))
+    odometer_m: float = 0.0
+    energy_spent_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed_m_per_s <= 0.0:
+            raise ModelError(f"invalid speed: {self.speed_m_per_s!r}")
+        if self.move_cost_j_per_m < 0.0:
+            raise ModelError(
+                f"invalid move cost: {self.move_cost_j_per_m!r}")
+
+    def drive_to(self, destination: Point) -> float:
+        """Drive to ``destination``; return the travel time in seconds."""
+        length = self.position.distance_to(destination)
+        self.position = destination
+        self.odometer_m += length
+        self.energy_spent_j += length * self.move_cost_j_per_m
+        return length / self.speed_m_per_s
+
+
+@dataclass
+class PowerharvesterSensor:
+    """A P2110-equipped sensor that reports harvests to the AP.
+
+    Attributes:
+        index: sensor id.
+        location: deployment position.
+        required_j: target energy (paper: 4 mJ per node).
+        harvested_j: running total.
+    """
+
+    index: int
+    location: Point
+    required_j: float = constants.TESTBED_DELTA_J
+    harvested_j: float = 0.0
+
+    def receive(self, power_w: float, duration_s: float) -> float:
+        """Harvest ``power_w`` for ``duration_s``; return the credit."""
+        if power_w < 0.0 or duration_s < 0.0:
+            raise ModelError("power and duration must be non-negative")
+        credit = power_w * duration_s
+        self.harvested_j += credit
+        return credit
+
+    @property
+    def charged(self) -> bool:
+        """True once the requirement is met."""
+        return self.harvested_j >= self.required_j - 1e-15
+
+
+class AccessPoint:
+    """Collects per-sensor harvest reports (the laptop + AP of Fig. 15)."""
+
+    def __init__(self) -> None:
+        self._reports: List[Dict] = []
+
+    def report(self, sensor_index: int, time_s: float,
+               harvested_j: float) -> None:
+        """Record one report frame."""
+        if not math.isfinite(time_s) or time_s < 0.0:
+            raise ModelError(f"invalid report time: {time_s!r}")
+        self._reports.append({
+            "sensor": sensor_index,
+            "time_s": time_s,
+            "harvested_j": harvested_j,
+        })
+
+    @property
+    def reports(self) -> List[Dict]:
+        """Return all collected reports."""
+        return list(self._reports)
+
+    def latest_by_sensor(self) -> Dict[int, float]:
+        """Return the last reported harvest per sensor."""
+        latest: Dict[int, float] = {}
+        for frame in self._reports:
+            latest[frame["sensor"]] = frame["harvested_j"]
+        return latest

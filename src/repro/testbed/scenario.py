@@ -1,0 +1,53 @@
+"""The paper's testbed scenario: 6 sensors in a 5 m x 5 m office.
+
+Coordinates (1,1), (1,3), (1,4), (2,4), (4,4), (4,1) from Section VII.
+The scenario packages network + cost parameters so the planners and the
+testbed runner consume one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+from ..charging import CostParameters, PowercastChargingModel
+from ..network import SensorNetwork, testbed_deployment
+
+
+@dataclass(frozen=True)
+class TestbedScenario:
+    """A ready-to-run testbed configuration.
+
+    Attributes:
+        network: the 6-sensor office network.
+        cost: Powercast model + movement cost + 4 mJ requirement.
+        speed_m_per_s: robot-car speed.
+    """
+
+    network: SensorNetwork
+    cost: CostParameters
+    speed_m_per_s: float
+
+
+def paper_testbed(harvester_efficiency: float = 0.55,
+                  required_j: float = constants.TESTBED_DELTA_J
+                  ) -> TestbedScenario:
+    """Build the Section VII scenario.
+
+    Args:
+        harvester_efficiency: P2110 RF-to-DC efficiency to assume.
+        required_j: per-sensor energy target (paper: 4 mJ).
+    """
+    model = PowercastChargingModel(
+        harvester_efficiency=harvester_efficiency)
+    network = testbed_deployment(required_j=required_j)
+    cost = CostParameters(
+        model=model,
+        move_cost_j_per_m=constants.MOVE_COST_J_PER_M,
+        delta_j=required_j,
+    )
+    return TestbedScenario(
+        network=network,
+        cost=cost,
+        speed_m_per_s=constants.TESTBED_SPEED_M_PER_S,
+    )

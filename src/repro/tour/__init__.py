@@ -1,0 +1,31 @@
+"""Charging-tour layer (the paper's BTO problem, Section V).
+
+Plans, the Eq. 3 evaluator, the Theorem 4/5 single-anchor optimizer and
+the Algorithm 3 tour optimizer.
+"""
+
+from .anchor_opt import (AnchorResult, anchor_energy, optimize_anchor,
+                         two_bundle_shift)
+from .evaluate import PlanMetrics, evaluate_plan, plan_total_energy
+from .latency import (LatencyMetrics, completion_times, latency_metrics,
+                      reorder_for_latency)
+from .optimizer import TourOptimizationReport, optimize_tour
+from .plan import ChargingPlan, Stop, stop_for_sensors
+
+__all__ = [
+    "AnchorResult",
+    "ChargingPlan",
+    "LatencyMetrics",
+    "PlanMetrics",
+    "Stop",
+    "TourOptimizationReport",
+    "anchor_energy",
+    "completion_times",
+    "evaluate_plan",
+    "latency_metrics",
+    "optimize_anchor",
+    "optimize_tour",
+    "plan_total_energy",
+    "reorder_for_latency",
+    "stop_for_sensors",
+]

@@ -1,0 +1,173 @@
+"""Single-anchor optimization — Theorems 4 and 5 of the paper.
+
+Given a stop between tour neighbours ``prev`` and ``next``, the charger
+may park anywhere: moving the anchor off the bundle's SED center shortens
+the tour legs but lengthens the worst charging distance (and hence the
+dwell).  Theorem 4 reduces the 2-D search to a 1-D family: for each
+displacement budget ``d``, the best position on the circle of radius ``d``
+around the bundle center is the tangency point with the ellipse whose
+foci are the neighbours — equivalently, the circle point minimizing the
+sum of focal distances.  Theorem 5 locates that point by bisector-sign
+binary search in ``O(log h)`` instead of scanning ``h`` discretized
+angles.
+
+:func:`optimize_anchor` runs the 1-D search over ``d`` and returns the
+best position found, never worse than the starting anchor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..charging import CostParameters
+from ..errors import PlanError
+from ..geometry import Point, min_focal_sum_on_circle
+
+#: Default number of displacement budgets sampled in the 1-D search.
+DEFAULT_RADIUS_STEPS = 24
+
+
+@dataclass(frozen=True)
+class AnchorResult:
+    """Outcome of a single-anchor optimization.
+
+    Attributes:
+        position: the chosen anchor.
+        energy_j: movement (two legs) + charging energy at that anchor.
+        moved: True when the anchor changed from the initial position.
+    """
+
+    position: Point
+    energy_j: float
+    moved: bool
+
+
+def anchor_energy(position: Point, prev_point: Point, next_point: Point,
+                  member_locations: Sequence[Point],
+                  cost: CostParameters) -> float:
+    """Return the local energy of charging this bundle from ``position``.
+
+    Local energy = movement over the two adjacent legs + charger-side
+    charging energy for the farthest member.  Only terms that depend on
+    this anchor are counted, so comparing two positions is exact.
+    """
+    legs = (position.distance_to(prev_point)
+            + position.distance_to(next_point))
+    charge = cost.charging_energy_for_distances(
+        position.distance_to(p) for p in member_locations)
+    if math.isinf(charge):
+        return math.inf
+    return cost.movement_energy(legs) + charge
+
+
+def optimize_anchor(center: Point, prev_point: Point, next_point: Point,
+                    member_locations: Sequence[Point],
+                    cost: CostParameters,
+                    current: Optional[Point] = None,
+                    max_displacement: Optional[float] = None,
+                    radius_steps: int = DEFAULT_RADIUS_STEPS
+                    ) -> AnchorResult:
+    """Find the best anchor for one bundle between two tour neighbours.
+
+    Args:
+        center: the bundle's SED center ``C_i`` (minimizes the worst
+            charging distance; displacement is measured from here).
+        prev_point: the preceding anchor ``C_{i-1}`` on the tour.
+        next_point: the following anchor ``C_{i+1}`` on the tour.
+        member_locations: locations of the bundle's sensors.
+        cost: mission cost constants.
+        current: the incumbent anchor to beat; defaults to ``center``.
+        max_displacement: cap on how far from ``center`` to search;
+            defaults to the shorter adjacent leg (moving farther than a
+            neighbour can never pay off).
+        radius_steps: displacement discretization level ``h``.
+
+    Returns:
+        The best anchor found; ``energy_j`` is the local objective of
+        :func:`anchor_energy` and is <= the incumbent's.
+
+    Raises:
+        PlanError: on a non-positive ``radius_steps``.
+    """
+    if radius_steps <= 0:
+        raise PlanError(f"radius_steps must be positive: {radius_steps!r}")
+
+    incumbent = current if current is not None else center
+    best_position = incumbent
+    best_energy = anchor_energy(incumbent, prev_point, next_point,
+                                member_locations, cost)
+    # Relative acceptance threshold: ignore sub-ppm "improvements" so the
+    # sweep loop in Algorithm 3 terminates instead of chasing noise.
+    accept_tol = 1e-7 * max(1.0, abs(best_energy))
+
+    # The SED center itself is always a candidate (d = 0).
+    center_energy = anchor_energy(center, prev_point, next_point,
+                                  member_locations, cost)
+    if center_energy < best_energy - accept_tol:
+        best_position = center
+        best_energy = center_energy
+
+    if max_displacement is None:
+        max_displacement = min(center.distance_to(prev_point),
+                               center.distance_to(next_point))
+    if max_displacement <= 0.0:
+        return AnchorResult(best_position, best_energy,
+                            best_position != incumbent)
+
+    for step in range(1, radius_steps + 1):
+        d = max_displacement * step / radius_steps
+        point, _ = min_focal_sum_on_circle(center, d, prev_point,
+                                           next_point)
+        energy = anchor_energy(point, prev_point, next_point,
+                               member_locations, cost)
+        if energy < best_energy - accept_tol:
+            best_energy = energy
+            best_position = point
+
+    return AnchorResult(best_position, best_energy,
+                        best_position != incumbent)
+
+
+def two_bundle_shift(bundle_separation: float, bundle_radius: float,
+                     cost: CostParameters,
+                     steps: int = 200) -> float:
+    """The paper's two-bundle warm-up (Section V-B, Eq. 7/8).
+
+    Two bundles of radius ``r`` have centers ``L`` apart; the charger may
+    stop ``x`` short of each center along the connecting line.  Returns
+    the energy-minimizing ``x`` found by scanning [0, L/2] — the standard
+    numerical method the paper invokes.
+
+    Args:
+        bundle_separation: ``L``, the distance between the two centers.
+        bundle_radius: ``r``, both bundles' radius.
+        cost: mission cost constants.
+        steps: scan resolution.
+
+    Returns:
+        The optimal pull-in distance ``x >= 0``.
+    """
+    if bundle_separation < 0.0 or bundle_radius < 0.0:
+        raise PlanError("separation and radius must be non-negative")
+
+    def energy(x: float) -> float:
+        # Round trip saves 2x of movement; charging worst distance grows
+        # from r to r + x at each of the two stops.
+        movement = cost.movement_energy(
+            2.0 * max(0.0, bundle_separation - 2.0 * x))
+        charging = 2.0 * cost.charging_energy_for_distance(
+            bundle_radius + x)
+        return movement + charging
+
+    best_x = 0.0
+    best_energy = energy(0.0)
+    limit = bundle_separation / 2.0
+    for step in range(1, steps + 1):
+        x = limit * step / steps
+        value = energy(x)
+        if value < best_energy - 1e-12:
+            best_energy = value
+            best_x = x
+    return best_x

@@ -1,0 +1,107 @@
+"""Plan evaluation: the Eq. 3 objective, computed one way for everyone.
+
+``total = E_m * tour_length + sum(p_c * dwell_i)`` — movement plus
+charger-side radiated energy.  The evaluator also reports the per-sensor
+metrics the paper plots (average charging time per sensor, Fig. 12(c) /
+13(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..charging import CostParameters, EnergyBreakdown
+from ..errors import PlanError
+from ..geometry import Point
+from .plan import ChargingPlan
+
+
+@dataclass(frozen=True)
+class PlanMetrics:
+    """Everything the paper's evaluation plots, for one plan.
+
+    Attributes:
+        energy: the full energy ledger.
+        stop_count: number of charging stops.
+        sensor_count: number of sensors the plan serves.
+        average_charging_time_s: total dwell divided by sensors served —
+            the paper's "average charging time for each sensor".
+        max_stop_distance_m: worst charger-to-sensor distance over stops.
+    """
+
+    energy: EnergyBreakdown
+    stop_count: int
+    sensor_count: int
+    average_charging_time_s: float
+    max_stop_distance_m: float
+
+    @property
+    def total_j(self) -> float:
+        """Return total (movement + charging) energy."""
+        return self.energy.total_j
+
+    def as_row(self) -> Dict[str, float]:
+        """Return a flat dict for tables."""
+        row = self.energy.as_dict()
+        row["avg_charging_time_s"] = self.average_charging_time_s
+        row["max_stop_distance_m"] = self.max_stop_distance_m
+        row["sensor_count"] = float(self.sensor_count)
+        return row
+
+
+def evaluate_plan(plan: ChargingPlan, locations: Sequence[Point],
+                  cost: CostParameters,
+                  require_consistent_dwell: bool = True) -> PlanMetrics:
+    """Compute the Eq. 3 objective and companion metrics for ``plan``.
+
+    Args:
+        plan: the plan to score.
+        locations: sensor locations (indexed by the stops' sensor ids).
+        cost: mission cost constants.
+        require_consistent_dwell: when True, verify each stop's stored
+            dwell is at least the minimum needed for its farthest sensor
+            (catches planners that under-dwell).
+
+    Raises:
+        PlanError: when a stop under-dwells and the check is enabled.
+    """
+    energy = EnergyBreakdown()
+    waypoints = plan.waypoints()
+    if len(waypoints) >= 2:
+        for i in range(len(waypoints)):
+            a = waypoints[i]
+            b = waypoints[(i + 1) % len(waypoints)]
+            energy.add_leg(a.distance_to(b), cost)
+
+    worst_overall = 0.0
+    served = 0
+    for stop in plan.stops:
+        worst = stop.worst_distance(locations)
+        worst_overall = max(worst_overall, worst)
+        served += len(stop.sensors)
+        if require_consistent_dwell and stop.sensors:
+            distances = [stop.position.distance_to(locations[i])
+                         for i in stop.sensors]
+            needed = cost.dwell_time_for_distances(distances)
+            if stop.dwell_s < needed - 1e-6 * max(1.0, needed):
+                raise PlanError(
+                    f"stop at {stop.position} dwells {stop.dwell_s:.3f}s "
+                    f"but needs {needed:.3f}s under the "
+                    f"{cost.dwell_policy} dwell policy")
+        energy.add_stop(stop.dwell_s, cost)
+
+    average_time = (plan.total_dwell_s() / served) if served else 0.0
+    return PlanMetrics(
+        energy=energy,
+        stop_count=len(plan.stops),
+        sensor_count=served,
+        average_charging_time_s=average_time,
+        max_stop_distance_m=worst_overall,
+    )
+
+
+def plan_total_energy(plan: ChargingPlan, locations: Sequence[Point],
+                      cost: CostParameters) -> float:
+    """Shorthand for the total-energy objective alone."""
+    return evaluate_plan(plan, locations, cost).total_j

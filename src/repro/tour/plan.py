@@ -1,0 +1,145 @@
+"""Charging plans: the output every planner produces.
+
+A :class:`ChargingPlan` is an ordered list of :class:`Stop` objects plus
+an optional depot.  The mobile charger starts at the depot, visits each
+stop in order, dwells for the stop's charging time, and returns to the
+depot.  Plans are the common currency between planners, the evaluator,
+the tour optimizer and the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterator, List, Optional, Sequence
+
+from ..charging import CostParameters
+from ..errors import PlanError
+from ..geometry import Point, polyline_length
+
+
+@dataclass(frozen=True)
+class Stop:
+    """One charging stop.
+
+    Attributes:
+        position: where the charger parks and radiates.
+        sensors: indices of sensors whose requirement this stop is
+            responsible for (its "bundle").
+        dwell_s: how long the charger radiates here, in seconds.
+    """
+
+    position: Point
+    sensors: FrozenSet[int]
+    dwell_s: float
+
+    def __post_init__(self) -> None:
+        if self.dwell_s < 0.0 or math.isnan(self.dwell_s):
+            raise PlanError(f"invalid dwell time: {self.dwell_s!r}")
+
+    def worst_distance(self, locations: Sequence[Point]) -> float:
+        """Return the farthest assigned-sensor distance from this stop."""
+        if not self.sensors:
+            return 0.0
+        return max(self.position.distance_to(locations[i])
+                   for i in self.sensors)
+
+
+@dataclass(frozen=True)
+class ChargingPlan:
+    """A complete mission: stop sequence plus optional depot round trip.
+
+    Attributes:
+        stops: charging stops in visiting order.
+        depot: charger's start/end position; when None the tour is the
+            closed cycle through the stops alone.
+        label: the producing algorithm's name (for tables).
+    """
+
+    stops: tuple
+    depot: Optional[Point] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stops", tuple(self.stops))
+        seen: set = set()
+        for stop in self.stops:
+            overlap = seen & stop.sensors
+            if overlap:
+                raise PlanError(
+                    f"sensors assigned to multiple stops: "
+                    f"{sorted(overlap)[:5]}")
+            seen |= stop.sensors
+
+    def __len__(self) -> int:
+        return len(self.stops)
+
+    def __iter__(self) -> Iterator[Stop]:
+        return iter(self.stops)
+
+    @property
+    def assigned_sensors(self) -> FrozenSet[int]:
+        """Return all sensors some stop is responsible for."""
+        assigned: set = set()
+        for stop in self.stops:
+            assigned |= stop.sensors
+        return frozenset(assigned)
+
+    def waypoints(self) -> List[Point]:
+        """Return the movement waypoints, including the depot if set."""
+        positions = [stop.position for stop in self.stops]
+        if self.depot is not None:
+            return [self.depot] + positions
+        return positions
+
+    def tour_length(self) -> float:
+        """Return the closed-tour length (returning to the first point)."""
+        return polyline_length(self.waypoints(), closed=True)
+
+    def total_dwell_s(self) -> float:
+        """Return the summed charging time over all stops."""
+        return sum(stop.dwell_s for stop in self.stops)
+
+    def with_label(self, label: str) -> "ChargingPlan":
+        """Return a relabeled copy."""
+        return replace(self, label=label)
+
+    def with_stop(self, index: int, stop: Stop) -> "ChargingPlan":
+        """Return a copy with stop ``index`` replaced."""
+        if not 0 <= index < len(self.stops):
+            raise PlanError(f"stop index out of range: {index}")
+        stops = list(self.stops)
+        stops[index] = stop
+        return replace(self, stops=tuple(stops))
+
+    def validate_complete(self, sensor_count: int) -> None:
+        """Ensure every sensor ``0..sensor_count-1`` has a charging stop.
+
+        Raises:
+            PlanError: listing missing sensor indices.
+        """
+        assigned = self.assigned_sensors
+        missing = [i for i in range(sensor_count) if i not in assigned]
+        if missing:
+            raise PlanError(
+                f"{len(missing)} sensors unassigned: {missing[:10]}")
+
+
+def stop_for_sensors(position: Point, sensor_indices: Sequence[int],
+                     locations: Sequence[Point],
+                     cost: CostParameters) -> Stop:
+    """Build a stop whose dwell satisfies its farthest assigned sensor.
+
+    The dwell time is ``delta / p_r(worst distance)`` — the minimum time
+    that fully charges every assigned sensor, since received power is
+    monotonically decreasing in distance.
+    """
+    sensors = frozenset(sensor_indices)
+    distances = [position.distance_to(locations[i]) for i in sensors]
+    dwell = cost.dwell_time_for_distances(distances)
+    if math.isinf(dwell):
+        worst = max(distances)
+        raise PlanError(
+            f"stop at {position} cannot charge a sensor {worst:.2f} m "
+            f"away: received power is zero at that distance")
+    return Stop(position=position, sensors=sensors, dwell_s=dwell)

@@ -1,0 +1,41 @@
+"""From-scratch TSP substrate.
+
+Construction heuristics, 2-opt / Or-opt local search, Christofides,
+Held-Karp exact DP, simulated annealing, and the :func:`solve_tsp`
+facade the planners call.
+"""
+
+from .annealing import AnnealingSchedule, anneal
+from .christofides import christofides_tour
+from .construction import (cheapest_insertion_tour, greedy_edge_tour,
+                           nearest_neighbor_tour)
+from .distance import DistanceMatrix
+from .exact import MAX_EXACT_CITIES, held_karp_length, held_karp_tour
+from .local_search import or_opt, three_opt, two_opt
+from .mst_approx import minimum_spanning_parent, mst_doubling_tour
+from .solver import (DEFAULT_STRATEGY, solve_tsp, solve_tsp_matrix,
+                     tour_length)
+from .tour import Tour
+
+__all__ = [
+    "AnnealingSchedule",
+    "DEFAULT_STRATEGY",
+    "DistanceMatrix",
+    "MAX_EXACT_CITIES",
+    "Tour",
+    "anneal",
+    "cheapest_insertion_tour",
+    "christofides_tour",
+    "greedy_edge_tour",
+    "held_karp_length",
+    "held_karp_tour",
+    "minimum_spanning_parent",
+    "mst_doubling_tour",
+    "nearest_neighbor_tour",
+    "or_opt",
+    "solve_tsp",
+    "solve_tsp_matrix",
+    "three_opt",
+    "tour_length",
+    "two_opt",
+]

@@ -1,0 +1,79 @@
+"""Simulated annealing for TSP.
+
+A randomized improver used in ablations ("how much tour quality does the
+planner stack leave on the table?").  Deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..errors import TourError
+from .distance import DistanceMatrix
+from .tour import Tour
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Cooling schedule parameters.
+
+    Attributes:
+        initial_temperature: starting temperature (distance units).
+        cooling: multiplicative decay per iteration, in (0, 1).
+        iterations: total proposal count.
+    """
+
+    initial_temperature: float = 100.0
+    cooling: float = 0.999
+    iterations: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0.0:
+            raise TourError(
+                f"temperature must be positive: "
+                f"{self.initial_temperature!r}")
+        if not 0.0 < self.cooling < 1.0:
+            raise TourError(f"cooling must be in (0,1): {self.cooling!r}")
+        if self.iterations < 0:
+            raise TourError(f"negative iterations: {self.iterations!r}")
+
+
+def anneal(tour: Tour, distance: DistanceMatrix, seed: int = 0,
+           schedule: AnnealingSchedule = AnnealingSchedule()) -> Tour:
+    """Improve ``tour`` by simulated annealing with 2-opt proposals.
+
+    Returns the best tour *seen*, which is never worse than the input.
+    """
+    n = len(tour)
+    if n < 4 or schedule.iterations == 0:
+        return tour
+    rng = random.Random(seed)
+    order = tour.order
+    current_length = Tour(order).length(distance)
+    best_order = order[:]
+    best_length = current_length
+    temperature = schedule.initial_temperature
+
+    for _ in range(schedule.iterations):
+        i = rng.randrange(0, n - 1)
+        j = rng.randrange(i + 1, n)
+        if i == 0 and j == n - 1:
+            temperature *= schedule.cooling
+            continue
+        a, b = order[i - 1] if i > 0 else order[-1], order[i]
+        c, d = order[j], order[(j + 1) % n]
+        delta = (distance(a, c) + distance(b, d)
+                 - distance(a, b) - distance(c, d))
+        accept = delta < 0.0 or (
+            temperature > 1e-12
+            and rng.random() < math.exp(-delta / temperature))
+        if accept:
+            order[i:j + 1] = reversed(order[i:j + 1])
+            current_length += delta
+            if current_length < best_length - 1e-12:
+                best_length = current_length
+                best_order = order[:]
+        temperature *= schedule.cooling
+    return Tour(best_order)

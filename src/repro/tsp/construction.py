@@ -1,0 +1,184 @@
+"""Tour-construction heuristics.
+
+Three classic constructors, all deterministic given their inputs:
+
+* :func:`nearest_neighbor_tour` — grow from a start city, always hop to
+  the nearest unvisited city (O(n^2), typically ~25 % above optimal).
+* :func:`greedy_edge_tour` — add shortest edges that keep degree <= 2 and
+  avoid premature subcycles (O(n^2 log n), usually better than NN).
+* :func:`cheapest_insertion_tour` — grow a cycle by inserting the city
+  with the cheapest insertion cost (O(n^2)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import TourError
+from .distance import DistanceMatrix
+from .tour import Tour
+
+
+def nearest_neighbor_tour(distance: DistanceMatrix,
+                          start: int = 0) -> Tour:
+    """Build a tour by always visiting the nearest unvisited city.
+
+    Args:
+        distance: pairwise distances.
+        start: the first city.
+
+    Raises:
+        TourError: if ``start`` is out of range.
+    """
+    n = distance.size
+    if n == 0:
+        return Tour([])
+    distance.validate_index(start)
+    unvisited = set(range(n))
+    unvisited.remove(start)
+    order = [start]
+    current = start
+    while unvisited:
+        nearest = min(unvisited, key=lambda city: distance(current, city))
+        order.append(nearest)
+        unvisited.remove(nearest)
+        current = nearest
+    return Tour(order)
+
+
+class _DisjointSet:
+    """Union-find for subcycle detection in the greedy-edge constructor."""
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._rank = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+
+def greedy_edge_tour(distance: DistanceMatrix) -> Tour:
+    """Build a tour from globally shortest feasible edges."""
+    n = distance.size
+    if n == 0:
+        return Tour([])
+    if n == 1:
+        return Tour([0])
+    if n == 2:
+        return Tour([0, 1])
+
+    edges = sorted(((distance(i, j), i, j)
+                    for i in range(n) for j in range(i + 1, n)),
+                   key=lambda e: e[0])
+    degree = [0] * n
+    components = _DisjointSet(n)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    accepted = 0
+    for _, i, j in edges:
+        if degree[i] >= 2 or degree[j] >= 2:
+            continue
+        if components.find(i) == components.find(j):
+            # Only the final, Hamiltonian-closing edge may form a cycle.
+            if accepted != n - 1:
+                continue
+        components.union(i, j)
+        adjacency[i].append(j)
+        adjacency[j].append(i)
+        degree[i] += 1
+        degree[j] += 1
+        accepted += 1
+        if accepted == n:
+            break
+
+    # Close any remaining open path (can happen when the last feasible
+    # edge was rejected by the cycle rule ordering).
+    endpoints = [city for city in range(n) if degree[city] < 2]
+    while len(endpoints) >= 2:
+        a = endpoints.pop()
+        best: Optional[int] = None
+        best_dist = float("inf")
+        for b in endpoints:
+            if components.find(a) == components.find(b) and len(
+                    endpoints) > 1:
+                continue
+            if distance(a, b) < best_dist:
+                best_dist = distance(a, b)
+                best = b
+        if best is None:
+            best = endpoints[0]
+        endpoints.remove(best)
+        components.union(a, best)
+        adjacency[a].append(best)
+        adjacency[best].append(a)
+        degree[a] += 1
+        degree[best] += 1
+        endpoints = [city for city in range(n) if degree[city] < 2]
+
+    return _walk_cycle(adjacency, n)
+
+
+def _walk_cycle(adjacency: List[List[int]], n: int) -> Tour:
+    """Trace the 2-regular adjacency structure into a tour order."""
+    order = [0]
+    previous = -1
+    current = 0
+    while len(order) < n:
+        neighbors = adjacency[current]
+        nxt = neighbors[0] if neighbors[0] != previous else neighbors[1]
+        order.append(nxt)
+        previous, current = current, nxt
+    if sorted(order) != list(range(n)):
+        raise TourError("greedy edge construction produced a non-tour")
+    return Tour(order)
+
+
+def cheapest_insertion_tour(distance: DistanceMatrix,
+                            start: int = 0) -> Tour:
+    """Grow a cycle by repeatedly making the cheapest insertion."""
+    n = distance.size
+    if n == 0:
+        return Tour([])
+    distance.validate_index(start)
+    if n == 1:
+        return Tour([0])
+
+    remaining = set(range(n))
+    remaining.remove(start)
+    # Seed with the city nearest the start.
+    second = min(remaining, key=lambda city: distance(start, city))
+    remaining.remove(second)
+    cycle = [start, second]
+
+    while remaining:
+        best_city = -1
+        best_position = 0
+        best_cost = float("inf")
+        for city in remaining:
+            for position in range(len(cycle)):
+                a = cycle[position]
+                b = cycle[(position + 1) % len(cycle)]
+                cost = (distance(a, city) + distance(city, b)
+                        - distance(a, b))
+                if cost < best_cost:
+                    best_cost = cost
+                    best_city = city
+                    best_position = position + 1
+        cycle.insert(best_position, best_city)
+        remaining.remove(best_city)
+    return Tour(cycle)

@@ -1,0 +1,52 @@
+"""Distance matrices.
+
+TSP heuristics work against an abstract ``distance(i, j)`` callable; this
+module provides the Euclidean matrix over point lists (precomputed, since
+the heuristics probe distances many times per pair).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..errors import TourError
+from ..geometry import Point
+
+DistanceFn = Callable[[int, int], float]
+
+
+class DistanceMatrix:
+    """A dense, symmetric distance matrix over ``n`` cities."""
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        """Precompute all pairwise Euclidean distances."""
+        self._n = len(points)
+        self._rows: List[List[float]] = []
+        for i in range(self._n):
+            row = [0.0] * self._n
+            for j in range(self._n):
+                if j < i:
+                    row[j] = self._rows[j][i]
+                elif j > i:
+                    row[j] = points[i].distance_to(points[j])
+            self._rows.append(row)
+
+    def __call__(self, i: int, j: int) -> float:
+        return self._rows[i][j]
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size(self) -> int:
+        """Return the number of cities."""
+        return self._n
+
+    def row(self, i: int) -> List[float]:
+        """Return row ``i`` (a copy)."""
+        return self._rows[i][:]
+
+    def validate_index(self, i: int) -> None:
+        """Raise on an out-of-range city index."""
+        if not 0 <= i < self._n:
+            raise TourError(f"city index out of range: {i} (n={self._n})")

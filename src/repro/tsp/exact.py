@@ -1,0 +1,85 @@
+"""Exact TSP by Held-Karp dynamic programming.
+
+O(2^n * n^2) time and O(2^n * n) memory — usable to about n = 15, which is
+plenty to certify the heuristics in the test suite and to solve the
+6-sensor testbed exactly.
+"""
+
+from __future__ import annotations
+
+from ..errors import TourError
+from .distance import DistanceMatrix
+from .tour import Tour
+
+#: Refuse instances beyond this size (memory blows up past it).
+MAX_EXACT_CITIES = 16
+
+
+def held_karp_tour(distance: DistanceMatrix) -> Tour:
+    """Return a provably optimal tour.
+
+    Args:
+        distance: pairwise distances; at most :data:`MAX_EXACT_CITIES`
+            cities.
+
+    Raises:
+        TourError: when the instance is too large.
+    """
+    n = distance.size
+    if n > MAX_EXACT_CITIES:
+        raise TourError(
+            f"Held-Karp limited to {MAX_EXACT_CITIES} cities, got {n}")
+    if n == 0:
+        return Tour([])
+    if n <= 3:
+        return Tour(list(range(n)))
+
+    # dp[mask][last] = best cost to start at 0, visit exactly the cities
+    # in mask (mask always contains 0 and last), ending at last.
+    size = 1 << n
+    infinity = float("inf")
+    dp = [[infinity] * n for _ in range(size)]
+    parent = [[-1] * n for _ in range(size)]
+    dp[1][0] = 0.0
+
+    for mask in range(1, size):
+        if not mask & 1:
+            continue  # tours must contain the start city 0
+        for last in range(n):
+            if not mask & (1 << last):
+                continue
+            cost = dp[mask][last]
+            if cost == infinity:
+                continue
+            for nxt in range(1, n):
+                bit = 1 << nxt
+                if mask & bit:
+                    continue
+                candidate = cost + distance(last, nxt)
+                new_mask = mask | bit
+                if candidate < dp[new_mask][nxt]:
+                    dp[new_mask][nxt] = candidate
+                    parent[new_mask][nxt] = last
+
+    full = size - 1
+    best_last = min(range(1, n),
+                    key=lambda last: dp[full][last] + distance(last, 0))
+
+    order = []
+    mask = full
+    last = best_last
+    while last != -1:
+        order.append(last)
+        previous = parent[mask][last]
+        mask ^= 1 << last
+        last = previous
+    order.reverse()
+    if order[0] != 0:
+        raise TourError("Held-Karp reconstruction failed to reach start")
+    return Tour(order)
+
+
+def held_karp_length(distance: DistanceMatrix) -> float:
+    """Return only the optimal tour length."""
+    tour = held_karp_tour(distance)
+    return tour.length(distance)

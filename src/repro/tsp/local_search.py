@@ -1,0 +1,199 @@
+"""Tour improvement: 2-opt and Or-opt local search.
+
+Both operators only ever *accept improving moves*, so the test suite can
+assert that improvement never increases tour length — the library's core
+TSP invariant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .distance import DistanceMatrix
+from .tour import Tour
+
+
+def two_opt(tour: Tour, distance: DistanceMatrix,
+            max_rounds: int = 50) -> Tour:
+    """Improve ``tour`` with first-improvement 2-opt until a local optimum.
+
+    Args:
+        tour: the starting tour.
+        distance: pairwise distances.
+        max_rounds: safety cap on full improvement sweeps.
+
+    Returns:
+        A tour whose length is <= the input's, 2-opt locally optimal
+        unless the round cap was hit first.
+    """
+    n = len(tour)
+    if n < 4:
+        return tour
+    order = tour.order
+    improved = True
+    rounds = 0
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for i in range(n - 1):
+            a, b = order[i], order[i + 1]
+            d_ab = distance(a, b)
+            for j in range(i + 2, n):
+                # Skip the move that would detach the closing edge's pair.
+                if i == 0 and j == n - 1:
+                    continue
+                c, d = order[j], order[(j + 1) % n]
+                delta = (distance(a, c) + distance(b, d)
+                         - d_ab - distance(c, d))
+                if delta < -1e-12:
+                    order[i + 1:j + 1] = reversed(order[i + 1:j + 1])
+                    improved = True
+                    a, b = order[i], order[i + 1]
+                    d_ab = distance(a, b)
+    return Tour(order)
+
+
+def or_opt(tour: Tour, distance: DistanceMatrix,
+           segment_lengths: tuple = (1, 2, 3),
+           max_rounds: int = 25) -> Tour:
+    """Or-opt: relocate short segments to better positions.
+
+    Moves chains of 1-3 consecutive cities between other edges whenever
+    that shortens the tour.  Complements 2-opt (which can only reverse).
+    """
+    n = len(tour)
+    if n < 5:
+        return tour
+    order = tour.order
+    improved = True
+    rounds = 0
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for seg_len in segment_lengths:
+            if seg_len >= n - 2:
+                continue
+            move_made = _or_opt_pass(order, distance, seg_len)
+            improved = improved or move_made
+    return Tour(order)
+
+
+def _or_opt_pass(order: List[int], distance: DistanceMatrix,
+                 seg_len: int) -> bool:
+    """One relocation sweep for a fixed segment length."""
+    n = len(order)
+    improved = False
+    i = 0
+    while i < n:
+        # Segment order[i .. i+seg_len-1]; must not wrap for simplicity.
+        if i + seg_len > n:
+            break
+        prev_city = order[i - 1] if i > 0 else order[-1]
+        seg_first = order[i]
+        seg_last = order[i + seg_len - 1]
+        next_index = (i + seg_len) % n
+        next_city = order[next_index]
+        removal_gain = (distance(prev_city, seg_first)
+                        + distance(seg_last, next_city)
+                        - distance(prev_city, next_city))
+        if removal_gain <= 1e-12:
+            i += 1
+            continue
+        segment = order[i:i + seg_len]
+        rest = order[:i] + order[i + seg_len:]
+        best_delta = -1e-12
+        best_position = -1
+        for position in range(len(rest)):
+            a = rest[position]
+            b = rest[(position + 1) % len(rest)]
+            insertion_cost = (distance(a, seg_first)
+                              + distance(seg_last, b)
+                              - distance(a, b))
+            delta = insertion_cost - removal_gain
+            if delta < best_delta:
+                best_delta = delta
+                best_position = position
+        if best_position >= 0:
+            rest[best_position + 1:best_position + 1] = segment
+            order[:] = rest
+            improved = True
+        else:
+            i += 1
+    return improved
+
+
+def three_opt(tour: Tour, distance: DistanceMatrix,
+              max_rounds: int = 10) -> Tour:
+    """Improve ``tour`` with first-improvement 3-opt.
+
+    Considers the pure 3-opt reconnections that are not reachable by a
+    single 2-opt move (segment reversal combinations and the segment
+    exchange), restarting the scan after each accepted move.  Heavier
+    than 2-opt — use it as a finishing pass on tours that matter.
+    """
+    n = len(tour)
+    if n < 6:
+        return two_opt(tour, distance, max_rounds=max_rounds)
+    order = tour.order
+    rounds = 0
+    improved = True
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for i in range(n - 4):
+            for j in range(i + 2, n - 2):
+                for k in range(j + 2, n):
+                    if i == 0 and k == n - 1:
+                        continue
+                    if _try_three_opt_move(order, distance, i, j, k):
+                        improved = True
+    return Tour(order)
+
+
+def _try_three_opt_move(order: List[int], distance: DistanceMatrix,
+                        i: int, j: int, k: int) -> bool:
+    """Try the 3-opt reconnections on edges (i,i+1), (j,j+1), (k,k+1).
+
+    Mutates ``order`` and returns True when an improving reconnection
+    was applied.  Segments: A = order[..i], B = order[i+1..j],
+    C = order[j+1..k], D = order[k+1..].
+    """
+    n = len(order)
+    a, b = order[i], order[i + 1]
+    c, d = order[j], order[j + 1]
+    e, f = order[k], order[(k + 1) % n]
+    base = distance(a, b) + distance(c, d) + distance(e, f)
+
+    # Reconnection candidates (delta, rebuild key); 2-opt-equivalent
+    # variants are skipped (two_opt handles those more cheaply).
+    candidates = (
+        # B reversed + C reversed.
+        (distance(a, c) + distance(b, e) + distance(d, f), "rev_both"),
+        # Segment exchange: A C B D (both forward).
+        (distance(a, d) + distance(e, b) + distance(c, f), "exchange"),
+        # C reversed then B forward: A C' B D variants.
+        (distance(a, e) + distance(d, b) + distance(c, f), "c_rev_swap"),
+        (distance(a, d) + distance(e, c) + distance(b, f), "b_rev_swap"),
+    )
+    best_delta = -1e-12
+    best_key = None
+    for cost, key in candidates:
+        delta = cost - base
+        if delta < best_delta:
+            best_delta = delta
+            best_key = key
+    if best_key is None:
+        return False
+
+    segment_b = order[i + 1:j + 1]
+    segment_c = order[j + 1:k + 1]
+    if best_key == "rev_both":
+        middle = segment_b[::-1] + segment_c[::-1]
+    elif best_key == "exchange":
+        middle = segment_c + segment_b
+    elif best_key == "c_rev_swap":
+        middle = segment_c[::-1] + segment_b
+    else:  # "b_rev_swap"
+        middle = segment_c + segment_b[::-1]
+    order[i + 1:k + 1] = middle
+    return True

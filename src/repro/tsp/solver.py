@@ -1,0 +1,111 @@
+"""TSP solver facade.
+
+The paper's Algorithm 3 says only "Call TSP solver"; this facade is that
+call.  It picks a sensible pipeline by instance size and exposes named
+strategies for ablation:
+
+* ``"exact"`` — Held-Karp (n <= 16).
+* ``"nn"`` / ``"greedy"`` / ``"insertion"`` / ``"christofides"`` — a
+  single constructor, no improvement.
+* ``"nn+2opt"`` (default), ``"greedy+2opt"``, ``"christofides+2opt"`` —
+  constructor followed by 2-opt and Or-opt.
+* ``"anneal"`` — nearest neighbour + simulated annealing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..errors import TourError
+from ..geometry import Point
+from .annealing import anneal
+from .christofides import christofides_tour
+from .construction import (cheapest_insertion_tour, greedy_edge_tour,
+                           nearest_neighbor_tour)
+from .distance import DistanceMatrix
+from .exact import MAX_EXACT_CITIES, held_karp_tour
+from .local_search import or_opt, three_opt, two_opt
+from .mst_approx import mst_doubling_tour
+from .tour import Tour
+
+DEFAULT_STRATEGY = "nn+2opt"
+
+
+def solve_tsp(points: Sequence[Point],
+              strategy: str = DEFAULT_STRATEGY,
+              seed: int = 0) -> Tour:
+    """Solve (approximately) the TSP over ``points``.
+
+    Args:
+        points: city coordinates.
+        strategy: one of the named strategies in the module docstring,
+            or ``"auto"`` to pick exact for tiny instances and the default
+            heuristic otherwise.
+        seed: seed for the randomized strategies (``"anneal"``).
+
+    Returns:
+        A closed :class:`Tour` over ``range(len(points))``.
+
+    Raises:
+        TourError: for an unknown strategy name.
+    """
+    n = len(points)
+    if n <= 1:
+        return Tour(list(range(n)))
+    distance = DistanceMatrix(points)
+    return solve_tsp_matrix(distance, strategy=strategy, seed=seed)
+
+
+def solve_tsp_matrix(distance: DistanceMatrix,
+                     strategy: str = DEFAULT_STRATEGY,
+                     seed: int = 0) -> Tour:
+    """Solve the TSP over a prebuilt distance matrix."""
+    n = distance.size
+    if n <= 3:
+        return Tour(list(range(n)))
+    if strategy == "auto":
+        strategy = "exact" if n <= 12 else DEFAULT_STRATEGY
+
+    solvers: Dict[str, Callable[[], Tour]] = {
+        "exact": lambda: held_karp_tour(distance),
+        "nn": lambda: nearest_neighbor_tour(distance),
+        "greedy": lambda: greedy_edge_tour(distance),
+        "insertion": lambda: cheapest_insertion_tour(distance),
+        "christofides": lambda: christofides_tour(distance),
+        "nn+2opt": lambda: _improve(
+            nearest_neighbor_tour(distance), distance),
+        "greedy+2opt": lambda: _improve(
+            greedy_edge_tour(distance), distance),
+        "insertion+2opt": lambda: _improve(
+            cheapest_insertion_tour(distance), distance),
+        "christofides+2opt": lambda: _improve(
+            christofides_tour(distance), distance),
+        "anneal": lambda: anneal(
+            nearest_neighbor_tour(distance), distance, seed=seed),
+        "nn+3opt": lambda: three_opt(
+            _improve(nearest_neighbor_tour(distance), distance),
+            distance),
+        "mst": lambda: mst_doubling_tour(distance),
+        "mst+2opt": lambda: _improve(mst_doubling_tour(distance),
+                                     distance),
+    }
+    if strategy not in solvers:
+        raise TourError(
+            f"unknown TSP strategy {strategy!r}; choose from "
+            f"{sorted(solvers)} or 'auto'")
+    if strategy == "exact" and n > MAX_EXACT_CITIES:
+        raise TourError(
+            f"exact strategy limited to {MAX_EXACT_CITIES} cities, got {n}")
+    return solvers[strategy]()
+
+
+def _improve(tour: Tour, distance: DistanceMatrix) -> Tour:
+    """Standard improvement pipeline: 2-opt then Or-opt then 2-opt."""
+    improved = two_opt(tour, distance)
+    improved = or_opt(improved, distance)
+    return two_opt(improved, distance)
+
+
+def tour_length(points: Sequence[Point], tour: Tour) -> float:
+    """Convenience: geometric length of ``tour`` through ``points``."""
+    return tour.geometric_length(points)

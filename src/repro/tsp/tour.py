@@ -1,0 +1,100 @@
+"""Tour representation.
+
+A :class:`Tour` is a permutation of city indices interpreted as a closed
+cycle (the mobile charger returns to its starting point).  Tours are over
+*indices*; the distance matrix or point list gives them geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import TourError
+from ..geometry import Point
+
+
+class Tour:
+    """A closed tour over cities ``0..n-1``."""
+
+    def __init__(self, order: Sequence[int]) -> None:
+        """Create a tour.
+
+        Args:
+            order: a permutation of ``range(len(order))``.
+
+        Raises:
+            TourError: when ``order`` is not a permutation.
+        """
+        self._order: List[int] = list(order)
+        n = len(self._order)
+        if sorted(self._order) != list(range(n)):
+            raise TourError(
+                f"tour order must be a permutation of 0..{n - 1}")
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._order)
+
+    def __getitem__(self, position: int) -> int:
+        return self._order[position]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tour):
+            return NotImplemented
+        return self._order == other._order
+
+    def __repr__(self) -> str:
+        return f"Tour({self._order!r})"
+
+    @property
+    def order(self) -> List[int]:
+        """Return a copy of the visiting order."""
+        return self._order[:]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield the cycle's directed edges, including the closing edge."""
+        n = len(self._order)
+        for i in range(n):
+            yield (self._order[i], self._order[(i + 1) % n])
+
+    def length(self, distance) -> float:
+        """Return total cycle length under ``distance(i, j)``."""
+        if len(self._order) < 2:
+            return 0.0
+        return sum(distance(a, b) for a, b in self.edges())
+
+    def geometric_length(self, points: Sequence[Point]) -> float:
+        """Return total cycle length through ``points``."""
+        return self.length(lambda a, b: points[a].distance_to(points[b]))
+
+    def rotated_to_start(self, city: int) -> "Tour":
+        """Return the same cycle re-rooted so that ``city`` comes first."""
+        if city not in self._order:
+            raise TourError(f"city {city} not in tour")
+        position = self._order.index(city)
+        return Tour(self._order[position:] + self._order[:position])
+
+    def reversed(self) -> "Tour":
+        """Return the cycle traversed in the opposite direction."""
+        return Tour(list(reversed(self._order)))
+
+    def two_opt_move(self, i: int, j: int) -> "Tour":
+        """Return the tour with the segment ``order[i..j]`` reversed.
+
+        Requires ``0 <= i < j < n``; this is the classic 2-opt
+        reconnection.
+        """
+        n = len(self._order)
+        if not (0 <= i < j < n):
+            raise TourError(f"invalid 2-opt indices: ({i}, {j}) for n={n}")
+        new_order = (self._order[:i]
+                     + list(reversed(self._order[i:j + 1]))
+                     + self._order[j + 1:])
+        return Tour(new_order)
+
+    @staticmethod
+    def identity(n: int) -> "Tour":
+        """Return the tour ``0, 1, ..., n-1``."""
+        return Tour(list(range(n)))

@@ -1,0 +1,21 @@
+"""TSP with Neighborhoods: the substrate behind the BTO reduction.
+
+Disk neighborhoods, a two-stage heuristic solver (center TSP +
+Theorem 4-style touching-point refinement), and a TSPN-based charging
+planner that brackets the paper's baselines.
+"""
+
+from .neighborhood import (DiskNeighborhood, neighborhoods_from_points,
+                           tour_visits_all)
+from .planner import TspnChargingPlanner
+from .solvers import TspnSolution, center_tour_length, solve_tspn
+
+__all__ = [
+    "DiskNeighborhood",
+    "TspnChargingPlanner",
+    "TspnSolution",
+    "center_tour_length",
+    "neighborhoods_from_points",
+    "solve_tspn",
+    "tour_visits_all",
+]

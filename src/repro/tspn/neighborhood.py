@@ -1,0 +1,98 @@
+"""Neighborhoods for TSP-with-Neighborhoods (TSPN).
+
+The paper proves BTO NP-hard by reduction to TSPN [12, 29]: visiting a
+charging bundle = entering a disk neighborhood.  This package builds the
+TSPN substrate itself, so the reduction can be *run*, not just cited —
+and so a TSPN-style planner can serve as an additional baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import GeometryError
+from ..geometry import Disk, Point, Segment
+
+
+@dataclass(frozen=True)
+class DiskNeighborhood:
+    """A disk a tour must touch.
+
+    Attributes:
+        disk: the region.
+        label: optional identifier (e.g. the sensor index it covers).
+    """
+
+    disk: Disk
+    label: int = -1
+
+    @property
+    def center(self) -> Point:
+        """Return the disk center."""
+        return self.disk.center
+
+    @property
+    def radius(self) -> float:
+        """Return the disk radius."""
+        return self.disk.radius
+
+    def contains(self, point: Point) -> bool:
+        """Return True when ``point`` is inside the neighborhood."""
+        return self.disk.contains(point)
+
+    def closest_point(self, point: Point) -> Point:
+        """Return the neighborhood point nearest to ``point``."""
+        if self.disk.contains(point):
+            return point
+        direction = point - self.disk.center
+        if direction.norm() == 0.0:
+            return self.disk.center + Point(self.disk.radius, 0.0)
+        return (self.disk.center
+                + direction.normalized() * self.disk.radius)
+
+    def entry_on_segment(self, segment: Segment) -> Point:
+        """Return a visit point for a tour leg crossing the disk.
+
+        When the leg crosses the neighborhood, visiting is free: the
+        first crossing point is returned.  Otherwise the disk point
+        nearest the segment is returned (the cheapest detour target).
+        """
+        if segment.intersects_disk(self.disk):
+            return segment.first_point_in_disk(self.disk)
+        nearest_on_segment = segment.closest_point(self.disk.center)
+        return self.closest_point(nearest_on_segment)
+
+
+def neighborhoods_from_points(points: Sequence[Point],
+                              radius: float) -> list:
+    """Build one radius-``radius`` neighborhood per point."""
+    if radius < 0.0:
+        raise GeometryError(f"negative neighborhood radius: {radius!r}")
+    return [DiskNeighborhood(Disk(point, radius), label=i)
+            for i, point in enumerate(points)]
+
+
+def tour_visits_all(waypoints: Sequence[Point],
+                    neighborhoods: Sequence[DiskNeighborhood],
+                    tol: float = 1e-7) -> bool:
+    """Check a TSPN tour: does some leg or waypoint touch each disk?
+
+    Args:
+        waypoints: the closed tour's waypoints (cyclic).
+        neighborhoods: the disks to visit.
+        tol: containment slack.
+    """
+    if not neighborhoods:
+        return True
+    if not waypoints:
+        return False
+    legs = [Segment(waypoints[i], waypoints[(i + 1) % len(waypoints)])
+            for i in range(len(waypoints))]
+    for neighborhood in neighborhoods:
+        grown = Disk(neighborhood.center,
+                     neighborhood.radius * (1.0 + tol) + tol)
+        if any(leg.intersects_disk(grown) for leg in legs):
+            continue
+        return False
+    return True

@@ -1,0 +1,157 @@
+"""TSPN heuristics.
+
+Two stages, both deterministic:
+
+1. **Ordering** — a TSP tour over the neighborhood *centers* (any
+   strategy from :mod:`repro.tsp`).  For bounded-overlap disks this is
+   already a constant-factor TSPN approximation (Dumitrescu & Mitchell
+   2001 analyze exactly this family).
+2. **Touching-point refinement** — coordinate descent over the visit
+   points: each neighborhood's visit point is re-optimized against its
+   tour neighbours.  For a disk the sub-problem "minimize
+   ``|prev - p| + |p - next|`` over ``p`` in the disk" has a closed
+   characterization: if the straight leg crosses the disk the optimum is
+   free (any crossing point); otherwise the optimum lies on the boundary
+   at the ellipse tangency point — the very object of the paper's
+   Theorem 4 — so the refinement reuses
+   :func:`repro.geometry.min_focal_sum_on_circle`.
+
+The same machinery optimizes both the classic TSPN objective and, with
+``skip_interior=False``, the "stop inside every disk" variant the
+charging problem needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import TourError
+from ..geometry import Point, Segment, min_focal_sum_on_circle, \
+    polyline_length
+from ..tsp import solve_tsp
+from .neighborhood import DiskNeighborhood
+
+
+@dataclass(frozen=True)
+class TspnSolution:
+    """A TSPN tour.
+
+    Attributes:
+        order: visiting order (indices into the neighborhood list).
+        points: the visit point chosen inside each neighborhood,
+            aligned with ``order``.
+    """
+
+    order: List[int]
+    points: List[Point]
+
+    def length(self) -> float:
+        """Return the closed-tour length through the visit points."""
+        return polyline_length(self.points, closed=True)
+
+
+def solve_tspn(neighborhoods: Sequence[DiskNeighborhood],
+               tsp_strategy: str = "nn+2opt",
+               refinement_rounds: int = 4,
+               depot: Optional[Point] = None,
+               seed: int = 0) -> TspnSolution:
+    """Solve TSPN over disk neighborhoods heuristically.
+
+    Args:
+        neighborhoods: disks to visit.
+        tsp_strategy: ordering strategy (see :func:`repro.tsp.solve_tsp`).
+        refinement_rounds: coordinate-descent sweeps over visit points.
+        depot: optional fixed start/end point, visited between the last
+            and first neighborhood.
+        seed: TSP seed.
+
+    Returns:
+        A :class:`TspnSolution`; its length never exceeds the
+        center-tour length.
+    """
+    n = len(neighborhoods)
+    if n == 0:
+        return TspnSolution(order=[], points=[])
+    centers = [nb.center for nb in neighborhoods]
+    if n == 1:
+        return TspnSolution(order=[0], points=[centers[0]])
+
+    cities = list(centers)
+    if depot is not None:
+        cities.append(depot)
+        tour = solve_tsp(cities, strategy=tsp_strategy, seed=seed)
+        rooted = tour.rotated_to_start(n)
+        order = [city for city in rooted if city != n]
+    else:
+        order = solve_tsp(cities, strategy=tsp_strategy,
+                          seed=seed).order
+    if sorted(order) != list(range(n)):
+        raise TourError("TSPN ordering lost neighborhoods")
+
+    points = [centers[i] for i in order]
+    for _ in range(max(0, refinement_rounds)):
+        moved = _refine_pass(order, points, neighborhoods, depot)
+        if not moved:
+            break
+    return TspnSolution(order=order, points=points)
+
+
+def _refine_pass(order: Sequence[int], points: List[Point],
+                 neighborhoods: Sequence[DiskNeighborhood],
+                 depot: Optional[Point]) -> bool:
+    """One coordinate-descent sweep; returns True when a point moved."""
+    n = len(points)
+    moved = False
+    for position in range(n):
+        prev_point = _neighbor(points, depot, position, -1)
+        next_point = _neighbor(points, depot, position, +1)
+        neighborhood = neighborhoods[order[position]]
+        best = _best_visit_point(neighborhood, prev_point, next_point)
+        if best.distance_to(points[position]) > 1e-9:
+            old = (points[position].distance_to(prev_point)
+                   + points[position].distance_to(next_point))
+            new = (best.distance_to(prev_point)
+                   + best.distance_to(next_point))
+            if new < old - 1e-9:
+                points[position] = best
+                moved = True
+    return moved
+
+
+def _best_visit_point(neighborhood: DiskNeighborhood, prev_point: Point,
+                      next_point: Point) -> Point:
+    """Minimize ``|prev - p| + |p - next|`` over the disk."""
+    segment = Segment(prev_point, next_point)
+    if segment.intersects_disk(neighborhood.disk):
+        # The leg crosses the disk: visiting is free along the chord.
+        return neighborhood.entry_on_segment(segment)
+    if neighborhood.radius == 0.0:
+        return neighborhood.center
+    point, _ = min_focal_sum_on_circle(
+        neighborhood.center, neighborhood.radius, prev_point,
+        next_point)
+    return point
+
+
+def _neighbor(points: Sequence[Point], depot: Optional[Point],
+              index: int, direction: int) -> Point:
+    """Cyclic tour neighbour, with the depot between last and first."""
+    n = len(points)
+    target = index + direction
+    if depot is not None and (target < 0 or target >= n):
+        return depot
+    return points[target % n]
+
+
+def center_tour_length(neighborhoods: Sequence[DiskNeighborhood],
+                       tsp_strategy: str = "nn+2opt",
+                       depot: Optional[Point] = None,
+                       seed: int = 0) -> float:
+    """Return the unrefined center-tour length (the stage-1 baseline)."""
+    solution = solve_tspn(neighborhoods, tsp_strategy=tsp_strategy,
+                          refinement_rounds=0, depot=depot, seed=seed)
+    points = list(solution.points)
+    if depot is not None:
+        points = [depot] + points
+    return polyline_length(points, closed=True)

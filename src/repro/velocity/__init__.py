@@ -1,0 +1,20 @@
+"""Velocity-controlled (charging-while-moving) substrate.
+
+Implements the fixed-trajectory speed-control setting of the paper's
+refs [2, 25], and quantifies the paper's claim that stop-and-charge
+dominates drive-through charging under quadratic attenuation.
+"""
+
+from .control import (DEFAULT_STEP_M, DriveThroughComparison,
+                      drive_through_vs_stops, harvest_along_path,
+                      max_feasible_speed)
+from .path import PolylinePath
+
+__all__ = [
+    "DEFAULT_STEP_M",
+    "DriveThroughComparison",
+    "PolylinePath",
+    "drive_through_vs_stops",
+    "harvest_along_path",
+    "max_feasible_speed",
+]

@@ -1,0 +1,153 @@
+"""Velocity control for charging-while-moving (Dong et al. [2]).
+
+Given a fixed trajectory, a charger radiating continuously while it
+drives delivers ``integral p_r(d(s)) / v ds`` to each sensor — slower
+traversal charges more.  Ref [2] asks for the *maximum constant speed*
+that still fully charges every sensor; this module answers it on our
+substrate:
+
+* :func:`harvest_along_path` — per-sensor energy for a traversal speed;
+* :func:`max_feasible_speed` — binary search on the speed (harvest is
+  exactly inversely proportional to speed, so the search is really a
+  closed form — computed that way, with the search kept for models
+  whose emission depends on speed);
+* :func:`traversal_energy` — the charger-side cost of the drive-through
+  strategy, comparable against stop-and-charge plans.
+
+The paper argues stop-and-charge dominates drive-through charging under
+quadratic attenuation ("charging sensors at a position which is closest
+to the sensor is always the best"); :func:`drive_through_vs_stops`
+quantifies that claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..charging import CostParameters
+from ..errors import ModelError
+from ..network import SensorNetwork
+from .path import PolylinePath
+
+#: Default integration step along the path (meters).
+DEFAULT_STEP_M = 2.0
+
+
+def harvest_along_path(path: PolylinePath, network: SensorNetwork,
+                       cost: CostParameters, speed_m_per_s: float,
+                       step_m: float = DEFAULT_STEP_M
+                       ) -> Dict[int, float]:
+    """Return per-sensor harvested energy for one traversal.
+
+    Midpoint-rule integration of ``p_r(d(s)) / v`` over the path.
+
+    Args:
+        path: the fixed trajectory.
+        network: the sensors.
+        cost: provides the charging model.
+        speed_m_per_s: constant traversal speed.
+        step_m: integration step.
+
+    Raises:
+        ModelError: on a non-positive speed or step.
+    """
+    if speed_m_per_s <= 0.0 or not math.isfinite(speed_m_per_s):
+        raise ModelError(f"invalid speed: {speed_m_per_s!r}")
+    if step_m <= 0.0:
+        raise ModelError(f"invalid step: {step_m!r}")
+    samples = path.sample(step_m)
+    harvested = {sensor.index: 0.0 for sensor in network}
+    if len(samples) < 2:
+        return harvested
+    for i in range(len(samples) - 1):
+        midpoint = (samples[i] + samples[i + 1]) * 0.5
+        segment_length = samples[i].distance_to(samples[i + 1])
+        dwell = segment_length / speed_m_per_s
+        for sensor in network:
+            distance = midpoint.distance_to(sensor.location)
+            power = cost.model.received_power(distance)
+            if power > 0.0:
+                harvested[sensor.index] += power * dwell
+    return harvested
+
+
+def max_feasible_speed(path: PolylinePath, network: SensorNetwork,
+                       cost: CostParameters,
+                       step_m: float = DEFAULT_STEP_M) -> float:
+    """Return the fastest constant speed that fully charges everyone.
+
+    For a speed-independent emitter, harvest scales as ``1 / v``:
+    measuring the per-sensor harvest at ``v = 1`` gives
+    ``v_max = min_j harvest_j(1) / delta`` in closed form (the ref [2]
+    objective).  Returns 0 when some sensor receives nothing at any
+    speed (e.g. beyond a hard cutoff model's range).
+    """
+    reference = harvest_along_path(path, network, cost, 1.0,
+                                   step_m=step_m)
+    if not reference:
+        return math.inf
+    worst = min(reference.values())
+    if worst <= 0.0:
+        return 0.0
+    return worst / cost.delta_j
+
+
+@dataclass(frozen=True)
+class DriveThroughComparison:
+    """Drive-through vs stop-and-charge on the same tour geometry.
+
+    Attributes:
+        drive_speed_m_per_s: ref [2]'s max feasible constant speed.
+        drive_time_s: traversal duration at that speed.
+        drive_energy_j: charger energy (movement + continuous
+            radiation) of the drive-through strategy.
+        stop_energy_j: the stop-and-charge plan's energy (Eq. 3).
+    """
+
+    drive_speed_m_per_s: float
+    drive_time_s: float
+    drive_energy_j: float
+    stop_energy_j: float
+
+    @property
+    def stop_advantage(self) -> float:
+        """Return drive energy / stop energy (>1 favours stopping)."""
+        if self.stop_energy_j <= 0.0:
+            return math.inf
+        return self.drive_energy_j / self.stop_energy_j
+
+
+def drive_through_vs_stops(plan, network: SensorNetwork,
+                           cost: CostParameters,
+                           step_m: float = DEFAULT_STEP_M
+                           ) -> DriveThroughComparison:
+    """Compare charging-while-moving against the stop plan's Eq. 3 cost.
+
+    The drive-through strategy traverses the *same closed tour* as the
+    plan, radiating continuously at the max feasible constant speed.
+    The paper's Section III-B claim is that this always loses under
+    quadratic attenuation; this function measures by how much.
+    """
+    from ..tour import plan_total_energy
+
+    waypoints = plan.waypoints()
+    path = PolylinePath(waypoints, closed=True)
+    speed = max_feasible_speed(path, network, cost, step_m=step_m)
+    if speed <= 0.0:
+        return DriveThroughComparison(
+            drive_speed_m_per_s=0.0, drive_time_s=math.inf,
+            drive_energy_j=math.inf,
+            stop_energy_j=plan_total_energy(plan, network.locations,
+                                            cost))
+    drive_time = path.length / speed
+    drive_energy = (cost.movement_energy(path.length)
+                    + cost.model.source_power_w * drive_time)
+    stop_energy = plan_total_energy(plan, network.locations, cost)
+    return DriveThroughComparison(
+        drive_speed_m_per_s=speed,
+        drive_time_s=drive_time,
+        drive_energy_j=drive_energy,
+        stop_energy_j=stop_energy,
+    )

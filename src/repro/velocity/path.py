@@ -1,0 +1,86 @@
+"""Arc-length-parameterized polyline paths.
+
+The velocity-control literature the paper engages ([2], [25]) fixes the
+charger's *trajectory* and optimizes its *speed*.  This module provides
+the trajectory object: a polyline with constant-speed traversal,
+arc-length lookup and uniform sampling.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence
+
+from ..errors import GeometryError
+from ..geometry import Point
+
+
+class PolylinePath:
+    """A polyline with arc-length parameterization."""
+
+    def __init__(self, waypoints: Sequence[Point],
+                 closed: bool = False) -> None:
+        """Create a path.
+
+        Args:
+            waypoints: at least one waypoint; consecutive duplicates are
+                allowed (zero-length segments are skipped in lookups).
+            closed: when True, append the leg from the last waypoint
+                back to the first.
+        """
+        if not waypoints:
+            raise GeometryError("a path needs at least one waypoint")
+        points = list(waypoints)
+        if closed and len(points) > 1:
+            points.append(points[0])
+        self._points: List[Point] = points
+        self._cumulative: List[float] = [0.0]
+        for i in range(len(points) - 1):
+            step = points[i].distance_to(points[i + 1])
+            self._cumulative.append(self._cumulative[-1] + step)
+
+    @property
+    def length(self) -> float:
+        """Return the total path length."""
+        return self._cumulative[-1]
+
+    @property
+    def waypoints(self) -> List[Point]:
+        """Return the waypoint list (copy)."""
+        return self._points[:]
+
+    def point_at(self, arc_length: float) -> Point:
+        """Return the path point at the given arc length.
+
+        Values are clamped into ``[0, length]``.
+        """
+        s = min(self.length, max(0.0, arc_length))
+        if self.length == 0.0:
+            return self._points[0]
+        index = bisect.bisect_right(self._cumulative, s) - 1
+        index = min(index, len(self._points) - 2)
+        segment_start = self._cumulative[index]
+        segment_length = self._cumulative[index + 1] - segment_start
+        if segment_length == 0.0:
+            return self._points[index]
+        t = (s - segment_start) / segment_length
+        a = self._points[index]
+        b = self._points[index + 1]
+        return a + (b - a) * t
+
+    def sample(self, step_m: float) -> List[Point]:
+        """Return points every ``step_m`` meters along the path.
+
+        Always includes both endpoints.
+
+        Raises:
+            GeometryError: on a non-positive step.
+        """
+        if step_m <= 0.0:
+            raise GeometryError(f"invalid sample step: {step_m!r}")
+        if self.length == 0.0:
+            return [self._points[0]]
+        count = max(1, int(self.length / step_m))
+        samples = [self.point_at(self.length * i / count)
+                   for i in range(count + 1)]
+        return samples

@@ -1,0 +1,11 @@
+"""ASCII visualization (the offline stand-in for the paper's plots)."""
+
+from .ascii_plot import (AsciiCanvas, render_network, render_plan,
+                         sparkline)
+
+__all__ = [
+    "AsciiCanvas",
+    "render_network",
+    "render_plan",
+    "sparkline",
+]

@@ -1,0 +1,144 @@
+"""ASCII visualization of deployments, bundles and charging tours.
+
+No plotting backend is available offline, so the library renders its
+"figures" as character rasters — good enough to eyeball a tour (the
+role of the paper's Fig. 10) directly in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ExperimentError
+from ..geometry import Point
+
+#: Drawing characters, in paint order (later overwrites earlier).
+SENSOR_CHAR = "*"
+ANCHOR_CHAR = "A"
+DEPOT_CHAR = "D"
+PATH_CHAR = "."
+
+
+class AsciiCanvas:
+    """A fixed-size character raster over a square field."""
+
+    def __init__(self, field_side_m: float, width: int = 72,
+                 height: int = 28) -> None:
+        """Create a canvas.
+
+        Args:
+            field_side_m: world-coordinate side length being mapped.
+            width: raster width in characters.
+            height: raster height in characters.
+        """
+        if field_side_m <= 0.0:
+            raise ExperimentError(
+                f"invalid field side: {field_side_m!r}")
+        if width < 2 or height < 2:
+            raise ExperimentError(
+                f"canvas too small: {width}x{height}")
+        self.field_side_m = field_side_m
+        self.width = width
+        self.height = height
+        self._grid: List[List[str]] = [
+            [" "] * width for _ in range(height)]
+
+    def _to_cell(self, point: Point) -> "tuple[int, int]":
+        col = int(point.x / self.field_side_m * (self.width - 1))
+        row = int(point.y / self.field_side_m * (self.height - 1))
+        col = min(self.width - 1, max(0, col))
+        # Invert rows so y grows upward like a normal plot.
+        row = self.height - 1 - min(self.height - 1, max(0, row))
+        return row, col
+
+    def put(self, point: Point, char: str) -> None:
+        """Paint one character at a world coordinate."""
+        row, col = self._to_cell(point)
+        self._grid[row][col] = char
+
+    def line(self, start: Point, end: Point,
+             char: str = PATH_CHAR) -> None:
+        """Paint a straight path between two world coordinates.
+
+        Existing non-space cells are not overwritten, so markers stay
+        visible on top of the path.
+        """
+        length = start.distance_to(end)
+        steps = max(2, int(length / self.field_side_m
+                           * max(self.width, self.height) * 2))
+        for i in range(steps + 1):
+            t = i / steps
+            row, col = self._to_cell(start + (end - start) * t)
+            if self._grid[row][col] == " ":
+                self._grid[row][col] = char
+
+    def render(self) -> str:
+        """Return the raster with a simple border."""
+        top = "+" + "-" * self.width + "+"
+        rows = ["|" + "".join(row) + "|" for row in self._grid]
+        return "\n".join([top] + rows + [top])
+
+
+def render_plan(plan, locations: Sequence[Point], field_side_m: float,
+                width: int = 72, height: int = 28,
+                legend: bool = True) -> str:
+    """Render a :class:`~repro.tour.ChargingPlan` as ASCII art.
+
+    Sensors are ``*``, anchors ``A``, the depot ``D``, tour legs ``.``.
+
+    Args:
+        plan: the plan to draw.
+        locations: sensor locations.
+        field_side_m: world side length of the square field.
+        width / height: raster size.
+        legend: append a one-line legend.
+    """
+    canvas = AsciiCanvas(field_side_m, width=width, height=height)
+    waypoints = plan.waypoints()
+    for i, point in enumerate(waypoints):
+        canvas.line(point, waypoints[(i + 1) % len(waypoints)])
+    for location in locations:
+        canvas.put(location, SENSOR_CHAR)
+    for stop in plan.stops:
+        canvas.put(stop.position, ANCHOR_CHAR)
+    if plan.depot is not None:
+        canvas.put(plan.depot, DEPOT_CHAR)
+    art = canvas.render()
+    if legend:
+        art += ("\n  * sensor   A anchor   D depot   . tour "
+                f"({len(plan)} stops, {plan.tour_length():.0f} m)")
+    return art
+
+
+def render_network(network, width: int = 72, height: int = 28) -> str:
+    """Render a bare deployment (sensors + depot only)."""
+    canvas = AsciiCanvas(network.field_side_m, width=width,
+                         height=height)
+    for sensor in network:
+        canvas.put(sensor.location, SENSOR_CHAR)
+    canvas.put(network.base_station, DEPOT_CHAR)
+    return canvas.render()
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None
+              ) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Used by the CLI to give radius sweeps a visual shape cue.
+    """
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    picked = list(values)
+    if width is not None and width > 0 and len(picked) > width:
+        stride = len(picked) / width
+        picked = [picked[int(i * stride)] for i in range(width)]
+    if span == 0.0:
+        return blocks[0] * len(picked)
+    return "".join(
+        blocks[min(len(blocks) - 1,
+                   int((v - lo) / span * (len(blocks) - 1)))]
+        for v in picked)

@@ -1,0 +1,92 @@
+"""Tests for Bundle and BundleSet."""
+
+import pytest
+
+from repro.bundling import Bundle, BundleSet, make_bundle
+from repro.errors import BundlingError, CoverageError
+from repro.geometry import Point
+from repro.network import uniform_deployment
+
+
+class TestBundle:
+    def test_make_bundle_sed_anchor(self):
+        locations = [Point(0, 0), Point(4, 0), Point(2, 1)]
+        bundle = make_bundle([0, 1, 2], locations)
+        # SED of these three points is the (0,0)-(4,0) diameter disk.
+        assert bundle.anchor.is_close(Point(2, 0))
+        assert bundle.radius == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BundlingError):
+            make_bundle([], [Point(0, 0)])
+        with pytest.raises(BundlingError):
+            Bundle(frozenset(), Point(0, 0), 1.0)
+
+    def test_worst_distance_default_anchor(self):
+        locations = [Point(0, 0), Point(6, 0)]
+        bundle = make_bundle([0, 1], locations)
+        assert bundle.worst_distance(locations) == pytest.approx(3.0)
+
+    def test_worst_distance_override_anchor(self):
+        locations = [Point(0, 0), Point(6, 0)]
+        bundle = make_bundle([0, 1], locations)
+        assert bundle.worst_distance(locations, anchor=Point(0, 0)) == \
+            pytest.approx(6.0)
+
+    def test_with_anchor_recomputes_radius(self):
+        locations = [Point(0, 0), Point(6, 0)]
+        bundle = make_bundle([0, 1], locations)
+        moved = bundle.with_anchor(Point(6, 0), locations)
+        assert moved.radius == pytest.approx(6.0)
+        assert moved.members == bundle.members
+
+    def test_len(self):
+        bundle = make_bundle([0, 1], [Point(0, 0), Point(1, 0)])
+        assert len(bundle) == 2
+
+
+class TestBundleSet:
+    def _two_bundles(self):
+        locations = [Point(0, 0), Point(1, 0), Point(10, 0)]
+        b1 = make_bundle([0, 1], locations)
+        b2 = make_bundle([2], locations)
+        return locations, BundleSet([b1, b2], bundle_radius=2.0)
+
+    def test_covered_sensors(self):
+        _, bundle_set = self._two_bundles()
+        assert bundle_set.covered_sensors() == frozenset({0, 1, 2})
+
+    def test_assignment(self):
+        _, bundle_set = self._two_bundles()
+        assert bundle_set.assignment == (0, 0, 1)
+
+    def test_anchors_order(self):
+        _, bundle_set = self._two_bundles()
+        assert len(bundle_set.anchors()) == 2
+
+    def test_validate_cover_passes(self):
+        network = uniform_deployment(count=3, seed=0)
+        locations = network.locations
+        bundles = [make_bundle([i], locations) for i in range(3)]
+        BundleSet(bundles, 1.0).validate_cover(network)
+
+    def test_validate_cover_fails(self):
+        network = uniform_deployment(count=3, seed=0)
+        locations = network.locations
+        bundles = [make_bundle([0], locations)]
+        with pytest.raises(CoverageError):
+            BundleSet(bundles, 1.0).validate_cover(network)
+
+    def test_validate_radius_fails_on_oversize(self):
+        network = uniform_deployment(count=2, seed=0,
+                                     field_side_m=1000.0)
+        locations = network.locations
+        bundle = make_bundle([0, 1], locations)
+        bundle_set = BundleSet([bundle], bundle_radius=0.001)
+        if bundle.radius > 0.001:
+            with pytest.raises(BundlingError):
+                bundle_set.validate_radius(network)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(BundlingError):
+            BundleSet([], bundle_radius=-1.0)

@@ -1,0 +1,98 @@
+"""Tests for candidate bundle enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bundling import (candidate_member_sets, maximal_candidates,
+                            validate_candidates)
+from repro.errors import BundlingError
+from repro.geometry import Point, fits_in_radius
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestEnumeration:
+    def test_empty_input(self):
+        assert candidate_member_sets([], 5.0) == []
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(BundlingError):
+            candidate_member_sets([Point(0, 0)], -1.0)
+
+    def test_singletons_always_present(self):
+        pts = [Point(0, 0), Point(100, 100)]
+        candidates = candidate_member_sets(pts, 1.0)
+        union = set()
+        for members in candidates:
+            union |= members
+        assert union == {0, 1}
+
+    def test_pair_merged_when_close(self):
+        pts = [Point(0, 0), Point(1, 0)]
+        candidates = candidate_member_sets(pts, 1.0)
+        assert frozenset({0, 1}) in candidates
+
+    def test_pair_not_merged_when_far(self):
+        pts = [Point(0, 0), Point(5, 0)]
+        candidates = candidate_member_sets(pts, 1.0)
+        assert frozenset({0, 1}) not in candidates
+
+    def test_sorted_by_descending_cardinality(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 0.5), Point(50, 50)]
+        candidates = candidate_member_sets(pts, 2.0)
+        sizes = [len(c) for c in candidates]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_no_duplicates(self):
+        pts = [Point(0, 0), Point(0.5, 0), Point(1, 0)]
+        candidates = candidate_member_sets(pts, 2.0)
+        assert len(candidates) == len(set(candidates))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=20),
+           st.floats(min_value=0.5, max_value=30.0))
+    def test_every_candidate_fits_radius(self, pts, radius):
+        for members in candidate_member_sets(pts, radius):
+            selected = [pts[i] for i in members]
+            assert fits_in_radius(selected, radius * (1 + 1e-6))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=20),
+           st.floats(min_value=0.5, max_value=30.0))
+    def test_candidates_cover_universe(self, pts, radius):
+        union = set()
+        for members in candidate_member_sets(pts, radius):
+            union |= members
+        assert union == set(range(len(pts)))
+
+    def test_three_point_cluster_found(self):
+        # Three points pairwise 1 apart fit in a radius-0.6 disk
+        # (circumradius of a unit equilateral triangle ~ 0.577), and the
+        # candidate family must contain the full triple.
+        import math
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, math.sqrt(3) / 2)]
+        candidates = candidate_member_sets(pts, 0.6)
+        assert frozenset({0, 1, 2}) in candidates
+
+
+class TestFiltersAndPruning:
+    def test_validate_candidates_drops_infeasible(self):
+        pts = [Point(0, 0), Point(4, 0)]
+        fake = [frozenset({0, 1})]
+        assert validate_candidates(fake, pts, 1.0) == []
+        assert validate_candidates(fake, pts, 2.0) == fake
+
+    def test_maximal_prunes_subsets(self):
+        candidates = [frozenset({0, 1, 2}), frozenset({0, 1}),
+                      frozenset({3})]
+        kept = maximal_candidates(candidates)
+        assert frozenset({0, 1}) not in kept
+        assert frozenset({0, 1, 2}) in kept
+        assert frozenset({3}) in kept
+
+    def test_maximal_keeps_equal_sets_once(self):
+        candidates = [frozenset({0, 1}), frozenset({0, 1})]
+        assert len(maximal_candidates(candidates)) == 1

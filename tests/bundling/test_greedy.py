@@ -1,0 +1,145 @@
+"""Tests for the greedy bundle generator (Algorithm 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bundling import (coverage_gain_curve, greedy_bundles,
+                            greedy_set_cover, singleton_bundles)
+from repro.errors import CoverageError
+from repro.geometry import Point
+from repro.network import uniform_deployment
+
+
+class TestGreedySetCover:
+    def test_empty_universe(self):
+        assert greedy_set_cover([], 0) == []
+
+    def test_single_set_covers_all(self):
+        chosen = greedy_set_cover([frozenset({0, 1, 2})], 3)
+        assert chosen == [frozenset({0, 1, 2})]
+
+    def test_prefers_larger_set(self):
+        candidates = [frozenset({0}), frozenset({1}),
+                      frozenset({0, 1, 2}), frozenset({2})]
+        chosen = greedy_set_cover(candidates, 3)
+        assert chosen[0] == frozenset({0, 1, 2})
+        assert len(chosen) == 1
+
+    def test_returned_sets_partition_universe(self):
+        candidates = [frozenset({0, 1}), frozenset({1, 2}),
+                      frozenset({2, 3})]
+        chosen = greedy_set_cover(candidates, 4)
+        combined = []
+        for members in chosen:
+            combined.extend(members)
+        assert sorted(combined) == [0, 1, 2, 3]  # no duplicates
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(CoverageError):
+            greedy_set_cover([frozenset({0})], 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.frozensets(st.integers(0, 14), min_size=1),
+                    min_size=1, max_size=30))
+    def test_cover_and_ln_bound(self, family):
+        universe = set()
+        for members in family:
+            universe |= members
+        size = max(universe) + 1 if universe else 0
+        # Pad with singletons so the universe is always coverable.
+        family = list(family) + [frozenset({e}) for e in range(size)]
+        chosen = greedy_set_cover(family, size)
+        covered = set()
+        for members in chosen:
+            covered |= members
+        assert covered == set(range(size))
+        # Theorem 2 bound (weak form): greedy uses at most
+        # (ln n + 1) * OPT sets; OPT >= 1, so just sanity-bound growth.
+        if size > 0:
+            assert len(chosen) <= size
+
+
+class TestGreedyBundles:
+    def test_covers_every_sensor(self, medium_network):
+        bundle_set = greedy_bundles(medium_network, 50.0)
+        bundle_set.validate_cover(medium_network)
+        bundle_set.validate_radius(medium_network)
+
+    def test_tiny_radius_gives_singletons(self, medium_network):
+        bundle_set = greedy_bundles(medium_network, 1e-6)
+        assert len(bundle_set) == len(medium_network)
+
+    def test_huge_radius_gives_one_bundle(self, medium_network):
+        bundle_set = greedy_bundles(medium_network, 2000.0)
+        assert len(bundle_set) == 1
+
+    def test_bundle_count_monotone_in_radius(self, medium_network):
+        counts = [len(greedy_bundles(medium_network, r))
+                  for r in (5.0, 20.0, 80.0, 320.0)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_disjoint_membership(self, medium_network):
+        bundle_set = greedy_bundles(medium_network, 60.0)
+        seen = set()
+        for bundle in bundle_set:
+            assert not (bundle.members & seen)
+            seen |= bundle.members
+
+    def test_pruning_does_not_change_count(self, medium_network):
+        pruned = greedy_bundles(medium_network, 60.0,
+                                prune_dominated=True)
+        full = greedy_bundles(medium_network, 60.0,
+                              prune_dominated=False)
+        assert len(pruned) == len(full)
+
+    def test_anchor_is_sed_center(self, medium_network):
+        from repro.geometry import smallest_enclosing_disk
+        bundle_set = greedy_bundles(medium_network, 60.0)
+        locations = medium_network.locations
+        for bundle in bundle_set:
+            disk = smallest_enclosing_disk(
+                [locations[i] for i in bundle.members])
+            assert bundle.anchor.is_close(disk.center, tol=1e-6)
+
+    def test_known_geometry(self):
+        # Two tight clusters far apart -> exactly 2 bundles.
+        from repro.network import Sensor, SensorNetwork
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1),
+               Point(100, 100), Point(101, 100)]
+        network = SensorNetwork(
+            [Sensor(index=i, location=p) for i, p in enumerate(pts)],
+            200.0)
+        bundle_set = greedy_bundles(network, 2.0)
+        assert len(bundle_set) == 2
+
+
+class TestDiagnostics:
+    def test_singleton_bundles(self, medium_network):
+        bundle_set = singleton_bundles(medium_network)
+        assert len(bundle_set) == len(medium_network)
+        for bundle in bundle_set:
+            assert bundle.radius == 0.0
+
+    def test_gain_curve_non_increasing(self):
+        network = uniform_deployment(count=60, seed=5,
+                                     field_side_m=300.0)
+        gains = coverage_gain_curve(network, 40.0)
+        assert sum(gains) == 60
+        assert all(gains[i] >= gains[i + 1]
+                   for i in range(len(gains) - 1))
+
+    def test_ln_n_plus_one_bound_against_singleton_opt(self):
+        # When every pair is mergeable the optimum is ceil(n / max
+        # bundle size); at minimum the greedy result must respect the
+        # ln(n)+1 factor against the trivial lower bound
+        # n / max_cardinality.
+        network = uniform_deployment(count=50, seed=11,
+                                     field_side_m=400.0)
+        bundle_set = greedy_bundles(network, 60.0)
+        max_size = max(len(b) for b in bundle_set)
+        lower_bound = math.ceil(len(network) / max_size)
+        assert len(bundle_set) <= (math.log(len(network)) + 1.0) \
+            * max(lower_bound, 1) + 1

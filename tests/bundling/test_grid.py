@@ -1,0 +1,64 @@
+"""Tests for the grid bundle baseline."""
+
+import math
+
+import pytest
+
+from repro.bundling import greedy_bundles, grid_bundles, grid_cell_count
+from repro.errors import BundlingError
+from repro.geometry import Point
+from repro.network import Sensor, SensorNetwork, uniform_deployment
+
+
+def _network(points, side=100.0):
+    return SensorNetwork(
+        [Sensor(index=i, location=p) for i, p in enumerate(points)],
+        side)
+
+
+class TestGridBundles:
+    def test_covers_every_sensor(self, medium_network):
+        bundle_set = grid_bundles(medium_network, 30.0)
+        bundle_set.validate_cover(medium_network)
+
+    def test_cell_side_guarantees_radius(self, medium_network):
+        # Every sensor must be within r of its cell-center anchor.
+        bundle_set = grid_bundles(medium_network, 30.0)
+        bundle_set.validate_radius(medium_network)
+
+    def test_invalid_radius_rejected(self, medium_network):
+        with pytest.raises(BundlingError):
+            grid_bundles(medium_network, 0.0)
+
+    def test_straddling_cluster_splits(self):
+        # Two points 0.2 apart but straddling a cell border become two
+        # grid bundles, while greedy merges them — the Fig. 11 gap.
+        r = 1.0
+        side = r * math.sqrt(2.0)
+        pts = [Point(side - 0.1, 0.5), Point(side + 0.1, 0.5)]
+        network = _network(pts)
+        assert len(grid_bundles(network, r)) == 2
+        assert len(greedy_bundles(network, r)) == 1
+
+    def test_recentre_reduces_worst_distance(self):
+        pts = [Point(0.1, 0.1), Point(0.2, 0.2)]
+        network = _network(pts)
+        plain = grid_bundles(network, 5.0, recentre=False)
+        tight = grid_bundles(network, 5.0, recentre=True)
+        assert tight.bundles[0].radius <= plain.bundles[0].radius
+
+    def test_grid_never_beats_greedy(self, medium_network):
+        for radius in (10.0, 30.0, 60.0):
+            grid_count = len(grid_bundles(medium_network, radius))
+            greedy_count = len(greedy_bundles(medium_network, radius))
+            assert greedy_count <= grid_count
+
+    def test_cell_count_helper(self, medium_network):
+        assert grid_cell_count(medium_network, 30.0) == len(
+            grid_bundles(medium_network, 30.0))
+
+    def test_deterministic(self):
+        network = uniform_deployment(count=30, seed=3)
+        a = grid_bundles(network, 25.0)
+        b = grid_bundles(network, 25.0)
+        assert [x.members for x in a] == [y.members for y in b]

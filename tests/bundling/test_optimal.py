@@ -1,0 +1,92 @@
+"""Tests for the exact bundle generator (branch-and-bound set cover)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bundling import (greedy_bundles, minimum_set_cover,
+                            optimal_bundle_count, optimal_bundles)
+from repro.errors import BundlingError, CoverageError
+from repro.network import uniform_deployment
+
+
+def _brute_force_cover_size(family, universe_size):
+    """Smallest cover by brute force (tiny instances only)."""
+    universe = set(range(universe_size))
+    for size in range(0, len(family) + 1):
+        for combo in itertools.combinations(family, size):
+            covered = set()
+            for members in combo:
+                covered |= members
+            if covered >= universe:
+                return size
+    return None
+
+
+class TestMinimumSetCover:
+    def test_empty(self):
+        assert minimum_set_cover([], 0) == []
+
+    def test_uncoverable(self):
+        with pytest.raises(CoverageError):
+            minimum_set_cover([frozenset({0})], 2)
+
+    def test_greedy_suboptimal_instance(self):
+        # Classic instance where greedy picks 3 sets but OPT = 2:
+        # universe {0..5}; greedy takes the size-3 set first.
+        family = [frozenset({0, 1, 2}),
+                  frozenset({0, 2, 4}), frozenset({1, 3, 5}),
+                  frozenset({3, 4}), frozenset({5})]
+        exact = minimum_set_cover(family, 6)
+        assert len(exact) == 2
+
+    def test_budget_exceeded_raises(self):
+        family = [frozenset({i, (i + 1) % 12}) for i in range(12)]
+        with pytest.raises(BundlingError):
+            minimum_set_cover(family, 12, node_budget=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.frozensets(st.integers(0, 7), min_size=1),
+                    min_size=1, max_size=10))
+    def test_matches_brute_force(self, family):
+        universe = set()
+        for members in family:
+            universe |= members
+        size = max(universe) + 1 if universe else 0
+        family = list(family) + [frozenset({e}) for e in range(size)]
+        exact = minimum_set_cover(family, size)
+        expected = _brute_force_cover_size(family, size)
+        assert len(exact) == expected
+        covered = set()
+        for members in exact:
+            covered |= members
+        assert covered >= set(range(size))
+
+
+class TestOptimalBundles:
+    def test_never_worse_than_greedy(self):
+        for seed in (1, 2, 3):
+            network = uniform_deployment(count=15, seed=seed,
+                                         field_side_m=300.0)
+            exact = optimal_bundles(network, 60.0)
+            greedy = greedy_bundles(network, 60.0)
+            assert len(exact) <= len(greedy)
+
+    def test_cover_and_radius_valid(self):
+        network = uniform_deployment(count=12, seed=9,
+                                     field_side_m=200.0)
+        bundle_set = optimal_bundles(network, 50.0)
+        bundle_set.validate_cover(network)
+        bundle_set.validate_radius(network)
+
+    def test_count_helper(self):
+        network = uniform_deployment(count=10, seed=4,
+                                     field_side_m=200.0)
+        assert optimal_bundle_count(network, 50.0) == len(
+            optimal_bundles(network, 50.0))
+
+    def test_tiny_radius_optimal_is_n(self):
+        network = uniform_deployment(count=8, seed=4)
+        assert optimal_bundle_count(network, 1e-9) == 8

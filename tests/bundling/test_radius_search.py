@@ -1,0 +1,72 @@
+"""Tests for the Section IV-C radius search."""
+
+import pytest
+
+from repro.bundling import (find_optimal_radius, refine_radius,
+                            sweep_radii)
+from repro.errors import BundlingError
+
+
+def u_shaped(radius: float) -> float:
+    """A clean convex objective with its optimum at r = 17."""
+    return (radius - 17.0) ** 2 + 3.0
+
+
+class TestSweep:
+    def test_picks_minimum(self):
+        result = sweep_radii(u_shaped, [5.0, 10.0, 15.0, 20.0, 25.0])
+        assert result.best_radius == 15.0
+        assert result.best_value == pytest.approx(u_shaped(15.0))
+
+    def test_records_all_evaluations(self):
+        radii = [5.0, 10.0, 15.0]
+        result = sweep_radii(u_shaped, radii)
+        assert [r for r, _ in result.evaluations] == radii
+
+    def test_empty_rejected(self):
+        with pytest.raises(BundlingError):
+            sweep_radii(u_shaped, [])
+
+    def test_single_radius(self):
+        result = sweep_radii(u_shaped, [9.0])
+        assert result.best_radius == 9.0
+
+
+class TestRefine:
+    def test_refinement_improves_u_shape(self):
+        coarse = sweep_radii(u_shaped, [5.0, 15.0, 25.0])
+        refined = refine_radius(u_shaped, coarse, rounds=6)
+        assert refined.best_value <= coarse.best_value
+        assert abs(refined.best_radius - 17.0) < abs(15.0 - 17.0)
+
+    def test_refinement_never_worse(self):
+        coarse = sweep_radii(u_shaped, [17.0, 40.0])
+        refined = refine_radius(u_shaped, coarse, rounds=3)
+        assert refined.best_value <= coarse.best_value
+
+    def test_flat_objective_keeps_coarse(self):
+        coarse = sweep_radii(lambda r: 1.0, [5.0, 10.0, 15.0])
+        refined = refine_radius(lambda r: 1.0, coarse, rounds=2)
+        assert refined.best_value == 1.0
+
+
+class TestFindOptimal:
+    def test_without_refinement(self):
+        result = find_optimal_radius(u_shaped, [10.0, 20.0])
+        assert result.best_radius == 20.0
+
+    def test_with_refinement(self):
+        result = find_optimal_radius(u_shaped, [10.0, 20.0],
+                                     refine_rounds=5)
+        assert abs(result.best_radius - 17.0) < 3.0
+
+    def test_objective_call_budget(self):
+        calls = []
+
+        def counting(radius):
+            calls.append(radius)
+            return u_shaped(radius)
+
+        find_optimal_radius(counting, [5.0, 10.0, 15.0],
+                            refine_rounds=2)
+        assert len(calls) <= 3 + 2 * 2  # sweep + 2 probes per round

@@ -1,0 +1,108 @@
+"""Tests for the Eq. 3 dwell-policy accounting modes."""
+
+import pytest
+
+from repro.charging import (DWELL_POLICIES, CostParameters,
+                            FriisChargingModel)
+from repro.errors import ModelError
+
+
+def _cost(policy):
+    return CostParameters(model=FriisChargingModel(),
+                          dwell_policy=policy)
+
+
+class TestPolicies:
+    def test_constants(self):
+        assert DWELL_POLICIES == ("simultaneous", "sequential")
+
+    def test_default_is_simultaneous(self):
+        assert CostParameters.paper_defaults().dwell_policy == \
+            "simultaneous"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ModelError):
+            _cost("parallel-ish")
+
+    def test_empty_distances_zero_dwell(self):
+        for policy in DWELL_POLICIES:
+            assert _cost(policy).dwell_time_for_distances([]) == 0.0
+            assert _cost(policy).charging_energy_for_distances([]) == 0.0
+
+    def test_single_sensor_identical_under_both(self):
+        simultaneous = _cost("simultaneous")
+        sequential = _cost("sequential")
+        assert simultaneous.dwell_time_for_distances([12.0]) == \
+            pytest.approx(sequential.dwell_time_for_distances([12.0]))
+
+    def test_simultaneous_uses_farthest(self):
+        cost = _cost("simultaneous")
+        assert cost.dwell_time_for_distances([5.0, 20.0]) == \
+            pytest.approx(cost.dwell_time_for_distance(20.0))
+
+    def test_sequential_sums_members(self):
+        cost = _cost("sequential")
+        expected = (cost.dwell_time_for_distance(5.0)
+                    + cost.dwell_time_for_distance(20.0))
+        assert cost.dwell_time_for_distances([5.0, 20.0]) == \
+            pytest.approx(expected)
+
+    def test_sequential_never_shorter(self):
+        distances = [3.0, 8.0, 21.0]
+        assert (_cost("sequential").dwell_time_for_distances(distances)
+                >= _cost("simultaneous").dwell_time_for_distances(
+                    distances))
+
+    def test_energy_closed_form_sequential(self):
+        cost = _cost("sequential")
+        # 2 J * (d + 30)^2 / 36 per sensor.
+        expected = 2.0 * (900.0 + 1600.0) / 36.0
+        assert cost.charging_energy_for_distances([0.0, 10.0]) == \
+            pytest.approx(expected)
+
+
+class TestPolicyThroughPlanners:
+    def test_bc_plan_dwell_respects_policy(self, medium_network):
+        from repro.planners import BundleChargingPlanner
+        from repro.tour import evaluate_plan
+        simultaneous = _cost("simultaneous")
+        sequential = _cost("sequential")
+        planner = BundleChargingPlanner(60.0)
+        sim_plan = planner.plan(medium_network, simultaneous)
+        seq_plan = planner.plan(medium_network, sequential)
+        # Same bundles, but sequential dwells are at least as long.
+        assert len(sim_plan) == len(seq_plan)
+        assert seq_plan.total_dwell_s() >= sim_plan.total_dwell_s()
+        # Each evaluates consistently under its own accounting.
+        evaluate_plan(sim_plan, medium_network.locations, simultaneous)
+        evaluate_plan(seq_plan, medium_network.locations, sequential)
+
+    def test_sequential_plan_still_validates_in_simulator(
+            self, medium_network):
+        from repro.planners import BundleChargingPlanner
+        from repro.sim import validate_plan
+        sequential = _cost("sequential")
+        plan = BundleChargingPlanner(60.0).plan(medium_network,
+                                                sequential)
+        result = validate_plan(plan, medium_network, sequential,
+                               strict=True)
+        assert result.satisfied
+
+    def test_interior_optimum_under_sequential(self):
+        # The accounting ablation: sequential dwell produces the
+        # Fig. 6(b)-style interior optimal radius.
+        from repro.network import uniform_deployment
+        from repro.planners import BundleChargingPlanner
+        from repro.tour import evaluate_plan
+        sequential = _cost("sequential")
+        network = uniform_deployment(count=80, seed=31)
+
+        def total(radius):
+            plan = BundleChargingPlanner(radius).plan(network,
+                                                      sequential)
+            return evaluate_plan(plan, network.locations,
+                                 sequential).total_j
+
+        interior = min(total(r) for r in (10.0, 15.0, 20.0))
+        assert interior < total(2.0)
+        assert interior < total(200.0)

@@ -1,0 +1,88 @@
+"""Tests for the empirical charging model."""
+
+import math
+
+import pytest
+
+from repro.charging import EmpiricalChargingModel, FriisChargingModel
+from repro.errors import ModelError
+
+SAMPLES = [(0.0, 1e-3), (10.0, 4e-4), (20.0, 1e-4), (40.0, 2e-5)]
+
+
+class TestConstruction:
+    def test_too_few_samples(self):
+        with pytest.raises(ModelError):
+            EmpiricalChargingModel([(0.0, 1e-3)], source_power_w=1.0)
+
+    def test_non_monotone_rejected(self):
+        bad = [(0.0, 1e-4), (10.0, 5e-4)]
+        with pytest.raises(ModelError):
+            EmpiricalChargingModel(bad, source_power_w=1.0)
+
+    def test_duplicate_distance_rejected(self):
+        bad = [(5.0, 1e-3), (5.0, 1e-4)]
+        with pytest.raises(ModelError):
+            EmpiricalChargingModel(bad, source_power_w=1.0)
+
+    def test_nonpositive_power_rejected(self):
+        bad = [(0.0, 1e-3), (10.0, 0.0)]
+        with pytest.raises(ModelError):
+            EmpiricalChargingModel(bad, source_power_w=1.0)
+
+    def test_unsorted_input_accepted(self):
+        shuffled = [SAMPLES[2], SAMPLES[0], SAMPLES[3], SAMPLES[1]]
+        model = EmpiricalChargingModel(shuffled, source_power_w=1.0)
+        assert model.max_distance_m == 40.0
+
+
+class TestInterpolation:
+    @pytest.fixture
+    def model(self):
+        return EmpiricalChargingModel(SAMPLES, source_power_w=1.0)
+
+    def test_exact_at_samples(self, model):
+        for distance, power in SAMPLES:
+            assert model.received_power(distance) == pytest.approx(
+                power, rel=1e-9)
+
+    def test_clamped_below_first(self, model):
+        assert model.received_power(0.0) == pytest.approx(1e-3)
+
+    def test_zero_beyond_last(self, model):
+        assert model.received_power(41.0) == 0.0
+        assert math.isinf(model.charge_time(41.0, 1.0))
+
+    def test_log_linear_midpoint(self, model):
+        # Between (10, 4e-4) and (20, 1e-4): log midpoint = sqrt product.
+        expected = math.sqrt(4e-4 * 1e-4)
+        assert model.received_power(15.0) == pytest.approx(expected,
+                                                           rel=1e-9)
+
+    def test_monotone_everywhere(self, model):
+        values = [model.received_power(d / 2.0) for d in range(0, 81)]
+        for previous, current in zip(values, values[1:]):
+            assert current <= previous + 1e-15
+
+
+class TestFromModel:
+    def test_tabulated_friis_tracks_original(self):
+        friis = FriisChargingModel()
+        tabulated = EmpiricalChargingModel.from_model(
+            friis, [0.0, 5.0, 10.0, 20.0, 40.0, 80.0])
+        for distance in (0.0, 3.0, 12.0, 33.0, 70.0):
+            assert tabulated.received_power(distance) == pytest.approx(
+                friis.received_power(distance), rel=0.05)
+
+    def test_plugs_into_planner_stack(self, medium_network):
+        from repro.charging import CostParameters
+        from repro.planners import BundleChargingPlanner
+        from repro.tour import evaluate_plan
+        friis = FriisChargingModel()
+        # Tabulate out to field scale so every dwell stays finite.
+        distances = [0.0] + [2.0 ** k for k in range(11)]
+        model = EmpiricalChargingModel.from_model(friis, distances)
+        cost = CostParameters(model=model)
+        plan = BundleChargingPlanner(40.0).plan(medium_network, cost)
+        metrics = evaluate_plan(plan, medium_network.locations, cost)
+        assert metrics.total_j > 0.0

@@ -1,0 +1,98 @@
+"""Tests for cost parameters and energy accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.charging import (CostParameters, EnergyBreakdown,
+                            FriisChargingModel)
+from repro.errors import ModelError
+
+
+class TestCostParameters:
+    def test_paper_defaults(self):
+        cost = CostParameters.paper_defaults()
+        assert cost.move_cost_j_per_m == 5.59
+        assert cost.delta_j == 2.0
+        assert isinstance(cost.model, FriisChargingModel)
+
+    def test_movement_energy(self):
+        cost = CostParameters.paper_defaults()
+        assert cost.movement_energy(100.0) == pytest.approx(559.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ModelError):
+            CostParameters.paper_defaults().movement_energy(-1.0)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ModelError):
+            CostParameters(model=FriisChargingModel(), delta_j=0.0)
+
+    def test_invalid_move_cost_rejected(self):
+        with pytest.raises(ModelError):
+            CostParameters(model=FriisChargingModel(),
+                           move_cost_j_per_m=-1.0)
+
+    def test_dwell_time_for_distance(self):
+        cost = CostParameters.paper_defaults()
+        # t = delta (d + beta)^2 / (alpha p_c) at d = 0:
+        expected = 2.0 * 900.0 / (36.0 * 0.015)
+        assert cost.dwell_time_for_distance(0.0) == pytest.approx(
+            expected)
+
+    def test_charging_energy_for_distance(self):
+        cost = CostParameters.paper_defaults()
+        assert cost.charging_energy_for_distance(0.0) == pytest.approx(
+            50.0)
+        assert cost.charging_energy_for_distance(30.0) == pytest.approx(
+            200.0)
+
+    @given(st.floats(min_value=0.0, max_value=500.0),
+           st.floats(min_value=0.0, max_value=500.0))
+    def test_charging_energy_monotone_in_distance(self, d1, d2):
+        cost = CostParameters.paper_defaults()
+        lo, hi = min(d1, d2), max(d1, d2)
+        assert (cost.charging_energy_for_distance(lo)
+                <= cost.charging_energy_for_distance(hi) + 1e-9)
+
+
+class TestEnergyBreakdown:
+    def test_empty(self):
+        breakdown = EnergyBreakdown()
+        assert breakdown.total_j == 0.0
+        assert breakdown.total_charging_time_s == 0.0
+
+    def test_add_leg(self):
+        cost = CostParameters.paper_defaults()
+        breakdown = EnergyBreakdown()
+        breakdown.add_leg(10.0, cost)
+        breakdown.add_leg(5.0, cost)
+        assert breakdown.tour_length_m == 15.0
+        assert breakdown.movement_j == pytest.approx(15.0 * 5.59)
+
+    def test_add_stop(self):
+        cost = CostParameters.paper_defaults()
+        breakdown = EnergyBreakdown()
+        breakdown.add_stop(60.0, cost)
+        assert breakdown.charging_j == pytest.approx(0.9)  # 0.9 J/min
+        assert breakdown.dwell_times_s == [60.0]
+
+    def test_invalid_dwell_rejected(self):
+        cost = CostParameters.paper_defaults()
+        with pytest.raises(ModelError):
+            EnergyBreakdown().add_stop(-1.0, cost)
+        with pytest.raises(ModelError):
+            EnergyBreakdown().add_stop(float("inf"), cost)
+
+    def test_total_is_sum(self):
+        cost = CostParameters.paper_defaults()
+        breakdown = EnergyBreakdown()
+        breakdown.add_leg(100.0, cost)
+        breakdown.add_stop(120.0, cost)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.movement_j + breakdown.charging_j)
+
+    def test_as_dict_keys(self):
+        row = EnergyBreakdown().as_dict()
+        assert set(row) == {"total_j", "movement_j", "charging_j",
+                            "tour_length_m", "charging_time_s", "stops"}

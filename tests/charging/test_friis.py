@@ -1,0 +1,119 @@
+"""Tests for the paper's Eq. 1 charging model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.charging import FriisChargingModel
+from repro.errors import ModelError
+
+distances = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False,
+                      allow_infinity=False)
+
+
+class TestEquationOne:
+    def test_paper_constants(self):
+        model = FriisChargingModel()
+        assert model.alpha == 36.0
+        assert model.beta == 30.0
+        assert model.source_power_w == pytest.approx(0.015)
+
+    def test_received_power_formula(self):
+        model = FriisChargingModel(alpha=36.0, beta=30.0,
+                                   source_power_w=1.0)
+        # p_r = 36 / (0 + 30)^2 = 0.04 at d = 0.
+        assert model.received_power(0.0) == pytest.approx(0.04)
+        # p_r = 36 / (30 + 30)^2 = 0.01 at d = 30.
+        assert model.received_power(30.0) == pytest.approx(0.01)
+
+    def test_quadratic_attenuation(self):
+        model = FriisChargingModel()
+        # Moving from d to a distance where (d + beta) doubles cuts
+        # received power by 4x.
+        p_near = model.received_power(0.0)
+        p_far = model.received_power(30.0)  # (d + 30) doubles
+        assert p_near / p_far == pytest.approx(4.0)
+
+    @given(distances, distances)
+    def test_monotone_decreasing(self, d1, d2):
+        model = FriisChargingModel()
+        lo, hi = min(d1, d2), max(d1, d2)
+        assert model.received_power(lo) >= model.received_power(hi)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            FriisChargingModel(alpha=0.0)
+        with pytest.raises(ModelError):
+            FriisChargingModel(beta=-1.0)
+        with pytest.raises(ModelError):
+            FriisChargingModel(source_power_w=0.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ModelError):
+            FriisChargingModel().received_power(-1.0)
+
+
+class TestChargeTime:
+    def test_wisp_anecdote_scale(self):
+        # The paper quotes ~155 s to reach 1.8 V on a 100 uF cap at 10 m
+        # with a real reader; with Eq. 1 the shape (time grows
+        # quadratically in d + beta) is what matters.
+        model = FriisChargingModel()
+        t_10 = model.charge_time(10.0, 1.0)
+        t_0 = model.charge_time(0.0, 1.0)
+        assert t_10 / t_0 == pytest.approx((40.0 / 30.0) ** 2)
+
+    def test_zero_energy_needs_zero_time(self):
+        assert FriisChargingModel().charge_time(100.0, 0.0) == 0.0
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ModelError):
+            FriisChargingModel().charge_time(1.0, -1.0)
+
+    @given(distances)
+    def test_energy_cost_independent_of_source_power(self, d):
+        # For Eq. 1 charger-side energy = delta (d + beta)^2 / alpha: a
+        # stronger transmitter finishes proportionally faster.
+        weak = FriisChargingModel(source_power_w=0.015)
+        strong = FriisChargingModel(source_power_w=3.0)
+        assert weak.charge_energy_cost(d, 2.0) == pytest.approx(
+            strong.charge_energy_cost(d, 2.0))
+
+    def test_energy_cost_closed_form(self):
+        model = FriisChargingModel()
+        assert model.charge_energy_cost(0.0, 2.0) == pytest.approx(
+            2.0 * 30.0 ** 2 / 36.0)  # = 50 J
+
+    @given(distances)
+    def test_closed_form_matches_generic_path(self, d):
+        model = FriisChargingModel()
+        generic = model.source_power_w * model.charge_time(d, 2.0)
+        assert model.charge_energy_cost(d, 2.0) == pytest.approx(generic)
+
+
+class TestFromFirstPrinciples:
+    def test_paper_link_budget(self):
+        # G_s = 8 dBi, G_r = 2 dBi, lambda = 0.33 m (Section III-A).
+        model = FriisChargingModel.from_friis_parameters(
+            transmit_gain_dbi=8.0, receive_gain_dbi=2.0,
+            wavelength_m=0.33, rectifier_efficiency=0.5,
+            polarization_loss=1.0, beta=0.1, source_power_w=3.0)
+        expected_alpha = (10.0 ** 0.8 * 10.0 ** 0.2 * 0.5
+                          * (0.33 / (4 * math.pi)) ** 2)
+        assert model.alpha == pytest.approx(expected_alpha)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ModelError):
+            FriisChargingModel.from_friis_parameters(
+                8.0, 2.0, 0.33, rectifier_efficiency=1.5,
+                polarization_loss=1.0, beta=0.1, source_power_w=3.0)
+
+    def test_constants_module_agrees(self):
+        assert constants.ALPHA == 36.0
+        assert constants.BETA == 30.0
+        assert constants.DELTA_J == 2.0
+        assert constants.MOVE_COST_J_PER_M == 5.59
+        assert constants.CHARGE_POWER_W == pytest.approx(0.015)

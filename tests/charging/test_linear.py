@@ -1,0 +1,69 @@
+"""Tests for the alternative charging models."""
+
+import math
+
+import pytest
+
+from repro.charging import IdealDiskChargingModel, LinearChargingModel
+from repro.errors import ModelError
+
+
+class TestLinear:
+    def test_peak_at_zero(self):
+        model = LinearChargingModel(peak_efficiency=0.5, cutoff_m=10.0,
+                                    source_power_w=2.0)
+        assert model.received_power(0.0) == pytest.approx(1.0)
+
+    def test_zero_at_cutoff(self):
+        model = LinearChargingModel(peak_efficiency=0.5, cutoff_m=10.0,
+                                    source_power_w=2.0)
+        assert model.received_power(10.0) == 0.0
+        assert model.received_power(50.0) == 0.0
+
+    def test_halfway(self):
+        model = LinearChargingModel(peak_efficiency=0.4, cutoff_m=10.0,
+                                    source_power_w=1.0)
+        assert model.received_power(5.0) == pytest.approx(0.2)
+
+    def test_infinite_time_beyond_cutoff(self):
+        model = LinearChargingModel(peak_efficiency=0.4, cutoff_m=10.0,
+                                    source_power_w=1.0)
+        assert math.isinf(model.charge_time(10.0, 1.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            LinearChargingModel(0.0, 10.0, 1.0)
+        with pytest.raises(ModelError):
+            LinearChargingModel(1.5, 10.0, 1.0)
+        with pytest.raises(ModelError):
+            LinearChargingModel(0.5, 0.0, 1.0)
+
+
+class TestIdealDisk:
+    def test_constant_within_range(self):
+        model = IdealDiskChargingModel(efficiency=0.8, range_m=5.0,
+                                       source_power_w=2.0)
+        assert model.received_power(0.0) == pytest.approx(1.6)
+        assert model.received_power(5.0) == pytest.approx(1.6)
+
+    def test_zero_outside(self):
+        model = IdealDiskChargingModel(efficiency=0.8, range_m=5.0,
+                                       source_power_w=2.0)
+        assert model.received_power(5.01) == 0.0
+
+    def test_charge_time_distance_independent_inside(self):
+        model = IdealDiskChargingModel(efficiency=0.5, range_m=5.0,
+                                       source_power_w=2.0)
+        assert model.charge_time(0.0, 3.0) == model.charge_time(4.9, 3.0)
+
+    def test_efficiency_accessor(self):
+        model = IdealDiskChargingModel(efficiency=0.5, range_m=5.0,
+                                       source_power_w=2.0)
+        assert model.efficiency(1.0) == pytest.approx(0.5)
+        assert model.efficiency(9.0) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            IdealDiskChargingModel(0.0, 5.0, 1.0)
+        with pytest.raises(ModelError):
+            IdealDiskChargingModel(0.5, -5.0, 1.0)

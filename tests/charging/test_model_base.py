@@ -1,0 +1,63 @@
+"""Tests for the ChargingModel base-class behaviour."""
+
+import math
+
+import pytest
+
+from repro.charging import ChargingModel, FriisChargingModel
+from repro.errors import ModelError
+
+
+class _StepModel(ChargingModel):
+    """Minimal subclass: constant power inside 10 m, zero outside."""
+
+    def received_power(self, distance_m: float) -> float:
+        self._check_distance(distance_m)
+        return 0.5 if distance_m <= 10.0 else 0.0
+
+
+class TestBaseClass:
+    def test_invalid_source_power(self):
+        with pytest.raises(ModelError):
+            _StepModel(0.0)
+        with pytest.raises(ModelError):
+            _StepModel(float("nan"))
+
+    def test_charge_time_generic(self):
+        model = _StepModel(1.0)
+        assert model.charge_time(5.0, 1.0) == pytest.approx(2.0)
+
+    def test_charge_time_infeasible_is_inf(self):
+        model = _StepModel(1.0)
+        assert math.isinf(model.charge_time(20.0, 1.0))
+
+    def test_charge_time_zero_energy(self):
+        model = _StepModel(1.0)
+        assert model.charge_time(20.0, 0.0) == 0.0
+
+    def test_charge_time_negative_energy_rejected(self):
+        with pytest.raises(ModelError):
+            _StepModel(1.0).charge_time(1.0, -1.0)
+
+    def test_energy_cost_generic(self):
+        model = _StepModel(2.0)
+        # 2 W source * (1 J / 0.5 W) dwell = 4 J.
+        assert model.charge_energy_cost(5.0, 1.0) == pytest.approx(4.0)
+
+    def test_efficiency(self):
+        model = _StepModel(2.0)
+        assert model.efficiency(5.0) == pytest.approx(0.25)
+        assert model.efficiency(50.0) == 0.0
+
+    def test_check_distance_guard(self):
+        with pytest.raises(ModelError):
+            _StepModel(1.0).received_power(float("inf"))
+
+    def test_subclass_plugs_into_cost_parameters(self):
+        from repro.charging import CostParameters
+        cost = CostParameters(model=_StepModel(1.0), delta_j=1.0)
+        assert cost.dwell_time_for_distance(5.0) == pytest.approx(2.0)
+        assert math.isinf(cost.dwell_time_for_distance(20.0))
+
+    def test_friis_is_a_charging_model(self):
+        assert isinstance(FriisChargingModel(), ChargingModel)

@@ -1,0 +1,85 @@
+"""Tests for the simulated Powercast testbed front end."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.charging import P2110_SENSITIVITY_W, PowercastChargingModel
+from repro.errors import ModelError
+
+
+class TestDatasheetFigures:
+    def test_default_parameters(self):
+        model = PowercastChargingModel()
+        assert model.source_power_w == 3.0
+        # 915 MHz -> lambda ~ 0.3276 m ~ "0.33 m" in the paper.
+        assert model.wavelength_m == pytest.approx(0.3276, abs=1e-3)
+
+    def test_rf_power_decays(self):
+        model = PowercastChargingModel()
+        assert model.rf_input_power(0.5) > model.rf_input_power(2.0)
+
+    def test_sensitivity_cutoff(self):
+        model = PowercastChargingModel()
+        cutoff = model.max_charging_range()
+        assert cutoff > 0.0
+        assert model.received_power(cutoff * 0.9) > 0.0
+        assert model.received_power(cutoff * 1.1) == 0.0
+
+    def test_cutoff_covers_office(self):
+        # The testbed room is 5 m x 5 m; its diagonal must be chargeable,
+        # otherwise the paper's experiment could not have worked.
+        model = PowercastChargingModel()
+        assert model.max_charging_range() > 5.0 * math.sqrt(2.0)
+
+    def test_harvester_efficiency_applied(self):
+        lossless = PowercastChargingModel(harvester_efficiency=1.0,
+                                          sensitivity_w=0.0)
+        lossy = PowercastChargingModel(harvester_efficiency=0.5,
+                                       sensitivity_w=0.0)
+        assert lossy.received_power(1.0) == pytest.approx(
+            0.5 * lossless.received_power(1.0))
+
+    def test_sensitivity_constant(self):
+        # -11 dBm = 10^(-1.1) mW.
+        assert P2110_SENSITIVITY_W == pytest.approx(
+            10.0 ** (-1.1) / 1000.0)
+
+
+class TestValidation:
+    def test_invalid_frequency(self):
+        with pytest.raises(ModelError):
+            PowercastChargingModel(frequency_hz=0.0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ModelError):
+            PowercastChargingModel(harvester_efficiency=0.0)
+        with pytest.raises(ModelError):
+            PowercastChargingModel(harvester_efficiency=1.1)
+
+    def test_invalid_offset(self):
+        with pytest.raises(ModelError):
+            PowercastChargingModel(near_field_offset_m=0.0)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ModelError):
+            PowercastChargingModel(sensitivity_w=-1.0)
+
+    def test_negative_distance(self):
+        with pytest.raises(ModelError):
+            PowercastChargingModel().received_power(-0.1)
+
+
+class TestTestbedEnergyScale:
+    def test_4mj_charge_time_reasonable(self):
+        # Charging 4 mJ at ~1 m should take seconds-to-minutes, like the
+        # real P2110 dev kit.
+        model = PowercastChargingModel()
+        t = model.charge_time(1.0, constants.TESTBED_DELTA_J)
+        assert 0.01 < t < 600.0
+
+    def test_infinite_time_beyond_cutoff(self):
+        model = PowercastChargingModel()
+        far = model.max_charging_range() + 1.0
+        assert math.isinf(model.charge_time(far, 1e-3))

@@ -1,0 +1,44 @@
+"""Shared fixtures for the bundle-charging test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostParameters, uniform_deployment
+from repro.charging import FriisChargingModel
+from repro.geometry import Point
+
+
+@pytest.fixture
+def paper_cost() -> CostParameters:
+    """The paper's Section VI-A cost configuration."""
+    return CostParameters.paper_defaults()
+
+
+@pytest.fixture
+def cheap_move_cost() -> CostParameters:
+    """A configuration where movement is nearly free.
+
+    Useful for isolating charging-energy behaviour.
+    """
+    return CostParameters(model=FriisChargingModel(),
+                          move_cost_j_per_m=1e-6)
+
+
+@pytest.fixture
+def small_network():
+    """A deterministic 12-sensor network (fast for exact algorithms)."""
+    return uniform_deployment(count=12, seed=1234, field_side_m=300.0)
+
+
+@pytest.fixture
+def medium_network():
+    """A deterministic 40-sensor network at paper field scale."""
+    return uniform_deployment(count=40, seed=99)
+
+
+@pytest.fixture
+def square_points():
+    """Four unit-square corners — handy exact-geometry input."""
+    return [Point(0.0, 0.0), Point(1.0, 0.0), Point(1.0, 1.0),
+            Point(0.0, 1.0)]

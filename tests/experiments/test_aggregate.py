@@ -1,0 +1,71 @@
+"""Tests for experiment aggregation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.experiments import CellStats, aggregate_rows, mean_std
+from repro.experiments.aggregate import ratio
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=30)
+
+
+class TestMeanStd:
+    def test_single_value(self):
+        stats = mean_std([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.count == 1
+
+    def test_known_values(self):
+        stats = mean_std([2.0, 4.0, 6.0])
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.std == pytest.approx(2.0)  # sample std
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            mean_std([])
+
+    @given(values)
+    def test_mean_within_bounds(self, xs):
+        stats = mean_std(xs)
+        assert min(xs) - 1e-9 <= stats.mean <= max(xs) + 1e-9
+        assert stats.std >= 0.0
+
+    def test_str_formats(self):
+        assert "±" in str(mean_std([1.0, 2.0]))
+        assert "±" not in str(mean_std([1.0]))
+
+
+class TestAggregateRows:
+    def test_keyed_aggregation(self):
+        rows = [{"a": 1.0, "b": 10.0}, {"a": 3.0, "b": 30.0}]
+        agg = aggregate_rows(rows)
+        assert agg["a"].mean == pytest.approx(2.0)
+        assert agg["b"].mean == pytest.approx(20.0)
+        assert agg["a"].count == 2
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ExperimentError):
+            aggregate_rows([{"a": 1.0}, {"b": 2.0}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            aggregate_rows([])
+
+
+class TestRatio:
+    def test_simple(self):
+        assert ratio(CellStats(10.0, 0, 1),
+                     CellStats(5.0, 0, 1)) == pytest.approx(2.0)
+
+    def test_zero_denominator(self):
+        assert math.isinf(ratio(CellStats(1.0, 0, 1),
+                                CellStats(0.0, 0, 1)))
+        assert ratio(CellStats(0.0, 0, 1),
+                     CellStats(0.0, 0, 1)) == 1.0

@@ -1,0 +1,96 @@
+"""Tests for experiment config and the multi-seed runner."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig, run_averaged
+from repro.experiments.runner import kilo, run_algorithms_once
+from repro.network import uniform_deployment
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ExperimentConfig.default()
+        assert config.runs == 10
+        assert config.node_count == 100
+
+    def test_paper_scale(self):
+        assert ExperimentConfig.paper().runs == 100
+
+    def test_fast_scale_smaller(self):
+        fast = ExperimentConfig.fast()
+        default = ExperimentConfig.default()
+        assert fast.runs < default.runs
+        assert fast.node_count < default.node_count
+
+    def test_with_runs(self):
+        assert ExperimentConfig.default().with_runs(3).runs == 3
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(runs=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(node_count=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(radii=())
+
+    def test_cost_factory_fresh_instances(self):
+        config = ExperimentConfig.default()
+        assert config.cost() is not config.cost()
+
+
+class TestRunner:
+    def test_run_once_returns_all_algorithms(self, paper_cost):
+        network = uniform_deployment(count=20, seed=1,
+                                     field_side_m=400.0)
+        results = run_algorithms_once(network, paper_cost, 30.0,
+                                      ["SC", "BC"])
+        assert set(results) == {"SC", "BC"}
+        assert results["SC"]["total_j"] > 0.0
+
+    def test_run_averaged_aggregates_seeds(self):
+        config = ExperimentConfig(runs=3, node_count=20,
+                                  node_counts=(20,), radii=(30.0,))
+        aggregated = run_averaged(config, 20, 30.0, ["SC"], "unit-test")
+        assert aggregated["SC"]["total_j"].count == 3
+        assert aggregated["SC"]["total_j"].std >= 0.0
+
+    def test_run_averaged_deterministic(self):
+        config = ExperimentConfig(runs=2, node_count=15,
+                                  node_counts=(15,), radii=(25.0,))
+        a = run_averaged(config, 15, 25.0, ["BC"], "det-test")
+        b = run_averaged(config, 15, 25.0, ["BC"], "det-test")
+        assert a["BC"]["total_j"].mean == b["BC"]["total_j"].mean
+
+    def test_experiment_label_isolates_seeds(self):
+        config = ExperimentConfig(runs=2, node_count=15,
+                                  node_counts=(15,), radii=(25.0,))
+        a = run_averaged(config, 15, 25.0, ["SC"], "label-one")
+        b = run_averaged(config, 15, 25.0, ["SC"], "label-two")
+        assert a["SC"]["total_j"].mean != b["SC"]["total_j"].mean
+
+    def test_kilo_rescales(self):
+        from repro.experiments.aggregate import CellStats
+        cell = kilo(CellStats(5000.0, 1000.0, 4))
+        assert cell.mean == 5.0
+        assert cell.std == 1.0
+        assert cell.count == 4
+
+
+class TestRunnerHelpers:
+    def test_metric_series_extracts_aligned_cells(self):
+        from repro.experiments.aggregate import CellStats
+        from repro.experiments.runner import metric_series
+        sweep = [
+            {"SC": {"total_j": CellStats(10.0, 0, 1)}},
+            {"SC": {"total_j": CellStats(20.0, 0, 1)}},
+        ]
+        series = metric_series(sweep, "SC", "total_j")
+        assert [cell.mean for cell in series] == [10.0, 20.0]
+
+    def test_pick_returns_requested_order(self):
+        from repro.experiments.aggregate import CellStats
+        from repro.experiments.runner import pick
+        row = {"a": CellStats(1.0, 0, 1), "b": CellStats(2.0, 0, 1)}
+        cells = pick(row, "b", "a")
+        assert [cell.mean for cell in cells] == [2.0, 1.0]

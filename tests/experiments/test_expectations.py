@@ -1,0 +1,93 @@
+"""Tests for the reproduction-verdict harness.
+
+The checkers are tested directly on hand-built tables (fast, and lets
+us verify they *fail* on counterfeit data, which a live run never
+exercises).
+"""
+
+import pytest
+
+from repro.experiments import EXPECTATIONS, Finding, render_findings
+from repro.experiments.aggregate import CellStats
+from repro.experiments.expectations import _check_fig12, _check_fig16
+from repro.experiments.tables import ResultTable
+
+
+def _cell(value: float) -> CellStats:
+    return CellStats(value, 0.0, 1)
+
+
+def _fig12_tables(sc_flat=True, opt_beats_bc=True):
+    columns = ["radius_m", "SC", "CSS", "BC", "BC-OPT"]
+    energy = ResultTable("Fig. 12(a)", columns)
+    tour = ResultTable("Fig. 12(b)", columns)
+    charge = ResultTable("Fig. 12(c)", columns)
+    for i, radius in enumerate((10.0, 40.0)):
+        sc_energy = 50.0 if sc_flat else 50.0 + 20.0 * i
+        opt_energy = 45.0 - i if opt_beats_bc else 49.0 + i
+        energy.add_row(radius_m=radius, SC=_cell(sc_energy),
+                       CSS=_cell(48.0), BC=_cell(48.0 - i),
+                       **{"BC-OPT": _cell(opt_energy)})
+        tour.add_row(radius_m=radius, SC=_cell(8.0), CSS=_cell(7.0),
+                     BC=_cell(7.5), **{"BC-OPT": _cell(6.5)})
+        charge.add_row(radius_m=radius, SC=_cell(3333.0),
+                       CSS=_cell(5000.0 + 1000.0 * i),
+                       BC=_cell(3300.0), **{"BC-OPT": _cell(5000.0)})
+    return [energy, tour, charge]
+
+
+class TestCheckers:
+    def test_fig12_passes_on_good_data(self):
+        findings = _check_fig12(_fig12_tables())
+        assert all(f.passed for f in findings)
+
+    def test_fig12_detects_non_flat_sc(self):
+        findings = _check_fig12(_fig12_tables(sc_flat=False))
+        flat = [f for f in findings if "radius-independent" in f.claim]
+        assert not flat[0].passed
+
+    def test_fig12_detects_bcopt_regression(self):
+        findings = _check_fig12(_fig12_tables(opt_beats_bc=False))
+        beats = [f for f in findings if "beats BC" in f.claim]
+        assert not beats[0].passed
+
+    def test_fig16_checks(self):
+        energy = ResultTable(
+            "Fig. 16(a)", ["radius_m", "SC", "BC", "BC-OPT",
+                           "bc_saving_pct", "bcopt_saving_pct"])
+        tour = ResultTable("Fig. 16(b)",
+                           ["radius_m", "SC", "BC", "BC-OPT"])
+        for radius, bc_save, opt_save in ((0.2, 0.0, 2.0),
+                                          (1.2, 5.0, 20.0)):
+            energy.add_row(radius_m=radius, SC=_cell(80.0),
+                           BC=_cell(80.0 * (1 - bc_save / 100)),
+                           **{"BC-OPT": _cell(
+                               80.0 * (1 - opt_save / 100)),
+                              "bc_saving_pct": _cell(bc_save),
+                              "bcopt_saving_pct": _cell(opt_save)})
+            tour.add_row(radius_m=radius, SC=_cell(14.0),
+                         BC=_cell(13.0), **{"BC-OPT": _cell(9.0)})
+        findings = _check_fig16([energy, tour])
+        assert all(f.passed for f in findings)
+
+    def test_registry_covers_every_paper_figure(self):
+        assert set(EXPECTATIONS) == {"fig06", "fig10", "fig11",
+                                     "fig12", "fig13", "fig14",
+                                     "fig16"}
+
+
+class TestRendering:
+    def test_render_findings(self):
+        findings = [Finding("fig06", "a claim", True),
+                    Finding("fig12", "another claim", False)]
+        text = render_findings(findings)
+        assert "[PASS] fig06" in text
+        assert "[FAIL] fig12" in text
+        assert "1/2 expectations hold" in text
+
+
+class TestCliCheck:
+    def test_check_flag_parses(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["check", "--fast"])
+        assert args.experiment == "check"

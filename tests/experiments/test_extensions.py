@@ -1,0 +1,187 @@
+"""Smoke + shape tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+TINY = ExperimentConfig(runs=1, node_count=40, node_counts=(40,),
+                        radii=(20.0,), default_radius=25.0)
+
+
+class TestExtDwell:
+    #: The accounting contrast needs some density to rise above TSP
+    #: noise; 80 nodes x 2 seeds is the cheapest clear configuration.
+    DENSER = ExperimentConfig(runs=2, node_count=80, node_counts=(80,),
+                              radii=(20.0,), default_radius=25.0)
+
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return run_experiment("extDwell", self.DENSER)
+
+    def test_single_table_both_columns(self, tables):
+        (table,) = tables
+        assert "simultaneous" in table.columns
+        assert "sequential" in table.columns
+
+    def test_sequential_u_shape(self, tables):
+        (table,) = tables
+        seq = table.mean_of("sequential")
+        interior = min(seq[1:-1])
+        # Interior minimum at or below the small-radius endpoint (up to
+        # seed noise) and far below the large-radius blow-up.
+        assert interior <= seq[0] + 1.0
+        assert interior < 0.6 * seq[-1]
+
+    def test_simultaneous_stays_flat_or_improves(self, tables):
+        (table,) = tables
+        sim = table.mean_of("simultaneous")
+        # No blow-up under the paper's stated accounting: the largest
+        # radius is at least as good as the smallest.
+        assert sim[-1] <= sim[0] + 1.0
+
+    def test_policies_agree_when_bundles_are_singletons(self, tables):
+        (table,) = tables
+        seq = table.mean_of("sequential")
+        sim = table.mean_of("simultaneous")
+        # At r = 2 m nothing merges, so the accountings coincide.
+        assert seq[0] == pytest.approx(sim[0], rel=1e-9)
+
+
+class TestExtDeploy:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return run_experiment("extDeploy", TINY)
+
+    def test_three_deployments(self, tables):
+        (table,) = tables
+        assert table.column("deployment") == ["uniform", "clustered",
+                                              "lattice"]
+
+    def test_clustered_saves_most(self, tables):
+        (table,) = tables
+        savings = dict(zip(table.column("deployment"),
+                           table.mean_of("saving_pct")))
+        assert savings["clustered"] > savings["uniform"]
+
+    def test_savings_non_negative(self, tables):
+        (table,) = tables
+        for saving in table.mean_of("saving_pct"):
+            assert saving >= -1.0  # BC-OPT ~ never worse than SC
+
+
+class TestExtFleet:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return run_experiment("extFleet", TINY)
+
+    def test_makespan_non_increasing(self, tables):
+        (table,) = tables
+        makespans = table.mean_of("makespan_h")
+        for previous, current in zip(makespans, makespans[1:]):
+            assert current <= previous + 1e-9
+
+    def test_speedup_bounded_by_k(self, tables):
+        (table,) = tables
+        for k, speedup in zip(table.mean_of("chargers"),
+                              table.mean_of("speedup")):
+            assert 1.0 - 1e-9 <= speedup <= k + 1e-6
+
+    def test_energy_overhead_grows(self, tables):
+        (table,) = tables
+        overheads = table.mean_of("overhead_pct")
+        assert overheads[0] == pytest.approx(0.0, abs=1e-6)
+        assert overheads[-1] >= overheads[0]
+
+
+class TestExtLifetime:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return run_experiment("extLifetime", TINY)
+
+    def test_all_planners_reported(self, tables):
+        (table,) = tables
+        assert table.column("planner") == ["SC", "CSS", "BC", "BC-OPT"]
+
+    def test_rounds_and_energy_positive(self, tables):
+        (table,) = tables
+        for rounds in table.mean_of("rounds"):
+            assert rounds >= 1.0
+        for energy in table.mean_of("energy_per_day_kj"):
+            assert energy > 0.0
+
+    def test_availability_high(self, tables):
+        (table,) = tables
+        for availability in table.mean_of("availability_pct"):
+            assert availability > 95.0
+
+
+class TestExtLatency:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return run_experiment("extLatency", TINY)
+
+    def test_all_planners_reported(self, tables):
+        (table,) = tables
+        assert table.column("planner") == ["SC", "CSS", "BC", "BC-OPT"]
+
+    def test_latencies_positive_and_ordered(self, tables):
+        (table,) = tables
+        for mean_latency, max_latency in zip(
+                table.mean_of("mean_latency_h"),
+                table.mean_of("max_latency_h")):
+            assert 0.0 < mean_latency <= max_latency
+
+    def test_reordering_never_hurts_latency(self, tables):
+        (table,) = tables
+        for gain in table.mean_of("latency_gain_pct"):
+            assert gain >= -1e-6
+
+
+class TestExtRobust:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return run_experiment("extRobust", TINY)
+
+    def test_all_planners_reported(self, tables):
+        (table,) = tables
+        assert table.column("planner") == ["SC", "CSS", "BC", "BC-OPT"]
+
+    def test_margins_in_unit_interval(self, tables):
+        (table,) = tables
+        for margin in table.mean_of("break_even_scale"):
+            assert 0.0 < margin <= 1.0
+
+    def test_headroom_consistent_with_margin(self, tables):
+        (table,) = tables
+        for margin, headroom in zip(table.mean_of("break_even_scale"),
+                                    table.mean_of("headroom_pct")):
+            assert headroom == pytest.approx(100.0 * (1.0 - margin),
+                                             abs=1e-6)
+
+    def test_incidental_positive(self, tables):
+        (table,) = tables
+        for incidental in table.mean_of("incidental_pct"):
+            assert incidental > 0.0
+
+
+class TestExtConcur:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return run_experiment("extConcur", TINY)
+
+    def test_speedup_decreases_with_interference_reach(self, tables):
+        (table,) = tables
+        speedups = table.mean_of("speedup")
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_rounds_increase_with_interference_reach(self, tables):
+        (table,) = tables
+        rounds = table.mean_of("rounds")
+        assert rounds == sorted(rounds)
+
+    def test_cap_never_beats_uncapped(self, tables):
+        (table,) = tables
+        capped = table.mean_of("speedup_cap8")
+        free = table.mean_of("speedup")
+        for c, f in zip(capped, free):
+            assert c <= f + 1e-9

@@ -1,0 +1,225 @@
+"""Smoke + shape tests for every paper-figure experiment.
+
+Each experiment runs at reduced scale; assertions target the *shapes*
+the paper reports (orderings, monotonicity, U-curves), not magnitudes.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (EXPERIMENTS, ExperimentConfig,
+                               experiment_ids, run_experiment)
+
+#: Tiny-but-meaningful scale for shape checks.
+TINY = ExperimentConfig(runs=2, node_count=60,
+                        node_counts=(40, 80),
+                        radii=(10.0, 25.0, 40.0),
+                        default_radius=25.0)
+
+
+@pytest.fixture(scope="module")
+def fig06_tables():
+    return run_experiment("fig06", TINY)
+
+
+@pytest.fixture(scope="module")
+def fig11_tables():
+    return run_experiment("fig11", TINY)
+
+
+@pytest.fixture(scope="module")
+def fig12_tables():
+    return run_experiment("fig12", TINY)
+
+
+@pytest.fixture(scope="module")
+def fig13_tables():
+    return run_experiment("fig13", TINY)
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        ids = experiment_ids()
+        assert ids[:7] == ["fig06", "fig10", "fig11", "fig12", "fig13",
+                           "fig14", "fig16"]
+        assert set(ids[7:]) == {"extDwell", "extDeploy", "extFleet",
+                                "extLifetime", "extLatency",
+                                "extRobust", "extConcur"}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99", TINY)
+
+    def test_modules_expose_run(self):
+        for module in EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")
+
+
+class TestFig06Shapes:
+    def test_two_tables(self, fig06_tables):
+        assert len(fig06_tables) == 2
+
+    def test_tour_length_decreases_with_radius(self, fig06_tables):
+        lengths = fig06_tables[0].mean_of("tour_length_km")
+        assert lengths[0] > lengths[-1]
+
+    def test_charging_time_increases_with_radius(self, fig06_tables):
+        times = fig06_tables[0].mean_of("charging_time_ks")
+        assert times[-1] > times[0]
+
+    def test_bundle_count_decreases(self, fig06_tables):
+        bundles = fig06_tables[0].mean_of("bundles")
+        assert bundles == sorted(bundles, reverse=True)
+
+    def test_total_is_movement_plus_charging(self, fig06_tables):
+        table_b = fig06_tables[1]
+        for row in table_b.rows:
+            total = row["total_kj"].mean
+            parts = row["movement_kj"].mean + row["charging_kj"].mean
+            assert total == pytest.approx(parts, rel=1e-9)
+
+
+class TestFig10:
+    def test_bundles_shrink_with_radius(self):
+        tables = run_experiment("fig10", TINY)
+        table = tables[0]
+        bundles = table.mean_of("bundles")
+        assert bundles == sorted(bundles, reverse=True)
+
+    def test_bcopt_no_worse_than_bc(self):
+        tables = run_experiment("fig10", TINY)
+        table = tables[0]
+        for bc, opt in zip(table.mean_of("bc_total_kj"),
+                           table.mean_of("bcopt_total_kj")):
+            assert opt <= bc + 1e-6
+
+
+class TestFig11Shapes:
+    def test_two_tables(self, fig11_tables):
+        assert len(fig11_tables) == 2
+
+    def test_greedy_never_more_than_grid(self, fig11_tables):
+        for table in fig11_tables:
+            for grid, greedy in zip(table.mean_of("grid"),
+                                    table.mean_of("greedy")):
+                assert greedy <= grid + 1e-9
+
+    def test_optimal_never_more_than_greedy(self, fig11_tables):
+        for table in fig11_tables:
+            for greedy, optimal in zip(table.mean_of("greedy"),
+                                       table.mean_of("optimal")):
+                if math.isnan(optimal):
+                    continue  # exact search hit its budget
+                assert optimal <= greedy + 1e-9
+
+    def test_counts_decrease_with_radius(self, fig11_tables):
+        greedy = fig11_tables[0].mean_of("greedy")
+        assert greedy == sorted(greedy, reverse=True)
+
+    def test_counts_increase_with_nodes(self, fig11_tables):
+        greedy = fig11_tables[1].mean_of("greedy")
+        assert greedy == sorted(greedy)
+
+
+class TestFig12Shapes:
+    def test_three_tables(self, fig12_tables):
+        assert len(fig12_tables) == 3
+
+    def test_sc_flat_across_radii(self, fig12_tables):
+        sc = fig12_tables[0].mean_of("SC")
+        assert max(sc) - min(sc) < 0.05 * max(sc)
+
+    def test_bcopt_beats_bc_everywhere(self, fig12_tables):
+        bc = fig12_tables[0].mean_of("BC")
+        opt = fig12_tables[0].mean_of("BC-OPT")
+        for b, o in zip(bc, opt):
+            assert o <= b + 1e-6
+
+    def test_bcopt_beats_sc_at_large_radius(self, fig12_tables):
+        sc = fig12_tables[0].mean_of("SC")
+        opt = fig12_tables[0].mean_of("BC-OPT")
+        assert opt[-1] < sc[-1]
+
+    def test_tour_lengths_shorter_than_sc(self, fig12_tables):
+        table_b = fig12_tables[1]
+        sc = table_b.mean_of("SC")
+        for name in ("CSS", "BC-OPT"):
+            series = table_b.mean_of(name)
+            assert series[-1] < sc[-1]
+
+    def test_sc_charging_time_constant(self, fig12_tables):
+        # SC always charges at d = 0, so its per-sensor time is flat.
+        table_c = fig12_tables[2]
+        sc = table_c.mean_of("SC")
+        assert max(sc) - min(sc) < 1e-6
+
+    def test_css_charging_time_above_sc_and_growing(self, fig12_tables):
+        # CSS parks on range boundaries without optimizing the charging
+        # position — its per-sensor time exceeds SC's and grows with the
+        # radius (the paper's Fig. 12(c) observation).
+        table_c = fig12_tables[2]
+        sc = table_c.mean_of("SC")
+        css = table_c.mean_of("CSS")
+        for s, c in zip(sc, css):
+            assert c >= s - 1e-9
+        assert css[-1] > css[0]
+
+
+class TestFig13Shapes:
+    def test_three_tables(self, fig13_tables):
+        assert len(fig13_tables) == 3
+
+    def test_energy_grows_with_density(self, fig13_tables):
+        for name in ("SC", "BC", "BC-OPT"):
+            series = fig13_tables[0].mean_of(name)
+            assert series[-1] > series[0]
+
+    def test_bcopt_best_at_every_density(self, fig13_tables):
+        table = fig13_tables[0]
+        opt = table.mean_of("BC-OPT")
+        for name in ("SC", "CSS", "BC"):
+            other = table.mean_of(name)
+            for o, x in zip(opt, other):
+                assert o <= x + 1e-6
+
+    def test_bc_gain_over_sc_grows_with_density(self, fig13_tables):
+        table = fig13_tables[0]
+        sc = table.mean_of("SC")
+        bc = table.mean_of("BC")
+        gain_sparse = 1.0 - bc[0] / sc[0]
+        gain_dense = 1.0 - bc[-1] / sc[-1]
+        assert gain_dense >= gain_sparse - 0.02
+
+
+class TestFig14:
+    def test_tables_and_gain_column(self):
+        tables = run_experiment(
+            "fig14", ExperimentConfig(runs=1, node_count=60,
+                                      node_counts=(60,),
+                                      radii=(10.0, 25.0, 40.0)))
+        assert len(tables) == 2
+        gains = tables[1].mean_of("bcopt_gain_pct")
+        assert all(g >= -1e-6 for g in gains)
+        assert "optimal radius" in tables[1].title
+
+
+class TestFig16:
+    def test_shapes(self):
+        tables = run_experiment("fig16", TINY)
+        assert len(tables) == 2
+        table_a, table_b = tables
+        # BC-OPT saving grows (weakly) with radius and is positive at
+        # the paper's highlighted radius 1.2 m.
+        radii = table_a.mean_of("radius_m")
+        savings = table_a.mean_of("bcopt_saving_pct")
+        highlighted = savings[radii.index(1.2)]
+        assert highlighted > 5.0
+        # Tour lengths: BC-OPT <= BC <= SC at every radius.
+        for sc, bc, opt in zip(table_b.mean_of("SC"),
+                               table_b.mean_of("BC"),
+                               table_b.mean_of("BC-OPT")):
+            assert opt <= bc + 1e-9
+            assert bc <= sc + 1e-9

@@ -1,0 +1,38 @@
+"""Smoke tests for every experiment module's ``main`` entry point."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentConfig
+
+#: Micro scale: main() must print tables without blowing the test
+#: budget.  extLifetime and fig14 are the heavy ones; keep n tiny.
+MICRO = ExperimentConfig(runs=1, node_count=25, node_counts=(25,),
+                         radii=(15.0, 30.0), default_radius=20.0)
+
+#: Modules cheap enough to exercise here (the rest share the exact same
+#: main() shape and are covered by run_experiment tests).
+FAST_IDS = ["fig06", "fig10", "fig16", "extDwell", "extFleet"]
+
+
+@pytest.mark.parametrize("experiment_id", FAST_IDS)
+def test_main_prints_tables(experiment_id, capsys):
+    module = EXPERIMENTS[experiment_id]
+    tables = module.main(MICRO)
+    out = capsys.readouterr().out
+    assert tables
+    for table in tables:
+        title_head = table.title.split(" — ")[0][:30]
+        assert title_head in out
+
+
+def test_every_module_has_main_and_run():
+    for experiment_id, module in EXPERIMENTS.items():
+        assert callable(getattr(module, "run", None)), experiment_id
+        assert callable(getattr(module, "main", None)), experiment_id
+
+
+def test_fig10_main_renders_ascii(capsys):
+    EXPERIMENTS["fig10"].main(MICRO)
+    out = capsys.readouterr().out
+    assert "BC-OPT tour, bundle radius" in out
+    assert "D" in out  # the depot marker of the ASCII canvas

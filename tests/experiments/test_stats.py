@@ -1,0 +1,107 @@
+"""Tests for the significance helpers (validated against SciPy)."""
+
+import random
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.stats import (paired_t_test, student_t_sf,
+                                     welch_t_test)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestStudentTSf:
+    @pytest.mark.parametrize("t,df", [(0.0, 5.0), (1.0, 3.0),
+                                      (2.5, 10.0), (-1.7, 7.0),
+                                      (4.0, 30.0), (0.3, 1.0)])
+    def test_matches_scipy(self, t, df):
+        ours = student_t_sf(t, df)
+        reference = scipy_stats.t.sf(t, df)
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_invalid_df(self):
+        with pytest.raises(ExperimentError):
+            student_t_sf(1.0, 0.0)
+
+
+class TestWelch:
+    def test_matches_scipy_on_random_samples(self):
+        rng = random.Random(3)
+        a = [rng.gauss(10.0, 2.0) for _ in range(12)]
+        b = [rng.gauss(11.0, 3.0) for _ in range(15)]
+        ours = welch_t_test(a, b)
+        reference = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(reference.statistic,
+                                               rel=1e-9)
+        assert ours.p_value == pytest.approx(reference.pvalue,
+                                             abs=1e-9)
+
+    def test_clearly_different_samples_significant(self):
+        a = [1.0, 1.1, 0.9, 1.05, 0.95]
+        b = [5.0, 5.2, 4.9, 5.1, 4.8]
+        result = welch_t_test(a, b)
+        assert result.significant(alpha=0.001)
+
+    def test_identical_distributions_not_significant(self):
+        rng = random.Random(7)
+        a = [rng.gauss(0.0, 1.0) for _ in range(10)]
+        b = [rng.gauss(0.0, 1.0) for _ in range(10)]
+        result = welch_t_test(a, b)
+        assert result.p_value > 0.001  # almost surely
+
+    def test_equal_constant_samples(self):
+        result = welch_t_test([2.0, 2.0], [2.0, 2.0])
+        assert result.p_value == 1.0
+
+    def test_too_small_samples_rejected(self):
+        with pytest.raises(ExperimentError):
+            welch_t_test([1.0], [2.0, 3.0])
+
+
+class TestPaired:
+    def test_matches_scipy(self):
+        rng = random.Random(5)
+        a = [rng.gauss(10.0, 2.0) for _ in range(10)]
+        b = [x + rng.gauss(0.5, 0.3) for x in a]
+        ours = paired_t_test(a, b)
+        reference = scipy_stats.ttest_rel(a, b)
+        assert ours.statistic == pytest.approx(reference.statistic,
+                                               rel=1e-9)
+        assert ours.p_value == pytest.approx(reference.pvalue,
+                                             abs=1e-9)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExperimentError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+    def test_paired_beats_unpaired_on_correlated_data(self):
+        # The classic motivation: big per-seed variance, small paired
+        # difference -> paired test detects it, Welch may not.
+        rng = random.Random(11)
+        a = [rng.gauss(100.0, 30.0) for _ in range(10)]
+        b = [x - 1.0 + rng.gauss(0.0, 0.2) for x in a]
+        paired = paired_t_test(a, b)
+        unpaired = welch_t_test(a, b)
+        assert paired.p_value < unpaired.p_value
+        assert paired.significant()
+
+    def test_real_planner_comparison(self, paper_cost):
+        # BC-OPT vs BC on the same deployments must be significantly
+        # cheaper over a handful of seeds.
+        from repro.network import uniform_deployment
+        from repro.planners import make_planner
+        from repro.tour import evaluate_plan
+        bc_totals = []
+        opt_totals = []
+        for seed in range(5):
+            network = uniform_deployment(count=60, seed=seed)
+            for name, bucket in (("BC", bc_totals),
+                                 ("BC-OPT", opt_totals)):
+                plan = make_planner(name, 30.0).plan(network,
+                                                     paper_cost)
+                bucket.append(evaluate_plan(
+                    plan, network.locations, paper_cost).total_j)
+        result = paired_t_test(bc_totals, opt_totals)
+        assert result.statistic > 0.0  # BC costs more
+        assert result.significant(alpha=0.01)

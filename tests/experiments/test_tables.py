@@ -1,0 +1,62 @@
+"""Tests for the ResultTable renderer."""
+
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ResultTable, render_tables
+from repro.experiments.aggregate import CellStats
+
+
+class TestResultTable:
+    def _table(self):
+        table = ResultTable("demo", ["x", "y"])
+        table.add_row(x=1.0, y=CellStats(2.0, 0.5, 3))
+        table.add_row(x=2.0, y=CellStats(4.0, 0.0, 1))
+        return table
+
+    def test_row_key_mismatch_rejected(self):
+        table = ResultTable("demo", ["x", "y"])
+        with pytest.raises(ExperimentError):
+            table.add_row(x=1.0)
+        with pytest.raises(ExperimentError):
+            table.add_row(x=1.0, y=2.0, z=3.0)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ExperimentError):
+            ResultTable("demo", [])
+
+    def test_column_access(self):
+        table = self._table()
+        assert table.column("x") == [1.0, 2.0]
+        with pytest.raises(ExperimentError):
+            table.column("nope")
+
+    def test_mean_of_unwraps_cellstats(self):
+        table = self._table()
+        assert table.mean_of("y") == [2.0, 4.0]
+
+    def test_render_contains_everything(self):
+        text = self._table().render()
+        assert "demo" in text
+        assert "x" in text and "y" in text
+        assert "2±0.5" in text
+
+    def test_render_empty_table(self):
+        table = ResultTable("empty", ["only"])
+        text = table.render()
+        assert "only" in text
+
+    def test_csv_roundtrip(self, tmp_path):
+        table = self._table()
+        path = os.path.join(tmp_path, "out.csv")
+        table.to_csv(path)
+        with open(path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1.0,2.0"  # CellStats reduced to mean
+
+    def test_render_tables_joins(self):
+        text = render_tables([self._table(), self._table()])
+        assert text.count("== demo ==") == 2

@@ -1,0 +1,75 @@
+"""Tests for battery-capacity scheduling."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.fleet import (minimum_feasible_capacity,
+                         schedule_with_capacity)
+from repro.geometry import Point
+from repro.planners import BundleChargingPlanner
+from repro.tour import ChargingPlan
+
+
+@pytest.fixture
+def base_plan(medium_network, paper_cost):
+    return BundleChargingPlanner(30.0).plan(medium_network, paper_cost)
+
+
+class TestCapacitySchedule:
+    def test_huge_capacity_single_pass(self, base_plan, paper_cost):
+        schedule = schedule_with_capacity(base_plan, 1e12, paper_cost)
+        assert schedule.pass_count == 1
+        assert schedule.overhead_j == pytest.approx(0.0, abs=1e-6)
+
+    def test_tight_capacity_many_passes(self, base_plan, paper_cost):
+        floor = minimum_feasible_capacity(base_plan, paper_cost)
+        schedule = schedule_with_capacity(base_plan, floor * 1.2,
+                                          paper_cost)
+        assert schedule.pass_count > 1
+        assert schedule.overhead_j > 0.0
+
+    def test_every_pass_within_budget(self, base_plan, paper_cost):
+        floor = minimum_feasible_capacity(base_plan, paper_cost)
+        budget = floor * 1.5
+        schedule = schedule_with_capacity(base_plan, budget, paper_cost)
+        for charging_pass in schedule.passes:
+            assert charging_pass.energy_j <= budget + 1e-6
+
+    def test_all_stops_served_in_order(self, base_plan, paper_cost):
+        floor = minimum_feasible_capacity(base_plan, paper_cost)
+        schedule = schedule_with_capacity(base_plan, floor * 1.3,
+                                          paper_cost)
+        served = []
+        for charging_pass in schedule.passes:
+            served.extend(stop.position
+                          for stop in charging_pass.stops)
+        assert served == [stop.position for stop in base_plan.stops]
+
+    def test_pass_count_monotone_in_capacity(self, base_plan,
+                                             paper_cost):
+        floor = minimum_feasible_capacity(base_plan, paper_cost)
+        counts = [
+            schedule_with_capacity(base_plan, floor * factor,
+                                   paper_cost).pass_count
+            for factor in (1.1, 2.0, 5.0, 100.0)
+        ]
+        for previous, current in zip(counts, counts[1:]):
+            assert current <= previous
+
+    def test_infeasible_capacity_raises(self, base_plan, paper_cost):
+        floor = minimum_feasible_capacity(base_plan, paper_cost)
+        with pytest.raises(PlanError):
+            schedule_with_capacity(base_plan, floor * 0.5, paper_cost)
+
+    def test_invalid_capacity_rejected(self, base_plan, paper_cost):
+        with pytest.raises(PlanError):
+            schedule_with_capacity(base_plan, 0.0, paper_cost)
+
+    def test_needs_depot(self, paper_cost):
+        plan = ChargingPlan(stops=(), depot=None)
+        with pytest.raises(PlanError):
+            schedule_with_capacity(plan, 100.0, paper_cost)
+
+    def test_empty_plan_zero_capacity_floor(self, paper_cost):
+        plan = ChargingPlan(stops=(), depot=Point(0, 0))
+        assert minimum_feasible_capacity(plan, paper_cost) == 0.0

@@ -1,0 +1,135 @@
+"""Tests for interference-aware concurrent scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.fleet import (concurrent_schedule, conflict_graph,
+                         greedy_coloring)
+from repro.geometry import Point
+from repro.tour import ChargingPlan, Stop
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+point_lists = st.lists(st.builds(Point, coords, coords), min_size=1,
+                       max_size=30)
+
+
+class TestConflictGraph:
+    def test_pairwise_conflicts(self):
+        positions = [Point(0, 0), Point(5, 0), Point(50, 0)]
+        adjacency = conflict_graph(positions, 10.0)
+        assert adjacency[0] == {1}
+        assert adjacency[1] == {0}
+        assert adjacency[2] == set()
+
+    def test_zero_distance_no_conflicts_unless_coincident(self):
+        positions = [Point(0, 0), Point(1, 0), Point(0, 0)]
+        adjacency = conflict_graph(positions, 0.0)
+        assert adjacency[0] == {2}
+        assert adjacency[1] == set()
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(PlanError):
+            conflict_graph([Point(0, 0)], -1.0)
+
+
+class TestColoring:
+    def test_proper_coloring_on_triangle(self):
+        adjacency = [{1, 2}, {0, 2}, {0, 1}]
+        colors = greedy_coloring(adjacency)
+        assert len(set(colors)) == 3
+
+    def test_bipartite_uses_two_colors(self):
+        # Path graph: 0-1-2-3.
+        adjacency = [{1}, {0, 2}, {1, 3}, {2}]
+        colors = greedy_coloring(adjacency)
+        assert max(colors) <= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(point_lists, st.floats(min_value=1.0, max_value=60.0))
+    def test_coloring_always_proper(self, points, distance):
+        adjacency = conflict_graph(points, distance)
+        colors = greedy_coloring(adjacency)
+        for vertex, neighbors in enumerate(adjacency):
+            for neighbor in neighbors:
+                assert colors[vertex] != colors[neighbor]
+
+    @settings(max_examples=30, deadline=None)
+    @given(point_lists, st.floats(min_value=1.0, max_value=60.0))
+    def test_color_count_bounded_by_degree(self, points, distance):
+        adjacency = conflict_graph(points, distance)
+        colors = greedy_coloring(adjacency)
+        max_degree = max((len(a) for a in adjacency), default=0)
+        assert max(colors) <= max_degree
+
+
+class TestConcurrentSchedule:
+    def _plan(self, positions, dwells):
+        stops = tuple(
+            Stop(position, frozenset({i}), dwell)
+            for i, (position, dwell) in enumerate(zip(positions,
+                                                      dwells)))
+        return ChargingPlan(stops=stops, depot=Point(0, 0))
+
+    def test_independent_stops_one_round(self):
+        plan = self._plan([Point(0, 10), Point(50, 10), Point(100, 10)],
+                          [10.0, 20.0, 30.0])
+        schedule = concurrent_schedule(plan, 5.0)
+        assert schedule.rounds_used == 1
+        assert schedule.concurrent_dwell_s == 30.0
+        assert schedule.speedup == pytest.approx(60.0 / 30.0)
+
+    def test_conflicting_stops_serialize(self):
+        plan = self._plan([Point(0, 10), Point(1, 10)], [10.0, 20.0])
+        schedule = concurrent_schedule(plan, 5.0)
+        assert schedule.rounds_used == 2
+        assert schedule.concurrent_dwell_s == 30.0
+        assert schedule.speedup == 1.0
+
+    def test_every_stop_scheduled_once(self):
+        positions = [Point(float(i * 3), 10.0) for i in range(12)]
+        plan = self._plan(positions, [5.0] * 12)
+        schedule = concurrent_schedule(plan, 4.0)
+        scheduled = sorted(i for group in schedule.rounds
+                           for i in group)
+        assert scheduled == list(range(12))
+
+    def test_conflict_free_within_rounds(self):
+        positions = [Point(float(i * 2 % 20), float(i)) for i in
+                     range(15)]
+        plan = self._plan(positions, [1.0] * 15)
+        schedule = concurrent_schedule(plan, 6.0)
+        for group in schedule.rounds:
+            for a in group:
+                for b in group:
+                    if a != b:
+                        assert positions[a].distance_to(
+                            positions[b]) > 6.0
+
+    def test_concurrency_cap_respected(self):
+        positions = [Point(float(i * 100), 10.0) for i in range(9)]
+        plan = self._plan(positions, [5.0] * 9)
+        schedule = concurrent_schedule(plan, 1.0, max_concurrent=4)
+        assert all(len(group) <= 4 for group in schedule.rounds)
+        assert schedule.rounds_used >= 3
+
+    def test_empty_plan(self):
+        plan = ChargingPlan(stops=(), depot=Point(0, 0))
+        schedule = concurrent_schedule(plan, 10.0)
+        assert schedule.rounds_used == 0
+        assert schedule.speedup == 1.0
+
+    def test_negative_cap_rejected(self):
+        plan = ChargingPlan(stops=(), depot=Point(0, 0))
+        with pytest.raises(PlanError):
+            concurrent_schedule(plan, 10.0, max_concurrent=-1)
+
+    def test_speedup_grows_with_separation(self, paper_cost):
+        from repro.network import uniform_deployment
+        from repro.planners import BundleChargingPlanner
+        network = uniform_deployment(count=40, seed=4)
+        plan = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        tight = concurrent_schedule(plan, 500.0)
+        loose = concurrent_schedule(plan, 50.0)
+        assert loose.speedup >= tight.speedup

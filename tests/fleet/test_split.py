@@ -1,0 +1,80 @@
+"""Tests for fleet tour splitting."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.fleet import fleet_speedup, split_plan
+from repro.geometry import Point
+from repro.planners import BundleChargingPlanner
+from repro.tour import ChargingPlan
+
+
+@pytest.fixture
+def base_plan(medium_network, paper_cost):
+    return BundleChargingPlanner(30.0).plan(medium_network, paper_cost)
+
+
+class TestSplitPlan:
+    def test_single_charger_is_whole_plan(self, base_plan, paper_cost):
+        fleet = split_plan(base_plan, 1, paper_cost)
+        assert fleet.charger_count == 1
+        assert len(fleet.assignments[0].plan) == len(base_plan)
+
+    def test_every_stop_assigned_exactly_once(self, base_plan,
+                                              paper_cost):
+        fleet = split_plan(base_plan, 3, paper_cost)
+        assigned = []
+        for assignment in fleet.assignments:
+            assigned.extend(stop.position
+                            for stop in assignment.plan.stops)
+        original = [stop.position for stop in base_plan.stops]
+        assert assigned == original  # order preserved, nothing lost
+
+    def test_makespan_never_increases_with_more_chargers(
+            self, base_plan, paper_cost):
+        makespans = [split_plan(base_plan, k, paper_cost).makespan_s
+                     for k in (1, 2, 4, 8)]
+        for previous, current in zip(makespans, makespans[1:]):
+            assert current <= previous + 1e-6
+
+    def test_total_energy_never_decreases_with_more_chargers(
+            self, base_plan, paper_cost):
+        # More chargers = more depot return legs.
+        energies = [split_plan(base_plan, k, paper_cost).total_energy_j
+                    for k in (1, 2, 4)]
+        for previous, current in zip(energies, energies[1:]):
+            assert current >= previous - 1e-6
+
+    def test_makespan_is_max_assignment_time(self, base_plan,
+                                             paper_cost):
+        fleet = split_plan(base_plan, 3, paper_cost)
+        assert fleet.makespan_s == pytest.approx(
+            max(a.mission_time_s for a in fleet.assignments))
+
+    def test_speedup_between_1_and_k(self, base_plan, paper_cost):
+        speedup = fleet_speedup(base_plan, 4, paper_cost)
+        assert 1.0 <= speedup <= 4.0 + 1e-6
+
+    def test_needs_depot(self, paper_cost):
+        plan = ChargingPlan(stops=(), depot=None)
+        with pytest.raises(PlanError):
+            split_plan(plan, 2, paper_cost)
+
+    def test_invalid_charger_count(self, base_plan, paper_cost):
+        with pytest.raises(PlanError):
+            split_plan(base_plan, 0, paper_cost)
+
+    def test_empty_plan(self, paper_cost):
+        plan = ChargingPlan(stops=(), depot=Point(0, 0))
+        fleet = split_plan(plan, 3, paper_cost)
+        assert fleet.makespan_s == 0.0
+        assert fleet.total_energy_j == 0.0
+
+    def test_more_chargers_than_stops(self, paper_cost, small_network):
+        plan = BundleChargingPlanner(30.0).plan(small_network,
+                                                paper_cost)
+        fleet = split_plan(plan, len(plan) + 5, paper_cost)
+        # Extra chargers idle with empty plans.
+        empty = [a for a in fleet.assignments if len(a.plan) == 0]
+        assert empty
+        assert fleet.makespan_s > 0.0

@@ -1,0 +1,130 @@
+"""Tests for repro.geometry.disk."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (Disk, Point, disk_from_three_points,
+                            disk_from_two_points,
+                            disks_through_pair_with_radius)
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestDisk:
+    def test_contains_center(self):
+        assert Disk(Point(0, 0), 1.0).contains(Point(0, 0))
+
+    def test_contains_boundary(self):
+        assert Disk(Point(0, 0), 1.0).contains(Point(1, 0))
+
+    def test_excludes_outside(self):
+        assert not Disk(Point(0, 0), 1.0).contains(Point(1.1, 0))
+
+    def test_contains_all(self):
+        disk = Disk(Point(0, 0), 2.0)
+        assert disk.contains_all([Point(1, 0), Point(0, -2)])
+        assert not disk.contains_all([Point(1, 0), Point(3, 0)])
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Disk(Point(0, 0), -1.0)
+
+    def test_nan_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Disk(Point(0, 0), float("nan"))
+
+    def test_intersects_touching(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(2, 0), 1.0)
+        assert a.intersects(b)
+
+    def test_intersects_disjoint(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(2.5, 0), 1.0)
+        assert not a.intersects(b)
+
+    def test_area(self):
+        assert Disk(Point(0, 0), 2.0).area() == pytest.approx(
+            4.0 * math.pi)
+
+    def test_boundary_point(self):
+        point = Disk(Point(1, 1), 2.0).boundary_point(0.0)
+        assert point.is_close(Point(3, 1))
+
+    def test_scaled(self):
+        disk = Disk(Point(1, 1), 2.0).scaled(0.5)
+        assert disk.radius == 1.0
+        assert disk.center == Point(1, 1)
+
+
+class TestConstructions:
+    def test_two_point_disk(self):
+        disk = disk_from_two_points(Point(0, 0), Point(2, 0))
+        assert disk.center.is_close(Point(1, 0))
+        assert disk.radius == pytest.approx(1.0)
+
+    def test_three_point_disk_right_triangle(self):
+        # Circumcircle of a right triangle is centered on the hypotenuse.
+        disk = disk_from_three_points(Point(0, 0), Point(2, 0),
+                                      Point(0, 2))
+        assert disk is not None
+        assert disk.center.is_close(Point(1, 1))
+        assert disk.radius == pytest.approx(math.sqrt(2.0))
+
+    def test_three_point_collinear_returns_none(self):
+        assert disk_from_three_points(Point(0, 0), Point(1, 0),
+                                      Point(2, 0)) is None
+
+    @given(points, points, points)
+    def test_circumcircle_touches_all_three(self, a, b, c):
+        disk = disk_from_three_points(a, b, c)
+        if disk is None:
+            return
+        for p in (a, b, c):
+            assert disk.center.distance_to(p) == pytest.approx(
+                disk.radius, rel=1e-6, abs=1e-6)
+
+
+class TestPairDisks:
+    def test_too_far_apart(self):
+        assert disks_through_pair_with_radius(Point(0, 0), Point(10, 0),
+                                              1.0) == ()
+
+    def test_exactly_diameter(self):
+        disks = disks_through_pair_with_radius(Point(0, 0), Point(2, 0),
+                                               1.0)
+        assert len(disks) == 1
+        assert disks[0].center.is_close(Point(1, 0))
+
+    def test_two_solutions(self):
+        disks = disks_through_pair_with_radius(Point(0, 0), Point(1, 0),
+                                               1.0)
+        assert len(disks) == 2
+        for disk in disks:
+            assert disk.radius == 1.0
+            assert disk.contains(Point(0, 0))
+            assert disk.contains(Point(1, 0))
+        assert not disks[0].center.is_close(disks[1].center)
+
+    def test_coincident_points(self):
+        disks = disks_through_pair_with_radius(Point(1, 1), Point(1, 1),
+                                               2.0)
+        assert len(disks) == 1
+        assert disks[0].center == Point(1, 1)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            disks_through_pair_with_radius(Point(0, 0), Point(1, 0),
+                                           -1.0)
+
+    @given(points, points, st.floats(min_value=0.1, max_value=100.0))
+    def test_both_points_on_every_returned_boundary(self, a, b, radius):
+        for disk in disks_through_pair_with_radius(a, b, radius):
+            assert disk.center.distance_to(a) <= radius * (1 + 1e-7)
+            assert disk.center.distance_to(b) <= radius * (1 + 1e-7)

@@ -1,0 +1,89 @@
+"""Tests for repro.geometry.grid_index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import GridIndex, Point
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestConstruction:
+    def test_invalid_cell_size(self):
+        with pytest.raises(GeometryError):
+            GridIndex([Point(0, 0)], 0.0)
+        with pytest.raises(GeometryError):
+            GridIndex([Point(0, 0)], -1.0)
+
+    def test_len(self):
+        index = GridIndex([Point(0, 0), Point(1, 1)], 1.0)
+        assert len(index) == 2
+
+    def test_negative_coordinates_supported(self):
+        index = GridIndex([Point(-5, -5), Point(5, 5)], 2.0)
+        assert index.neighbors_within(Point(-5, -5), 0.5) == [0]
+
+
+class TestQueries:
+    def test_exact_radius_inclusive(self):
+        index = GridIndex([Point(0, 0), Point(3, 0)], 1.0)
+        assert sorted(index.neighbors_within(Point(0, 0), 3.0)) == [0, 1]
+
+    def test_exclude_self(self):
+        index = GridIndex([Point(0, 0), Point(1, 0)], 1.0)
+        found = index.neighbors_within(Point(0, 0), 2.0,
+                                       include_self=False)
+        assert found == [1]
+
+    def test_negative_radius_rejected(self):
+        index = GridIndex([Point(0, 0)], 1.0)
+        with pytest.raises(GeometryError):
+            index.neighbors_within(Point(0, 0), -1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=60),
+           points,
+           st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=0.5, max_value=20.0))
+    def test_matches_brute_force(self, pts, query, radius, cell):
+        index = GridIndex(pts, cell)
+        fast = sorted(index.neighbors_within(query, radius))
+        slow = sorted(i for i, p in enumerate(pts)
+                      if p.distance_to(query) <= radius)
+        assert fast == slow
+
+
+class TestPairs:
+    def test_pairs_within_small(self):
+        pts = [Point(0, 0), Point(1, 0), Point(5, 0)]
+        index = GridIndex(pts, 1.0)
+        assert sorted(index.pairs_within(1.5)) == [(0, 1)]
+
+    def test_pairs_each_reported_once(self):
+        rng = random.Random(0)
+        pts = [Point(rng.uniform(0, 10), rng.uniform(0, 10))
+               for _ in range(40)]
+        index = GridIndex(pts, 2.0)
+        pairs = list(index.pairs_within(3.0))
+        assert len(pairs) == len(set(pairs))
+        for i, j in pairs:
+            assert i < j
+            assert pts[i].distance_to(pts[j]) <= 3.0
+
+    def test_pairs_match_brute_force(self):
+        rng = random.Random(1)
+        pts = [Point(rng.uniform(0, 20), rng.uniform(0, 20))
+               for _ in range(50)]
+        index = GridIndex(pts, 4.0)
+        fast = sorted(index.pairs_within(5.0))
+        slow = sorted((i, j)
+                      for i in range(len(pts))
+                      for j in range(i + 1, len(pts))
+                      if pts[i].distance_to(pts[j]) <= 5.0)
+        assert fast == slow

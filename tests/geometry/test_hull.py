@@ -1,0 +1,73 @@
+"""Tests for repro.geometry.hull."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (Point, convex_hull, hull_perimeter,
+                            smallest_enclosing_disk)
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestConvexHull:
+    def test_square_hull(self, square_points):
+        hull = convex_hull(square_points + [Point(0.5, 0.5)])
+        assert len(hull) == 4
+        assert set(hull) == set(square_points)
+
+    def test_collinear_input(self):
+        pts = [Point(float(i), float(i)) for i in range(5)]
+        hull = convex_hull(pts)
+        assert len(hull) == 2
+
+    def test_single_point(self):
+        assert convex_hull([Point(1, 1)]) == [Point(1, 1)]
+
+    def test_duplicates_removed(self):
+        hull = convex_hull([Point(0, 0), Point(0, 0), Point(1, 0),
+                            Point(0, 1)])
+        assert len(hull) == 3
+
+    def test_counter_clockwise_orientation(self, square_points):
+        hull = convex_hull(square_points)
+        area2 = sum(hull[i].cross(hull[(i + 1) % len(hull)])
+                    for i in range(len(hull)))
+        assert area2 > 0.0  # CCW => positive signed area
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(points, min_size=3, max_size=40))
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        # Each input point must be inside the hull: left of (or on)
+        # every CCW edge.
+        for q in pts:
+            for i in range(len(hull)):
+                edge = hull[(i + 1) % len(hull)] - hull[i]
+                to_q = q - hull[i]
+                assert edge.cross(to_q) >= -1e-6 * max(
+                    1.0, edge.norm() * to_q.norm())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_hull_min_disk_equals_full_min_disk(self, pts):
+        full = smallest_enclosing_disk(pts)
+        on_hull = smallest_enclosing_disk(convex_hull(pts))
+        assert full.radius == pytest.approx(on_hull.radius, rel=1e-6,
+                                            abs=1e-6)
+
+
+class TestPerimeter:
+    def test_unit_square(self, square_points):
+        assert hull_perimeter(square_points) == pytest.approx(4.0)
+
+    def test_degenerate(self):
+        assert hull_perimeter([Point(0, 0)]) == 0.0
+
+    def test_two_points_counts_both_ways(self):
+        assert hull_perimeter([Point(0, 0), Point(3, 0)]) == \
+            pytest.approx(6.0)

@@ -1,0 +1,139 @@
+"""Tests for Welzl's MinDisk (the paper's Algorithm 1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (Point, brute_force_enclosing_disk,
+                            enclosing_disk_radius, fits_in_radius,
+                            smallest_enclosing_disk)
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+point_lists = st.lists(points, min_size=1, max_size=25)
+
+
+class TestBasics:
+    def test_empty_set(self):
+        disk = smallest_enclosing_disk([])
+        assert disk.radius == 0.0
+
+    def test_single_point(self):
+        disk = smallest_enclosing_disk([Point(3, 4)])
+        assert disk.center == Point(3, 4)
+        assert disk.radius == 0.0
+
+    def test_two_points(self):
+        disk = smallest_enclosing_disk([Point(0, 0), Point(4, 0)])
+        assert disk.center.is_close(Point(2, 0))
+        assert disk.radius == pytest.approx(2.0)
+
+    def test_equilateral_triangle(self):
+        h = math.sqrt(3.0) / 2.0
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, h)]
+        disk = smallest_enclosing_disk(pts)
+        # Circumradius of a unit equilateral triangle is 1/sqrt(3).
+        assert disk.radius == pytest.approx(1.0 / math.sqrt(3.0))
+
+    def test_obtuse_triangle_uses_diameter(self):
+        # For an obtuse triangle the min disk is the longest side's
+        # diameter circle, not the circumcircle.
+        pts = [Point(0, 0), Point(10, 0), Point(5, 0.1)]
+        disk = smallest_enclosing_disk(pts)
+        assert disk.radius == pytest.approx(5.0, abs=1e-3)
+
+    def test_square(self, square_points):
+        disk = smallest_enclosing_disk(square_points)
+        assert disk.center.is_close(Point(0.5, 0.5))
+        assert disk.radius == pytest.approx(math.sqrt(0.5))
+
+    def test_duplicated_points(self):
+        pts = [Point(1, 1)] * 5 + [Point(3, 1)]
+        disk = smallest_enclosing_disk(pts)
+        assert disk.radius == pytest.approx(1.0)
+
+    def test_collinear_points(self):
+        pts = [Point(float(i), 0.0) for i in range(10)]
+        disk = smallest_enclosing_disk(pts)
+        assert disk.radius == pytest.approx(4.5)
+        assert disk.center.is_close(Point(4.5, 0.0))
+
+    def test_deterministic_default_rng(self):
+        pts = [Point(i * 0.7 % 5, i * 1.3 % 7) for i in range(30)]
+        first = smallest_enclosing_disk(pts)
+        second = smallest_enclosing_disk(pts)
+        assert first.center.is_close(second.center)
+        assert first.radius == second.radius
+
+
+class TestDecisional:
+    def test_fits_exact_boundary(self):
+        pts = [Point(0, 0), Point(2, 0)]
+        assert fits_in_radius(pts, 1.0)
+        assert not fits_in_radius(pts, 0.99)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            fits_in_radius([Point(0, 0)], -1.0)
+
+    def test_radius_helper_matches_disk(self):
+        pts = [Point(0, 0), Point(0, 6), Point(3, 3)]
+        assert enclosing_disk_radius(pts) == pytest.approx(
+            smallest_enclosing_disk(pts).radius)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(points, min_size=1, max_size=9))
+    def test_matches_brute_force_radius(self, pts):
+        fast = smallest_enclosing_disk(pts)
+        slow = brute_force_enclosing_disk(pts)
+        assert fast.radius == pytest.approx(slow.radius, rel=1e-6,
+                                            abs=1e-6)
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_lists)
+    def test_all_points_enclosed(self, pts):
+        disk = smallest_enclosing_disk(pts)
+        for p in pts:
+            assert disk.contains(p, eps=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists)
+    def test_supported_by_boundary_points(self, pts):
+        # Minimality witness: some input point must lie (numerically) on
+        # the boundary, else the disk could shrink.
+        disk = smallest_enclosing_disk(pts)
+        if disk.radius == 0.0:
+            return
+        closest = min(abs(disk.center.distance_to(p) - disk.radius)
+                      for p in pts)
+        assert closest <= 1e-6 * max(1.0, disk.radius)
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists, st.integers(min_value=0, max_value=2**31))
+    def test_shuffle_invariance(self, pts, seed):
+        rng = random.Random(seed)
+        shuffled = pts[:]
+        rng.shuffle(shuffled)
+        a = smallest_enclosing_disk(pts)
+        b = smallest_enclosing_disk(shuffled)
+        assert a.radius == pytest.approx(b.radius, rel=1e-6, abs=1e-6)
+
+
+class TestScale:
+    def test_large_input_linearish(self):
+        rng = random.Random(7)
+        pts = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+               for _ in range(3000)]
+        disk = smallest_enclosing_disk(pts)
+        assert all(disk.contains(p, eps=1e-6) for p in pts)
+        # The min disk of a dense uniform square sample approaches the
+        # square's circumscribed circle.
+        assert disk.radius <= 1000.0 * math.sqrt(0.5) * 1.01
+        assert disk.radius >= 450.0

@@ -1,0 +1,138 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, as_point, centroid, max_distance
+from repro.geometry.point import polyline_length
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, finite, finite)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_mul_both_sides(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_div(self):
+        assert Point(2, 4) / 2 == Point(1, 2)
+
+    def test_neg(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iter_unpacking(self):
+        x, y = Point(5, 7)
+        assert (x, y) == (5, 7)
+
+    def test_hashable(self):
+        assert len({Point(1, 1), Point(1, 1), Point(2, 1)}) == 2
+
+
+class TestMetrics:
+    def test_norm_345(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_norm_squared(self):
+        assert Point(3, 4).norm_squared() == 25.0
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_squared(self):
+        assert Point(1, 1).distance_squared_to(Point(4, 5)) == 25.0
+
+    def test_dot(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11.0
+
+    def test_cross_sign(self):
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_normalized_unit_length(self):
+        assert Point(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Point(0, 0).normalized()
+
+    def test_angle(self):
+        assert Point(0, 1).angle() == pytest.approx(math.pi / 2)
+
+    def test_rotated_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.is_close(Point(0, 1))
+
+    def test_perpendicular(self):
+        assert Point(1, 0).perpendicular() == Point(0, 1)
+
+    def test_from_polar(self):
+        point = Point.from_polar(2.0, math.pi)
+        assert point.is_close(Point(-2, 0))
+
+
+class TestHelpers:
+    def test_as_point_passthrough(self):
+        p = Point(1, 2)
+        assert as_point(p) is p
+
+    def test_as_point_from_tuple(self):
+        assert as_point((1, 2)) == Point(1.0, 2.0)
+
+    def test_centroid(self):
+        result = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert result == Point(1.0, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_polyline_open(self):
+        pts = [Point(0, 0), Point(3, 4), Point(3, 0)]
+        assert polyline_length(pts) == pytest.approx(9.0)
+
+    def test_polyline_closed(self):
+        pts = [Point(0, 0), Point(3, 4), Point(3, 0)]
+        assert polyline_length(pts, closed=True) == pytest.approx(12.0)
+
+    def test_polyline_single_point(self):
+        assert polyline_length([Point(1, 1)]) == 0.0
+
+    def test_max_distance(self):
+        assert max_distance(Point(0, 0),
+                            [Point(1, 0), Point(0, 5)]) == 5.0
+
+    def test_max_distance_empty(self):
+        assert max_distance(Point(0, 0), []) == 0.0
+
+
+class TestProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert (a.distance_to(c)
+                <= a.distance_to(b) + b.distance_to(c) + 1e-6)
+
+    @given(points)
+    def test_add_sub_roundtrip(self, p):
+        shifted = p + Point(10.0, -4.0)
+        back = shifted - Point(10.0, -4.0)
+        assert back.is_close(p, tol=1e-6)
+
+    @given(points, st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_rotation_preserves_norm(self, p, angle):
+        assert p.rotated(angle).norm() == pytest.approx(p.norm(),
+                                                        abs=1e-6)

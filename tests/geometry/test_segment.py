@@ -1,0 +1,92 @@
+"""Tests for repro.geometry.segment."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Disk, Point, Segment
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestBasics:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length() == 5.0
+
+    def test_point_at(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.point_at(0.3).is_close(Point(3, 0))
+
+    def test_midpoint(self):
+        seg = Segment(Point(0, 0), Point(4, 2))
+        assert seg.midpoint().is_close(Point(2, 1))
+
+
+class TestClosestPoint:
+    def test_interior_projection(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.closest_point(Point(4, 5)).is_close(Point(4, 0))
+
+    def test_clamped_to_start(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.closest_point(Point(-5, 3)).is_close(Point(0, 0))
+
+    def test_clamped_to_end(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.closest_point(Point(15, -3)).is_close(Point(10, 0))
+
+    def test_degenerate_segment(self):
+        seg = Segment(Point(2, 2), Point(2, 2))
+        assert seg.closest_point(Point(9, 9)) == Point(2, 2)
+
+    def test_distance_to_point(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.distance_to_point(Point(5, 7)) == pytest.approx(7.0)
+
+    @given(points, points, points)
+    def test_closest_is_no_farther_than_endpoints(self, a, b, q):
+        seg = Segment(a, b)
+        best = seg.distance_to_point(q)
+        assert best <= q.distance_to(a) + 1e-9
+        assert best <= q.distance_to(b) + 1e-9
+
+
+class TestDiskIntersection:
+    def test_passes_through(self):
+        seg = Segment(Point(-10, 0), Point(10, 0))
+        assert seg.intersects_disk(Disk(Point(0, 1), 2.0))
+
+    def test_misses(self):
+        seg = Segment(Point(-10, 0), Point(10, 0))
+        assert not seg.intersects_disk(Disk(Point(0, 5), 2.0))
+
+    def test_endpoint_inside(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.intersects_disk(Disk(Point(0, 0), 1.0))
+
+    def test_first_point_in_disk_on_boundary(self):
+        seg = Segment(Point(-10, 0), Point(10, 0))
+        disk = Disk(Point(0, 0), 3.0)
+        entry = seg.first_point_in_disk(disk)
+        assert entry.is_close(Point(-3, 0))
+
+    def test_first_point_when_start_inside(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        disk = Disk(Point(0, 0), 2.0)
+        entry = seg.first_point_in_disk(disk)
+        # Entry parameter t <= 0 clamps handled: returned point must be
+        # inside the disk and on the segment.
+        assert disk.contains(entry, eps=1e-6)
+        assert 0.0 <= entry.x <= 10.0
+
+    @given(points, points, points,
+           st.floats(min_value=0.5, max_value=50.0))
+    def test_first_point_is_inside_when_intersecting(self, a, b, c, r):
+        seg = Segment(a, b)
+        disk = Disk(c, r)
+        if not seg.intersects_disk(disk):
+            return
+        entry = seg.first_point_in_disk(disk)
+        assert disk.contains(entry, eps=1e-5)

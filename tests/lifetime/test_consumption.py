@@ -1,0 +1,85 @@
+"""Tests for sensor consumption models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lifetime import ConstantDrain, EventDrain
+
+
+class TestConstantDrain:
+    def test_homogeneous(self):
+        model = ConstantDrain(rate_w=2.0)
+        assert model.energy_spent(0, 0.0, 10.0) == pytest.approx(20.0)
+        assert model.energy_spent(5, 100.0, 10.0) == pytest.approx(20.0)
+
+    def test_heterogeneous_within_spread(self):
+        model = ConstantDrain(rate_w=1.0, spread=0.5, sensor_count=50,
+                              seed=1)
+        rates = [model.rate_for(i) for i in range(50)]
+        assert all(0.5 <= r <= 1.5 for r in rates)
+        assert len(set(rates)) > 1
+
+    def test_heterogeneity_deterministic(self):
+        a = ConstantDrain(1.0, spread=0.3, sensor_count=10, seed=7)
+        b = ConstantDrain(1.0, spread=0.3, sensor_count=10, seed=7)
+        assert [a.rate_for(i) for i in range(10)] == \
+            [b.rate_for(i) for i in range(10)]
+
+    def test_max_rate_bound(self):
+        model = ConstantDrain(1.0, spread=0.3, sensor_count=10)
+        assert model.max_rate_w() == pytest.approx(1.3)
+        assert all(model.rate_for(i) <= model.max_rate_w()
+                   for i in range(10))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            ConstantDrain(-1.0)
+        with pytest.raises(ModelError):
+            ConstantDrain(1.0, spread=1.0)
+        with pytest.raises(ModelError):
+            ConstantDrain(1.0, spread=0.2)  # missing sensor_count
+
+    def test_unknown_sensor_rejected(self):
+        model = ConstantDrain(1.0, spread=0.2, sensor_count=3)
+        with pytest.raises(ModelError):
+            model.rate_for(10)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            ConstantDrain(1.0).energy_spent(0, 0.0, -1.0)
+
+
+class TestEventDrain:
+    def test_deterministic_per_window(self):
+        model = EventDrain(events_per_hour=10.0, energy_per_event_j=0.1,
+                           seed=3)
+        a = model.energy_spent(2, 100.0, 3600.0)
+        b = model.energy_spent(2, 100.0, 3600.0)
+        assert a == b
+
+    def test_sensors_get_different_streams(self):
+        model = EventDrain(events_per_hour=50.0, energy_per_event_j=0.1,
+                           seed=3)
+        values = {model.energy_spent(i, 0.0, 3600.0)
+                  for i in range(20)}
+        assert len(values) > 1
+
+    def test_mean_roughly_matches_rate(self):
+        model = EventDrain(events_per_hour=10.0, energy_per_event_j=1.0,
+                           seed=5)
+        total = sum(model.energy_spent(i, 0.0, 3600.0)
+                    for i in range(200))
+        assert 8.0 * 200 * 0.5 < total < 10.0 * 200 * 2.0
+
+    def test_base_rate_added(self):
+        model = EventDrain(events_per_hour=0.0, energy_per_event_j=1.0,
+                           base_rate_w=0.5)
+        assert model.energy_spent(0, 0.0, 10.0) == pytest.approx(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            EventDrain(-1.0, 1.0)
+        with pytest.raises(ModelError):
+            EventDrain(1.0, -1.0)
+        with pytest.raises(ModelError):
+            EventDrain(1.0, 1.0, base_rate_w=-0.1)

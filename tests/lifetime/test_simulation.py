@@ -1,0 +1,109 @@
+"""Tests for the lifetime simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lifetime import ConstantDrain, LifetimeSimulator
+from repro.network import uniform_deployment
+from repro.planners import make_planner
+
+DAY_S = 86_400.0
+
+
+def _simulator(paper_cost, count=20, rate_w=5e-6, trigger_count=3,
+               threshold=0.5, seed=5, planner_name="BC", radius=30.0):
+    network = uniform_deployment(count=count, seed=seed,
+                                 field_side_m=500.0)
+    return LifetimeSimulator(
+        network=network,
+        planner=make_planner(planner_name, radius),
+        cost=paper_cost,
+        consumption=ConstantDrain(rate_w=rate_w),
+        battery_capacity_j=2.0,
+        trigger_threshold_j=threshold,
+        trigger_count=trigger_count,
+    )
+
+
+class TestLifetimeSimulator:
+    def test_no_drain_no_rounds(self, paper_cost):
+        simulator = _simulator(paper_cost, rate_w=0.0)
+        result = simulator.run(horizon_s=2 * DAY_S)
+        assert result.round_count == 0
+        assert result.availability == 1.0
+        assert result.charger_energy_j == 0.0
+
+    def test_rounds_triggered_by_drain(self, paper_cost):
+        simulator = _simulator(paper_cost)
+        result = simulator.run(horizon_s=20 * DAY_S)
+        assert result.round_count >= 1
+        assert result.charger_energy_j > 0.0
+
+    def test_batteries_recover_after_rounds(self, paper_cost):
+        simulator = _simulator(paper_cost)
+        result = simulator.run(horizon_s=20 * DAY_S)
+        # After the horizon, batteries should be well above zero thanks
+        # to recharging.
+        assert min(result.final_batteries_j) > 0.0
+
+    def test_faster_drain_more_rounds(self, paper_cost):
+        slow = _simulator(paper_cost, rate_w=3e-6).run(20 * DAY_S)
+        fast = _simulator(paper_cost, rate_w=9e-6).run(20 * DAY_S)
+        assert fast.round_count > slow.round_count
+
+    def test_energy_per_day_positive(self, paper_cost):
+        result = _simulator(paper_cost).run(20 * DAY_S)
+        assert result.energy_per_day_j > 0.0
+        assert result.charger_energy_j == pytest.approx(
+            sum(r.charger_energy_j for r in result.rounds))
+
+    def test_availability_drops_when_charging_cannot_keep_up(
+            self, paper_cost):
+        # Drain so aggressive the battery empties long before the
+        # trigger threshold can be honoured mission-to-mission.
+        simulator = _simulator(paper_cost, rate_w=5e-4,
+                               trigger_count=10, threshold=0.1)
+        result = simulator.run(horizon_s=5 * DAY_S, max_rounds=500)
+        assert result.downtime_sensor_s > 0.0
+        assert result.availability < 1.0
+
+    def test_round_records_consistent(self, paper_cost):
+        result = _simulator(paper_cost).run(20 * DAY_S)
+        for record in result.rounds:
+            assert record.mission_time_s > 0.0
+            assert record.stops >= 1
+            assert 0.0 <= record.trigger_time_s <= 20 * DAY_S
+
+    def test_min_battery_tracked(self, paper_cost):
+        result = _simulator(paper_cost).run(20 * DAY_S)
+        assert 0.0 <= result.min_battery_j <= 2.0
+
+    def test_invalid_configuration_rejected(self, paper_cost):
+        network = uniform_deployment(count=5, seed=1)
+        drain = ConstantDrain(rate_w=1e-6)
+        planner = make_planner("BC", 30.0)
+        with pytest.raises(SimulationError):
+            LifetimeSimulator(network, planner, paper_cost, drain,
+                              battery_capacity_j=0.0,
+                              trigger_threshold_j=0.0)
+        with pytest.raises(SimulationError):
+            LifetimeSimulator(network, planner, paper_cost, drain,
+                              battery_capacity_j=2.0,
+                              trigger_threshold_j=5.0)
+        with pytest.raises(SimulationError):
+            LifetimeSimulator(network, planner, paper_cost, drain,
+                              battery_capacity_j=2.0,
+                              trigger_threshold_j=0.5,
+                              trigger_count=0)
+
+    def test_invalid_horizon_rejected(self, paper_cost):
+        with pytest.raises(SimulationError):
+            _simulator(paper_cost).run(horizon_s=0.0)
+
+    def test_max_rounds_guard(self, paper_cost):
+        # Threshold equal to capacity-epsilon triggers immediately and
+        # forever -> the guard must fire.
+        simulator = _simulator(paper_cost, rate_w=1e-3,
+                               threshold=1.999, trigger_count=1)
+        with pytest.raises(SimulationError):
+            simulator.run(horizon_s=30 * DAY_S, max_rounds=3)

@@ -1,0 +1,132 @@
+"""Tests for deployment generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.errors import DeploymentError
+from repro.geometry import Point
+from repro.network import (clustered_deployment, grid_deployment,
+                           poisson_deployment, uniform_deployment)
+from repro.network import testbed_deployment as make_testbed_network
+
+
+class TestUniform:
+    def test_count_and_bounds(self):
+        network = uniform_deployment(count=50, seed=1,
+                                     field_side_m=200.0)
+        assert len(network) == 50
+        for sensor in network:
+            assert 0.0 <= sensor.location.x <= 200.0
+            assert 0.0 <= sensor.location.y <= 200.0
+
+    def test_deterministic(self):
+        a = uniform_deployment(count=20, seed=7)
+        b = uniform_deployment(count=20, seed=7)
+        assert a.locations == b.locations
+
+    def test_different_seeds_differ(self):
+        a = uniform_deployment(count=20, seed=7)
+        b = uniform_deployment(count=20, seed=8)
+        assert a.locations != b.locations
+
+    def test_zero_count(self):
+        assert len(uniform_deployment(count=0, seed=1)) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DeploymentError):
+            uniform_deployment(count=-1, seed=1)
+
+    def test_requirement_propagated(self):
+        network = uniform_deployment(count=3, seed=1, required_j=7.0)
+        assert all(s.required_j == 7.0 for s in network)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=60),
+           st.integers(min_value=0, max_value=2**31))
+    def test_indices_are_consecutive(self, count, seed):
+        network = uniform_deployment(count=count, seed=seed)
+        assert [s.index for s in network] == list(range(count))
+
+
+class TestClustered:
+    def test_count(self):
+        network = clustered_deployment(count=60, seed=3, clusters=4)
+        assert len(network) == 60
+
+    def test_clamped_to_field(self):
+        network = clustered_deployment(count=200, seed=3, clusters=2,
+                                       spread_m=500.0,
+                                       field_side_m=100.0)
+        for sensor in network:
+            assert 0.0 <= sensor.location.x <= 100.0
+            assert 0.0 <= sensor.location.y <= 100.0
+
+    def test_clustering_is_tighter_than_uniform(self):
+        # Mean nearest-neighbour distance should be clearly smaller for
+        # clustered deployments at equal density.
+        def mean_nn(network):
+            total = 0.0
+            for s in network:
+                total += min(s.location.distance_to(t.location)
+                             for t in network if t.index != s.index)
+            return total / len(network)
+
+        clustered = clustered_deployment(count=80, seed=5, clusters=4,
+                                         spread_m=30.0)
+        uniform = uniform_deployment(count=80, seed=5)
+        assert mean_nn(clustered) < 0.5 * mean_nn(uniform)
+
+    def test_invalid_clusters_rejected(self):
+        with pytest.raises(DeploymentError):
+            clustered_deployment(count=10, seed=1, clusters=0)
+
+
+class TestGrid:
+    def test_rows_times_cols(self):
+        network = grid_deployment(rows=4, cols=5)
+        assert len(network) == 20
+
+    def test_no_jitter_is_regular(self):
+        network = grid_deployment(rows=2, cols=2, field_side_m=300.0)
+        xs = sorted({s.location.x for s in network})
+        assert xs == [100.0, 200.0]
+
+    def test_jitter_moves_points(self):
+        plain = grid_deployment(rows=3, cols=3, jitter_m=0.0)
+        jittered = grid_deployment(rows=3, cols=3, jitter_m=5.0, seed=1)
+        assert plain.locations != jittered.locations
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(DeploymentError):
+            grid_deployment(rows=0, cols=3)
+
+
+class TestPoisson:
+    def test_zero_intensity(self):
+        assert len(poisson_deployment(0.0, seed=1)) == 0
+
+    def test_mean_scales_with_intensity(self):
+        counts = [len(poisson_deployment(100.0, seed=s))
+                  for s in range(30)]
+        mean = sum(counts) / len(counts)
+        assert 70.0 < mean < 130.0  # ~Poisson(100)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(DeploymentError):
+            poisson_deployment(-1.0, seed=1)
+
+    def test_huge_intensity_uses_normal_approx(self):
+        network = poisson_deployment(1200.0, seed=2)
+        assert 1000 < len(network) < 1400
+
+
+class TestTestbed:
+    def test_paper_coordinates(self):
+        network = make_testbed_network()
+        assert len(network) == 6
+        assert network.locations[0] == Point(1.0, 1.0)
+        assert network.field_side_m == constants.TESTBED_SIDE_M
+        assert all(s.required_j == constants.TESTBED_DELTA_J
+                   for s in network)

@@ -1,0 +1,82 @@
+"""Tests for repro.network.network."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.geometry import Point
+from repro.network import Sensor, SensorNetwork
+
+
+def _network(locations, side=100.0, base=None):
+    sensors = [Sensor(index=i, location=loc)
+               for i, loc in enumerate(locations)]
+    return SensorNetwork(sensors, side, base_station=base)
+
+
+class TestConstruction:
+    def test_basic(self):
+        network = _network([Point(1, 1), Point(2, 2)])
+        assert len(network) == 2
+        assert network[1].location == Point(2, 2)
+
+    def test_default_base_station(self):
+        network = _network([Point(1, 1)])
+        assert network.base_station == Point(0, 0)
+
+    def test_explicit_base_station(self):
+        network = _network([Point(1, 1)], base=Point(50, 50))
+        assert network.base_station == Point(50, 50)
+
+    def test_bad_indices_rejected(self):
+        sensors = [Sensor(index=1, location=Point(0, 0))]
+        with pytest.raises(DeploymentError):
+            SensorNetwork(sensors, 100.0)
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(DeploymentError):
+            SensorNetwork([], 0.0)
+
+    def test_locations_order(self):
+        pts = [Point(3, 3), Point(1, 1), Point(2, 2)]
+        network = _network(pts)
+        assert network.locations == pts
+
+
+class TestQueries:
+    def test_neighbors_within_includes_self(self):
+        network = _network([Point(0, 0), Point(1, 0), Point(10, 0)])
+        found = sorted(network.neighbors_within(0, 2.0))
+        assert found == [0, 1]
+
+    def test_spatial_index_cached(self):
+        network = _network([Point(0, 0), Point(1, 0)])
+        first = network.spatial_index(5.0)
+        second = network.spatial_index(5.0)
+        assert first is second
+        third = network.spatial_index(2.0)
+        assert third is not first
+
+    def test_density(self):
+        network = _network([Point(i, i) for i in range(4)], side=1000.0)
+        assert network.density_per_km2() == pytest.approx(4.0)
+
+    def test_hull(self):
+        network = _network([Point(0, 0), Point(4, 0), Point(0, 4),
+                            Point(1, 1)])
+        assert len(network.hull()) == 3
+
+
+class TestMissionState:
+    def test_reset_and_satisfaction(self):
+        network = _network([Point(0, 0), Point(1, 1)])
+        network[0].harvest(5.0)
+        assert len(network.unsatisfied()) == 1
+        network[1].harvest(5.0)
+        assert network.all_satisfied()
+        network.reset_energy()
+        assert len(network.unsatisfied()) == 2
+
+    def test_iteration(self):
+        network = _network([Point(0, 0), Point(1, 1)])
+        indices = [sensor.index for sensor in network]
+        assert indices == [0, 1]

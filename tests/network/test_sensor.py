@@ -1,0 +1,55 @@
+"""Tests for repro.network.sensor."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.geometry import Point
+from repro.network import Sensor
+
+
+class TestSensor:
+    def test_defaults(self):
+        sensor = Sensor(index=0, location=Point(1, 2))
+        assert sensor.required_j == 2.0
+        assert sensor.harvested_j == 0.0
+        assert not sensor.is_satisfied
+
+    def test_harvest_accumulates(self):
+        sensor = Sensor(index=0, location=Point(0, 0), required_j=2.0)
+        sensor.harvest(1.5)
+        sensor.harvest(0.4)
+        assert sensor.harvested_j == pytest.approx(1.9)
+        assert not sensor.is_satisfied
+        sensor.harvest(0.1)
+        assert sensor.is_satisfied
+
+    def test_deficit(self):
+        sensor = Sensor(index=0, location=Point(0, 0), required_j=2.0)
+        sensor.harvest(0.5)
+        assert sensor.deficit_j == pytest.approx(1.5)
+        sensor.harvest(5.0)
+        assert sensor.deficit_j == 0.0
+
+    def test_reset(self):
+        sensor = Sensor(index=0, location=Point(0, 0))
+        sensor.harvest(3.0)
+        sensor.reset()
+        assert sensor.harvested_j == 0.0
+
+    def test_negative_harvest_rejected(self):
+        sensor = Sensor(index=0, location=Point(0, 0))
+        with pytest.raises(ModelError):
+            sensor.harvest(-0.1)
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ModelError):
+            Sensor(index=-1, location=Point(0, 0))
+
+    def test_invalid_requirement_rejected(self):
+        with pytest.raises(ModelError):
+            Sensor(index=0, location=Point(0, 0), required_j=-1.0)
+
+    def test_satisfaction_tolerance(self):
+        sensor = Sensor(index=0, location=Point(0, 0), required_j=2.0)
+        sensor.harvest(2.0 - 1e-13)
+        assert sensor.is_satisfied  # within numerical tolerance

@@ -1,0 +1,71 @@
+"""Tests for the BC planner."""
+
+import pytest
+
+from repro.bundling import grid_bundles
+from repro.errors import PlanError
+from repro.planners import BundleChargingPlanner, SingleChargingPlanner
+from repro.tour import evaluate_plan
+
+
+class TestBundleCharging:
+    def test_all_sensors_assigned(self, medium_network, paper_cost):
+        plan = BundleChargingPlanner(40.0).plan(medium_network,
+                                                paper_cost)
+        plan.validate_complete(len(medium_network))
+
+    def test_stop_count_equals_bundle_count(self, medium_network,
+                                            paper_cost):
+        planner = BundleChargingPlanner(40.0)
+        bundle_set = planner.generate_bundles(medium_network)
+        plan = planner.plan(medium_network, paper_cost)
+        assert len(plan) == len(bundle_set)
+
+    def test_dwell_covers_worst_member(self, medium_network,
+                                       paper_cost):
+        plan = BundleChargingPlanner(40.0).plan(medium_network,
+                                                paper_cost)
+        locations = medium_network.locations
+        for stop in plan:
+            worst = stop.worst_distance(locations)
+            assert stop.dwell_s >= paper_cost.dwell_time_for_distance(
+                worst) - 1e-9
+
+    def test_fewer_stops_than_sc_in_dense_network(self, paper_cost):
+        from repro.network import uniform_deployment
+        network = uniform_deployment(count=150, seed=13)
+        bc_plan = BundleChargingPlanner(40.0).plan(network, paper_cost)
+        assert len(bc_plan) < len(network)
+
+    def test_tiny_radius_degenerates_to_sc(self, medium_network,
+                                           paper_cost):
+        bc_plan = BundleChargingPlanner(1e-9).plan(medium_network,
+                                                   paper_cost)
+        sc_plan = SingleChargingPlanner().plan(medium_network,
+                                               paper_cost)
+        bc = evaluate_plan(bc_plan, medium_network.locations,
+                           paper_cost)
+        sc = evaluate_plan(sc_plan, medium_network.locations,
+                           paper_cost)
+        assert bc.stop_count == sc.stop_count
+        assert bc.total_j == pytest.approx(sc.total_j, rel=0.02)
+
+    def test_custom_bundle_generator(self, medium_network, paper_cost):
+        planner = BundleChargingPlanner(
+            40.0, bundle_generator=grid_bundles)
+        plan = planner.plan(medium_network, paper_cost)
+        plan.validate_complete(len(medium_network))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(PlanError):
+            BundleChargingPlanner(-5.0)
+
+    def test_deterministic(self, medium_network, paper_cost):
+        a = BundleChargingPlanner(40.0).plan(medium_network, paper_cost)
+        b = BundleChargingPlanner(40.0).plan(medium_network, paper_cost)
+        assert [s.position for s in a] == [s.position for s in b]
+
+    def test_label(self, medium_network, paper_cost):
+        plan = BundleChargingPlanner(40.0).plan(medium_network,
+                                                paper_cost)
+        assert plan.label == "BC"

@@ -1,0 +1,79 @@
+"""Tests for the BC-OPT planner."""
+
+import pytest
+
+from repro.planners import (BundleChargingOptPlanner,
+                            BundleChargingPlanner)
+from repro.tour import evaluate_plan
+
+
+class TestBundleChargingOpt:
+    def test_all_sensors_assigned(self, medium_network, paper_cost):
+        plan = BundleChargingOptPlanner(40.0).plan(medium_network,
+                                                   paper_cost)
+        plan.validate_complete(len(medium_network))
+
+    def test_never_worse_than_bc(self, paper_cost):
+        from repro.network import uniform_deployment
+        for seed in (1, 2, 3):
+            network = uniform_deployment(count=80, seed=seed)
+            bc = BundleChargingPlanner(30.0).plan(network, paper_cost)
+            opt = BundleChargingOptPlanner(30.0).plan(network,
+                                                      paper_cost)
+            bc_total = evaluate_plan(bc, network.locations,
+                                     paper_cost).total_j
+            opt_total = evaluate_plan(opt, network.locations,
+                                      paper_cost).total_j
+            assert opt_total <= bc_total + 1e-6
+
+    def test_strictly_improves_dense_network(self, paper_cost):
+        from repro.network import uniform_deployment
+        network = uniform_deployment(count=120, seed=8)
+        bc = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        opt = BundleChargingOptPlanner(30.0).plan(network, paper_cost)
+        bc_total = evaluate_plan(bc, network.locations,
+                                 paper_cost).total_j
+        opt_total = evaluate_plan(opt, network.locations,
+                                  paper_cost).total_j
+        assert opt_total < bc_total * 0.999
+
+    def test_dwell_covers_worst_member(self, medium_network,
+                                       paper_cost):
+        plan = BundleChargingOptPlanner(40.0).plan(medium_network,
+                                                   paper_cost)
+        locations = medium_network.locations
+        for stop in plan:
+            worst = stop.worst_distance(locations)
+            assert stop.dwell_s >= paper_cost.dwell_time_for_distance(
+                worst) - 1e-6
+
+    def test_definition3_cap_respected(self, paper_cost):
+        # Every member of every stop stays within the generation radius
+        # of the (possibly displaced) anchor — Definition 3.
+        from repro.network import uniform_deployment
+        radius = 30.0
+        network = uniform_deployment(count=80, seed=4)
+        plan = BundleChargingOptPlanner(radius).plan(network, paper_cost)
+        locations = network.locations
+        for stop in plan:
+            for sensor_index in stop.sensors:
+                assert stop.position.distance_to(
+                    locations[sensor_index]) <= radius + 1e-5
+
+    def test_report_available(self, medium_network, paper_cost):
+        planner = BundleChargingOptPlanner(40.0)
+        planner.plan(medium_network, paper_cost)
+        assert planner.last_report is not None
+        assert planner.last_report.improvement_j >= -1e-9
+
+    def test_label(self, medium_network, paper_cost):
+        plan = BundleChargingOptPlanner(40.0).plan(medium_network,
+                                                   paper_cost)
+        assert plan.label == "BC-OPT"
+
+    def test_deterministic(self, medium_network, paper_cost):
+        a = BundleChargingOptPlanner(40.0).plan(medium_network,
+                                                paper_cost)
+        b = BundleChargingOptPlanner(40.0).plan(medium_network,
+                                                paper_cost)
+        assert [s.position for s in a] == [s.position for s in b]

@@ -1,0 +1,78 @@
+"""Tests for the CSS baseline."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.planners import (CombineSkipSubstitutePlanner,
+                            SingleChargingPlanner)
+from repro.tour import evaluate_plan
+
+
+class TestCSS:
+    def test_all_sensors_assigned(self, medium_network, paper_cost):
+        plan = CombineSkipSubstitutePlanner(30.0).plan(medium_network,
+                                                       paper_cost)
+        plan.validate_complete(len(medium_network))
+
+    def test_stops_within_range_of_members(self, medium_network,
+                                           paper_cost):
+        radius = 30.0
+        plan = CombineSkipSubstitutePlanner(radius).plan(
+            medium_network, paper_cost)
+        locations = medium_network.locations
+        for stop in plan:
+            for sensor_index in stop.sensors:
+                assert stop.position.distance_to(
+                    locations[sensor_index]) <= radius + 1e-6
+
+    def test_combining_reduces_stops(self, medium_network, paper_cost):
+        small = CombineSkipSubstitutePlanner(5.0).plan(medium_network,
+                                                       paper_cost)
+        large = CombineSkipSubstitutePlanner(120.0).plan(medium_network,
+                                                         paper_cost)
+        assert len(large) < len(small)
+
+    def test_zero_radius_equals_sc_stop_count(self, medium_network,
+                                              paper_cost):
+        plan = CombineSkipSubstitutePlanner(0.0).plan(medium_network,
+                                                      paper_cost)
+        assert len(plan) == len(medium_network)
+
+    def test_shorter_tour_than_sc(self, paper_cost):
+        from repro.network import uniform_deployment
+        network = uniform_deployment(count=100, seed=17)
+        sc_plan = SingleChargingPlanner().plan(network, paper_cost)
+        css_plan = CombineSkipSubstitutePlanner(30.0).plan(network,
+                                                           paper_cost)
+        sc = evaluate_plan(sc_plan, network.locations, paper_cost)
+        css = evaluate_plan(css_plan, network.locations, paper_cost)
+        assert css.energy.tour_length_m < sc.energy.tour_length_m
+
+    def test_higher_charging_time_than_sc(self, paper_cost):
+        # CSS does not optimize charging positions: its average dwell
+        # per sensor is at least SC's zero-distance dwell.
+        from repro.network import uniform_deployment
+        network = uniform_deployment(count=60, seed=21)
+        sc_plan = SingleChargingPlanner().plan(network, paper_cost)
+        css_plan = CombineSkipSubstitutePlanner(25.0).plan(network,
+                                                           paper_cost)
+        sc = evaluate_plan(sc_plan, network.locations, paper_cost)
+        css = evaluate_plan(css_plan, network.locations, paper_cost)
+        assert (css.average_charging_time_s
+                >= sc.average_charging_time_s - 1e-9)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(PlanError):
+            CombineSkipSubstitutePlanner(-1.0)
+
+    def test_deterministic(self, medium_network, paper_cost):
+        a = CombineSkipSubstitutePlanner(30.0).plan(medium_network,
+                                                    paper_cost)
+        b = CombineSkipSubstitutePlanner(30.0).plan(medium_network,
+                                                    paper_cost)
+        assert [s.position for s in a] == [s.position for s in b]
+
+    def test_label(self, medium_network, paper_cost):
+        plan = CombineSkipSubstitutePlanner(30.0).plan(medium_network,
+                                                       paper_cost)
+        assert plan.label == "CSS"

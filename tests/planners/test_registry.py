@@ -1,0 +1,59 @@
+"""Tests for the planner registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.planners import (PAPER_ALGORITHMS, Planner, make_planner,
+                            planner_names, register_planner)
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert planner_names() == ["SC", "CSS", "BC", "BC-OPT"]
+        assert tuple(planner_names()) == PAPER_ALGORITHMS
+
+    @pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+    def test_make_each(self, name):
+        planner = make_planner(name, radius=20.0)
+        assert planner.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError):
+            make_planner("nope", radius=20.0)
+
+    def test_strategy_and_seed_forwarded(self):
+        planner = make_planner("BC", radius=20.0,
+                               tsp_strategy="greedy+2opt", seed=9)
+        assert planner.tsp_strategy == "greedy+2opt"
+        assert planner.seed == 9
+
+    def test_register_custom(self, medium_network, paper_cost):
+        class NullPlanner(Planner):
+            name = "NULL-TEST"
+
+            def plan(self, network, cost):
+                from repro.tour import ChargingPlan, stop_for_sensors
+                stops = tuple(
+                    stop_for_sensors(s.location, [s.index],
+                                     network.locations, cost)
+                    for s in network)
+                return ChargingPlan(stops=stops, label=self.name)
+
+        register_planner("NULL-TEST",
+                         lambda radius, strategy, seed: NullPlanner())
+        try:
+            planner = make_planner("NULL-TEST", radius=1.0)
+            plan = planner.plan(medium_network, paper_cost)
+            assert plan.label == "NULL-TEST"
+            with pytest.raises(ExperimentError):
+                register_planner("NULL-TEST", lambda r, s, x: None)
+        finally:
+            from repro.planners import registry
+            registry._REGISTRY.pop("NULL-TEST", None)
+
+    def test_plans_are_complete_for_all(self, medium_network,
+                                        paper_cost):
+        for name in PAPER_ALGORITHMS:
+            plan = make_planner(name, radius=25.0).plan(medium_network,
+                                                        paper_cost)
+            plan.validate_complete(len(medium_network))

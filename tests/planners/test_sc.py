@@ -1,0 +1,56 @@
+"""Tests for the SC planner."""
+
+import pytest
+
+from repro.planners import SingleChargingPlanner
+from repro.tour import evaluate_plan
+
+
+class TestSingleCharging:
+    def test_one_stop_per_sensor(self, medium_network, paper_cost):
+        plan = SingleChargingPlanner().plan(medium_network, paper_cost)
+        assert len(plan) == len(medium_network)
+        for stop in plan:
+            assert len(stop.sensors) == 1
+
+    def test_stops_at_sensor_locations(self, medium_network,
+                                       paper_cost):
+        plan = SingleChargingPlanner().plan(medium_network, paper_cost)
+        locations = medium_network.locations
+        for stop in plan:
+            (sensor_index,) = stop.sensors
+            assert stop.position == locations[sensor_index]
+
+    def test_zero_distance_dwell(self, medium_network, paper_cost):
+        plan = SingleChargingPlanner().plan(medium_network, paper_cost)
+        expected = paper_cost.dwell_time_for_distance(0.0)
+        for stop in plan:
+            assert stop.dwell_s == pytest.approx(expected)
+
+    def test_depot_round_trip(self, medium_network, paper_cost):
+        plan = SingleChargingPlanner().plan(medium_network, paper_cost)
+        assert plan.depot == medium_network.base_station
+
+    def test_no_depot_option(self, medium_network, paper_cost):
+        planner = SingleChargingPlanner(use_depot=False)
+        plan = planner.plan(medium_network, paper_cost)
+        assert plan.depot is None
+
+    def test_minimal_charging_energy(self, medium_network, paper_cost):
+        # SC charges every sensor at d = 0 — the charging term is the
+        # theoretical minimum n * delta * beta^2 / alpha.
+        plan = SingleChargingPlanner().plan(medium_network, paper_cost)
+        metrics = evaluate_plan(plan, medium_network.locations,
+                                paper_cost)
+        minimum = len(medium_network) * 50.0
+        assert metrics.energy.charging_j == pytest.approx(minimum)
+
+    def test_label(self, medium_network, paper_cost):
+        plan = SingleChargingPlanner().plan(medium_network, paper_cost)
+        assert plan.label == "SC"
+
+    def test_empty_network(self, paper_cost):
+        from repro.network import uniform_deployment
+        network = uniform_deployment(count=0, seed=0)
+        plan = SingleChargingPlanner().plan(network, paper_cost)
+        assert len(plan) == 0

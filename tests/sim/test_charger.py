@@ -1,0 +1,108 @@
+"""Tests for the mobile-charger mission simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.geometry import Point
+from repro.network import Sensor, SensorNetwork
+from repro.sim import MobileCharger, SimulationEngine, run_mission
+from repro.tour import ChargingPlan, stop_for_sensors
+
+
+def _line_network(paper_cost):
+    pts = [Point(100, 0), Point(200, 0)]
+    network = SensorNetwork(
+        [Sensor(index=i, location=p) for i, p in enumerate(pts)],
+        1000.0)
+    stops = tuple(
+        stop_for_sensors(p, [i], pts, paper_cost)
+        for i, p in enumerate(pts))
+    plan = ChargingPlan(stops=stops, depot=Point(0, 0))
+    return network, plan
+
+
+class TestMission:
+    def test_trace_tour_length_matches_plan(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        trace = run_mission(plan, network, paper_cost)
+        assert trace.tour_length_m == pytest.approx(plan.tour_length())
+
+    def test_movement_energy_matches_evaluator(self, paper_cost):
+        from repro.tour import evaluate_plan
+        network, plan = _line_network(paper_cost)
+        trace = run_mission(plan, network, paper_cost)
+        metrics = evaluate_plan(plan, network.locations, paper_cost)
+        assert trace.movement_energy_j == pytest.approx(
+            metrics.energy.movement_j)
+        assert trace.charging_energy_j == pytest.approx(
+            metrics.energy.charging_j)
+
+    def test_all_sensors_satisfied(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        run_mission(plan, network, paper_cost)
+        assert network.all_satisfied()
+
+    def test_mission_time_accounts_speed(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        slow = run_mission(plan, network, paper_cost,
+                           speed_m_per_s=0.5)
+        fast = run_mission(plan, network, paper_cost,
+                           speed_m_per_s=2.0)
+        dwell = plan.total_dwell_s()
+        assert slow.mission_time_s == pytest.approx(
+            plan.tour_length() / 0.5 + dwell)
+        assert fast.mission_time_s == pytest.approx(
+            plan.tour_length() / 2.0 + dwell)
+
+    def test_incidental_harvest_recorded(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        trace = run_mission(plan, network, paper_cost)
+        incidental = [h for h in trace.harvests if not h.assigned]
+        # Sensor 0 harvests while the charger dwells at sensor 1's stop
+        # (Friis has no cutoff), so incidental records must exist.
+        assert incidental
+        assert trace.incidental_energy_j() > 0.0
+
+    def test_harvest_energy_follows_model(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        trace = run_mission(plan, network, paper_cost)
+        for record in trace.harvests:
+            stop = plan.stops[record.stop_index]
+            power = paper_cost.model.received_power(record.distance_m)
+            assert record.energy_j == pytest.approx(
+                power * stop.dwell_s)
+
+    def test_invalid_speed_rejected(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        with pytest.raises(SimulationError):
+            run_mission(plan, network, paper_cost, speed_m_per_s=0.0)
+
+    def test_reset_between_runs(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        run_mission(plan, network, paper_cost)
+        first = network[0].harvested_j
+        run_mission(plan, network, paper_cost, reset_energy=True)
+        assert network[0].harvested_j == pytest.approx(first)
+
+    def test_no_reset_accumulates(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        run_mission(plan, network, paper_cost)
+        first = network[0].harvested_j
+        run_mission(plan, network, paper_cost, reset_energy=False)
+        assert network[0].harvested_j == pytest.approx(2.0 * first)
+
+    def test_empty_plan_returns_home(self, paper_cost):
+        network = SensorNetwork([], 100.0)
+        plan = ChargingPlan(stops=(), depot=Point(0, 0))
+        trace = run_mission(plan, network, paper_cost)
+        assert trace.tour_length_m == 0.0
+
+    def test_charger_object_directly(self, paper_cost):
+        network, plan = _line_network(paper_cost)
+        engine = SimulationEngine()
+        charger = MobileCharger(engine, plan, network, paper_cost)
+        assert not charger.finished
+        charger.start()
+        engine.run()
+        assert charger.finished
+        assert charger.position == plan.depot

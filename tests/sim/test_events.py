@@ -1,0 +1,100 @@
+"""Tests for the DES kernel (events + queue + engine)."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue, SimulationEngine
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.schedule(3.0, "c")
+        queue.schedule(1.0, "a")
+        queue.schedule(2.0, "b")
+        kinds = [queue.pop().kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+
+    def test_fifo_among_ties(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "first")
+        queue.schedule(1.0, "second")
+        assert queue.pop().kind == "first"
+        assert queue.pop().kind == "second"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_invalid_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule(-1.0, "bad")
+        with pytest.raises(SimulationError):
+            queue.schedule(math.nan, "bad")
+
+    def test_peek(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(5.0, "x")
+        assert queue.peek_time() == 5.0
+        assert len(queue) == 1
+
+
+class TestEngine:
+    def test_handlers_fire_in_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(2.0, "b", lambda e: log.append("b"))
+        engine.schedule_at(1.0, "a", lambda e: log.append("a"))
+        engine.run()
+        assert log == ["a", "b"]
+        assert engine.now_s == 2.0
+
+    def test_handlers_can_schedule_more(self):
+        engine = SimulationEngine()
+        log = []
+
+        def first(event):
+            log.append(("first", engine.now_s))
+            engine.schedule_after(5.0, "second",
+                                  lambda e: log.append(
+                                      ("second", engine.now_s)))
+
+        engine.schedule_at(1.0, "first", first)
+        engine.run()
+        assert log == [("first", 1.0), ("second", 6.0)]
+
+    def test_run_until(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule_at(1.0, "a", lambda e: log.append("a"))
+        engine.schedule_at(10.0, "b", lambda e: log.append("b"))
+        engine.run(until_s=5.0)
+        assert log == ["a"]
+        engine.run()
+        assert log == ["a", "b"]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, "x", lambda e: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, "late")
+
+    def test_step_cap(self):
+        engine = SimulationEngine(max_steps=10)
+
+        def forever(event):
+            engine.schedule_after(1.0, "again", forever)
+
+        engine.schedule_at(0.0, "start", forever)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_invalid_delay(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, "bad")

@@ -1,0 +1,89 @@
+"""Tests for failure injection and the robustness margin."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import uniform_deployment
+from repro.planners import BundleChargingPlanner, make_planner
+from repro.sim import robustness_margin, run_mission
+
+
+class TestHarvestScale:
+    def test_scaled_harvest_proportional(self, paper_cost):
+        network = uniform_deployment(count=10, seed=3,
+                                     field_side_m=200.0)
+        plan = BundleChargingPlanner(40.0).plan(network, paper_cost)
+        run_mission(plan, network, paper_cost, harvest_scale=1.0)
+        nominal = [sensor.harvested_j for sensor in network]
+        run_mission(plan, network, paper_cost, harvest_scale=0.5)
+        degraded = [sensor.harvested_j for sensor in network]
+        for full, half in zip(nominal, degraded):
+            assert half == pytest.approx(full * 0.5, rel=1e-9)
+
+    def test_invalid_scale_rejected(self, paper_cost):
+        network = uniform_deployment(count=5, seed=3,
+                                     field_side_m=200.0)
+        plan = BundleChargingPlanner(40.0).plan(network, paper_cost)
+        with pytest.raises(SimulationError):
+            run_mission(plan, network, paper_cost, harvest_scale=0.0)
+
+    def test_small_degradation_often_survivable(self, paper_cost):
+        # Incidental cross-stop harvesting provides headroom: a dense
+        # plan survives a mild degradation.
+        network = uniform_deployment(count=30, seed=4,
+                                     field_side_m=300.0)
+        plan = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        run_mission(plan, network, paper_cost, harvest_scale=0.95)
+        assert network.all_satisfied()
+
+    def test_severe_degradation_fails(self, paper_cost):
+        network = uniform_deployment(count=10, seed=5)
+        plan = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        run_mission(plan, network, paper_cost, harvest_scale=0.1)
+        assert not network.all_satisfied()
+
+
+class TestRobustnessMargin:
+    def test_margin_in_unit_interval(self, paper_cost):
+        network = uniform_deployment(count=20, seed=6,
+                                     field_side_m=300.0)
+        plan = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        margin = robustness_margin(plan, network, paper_cost)
+        assert 0.0 < margin <= 1.0
+
+    def test_margin_is_break_even(self, paper_cost):
+        network = uniform_deployment(count=15, seed=7,
+                                     field_side_m=300.0)
+        plan = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        margin = robustness_margin(plan, network, paper_cost,
+                                   tolerance=1e-3)
+        # Feasible at the margin, infeasible clearly below it.
+        run_mission(plan, network, paper_cost, harvest_scale=margin)
+        assert network.all_satisfied()
+        run_mission(plan, network, paper_cost,
+                    harvest_scale=margin * 0.95)
+        assert not network.all_satisfied()
+
+    def test_denser_field_has_more_headroom(self, paper_cost):
+        # More sensors per area -> more incidental harvest -> smaller
+        # break-even scale.
+        sparse = uniform_deployment(count=10, seed=8,
+                                    field_side_m=800.0)
+        dense = uniform_deployment(count=60, seed=8,
+                                   field_side_m=200.0)
+        sparse_plan = BundleChargingPlanner(30.0).plan(sparse,
+                                                       paper_cost)
+        dense_plan = BundleChargingPlanner(30.0).plan(dense, paper_cost)
+        sparse_margin = robustness_margin(sparse_plan, sparse,
+                                          paper_cost)
+        dense_margin = robustness_margin(dense_plan, dense, paper_cost)
+        assert dense_margin < sparse_margin
+
+    def test_all_planners_have_margin(self, paper_cost):
+        network = uniform_deployment(count=25, seed=9,
+                                     field_side_m=300.0)
+        for name in ("SC", "BC", "BC-OPT"):
+            plan = make_planner(name, 30.0).plan(network, paper_cost)
+            margin = robustness_margin(plan, network, paper_cost,
+                                       tolerance=5e-3)
+            assert margin < 1.0  # some headroom always exists here

@@ -1,0 +1,73 @@
+"""Tests for end-to-end plan validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry import Point
+from repro.network import Sensor, SensorNetwork, uniform_deployment
+from repro.sim import validate_plan
+from repro.tour import ChargingPlan, Stop, stop_for_sensors
+
+
+class TestValidatePlan:
+    def test_valid_plan_satisfies(self, paper_cost):
+        network = uniform_deployment(count=10, seed=2,
+                                     field_side_m=200.0)
+        stops = tuple(
+            stop_for_sensors(s.location, [s.index], network.locations,
+                             paper_cost)
+            for s in network)
+        plan = ChargingPlan(stops=stops, depot=network.base_station)
+        result = validate_plan(plan, network, paper_cost)
+        assert result.satisfied
+        assert result.shortfalls == ()
+
+    def test_underdwell_detected(self, paper_cost):
+        pts = [Point(100, 100)]
+        network = SensorNetwork(
+            [Sensor(index=0, location=pts[0])], 1000.0)
+        bad = Stop(pts[0], frozenset({0}), 1.0)  # far too short
+        plan = ChargingPlan(stops=(bad,), depot=Point(0, 0))
+        result = validate_plan(plan, network, paper_cost)
+        assert not result.satisfied
+        assert result.shortfalls[0][0] == 0
+        assert result.shortfalls[0][1] > 0.0
+
+    def test_strict_mode_raises(self, paper_cost):
+        pts = [Point(100, 100)]
+        network = SensorNetwork(
+            [Sensor(index=0, location=pts[0])], 1000.0)
+        bad = Stop(pts[0], frozenset({0}), 1.0)
+        plan = ChargingPlan(stops=(bad,), depot=Point(0, 0))
+        with pytest.raises(ValidationError):
+            validate_plan(plan, network, paper_cost, strict=True)
+
+    def test_incidental_fraction_in_unit_interval(self, paper_cost):
+        network = uniform_deployment(count=15, seed=3,
+                                     field_side_m=300.0)
+        stops = tuple(
+            stop_for_sensors(s.location, [s.index], network.locations,
+                             paper_cost)
+            for s in network)
+        plan = ChargingPlan(stops=stops, depot=network.base_station)
+        result = validate_plan(plan, network, paper_cost)
+        assert 0.0 <= result.incidental_fraction < 1.0
+        assert result.incidental_fraction > 0.0  # Friis has no cutoff
+
+    def test_incidental_charging_can_rescue_underdwell(self, paper_cost):
+        # Two co-located sensors assigned to two separate stops at the
+        # same point: each stop's dwell covers its own sensor, and the
+        # other sensor harvests incidentally — double coverage.
+        pts = [Point(50, 50), Point(50, 50)]
+        network = SensorNetwork(
+            [Sensor(index=i, location=p) for i, p in enumerate(pts)],
+            100.0)
+        stops = tuple(
+            stop_for_sensors(pts[i], [i], pts, paper_cost)
+            for i in range(2))
+        plan = ChargingPlan(stops=stops, depot=Point(0, 0))
+        result = validate_plan(plan, network, paper_cost)
+        assert result.satisfied
+        # Each sensor got ~2x its requirement (own stop + twin's stop).
+        assert network[0].harvested_j >= 2.0 * network[0].required_j \
+            * 0.99

@@ -1,0 +1,91 @@
+"""Tests for the closed-form analysis module."""
+
+import math
+
+import pytest
+
+from repro.analysis import (bhh_tour_length, break_even_distance,
+                            charging_energy_per_sensor,
+                            expected_bundle_size, fraction_within,
+                            greedy_cover_bound)
+from repro.charging import (CostParameters, FriisChargingModel,
+                            LinearChargingModel)
+from repro.errors import ModelError
+
+
+class TestBounds:
+    def test_greedy_cover_bound(self):
+        assert greedy_cover_bound(1) == pytest.approx(1.0)
+        assert greedy_cover_bound(100) == pytest.approx(
+            math.log(100) + 1.0)
+
+    def test_greedy_cover_bound_invalid(self):
+        with pytest.raises(ModelError):
+            greedy_cover_bound(0)
+
+
+class TestBreakEven:
+    def test_paper_constants_value(self):
+        cost = CostParameters.paper_defaults()
+        # 5.59 * 36 / 2 - 30 = 70.62 m.
+        assert break_even_distance(cost) == pytest.approx(70.62)
+
+    def test_cheap_movement_zero(self):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=0.1)
+        assert break_even_distance(cost) == 0.0
+
+    def test_non_friis_rejected(self):
+        cost = CostParameters(
+            model=LinearChargingModel(0.5, 10.0, 1.0))
+        with pytest.raises(ModelError):
+            break_even_distance(cost)
+
+    def test_matches_two_bundle_shift(self):
+        # The closed form must agree with the numerical Section V-B
+        # optimizer for a separation large enough not to clamp.
+        from repro.tour import two_bundle_shift
+        cost = CostParameters.paper_defaults()
+        radius = 10.0
+        numerical = two_bundle_shift(400.0, radius, cost, steps=4000)
+        analytic = break_even_distance(cost) - radius
+        assert numerical == pytest.approx(analytic, abs=0.5)
+
+
+class TestEstimates:
+    def test_bhh_scaling(self):
+        short = bhh_tour_length(50, 1000.0)
+        long = bhh_tour_length(200, 1000.0)
+        assert long == pytest.approx(2.0 * short)  # sqrt(4x) = 2x
+
+    def test_bhh_trivial(self):
+        assert bhh_tour_length(1, 1000.0) == 0.0
+        assert bhh_tour_length(0, 1000.0) == 0.0
+
+    def test_bhh_predicts_solver_output(self):
+        # Heuristic tours land within ~25% of the BHH estimate.
+        from repro.network import uniform_deployment
+        from repro.tsp import solve_tsp, tour_length
+        network = uniform_deployment(count=150, seed=3)
+        tour = solve_tsp(network.locations)
+        actual = tour_length(network.locations, tour)
+        estimate = bhh_tour_length(150, 1000.0)
+        assert 0.8 * estimate < actual < 1.35 * estimate
+
+    def test_expected_bundle_size(self):
+        # n * pi r^2 / A.
+        value = expected_bundle_size(200, 1000.0, 40.0)
+        assert value == pytest.approx(200 * math.pi * 1600 / 1e6)
+
+    def test_expected_bundle_size_invalid(self):
+        with pytest.raises(ModelError):
+            expected_bundle_size(-1, 1000.0, 10.0)
+
+    def test_charging_energy_per_sensor(self):
+        cost = CostParameters.paper_defaults()
+        assert charging_energy_per_sensor(cost, 0.0) == pytest.approx(
+            50.0)
+
+    def test_fraction_within(self):
+        assert fraction_within([1.0, 2.0, 3.0, 4.0], 2.5) == 0.5
+        assert fraction_within([], 1.0) == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main, make_config
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig16"])
+        assert args.experiment == "fig16"
+
+    def test_all_keyword(self):
+        args = build_parser().parse_args(["all", "--runs", "3"])
+        assert args.experiment == "all"
+        assert args.runs == 3
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_fast_flag(self):
+        args = build_parser().parse_args(["fig12", "--fast"])
+        config = make_config(args)
+        assert config.runs == 2
+
+    def test_runs_override(self):
+        args = build_parser().parse_args(["fig12", "--runs", "7"])
+        assert make_config(args).runs == 7
+
+    def test_seed_override(self):
+        args = build_parser().parse_args(["fig12", "--seed", "99"])
+        assert make_config(args).base_seed == 99
+
+
+class TestMain:
+    def test_runs_testbed_figure(self, capsys):
+        exit_code = main(["fig16", "--fast"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 16(a)" in out
+        assert "Fig. 16(b)" in out
+        assert "finished in" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        csv_dir = os.path.join(tmp_path, "csv")
+        exit_code = main(["fig16", "--fast", "--csv", csv_dir])
+        assert exit_code == 0
+        files = os.listdir(csv_dir)
+        assert any(name.endswith(".csv") for name in files)
+
+
+class TestRenderFlag:
+    def test_fig10_render(self, capsys):
+        exit_code = main(["fig10", "--fast", "--render"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "BC-OPT tour, bundle radius" in out
+        assert "sensor" in out  # ASCII legend
+
+    def test_render_ignored_for_other_figures(self, capsys):
+        exit_code = main(["fig16", "--fast", "--render"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "BC-OPT tour, bundle radius" not in out

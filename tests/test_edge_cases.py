@@ -1,0 +1,123 @@
+"""Edge-case sweep across layers: the configurations the main suites
+don't reach (depotless planners, zero-sensor networks, explicit
+optimizer centers, fractional testbed dwells, CSS knobs)."""
+
+import pytest
+
+from repro import (CostParameters, evaluate_plan, make_planner,
+                   uniform_deployment)
+from repro.geometry import Point
+from repro.network import SensorNetwork
+from repro.planners import (BundleChargingOptPlanner,
+                            CombineSkipSubstitutePlanner,
+                            SingleChargingPlanner)
+
+
+class TestDepotlessPlanning:
+    @pytest.mark.parametrize("name", ["SC", "CSS", "BC", "BC-OPT"])
+    def test_all_planners_work_without_depot(self, name, paper_cost,
+                                             medium_network):
+        from repro.planners import registry
+        planner = registry.make_planner(name, 25.0)
+        planner.use_depot = False
+        plan = planner.plan(medium_network, paper_cost)
+        assert plan.depot is None
+        plan.validate_complete(len(medium_network))
+        metrics = evaluate_plan(plan, medium_network.locations,
+                                paper_cost)
+        assert metrics.total_j > 0.0
+
+    def test_depotless_tour_closes_on_first_stop(self, paper_cost):
+        network = uniform_deployment(count=5, seed=1,
+                                     field_side_m=100.0)
+        planner = SingleChargingPlanner(use_depot=False)
+        plan = planner.plan(network, paper_cost)
+        waypoints = plan.waypoints()
+        assert len(waypoints) == 5  # no depot prepended
+
+
+class TestEmptyAndSingleton:
+    def test_empty_network_all_planners(self, paper_cost):
+        network = SensorNetwork([], 100.0)
+        for name in ("SC", "CSS", "BC", "BC-OPT"):
+            plan = make_planner(name, 20.0).plan(network, paper_cost)
+            assert len(plan) == 0
+
+    def test_single_sensor_all_planners(self, paper_cost):
+        network = uniform_deployment(count=1, seed=3)
+        for name in ("SC", "CSS", "BC", "BC-OPT"):
+            plan = make_planner(name, 20.0).plan(network, paper_cost)
+            plan.validate_complete(1)
+            metrics = evaluate_plan(plan, network.locations, paper_cost)
+            assert metrics.stop_count == 1
+
+
+class TestOptimizerExplicitCenters:
+    def test_centers_override_used_as_displacement_origin(self,
+                                                          paper_cost):
+        from repro.charging import CostParameters, FriisChargingModel
+        from repro.tour import (ChargingPlan, optimize_tour,
+                                stop_for_sensors)
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        locations = [Point(0, 50), Point(300, 50)]
+        stops = tuple(stop_for_sensors(loc, [i], locations, cost)
+                      for i, loc in enumerate(locations))
+        plan = ChargingPlan(stops=stops, depot=Point(150, 0))
+        # Give explicit centers equal to the stop positions.
+        optimized, report = optimize_tour(
+            plan, locations, cost,
+            centers=[stop.position for stop in stops])
+        assert report.final_energy_j <= report.initial_energy_j + 1e-6
+
+
+class TestCssKnobs:
+    def test_zero_substitute_rounds(self, medium_network, paper_cost):
+        planner = CombineSkipSubstitutePlanner(25.0,
+                                               substitute_rounds=0)
+        plan = planner.plan(medium_network, paper_cost)
+        plan.validate_complete(len(medium_network))
+
+    def test_more_substitute_rounds_never_longer(self, medium_network,
+                                                 paper_cost):
+        short = CombineSkipSubstitutePlanner(
+            25.0, substitute_rounds=0).plan(medium_network, paper_cost)
+        long = CombineSkipSubstitutePlanner(
+            25.0, substitute_rounds=5).plan(medium_network, paper_cost)
+        assert long.tour_length() <= short.tour_length() + 1e-6
+
+
+class TestBcOptKnobs:
+    def test_zero_radius_steps_rejected_late(self, medium_network,
+                                             paper_cost):
+        from repro.errors import PlanError
+        planner = BundleChargingOptPlanner(20.0, radius_steps=0)
+        with pytest.raises(PlanError):
+            planner.plan(medium_network, paper_cost)
+
+    def test_more_radius_steps_never_worse(self, paper_cost):
+        network = uniform_deployment(count=50, seed=4)
+        coarse = BundleChargingOptPlanner(30.0, radius_steps=4).plan(
+            network, paper_cost)
+        fine = BundleChargingOptPlanner(30.0, radius_steps=32).plan(
+            network, paper_cost)
+        coarse_total = evaluate_plan(coarse, network.locations,
+                                     paper_cost).total_j
+        fine_total = evaluate_plan(fine, network.locations,
+                                   paper_cost).total_j
+        # Finer discretization explores a superset of displacements.
+        assert fine_total <= coarse_total * 1.001
+
+
+class TestTestbedFractionalDwell:
+    def test_subsecond_dwell_single_report(self):
+        from repro.planners import SingleChargingPlanner
+        from repro.testbed import paper_testbed, run_testbed
+        # Raise harvester efficiency -> shorter dwells (< report
+        # interval), exercising the final-partial-frame path.
+        from repro.testbed.scenario import paper_testbed as build
+        scenario = build(harvester_efficiency=0.9, required_j=1e-5)
+        run = run_testbed(SingleChargingPlanner(tsp_strategy="exact"),
+                          scenario)
+        assert run.charged_sensors == 6
+        assert run.reports >= 6

@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples must run end-to-end.
+
+Only the faster examples run here to keep the suite responsive; the
+heavier ones (habitat_monitoring, custom_charging_model,
+lifetime_study) are exercised indirectly by the unit tests of the
+modules they drive and can be run manually.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "OK: the plan fully charges the network."),
+    ("office_testbed.py", "sensors reached their requirement"),
+    ("fleet_mission.py", "Fleet scaling"),
+    ("robustness_analysis.py", "Concurrent charging"),
+]
+
+
+@pytest.mark.parametrize("script,expected", FAST_EXAMPLES)
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert expected in result.stdout
+
+
+def test_all_examples_present():
+    scripts = sorted(name for name in os.listdir(EXAMPLES_DIR)
+                     if name.endswith(".py"))
+    assert scripts == [
+        "custom_charging_model.py",
+        "fleet_mission.py",
+        "habitat_monitoring.py",
+        "lifetime_study.py",
+        "office_testbed.py",
+        "quickstart.py",
+        "robustness_analysis.py",
+    ]

@@ -1,0 +1,102 @@
+"""Cross-module integration tests: plan -> simulate -> validate.
+
+The library's end-to-end contract: every planner's output, executed by
+the discrete-event simulator, leaves every sensor at or above its energy
+requirement, and the simulator's energy ledger matches the static
+evaluator's.
+"""
+
+import pytest
+
+from repro import (CostParameters, PAPER_ALGORITHMS,
+                   clustered_deployment, evaluate_plan, make_planner,
+                   uniform_deployment, validate_plan)
+from repro.sim import run_mission
+
+
+@pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+class TestEveryPlannerEndToEnd:
+    def test_uniform_network_fully_charged(self, name, paper_cost):
+        network = uniform_deployment(count=40, seed=77)
+        plan = make_planner(name, radius=30.0).plan(network, paper_cost)
+        result = validate_plan(plan, network, paper_cost, strict=True)
+        assert result.satisfied
+
+    def test_clustered_network_fully_charged(self, name, paper_cost):
+        network = clustered_deployment(count=40, seed=78, clusters=4)
+        plan = make_planner(name, radius=30.0).plan(network, paper_cost)
+        result = validate_plan(plan, network, paper_cost, strict=True)
+        assert result.satisfied
+
+    def test_simulated_ledger_matches_evaluator(self, name, paper_cost):
+        network = uniform_deployment(count=30, seed=79)
+        plan = make_planner(name, radius=30.0).plan(network, paper_cost)
+        metrics = evaluate_plan(plan, network.locations, paper_cost)
+        trace = run_mission(plan, network, paper_cost)
+        assert trace.total_energy_j == pytest.approx(metrics.total_j,
+                                                     rel=1e-9)
+        assert trace.tour_length_m == pytest.approx(
+            metrics.energy.tour_length_m, rel=1e-9)
+
+
+class TestPaperHeadlines:
+    """The paper's headline comparative claims, at reduced scale."""
+
+    def test_energy_ordering_dense_network(self, paper_cost):
+        # Fig. 12/13 ordering at a productive radius: BC-OPT < BC < SC
+        # and BC-OPT < CSS.
+        totals = {}
+        network = uniform_deployment(count=120, seed=5)
+        for name in PAPER_ALGORITHMS:
+            plan = make_planner(name, radius=35.0).plan(network,
+                                                        paper_cost)
+            totals[name] = evaluate_plan(plan, network.locations,
+                                         paper_cost).total_j
+        assert totals["BC-OPT"] < totals["BC"]
+        assert totals["BC-OPT"] < totals["CSS"]
+        assert totals["BC"] < totals["SC"]
+
+    def test_bundle_count_shrinks_with_density_fixed_radius(
+            self, paper_cost):
+        # Denser networks bundle *relatively* better: stops per sensor
+        # fall as n grows.
+        from repro.bundling import greedy_bundles
+        ratios = []
+        for count in (40, 160):
+            network = uniform_deployment(count=count, seed=9)
+            bundles = greedy_bundles(network, 40.0)
+            ratios.append(len(bundles) / count)
+        assert ratios[1] < ratios[0]
+
+    def test_one_to_many_incidental_bonus_positive(self, paper_cost):
+        network = uniform_deployment(count=60, seed=12)
+        plan = make_planner("BC", radius=30.0).plan(network, paper_cost)
+        result = validate_plan(plan, network, paper_cost)
+        assert result.incidental_fraction > 0.0
+
+    def test_radius_tradeoff_components(self, paper_cost):
+        # Fig. 6(a)'s trade-off: growing the radius shortens the tour
+        # monotonically while the charging time/energy grows, and the
+        # charging share of total energy rises from negligible to
+        # dominant across a wide radius ladder.
+        network = uniform_deployment(count=100, seed=31)
+        tours = []
+        charge_shares = []
+        for radius in (2.0, 30.0, 300.0):
+            plan = make_planner("BC", radius=radius).plan(network,
+                                                          paper_cost)
+            metrics = evaluate_plan(plan, network.locations, paper_cost)
+            tours.append(metrics.energy.tour_length_m)
+            charge_shares.append(
+                metrics.energy.charging_j / metrics.total_j)
+        assert tours == sorted(tours, reverse=True)
+        assert charge_shares == sorted(charge_shares)
+        assert charge_shares[0] < 0.2
+        assert charge_shares[-1] > 0.5
+
+    def test_depot_membership_all_planners(self, paper_cost):
+        network = uniform_deployment(count=25, seed=44)
+        for name in PAPER_ALGORITHMS:
+            plan = make_planner(name, radius=25.0).plan(network,
+                                                        paper_cost)
+            assert plan.depot == network.base_station

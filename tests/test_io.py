@@ -1,0 +1,112 @@
+"""Tests for JSON persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.io import (SerializationError, load_json, network_from_dict,
+                      network_to_dict, plan_from_dict, plan_to_dict,
+                      save_json)
+from repro.network import uniform_deployment
+from repro.planners import BundleChargingPlanner
+
+
+@pytest.fixture
+def network():
+    return uniform_deployment(count=15, seed=8, field_side_m=400.0)
+
+
+@pytest.fixture
+def plan(network, paper_cost):
+    return BundleChargingPlanner(40.0).plan(network, paper_cost)
+
+
+class TestNetworkRoundTrip:
+    def test_dict_round_trip(self, network):
+        restored = network_from_dict(network_to_dict(network))
+        assert len(restored) == len(network)
+        assert restored.field_side_m == network.field_side_m
+        assert restored.base_station == network.base_station
+        for original, copy in zip(network, restored):
+            assert original.location == copy.location
+            assert original.required_j == copy.required_j
+
+    def test_file_round_trip(self, network, tmp_path):
+        path = os.path.join(tmp_path, "network.json")
+        save_json(network, path)
+        restored = load_json(path)
+        assert restored.locations == network.locations
+
+    def test_schema_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"schema": "something/else"})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({
+                "schema": "bundle-charging/network/v1",
+                "sensors": [{"index": 0}],  # missing fields
+                "field_side_m": 100.0,
+                "base_station": [0, 0],
+            })
+
+
+class TestPlanRoundTrip:
+    def test_dict_round_trip(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.label == plan.label
+        assert restored.depot == plan.depot
+        assert len(restored) == len(plan)
+        for original, copy in zip(plan.stops, restored.stops):
+            assert original.position == copy.position
+            assert original.sensors == copy.sensors
+            assert original.dwell_s == pytest.approx(copy.dwell_s)
+
+    def test_round_trip_preserves_energy(self, plan, network,
+                                         paper_cost):
+        from repro.tour import plan_total_energy
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert plan_total_energy(restored, network.locations,
+                                 paper_cost) == pytest.approx(
+            plan_total_energy(plan, network.locations, paper_cost))
+
+    def test_file_round_trip(self, plan, tmp_path):
+        path = os.path.join(tmp_path, "plan.json")
+        save_json(plan, path)
+        restored = load_json(path)
+        assert len(restored) == len(plan)
+
+    def test_depotless_plan(self, network, paper_cost):
+        planner = BundleChargingPlanner(40.0, use_depot=False)
+        plan = planner.plan(network, paper_cost)
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.depot is None
+
+
+class TestFileLevel:
+    def test_json_is_stable_text(self, network, tmp_path):
+        path_a = os.path.join(tmp_path, "a.json")
+        path_b = os.path.join(tmp_path, "b.json")
+        save_json(network, path_a)
+        save_json(network, path_b)
+        with open(path_a) as fa, open(path_b) as fb:
+            assert fa.read() == fb.read()
+
+    def test_unknown_schema_file(self, tmp_path):
+        path = os.path.join(tmp_path, "junk.json")
+        with open(path, "w") as handle:
+            json.dump({"schema": "junk/v9"}, handle)
+        with pytest.raises(SerializationError):
+            load_json(path)
+
+    def test_non_object_root(self, tmp_path):
+        path = os.path.join(tmp_path, "list.json")
+        with open(path, "w") as handle:
+            json.dump([1, 2, 3], handle)
+        with pytest.raises(SerializationError):
+            load_json(path)
+
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_json(object(), os.path.join(tmp_path, "x.json"))

@@ -1,0 +1,148 @@
+"""Whole-pipeline property tests.
+
+Hypothesis drives random deployments, radii and planner choices through
+the full plan->evaluate->simulate pipeline, asserting the library's
+global invariants.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (CostParameters, evaluate_plan, make_planner,
+                   uniform_deployment)
+from repro.planners import PAPER_ALGORITHMS
+from repro.sim import run_mission
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+network_params = st.tuples(
+    st.integers(min_value=1, max_value=25),        # sensor count
+    st.integers(min_value=0, max_value=10_000),    # seed
+    st.floats(min_value=1.0, max_value=80.0),      # bundle radius
+    st.sampled_from(PAPER_ALGORITHMS),
+)
+
+
+class TestPipelineInvariants:
+    @SLOW
+    @given(network_params)
+    def test_every_plan_complete_and_consistent(self, params):
+        count, seed, radius, algorithm = params
+        network = uniform_deployment(count=count, seed=seed,
+                                     field_side_m=500.0)
+        cost = CostParameters.paper_defaults()
+        plan = make_planner(algorithm, radius).plan(network, cost)
+        # Completeness: every sensor has a responsible stop.
+        plan.validate_complete(count)
+        # Consistency: the evaluator's dwell check passes (no raise).
+        metrics = evaluate_plan(plan, network.locations, cost)
+        assert metrics.total_j >= 0.0
+        assert metrics.sensor_count == count
+
+    @SLOW
+    @given(network_params)
+    def test_simulated_mission_charges_everyone(self, params):
+        count, seed, radius, algorithm = params
+        network = uniform_deployment(count=count, seed=seed,
+                                     field_side_m=500.0)
+        cost = CostParameters.paper_defaults()
+        plan = make_planner(algorithm, radius).plan(network, cost)
+        run_mission(plan, network, cost)
+        assert network.all_satisfied()
+
+    @SLOW
+    @given(network_params)
+    def test_energy_ledger_agreement(self, params):
+        count, seed, radius, algorithm = params
+        network = uniform_deployment(count=count, seed=seed,
+                                     field_side_m=500.0)
+        cost = CostParameters.paper_defaults()
+        plan = make_planner(algorithm, radius).plan(network, cost)
+        metrics = evaluate_plan(plan, network.locations, cost)
+        trace = run_mission(plan, network, cost)
+        assert trace.total_energy_j == pytest.approx(metrics.total_j,
+                                                     rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=30),
+           st.integers(min_value=0, max_value=10_000))
+    def test_bcopt_never_worse_than_bc(self, count, seed):
+        network = uniform_deployment(count=count, seed=seed,
+                                     field_side_m=500.0)
+        cost = CostParameters.paper_defaults()
+        bc = make_planner("BC", 30.0).plan(network, cost)
+        opt = make_planner("BC-OPT", 30.0).plan(network, cost)
+        bc_total = evaluate_plan(bc, network.locations, cost).total_j
+        opt_total = evaluate_plan(opt, network.locations, cost).total_j
+        assert opt_total <= bc_total + 1e-6 * max(1.0, bc_total)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=25),
+           st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=1.0, max_value=100.0))
+    def test_bundle_cover_partitions_sensors(self, count, seed, radius):
+        from repro.bundling import greedy_bundles
+        network = uniform_deployment(count=count, seed=seed,
+                                     field_side_m=500.0)
+        bundle_set = greedy_bundles(network, radius)
+        seen = set()
+        for bundle in bundle_set:
+            assert not (bundle.members & seen)
+            seen |= bundle.members
+        assert seen == set(range(count))
+
+
+class TestSerializationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=1.0, max_value=60.0))
+    def test_plan_json_round_trip_preserves_everything(self, count,
+                                                       seed, radius):
+        from repro.io import plan_from_dict, plan_to_dict
+        network = uniform_deployment(count=count, seed=seed,
+                                     field_side_m=400.0)
+        cost = CostParameters.paper_defaults()
+        plan = make_planner("BC", radius).plan(network, cost)
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.depot == plan.depot
+        assert [s.sensors for s in restored.stops] == \
+            [s.sensors for s in plan.stops]
+        assert [s.position for s in restored.stops] == \
+            [s.position for s in plan.stops]
+
+
+class TestFleetProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=25),
+           st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=6))
+    def test_split_conserves_stops_and_bounds_makespan(self, count,
+                                                       seed, chargers):
+        from repro.fleet import split_plan
+        network = uniform_deployment(count=count, seed=seed,
+                                     field_side_m=400.0)
+        cost = CostParameters.paper_defaults()
+        plan = make_planner("BC", 30.0).plan(network, cost)
+        fleet = split_plan(plan, chargers, cost)
+        served = [stop.position for a in fleet.assignments
+                  for stop in a.plan.stops]
+        assert served == [stop.position for stop in plan.stops]
+        single = split_plan(plan, 1, cost)
+        assert fleet.makespan_s <= single.makespan_s + 1e-6
+
+
+class TestKcenterProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=25),
+           st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=1.0, max_value=200.0))
+    def test_kcenter_cover_always_valid(self, count, seed, radius):
+        from repro.bundling import kcenter_bundles
+        network = uniform_deployment(count=count, seed=seed,
+                                     field_side_m=400.0)
+        bundle_set = kcenter_bundles(network, radius)
+        bundle_set.validate_cover(network)
+        bundle_set.validate_radius(network)

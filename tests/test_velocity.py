@@ -1,0 +1,149 @@
+"""Tests for the velocity-control substrate."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError, ModelError
+from repro.geometry import Point
+from repro.network import Sensor, SensorNetwork, uniform_deployment
+from repro.velocity import (PolylinePath, drive_through_vs_stops,
+                            harvest_along_path, max_feasible_speed)
+
+
+class TestPolylinePath:
+    def test_length(self):
+        path = PolylinePath([Point(0, 0), Point(3, 4), Point(3, 0)])
+        assert path.length == pytest.approx(9.0)
+
+    def test_closed_adds_return_leg(self):
+        path = PolylinePath([Point(0, 0), Point(3, 4), Point(3, 0)],
+                            closed=True)
+        assert path.length == pytest.approx(12.0)
+
+    def test_point_at_interpolates(self):
+        path = PolylinePath([Point(0, 0), Point(10, 0)])
+        assert path.point_at(4.0).is_close(Point(4, 0))
+
+    def test_point_at_clamps(self):
+        path = PolylinePath([Point(0, 0), Point(10, 0)])
+        assert path.point_at(-5.0) == Point(0, 0)
+        assert path.point_at(99.0).is_close(Point(10, 0))
+
+    def test_point_at_across_vertices(self):
+        path = PolylinePath([Point(0, 0), Point(10, 0), Point(10, 10)])
+        assert path.point_at(15.0).is_close(Point(10, 5))
+
+    def test_single_waypoint(self):
+        path = PolylinePath([Point(5, 5)])
+        assert path.length == 0.0
+        assert path.point_at(3.0) == Point(5, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            PolylinePath([])
+
+    def test_sample_includes_endpoints(self):
+        path = PolylinePath([Point(0, 0), Point(10, 0)])
+        samples = path.sample(3.0)
+        assert samples[0] == Point(0, 0)
+        assert samples[-1].is_close(Point(10, 0))
+
+    def test_sample_invalid_step(self):
+        with pytest.raises(GeometryError):
+            PolylinePath([Point(0, 0)]).sample(0.0)
+
+
+class TestHarvest:
+    def _tiny(self):
+        sensors = [Sensor(index=0, location=Point(5, 1),
+                          required_j=2.0)]
+        network = SensorNetwork(sensors, 100.0)
+        path = PolylinePath([Point(0, 0), Point(10, 0)])
+        return network, path
+
+    def test_inverse_proportional_to_speed(self, paper_cost):
+        network, path = self._tiny()
+        slow = harvest_along_path(path, network, paper_cost, 0.5)
+        fast = harvest_along_path(path, network, paper_cost, 2.0)
+        assert slow[0] == pytest.approx(4.0 * fast[0], rel=1e-9)
+
+    def test_invalid_inputs(self, paper_cost):
+        network, path = self._tiny()
+        with pytest.raises(ModelError):
+            harvest_along_path(path, network, paper_cost, 0.0)
+        with pytest.raises(ModelError):
+            harvest_along_path(path, network, paper_cost, 1.0,
+                               step_m=0.0)
+
+    def test_closer_path_harvests_more(self, paper_cost):
+        network, _ = self._tiny()
+        near = PolylinePath([Point(0, 1), Point(10, 1)])
+        far = PolylinePath([Point(0, 50), Point(10, 50)])
+        h_near = harvest_along_path(near, network, paper_cost, 1.0)
+        h_far = harvest_along_path(far, network, paper_cost, 1.0)
+        assert h_near[0] > h_far[0]
+
+
+class TestMaxFeasibleSpeed:
+    def test_speed_fully_charges_everyone(self, paper_cost):
+        network = uniform_deployment(count=10, seed=4,
+                                     field_side_m=100.0)
+        path = PolylinePath(network.locations, closed=True)
+        v_max = max_feasible_speed(path, network, paper_cost)
+        assert v_max > 0.0
+        harvest = harvest_along_path(path, network, paper_cost, v_max)
+        assert min(harvest.values()) == pytest.approx(
+            paper_cost.delta_j, rel=1e-6)
+
+    def test_faster_than_max_undercharges(self, paper_cost):
+        network = uniform_deployment(count=10, seed=4,
+                                     field_side_m=100.0)
+        path = PolylinePath(network.locations, closed=True)
+        v_max = max_feasible_speed(path, network, paper_cost)
+        harvest = harvest_along_path(path, network, paper_cost,
+                                     v_max * 2.0)
+        assert min(harvest.values()) < paper_cost.delta_j
+
+    def test_cutoff_model_can_make_it_infeasible(self):
+        from repro.charging import CostParameters, \
+            IdealDiskChargingModel
+        cost = CostParameters(
+            model=IdealDiskChargingModel(0.5, 5.0, 1.0), delta_j=1.0)
+        sensors = [Sensor(index=0, location=Point(50, 50),
+                          required_j=1.0)]
+        network = SensorNetwork(sensors, 100.0)
+        path = PolylinePath([Point(0, 0), Point(10, 0)])
+        assert max_feasible_speed(path, network, cost) == 0.0
+
+    def test_empty_network_unconstrained(self, paper_cost):
+        network = SensorNetwork([], 100.0)
+        path = PolylinePath([Point(0, 0), Point(10, 0)])
+        assert math.isinf(max_feasible_speed(path, network, paper_cost))
+
+
+class TestDriveThroughComparison:
+    def test_comparison_fields_consistent(self, paper_cost):
+        from repro.planners import BundleChargingPlanner
+        network = uniform_deployment(count=20, seed=6,
+                                     field_side_m=300.0)
+        plan = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        comparison = drive_through_vs_stops(plan, network, paper_cost)
+        assert comparison.drive_speed_m_per_s > 0.0
+        assert comparison.drive_time_s > 0.0
+        assert comparison.stop_energy_j > 0.0
+        assert comparison.stop_advantage > 0.0
+
+    def test_drive_strategy_is_actually_feasible(self, paper_cost):
+        # The comparison's reported max speed must fully charge the
+        # worst sensor when driven (the ref [2] constraint).
+        from repro.planners import BundleChargingPlanner
+        network = uniform_deployment(count=15, seed=9,
+                                     field_side_m=300.0)
+        plan = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        comparison = drive_through_vs_stops(plan, network, paper_cost)
+        path = PolylinePath(plan.waypoints(), closed=True)
+        harvest = harvest_along_path(path, network, paper_cost,
+                                     comparison.drive_speed_m_per_s)
+        assert min(harvest.values()) == pytest.approx(
+            paper_cost.delta_j, rel=1e-6)

@@ -1,0 +1,88 @@
+"""Tests for the ASCII visualization module."""
+
+import pytest
+
+from repro import CostParameters, make_planner, uniform_deployment
+from repro.errors import ExperimentError
+from repro.geometry import Point
+from repro.viz import AsciiCanvas, render_network, render_plan, \
+    sparkline
+
+
+class TestCanvas:
+    def test_dimensions(self):
+        canvas = AsciiCanvas(100.0, width=10, height=5)
+        lines = canvas.render().splitlines()
+        assert len(lines) == 7  # 5 rows + 2 borders
+        assert all(len(line) == 12 for line in lines)
+
+    def test_put_and_clamp(self):
+        canvas = AsciiCanvas(100.0, width=10, height=5)
+        canvas.put(Point(0, 0), "X")
+        canvas.put(Point(500, 500), "Y")  # clamped to a corner
+        art = canvas.render()
+        assert "X" in art
+        assert "Y" in art
+
+    def test_y_axis_points_up(self):
+        canvas = AsciiCanvas(100.0, width=10, height=5)
+        canvas.put(Point(0, 100), "T")  # top-left in world coords
+        first_row = canvas.render().splitlines()[1]
+        assert "T" in first_row
+
+    def test_line_does_not_overwrite_markers(self):
+        canvas = AsciiCanvas(100.0, width=20, height=10)
+        canvas.put(Point(0, 0), "X")
+        canvas.line(Point(0, 0), Point(100, 0))
+        art = canvas.render()
+        assert "X" in art
+        assert "." in art
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ExperimentError):
+            AsciiCanvas(0.0)
+        with pytest.raises(ExperimentError):
+            AsciiCanvas(100.0, width=1)
+
+
+class TestRenderers:
+    def test_render_plan_contains_all_markers(self, paper_cost):
+        network = uniform_deployment(count=20, seed=5)
+        plan = make_planner("BC", radius=40.0).plan(network, paper_cost)
+        art = render_plan(plan, network.locations,
+                          network.field_side_m)
+        assert "*" in art
+        assert "A" in art
+        assert "D" in art
+        assert "stops" in art  # legend
+
+    def test_render_plan_no_legend(self, paper_cost):
+        network = uniform_deployment(count=10, seed=5)
+        plan = make_planner("SC", radius=0.0).plan(network, paper_cost)
+        art = render_plan(plan, network.locations,
+                          network.field_side_m, legend=False)
+        assert "stops" not in art
+
+    def test_render_network(self):
+        network = uniform_deployment(count=15, seed=6)
+        art = render_network(network)
+        assert art.count("*") >= 1
+        assert "D" in art
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line == "".join(sorted(line))
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_width_limit(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10

@@ -1,0 +1,64 @@
+"""Tests for the simulated testbed hardware."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.geometry import Point
+from repro.testbed import AccessPoint, PowerharvesterSensor, RobotCar
+
+
+class TestRobotCar:
+    def test_drive_updates_state(self):
+        car = RobotCar(speed_m_per_s=0.5, move_cost_j_per_m=2.0)
+        travel = car.drive_to(Point(3, 4))
+        assert travel == pytest.approx(10.0)  # 5 m at 0.5 m/s
+        assert car.position == Point(3, 4)
+        assert car.odometer_m == pytest.approx(5.0)
+        assert car.energy_spent_j == pytest.approx(10.0)
+
+    def test_consecutive_legs_accumulate(self):
+        car = RobotCar()
+        car.drive_to(Point(1, 0))
+        car.drive_to(Point(1, 1))
+        assert car.odometer_m == pytest.approx(2.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ModelError):
+            RobotCar(speed_m_per_s=0.0)
+
+    def test_paper_defaults(self):
+        car = RobotCar()
+        assert car.speed_m_per_s == 0.3
+        assert car.move_cost_j_per_m == 5.59
+
+
+class TestPowerharvesterSensor:
+    def test_receive_accumulates(self):
+        sensor = PowerharvesterSensor(index=0, location=Point(0, 0),
+                                      required_j=1e-3)
+        credit = sensor.receive(1e-4, 5.0)
+        assert credit == pytest.approx(5e-4)
+        assert not sensor.charged
+        sensor.receive(1e-4, 5.0)
+        assert sensor.charged
+
+    def test_invalid_receive(self):
+        sensor = PowerharvesterSensor(index=0, location=Point(0, 0))
+        with pytest.raises(ModelError):
+            sensor.receive(-1.0, 1.0)
+        with pytest.raises(ModelError):
+            sensor.receive(1.0, -1.0)
+
+
+class TestAccessPoint:
+    def test_reports_collected(self):
+        ap = AccessPoint()
+        ap.report(0, 1.0, 0.5)
+        ap.report(1, 2.0, 0.25)
+        ap.report(0, 3.0, 0.75)
+        assert len(ap.reports) == 3
+        assert ap.latest_by_sensor() == {0: 0.75, 1: 0.25}
+
+    def test_invalid_time(self):
+        with pytest.raises(ModelError):
+            AccessPoint().report(0, -1.0, 0.5)

@@ -1,0 +1,85 @@
+"""Tests for the testbed scenario and runner."""
+
+import pytest
+
+from repro import constants
+from repro.charging import PowercastChargingModel
+from repro.planners import (BundleChargingOptPlanner,
+                            BundleChargingPlanner,
+                            SingleChargingPlanner)
+from repro.testbed import (compare_planners, paper_testbed, run_testbed)
+
+
+class TestScenario:
+    def test_paper_configuration(self):
+        scenario = paper_testbed()
+        assert len(scenario.network) == 6
+        assert isinstance(scenario.cost.model, PowercastChargingModel)
+        assert scenario.speed_m_per_s == 0.3
+        assert scenario.cost.delta_j == constants.TESTBED_DELTA_J
+
+
+class TestRunner:
+    def test_sc_mission_charges_all(self):
+        scenario = paper_testbed()
+        run = run_testbed(SingleChargingPlanner(tsp_strategy="exact"),
+                          scenario)
+        assert run.charged_sensors == 6
+        assert run.tour_length_m > 0.0
+        assert run.total_energy_j == pytest.approx(
+            run.movement_energy_j + run.charging_energy_j)
+
+    def test_ap_collects_reports(self):
+        scenario = paper_testbed()
+        run = run_testbed(SingleChargingPlanner(tsp_strategy="exact"),
+                          scenario)
+        assert run.reports >= 6  # at least one frame per stop
+
+    def test_bundling_saves_energy_at_paper_radius(self):
+        scenario = paper_testbed()
+        sc = run_testbed(SingleChargingPlanner(tsp_strategy="exact"),
+                         scenario)
+        bc = run_testbed(
+            BundleChargingPlanner(1.2, tsp_strategy="exact"), scenario)
+        opt = run_testbed(
+            BundleChargingOptPlanner(1.2, tsp_strategy="exact"),
+            scenario)
+        # Fig. 16 ordering at r = 1.2 m.
+        assert bc.total_energy_j < sc.total_energy_j
+        assert opt.total_energy_j < bc.total_energy_j
+
+    def test_bcopt_tour_much_shorter_than_sc(self):
+        # The paper reports > 20% tour reduction for BC-OPT.
+        scenario = paper_testbed()
+        sc = run_testbed(SingleChargingPlanner(tsp_strategy="exact"),
+                         scenario)
+        opt = run_testbed(
+            BundleChargingOptPlanner(1.2, tsp_strategy="exact"),
+            scenario)
+        assert opt.tour_length_m < 0.8 * sc.tour_length_m
+
+    def test_tiny_radius_equals_sc(self):
+        scenario = paper_testbed()
+        sc = run_testbed(SingleChargingPlanner(tsp_strategy="exact"),
+                         scenario)
+        bc = run_testbed(
+            BundleChargingPlanner(1e-6, tsp_strategy="exact"), scenario)
+        assert bc.total_energy_j == pytest.approx(sc.total_energy_j,
+                                                  rel=1e-6)
+
+    def test_compare_planners_helper(self):
+        scenario = paper_testbed()
+        results = compare_planners(
+            {"SC": SingleChargingPlanner(tsp_strategy="exact"),
+             "BC": BundleChargingPlanner(1.2, tsp_strategy="exact")},
+            scenario)
+        assert [name for name, _ in results] == ["SC", "BC"]
+
+    def test_mission_time_includes_travel_and_dwell(self):
+        scenario = paper_testbed()
+        run = run_testbed(SingleChargingPlanner(tsp_strategy="exact"),
+                          scenario)
+        travel = run.tour_length_m / scenario.speed_m_per_s
+        dwell = sum(stop.dwell_s for stop in run.plan.stops)
+        assert run.mission_time_s == pytest.approx(travel + dwell,
+                                                   rel=1e-6)

@@ -1,0 +1,132 @@
+"""Tests for the Theorem 4/5 anchor optimizer."""
+
+import math
+
+import pytest
+
+from repro.charging import CostParameters, FriisChargingModel
+from repro.errors import PlanError
+from repro.geometry import Point
+from repro.tour import anchor_energy, optimize_anchor, two_bundle_shift
+
+
+class TestAnchorEnergy:
+    def test_movement_only_when_no_members(self, paper_cost):
+        energy = anchor_energy(Point(0, 0), Point(-10, 0), Point(10, 0),
+                               [], paper_cost)
+        assert energy == pytest.approx(20.0 * 5.59)
+
+    def test_includes_charging_cost(self, paper_cost):
+        members = [Point(0, 0)]
+        energy = anchor_energy(Point(0, 0), Point(-10, 0), Point(10, 0),
+                               members, paper_cost)
+        assert energy == pytest.approx(20.0 * 5.59 + 50.0)
+
+    def test_charging_cost_grows_with_displacement(self, paper_cost):
+        members = [Point(0, 0)]
+        near = anchor_energy(Point(0, 0), Point(-1, 0), Point(1, 0),
+                             members, paper_cost)
+        far = anchor_energy(Point(0, 5), Point(-1, 0), Point(1, 0),
+                            members, paper_cost)
+        assert far > near
+
+
+class TestOptimizeAnchor:
+    def test_never_worse_than_incumbent(self, paper_cost):
+        center = Point(0, 40)
+        members = [Point(-5, 40), Point(5, 40)]
+        result = optimize_anchor(center, Point(-100, 0), Point(100, 0),
+                                 members, paper_cost)
+        incumbent = anchor_energy(center, Point(-100, 0), Point(100, 0),
+                                  members, paper_cost)
+        assert result.energy_j <= incumbent + 1e-9
+
+    def test_moves_toward_path_when_movement_dominates(self):
+        # With an expensive-movement configuration the anchor should pull
+        # toward the straight line between the neighbours.
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        center = Point(0, 50)
+        members = [center]
+        result = optimize_anchor(center, Point(-200, 0), Point(200, 0),
+                                 members, cost)
+        assert result.moved
+        assert result.position.y < center.y
+
+    def test_stays_when_charging_dominates(self, cheap_move_cost):
+        # Movement is nearly free: displacing the anchor only hurts.
+        center = Point(0, 50)
+        members = [center]
+        result = optimize_anchor(center, Point(-200, 0), Point(200, 0),
+                                 members, cheap_move_cost)
+        assert result.position.is_close(center, tol=1e-6)
+
+    def test_respects_max_displacement(self, paper_cost):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        center = Point(0, 50)
+        members = [center]
+        result = optimize_anchor(center, Point(-200, 0), Point(200, 0),
+                                 members, cost, max_displacement=5.0)
+        assert center.distance_to(result.position) <= 5.0 + 1e-6
+
+    def test_zero_displacement_cap_returns_center(self, paper_cost):
+        center = Point(0, 50)
+        result = optimize_anchor(center, Point(-200, 0), Point(200, 0),
+                                 [center], paper_cost,
+                                 max_displacement=0.0)
+        assert result.position == center
+
+    def test_invalid_steps_rejected(self, paper_cost):
+        with pytest.raises(PlanError):
+            optimize_anchor(Point(0, 0), Point(1, 0), Point(2, 0), [],
+                            paper_cost, radius_steps=0)
+
+    def test_incumbent_better_than_center_is_kept(self, paper_cost):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        center = Point(0, 50)
+        members = [center]
+        first = optimize_anchor(center, Point(-200, 0), Point(200, 0),
+                                members, cost)
+        again = optimize_anchor(center, Point(-200, 0), Point(200, 0),
+                                members, cost, current=first.position)
+        assert again.energy_j <= first.energy_j + 1e-9
+
+
+class TestTwoBundleShift:
+    def test_no_shift_when_movement_cheap(self):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=1e-9)
+        assert two_bundle_shift(100.0, 10.0, cost) == 0.0
+
+    def test_positive_shift_when_movement_expensive(self):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=1000.0)
+        shift = two_bundle_shift(100.0, 10.0, cost)
+        assert shift > 0.0
+        assert shift <= 50.0
+
+    def test_shift_bounded_by_half_separation(self, paper_cost):
+        shift = two_bundle_shift(10.0, 5.0, paper_cost)
+        assert 0.0 <= shift <= 5.0
+
+    def test_negative_inputs_rejected(self, paper_cost):
+        with pytest.raises(PlanError):
+            two_bundle_shift(-1.0, 5.0, paper_cost)
+
+    def test_matches_eq8_marginal_analysis(self, paper_cost):
+        # Round trip: pulling both stops in by x saves 4x of movement
+        # (the inter-bundle leg shortens by 2x, traversed twice), while
+        # the two stops' charging cost derivative is
+        # 2 * 2 delta (r + x + beta) / alpha.  Stationary point:
+        # x* = E_m alpha / delta - beta - r.
+        separation = 400.0
+        radius = 10.0
+        model = paper_cost.model
+        x_star = (paper_cost.move_cost_j_per_m * model.alpha
+                  / paper_cost.delta_j - model.beta - radius)
+        x_star = min(max(x_star, 0.0), separation / 2.0)
+        found = two_bundle_shift(separation, radius, paper_cost,
+                                 steps=4000)
+        assert found == pytest.approx(x_star, abs=1.0)

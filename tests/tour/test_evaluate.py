@@ -1,0 +1,91 @@
+"""Tests for the Eq. 3 plan evaluator."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.geometry import Point
+from repro.tour import (ChargingPlan, Stop, evaluate_plan,
+                        plan_total_energy, stop_for_sensors)
+
+
+def _simple_plan(paper_cost, locations, depot=None):
+    stops = tuple(
+        stop_for_sensors(loc, [i], locations, paper_cost)
+        for i, loc in enumerate(locations))
+    return ChargingPlan(stops=stops, depot=depot)
+
+
+class TestEvaluate:
+    def test_movement_term(self, paper_cost):
+        locations = [Point(0, 0), Point(100, 0)]
+        plan = _simple_plan(paper_cost, locations)
+        metrics = evaluate_plan(plan, locations, paper_cost)
+        assert metrics.energy.tour_length_m == pytest.approx(200.0)
+        assert metrics.energy.movement_j == pytest.approx(200.0 * 5.59)
+
+    def test_charging_term_at_zero_distance(self, paper_cost):
+        locations = [Point(0, 0)]
+        plan = _simple_plan(paper_cost, locations)
+        metrics = evaluate_plan(plan, locations, paper_cost)
+        # Eq. 1 closed form: 2 J * 30^2 / 36 = 50 J per sensor at d=0.
+        assert metrics.energy.charging_j == pytest.approx(50.0)
+
+    def test_total_is_sum(self, paper_cost):
+        locations = [Point(0, 0), Point(50, 50)]
+        plan = _simple_plan(paper_cost, locations, depot=Point(0, 0))
+        metrics = evaluate_plan(plan, locations, paper_cost)
+        assert metrics.total_j == pytest.approx(
+            metrics.energy.movement_j + metrics.energy.charging_j)
+
+    def test_average_charging_time(self, paper_cost):
+        locations = [Point(0, 0), Point(0, 1)]
+        stop = stop_for_sensors(Point(0, 0), [0, 1], locations,
+                                paper_cost)
+        plan = ChargingPlan(stops=(stop,))
+        metrics = evaluate_plan(plan, locations, paper_cost)
+        assert metrics.average_charging_time_s == pytest.approx(
+            stop.dwell_s / 2.0)
+
+    def test_underdwell_detected(self, paper_cost):
+        locations = [Point(0, 0)]
+        bad_stop = Stop(Point(0, 0), frozenset({0}), 1.0)  # way short
+        plan = ChargingPlan(stops=(bad_stop,))
+        with pytest.raises(PlanError):
+            evaluate_plan(plan, locations, paper_cost)
+
+    def test_underdwell_check_can_be_disabled(self, paper_cost):
+        locations = [Point(0, 0)]
+        bad_stop = Stop(Point(0, 0), frozenset({0}), 1.0)
+        plan = ChargingPlan(stops=(bad_stop,))
+        metrics = evaluate_plan(plan, locations, paper_cost,
+                                require_consistent_dwell=False)
+        assert metrics.stop_count == 1
+
+    def test_max_stop_distance(self, paper_cost):
+        locations = [Point(0, 0), Point(0, 8)]
+        stop = stop_for_sensors(Point(0, 0), [0, 1], locations,
+                                paper_cost)
+        plan = ChargingPlan(stops=(stop,))
+        metrics = evaluate_plan(plan, locations, paper_cost)
+        assert metrics.max_stop_distance_m == pytest.approx(8.0)
+
+    def test_empty_plan(self, paper_cost):
+        plan = ChargingPlan(stops=())
+        metrics = evaluate_plan(plan, [], paper_cost)
+        assert metrics.total_j == 0.0
+        assert metrics.average_charging_time_s == 0.0
+
+    def test_shorthand(self, paper_cost):
+        locations = [Point(0, 0)]
+        plan = _simple_plan(paper_cost, locations)
+        assert plan_total_energy(plan, locations, paper_cost) == \
+            pytest.approx(
+                evaluate_plan(plan, locations, paper_cost).total_j)
+
+    def test_as_row_keys(self, paper_cost):
+        locations = [Point(0, 0)]
+        plan = _simple_plan(paper_cost, locations)
+        row = evaluate_plan(plan, locations, paper_cost).as_row()
+        assert "total_j" in row
+        assert "avg_charging_time_s" in row
+        assert "max_stop_distance_m" in row

@@ -1,0 +1,107 @@
+"""Tests for charging-latency analysis."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.geometry import Point
+from repro.tour import (ChargingPlan, Stop, completion_times,
+                        latency_metrics, reorder_for_latency)
+
+
+def _plan(depot=Point(0, 0)):
+    stops = (
+        Stop(Point(100, 0), frozenset({0}), 50.0),
+        Stop(Point(200, 0), frozenset({1, 2}), 100.0),
+        Stop(Point(300, 0), frozenset({3}), 25.0),
+    )
+    return ChargingPlan(stops=stops, depot=depot, label="T")
+
+
+class TestCompletionTimes:
+    def test_accumulates_travel_and_dwell(self):
+        times = completion_times(_plan(), speed_m_per_s=10.0)
+        # Stop 1: 10 s travel + 50 s dwell = 60.
+        assert times[0] == pytest.approx(60.0)
+        # Stop 2: +10 s travel + 100 s dwell = 170.
+        assert times[1] == pytest.approx(170.0)
+        assert times[2] == pytest.approx(170.0)
+        # Stop 3: +10 + 25 = 205.
+        assert times[3] == pytest.approx(205.0)
+
+    def test_speed_scales_travel_only(self):
+        slow = completion_times(_plan(), speed_m_per_s=5.0)
+        fast = completion_times(_plan(), speed_m_per_s=50.0)
+        assert slow[3] > fast[3]
+        # Dwell component (175 s) identical in both.
+        assert slow[3] - fast[3] == pytest.approx(
+            300.0 / 5.0 - 300.0 / 50.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(PlanError):
+            completion_times(_plan(), speed_m_per_s=0.0)
+
+    def test_empty_plan(self):
+        plan = ChargingPlan(stops=(), depot=Point(0, 0))
+        assert completion_times(plan, 1.0) == {}
+
+
+class TestLatencyMetrics:
+    def test_summary_values(self):
+        metrics = latency_metrics(_plan(), speed_m_per_s=10.0)
+        assert metrics.max_s == pytest.approx(205.0)
+        assert metrics.mean_s == pytest.approx(
+            (60.0 + 170.0 + 170.0 + 205.0) / 4.0)
+        # Mission adds the return leg (300 m).
+        assert metrics.mission_s == pytest.approx(205.0 + 30.0)
+
+    def test_empty_plan(self):
+        plan = ChargingPlan(stops=(), depot=Point(0, 0))
+        metrics = latency_metrics(plan, 1.0)
+        assert metrics.max_s == 0.0
+        assert metrics.mean_s == 0.0
+
+
+class TestReorder:
+    def test_never_worse_mean_latency(self, paper_cost):
+        from repro.network import uniform_deployment
+        from repro.planners import BundleChargingPlanner
+        network = uniform_deployment(count=40, seed=2)
+        plan = BundleChargingPlanner(30.0).plan(network, paper_cost)
+        before = latency_metrics(plan, 1.0).mean_s
+        after_plan = reorder_for_latency(plan, 1.0)
+        after = latency_metrics(after_plan, 1.0).mean_s
+        assert after <= before + 1e-6
+
+    def test_prefers_quick_populous_stops_first(self):
+        # Big slow stop far away vs quick close stop: latency ordering
+        # must serve the quick one first.
+        stops = (
+            Stop(Point(500, 0), frozenset({0}), 1000.0),
+            Stop(Point(10, 0), frozenset({1, 2, 3}), 5.0),
+        )
+        plan = ChargingPlan(stops=stops, depot=Point(0, 0))
+        reordered = reorder_for_latency(plan, 1.0)
+        assert reordered.stops[0].position == Point(10, 0)
+
+    def test_same_stop_multiset(self, paper_cost):
+        from repro.network import uniform_deployment
+        from repro.planners import BundleChargingPlanner
+        network = uniform_deployment(count=25, seed=3)
+        plan = BundleChargingPlanner(40.0).plan(network, paper_cost)
+        reordered = reorder_for_latency(plan, 1.0)
+        assert sorted(s.position.as_tuple() for s in plan.stops) == \
+            sorted(s.position.as_tuple() for s in reordered.stops)
+
+    def test_small_plans_untouched(self):
+        plan = ChargingPlan(
+            stops=(Stop(Point(1, 1), frozenset({0}), 1.0),),
+            depot=Point(0, 0))
+        assert reorder_for_latency(plan, 1.0) is plan
+
+    def test_invalid_speed(self):
+        with pytest.raises(PlanError):
+            reorder_for_latency(_plan(), 0.0)
+
+    def test_label_suffix(self):
+        reordered = reorder_for_latency(_plan(), 1.0)
+        assert reordered.label.endswith("+latency")

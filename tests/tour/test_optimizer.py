@@ -1,0 +1,109 @@
+"""Tests for Algorithm 3 (charging-tour optimization)."""
+
+import pytest
+
+from repro.charging import CostParameters, FriisChargingModel
+from repro.errors import PlanError
+from repro.geometry import Point
+from repro.tour import (ChargingPlan, optimize_tour, plan_total_energy,
+                        stop_for_sensors)
+
+
+def _zigzag_plan(cost, amplitude=60.0, n=6):
+    """Stops alternating above/below a line — lots of slack to optimize."""
+    locations = []
+    stops = []
+    for i in range(n):
+        y = amplitude if i % 2 else -amplitude
+        location = Point(i * 150.0, y)
+        locations.append(location)
+        stops.append(stop_for_sensors(location, [i], locations, cost))
+    plan = ChargingPlan(stops=tuple(stops), depot=Point(-100.0, 0.0))
+    return plan, locations
+
+
+class TestOptimizeTour:
+    def test_energy_never_increases(self, paper_cost):
+        plan, locations = _zigzag_plan(paper_cost)
+        before = plan_total_energy(plan, locations, paper_cost)
+        optimized, report = optimize_tour(plan, locations, paper_cost)
+        after = plan_total_energy(optimized, locations, paper_cost)
+        assert after <= before + 1e-6
+        assert report.final_energy_j == pytest.approx(after, rel=1e-9)
+        assert report.improvement_j >= 0.0
+
+    def test_improves_zigzag_when_movement_expensive(self):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        plan, locations = _zigzag_plan(cost)
+        optimized, report = optimize_tour(plan, locations, cost)
+        assert report.improvement_j > 0.0
+        assert report.moves > 0
+
+    def test_no_moves_when_charging_dominates(self, cheap_move_cost):
+        plan, locations = _zigzag_plan(cheap_move_cost)
+        optimized, report = optimize_tour(plan, locations,
+                                          cheap_move_cost)
+        assert report.improvement_j == pytest.approx(0.0, abs=1e-6)
+
+    def test_dwell_still_covers_farthest_sensor(self, paper_cost):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        plan, locations = _zigzag_plan(cost)
+        optimized, _ = optimize_tour(plan, locations, cost)
+        for stop in optimized.stops:
+            worst = stop.worst_distance(locations)
+            needed = cost.dwell_time_for_distance(worst)
+            assert stop.dwell_s >= needed - 1e-6
+
+    def test_bundle_radius_caps_displacement(self):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        plan, locations = _zigzag_plan(cost)
+        capped, _ = optimize_tour(plan, locations, cost,
+                                  bundle_radius=5.0)
+        for stop, original in zip(capped.stops, plan.stops):
+            # Singleton bundles: displacement cap = radius - 0 = 5 m.
+            assert original.position.distance_to(stop.position) \
+                <= 5.0 + 1e-6
+
+    def test_uncapped_moves_farther_than_capped(self):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        plan, locations = _zigzag_plan(cost)
+        capped, _ = optimize_tour(plan, locations, cost,
+                                  bundle_radius=5.0)
+        free, _ = optimize_tour(plan, locations, cost)
+        capped_energy = plan_total_energy(capped, locations, cost)
+        free_energy = plan_total_energy(free, locations, cost)
+        assert free_energy <= capped_energy + 1e-6
+
+    def test_single_stop_plan_untouched(self, paper_cost):
+        locations = [Point(10, 10)]
+        stop = stop_for_sensors(locations[0], [0], locations,
+                                paper_cost)
+        plan = ChargingPlan(stops=(stop,), depot=Point(0, 0))
+        optimized, report = optimize_tour(plan, locations, paper_cost)
+        assert report.moves == 0
+
+    def test_centers_length_mismatch_rejected(self, paper_cost):
+        plan, locations = _zigzag_plan(paper_cost)
+        with pytest.raises(PlanError):
+            optimize_tour(plan, locations, paper_cost,
+                          centers=[Point(0, 0)])
+
+    def test_sensor_assignment_preserved(self, paper_cost):
+        plan, locations = _zigzag_plan(paper_cost)
+        optimized, _ = optimize_tour(plan, locations, paper_cost)
+        for before, after in zip(plan.stops, optimized.stops):
+            assert before.sensors == after.sensors
+
+    def test_max_sweeps_one_matches_paper_loop(self):
+        cost = CostParameters(model=FriisChargingModel(),
+                              move_cost_j_per_m=100.0)
+        plan, locations = _zigzag_plan(cost)
+        one_sweep, report = optimize_tour(plan, locations, cost,
+                                          max_sweeps=1)
+        assert report.sweeps == 1
+        assert plan_total_energy(one_sweep, locations, cost) <= \
+            plan_total_energy(plan, locations, cost) + 1e-6

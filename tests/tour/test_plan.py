@@ -1,0 +1,105 @@
+"""Tests for Stop and ChargingPlan."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.geometry import Point
+from repro.tour import ChargingPlan, Stop, stop_for_sensors
+
+
+class TestStop:
+    def test_negative_dwell_rejected(self):
+        with pytest.raises(PlanError):
+            Stop(Point(0, 0), frozenset({0}), -1.0)
+
+    def test_nan_dwell_rejected(self):
+        with pytest.raises(PlanError):
+            Stop(Point(0, 0), frozenset({0}), float("nan"))
+
+    def test_worst_distance(self):
+        stop = Stop(Point(0, 0), frozenset({0, 1}), 1.0)
+        locations = [Point(3, 4), Point(1, 0)]
+        assert stop.worst_distance(locations) == 5.0
+
+    def test_worst_distance_empty(self):
+        stop = Stop(Point(0, 0), frozenset(), 0.0)
+        assert stop.worst_distance([]) == 0.0
+
+
+class TestStopForSensors:
+    def test_dwell_covers_farthest(self, paper_cost):
+        locations = [Point(0, 0), Point(10, 0)]
+        stop = stop_for_sensors(Point(0, 0), [0, 1], locations,
+                                paper_cost)
+        needed = paper_cost.dwell_time_for_distance(10.0)
+        assert stop.dwell_s == pytest.approx(needed)
+
+    def test_empty_stop_zero_dwell(self, paper_cost):
+        stop = stop_for_sensors(Point(0, 0), [], [], paper_cost)
+        assert stop.dwell_s == 0.0
+
+    def test_infinite_dwell_rejected(self):
+        from repro.charging import CostParameters, LinearChargingModel
+        cost = CostParameters(
+            model=LinearChargingModel(0.5, 5.0, 1.0), delta_j=1.0)
+        locations = [Point(100, 0)]
+        with pytest.raises(PlanError):
+            stop_for_sensors(Point(0, 0), [0], locations, cost)
+
+
+class TestChargingPlan:
+    def _plan(self, depot=None):
+        stops = (
+            Stop(Point(0, 0), frozenset({0}), 10.0),
+            Stop(Point(10, 0), frozenset({1, 2}), 20.0),
+        )
+        return ChargingPlan(stops=stops, depot=depot, label="test")
+
+    def test_double_assignment_rejected(self):
+        stops = (Stop(Point(0, 0), frozenset({0}), 1.0),
+                 Stop(Point(1, 0), frozenset({0}), 1.0))
+        with pytest.raises(PlanError):
+            ChargingPlan(stops=stops)
+
+    def test_assigned_sensors(self):
+        assert self._plan().assigned_sensors == frozenset({0, 1, 2})
+
+    def test_tour_length_no_depot(self):
+        plan = self._plan()
+        # Two stops: out and back.
+        assert plan.tour_length() == pytest.approx(20.0)
+
+    def test_tour_length_with_depot(self):
+        plan = self._plan(depot=Point(0, 10))
+        # depot -> (0,0) -> (10,0) -> depot
+        expected = 10.0 + 10.0 + (10.0 ** 2 + 10.0 ** 2) ** 0.5
+        assert plan.tour_length() == pytest.approx(expected)
+
+    def test_total_dwell(self):
+        assert self._plan().total_dwell_s() == 30.0
+
+    def test_validate_complete_passes(self):
+        self._plan().validate_complete(3)
+
+    def test_validate_complete_fails(self):
+        with pytest.raises(PlanError):
+            self._plan().validate_complete(4)
+
+    def test_with_stop_replacement(self):
+        plan = self._plan()
+        new_stop = Stop(Point(5, 5), frozenset({0}), 7.0)
+        updated = plan.with_stop(0, new_stop)
+        assert updated.stops[0].position == Point(5, 5)
+        assert plan.stops[0].position == Point(0, 0)  # original intact
+
+    def test_with_stop_bad_index(self):
+        with pytest.raises(PlanError):
+            self._plan().with_stop(9, Stop(Point(0, 0), frozenset(),
+                                           0.0))
+
+    def test_with_label(self):
+        assert self._plan().with_label("BC").label == "BC"
+
+    def test_waypoints_include_depot_first(self):
+        plan = self._plan(depot=Point(-1, -1))
+        assert plan.waypoints()[0] == Point(-1, -1)

@@ -1,0 +1,71 @@
+"""Tests for simulated annealing."""
+
+import random
+
+import pytest
+
+from repro.errors import TourError
+from repro.geometry import Point
+from repro.tsp import (AnnealingSchedule, DistanceMatrix, anneal,
+                       nearest_neighbor_tour)
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            for _ in range(n)]
+
+
+class TestSchedule:
+    def test_invalid_temperature(self):
+        with pytest.raises(TourError):
+            AnnealingSchedule(initial_temperature=0.0)
+
+    def test_invalid_cooling(self):
+        with pytest.raises(TourError):
+            AnnealingSchedule(cooling=1.0)
+        with pytest.raises(TourError):
+            AnnealingSchedule(cooling=0.0)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(TourError):
+            AnnealingSchedule(iterations=-1)
+
+
+class TestAnneal:
+    def test_never_worse_than_start(self):
+        for seed in range(5):
+            pts = random_points(25, seed=seed)
+            matrix = DistanceMatrix(pts)
+            start = nearest_neighbor_tour(matrix)
+            result = anneal(start, matrix, seed=seed,
+                            schedule=AnnealingSchedule(iterations=3000))
+            assert result.length(matrix) <= start.length(matrix) + 1e-9
+
+    def test_valid_permutation(self):
+        pts = random_points(20, seed=7)
+        matrix = DistanceMatrix(pts)
+        result = anneal(nearest_neighbor_tour(matrix), matrix, seed=1)
+        assert sorted(result.order) == list(range(20))
+
+    def test_deterministic_per_seed(self):
+        pts = random_points(15, seed=3)
+        matrix = DistanceMatrix(pts)
+        start = nearest_neighbor_tour(matrix)
+        schedule = AnnealingSchedule(iterations=2000)
+        a = anneal(start, matrix, seed=5, schedule=schedule)
+        b = anneal(start, matrix, seed=5, schedule=schedule)
+        assert a.order == b.order
+
+    def test_zero_iterations_is_identity(self):
+        pts = random_points(10, seed=2)
+        matrix = DistanceMatrix(pts)
+        start = nearest_neighbor_tour(matrix)
+        schedule = AnnealingSchedule(iterations=0)
+        assert anneal(start, matrix, schedule=schedule) == start
+
+    def test_small_instance_untouched(self):
+        pts = random_points(3, seed=2)
+        matrix = DistanceMatrix(pts)
+        start = nearest_neighbor_tour(matrix)
+        assert anneal(start, matrix) == start

@@ -1,0 +1,42 @@
+"""Tests for the Christofides approximation."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.tsp import (DistanceMatrix, christofides_tour,
+                       held_karp_length)
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            for _ in range(n)]
+
+
+class TestChristofides:
+    def test_valid_tour(self):
+        matrix = DistanceMatrix(random_points(30, seed=1))
+        tour = christofides_tour(matrix)
+        assert sorted(tour.order) == list(range(30))
+
+    def test_tiny_instances(self):
+        for n in (0, 1, 2, 3):
+            tour = christofides_tour(DistanceMatrix(random_points(n)))
+            assert sorted(tour.order) == list(range(n))
+
+    def test_within_ratio_of_exact(self):
+        # Christofides guarantees 1.5x on metric instances; verify on
+        # instances small enough for Held-Karp.
+        for seed in range(6):
+            pts = random_points(10, seed=seed)
+            matrix = DistanceMatrix(pts)
+            approx = christofides_tour(matrix).length(matrix)
+            exact = held_karp_length(matrix)
+            assert approx <= exact * 1.5 + 1e-9
+
+    def test_deterministic(self):
+        matrix = DistanceMatrix(random_points(20, seed=2))
+        assert christofides_tour(matrix).order == \
+            christofides_tour(matrix).order

@@ -1,0 +1,108 @@
+"""Tests for TSP construction heuristics."""
+
+import random
+
+import pytest
+
+from repro.errors import TourError
+from repro.geometry import Point
+from repro.tsp import (DistanceMatrix, cheapest_insertion_tour,
+                       greedy_edge_tour, nearest_neighbor_tour)
+
+CONSTRUCTORS = [
+    ("nn", lambda d: nearest_neighbor_tour(d)),
+    ("greedy", lambda d: greedy_edge_tour(d)),
+    ("insertion", lambda d: cheapest_insertion_tour(d)),
+]
+
+
+def random_points(n, seed=0, side=100.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, side), rng.uniform(0, side))
+            for _ in range(n)]
+
+
+class TestDistanceMatrix:
+    def test_symmetry_and_diagonal(self):
+        pts = random_points(10, seed=1)
+        matrix = DistanceMatrix(pts)
+        for i in range(10):
+            assert matrix(i, i) == 0.0
+            for j in range(10):
+                assert matrix(i, j) == matrix(j, i)
+
+    def test_values(self):
+        matrix = DistanceMatrix([Point(0, 0), Point(3, 4)])
+        assert matrix(0, 1) == 5.0
+
+    def test_validate_index(self):
+        matrix = DistanceMatrix([Point(0, 0)])
+        with pytest.raises(TourError):
+            matrix.validate_index(1)
+
+    def test_row_copy(self):
+        matrix = DistanceMatrix([Point(0, 0), Point(1, 0)])
+        row = matrix.row(0)
+        row[1] = 999.0
+        assert matrix(0, 1) == 1.0
+
+
+@pytest.mark.parametrize("name,constructor", CONSTRUCTORS)
+class TestAllConstructors:
+    def test_produces_valid_tour(self, name, constructor):
+        pts = random_points(25, seed=2)
+        tour = constructor(DistanceMatrix(pts))
+        assert sorted(tour.order) == list(range(25))
+
+    def test_tiny_instances(self, name, constructor):
+        for n in (0, 1, 2, 3):
+            pts = random_points(n, seed=3)
+            tour = constructor(DistanceMatrix(pts))
+            assert sorted(tour.order) == list(range(n))
+
+    def test_deterministic(self, name, constructor):
+        pts = random_points(20, seed=4)
+        a = constructor(DistanceMatrix(pts))
+        b = constructor(DistanceMatrix(pts))
+        assert a.order == b.order
+
+    def test_reasonable_quality_on_circle(self, name, constructor):
+        # Cities on a circle: the optimal tour is the perimeter walk.
+        import math
+        n = 16
+        pts = [Point(math.cos(2 * math.pi * i / n),
+                     math.sin(2 * math.pi * i / n)) for i in range(n)]
+        matrix = DistanceMatrix(pts)
+        tour = constructor(matrix)
+        optimal = 2 * n * math.sin(math.pi / n)
+        assert tour.length(matrix) <= optimal * 1.6
+
+
+class TestNearestNeighbor:
+    def test_start_city_respected(self):
+        pts = random_points(12, seed=5)
+        tour = nearest_neighbor_tour(DistanceMatrix(pts), start=7)
+        assert tour[0] == 7
+
+    def test_invalid_start(self):
+        with pytest.raises(TourError):
+            nearest_neighbor_tour(DistanceMatrix(random_points(3)),
+                                  start=9)
+
+    def test_greedy_choice_on_line(self):
+        pts = [Point(0, 0), Point(1, 0), Point(3, 0), Point(6, 0)]
+        tour = nearest_neighbor_tour(DistanceMatrix(pts), start=0)
+        assert tour.order == [0, 1, 2, 3]
+
+
+class TestGreedyEdge:
+    def test_beats_or_ties_nn_usually(self):
+        wins = 0
+        for seed in range(10):
+            pts = random_points(30, seed=seed)
+            matrix = DistanceMatrix(pts)
+            nn_len = nearest_neighbor_tour(matrix).length(matrix)
+            ge_len = greedy_edge_tour(matrix).length(matrix)
+            if ge_len <= nn_len + 1e-9:
+                wins += 1
+        assert wins >= 6  # greedy edge is typically the better builder

@@ -1,0 +1,64 @@
+"""Tests for Held-Karp exact TSP."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TourError
+from repro.geometry import Point
+from repro.tsp import (MAX_EXACT_CITIES, DistanceMatrix,
+                       held_karp_length, held_karp_tour)
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            for _ in range(n)]
+
+
+def brute_force_length(matrix):
+    n = len(matrix)
+    best = float("inf")
+    for perm in itertools.permutations(range(1, n)):
+        order = (0,) + perm
+        length = sum(matrix(order[i], order[(i + 1) % n])
+                     for i in range(n))
+        best = min(best, length)
+    return best
+
+
+class TestHeldKarp:
+    def test_trivial_sizes(self):
+        for n in (0, 1, 2, 3):
+            tour = held_karp_tour(DistanceMatrix(random_points(n)))
+            assert sorted(tour.order) == list(range(n))
+
+    def test_too_large_rejected(self):
+        pts = random_points(MAX_EXACT_CITIES + 1)
+        with pytest.raises(TourError):
+            held_karp_tour(DistanceMatrix(pts))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=4, max_value=8),
+           st.integers(min_value=0, max_value=10_000))
+    def test_matches_brute_force(self, n, seed):
+        matrix = DistanceMatrix(random_points(n, seed=seed))
+        assert held_karp_length(matrix) == pytest.approx(
+            brute_force_length(matrix), rel=1e-9)
+
+    def test_returns_valid_tour(self):
+        matrix = DistanceMatrix(random_points(10, seed=3))
+        tour = held_karp_tour(matrix)
+        assert sorted(tour.order) == list(range(10))
+        assert tour[0] == 0
+
+    def test_circle_optimum(self):
+        import math
+        n = 10
+        pts = [Point(math.cos(2 * math.pi * i / n),
+                     math.sin(2 * math.pi * i / n)) for i in range(n)]
+        length = held_karp_length(DistanceMatrix(pts))
+        assert length == pytest.approx(2 * n * math.sin(math.pi / n))

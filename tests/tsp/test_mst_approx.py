@@ -1,0 +1,96 @@
+"""Tests for the MST-doubling 2-approximation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.tsp import (DistanceMatrix, held_karp_length,
+                       minimum_spanning_parent, mst_doubling_tour)
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            for _ in range(n)]
+
+
+def _mst_weight(distance):
+    parent = minimum_spanning_parent(distance)
+    return sum(distance(city, parent[city])
+               for city in range(1, distance.size))
+
+
+def _brute_mst_weight(distance):
+    """Kruskal by brute force for cross-checking small instances."""
+    n = distance.size
+    edges = sorted((distance(i, j), i, j)
+                   for i in range(n) for j in range(i + 1, n))
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0.0
+    for weight, i, j in edges:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+            total += weight
+    return total
+
+
+class TestMst:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=15),
+           st.integers(min_value=0, max_value=10_000))
+    def test_prim_matches_kruskal(self, n, seed):
+        matrix = DistanceMatrix(random_points(n, seed=seed))
+        assert _mst_weight(matrix) == pytest.approx(
+            _brute_mst_weight(matrix), rel=1e-9)
+
+    def test_parent_array_rooted_at_zero(self):
+        matrix = DistanceMatrix(random_points(10, seed=1))
+        parent = minimum_spanning_parent(matrix)
+        assert parent[0] == -1
+        assert all(0 <= parent[c] < 10 for c in range(1, 10))
+
+
+class TestDoublingTour:
+    def test_valid_tour(self):
+        matrix = DistanceMatrix(random_points(25, seed=2))
+        tour = mst_doubling_tour(matrix)
+        assert sorted(tour.order) == list(range(25))
+        assert tour[0] == 0
+
+    def test_tiny_instances(self):
+        for n in (0, 1, 2, 3):
+            tour = mst_doubling_tour(DistanceMatrix(random_points(n)))
+            assert sorted(tour.order) == list(range(n))
+
+    def test_two_approximation_versus_exact(self):
+        for seed in range(8):
+            matrix = DistanceMatrix(random_points(9, seed=seed))
+            approx = mst_doubling_tour(matrix).length(matrix)
+            exact = held_karp_length(matrix)
+            assert approx <= 2.0 * exact + 1e-9
+
+    def test_tour_at_least_mst_weight(self):
+        # Any tour costs at least the MST (standard lower bound).
+        matrix = DistanceMatrix(random_points(20, seed=5))
+        tour = mst_doubling_tour(matrix)
+        assert tour.length(matrix) >= _mst_weight(matrix) - 1e-9
+
+    def test_solver_facade_strategy(self):
+        from repro.tsp import solve_tsp
+        pts = random_points(15, seed=6)
+        tour = solve_tsp(pts, strategy="mst")
+        assert sorted(tour.order) == list(range(15))
+        improved = solve_tsp(pts, strategy="mst+2opt")
+        assert improved.geometric_length(pts) <= \
+            tour.geometric_length(pts) + 1e-9

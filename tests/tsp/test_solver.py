@@ -1,0 +1,77 @@
+"""Tests for the TSP solver facade."""
+
+import random
+
+import pytest
+
+from repro.errors import TourError
+from repro.geometry import Point
+from repro.tsp import (DistanceMatrix, held_karp_length, solve_tsp,
+                       solve_tsp_matrix, tour_length)
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            for _ in range(n)]
+
+
+ALL_STRATEGIES = ["exact", "nn", "greedy", "insertion", "christofides",
+                  "nn+2opt", "greedy+2opt", "insertion+2opt",
+                  "christofides+2opt", "anneal"]
+
+
+class TestFacade:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_every_strategy_valid(self, strategy):
+        pts = random_points(10, seed=1)
+        tour = solve_tsp(pts, strategy=strategy)
+        assert sorted(tour.order) == list(range(10))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(TourError):
+            solve_tsp(random_points(5), strategy="magic")
+
+    def test_exact_size_limit(self):
+        with pytest.raises(TourError):
+            solve_tsp(random_points(20), strategy="exact")
+
+    def test_auto_small_is_exact(self):
+        pts = random_points(8, seed=2)
+        auto = solve_tsp(pts, strategy="auto")
+        assert tour_length(pts, auto) == pytest.approx(
+            held_karp_length(DistanceMatrix(pts)))
+
+    def test_auto_large_is_heuristic(self):
+        pts = random_points(40, seed=3)
+        tour = solve_tsp(pts, strategy="auto")
+        assert sorted(tour.order) == list(range(40))
+
+    def test_default_pipeline_beats_bare_nn(self):
+        total_default = 0.0
+        total_nn = 0.0
+        for seed in range(5):
+            pts = random_points(40, seed=seed)
+            total_default += tour_length(
+                pts, solve_tsp(pts, strategy="nn+2opt"))
+            total_nn += tour_length(pts, solve_tsp(pts, strategy="nn"))
+        assert total_default < total_nn
+
+    def test_trivial_sizes(self):
+        assert solve_tsp([]).order == []
+        assert solve_tsp([Point(0, 0)]).order == [0]
+        assert sorted(solve_tsp(random_points(2)).order) == [0, 1]
+
+    def test_matrix_entry_point(self):
+        pts = random_points(12, seed=4)
+        matrix = DistanceMatrix(pts)
+        tour = solve_tsp_matrix(matrix, strategy="greedy+2opt")
+        assert sorted(tour.order) == list(range(12))
+
+    def test_default_quality_near_exact_small(self):
+        for seed in range(5):
+            pts = random_points(9, seed=seed)
+            matrix = DistanceMatrix(pts)
+            heuristic = tour_length(pts, solve_tsp(pts))
+            exact = held_karp_length(matrix)
+            assert heuristic <= exact * 1.2 + 1e-9

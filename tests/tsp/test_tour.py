@@ -1,0 +1,83 @@
+"""Tests for the Tour container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TourError
+from repro.geometry import Point
+from repro.tsp import Tour
+
+permutations = st.permutations(list(range(6)))
+
+
+class TestConstruction:
+    def test_valid_permutation(self):
+        tour = Tour([2, 0, 1])
+        assert tour.order == [2, 0, 1]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(TourError):
+            Tour([0, 0, 1])
+
+    def test_rejects_gaps(self):
+        with pytest.raises(TourError):
+            Tour([0, 2])
+
+    def test_empty_tour(self):
+        assert len(Tour([])) == 0
+
+    def test_identity(self):
+        assert Tour.identity(4).order == [0, 1, 2, 3]
+
+
+class TestGeometry:
+    def test_edges_close_cycle(self):
+        tour = Tour([0, 1, 2])
+        assert list(tour.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_length_unit_square(self, square_points):
+        tour = Tour([0, 1, 2, 3])
+        assert tour.geometric_length(square_points) == pytest.approx(4.0)
+
+    def test_length_single_city(self):
+        assert Tour([0]).geometric_length([Point(5, 5)]) == 0.0
+
+    @given(permutations)
+    def test_rotation_preserves_length(self, order):
+        points = [Point(float(i * i % 7), float(i * 3 % 5))
+                  for i in range(6)]
+        tour = Tour(list(order))
+        rotated = tour.rotated_to_start(order[3])
+        assert rotated.geometric_length(points) == pytest.approx(
+            tour.geometric_length(points))
+        assert rotated[0] == order[3]
+
+    @given(permutations)
+    def test_reversal_preserves_length(self, order):
+        points = [Point(float(i), float(i % 3)) for i in range(6)]
+        tour = Tour(list(order))
+        assert tour.reversed().geometric_length(points) == \
+            pytest.approx(tour.geometric_length(points))
+
+
+class TestMoves:
+    def test_two_opt_move_reverses_segment(self):
+        tour = Tour([0, 1, 2, 3, 4])
+        moved = tour.two_opt_move(1, 3)
+        assert moved.order == [0, 3, 2, 1, 4]
+
+    def test_two_opt_move_validates_indices(self):
+        tour = Tour([0, 1, 2])
+        with pytest.raises(TourError):
+            tour.two_opt_move(2, 1)
+        with pytest.raises(TourError):
+            tour.two_opt_move(0, 5)
+
+    def test_rotate_unknown_city(self):
+        with pytest.raises(TourError):
+            Tour([0, 1]).rotated_to_start(7)
+
+    def test_equality(self):
+        assert Tour([0, 1, 2]) == Tour([0, 1, 2])
+        assert Tour([0, 1, 2]) != Tour([0, 2, 1])

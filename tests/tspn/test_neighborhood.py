@@ -1,0 +1,78 @@
+"""Tests for TSPN neighborhoods."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Disk, Point, Segment
+from repro.tspn import (DiskNeighborhood, neighborhoods_from_points,
+                        tour_visits_all)
+
+
+class TestDiskNeighborhood:
+    def test_contains(self):
+        nb = DiskNeighborhood(Disk(Point(0, 0), 2.0))
+        assert nb.contains(Point(1, 1))
+        assert not nb.contains(Point(3, 0))
+
+    def test_closest_point_inside_is_identity(self):
+        nb = DiskNeighborhood(Disk(Point(0, 0), 2.0))
+        assert nb.closest_point(Point(1, 0)) == Point(1, 0)
+
+    def test_closest_point_outside_projects_to_boundary(self):
+        nb = DiskNeighborhood(Disk(Point(0, 0), 2.0))
+        projected = nb.closest_point(Point(10, 0))
+        assert projected.is_close(Point(2, 0))
+
+    def test_closest_point_from_center(self):
+        nb = DiskNeighborhood(Disk(Point(0, 0), 2.0))
+        # Degenerate direction: any boundary point is acceptable.
+        point = nb.closest_point(Point(0, 0))
+        assert point == Point(0, 0)  # center is inside -> identity
+
+    def test_entry_on_crossing_segment(self):
+        nb = DiskNeighborhood(Disk(Point(0, 0), 1.0))
+        segment = Segment(Point(-5, 0), Point(5, 0))
+        entry = nb.entry_on_segment(segment)
+        assert nb.contains(entry)
+        assert entry.is_close(Point(-1, 0))
+
+    def test_entry_on_missing_segment(self):
+        nb = DiskNeighborhood(Disk(Point(0, 5), 1.0))
+        segment = Segment(Point(-5, 0), Point(5, 0))
+        entry = nb.entry_on_segment(segment)
+        assert nb.contains(entry)
+        assert entry.is_close(Point(0, 4))
+
+
+class TestHelpers:
+    def test_from_points(self):
+        nbs = neighborhoods_from_points([Point(0, 0), Point(5, 5)], 2.0)
+        assert len(nbs) == 2
+        assert nbs[1].label == 1
+        assert nbs[1].radius == 2.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            neighborhoods_from_points([Point(0, 0)], -1.0)
+
+    def test_tour_visits_all_true(self):
+        nbs = neighborhoods_from_points(
+            [Point(0, 0), Point(10, 0)], 1.0)
+        waypoints = [Point(0, 0), Point(10, 0)]
+        assert tour_visits_all(waypoints, nbs)
+
+    def test_tour_visits_all_detects_miss(self):
+        nbs = neighborhoods_from_points(
+            [Point(0, 0), Point(50, 50)], 1.0)
+        waypoints = [Point(0, 0), Point(10, 0)]
+        assert not tour_visits_all(waypoints, nbs)
+
+    def test_leg_crossing_counts_as_visit(self):
+        nbs = neighborhoods_from_points([Point(5, 0)], 1.0)
+        waypoints = [Point(0, 0), Point(10, 0)]  # leg passes through
+        assert tour_visits_all(waypoints, nbs)
+
+    def test_empty_cases(self):
+        assert tour_visits_all([], [])
+        assert not tour_visits_all(
+            [], neighborhoods_from_points([Point(0, 0)], 1.0))

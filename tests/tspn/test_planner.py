@@ -1,0 +1,57 @@
+"""Tests for the TSPN charging planner."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.sim import validate_plan
+from repro.tour import evaluate_plan
+from repro.tspn import TspnChargingPlanner
+
+
+class TestTspnPlanner:
+    def test_all_sensors_assigned(self, medium_network, paper_cost):
+        plan = TspnChargingPlanner(30.0).plan(medium_network,
+                                              paper_cost)
+        plan.validate_complete(len(medium_network))
+
+    def test_stops_within_range(self, medium_network, paper_cost):
+        radius = 30.0
+        plan = TspnChargingPlanner(radius).plan(medium_network,
+                                                paper_cost)
+        locations = medium_network.locations
+        for stop in plan:
+            for index in stop.sensors:
+                assert stop.position.distance_to(locations[index]) \
+                    <= radius * (1 + 1e-6) + 1e-6
+
+    def test_shorter_tour_than_sc(self, paper_cost):
+        from repro.network import uniform_deployment
+        from repro.planners import SingleChargingPlanner
+        network = uniform_deployment(count=80, seed=19)
+        sc = SingleChargingPlanner().plan(network, paper_cost)
+        tspn = TspnChargingPlanner(30.0).plan(network, paper_cost)
+        sc_m = evaluate_plan(sc, network.locations, paper_cost)
+        tspn_m = evaluate_plan(tspn, network.locations, paper_cost)
+        assert tspn_m.energy.tour_length_m < sc_m.energy.tour_length_m
+
+    def test_simulated_mission_charges_all(self, medium_network,
+                                           paper_cost):
+        plan = TspnChargingPlanner(25.0).plan(medium_network,
+                                              paper_cost)
+        result = validate_plan(plan, medium_network, paper_cost,
+                               strict=True)
+        assert result.satisfied
+
+    def test_zero_radius_equals_per_sensor_stops(self, medium_network,
+                                                 paper_cost):
+        plan = TspnChargingPlanner(0.0).plan(medium_network, paper_cost)
+        assert len(plan) == len(medium_network)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(PlanError):
+            TspnChargingPlanner(-1.0)
+
+    def test_label(self, medium_network, paper_cost):
+        plan = TspnChargingPlanner(20.0).plan(medium_network,
+                                              paper_cost)
+        assert plan.label == "TSPN"

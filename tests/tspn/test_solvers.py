@@ -1,0 +1,82 @@
+"""Tests for the TSPN solver."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.tspn import (center_tour_length, neighborhoods_from_points,
+                        solve_tspn, tour_visits_all)
+
+
+def random_points(n, seed=0, side=500.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, side), rng.uniform(0, side))
+            for _ in range(n)]
+
+
+class TestSolveTspn:
+    def test_trivial_sizes(self):
+        assert solve_tspn([]).order == []
+        one = solve_tspn(neighborhoods_from_points([Point(1, 1)], 5.0))
+        assert one.order == [0]
+
+    def test_all_neighborhoods_visited(self):
+        for radius in (1.0, 20.0, 60.0):
+            nbs = neighborhoods_from_points(random_points(30, seed=1),
+                                            radius)
+            solution = solve_tspn(nbs)
+            assert sorted(solution.order) == list(range(30))
+            assert tour_visits_all(solution.points, nbs)
+
+    def test_refinement_never_lengthens(self):
+        nbs = neighborhoods_from_points(random_points(25, seed=2), 30.0)
+        refined = solve_tspn(nbs, refinement_rounds=4)
+        unrefined = solve_tspn(nbs, refinement_rounds=0)
+        assert refined.length() <= unrefined.length() + 1e-9
+
+    def test_refinement_strictly_helps_with_big_disks(self):
+        nbs = neighborhoods_from_points(random_points(25, seed=3), 60.0)
+        refined = solve_tspn(nbs, refinement_rounds=4)
+        unrefined = solve_tspn(nbs, refinement_rounds=0)
+        assert refined.length() < unrefined.length() * 0.95
+
+    def test_zero_radius_equals_center_tsp(self):
+        pts = random_points(20, seed=4)
+        nbs = neighborhoods_from_points(pts, 0.0)
+        solution = solve_tspn(nbs)
+        assert solution.length() == pytest.approx(
+            center_tour_length(nbs), rel=1e-9)
+
+    def test_points_stay_in_their_disks(self):
+        nbs = neighborhoods_from_points(random_points(20, seed=5), 25.0)
+        solution = solve_tspn(nbs)
+        for position, index in enumerate(solution.order):
+            assert nbs[index].disk.contains(solution.points[position],
+                                            eps=1e-6)
+
+    def test_depot_respected(self):
+        depot = Point(0, 0)
+        nbs = neighborhoods_from_points(random_points(15, seed=6), 20.0)
+        solution = solve_tspn(nbs, depot=depot)
+        assert sorted(solution.order) == list(range(15))
+        # Visit points still inside disks with depot routing.
+        for position, index in enumerate(solution.order):
+            assert nbs[index].disk.contains(solution.points[position],
+                                            eps=1e-6)
+
+    def test_deterministic(self):
+        nbs = neighborhoods_from_points(random_points(15, seed=7), 15.0)
+        a = solve_tspn(nbs)
+        b = solve_tspn(nbs)
+        assert a.order == b.order
+        assert a.points == b.points
+
+    def test_overlapping_disks_shrink_tour_a_lot(self):
+        # Radius comparable to field: almost everything overlaps and
+        # refinement collapses a large share of the center tour
+        # (coordinate descent converges gradually, hence extra rounds).
+        nbs = neighborhoods_from_points(random_points(20, seed=8,
+                                                      side=100.0), 50.0)
+        solution = solve_tspn(nbs, refinement_rounds=12)
+        assert solution.length() < 0.75 * center_tour_length(nbs)
