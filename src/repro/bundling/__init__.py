@@ -9,9 +9,11 @@
 """
 
 from .bundle import Bundle, BundleSet, make_bundle
-from .candidates import (candidate_member_sets, maximal_candidates,
+from .candidates import (candidate_member_masks, candidate_member_sets,
+                         maximal_candidates, maximal_masks,
                          validate_candidates)
-from .greedy import (coverage_gain_curve, greedy_bundles, greedy_set_cover,
+from .greedy import (coverage_gain_curve, greedy_bundles,
+                     greedy_cover_masks, greedy_set_cover,
                      singleton_bundles)
 from .grid import grid_bundles, grid_cell_count
 from .kcenter import (gonzalez_centers, kcenter_bundle_count,
@@ -25,12 +27,15 @@ __all__ = [
     "Bundle",
     "BundleSet",
     "RadiusSweepResult",
+    "candidate_member_masks",
     "candidate_member_sets",
     "coverage_gain_curve",
     "find_optimal_radius",
     "gonzalez_centers",
     "greedy_bundles",
+    "greedy_cover_masks",
     "greedy_set_cover",
+    "maximal_masks",
     "grid_bundles",
     "grid_cell_count",
     "kcenter_bundle_count",

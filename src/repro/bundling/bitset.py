@@ -1,0 +1,55 @@
+"""Int-bitmask member sets — the fast-path representation for set cover.
+
+Candidate bundles are subsets of ``range(n)``; an arbitrary-precision
+Python int with bit ``i`` set for member ``i`` supports the three
+operations the cover pipeline hammers — intersection size, subset test,
+and set difference — as single C-level integer ops instead of hashed
+frozenset traversals:
+
+* gain            ``popcount(mask & uncovered)``
+* dominance       ``mask & other == mask``  (``mask ⊆ other``)
+* mark covered    ``uncovered &= ~mask``
+
+The flag :data:`_USE_REFERENCE` routes the public bundling entry points
+back through the original frozenset implementations; it exists for the
+benchmark harness and the bit-for-bit identity tests and is flipped only
+via :func:`repro.perf.reference_kernels`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["mask_from_indices", "indices_from_mask", "popcount"]
+
+#: When True, bundling entry points use the pre-fast-path implementations.
+_USE_REFERENCE = False
+
+try:  # int.bit_count is Python 3.10+; fall back for 3.9.
+    popcount = int.bit_count
+except AttributeError:  # pragma: no cover - exercised only on 3.9
+    def popcount(mask: int) -> int:
+        """Return the number of set bits in ``mask``."""
+        return bin(mask).count("1")
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """Pack non-negative indices into a bitmask.
+
+    Raises:
+        ValueError: on a negative index (propagated from the shift).
+    """
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def indices_from_mask(mask: int) -> List[int]:
+    """Unpack a bitmask into its ascending member indices."""
+    indices: List[int] = []
+    while mask:
+        low = mask & -mask
+        indices.append(low.bit_length() - 1)
+        mask ^= low
+    return indices

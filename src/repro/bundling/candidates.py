@@ -15,15 +15,23 @@ disk-cover solution; the greedy/optimal quality analysis is unchanged.
 Each candidate's member set is then validated with the decisional MinDisk
 exactly as Algorithm 2 prescribes, so reported bundles always fit a
 radius-``r`` disk around their own SED center.
+
+The fast path enumerates member sets as int bitmasks
+(:mod:`repro.bundling.bitset`); the frozenset API is a thin view over it
+and is bit-identical to the original implementation (kept as the
+``*_reference`` siblings for the benchmark harness).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence
+import math
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from ..errors import BundlingError
 from ..geometry import (Disk, GridIndex, Point,
                         disks_through_pair_with_radius, fits_in_radius)
+from . import bitset
+from .bitset import indices_from_mask, mask_from_indices, popcount
 
 
 def candidate_member_sets(locations: Sequence[Point],
@@ -39,6 +47,150 @@ def candidate_member_sets(locations: Sequence[Point],
         descending cardinality then lexicographically (a deterministic
         order the greedy selector relies on for tie-breaking).
     """
+    if bitset._USE_REFERENCE:
+        return candidate_member_sets_reference(locations, radius)
+    return [frozenset(indices_from_mask(mask))
+            for mask in candidate_member_masks(locations, radius)]
+
+
+def candidate_member_masks(locations: Sequence[Point],
+                           radius: float) -> List[int]:
+    """Enumerate candidate bundles as bitmasks (the fast-path pipeline).
+
+    Same family and same deterministic order as
+    :func:`candidate_member_sets` — element ``k`` of either list denotes
+    the same member set.  The whole enumeration is inlined over flat
+    coordinate arrays: the uniform grid, the per-disk member queries and
+    the two-point disk centers all perform the reference implementation's
+    floating-point operations in the reference order, so the family is
+    bit-identical; only the Point/Disk allocations and per-call dispatch
+    are gone.
+    """
+    if radius < 0.0:
+        raise BundlingError(f"negative bundle radius: {radius!r}")
+    if not locations:
+        return []
+
+    cell = max(radius, 1e-9)
+    floor = math.floor
+    sqrt = math.sqrt
+    hypot = math.hypot
+    n = len(locations)
+    xs = [p.x for p in locations]
+    ys = [p.y for p in locations]
+
+    cells: Dict[Tuple[int, int], List[int]] = {}
+    for idx in range(n):
+        key = (floor(xs[idx] / cell), floor(ys[idx] / cell))
+        bucket = cells.get(key)
+        if bucket is None:
+            cells[key] = [idx]
+        else:
+            bucket.append(idx)
+
+    radius_sq = radius * radius
+    reach = math.ceil(radius / cell)
+    member_offsets = [(dx, dy)
+                      for dx in range(-reach, reach + 1)
+                      for dy in range(-reach, reach + 1)]
+
+    seen: Dict[int, None] = {}
+
+    def consider(qx: float, qy: float) -> None:
+        # Inlined GridIndex.neighbors_within(center, radius) -> mask.
+        base_x = floor(qx / cell)
+        base_y = floor(qy / cell)
+        mask = 0
+        for dx, dy in member_offsets:
+            bucket = cells.get((base_x + dx, base_y + dy))
+            if bucket:
+                for idx in bucket:
+                    ddx = xs[idx] - qx
+                    ddy = ys[idx] - qy
+                    if ddx * ddx + ddy * ddy <= radius_sq:
+                        mask |= 1 << idx
+        if mask:
+            seen[mask] = None
+
+    # Single-point candidates: a disk centered on every sensor.
+    for idx in range(n):
+        consider(xs[idx], ys[idx])
+
+    # Two-point candidates: radius-r disks through each pair at most 2r
+    # apart.  Pairs are found by a forward-neighbor cell sweep (each cell
+    # pair visited once) instead of a per-point radius query.
+    query = 2.0 * radius
+    query_sq = query * query
+    pair_reach = math.ceil(query / cell)
+    forward = [(dx, dy)
+               for dx in range(0, pair_reach + 1)
+               for dy in range(-pair_reach, pair_reach + 1)
+               if dx > 0 or dy > 0]
+    two_radius = 2.0 * radius
+
+    def consider_pair_disks(i: int, j: int) -> None:
+        # Inlined disks_through_pair_with_radius(loc[i], loc[j], radius),
+        # reduced to the disk centers (the radius never varies).
+        ax, ay = xs[i], ys[i]
+        bx, by = xs[j], ys[j]
+        separation = hypot(ax - bx, ay - by)
+        if separation > two_radius:
+            return
+        if separation == 0.0:
+            consider(ax, ay)
+            return
+        mid_x = (ax + bx) * 0.5
+        mid_y = (ay + by) * 0.5
+        half = separation / 2.0
+        offset_sq = radius_sq - half * half
+        if offset_sq <= 0.0:
+            consider(mid_x, mid_y)
+            return
+        offset = sqrt(offset_sq)
+        # (b - a).normalized().perpendicular(), component-wise.
+        dx = bx - ax
+        dy = by - ay
+        norm = hypot(dx, dy)
+        perp_x = -(dy / norm)
+        perp_y = dx / norm
+        consider(mid_x + perp_x * offset, mid_y + perp_y * offset)
+        consider(mid_x - perp_x * offset, mid_y - perp_y * offset)
+
+    for (cell_x, cell_y), bucket in cells.items():
+        size = len(bucket)
+        for a_pos in range(size):  # same-cell pairs (indices ascending)
+            i = bucket[a_pos]
+            xi, yi = xs[i], ys[i]
+            for b_pos in range(a_pos + 1, size):
+                j = bucket[b_pos]
+                ddx = xs[j] - xi
+                ddy = ys[j] - yi
+                if ddx * ddx + ddy * ddy <= query_sq:
+                    consider_pair_disks(i, j)
+        for dx, dy in forward:
+            other = cells.get((cell_x + dx, cell_y + dy))
+            if other:
+                for i in bucket:
+                    xi, yi = xs[i], ys[i]
+                    for j in other:
+                        ddx = xs[j] - xi
+                        ddy = ys[j] - yi
+                        if ddx * ddx + ddy * ddy <= query_sq:
+                            if i < j:
+                                consider_pair_disks(i, j)
+                            else:
+                                consider_pair_disks(j, i)
+
+    decorated = sorted(
+        (tuple(indices_from_mask(mask)), mask) for mask in seen)
+    decorated.sort(key=lambda item: -len(item[0]))
+    return [mask for _, mask in decorated]
+
+
+def candidate_member_sets_reference(locations: Sequence[Point],
+                                    radius: float) -> List[FrozenSet[int]]:
+    """The original frozenset enumeration (pre-bitset), kept for the
+    benchmark harness and the identity property tests."""
     if radius < 0.0:
         raise BundlingError(f"negative bundle radius: {radius!r}")
     if not locations:
@@ -53,22 +205,19 @@ def candidate_member_sets(locations: Sequence[Point],
         members = frozenset(index.neighbors_within(disk.center, radius))
         if not members or members in seen:
             return
-        # The members were gathered from a radius-r disk, so their SED
-        # radius is <= r by construction; assert-level check kept cheap.
         seen[members] = None
 
-    # Single-point candidates: a disk centered on each sensor.
     for location in locations:
         consider(Disk(location, radius))
 
-    # Two-point candidates: radius-r disks through each close pair.
-    for i, j in index.pairs_within(2.0 * radius):
+    # pairs_within_scan: the pre-fast-path pair enumeration, so this
+    # reference arm's timing stays representative of the original code.
+    for i, j in index.pairs_within_scan(2.0 * radius):
         for disk in disks_through_pair_with_radius(
                 locations[i], locations[j], radius):
             consider(disk)
 
-    ordered = sorted(seen, key=lambda s: (-len(s), tuple(sorted(s))))
-    return ordered
+    return sorted(seen, key=lambda s: (-len(s), tuple(sorted(s))))
 
 
 def validate_candidates(candidates: Sequence[FrozenSet[int]],
@@ -96,10 +245,65 @@ def maximal_candidates(candidates: Sequence[FrozenSet[int]]
     candidates shrinks the greedy/exact search space substantially.
     Input order (descending cardinality) is preserved for the survivors.
     """
+    if bitset._USE_REFERENCE:
+        return maximal_candidates_reference(candidates)
+    ordered = sorted(candidates, key=len, reverse=True)
+    kept: List[FrozenSet[int]] = []
+    kept_masks: List[int] = []
+    for members in ordered:
+        try:
+            mask = mask_from_indices(members)
+        except ValueError:
+            # Negative member index: bitmasks cannot represent it.
+            return maximal_candidates_reference(candidates)
+        dominated = False
+        for big in kept_masks:
+            if mask & big == mask:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(members)
+            kept_masks.append(mask)
+    return kept
+
+
+def maximal_candidates_reference(candidates: Sequence[FrozenSet[int]]
+                                 ) -> List[FrozenSet[int]]:
+    """The original subset-test pruning loop, kept for benchmarking."""
     ordered = sorted(candidates, key=len, reverse=True)
     kept: List[FrozenSet[int]] = []
     for members in ordered:
         if any(members <= existing for existing in kept):
             continue
         kept.append(members)
+    return kept
+
+
+def maximal_masks(masks: Sequence[int]) -> List[int]:
+    """Bitmask dominance pruning: drop masks contained in a kept mask.
+
+    Mask-level twin of :func:`maximal_candidates`; same ordering
+    semantics (descending popcount, stable within ties).  A superset of
+    ``mask`` necessarily contains ``mask``'s lowest set bit, so dominance
+    tests only consult the kept masks indexed under that bit instead of
+    the whole kept list.
+    """
+    ordered = sorted(masks, key=popcount, reverse=True)
+    kept: List[int] = []
+    by_bit: Dict[int, List[int]] = {}
+    for mask in ordered:
+        low = mask & -mask
+        dominated = False
+        for big in by_bit.get(low, ()):
+            if mask & big == mask:
+                dominated = True
+                break
+        if dominated:
+            continue
+        kept.append(mask)
+        bits = mask
+        while bits:
+            bit = bits & -bits
+            by_bit.setdefault(bit, []).append(mask)
+            bits ^= bit
     return kept

@@ -4,17 +4,30 @@ Greedy max-coverage over the candidate family: repeatedly pick the bundle
 covering the most still-uncovered sensors.  Theorem 2 proves this is a
 ``ln n + 1`` approximation of the optimal bundle count (it is the greedy
 set-cover bound).
+
+The selection kernel runs on int bitmasks with a lazy-greedy max-heap:
+each heap entry carries a stale upper bound on its marginal gain (gains
+only shrink as coverage grows — submodularity), so a popped entry whose
+recomputed gain still matches its key is provably the true argmax.  Ties
+break on the candidate's position in the deterministic candidate order,
+exactly like the original linear rescan, so the selected sequence is
+bit-identical to :func:`greedy_set_cover_reference` on every input.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import FrozenSet, List, Sequence, Set
 
 from ..errors import CoverageError
 from ..geometry import Point
 from ..network import SensorNetwork
+from ..perf.counters import PERF
+from . import bitset
+from .bitset import indices_from_mask, mask_from_indices, popcount
 from .bundle import Bundle, BundleSet, make_bundle
-from .candidates import candidate_member_sets, maximal_candidates
+from .candidates import (candidate_member_masks, candidate_member_sets,
+                         maximal_candidates, maximal_masks)
 
 
 def greedy_bundles(network: SensorNetwork, radius: float,
@@ -38,14 +51,38 @@ def greedy_bundles(network: SensorNetwork, radius: float,
             against internal bugs only).
     """
     locations = network.locations
-    candidates = candidate_member_sets(locations, radius)
-    if prune_dominated:
-        candidates = maximal_candidates(candidates)
-    selected = greedy_set_cover(candidates, len(network))
+    selected = _selected_member_sets(locations, radius, len(network),
+                                     prune_dominated=prune_dominated)
     bundles = _materialize(selected, locations)
     bundle_set = BundleSet(bundles, radius)
     bundle_set.validate_cover(network)
     return bundle_set
+
+
+def _selected_member_sets(locations: Sequence[Point], radius: float,
+                          universe_size: int,
+                          prune_dominated: bool = True
+                          ) -> List[FrozenSet[int]]:
+    """One candidate-enumeration + greedy-cover pass.
+
+    Shared by :func:`greedy_bundles` and :func:`coverage_gain_curve` so
+    diagnostics never recompute the candidate family from scratch.
+    Dispatches to the reference frozenset pipeline or the bitmask fast
+    path; both produce the identical selection sequence.
+    """
+    if bitset._USE_REFERENCE:
+        candidates = candidate_member_sets(locations, radius)
+        if prune_dominated:
+            candidates = maximal_candidates(candidates)
+        return greedy_set_cover_reference(candidates, universe_size)
+    with PERF.timer("bundling.candidates"):
+        masks = candidate_member_masks(locations, radius)
+    if prune_dominated:
+        with PERF.timer("bundling.maximal"):
+            masks = maximal_masks(masks)
+    with PERF.timer("bundling.cover"):
+        chosen = greedy_cover_masks(masks, universe_size)
+    return [frozenset(indices_from_mask(mask)) for mask in chosen]
 
 
 def greedy_set_cover(candidates: Sequence[FrozenSet[int]],
@@ -66,6 +103,74 @@ def greedy_set_cover(candidates: Sequence[FrozenSet[int]],
     Raises:
         CoverageError: when the candidates cannot cover the universe.
     """
+    if bitset._USE_REFERENCE:
+        return greedy_set_cover_reference(candidates, universe_size)
+    try:
+        masks = [mask_from_indices(members) for members in candidates]
+    except ValueError:
+        # Negative element: not representable as a bitmask; the linear
+        # rescan handles it (such elements simply can never be covered).
+        return greedy_set_cover_reference(candidates, universe_size)
+    chosen = greedy_cover_masks(masks, universe_size)
+    return [frozenset(indices_from_mask(mask)) for mask in chosen]
+
+
+def greedy_cover_masks(masks: Sequence[int],
+                       universe_size: int) -> List[int]:
+    """Bitmask lazy-greedy set cover (the fast-path kernel).
+
+    Selects the identical sequence as the reference linear rescan: the
+    heap orders entries by ``(-gain, candidate_index)``, and a popped
+    entry is accepted only when its recomputed gain equals its (stale)
+    key — submodularity guarantees every other entry's true gain is no
+    better, and the index component reproduces the reference's
+    first-index tie-breaking.
+
+    Returns:
+        The chosen masks reduced to their newly covered elements.
+
+    Raises:
+        CoverageError: when the masks cannot cover ``range(universe_size)``.
+    """
+    if universe_size == 0:
+        return []
+    uncovered = (1 << universe_size) - 1
+    heap = [(-popcount(mask & uncovered), index, mask)
+            for index, mask in enumerate(masks)]
+    heapq.heapify(heap)
+    chosen: List[int] = []
+    reevaluations = 0
+
+    while uncovered:
+        selected_mask = -1
+        while heap:
+            neg_gain, index, mask = heap[0]
+            gain = popcount(mask & uncovered)
+            if gain == -neg_gain:
+                if gain == 0:
+                    break  # every remaining candidate is useless
+                heapq.heappop(heap)
+                selected_mask = mask
+                break
+            reevaluations += 1
+            heapq.heapreplace(heap, (-gain, index, mask))
+        if selected_mask < 0:
+            PERF.add("bundling.cover.lazy_reevals", reevaluations)
+            raise CoverageError(
+                f"{popcount(uncovered)} sensors cannot be covered by any "
+                f"candidate bundle")
+        newly = selected_mask & uncovered
+        chosen.append(newly)
+        uncovered &= ~newly
+    PERF.add("bundling.cover.lazy_reevals", reevaluations)
+    PERF.add("bundling.cover.selections", len(chosen))
+    return chosen
+
+
+def greedy_set_cover_reference(candidates: Sequence[FrozenSet[int]],
+                               universe_size: int) -> List[FrozenSet[int]]:
+    """The original per-round linear rescan, kept as the ground truth for
+    the bitmask kernel's identity tests and the benchmark harness."""
     if universe_size == 0:
         return []
     uncovered: Set[int] = set(range(universe_size))
@@ -115,9 +220,9 @@ def coverage_gain_curve(network: SensorNetwork,
 
     Element ``i`` is how many new sensors the ``i``-th greedy pick covered;
     the sequence is non-increasing (a property the test suite asserts, as
-    it is the heart of the Theorem 2 proof).
+    it is the heart of the Theorem 2 proof).  Shares the single
+    enumeration + cover pass of :func:`greedy_bundles`.
     """
-    candidates = maximal_candidates(
-        candidate_member_sets(network.locations, radius))
-    selected = greedy_set_cover(candidates, len(network))
+    selected = _selected_member_sets(network.locations, radius,
+                                     len(network))
     return [len(members) for members in selected]

@@ -6,6 +6,8 @@ Regenerate any paper figure's data::
     bundle-charging fig13 --fast          # CI scale
     bundle-charging all --runs 100        # full paper scale
     bundle-charging fig14 --csv out/      # also dump CSVs
+    bundle-charging fig13 --jobs 4        # parallel per-seed fan-out
+    bundle-charging bench --quick         # old-vs-new kernel benchmark
 
 (or ``python -m repro.cli ...`` without installing the entry point.)
 """
@@ -29,9 +31,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "Charging' (ICDCS 2019).")
     parser.add_argument(
         "experiment",
-        choices=experiment_ids() + ["all", "check"],
+        choices=experiment_ids() + ["all", "check", "bench"],
         help="which figure to regenerate; 'all' runs everything, "
-             "'check' runs the reproduction-verdict harness")
+             "'check' runs the reproduction-verdict harness, 'bench' "
+             "times the fast-path kernels against their reference "
+             "implementations")
     parser.add_argument(
         "--runs", type=int, default=None,
         help="random seeds per data point (default 10; paper used 100)")
@@ -47,6 +51,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--render", action="store_true",
         help="for fig10: also draw the example tours as ASCII art")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the per-seed loop (default 1); "
+             "results are identical at any job count")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="for bench: smaller workloads (CI scale)")
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="for bench: write the JSON report here "
+             "(default BENCH_PR1.json in the working directory)")
     return parser
 
 
@@ -56,9 +71,14 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
               else ExperimentConfig.default())
     if args.runs is not None:
         config = config.with_runs(args.runs)
-    if args.seed is not None:
+    if args.seed is not None or args.jobs is not None:
         from dataclasses import replace
-        config = replace(config, base_seed=args.seed)
+        overrides = {}
+        if args.seed is not None:
+            overrides["base_seed"] = args.seed
+        if args.jobs is not None:
+            overrides["jobs"] = args.jobs
+        config = replace(config, **overrides)
     return config
 
 
@@ -66,6 +86,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     config = make_config(args)
+    if args.experiment == "bench":
+        from .perf.bench import render_report, run_benchmarks
+        report = run_benchmarks(quick=args.quick,
+                                out_path=args.out or "BENCH_PR1.json")
+        print(render_report(report))
+        return 0 if report["all_identical"] else 1
     if args.experiment == "check":
         from .experiments import render_findings, \
             run_reproduction_check

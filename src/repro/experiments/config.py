@@ -29,6 +29,9 @@ class ExperimentConfig:
         field_side_m: deployment field side.
         tsp_strategy: TSP pipeline name for all planners.
         base_seed: root of the per-run seed derivation.
+        jobs: worker processes for the per-seed loop (1 = serial).  The
+            per-run seeds are derived, not sequential, so results are
+            identical at any job count; only wall-clock changes.
     """
 
     runs: int = 10
@@ -39,10 +42,13 @@ class ExperimentConfig:
     field_side_m: float = constants.FIELD_SIDE_M
     tsp_strategy: str = "nn+2opt"
     base_seed: int = 20190707  # ICDCS 2019 presentation week
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.runs <= 0:
             raise ExperimentError(f"runs must be positive: {self.runs!r}")
+        if self.jobs <= 0:
+            raise ExperimentError(f"jobs must be positive: {self.jobs!r}")
         if self.node_count <= 0:
             raise ExperimentError(
                 f"node_count must be positive: {self.node_count!r}")

@@ -3,11 +3,18 @@
 The runner owns the loop every figure shares: deploy a seeded network,
 run each algorithm, evaluate the plan, average over seeds.  Figures then
 differ only in which parameter they sweep and which metrics they tabulate.
+
+With ``config.jobs > 1`` the per-seed loop fans out over a
+``ProcessPoolExecutor``.  Each run's seed is derived independently from
+``(base_seed, label, node_count, radius, run_index)`` — no shared RNG
+state — and results are merged back in run-index order, so the
+aggregated output is identical at any job count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 from ..charging import CostParameters
 from ..network import SensorNetwork, derive_seed, uniform_deployment
@@ -56,20 +63,63 @@ def run_averaged(config: ExperimentConfig, node_count: int, radius: float,
     Returns:
         ``{algorithm: {metric: CellStats}}``.
     """
-    cost = config.cost()
+    jobs = min(config.jobs, config.runs)
+    if jobs > 1:
+        rows_in_order = _run_seeds_parallel(config, node_count, radius,
+                                            algorithms, experiment_label,
+                                            jobs)
+    else:
+        rows_in_order = [
+            _run_one_seed(config, node_count, radius, tuple(algorithms),
+                          experiment_label, run_index)
+            for run_index in range(config.runs)
+        ]
     per_algorithm: Dict[str, list] = {name: [] for name in algorithms}
-    for run_index in range(config.runs):
-        seed = derive_seed(config.base_seed, experiment_label, node_count,
-                           radius, run_index)
-        network = uniform_deployment(node_count, seed,
-                                     field_side_m=config.field_side_m)
-        once = run_algorithms_once(network, cost, radius, algorithms,
-                                   tsp_strategy=config.tsp_strategy,
-                                   seed=seed)
+    for once in rows_in_order:
         for name, row in once.items():
             per_algorithm[name].append(row)
     return {name: aggregate_rows(rows)
             for name, rows in per_algorithm.items()}
+
+
+def _run_one_seed(config: ExperimentConfig, node_count: int, radius: float,
+                  algorithms: Sequence[str], experiment_label: str,
+                  run_index: int) -> Dict[str, MetricRow]:
+    """One seeded deployment + plan + evaluation (the fan-out unit).
+
+    Top-level so it pickles for :class:`ProcessPoolExecutor`; everything
+    it needs travels in its arguments (``ExperimentConfig`` is a frozen
+    dataclass of primitives).
+    """
+    seed = derive_seed(config.base_seed, experiment_label, node_count,
+                       radius, run_index)
+    network = uniform_deployment(node_count, seed,
+                                 field_side_m=config.field_side_m)
+    return run_algorithms_once(network, config.cost(), radius, algorithms,
+                               tsp_strategy=config.tsp_strategy, seed=seed)
+
+
+def _run_seeds_parallel(config: ExperimentConfig, node_count: int,
+                        radius: float, algorithms: Sequence[str],
+                        experiment_label: str,
+                        jobs: int) -> List[Dict[str, MetricRow]]:
+    """Fan the per-seed loop out over worker processes.
+
+    ``executor.map`` preserves argument order, so the returned rows are
+    in run-index order — aggregation sees the same sequence the serial
+    loop produces.
+    """
+    algorithms = tuple(algorithms)
+    with ProcessPoolExecutor(max_workers=jobs) as executor:
+        return list(executor.map(
+            _run_one_seed,
+            [config] * config.runs,
+            [node_count] * config.runs,
+            [radius] * config.runs,
+            [algorithms] * config.runs,
+            [experiment_label] * config.runs,
+            range(config.runs),
+        ))
 
 
 def metric_series(aggregated: Iterable[AggregatedRun], algorithm: str,

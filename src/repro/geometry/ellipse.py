@@ -30,11 +30,19 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..errors import GeometryError
+from ..perf.counters import PERF
 from .point import Point
 
 #: Angular resolution at which the searches stop (radians).  1e-7 rad on
 #: a kilometer-scale circle is sub-millimeter anchor precision.
 ANGLE_TOL = 1e-7
+
+#: When True, :func:`min_focal_sum_on_circle` routes through the original
+#: Point-based implementation.  Flipped only by
+#: :func:`repro.perf.reference_kernels`; the scalar fast path computes the
+#: same floating-point operations in the same order, so results are
+#: bit-identical either way.
+_USE_REFERENCE = False
 
 
 @dataclass(frozen=True)
@@ -137,6 +145,12 @@ def min_focal_sum_on_circle(center: Point, radius: float,
     circle is used as a fallback whenever the geometry is degenerate
     (coincident foci, center between the foci, zero radius).
 
+    This is the BC-OPT hot kernel: the default path inlines the whole
+    search into scalar float arithmetic (no :class:`Point` allocation per
+    probe) while performing the identical floating-point operations in
+    the identical order as :func:`min_focal_sum_on_circle_reference`, so
+    the two return bit-identical results.
+
     Args:
         center: circle center (the original bundle anchor ``C_i``).
         radius: circle radius (the displacement budget ``d``).
@@ -147,6 +161,18 @@ def min_focal_sum_on_circle(center: Point, radius: float,
     Returns:
         ``(point, value)`` — the minimizing circle point and its focal sum.
     """
+    PERF.add("ellipse.min_focal_sum_calls")
+    if _USE_REFERENCE:
+        return min_focal_sum_on_circle_reference(center, radius,
+                                                 focus1, focus2, tol)
+    return _min_focal_sum_scalar(center, radius, focus1, focus2, tol)
+
+
+def min_focal_sum_on_circle_reference(
+        center: Point, radius: float, focus1: Point, focus2: Point,
+        tol: float = ANGLE_TOL) -> Tuple[Point, float]:
+    """The original Point-based Theorem 4/5 search (ground truth for the
+    scalar fast path; see :func:`min_focal_sum_on_circle`)."""
     if radius < 0.0:
         raise GeometryError(f"negative circle radius: {radius!r}")
     if radius == 0.0:
@@ -255,3 +281,187 @@ def _golden_section_on_circle(center: Point, radius: float,
     best_angle = (a + b) / 2.0
     point = center + Point.from_polar(radius, best_angle)
     return point, focal_sum(point, focus1, focus2)
+
+
+def _min_focal_sum_scalar(center: Point, radius: float,
+                          focus1: Point, focus2: Point,
+                          tol: float) -> Tuple[Point, float]:
+    """Scalar-inlined twin of :func:`min_focal_sum_on_circle_reference`.
+
+    Every arithmetic expression below reproduces the reference's
+    operations in the same order (``Point.__add__`` becomes ``cx + px``,
+    ``Point.norm`` becomes ``hypot(x, y)``, ...), which makes the result
+    bit-identical; the speedup comes purely from eliding the per-probe
+    Point allocations and method dispatch.
+    """
+    if radius < 0.0:
+        raise GeometryError(f"negative circle radius: {radius!r}")
+
+    cos = math.cos
+    sin = math.sin
+    hypot = math.hypot
+    acos = math.acos
+    cx, cy = center.x, center.y
+    f1x, f1y = focus1.x, focus1.y
+    f2x, f2y = focus2.x, focus2.y
+
+    if radius == 0.0:
+        value = hypot(cx - f1x, cy - f1y) + hypot(cx - f2x, cy - f2y)
+        return center, value
+
+    if hypot(f1x - f2x, f1y - f2y) <= 1e-12:
+        # Coincident foci: the residual is identically zero, so Theorem 5
+        # gives no signal.  The optimum is simply the circle point
+        # nearest the (single) focus.
+        tx = f1x - cx
+        ty = f1y - cy
+        toward_norm = hypot(tx, ty)
+        if toward_norm <= 1e-12:
+            px = cx + radius
+            py = cy + 0.0
+        else:
+            px = cx + tx / toward_norm * radius
+            py = cy + ty / toward_norm * radius
+        value = hypot(px - f1x, py - f1y) + hypot(px - f2x, py - f2y)
+        return Point(px, py), value
+
+    target_x = (f1x + f2x) * 0.5
+    target_y = (f1y + f2y) * 0.5
+    toward_x = target_x - cx
+    toward_y = target_y - cy
+    if hypot(toward_x, toward_y) <= 1e-12:
+        # Center coincides with the foci midpoint: fall back to scanning.
+        PERF.add("ellipse.golden_fallbacks")
+        return _golden_section_scalar(cx, cy, radius, f1x, f1y, f2x, f2y,
+                                      tol)
+
+    base_angle = math.atan2(toward_y, toward_x)
+
+    def residual_at(theta: float) -> float:
+        # bisector_residual(center, center + from_polar(radius, theta)).
+        rx = radius * cos(theta)
+        ry = radius * sin(theta)
+        px = cx + rx
+        py = cy + ry
+        radial_x = px - cx
+        radial_y = py - cy
+        radial_norm = hypot(radial_x, radial_y)
+        if radial_norm == 0.0:
+            return 0.0
+        to_f1x = f1x - px
+        to_f1y = f1y - py
+        to_f2x = f2x - px
+        to_f2y = f2y - py
+        norm_f1 = hypot(to_f1x, to_f1y)
+        norm_f2 = hypot(to_f2x, to_f2y)
+        if norm_f1 == 0.0 or norm_f2 == 0.0:
+            return 0.0
+        denom1 = radial_norm * norm_f1
+        if denom1 == 0.0:
+            angle_f1 = 0.0
+        else:
+            cosine = (radial_x * to_f1x + radial_y * to_f1y) / denom1
+            angle_f1 = acos(max(-1.0, min(1.0, cosine)))
+        denom2 = radial_norm * norm_f2
+        if denom2 == 0.0:
+            angle_f2 = 0.0
+        else:
+            cosine = (radial_x * to_f2x + radial_y * to_f2y) / denom2
+            angle_f2 = acos(max(-1.0, min(1.0, cosine)))
+        return angle_f1 - angle_f2
+
+    lo = base_angle - math.pi * 0.75
+    hi = base_angle + math.pi * 0.75
+
+    res_lo = residual_at(lo)
+    res_hi = residual_at(hi)
+    if res_lo == 0.0 or res_hi == 0.0 or res_lo * res_hi > 0.0:
+        # No clean sign change to bisect on (symmetric or off-bracket
+        # geometry): use the robust scan.
+        PERF.add("ellipse.golden_fallbacks")
+        return _golden_section_scalar(cx, cy, radius, f1x, f1y, f2x, f2y,
+                                      tol)
+
+    # Bisection on the Theorem 5 residual.
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        res_mid = residual_at(mid)
+        if abs(res_mid) <= 1e-14 or (hi - lo) <= tol:
+            break
+        if res_lo * res_mid <= 0.0:
+            hi = mid
+            res_hi = res_mid
+        else:
+            lo = mid
+            res_lo = res_mid
+    best_angle = (lo + hi) / 2.0
+    best_x = cx + radius * cos(best_angle)
+    best_y = cy + radius * sin(best_angle)
+    bisect_value = (hypot(best_x - f1x, best_y - f1y)
+                    + hypot(best_x - f2x, best_y - f2y))
+
+    # Guard: the residual zero can be a non-minimal stationary point when
+    # a focus lies inside the circle.  A coarse scan detects that case
+    # cheaply; only then pay for the golden-section fallback.
+    coarse_best = math.inf
+    for k in range(12):
+        theta = 2.0 * math.pi * k / 12.0
+        px = cx + radius * cos(theta)
+        py = cy + radius * sin(theta)
+        value = (hypot(px - f1x, py - f1y)
+                 + hypot(px - f2x, py - f2y))
+        if value < coarse_best:
+            coarse_best = value
+    if coarse_best < bisect_value - 1e-9 * max(1.0, bisect_value):
+        golden_point, golden_value = _golden_section_scalar(
+            cx, cy, radius, f1x, f1y, f2x, f2y, tol)
+        if golden_value < bisect_value:
+            return golden_point, golden_value
+    return Point(best_x, best_y), bisect_value
+
+
+def _golden_section_scalar(cx: float, cy: float, radius: float,
+                           f1x: float, f1y: float, f2x: float, f2y: float,
+                           tol: float) -> Tuple[Point, float]:
+    """Scalar twin of :func:`_golden_section_on_circle` (bit-identical)."""
+    cos = math.cos
+    sin = math.sin
+    hypot = math.hypot
+
+    def objective(theta: float) -> float:
+        px = cx + radius * cos(theta)
+        py = cy + radius * sin(theta)
+        return (hypot(px - f1x, py - f1y)
+                + hypot(px - f2x, py - f2y))
+
+    samples = 64
+    best_idx = 0
+    best_val = math.inf
+    step = 2.0 * math.pi / samples
+    for i in range(samples):
+        value = objective(i * step)
+        if value < best_val:
+            best_val = value
+            best_idx = i
+    lo = (best_idx - 1) * step
+    hi = (best_idx + 1) * step
+
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = objective(c), objective(d)
+    while (b - a) > tol:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = objective(d)
+    best_angle = (a + b) / 2.0
+    px = cx + radius * cos(best_angle)
+    py = cy + radius * sin(best_angle)
+    value = hypot(px - f1x, py - f1y) + hypot(px - f2x, py - f2y)
+    return Point(px, py), value

@@ -84,9 +84,50 @@ class GridIndex:
     def pairs_within(self, radius: float) -> Iterable[Tuple[int, int]]:
         """Yield all index pairs ``(i, j)`` with ``i < j`` within ``radius``.
 
-        Each pair is yielded once.  Used to enumerate two-point candidate
-        disks for bundle generation.
+        Each pair is yielded exactly once, via a forward-neighbour cell
+        sweep: every unordered cell pair is visited once, instead of the
+        per-point rescan (kept as :meth:`pairs_within_scan`) that
+        examined each candidate pair from both endpoints.  The query
+        radius may exceed the cell size — the sweep reach scales as
+        ``ceil(radius / cell_size)``, which matters because candidate
+        enumeration queries at ``2r`` over a grid built with cell ``r``.
+
+        Yield *order* differs from the per-point scan; the pair *set* is
+        identical.
         """
+        if radius < 0.0:
+            raise GeometryError(f"negative query radius: {radius!r}")
+        reach = math.ceil(radius / self._cell_size)
+        radius_sq = radius * radius
+        points = self._points
+        cells = self._cells
+        forward = [(dx, dy)
+                   for dx in range(0, reach + 1)
+                   for dy in range(-reach, reach + 1)
+                   if dx > 0 or dy > 0]
+        for (cell_x, cell_y), bucket in cells.items():
+            size = len(bucket)
+            for a in range(size):
+                i = bucket[a]
+                point_i = points[i]
+                for b in range(a + 1, size):  # bucket is index-ascending
+                    j = bucket[b]
+                    if points[j].distance_squared_to(point_i) <= radius_sq:
+                        yield (i, j)
+            for dx, dy in forward:
+                other = cells.get((cell_x + dx, cell_y + dy))
+                if other:
+                    for i in bucket:
+                        point_i = points[i]
+                        for j in other:
+                            if (points[j].distance_squared_to(point_i)
+                                    <= radius_sq):
+                                yield (i, j) if i < j else (j, i)
+
+    def pairs_within_scan(self, radius: float) -> Iterable[Tuple[int, int]]:
+        """The original per-point pair enumeration (each pair examined from
+        both endpoints).  Kept as the reference implementation for the
+        benchmark harness and the property tests."""
         for i, point in enumerate(self._points):
             for j in self.neighbors_within(point, radius):
                 if j > i:

@@ -25,6 +25,12 @@ from .point import Point
 #: Relative tolerance for "point inside disk" tests during construction.
 _EPS = 1e-10
 
+#: Shared shuffle source for the default (rng=None) path.  Re-seeding a
+#: cached ``Random`` yields the same stream as constructing a fresh
+#: ``Random(0x5EED)`` while skipping the per-call allocation — measurable
+#: because the bundle pipeline calls MinDisk once per selected bundle.
+_DEFAULT_RNG = random.Random()
+
 
 def _trivial_disk(boundary: Sequence[Point]) -> Disk:
     """Return the smallest disk with all of ``boundary`` on its boundary.
@@ -85,7 +91,8 @@ def smallest_enclosing_disk(points: Iterable[Point],
     if not pts:
         return Disk(Point.origin(), 0.0)
     if rng is None:
-        rng = random.Random(0x5EED)
+        rng = _DEFAULT_RNG
+        rng.seed(0x5EED)
     shuffled = pts[:]
     rng.shuffle(shuffled)
 

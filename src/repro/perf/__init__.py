@@ -1,0 +1,26 @@
+"""Performance layer: counters, timers, kernel backends, benchmarks.
+
+* :data:`PERF` / :class:`PerfRegistry` — process-wide scoped timers and
+  op counters the fast-path kernels report into, with JSON emission for
+  the ``BENCH_*.json`` trajectory files.
+* :func:`reference_kernels` — context manager that reruns the original
+  (pre-fast-path) kernel implementations for honest old-vs-new
+  comparisons; outputs are bit-identical either way.
+* :mod:`repro.perf.bench` — the old-vs-new kernel benchmark harness
+  behind ``python -m repro.cli bench``.
+"""
+
+from .counters import (PERF, PerfRegistry, perf_add, perf_reset,
+                       perf_snapshot, perf_timer)
+from .kernels import reference_kernels, using_reference_kernels
+
+__all__ = [
+    "PERF",
+    "PerfRegistry",
+    "perf_add",
+    "perf_reset",
+    "perf_snapshot",
+    "perf_timer",
+    "reference_kernels",
+    "using_reference_kernels",
+]

@@ -1,0 +1,253 @@
+"""Old-vs-new kernel benchmark harness (``python -m repro.cli bench``).
+
+Every workload runs twice on identical, seed-fixed inputs: once through
+the fast-path kernels (the default backends) and once inside
+:func:`repro.perf.reference_kernels` (the pre-fast-path implementations).
+For the workloads whose kernels promise bit-identical results — greedy
+bundling, the fig13 node sweep, the Theorem 4/5 anchor search — the
+harness compares outputs exactly and refuses to report a speedup for a
+run whose results diverged.  The TSP ``*-fast`` strategies are heuristic
+variants (documented as such), so their entry reports tour quality
+instead of identity.
+
+The report is written as JSON (``BENCH_PR1.json`` by default) so speedup
+trajectories can be tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .counters import PERF
+from .kernels import reference_kernels
+
+#: Workload sizes: full scale (the checked-in BENCH_PR1.json) and quick
+#: scale (the CI smoke run).
+_FULL = {"greedy_n": 400, "greedy_radius": 20.0, "greedy_reps": 5,
+         "ellipse_cases": 2000, "tsp_n": 300}
+_QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
+          "ellipse_cases": 400, "tsp_n": 120}
+
+
+def _best_of(func: Callable[[], object], reps: int) -> Tuple[float, object]:
+    """Return (best wall-clock seconds, last result) over ``reps`` runs."""
+    best = math.inf
+    result: object = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _entry(name: str, reference_s: float, fast_s: float,
+           identical: Optional[bool], detail: Dict) -> Dict:
+    return {
+        "name": name,
+        "reference_s": round(reference_s, 6),
+        "fast_s": round(fast_s, 6),
+        "speedup": round(reference_s / fast_s, 3) if fast_s > 0 else None,
+        "identical": identical,
+        "detail": detail,
+    }
+
+
+def _bench_greedy_bundles(sizes: Dict) -> Dict:
+    """Greedy bundling (candidates + maximal + cover + materialize)."""
+    from ..bundling.greedy import greedy_bundles
+    from ..network import uniform_deployment
+
+    n = sizes["greedy_n"]
+    network = uniform_deployment(n, 12345)
+    radius = sizes["greedy_radius"]
+    reps = sizes["greedy_reps"]
+
+    def signature(bundle_set):
+        return tuple((tuple(sorted(b.members)), b.anchor.x, b.anchor.y,
+                      b.radius) for b in bundle_set)
+
+    fast_s, fast_result = _best_of(
+        lambda: greedy_bundles(network, radius), reps)
+
+    def reference_run():
+        with reference_kernels():
+            return greedy_bundles(network, radius)
+
+    reference_s, reference_result = _best_of(reference_run, reps)
+    identical = signature(fast_result) == signature(reference_result)
+    return _entry(
+        f"greedy_bundles_n{n}", reference_s, fast_s, identical,
+        {"radius_m": radius, "bundles": len(fast_result),
+         "best_of": reps})
+
+
+def _bench_fig13_sweep(quick: bool) -> Dict:
+    """The fig13 node sweep: full planner pipelines over seeded networks."""
+    from ..experiments.config import ExperimentConfig
+    from ..experiments.runner import run_averaged
+    from ..planners import PAPER_ALGORITHMS
+
+    config = ExperimentConfig.fast()
+    node_counts = config.node_counts[:2] if quick else config.node_counts
+    algorithms = list(PAPER_ALGORITHMS)
+
+    def sweep():
+        rows = []
+        for node_count in node_counts:
+            aggregated = run_averaged(config, node_count,
+                                      config.default_radius, algorithms,
+                                      "fig13")
+            rows.append({
+                name: {metric: (cell.mean, cell.std, cell.count)
+                       for metric, cell in aggregated[name].items()}
+                for name in algorithms})
+        return rows
+
+    started = time.perf_counter()
+    fast_rows = sweep()
+    fast_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with reference_kernels():
+        reference_rows = sweep()
+    reference_s = time.perf_counter() - started
+
+    identical = fast_rows == reference_rows
+    return _entry(
+        "fig13_node_sweep", reference_s, fast_s, identical,
+        {"node_counts": list(node_counts), "runs": config.runs,
+         "algorithms": algorithms})
+
+
+def _bench_ellipse_kernel(sizes: Dict) -> Dict:
+    """The Theorem 4/5 anchor search (min focal-distance sum on a circle)."""
+    from ..geometry import Point
+    from ..geometry.ellipse import min_focal_sum_on_circle
+
+    rng = random.Random(777)
+    cases = []
+    for _ in range(sizes["ellipse_cases"]):
+        center = Point(rng.uniform(-50, 50), rng.uniform(-50, 50))
+        radius = rng.uniform(0.1, 30.0)
+        focus1 = Point(rng.uniform(-80, 80), rng.uniform(-80, 80))
+        focus2 = Point(rng.uniform(-80, 80), rng.uniform(-80, 80))
+        cases.append((center, radius, focus1, focus2))
+
+    def run_all():
+        return [min_focal_sum_on_circle(c, r, f1, f2)
+                for c, r, f1, f2 in cases]
+
+    fast_s, fast_result = _best_of(run_all, 3)
+
+    def reference_run():
+        with reference_kernels():
+            return run_all()
+
+    reference_s, reference_result = _best_of(reference_run, 3)
+    identical = all(
+        fast_point.x == ref_point.x and fast_point.y == ref_point.y
+        and fast_sum == ref_sum
+        for (fast_point, fast_sum), (ref_point, ref_sum)
+        in zip(fast_result, reference_result))
+    return _entry(
+        f"ellipse_anchor_search_{len(cases)}cases", reference_s, fast_s,
+        identical, {"cases": len(cases), "best_of": 3})
+
+
+def _bench_tsp_fast(sizes: Dict) -> Dict:
+    """Neighbor-list local search vs the full sweeps (heuristic entry).
+
+    The ``*-fast`` strategies are documented as approximate variants, so
+    this entry reports tour-quality ratio instead of identity
+    (``identical`` stays ``None`` and does not gate ``all_identical``).
+    """
+    from ..geometry import Point
+    from ..tsp.distance import DistanceMatrix
+    from ..tsp.solver import solve_tsp_matrix
+
+    rng = random.Random(4242)
+    n = sizes["tsp_n"]
+    points = [Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+              for _ in range(n)]
+    distance = DistanceMatrix(points)
+
+    fast_s, fast_tour = _best_of(
+        lambda: solve_tsp_matrix(distance, "nn+2opt-fast"), 3)
+    reference_s, full_tour = _best_of(
+        lambda: solve_tsp_matrix(distance, "nn+2opt"), 3)
+    fast_len = fast_tour.length(distance)
+    full_len = full_tour.length(distance)
+    return _entry(
+        f"tsp_local_search_n{n}", reference_s, fast_s, None,
+        {"fast_length": round(fast_len, 3),
+         "full_length": round(full_len, 3),
+         "length_ratio": round(fast_len / full_len, 5)})
+
+
+def run_benchmarks(quick: bool = False,
+                   out_path: Optional[str] = "BENCH_PR1.json") -> Dict:
+    """Run every kernel benchmark and (optionally) write the JSON report.
+
+    Args:
+        quick: use CI-scale workloads.
+        out_path: where to write the report; ``None`` skips the write.
+
+    Returns:
+        The report dict; ``report["all_identical"]`` is True when every
+        bit-identity workload produced byte-equal results on both
+        backends.
+    """
+    sizes = _QUICK if quick else _FULL
+    PERF.reset()
+    entries: List[Dict] = [
+        _bench_greedy_bundles(sizes),
+        _bench_ellipse_kernel(sizes),
+        _bench_tsp_fast(sizes),
+        _bench_fig13_sweep(quick),
+    ]
+    report = {
+        "benchmark": "BENCH_PR1",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "entries": entries,
+        "all_identical": all(e["identical"] for e in entries
+                             if e["identical"] is not None),
+        "perf_counters": PERF.snapshot(),
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return report
+
+
+def render_report(report: Dict) -> str:
+    """Human-readable summary of a benchmark report."""
+    lines = [f"kernel benchmark ({'quick' if report['quick'] else 'full'} "
+             f"scale, python {report['python']})", ""]
+    header = f"{'workload':<34} {'ref (s)':>9} {'fast (s)':>9} " \
+             f"{'speedup':>8}  identical"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in report["entries"]:
+        identical = {True: "yes", False: "NO", None: "n/a"}[
+            entry["identical"]]
+        lines.append(
+            f"{entry['name']:<34} {entry['reference_s']:>9.4f} "
+            f"{entry['fast_s']:>9.4f} {entry['speedup']:>7.2f}x  "
+            f"{identical}")
+    lines.append("")
+    verdict = ("all bit-identity checks passed"
+               if report["all_identical"]
+               else "IDENTITY VIOLATION: fast and reference results differ")
+    lines.append(verdict)
+    return "\n".join(lines)

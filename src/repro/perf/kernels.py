@@ -1,0 +1,54 @@
+"""Kernel backend switching for benchmarking and verification.
+
+Every accelerated kernel keeps its original pure-Python implementation as
+a *reference* sibling, and results are bit-identical between the two on
+all inputs.  This module flips the module-level backend flags so the
+benchmark harness and the property tests can run the same workload
+through both paths and compare outputs and wall-clock honestly:
+
+    with reference_kernels():
+        slow = greedy_bundles(network, radius)   # pre-PR implementations
+    fast = greedy_bundles(network, radius)       # bitset / scalar paths
+    assert fast == slow                          # enforced by the bench
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["reference_kernels", "using_reference_kernels"]
+
+
+def _kernel_modules():
+    # Imported lazily: the kernel modules themselves import
+    # repro.perf.counters, so a module-level import here would cycle.
+    from ..bundling import bitset as _bitset
+    from ..geometry import ellipse as _ellipse
+    return _bitset, _ellipse
+
+
+@contextmanager
+def reference_kernels() -> Iterator[None]:
+    """Run the original (pre-fast-path) kernel implementations.
+
+    Affects the bitset set-cover/candidate pipeline in
+    :mod:`repro.bundling` and the scalar Theorem 4/5 search in
+    :mod:`repro.geometry.ellipse`.  Nestable and exception-safe.
+    """
+    _bitset, _ellipse = _kernel_modules()
+    saved_bitset = _bitset._USE_REFERENCE
+    saved_ellipse = _ellipse._USE_REFERENCE
+    _bitset._USE_REFERENCE = True
+    _ellipse._USE_REFERENCE = True
+    try:
+        yield
+    finally:
+        _bitset._USE_REFERENCE = saved_bitset
+        _ellipse._USE_REFERENCE = saved_ellipse
+
+
+def using_reference_kernels() -> bool:
+    """Return True when the reference backends are currently active."""
+    _bitset, _ellipse = _kernel_modules()
+    return _bitset._USE_REFERENCE and _ellipse._USE_REFERENCE

@@ -11,7 +11,8 @@ from .construction import (cheapest_insertion_tour, greedy_edge_tour,
                            nearest_neighbor_tour)
 from .distance import DistanceMatrix
 from .exact import MAX_EXACT_CITIES, held_karp_length, held_karp_tour
-from .local_search import or_opt, three_opt, two_opt
+from .local_search import (nearest_neighbor_lists, or_opt, or_opt_fast,
+                           three_opt, two_opt, two_opt_fast)
 from .mst_approx import minimum_spanning_parent, mst_doubling_tour
 from .solver import (DEFAULT_STRATEGY, solve_tsp, solve_tsp_matrix,
                      tour_length)
@@ -32,10 +33,13 @@ __all__ = [
     "minimum_spanning_parent",
     "mst_doubling_tour",
     "nearest_neighbor_tour",
+    "nearest_neighbor_lists",
     "or_opt",
+    "or_opt_fast",
     "solve_tsp",
     "solve_tsp_matrix",
     "three_opt",
     "tour_length",
     "two_opt",
+    "two_opt_fast",
 ]

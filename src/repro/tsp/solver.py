@@ -9,6 +9,10 @@ strategies for ablation:
   single constructor, no improvement.
 * ``"nn+2opt"`` (default), ``"greedy+2opt"``, ``"christofides+2opt"`` —
   constructor followed by 2-opt and Or-opt.
+* ``"nn+2opt-fast"``, ``"greedy+2opt-fast"`` — the same pipelines on the
+  neighbor-list operators (k-nearest candidate lists + don't-look bits).
+  Much faster on large instances; tours may differ slightly from the
+  full-sweep strategies, so they are opt-in.
 * ``"anneal"`` — nearest neighbour + simulated annealing.
 """
 
@@ -24,7 +28,8 @@ from .construction import (cheapest_insertion_tour, greedy_edge_tour,
                            nearest_neighbor_tour)
 from .distance import DistanceMatrix
 from .exact import MAX_EXACT_CITIES, held_karp_tour
-from .local_search import or_opt, three_opt, two_opt
+from .local_search import (or_opt, or_opt_fast, three_opt, two_opt,
+                           two_opt_fast)
 from .mst_approx import mst_doubling_tour
 from .tour import Tour
 
@@ -80,6 +85,10 @@ def solve_tsp_matrix(distance: DistanceMatrix,
             cheapest_insertion_tour(distance), distance),
         "christofides+2opt": lambda: _improve(
             christofides_tour(distance), distance),
+        "nn+2opt-fast": lambda: _improve_fast(
+            nearest_neighbor_tour(distance), distance),
+        "greedy+2opt-fast": lambda: _improve_fast(
+            greedy_edge_tour(distance), distance),
         "anneal": lambda: anneal(
             nearest_neighbor_tour(distance), distance, seed=seed),
         "nn+3opt": lambda: three_opt(
@@ -104,6 +113,13 @@ def _improve(tour: Tour, distance: DistanceMatrix) -> Tour:
     improved = two_opt(tour, distance)
     improved = or_opt(improved, distance)
     return two_opt(improved, distance)
+
+
+def _improve_fast(tour: Tour, distance: DistanceMatrix) -> Tour:
+    """Neighbor-list improvement pipeline (the ``*-fast`` strategies)."""
+    improved = two_opt_fast(tour, distance)
+    improved = or_opt_fast(improved, distance)
+    return two_opt_fast(improved, distance)
 
 
 def tour_length(points: Sequence[Point], tour: Tour) -> float:

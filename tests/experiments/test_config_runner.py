@@ -94,3 +94,35 @@ class TestRunnerHelpers:
         row = {"a": CellStats(1.0, 0, 1), "b": CellStats(2.0, 0, 1)}
         cells = pick(row, "b", "a")
         assert [cell.mean for cell in cells] == [2.0, 1.0]
+
+
+class TestParallelRunner:
+    def test_jobs_validated(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(jobs=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(jobs=-2)
+
+    def test_parallel_matches_serial_exactly(self):
+        from dataclasses import replace
+        config = ExperimentConfig(runs=3, node_count=30,
+                                  node_counts=(30,), radii=(15.0,))
+        serial = run_averaged(config, 30, 15.0, ["BC", "SC"], "partest")
+        parallel = run_averaged(replace(config, jobs=2), 30, 15.0,
+                                ["BC", "SC"], "partest")
+        assert serial.keys() == parallel.keys()
+        for name in serial:
+            assert serial[name].keys() == parallel[name].keys()
+            for metric in serial[name]:
+                s = serial[name][metric]
+                p = parallel[name][metric]
+                assert (s.mean, s.std, s.count) == (p.mean, p.std, p.count)
+
+    def test_jobs_capped_by_runs(self):
+        # jobs > runs must not break anything (the pool is shrunk).
+        from dataclasses import replace
+        config = replace(ExperimentConfig(runs=2, node_count=20,
+                                          node_counts=(20,), radii=(15.0,)),
+                         jobs=8)
+        result = run_averaged(config, 20, 15.0, ["SC"], "captest")
+        assert result["SC"]["total_j"].count == 2

@@ -87,3 +87,63 @@ class TestPairs:
                       for j in range(i + 1, len(pts))
                       if pts[i].distance_to(pts[j]) <= 5.0)
         assert fast == slow
+
+
+class TestPairSweep:
+    """The forward-cell pair sweep and its per-point reference scan."""
+
+    def test_pair_just_under_2r_across_cells(self):
+        # Candidate enumeration builds the grid with cell == r but asks
+        # for pairs within 2r, so the sweep must reach two cells out.
+        # This pair sits at distance just under 2r with several cell
+        # boundaries between the endpoints.
+        radius = 10.0
+        a = Point(0.5, 0.5)
+        b = Point(0.5 + 2.0 * radius - 1e-6, 0.5)
+        index = GridIndex([a, b], radius)
+        assert list(index.pairs_within(2.0 * radius)) == [(0, 1)]
+        assert list(index.pairs_within_scan(2.0 * radius)) == [(0, 1)]
+
+    def test_pair_just_over_2r_excluded(self):
+        radius = 10.0
+        a = Point(0.5, 0.5)
+        b = Point(0.5 + 2.0 * radius + 1e-6, 0.5)
+        index = GridIndex([a, b], radius)
+        assert list(index.pairs_within(2.0 * radius)) == []
+
+    def test_sweep_matches_scan_query_larger_than_cell(self):
+        rng = random.Random(7)
+        pts = [Point(rng.uniform(0, 60), rng.uniform(0, 60))
+               for _ in range(80)]
+        index = GridIndex(pts, 5.0)
+        for query in (5.0, 10.0, 12.5, 20.0):
+            sweep = sorted(index.pairs_within(query))
+            scan = sorted(index.pairs_within_scan(query))
+            brute = sorted((i, j)
+                           for i in range(len(pts))
+                           for j in range(i + 1, len(pts))
+                           if pts[i].distance_to(pts[j]) <= query)
+            assert sweep == scan == brute
+
+    def test_duplicate_points_yield_one_pair(self):
+        pts = [Point(3.0, 3.0), Point(3.0, 3.0)]
+        index = GridIndex(pts, 1.0)
+        assert list(index.pairs_within(0.0)) == [(0, 1)]
+
+    def test_negative_radius_rejected(self):
+        index = GridIndex([Point(0, 0)], 1.0)
+        with pytest.raises(GeometryError):
+            list(index.pairs_within(-1.0))
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(points, min_size=2, max_size=40),
+           st.floats(min_value=0.5, max_value=30.0),
+           st.floats(min_value=0.5, max_value=10.0))
+    def test_sweep_matches_brute_force(self, pts, query, cell):
+        index = GridIndex(pts, cell)
+        sweep = sorted(index.pairs_within(query))
+        brute = sorted((i, j)
+                       for i in range(len(pts))
+                       for j in range(i + 1, len(pts))
+                       if pts[i].distance_to(pts[j]) <= query)
+        assert sweep == brute

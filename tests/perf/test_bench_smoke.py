@@ -1,0 +1,31 @@
+"""CI regression gate: the quick kernel benchmark.
+
+Runs the same harness as ``python -m repro.cli bench --quick`` on
+trimmed workloads and fails when a fast path loses bit-identity or
+regresses to worse than half its reference implementation's speed
+(i.e. a >2x slowdown of the shipped kernels).
+"""
+
+from repro.perf.bench import (_FULL, _QUICK, render_report,
+                              run_benchmarks)
+
+#: A fast path that drops below half the reference speed has regressed
+#: by more than 2x from where it started (all shipped kernels are >2x
+#: faster than reference); fail CI then.
+MIN_SPEEDUP = 0.5
+
+
+class TestQuickBench:
+    def test_quick_bench_identity_and_no_regression(self):
+        report = run_benchmarks(quick=True, out_path=None)
+        assert report["all_identical"], render_report(report)
+        for entry in report["entries"]:
+            assert entry["speedup"] >= MIN_SPEEDUP, (
+                f"{entry['name']} regressed: {entry['speedup']}x "
+                f"(fast {entry['fast_s']}s vs reference "
+                f"{entry['reference_s']}s)")
+
+    def test_workload_scales_are_consistent(self):
+        assert set(_QUICK) == set(_FULL)
+        for key in _QUICK:
+            assert _QUICK[key] <= _FULL[key]

@@ -1,0 +1,63 @@
+"""Tests for the repro.perf counter/timer registry."""
+
+import json
+
+from repro.perf import (PERF, PerfRegistry, perf_add, perf_reset,
+                        perf_snapshot, perf_timer)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = PerfRegistry()
+        registry.add("ops")
+        registry.add("ops", 4)
+        assert registry.counter("ops") == 5
+
+    def test_timer_records_calls_and_time(self):
+        registry = PerfRegistry()
+        with registry.timer("work"):
+            pass
+        with registry.timer("work"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["timers"]["work"]["calls"] == 2
+        assert snapshot["timers"]["work"]["total_s"] >= 0.0
+
+    def test_disabled_registry_is_a_noop(self):
+        registry = PerfRegistry(enabled=False)
+        registry.add("ops", 3)
+        with registry.timer("work"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["timers"] == {}
+
+    def test_reset_clears_everything(self):
+        registry = PerfRegistry()
+        registry.add("ops", 2)
+        with registry.timer("work"):
+            pass
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot == {"timers": {}, "counters": {}}
+
+    def test_write_json(self, tmp_path):
+        registry = PerfRegistry()
+        registry.add("ops", 7)
+        out = tmp_path / "perf.json"
+        registry.write_json(out)
+        data = json.loads(out.read_text())
+        assert data["counters"]["ops"] == 7
+
+
+class TestGlobalHelpers:
+    def test_global_roundtrip(self):
+        perf_reset()
+        perf_add("global.ops", 2)
+        with perf_timer("global.work"):
+            pass
+        snapshot = perf_snapshot()
+        assert snapshot["counters"]["global.ops"] == 2
+        assert snapshot["timers"]["global.work"]["calls"] == 1
+        perf_reset()
+        assert PERF.snapshot() == {"timers": {}, "counters": {}}

@@ -1,0 +1,112 @@
+"""Bit-identity of the fast-path kernels against their references.
+
+Every kernel behind :func:`repro.perf.reference_kernels` promises
+*bit-identical* outputs.  These properties randomize over networks,
+radii and geometric configurations and compare the two backends exactly
+(no tolerances anywhere).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bundling.candidates import (candidate_member_sets,
+                                       candidate_member_sets_reference,
+                                       maximal_candidates,
+                                       maximal_candidates_reference)
+from repro.bundling.greedy import (greedy_bundles, greedy_set_cover,
+                                   greedy_set_cover_reference)
+from repro.geometry import Point
+from repro.geometry.ellipse import (min_focal_sum_on_circle,
+                                    min_focal_sum_on_circle_reference)
+from repro.network import uniform_deployment
+from repro.perf import reference_kernels, using_reference_kernels
+
+
+def bundle_signature(bundle_set):
+    return [(tuple(sorted(b.members)), b.anchor.x, b.anchor.y, b.radius)
+            for b in bundle_set]
+
+
+class TestBackendSwitch:
+    def test_context_manager_restores_flags(self):
+        assert not using_reference_kernels()
+        with reference_kernels():
+            assert using_reference_kernels()
+            with reference_kernels():  # nestable
+                assert using_reference_kernels()
+            assert using_reference_kernels()
+        assert not using_reference_kernels()
+
+    def test_restored_on_exception(self):
+        try:
+            with reference_kernels():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not using_reference_kernels()
+
+
+class TestGreedyIdentity:
+    def test_selected_plans_identical_across_networks(self):
+        for node_count, radius, seed in [
+                (25, 8.0, 1), (60, 15.0, 2), (60, 40.0, 3),
+                (120, 20.0, 4), (40, 0.5, 5)]:
+            network = uniform_deployment(node_count, seed)
+            fast = greedy_bundles(network, radius)
+            with reference_kernels():
+                slow = greedy_bundles(network, radius)
+            assert bundle_signature(fast) == bundle_signature(slow)
+
+    def test_candidate_families_identical(self):
+        for node_count, radius, seed in [(30, 10.0, 7), (80, 25.0, 8)]:
+            network = uniform_deployment(node_count, seed)
+            fast = candidate_member_sets(network.locations, radius)
+            slow = candidate_member_sets_reference(network.locations,
+                                                   radius)
+            assert fast == slow
+
+    def test_maximal_pruning_identical(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            universe = rng.randint(1, 24)
+            family = [
+                frozenset(rng.sample(range(universe),
+                                     rng.randint(1, universe)))
+                for _ in range(rng.randint(1, 30))]
+            assert (maximal_candidates(family)
+                    == maximal_candidates_reference(family))
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.data())
+    def test_cover_selection_identical(self, data):
+        universe = data.draw(st.integers(min_value=1, max_value=20))
+        family = data.draw(st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=universe - 1),
+                          min_size=1),
+            min_size=1, max_size=25))
+        # Guarantee coverability with singletons.
+        family = family + [frozenset({e}) for e in range(universe)]
+        assert (greedy_set_cover(family, universe)
+                == greedy_set_cover_reference(family, universe))
+
+
+class TestEllipseIdentity:
+    @settings(deadline=None, max_examples=150)
+    @given(st.floats(-50, 50), st.floats(-50, 50),
+           st.floats(0.0, 30.0),
+           st.floats(-80, 80), st.floats(-80, 80),
+           st.floats(-80, 80), st.floats(-80, 80))
+    def test_anchor_search_identical(self, cx, cy, radius, f1x, f1y,
+                                     f2x, f2y):
+        center = Point(cx, cy)
+        focus1 = Point(f1x, f1y)
+        focus2 = Point(f2x, f2y)
+        fast_point, fast_sum = min_focal_sum_on_circle(
+            center, radius, focus1, focus2)
+        ref_point, ref_sum = min_focal_sum_on_circle_reference(
+            center, radius, focus1, focus2)
+        assert fast_point.x == ref_point.x
+        assert fast_point.y == ref_point.y
+        assert fast_sum == ref_sum

@@ -66,3 +66,38 @@ class TestRenderFlag:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "BC-OPT tour, bundle radius" not in out
+
+
+class TestPerfFlags:
+    def test_jobs_flag_reaches_config(self):
+        args = build_parser().parse_args(["fig13", "--jobs", "4"])
+        assert make_config(args).jobs == 4
+
+    def test_jobs_default_serial(self):
+        args = build_parser().parse_args(["fig13"])
+        assert make_config(args).jobs == 1
+
+    def test_bench_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--out", "report.json"])
+        assert args.experiment == "bench"
+        assert args.quick
+        assert args.out == "report.json"
+
+    def test_bench_writes_report(self, tmp_path, capsys, monkeypatch):
+        # Shrink the quick workloads so the CLI path stays fast in CI.
+        from repro.perf import bench
+
+        monkeypatch.setitem(bench._QUICK, "greedy_n", 40)
+        monkeypatch.setitem(bench._QUICK, "ellipse_cases", 20)
+        monkeypatch.setitem(bench._QUICK, "tsp_n", 30)
+        out = tmp_path / "bench.json"
+        code = main(["bench", "--quick", "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "bit-identity" in captured
+        import json
+        report = json.loads(out.read_text())
+        assert report["all_identical"] is True
+        assert {e["name"] for e in report["entries"]} >= {
+            "greedy_bundles_n40", "fig13_node_sweep"}

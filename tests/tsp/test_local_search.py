@@ -9,7 +9,8 @@ from hypothesis import strategies as st
 
 from repro.geometry import Point
 from repro.tsp import (DistanceMatrix, Tour, held_karp_tour,
-                       nearest_neighbor_tour, or_opt, two_opt)
+                       nearest_neighbor_lists, nearest_neighbor_tour,
+                       or_opt, or_opt_fast, two_opt, two_opt_fast)
 
 
 def random_points(n, seed=0, side=100.0):
@@ -162,3 +163,90 @@ class TestThreeOpt:
                                     matrix), matrix)
         exact = held_karp_tour(matrix)
         assert refined.length(matrix) <= exact.length(matrix) * 1.1
+
+
+class TestTwoOptFast:
+    """Neighbor-list 2-opt with don't-look bits."""
+
+    def test_never_worse_than_input(self):
+        for seed in range(10):
+            pts = random_points(40, seed=seed)
+            matrix = DistanceMatrix(pts)
+            start = Tour(random.Random(seed).sample(range(40), 40))
+            improved = two_opt_fast(Tour(start.order), matrix)
+            assert improved.length(matrix) <= start.length(matrix) + 1e-9
+
+    def test_returns_valid_permutation(self):
+        pts = random_points(35, seed=3)
+        matrix = DistanceMatrix(pts)
+        start = Tour(random.Random(3).sample(range(35), 35))
+        improved = two_opt_fast(start, matrix)
+        assert sorted(improved.order) == list(range(35))
+
+    def test_close_to_full_sweep_quality(self):
+        # The candidate-list restriction may miss some moves; require the
+        # result to stay within a few percent of the full first-improvement
+        # sweep across seeds.
+        for seed in range(6):
+            pts = random_points(60, seed=seed)
+            matrix = DistanceMatrix(pts)
+            start = nearest_neighbor_tour(matrix)
+            fast_len = two_opt_fast(Tour(start.order), matrix) \
+                .length(matrix)
+            full_len = two_opt(Tour(start.order), matrix).length(matrix)
+            assert fast_len <= full_len * 1.05
+
+    def test_tiny_instances_returned_unchanged(self):
+        pts = random_points(3, seed=0)
+        matrix = DistanceMatrix(pts)
+        tour = Tour([0, 2, 1])
+        assert two_opt_fast(tour, matrix).order == [0, 2, 1]
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=4, max_value=30),
+           st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=12))
+    def test_never_worse_property(self, n, seed, neighbor_count):
+        pts = random_points(n, seed=seed)
+        matrix = DistanceMatrix(pts)
+        start = Tour(random.Random(seed).sample(range(n), n))
+        improved = two_opt_fast(Tour(start.order), matrix,
+                                neighbor_count=neighbor_count)
+        assert sorted(improved.order) == list(range(n))
+        assert improved.length(matrix) <= start.length(matrix) + 1e-9
+
+
+class TestOrOptFast:
+    def test_never_worse_than_input(self):
+        for seed in range(8):
+            pts = random_points(30, seed=seed)
+            matrix = DistanceMatrix(pts)
+            start = Tour(random.Random(seed).sample(range(30), 30))
+            improved = or_opt_fast(Tour(start.order), matrix)
+            assert sorted(improved.order) == list(range(30))
+            assert improved.length(matrix) <= start.length(matrix) + 1e-9
+
+    def test_small_instance_unchanged(self):
+        pts = random_points(4, seed=1)
+        matrix = DistanceMatrix(pts)
+        tour = Tour([2, 0, 3, 1])
+        assert or_opt_fast(tour, matrix).order == [2, 0, 3, 1]
+
+
+class TestNearestNeighborLists:
+    def test_sorted_by_distance_and_excludes_self(self):
+        pts = random_points(20, seed=5)
+        matrix = DistanceMatrix(pts)
+        lists = nearest_neighbor_lists(matrix, 6)
+        assert len(lists) == 20
+        for city, neighbors in enumerate(lists):
+            assert len(neighbors) == 6
+            assert city not in neighbors
+            dists = [matrix(city, c) for c in neighbors]
+            assert dists == sorted(dists)
+
+    def test_k_clamped_to_city_count(self):
+        pts = random_points(4, seed=6)
+        matrix = DistanceMatrix(pts)
+        lists = nearest_neighbor_lists(matrix, 99)
+        assert all(len(neighbors) == 3 for neighbors in lists)
