@@ -29,6 +29,14 @@ from .bundle import Bundle, BundleSet, make_bundle
 from .candidates import (candidate_member_masks, candidate_member_sets,
                          maximal_candidates, maximal_masks)
 
+try:  # tracing is optional: bundling works with repro.obs absent
+    from ..obs.tracer import obs_span
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
 
 def greedy_bundles(network: SensorNetwork, radius: float,
                    prune_dominated: bool = True) -> BundleSet:
@@ -71,17 +79,31 @@ def _selected_member_sets(locations: Sequence[Point], radius: float,
     path; both produce the identical selection sequence.
     """
     if bitset._USE_REFERENCE:
-        candidates = candidate_member_sets(locations, radius)
+        with obs_span("obg.candidates", n=universe_size) as span:
+            candidates = candidate_member_sets(locations, radius)
+            if prune_dominated:
+                candidates = maximal_candidates(candidates)
+            if span:
+                span.set(candidates=len(candidates))
+        with obs_span("obg.cover", n=universe_size) as span:
+            selected = greedy_set_cover_reference(candidates,
+                                                  universe_size)
+            if span:
+                span.set(bundles=len(selected))
+        return selected
+    with obs_span("obg.candidates", n=universe_size) as span:
+        with PERF.timer("bundling.candidates"):
+            masks = candidate_member_masks(locations, radius)
         if prune_dominated:
-            candidates = maximal_candidates(candidates)
-        return greedy_set_cover_reference(candidates, universe_size)
-    with PERF.timer("bundling.candidates"):
-        masks = candidate_member_masks(locations, radius)
-    if prune_dominated:
-        with PERF.timer("bundling.maximal"):
-            masks = maximal_masks(masks)
-    with PERF.timer("bundling.cover"):
-        chosen = greedy_cover_masks(masks, universe_size)
+            with PERF.timer("bundling.maximal"):
+                masks = maximal_masks(masks)
+        if span:
+            span.set(candidates=len(masks))
+    with obs_span("obg.cover", n=universe_size) as span:
+        with PERF.timer("bundling.cover"):
+            chosen = greedy_cover_masks(masks, universe_size)
+        if span:
+            span.set(bundles=len(chosen))
     return [frozenset(indices_from_mask(mask)) for mask in chosen]
 
 

@@ -9,14 +9,27 @@ Regenerate any paper figure's data::
     bundle-charging fig13 --jobs 4        # parallel per-seed fan-out
     bundle-charging bench --quick         # old-vs-new kernel benchmark
 
+Observability (see docs/architecture.md, "Observability")::
+
+    bundle-charging trace fig13 --fast --out-dir runs/
+                                          # traced run: spans + manifest
+    bundle-charging report --trace runs/fig13.jsonl
+                                          # replay the energy ledger
+    bundle-charging report --trace a.jsonl --diff b.jsonl
+                                          # compare two traced runs
+    bundle-charging fig13 --fast --profile --csv out/
+                                          # cProfile next to the outputs
+
 (or ``python -m repro.cli ...`` without installing the entry point.)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from dataclasses import asdict
 from typing import List, Optional
 
 from .experiments import (ExperimentConfig, experiment_ids, print_tables,
@@ -31,11 +44,17 @@ def build_parser() -> argparse.ArgumentParser:
                     "Charging' (ICDCS 2019).")
     parser.add_argument(
         "experiment",
-        choices=experiment_ids() + ["all", "check", "bench"],
+        choices=experiment_ids() + ["all", "check", "bench", "trace",
+                                    "report"],
         help="which figure to regenerate; 'all' runs everything, "
              "'check' runs the reproduction-verdict harness, 'bench' "
              "times the fast-path kernels against their reference "
-             "implementations")
+             "implementations, 'trace' runs one experiment with span "
+             "tracing and writes a JSONL log + provenance manifest, "
+             "'report' replays a traced run's energy accounting")
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="for trace: the experiment id to run traced")
     parser.add_argument(
         "--runs", type=int, default=None,
         help="random seeds per data point (default 10; paper used 100)")
@@ -44,7 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI scale: fewer seeds, nodes and radii")
     parser.add_argument(
         "--csv", metavar="DIR", default=None,
-        help="also write each table as CSV into DIR")
+        help="also write each table as CSV into DIR (plus a provenance "
+             "manifest per experiment)")
     parser.add_argument(
         "--seed", type=int, default=None,
         help="override the base seed")
@@ -62,6 +82,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", default=None,
         help="for bench: write the JSON report here "
              "(default BENCH_PR1.json in the working directory)")
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help="for trace: directory for the JSONL log, manifest and "
+             "pstats (default '.')")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="for report: the traced run's JSONL log to replay")
+    parser.add_argument(
+        "--diff", metavar="FILE", default=None,
+        help="for report: second JSONL log to compare against")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the experiment in cProfile and dump pstats next to "
+             "the manifest")
     return parser
 
 
@@ -82,6 +116,82 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _seed_list(events: List[dict]) -> List[int]:
+    """Extract the consumed per-run seeds from a trace, in run order."""
+    return [event["attrs"]["seed"] for event in events
+            if event.get("type") == "span"
+            and event.get("name") == "seed"
+            and "seed" in event.get("attrs", {})]
+
+
+def run_traced(args: argparse.Namespace,
+               config: ExperimentConfig) -> int:
+    """The ``trace`` subcommand: one experiment, fully instrumented."""
+    from .obs.manifest import build_manifest, write_manifest
+    from .obs.profile import profiled
+    from .obs.tracer import TRACER
+
+    experiment_id = args.target
+    if experiment_id not in experiment_ids():
+        print(f"trace needs an experiment id, got {experiment_id!r}; "
+              f"choose from {experiment_ids()}", file=sys.stderr)
+        return 2
+    out_dir = args.out_dir or "."
+    os.makedirs(out_dir, exist_ok=True)
+    profile_path = (os.path.join(out_dir, f"{experiment_id}.pstats")
+                    if args.profile else None)
+
+    TRACER.enabled = True
+    TRACER.reset()
+    started = time.perf_counter()
+    try:
+        with profiled(profile_path):
+            tables = run_experiment(experiment_id, config)
+    finally:
+        TRACER.enabled = False
+    elapsed = time.perf_counter() - started
+
+    manifest = build_manifest(
+        experiment_id, asdict(config), _seed_list(TRACER.events),
+        elapsed, extra={"traced": True, "profiled": args.profile})
+    trace_path = os.path.join(out_dir, f"{experiment_id}.jsonl")
+    TRACER.write_jsonl(trace_path, manifest=manifest)
+    manifest_path = os.path.join(out_dir, "manifest.json")
+    write_manifest(manifest, manifest_path)
+    TRACER.reset()
+
+    print_tables(tables, csv_dir=args.csv)
+    print(f"[{experiment_id} traced in {elapsed:.1f} s: "
+          f"{trace_path} + {manifest_path}"
+          + (f" + {profile_path}" if profile_path else "") + "]")
+    return 0
+
+
+def run_report(args: argparse.Namespace) -> int:
+    """The ``report`` subcommand: replay a traced run's ledger."""
+    if args.trace is None:
+        print("report needs --trace <run.jsonl>", file=sys.stderr)
+        return 2
+    from .obs.report import diff_traces, render_trace_report
+    if args.diff is not None:
+        print(diff_traces(args.trace, args.diff))
+    else:
+        print(render_trace_report(args.trace))
+    return 0
+
+
+def _write_run_manifest(experiment_id: str, config: ExperimentConfig,
+                        elapsed: float, csv_dir: str,
+                        profiled_run: bool) -> None:
+    """Drop a provenance record next to an experiment's CSV outputs."""
+    from .obs.manifest import build_manifest, write_manifest
+    manifest = build_manifest(
+        experiment_id, asdict(config), [], elapsed,
+        extra={"traced": False, "profiled": profiled_run})
+    write_manifest(manifest, os.path.join(
+        csv_dir, f"{experiment_id}.manifest.json"))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -98,13 +208,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         findings = run_reproduction_check(config)
         print(render_findings(findings))
         return 0 if all(f.passed for f in findings) else 1
+    if args.experiment == "trace":
+        return run_traced(args, config)
+    if args.experiment == "report":
+        return run_report(args)
     targets = (experiment_ids() if args.experiment == "all"
                else [args.experiment])
+    from .obs.profile import profiled
     for experiment_id in targets:
+        profile_path = None
+        if args.profile:
+            profile_dir = args.csv or "."
+            os.makedirs(profile_dir, exist_ok=True)
+            profile_path = os.path.join(profile_dir,
+                                        f"{experiment_id}.pstats")
         started = time.perf_counter()
-        tables = run_experiment(experiment_id, config)
+        with profiled(profile_path):
+            tables = run_experiment(experiment_id, config)
         elapsed = time.perf_counter() - started
         print_tables(tables, csv_dir=args.csv)
+        if args.csv is not None:
+            _write_run_manifest(experiment_id, config, elapsed,
+                                args.csv, args.profile)
         if args.render and experiment_id == "fig10":
             from .experiments.fig10_examples import render_examples
             print()

@@ -18,10 +18,31 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 
 from ..charging import CostParameters
 from ..network import SensorNetwork, derive_seed, uniform_deployment
+from ..perf.counters import PERF
 from ..planners import make_planner
 from ..tour import evaluate_plan
 from .aggregate import CellStats, aggregate_rows
 from .config import ExperimentConfig
+
+try:  # tracing is optional: the runner works with repro.obs absent
+    from ..obs.tracer import TRACER, obs_span
+
+    def _tracing_enabled() -> bool:
+        return TRACER.enabled
+
+    def _absorb_events(events) -> None:
+        TRACER.absorb_events(events)
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
+    def _tracing_enabled() -> bool:
+        return False
+
+    def _absorb_events(events) -> None:
+        return None
 
 MetricRow = Dict[str, float]
 AggregatedRun = Dict[str, Dict[str, CellStats]]
@@ -39,11 +60,14 @@ def run_algorithms_once(network: SensorNetwork, cost: CostParameters,
     """
     results: Dict[str, MetricRow] = {}
     for name in algorithms:
-        planner = make_planner(name, radius, tsp_strategy=tsp_strategy,
-                               seed=seed)
-        plan = planner.plan(network, cost)
-        metrics = evaluate_plan(plan, network.locations, cost)
-        results[name] = metrics.as_row()
+        with obs_span("plan", algorithm=name, radius_m=radius) as span:
+            planner = make_planner(name, radius,
+                                   tsp_strategy=tsp_strategy, seed=seed)
+            plan = planner.plan(network, cost)
+            metrics = evaluate_plan(plan, network.locations, cost)
+            results[name] = metrics.as_row()
+            if span:
+                span.set(**results[name])
     return results
 
 
@@ -64,22 +88,31 @@ def run_averaged(config: ExperimentConfig, node_count: int, radius: float,
         ``{algorithm: {metric: CellStats}}``.
     """
     jobs = min(config.jobs, config.runs)
-    if jobs > 1:
-        rows_in_order = _run_seeds_parallel(config, node_count, radius,
-                                            algorithms, experiment_label,
-                                            jobs)
-    else:
-        rows_in_order = [
-            _run_one_seed(config, node_count, radius, tuple(algorithms),
-                          experiment_label, run_index)
-            for run_index in range(config.runs)
-        ]
-    per_algorithm: Dict[str, list] = {name: [] for name in algorithms}
-    for once in rows_in_order:
-        for name, row in once.items():
-            per_algorithm[name].append(row)
-    return {name: aggregate_rows(rows)
-            for name, rows in per_algorithm.items()}
+    with obs_span("run", experiment=experiment_label,
+                  node_count=node_count, radius=radius,
+                  runs=config.runs, jobs=jobs) as span:
+        if span:
+            span.set(seeds=[
+                derive_seed(config.base_seed, experiment_label,
+                            node_count, radius, run_index)
+                for run_index in range(config.runs)])
+        if jobs > 1:
+            rows_in_order = _run_seeds_parallel(
+                config, node_count, radius, algorithms,
+                experiment_label, jobs)
+        else:
+            rows_in_order = [
+                _run_one_seed(config, node_count, radius,
+                              tuple(algorithms), experiment_label,
+                              run_index)
+                for run_index in range(config.runs)
+            ]
+        per_algorithm: Dict[str, list] = {name: [] for name in algorithms}
+        for once in rows_in_order:
+            for name, row in once.items():
+                per_algorithm[name].append(row)
+        return {name: aggregate_rows(rows)
+                for name, rows in per_algorithm.items()}
 
 
 def _run_one_seed(config: ExperimentConfig, node_count: int, radius: float,
@@ -93,10 +126,42 @@ def _run_one_seed(config: ExperimentConfig, node_count: int, radius: float,
     """
     seed = derive_seed(config.base_seed, experiment_label, node_count,
                        radius, run_index)
-    network = uniform_deployment(node_count, seed,
-                                 field_side_m=config.field_side_m)
-    return run_algorithms_once(network, config.cost(), radius, algorithms,
-                               tsp_strategy=config.tsp_strategy, seed=seed)
+    with obs_span("seed", run_index=run_index, seed=seed,
+                  node_count=node_count):
+        network = uniform_deployment(node_count, seed,
+                                     field_side_m=config.field_side_m)
+        return run_algorithms_once(network, config.cost(), radius,
+                                   algorithms,
+                                   tsp_strategy=config.tsp_strategy,
+                                   seed=seed)
+
+
+def _seed_worker(config: ExperimentConfig, node_count: int,
+                 radius: float, algorithms: Sequence[str],
+                 experiment_label: str, run_index: int,
+                 tracing: bool, perf_enabled: bool):
+    """The pool-side fan-out unit: one seed plus its telemetry.
+
+    Worker processes are reused across seeds, so the registry is reset
+    before each run and the returned snapshot is exactly this seed's
+    delta; the parent sums the snapshots back into its own registry
+    (``PerfRegistry.merge_snapshot``) so op counts are identical at any
+    job count.  With tracing on, the worker's span events ride the same
+    return tuple and are re-nested under the parent's ``run`` span.
+    """
+    PERF.enabled = perf_enabled
+    PERF.reset()
+    if tracing:
+        from ..obs.tracer import TRACER as worker_tracer
+        worker_tracer.enabled = True
+        worker_tracer.reset()
+    rows = _run_one_seed(config, node_count, radius, algorithms,
+                         experiment_label, run_index)
+    events = []
+    if tracing:
+        from ..obs.tracer import TRACER as worker_tracer
+        events = worker_tracer.export_events()
+    return rows, PERF.snapshot(), events
 
 
 def _run_seeds_parallel(config: ExperimentConfig, node_count: int,
@@ -105,21 +170,32 @@ def _run_seeds_parallel(config: ExperimentConfig, node_count: int,
                         jobs: int) -> List[Dict[str, MetricRow]]:
     """Fan the per-seed loop out over worker processes.
 
-    ``executor.map`` preserves argument order, so the returned rows are
-    in run-index order — aggregation sees the same sequence the serial
-    loop produces.
+    ``executor.map`` preserves argument order, so rows come back in
+    run-index order — aggregation sees the same sequence the serial
+    loop produces — and the workers' perf snapshots and trace events
+    are merged in that same deterministic order.
     """
     algorithms = tuple(algorithms)
+    tracing = _tracing_enabled()
     with ProcessPoolExecutor(max_workers=jobs) as executor:
-        return list(executor.map(
-            _run_one_seed,
+        results = list(executor.map(
+            _seed_worker,
             [config] * config.runs,
             [node_count] * config.runs,
             [radius] * config.runs,
             [algorithms] * config.runs,
             [experiment_label] * config.runs,
             range(config.runs),
+            [tracing] * config.runs,
+            [PERF.enabled] * config.runs,
         ))
+    rows_in_order: List[Dict[str, MetricRow]] = []
+    for rows, perf_snapshot, events in results:
+        rows_in_order.append(rows)
+        PERF.merge_snapshot(perf_snapshot)
+        if tracing:
+            _absorb_events(events)
+    return rows_in_order
 
 
 def metric_series(aggregated: Iterable[AggregatedRun], algorithm: str,

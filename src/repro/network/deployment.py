@@ -25,6 +25,14 @@ from ..geometry import Point
 from .network import SensorNetwork
 from .sensor import Sensor
 
+try:  # tracing is optional: deployment works with repro.obs absent
+    from ..obs.tracer import obs_span
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
 
 def _clamp(value: float, low: float, high: float) -> float:
     return min(high, max(low, value))
@@ -54,11 +62,14 @@ def uniform_deployment(count: int, seed: int,
     """
     if count < 0:
         raise DeploymentError(f"negative sensor count: {count!r}")
-    rng = random.Random(seed)
-    locations = [Point(rng.uniform(0.0, field_side_m),
-                       rng.uniform(0.0, field_side_m))
-                 for _ in range(count)]
-    return _build_network(locations, field_side_m, required_j, base_station)
+    with obs_span("deploy", kind="uniform", n=count, seed=seed,
+                  field_side_m=field_side_m):
+        rng = random.Random(seed)
+        locations = [Point(rng.uniform(0.0, field_side_m),
+                           rng.uniform(0.0, field_side_m))
+                     for _ in range(count)]
+        return _build_network(locations, field_side_m, required_j,
+                              base_station)
 
 
 def clustered_deployment(count: int, seed: int, clusters: int = 5,

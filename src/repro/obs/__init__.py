@@ -1,0 +1,52 @@
+"""Observability layer: span tracing, run provenance, telemetry export.
+
+* :data:`TRACER` / :class:`Tracer` — process-wide span tracer.  Spans
+  (``deploy``, ``obg.cover``, ``bto.tsp``, ...) nest, carry typed
+  attributes, absorb :data:`repro.perf.PERF` counter/timer deltas, and
+  export as append-only JSONL events.  Disabled (the default) a span is
+  a shared immutable no-op object, so instrumented call sites cost one
+  guarded function call — the same contract as ``PerfRegistry.enabled``.
+* :mod:`repro.obs.manifest` — run provenance records (config hash, seed
+  list, git SHA, package version, platform, wall time) written next to
+  experiment outputs and embedded in ``BENCH_*.json``.
+* :mod:`repro.obs.validate` — schema checker for emitted JSONL streams
+  and manifests (unknown span names / missing fields fail CI).
+* :mod:`repro.obs.report` — replays a JSONL log into per-algorithm,
+  per-phase energy-accounting tables and diffs two runs (imported
+  lazily by the CLI; it depends on :mod:`repro.experiments`).
+* :mod:`repro.obs.profile` — opt-in cProfile wiring (CLI ``--profile``).
+"""
+
+from .jsonl import read_jsonl, write_jsonl
+from .manifest import (MANIFEST_SCHEMA, REQUIRED_MANIFEST_FIELDS,
+                       build_manifest, config_digest, git_revision,
+                       write_manifest)
+from .tracer import (NULL_SPAN, TRACE_SCHEMA, Span, Tracer, TRACER,
+                     obs_emit, obs_enabled, obs_span)
+from .validate import (KNOWN_EVENT_TYPES, KNOWN_SPAN_NAMES,
+                       validate_events, validate_jsonl,
+                       validate_manifest)
+
+__all__ = [
+    "KNOWN_EVENT_TYPES",
+    "KNOWN_SPAN_NAMES",
+    "MANIFEST_SCHEMA",
+    "NULL_SPAN",
+    "REQUIRED_MANIFEST_FIELDS",
+    "Span",
+    "TRACER",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "build_manifest",
+    "config_digest",
+    "git_revision",
+    "obs_emit",
+    "obs_enabled",
+    "obs_span",
+    "read_jsonl",
+    "validate_events",
+    "validate_jsonl",
+    "validate_manifest",
+    "write_jsonl",
+    "write_manifest",
+]

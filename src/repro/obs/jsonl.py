@@ -1,0 +1,54 @@
+"""JSONL event-stream persistence.
+
+One event per line, each a JSON object with a ``"type"`` discriminator
+(``header``, ``manifest``, ``span``, and the mission-trace record types
+``move`` / ``charge`` / ``harvest``).  Loading is strict: a malformed
+line raises rather than being skipped, because a trace with silent
+holes would defeat the whole provenance story.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import BundleChargingError
+
+__all__ = ["JsonlError", "read_jsonl", "write_jsonl"]
+
+
+class JsonlError(BundleChargingError):
+    """Raised on an unreadable or malformed JSONL stream."""
+
+
+def write_jsonl(path: str, events: List[Dict[str, Any]]) -> None:
+    """Write ``events`` to ``path``, one compact JSON object per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL stream back into a list of event dicts.
+
+    Raises:
+        JsonlError: on an unparsable line or a non-object event.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise JsonlError(
+                    f"{path}:{line_number}: bad JSON: {error}") from error
+            if not isinstance(event, dict):
+                raise JsonlError(
+                    f"{path}:{line_number}: event is not an object: "
+                    f"{event!r}")
+            events.append(event)
+    return events

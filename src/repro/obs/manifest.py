@@ -1,0 +1,102 @@
+"""Run provenance manifests.
+
+Every traced run (and every bench report) gets a manifest: the exact
+configuration (plus its SHA-256 digest), the seeds that were actually
+consumed, the code identity (git SHA, package version), the platform,
+and the wall time.  A results CSV or ``BENCH_*.json`` can then always
+be traced back to the run that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+MANIFEST_SCHEMA = "bundle-charging/manifest/v1"
+
+#: Fields every manifest must carry; the validator (and the CI traced
+#: run) fails on a missing one.
+REQUIRED_MANIFEST_FIELDS = (
+    "schema", "experiment", "config", "config_hash", "seeds",
+    "git_sha", "package_version", "python", "platform",
+    "created_utc", "wall_time_s", "argv",
+)
+
+__all__ = ["MANIFEST_SCHEMA", "REQUIRED_MANIFEST_FIELDS",
+           "build_manifest", "config_digest", "git_revision",
+           "write_manifest"]
+
+
+def config_digest(config: Dict[str, Any]) -> str:
+    """Return the SHA-256 hex digest of a canonical-JSON config dict."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """Return the current git commit SHA, or None outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def _package_version() -> str:
+    from .. import __version__
+    return __version__
+
+
+def build_manifest(experiment: str, config: Dict[str, Any],
+                   seeds: Sequence[int], wall_time_s: float,
+                   argv: Optional[List[str]] = None,
+                   extra: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """Assemble a provenance record for one run.
+
+    Args:
+        experiment: experiment id (``fig13``, ``bench``, ...).
+        config: the run configuration as a plain JSON-able dict.
+        seeds: the per-run seeds actually consumed, in run order.
+        wall_time_s: end-to-end wall time of the run.
+        argv: the CLI invocation (defaults to ``sys.argv``).
+        extra: additional keys merged in verbatim (must not shadow the
+            required fields).
+    """
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": experiment,
+        "config": dict(config),
+        "config_hash": config_digest(config),
+        "seeds": list(seeds),
+        "git_sha": git_revision(),
+        "package_version": _package_version(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                     time.gmtime()),
+        "wall_time_s": round(wall_time_s, 6),
+        "argv": list(sys.argv if argv is None else argv),
+    }
+    if extra:
+        for key, value in extra.items():
+            manifest.setdefault(key, value)
+    return manifest
+
+
+def write_manifest(manifest: Dict[str, Any], path: str) -> None:
+    """Write a manifest as indented JSON next to the run's outputs."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,36 @@
+"""Opt-in cProfile wiring (the CLI ``--profile`` flag).
+
+Kept separate from the tracer on purpose: profiling changes timings
+(the tracer does not), so it is never on implicitly — the context
+manager is inert unless given an output path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["profiled"]
+
+
+@contextmanager
+def profiled(out_path: Optional[str]) -> Iterator[Optional[object]]:
+    """Profile the enclosed block into a pstats dump at ``out_path``.
+
+    A ``None`` path disables profiling entirely (no cProfile import,
+    no overhead), so callers can wire the flag through unconditionally::
+
+        with profiled(args.profile_path):
+            run_experiment(...)
+    """
+    if out_path is None:
+        yield None
+        return
+    import cProfile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(out_path)

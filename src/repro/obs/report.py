@@ -1,0 +1,233 @@
+"""Energy-accounting reports replayed from trace streams.
+
+``repro.cli report --trace run.jsonl`` lands here: the JSONL event log
+is folded back into the paper's ledgers — the movement-vs-charging
+energy split per algorithm (Eq. 1 / Figs. 6-13), time per pipeline
+phase, and kernel counter rates — without re-running anything.
+
+The per-algorithm aggregation reuses :func:`aggregate_rows`, the exact
+reduction the untraced runner applies, over the exact metric rows the
+``plan`` spans captured; the replayed means therefore equal the live
+run's aggregates float-for-float (an acceptance test pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..experiments.aggregate import CellStats, aggregate_rows
+from ..experiments.tables import ResultTable, render_tables
+from .jsonl import read_jsonl
+
+#: Metric attributes the ``plan`` spans carry (a subset of
+#: ``PlanMetrics.as_row``), in report column order.
+ENERGY_METRICS = ("total_j", "movement_j", "charging_j",
+                  "tour_length_m", "charging_time_s")
+
+__all__ = ["ENERGY_METRICS", "build_report_tables", "counter_summary",
+           "diff_traces", "energy_split", "phase_summary", "plan_rows",
+           "render_trace_report", "trace_manifest"]
+
+
+def _spans(events: List[Dict[str, Any]],
+           name: Optional[str] = None) -> List[Dict[str, Any]]:
+    return [event for event in events
+            if event.get("type") == "span"
+            and (name is None or event.get("name") == name)]
+
+
+def trace_manifest(events: List[Dict[str, Any]]
+                   ) -> Optional[Dict[str, Any]]:
+    """Return the stream's embedded manifest event, if present."""
+    for event in events:
+        if event.get("type") == "manifest":
+            return event
+    return None
+
+
+def plan_rows(events: List[Dict[str, Any]]
+              ) -> Dict[str, List[Dict[str, float]]]:
+    """Group the ``plan`` spans' metric rows by algorithm.
+
+    Rows keep stream order, which is run-index order in both serial and
+    parallel runs — the same sequence the live aggregation consumed.
+    """
+    rows: Dict[str, List[Dict[str, float]]] = {}
+    for span in _spans(events, "plan"):
+        attrs = span.get("attrs", {})
+        algorithm = attrs.get("algorithm")
+        if algorithm is None:
+            continue
+        row = {metric: attrs[metric] for metric in ENERGY_METRICS
+               if metric in attrs}
+        rows.setdefault(algorithm, []).append(row)
+    return rows
+
+
+def energy_split(events: List[Dict[str, Any]]
+                 ) -> Dict[str, Dict[str, CellStats]]:
+    """Per-algorithm mean/std of every energy metric in the trace."""
+    return {algorithm: aggregate_rows(metric_rows)
+            for algorithm, metric_rows in plan_rows(events).items()}
+
+
+def phase_summary(events: List[Dict[str, Any]]
+                  ) -> Dict[str, Dict[str, float]]:
+    """Total time and call count per span name (pipeline phase)."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for span in _spans(events):
+        name = span.get("name", "?")
+        entry = summary.setdefault(name, {"calls": 0, "total_s": 0.0})
+        entry["calls"] += 1
+        entry["total_s"] += float(span.get("duration_s", 0.0))
+    return summary
+
+
+def _root_spans(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [span for span in _spans(events)
+            if span.get("parent_id") is None]
+
+
+def counter_summary(events: List[Dict[str, Any]]
+                    ) -> Dict[str, Dict[str, float]]:
+    """Kernel counter totals and rates over the traced run.
+
+    Only *root* spans are summed: a parent span's perf delta already
+    contains its children's (the registry is process-wide), so root
+    deltas partition the run's work without double counting — in
+    parallel runs the worker snapshots are merged into the parent
+    registry inside the ``run`` span, preserving the same property.
+    """
+    totals: Dict[str, int] = {}
+    traced_s = 0.0
+    for span in _root_spans(events):
+        traced_s += float(span.get("duration_s", 0.0))
+        counters = span.get("perf", {}).get("counters", {})
+        for name, value in counters.items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return {
+        name: {"count": float(count),
+               "rate_per_s": (count / traced_s) if traced_s > 0 else 0.0}
+        for name, count in sorted(totals.items())
+    }
+
+
+def build_report_tables(events: List[Dict[str, Any]],
+                        title_prefix: str = "") -> List[ResultTable]:
+    """Fold a trace into the three report tables."""
+    tables: List[ResultTable] = []
+
+    split = energy_split(events)
+    if split:
+        columns = ["algorithm"] + [metric for metric in ENERGY_METRICS
+                                   if any(metric in cells
+                                          for cells in split.values())]
+        energy_table = ResultTable(
+            f"{title_prefix}Energy split per algorithm "
+            f"(mean over traced seeds)", columns)
+        for algorithm, cells in split.items():
+            energy_table.add_row(algorithm=algorithm, **{
+                metric: cells[metric] for metric in columns[1:]})
+        tables.append(energy_table)
+
+    phases = phase_summary(events)
+    if phases:
+        phase_table = ResultTable(
+            f"{title_prefix}Time per pipeline phase",
+            ["phase", "calls", "total_s", "mean_ms"])
+        for name in sorted(phases):
+            entry = phases[name]
+            calls = int(entry["calls"])
+            phase_table.add_row(
+                phase=name, calls=calls,
+                total_s=entry["total_s"],
+                mean_ms=(entry["total_s"] / calls * 1000.0) if calls
+                else 0.0)
+        tables.append(phase_table)
+
+    counters = counter_summary(events)
+    if counters:
+        counter_table = ResultTable(
+            f"{title_prefix}Kernel counters over the traced run",
+            ["counter", "count", "rate_per_s"])
+        for name, entry in counters.items():
+            counter_table.add_row(counter=name, count=entry["count"],
+                                  rate_per_s=entry["rate_per_s"])
+        tables.append(counter_table)
+    return tables
+
+
+def render_trace_report(path: str) -> str:
+    """Render the full report for one on-disk trace."""
+    events = read_jsonl(path)
+    lines: List[str] = []
+    manifest = trace_manifest(events)
+    if manifest is not None:
+        lines.append(
+            f"trace: {manifest.get('experiment', '?')} | config "
+            f"{str(manifest.get('config_hash', '?'))[:12]} | git "
+            f"{str(manifest.get('git_sha') or 'unknown')[:12]} | "
+            f"{len(manifest.get('seeds', []))} seeds | "
+            f"{manifest.get('wall_time_s', '?')} s")
+        lines.append("")
+    tables = build_report_tables(events)
+    if not tables:
+        lines.append("(trace carries no span events)")
+    else:
+        lines.append(render_tables(tables))
+    return "\n".join(lines)
+
+
+def _mean(cells: Dict[str, CellStats], metric: str) -> Optional[float]:
+    cell = cells.get(metric)
+    return cell.mean if cell is not None else None
+
+
+def diff_traces(path_a: str, path_b: str) -> str:
+    """Compare two traced runs: energy means and per-phase times.
+
+    Positive deltas mean run B spends more than run A.
+    """
+    events_a = read_jsonl(path_a)
+    events_b = read_jsonl(path_b)
+    split_a = energy_split(events_a)
+    split_b = energy_split(events_b)
+
+    tables: List[ResultTable] = []
+    algorithms = sorted(set(split_a) | set(split_b))
+    if algorithms:
+        energy_table = ResultTable(
+            "Energy diff (B - A) per algorithm: total_j mean",
+            ["algorithm", "A", "B", "delta", "pct"])
+        for algorithm in algorithms:
+            a = _mean(split_a.get(algorithm, {}), "total_j")
+            b = _mean(split_b.get(algorithm, {}), "total_j")
+            if a is None or b is None:
+                energy_table.add_row(
+                    algorithm=algorithm,
+                    A="-" if a is None else f"{a:.6g}",
+                    B="-" if b is None else f"{b:.6g}",
+                    delta="-", pct="-")
+                continue
+            delta = b - a
+            pct = (delta / a * 100.0) if a else 0.0
+            energy_table.add_row(algorithm=algorithm, A=a, B=b,
+                                 delta=delta, pct=f"{pct:+.2f}%")
+        tables.append(energy_table)
+
+    phases_a = phase_summary(events_a)
+    phases_b = phase_summary(events_b)
+    names = sorted(set(phases_a) | set(phases_b))
+    if names:
+        phase_table = ResultTable(
+            "Phase time diff (B - A)",
+            ["phase", "A_s", "B_s", "delta_s"])
+        for name in names:
+            a_s = phases_a.get(name, {}).get("total_s", 0.0)
+            b_s = phases_b.get(name, {}).get("total_s", 0.0)
+            phase_table.add_row(phase=name, A_s=a_s, B_s=b_s,
+                                delta_s=b_s - a_s)
+        tables.append(phase_table)
+
+    header = f"diff: A={path_a}  B={path_b}"
+    return header + "\n\n" + render_tables(tables)

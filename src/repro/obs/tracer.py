@@ -1,0 +1,276 @@
+"""Span-based tracing for the OBG → BTO → simulation pipeline.
+
+One process-wide :class:`Tracer` collects nested spans as append-only
+JSON-friendly events.  A span records its name, nesting (``span_id`` /
+``parent_id``), wall-clock start, duration, caller-supplied typed
+attributes, and the delta of the :data:`repro.perf.PERF` registry over
+its lifetime — so kernel counters/timers and pipeline phases share one
+export stream.
+
+The disabled path is the whole point: :data:`TRACER` starts disabled,
+and a disabled :meth:`Tracer.span` returns the shared :data:`NULL_SPAN`
+singleton whose ``__enter__``/``__exit__``/``set`` perform **no
+attribute writes and no allocation** (it is falsy, so call sites can
+skip attribute computation with ``if span:``).  This mirrors the
+``PerfRegistry.enabled`` guard: instrumentation can stay at call
+granularity in the kernels' orbit without perturbing tier-1 timings or
+bit-identity.
+
+Worker processes (the ``--jobs`` seed fan-out) run their own tracer,
+:meth:`export_events` the result through the pool's return value, and
+the parent :meth:`absorb_events` them in deterministic run-index order,
+remapping span ids and re-parenting top-level worker spans under the
+parent's current span.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from ..perf.counters import PERF
+
+#: Version tag stamped on every exported event stream header.
+TRACE_SCHEMA = "bundle-charging/trace/v1"
+
+__all__ = ["NULL_SPAN", "TRACE_SCHEMA", "Span", "Tracer", "TRACER",
+           "obs_emit", "obs_enabled", "obs_span"]
+
+
+class _NullSpan:
+    """The shared disabled span: falsy, immutable, allocation-free.
+
+    ``__slots__ = ()`` guarantees no instance dict exists, so no code
+    path through a disabled span can write an attribute — the property
+    the overhead tests pin down.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Ignore attributes (disabled)."""
+        return self
+
+
+#: The one disabled span every ``obs_span`` call shares while tracing
+#: is off.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; created by :meth:`Tracer.span`, used as a context
+    manager.  Exiting appends the span's event to the tracer."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "_tracer",
+                 "_started", "_wall", "_perf_counters", "_perf_timers",
+                 "_perf_calls")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int],
+                 attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._tracer = tracer
+        self._started = 0.0
+        self._wall = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) typed attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._wall = time.time()
+        self._perf_counters = dict(PERF._counters)
+        self._perf_timers = dict(PERF._timer_total)
+        self._perf_calls = dict(PERF._timer_calls)
+        self._tracer._stack.append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        duration = time.perf_counter() - self._started
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        event: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "wall_s": self._wall,
+            "duration_s": duration,
+            "attrs": self.attrs,
+        }
+        perf = self._perf_delta()
+        if perf:
+            event["perf"] = perf
+        tracer.events.append(event)
+        return False
+
+    def _perf_delta(self) -> Dict[str, Any]:
+        """Return the PERF registry's change over this span's lifetime."""
+        counters = {
+            name: value - self._perf_counters.get(name, 0)
+            for name, value in PERF._counters.items()
+            if value != self._perf_counters.get(name, 0)
+        }
+        timers = {}
+        for name, total in PERF._timer_total.items():
+            delta = total - self._perf_timers.get(name, 0.0)
+            calls = (PERF._timer_calls.get(name, 0)
+                     - self._perf_calls.get(name, 0))
+            if calls or delta:
+                timers[name] = {"total_s": delta, "calls": calls}
+        delta: Dict[str, Any] = {}
+        if counters:
+            delta["counters"] = dict(sorted(counters.items()))
+        if timers:
+            delta["timers"] = dict(sorted(timers.items()))
+        return delta
+
+
+class Tracer:
+    """Process-wide span collector.
+
+    Attributes:
+        enabled: when False (the default), :meth:`span` returns
+            :data:`NULL_SPAN` and :meth:`emit` drops its record — the
+            zero-cost contract.
+        events: the append-only event list, in span-exit order.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # --- recording --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span named ``name`` (use as a context manager)."""
+        if not self.enabled:
+            return NULL_SPAN
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        return Span(self, name, span_id, parent_id, dict(attrs))
+
+    def current(self) -> Optional[Span]:
+        """Return the innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append a pre-built event (e.g. a mission-trace record).
+
+        The record travels the same JSONL stream as spans; it should
+        carry a ``"type"`` discriminator.  When the innermost open span
+        exists its id is attached as ``span_id`` so replay can group
+        records under their phase.
+        """
+        if not self.enabled:
+            return
+        if self._stack and "span_id" not in record:
+            record = dict(record)
+            record["span_id"] = self._stack[-1].span_id
+        self.events.append(record)
+
+    # --- lifecycle --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all events and open spans (keeps ``enabled``)."""
+        self.events.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+    def export_events(self) -> List[Dict[str, Any]]:
+        """Return and clear the collected events (worker hand-off)."""
+        events = list(self.events)
+        self.events.clear()
+        return events
+
+    def absorb_events(self, events: List[Dict[str, Any]]) -> None:
+        """Merge a worker tracer's exported events under this tracer.
+
+        Span ids are remapped into this tracer's id space and top-level
+        worker spans are re-parented under the currently open span, so
+        a parallel run's trace nests exactly like the serial run's.
+        Call once per worker result, in run-index order, to keep the
+        stream deterministic.
+        """
+        if not self.enabled or not events:
+            return
+        mapping: Dict[int, int] = {}
+        for event in events:
+            old_id = event.get("span_id")
+            if isinstance(old_id, int) and old_id not in mapping:
+                mapping[old_id] = self._next_id
+                self._next_id += 1
+        parent = self._stack[-1].span_id if self._stack else None
+        for event in events:
+            merged = dict(event)
+            old_id = merged.get("span_id")
+            if isinstance(old_id, int):
+                merged["span_id"] = mapping[old_id]
+            if merged.get("type") == "span":
+                old_parent = merged.get("parent_id")
+                merged["parent_id"] = (mapping[old_parent]
+                                       if old_parent in mapping
+                                       else parent)
+            self.events.append(merged)
+
+    # --- export -----------------------------------------------------------
+
+    def header(self) -> Dict[str, Any]:
+        """Return the stream header event."""
+        return {"type": "header", "schema": TRACE_SCHEMA}
+
+    def write_jsonl(self, path: str,
+                    manifest: Optional[Dict[str, Any]] = None) -> None:
+        """Write header (+ optional manifest) + events as JSONL."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.header(), sort_keys=True))
+            handle.write("\n")
+            if manifest is not None:
+                record = {"type": "manifest"}
+                record.update(manifest)
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+
+
+#: The process-wide tracer every instrumented call site reports into.
+TRACER = Tracer(enabled=False)
+
+
+def obs_span(name: str, **attrs: Any):
+    """Module-level shortcut for ``TRACER.span(name, **attrs)``."""
+    if not TRACER.enabled:
+        return NULL_SPAN
+    return TRACER.span(name, **attrs)
+
+
+def obs_emit(record: Dict[str, Any]) -> None:
+    """Module-level shortcut for ``TRACER.emit(record)``."""
+    if TRACER.enabled:
+        TRACER.emit(record)
+
+
+def obs_enabled() -> bool:
+    """Return whether the process-wide tracer is recording."""
+    return TRACER.enabled

@@ -1,0 +1,142 @@
+"""Schema validation for emitted trace streams and manifests.
+
+The CI traced-run gate calls :func:`validate_jsonl` on a freshly
+emitted log and fails on any finding — unknown event types, span names
+outside the documented taxonomy, dangling parent ids, or a manifest
+missing a required provenance field.  Keeping the span-name whitelist
+here (rather than "whatever the code emits") makes an accidental
+taxonomy change a loud CI failure instead of a silently drifting log
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .manifest import MANIFEST_SCHEMA, REQUIRED_MANIFEST_FIELDS
+from .tracer import TRACE_SCHEMA
+
+#: The documented span taxonomy (docs/architecture.md, Observability).
+KNOWN_SPAN_NAMES = frozenset({
+    "run",              # one run_averaged sweep point
+    "seed",             # one seeded deployment + all algorithms
+    "deploy",           # network deployment generation
+    "plan",             # one algorithm's plan + evaluation
+    "obg.candidates",   # bundle candidate enumeration
+    "obg.cover",        # greedy set-cover selection
+    "bto.tsp",          # TSP ordering over stops/anchors
+    "bto.tspn",         # TSPN substrate solve (extension baseline)
+    "bto.anchors",      # Algorithm 3 anchor refinement
+    "sim.mission",      # discrete-event mission execution
+})
+
+#: Event types the JSONL stream may carry (spans + mission trace).
+KNOWN_EVENT_TYPES = frozenset({
+    "header", "manifest", "span", "move", "charge", "harvest",
+})
+
+#: Keys every span event must carry.
+_SPAN_REQUIRED = ("name", "span_id", "parent_id", "wall_s",
+                  "duration_s", "attrs")
+
+__all__ = ["KNOWN_EVENT_TYPES", "KNOWN_SPAN_NAMES", "validate_events",
+           "validate_jsonl", "validate_manifest"]
+
+
+def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
+    """Return problem strings for a manifest dict (empty = valid)."""
+    problems: List[str] = []
+    for field in REQUIRED_MANIFEST_FIELDS:
+        if field not in manifest:
+            problems.append(f"manifest missing required field "
+                            f"{field!r}")
+    schema = manifest.get("schema")
+    if schema is not None and schema != MANIFEST_SCHEMA:
+        problems.append(f"unknown manifest schema {schema!r} "
+                        f"(expected {MANIFEST_SCHEMA!r})")
+    if "seeds" in manifest and not isinstance(manifest["seeds"], list):
+        problems.append("manifest 'seeds' must be a list")
+    return problems
+
+
+def validate_events(events: List[Dict[str, Any]],
+                    require_header: bool = False) -> List[str]:
+    """Return problem strings for a trace event stream (empty = valid).
+
+    Args:
+        events: parsed JSONL events, in stream order.
+        require_header: demand a leading ``header`` event with the
+            current :data:`TRACE_SCHEMA` (set for on-disk streams;
+            in-memory tracer events have no header).
+    """
+    problems: List[str] = []
+    if require_header:
+        if not events or events[0].get("type") != "header":
+            problems.append("stream does not start with a header event")
+        elif events[0].get("schema") != TRACE_SCHEMA:
+            problems.append(
+                f"unknown trace schema {events[0].get('schema')!r} "
+                f"(expected {TRACE_SCHEMA!r})")
+
+    span_ids = {event["span_id"] for event in events
+                if event.get("type") == "span"
+                and isinstance(event.get("span_id"), int)}
+    for index, event in enumerate(events):
+        kind = event.get("type")
+        if kind is None:
+            problems.append(f"event {index} has no 'type' discriminator")
+            continue
+        if kind not in KNOWN_EVENT_TYPES:
+            problems.append(f"event {index} has unknown type {kind!r}")
+            continue
+        if kind == "manifest":
+            problems.extend(validate_manifest(event))
+        if kind != "span":
+            continue
+        for key in _SPAN_REQUIRED:
+            if key not in event:
+                problems.append(
+                    f"span event {index} missing key {key!r}")
+        name = event.get("name")
+        if name is not None and name not in KNOWN_SPAN_NAMES:
+            problems.append(f"span event {index} has unknown span name "
+                            f"{name!r}")
+        parent = event.get("parent_id")
+        if parent is not None and parent not in span_ids:
+            problems.append(
+                f"span event {index} ({name!r}) references unknown "
+                f"parent span {parent!r}")
+        duration = event.get("duration_s")
+        if isinstance(duration, (int, float)) and duration < 0.0:
+            problems.append(
+                f"span event {index} ({name!r}) has negative duration")
+    return problems
+
+
+def validate_jsonl(path: str,
+                   expect_manifest: bool = True) -> List[str]:
+    """Validate an on-disk JSONL trace (header demanded).
+
+    Args:
+        path: the stream to check.
+        expect_manifest: also demand an embedded manifest event.
+    """
+    from .jsonl import read_jsonl
+    events = read_jsonl(path)
+    problems = validate_events(events, require_header=True)
+    if expect_manifest:
+        manifests = [event for event in events
+                     if event.get("type") == "manifest"]
+        if not manifests:
+            problems.append("stream carries no manifest event")
+    return problems
+
+
+def assert_valid_jsonl(path: str,
+                       expect_manifest: bool = True) -> None:
+    """Raise ``ValueError`` listing every problem in ``path``."""
+    problems = validate_jsonl(path, expect_manifest=expect_manifest)
+    if problems:
+        raise ValueError(
+            f"{path} failed trace validation:\n  " +
+            "\n  ".join(problems))

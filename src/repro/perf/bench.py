@@ -205,14 +205,18 @@ def run_benchmarks(quick: bool = False,
         bit-identity workload produced byte-equal results on both
         backends.
     """
+    from ..obs.manifest import build_manifest
+
     sizes = _QUICK if quick else _FULL
     PERF.reset()
+    started = time.perf_counter()
     entries: List[Dict] = [
         _bench_greedy_bundles(sizes),
         _bench_ellipse_kernel(sizes),
         _bench_tsp_fast(sizes),
         _bench_fig13_sweep(quick),
     ]
+    elapsed = time.perf_counter() - started
     report = {
         "benchmark": "BENCH_PR1",
         "quick": quick,
@@ -222,6 +226,11 @@ def run_benchmarks(quick: bool = False,
         "all_identical": all(e["identical"] for e in entries
                              if e["identical"] is not None),
         "perf_counters": PERF.snapshot(),
+        # Provenance rides along under its own key; the established
+        # keys above stay unchanged for trajectory compatibility.
+        "provenance": build_manifest(
+            "bench", {"quick": quick, "sizes": dict(sizes)}, [],
+            elapsed),
     }
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:

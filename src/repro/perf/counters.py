@@ -83,6 +83,24 @@ class PerfRegistry:
         return {"timers": timers, "counters": dict(sorted(
             self._counters.items()))}
 
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters are summed; timers sum both total seconds and call
+        counts.  This is how worker processes' per-seed registries are
+        folded back into the parent after a ``--jobs N`` run, so the
+        parallel and serial runners report identical op counts.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, stats in snapshot.get("timers", {}).items():
+            self._timer_total[name] = (self._timer_total.get(name, 0.0)
+                                       + stats["total_s"])
+            self._timer_calls[name] = (self._timer_calls.get(name, 0)
+                                       + stats["calls"])
+
     def reset(self) -> None:
         """Clear all timers and counters (keeps ``enabled``)."""
         self._timer_total.clear()

@@ -18,6 +18,14 @@ from ..network import SensorNetwork
 from ..tour import ChargingPlan
 from ..tsp import solve_tsp
 
+try:  # tracing is optional: planning works with repro.obs absent
+    from ..obs.tracer import obs_span
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
 
 class Planner(ABC):
     """Base class for charging-trajectory planners.
@@ -59,17 +67,19 @@ class Planner(ABC):
             return []
         if n == 1:
             return [0]
-        cities = list(positions)
-        if depot is not None:
-            cities.append(depot)
-            tour = solve_tsp(cities, strategy=self.tsp_strategy,
-                             seed=self.seed)
-            rooted = tour.rotated_to_start(n)  # depot has index n
-            order = [city for city in rooted if city != n]
-        else:
-            tour = solve_tsp(cities, strategy=self.tsp_strategy,
-                             seed=self.seed)
-            order = tour.order
-        if sorted(order) != list(range(n)):
-            raise PlanError("TSP ordering lost or duplicated stops")
-        return order
+        with obs_span("bto.tsp", cities=n, strategy=self.tsp_strategy,
+                      depot=depot is not None):
+            cities = list(positions)
+            if depot is not None:
+                cities.append(depot)
+                tour = solve_tsp(cities, strategy=self.tsp_strategy,
+                                 seed=self.seed)
+                rooted = tour.rotated_to_start(n)  # depot has index n
+                order = [city for city in rooted if city != n]
+            else:
+                tour = solve_tsp(cities, strategy=self.tsp_strategy,
+                                 seed=self.seed)
+                order = tour.order
+            if sorted(order) != list(range(n)):
+                raise PlanError("TSP ordering lost or duplicated stops")
+            return order

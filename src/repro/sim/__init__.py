@@ -8,7 +8,9 @@ constraint end-to-end.
 from .charger import DEFAULT_SPEED_M_PER_S, MobileCharger, run_mission
 from .engine import SimulationEngine
 from .events import Event, EventQueue
-from .trace import (ChargeRecord, HarvestRecord, MissionTrace, MoveRecord)
+from .trace import (ChargeRecord, HarvestRecord, MissionTrace,
+                    MoveRecord, RECORD_TYPES, TRACE_RECORD_SCHEMA,
+                    record_from_dict)
 from .validate import ValidationResult, robustness_margin, validate_plan
 
 __all__ = [
@@ -20,8 +22,11 @@ __all__ = [
     "MissionTrace",
     "MobileCharger",
     "MoveRecord",
+    "RECORD_TYPES",
     "SimulationEngine",
+    "TRACE_RECORD_SCHEMA",
     "ValidationResult",
+    "record_from_dict",
     "robustness_margin",
     "run_mission",
     "validate_plan",

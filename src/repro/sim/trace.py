@@ -4,14 +4,23 @@ The trace is an append-only list of typed records; analysis helpers
 aggregate it back into the same metrics the static evaluator computes,
 which gives the integration tests a strong cross-check (static plan
 economics must equal simulated mission economics).
+
+Records serialize to plain dicts with a ``"type"`` discriminator
+(``move`` / ``charge`` / ``harvest``) so a mission trace can be written
+to — and replayed from — the same JSONL stream the span tracer emits
+(``repro.obs``); :data:`TRACE_RECORD_SCHEMA` versions the format.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, Iterable, List
 
+from ..errors import SimulationError
 from ..geometry import Point
+
+#: Version tag for serialized mission-trace records.
+TRACE_RECORD_SCHEMA = "bundle-charging/mission-trace/v1"
 
 
 @dataclass(frozen=True)
@@ -32,6 +41,31 @@ class MoveRecord:
     length_m: float
     energy_j: float
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize as a type-discriminated JSONL-ready dict."""
+        return {
+            "type": "move",
+            "v": 1,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "origin": [self.origin.x, self.origin.y],
+            "destination": [self.destination.x, self.destination.y],
+            "length_m": self.length_m,
+            "energy_j": self.energy_j,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "MoveRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            start_s=float(raw["start_s"]),
+            end_s=float(raw["end_s"]),
+            origin=Point(*map(float, raw["origin"])),
+            destination=Point(*map(float, raw["destination"])),
+            length_m=float(raw["length_m"]),
+            energy_j=float(raw["energy_j"]),
+        )
+
 
 @dataclass(frozen=True)
 class ChargeRecord:
@@ -49,6 +83,29 @@ class ChargeRecord:
     position: Point
     stop_index: int
     energy_j: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize as a type-discriminated JSONL-ready dict."""
+        return {
+            "type": "charge",
+            "v": 1,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "position": [self.position.x, self.position.y],
+            "stop_index": self.stop_index,
+            "energy_j": self.energy_j,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ChargeRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            start_s=float(raw["start_s"]),
+            end_s=float(raw["end_s"]),
+            position=Point(*map(float, raw["position"])),
+            stop_index=int(raw["stop_index"]),
+            energy_j=float(raw["energy_j"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -69,6 +126,57 @@ class HarvestRecord:
     distance_m: float
     energy_j: float
     assigned: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize as a type-discriminated JSONL-ready dict."""
+        return {
+            "type": "harvest",
+            "v": 1,
+            "sensor_index": self.sensor_index,
+            "stop_index": self.stop_index,
+            "distance_m": self.distance_m,
+            "energy_j": self.energy_j,
+            "assigned": self.assigned,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "HarvestRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            sensor_index=int(raw["sensor_index"]),
+            stop_index=int(raw["stop_index"]),
+            distance_m=float(raw["distance_m"]),
+            energy_j=float(raw["energy_j"]),
+            assigned=bool(raw["assigned"]),
+        )
+
+
+#: ``"type"`` discriminator -> record class, for stream replay.
+RECORD_TYPES = {
+    "move": MoveRecord,
+    "charge": ChargeRecord,
+    "harvest": HarvestRecord,
+}
+
+
+def record_from_dict(raw: Dict[str, Any]):
+    """Rebuild any trace record from its serialized form.
+
+    Raises:
+        SimulationError: on a missing or unknown ``"type"``.
+    """
+    kind = raw.get("type")
+    record_class = RECORD_TYPES.get(kind)
+    if record_class is None:
+        raise SimulationError(
+            f"unknown trace record type {kind!r}; expected one of "
+            f"{sorted(RECORD_TYPES)}")
+    try:
+        return record_class.from_dict(raw)
+    except (KeyError, TypeError, ValueError) as error:
+        raise SimulationError(
+            f"malformed {kind!r} trace record {raw!r}: {error}"
+        ) from error
 
 
 class MissionTrace:
@@ -126,3 +234,45 @@ class MissionTrace:
         """Return total energy harvested from non-assigned stops."""
         return sum(record.energy_j for record in self.harvests
                    if not record.assigned)
+
+    # --- serialization ----------------------------------------------------
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """Serialize every record as JSONL-stream events.
+
+        Moves and charges come out interleaved in time order (matching
+        the mission timeline), harvests after their stop's records; the
+        result can be appended verbatim to a ``repro.obs`` span stream.
+        """
+        timeline: List[Dict[str, Any]] = []
+        for record in self.moves:
+            timeline.append(record.to_dict())
+        for record in self.charges:
+            timeline.append(record.to_dict())
+        timeline.sort(key=lambda event: (event["start_s"],
+                                         0 if event["type"] == "move"
+                                         else 1))
+        timeline.extend(record.to_dict() for record in self.harvests)
+        return timeline
+
+    @classmethod
+    def from_events(cls, events: Iterable[Dict[str, Any]]
+                    ) -> "MissionTrace":
+        """Replay a trace from an event stream.
+
+        Events of other types (``header``, ``manifest``, ``span``) are
+        skipped, so a full observability stream replays directly.
+        """
+        trace = cls()
+        for event in events:
+            kind = event.get("type")
+            if kind not in RECORD_TYPES:
+                continue
+            record = record_from_dict(event)
+            if kind == "move":
+                trace.moves.append(record)
+            elif kind == "charge":
+                trace.charges.append(record)
+            else:
+                trace.harvests.append(record)
+        return trace

@@ -20,6 +20,14 @@ from ..tour import ChargingPlan
 from .charger import DEFAULT_SPEED_M_PER_S, run_mission
 from .trace import MissionTrace
 
+try:  # tracing is optional: simulation works with repro.obs absent
+    from ..obs.tracer import obs_span
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
 
 @dataclass(frozen=True)
 class ValidationResult:
@@ -55,8 +63,15 @@ def validate_plan(plan: ChargingPlan, network: SensorNetwork,
     Raises:
         ValidationError: in strict mode, when any sensor is undercharged.
     """
-    trace = run_mission(plan, network, cost,
-                        speed_m_per_s=speed_m_per_s)
+    with obs_span("sim.mission", stops=len(plan.stops),
+                  algorithm=plan.label) as span:
+        trace = run_mission(plan, network, cost,
+                            speed_m_per_s=speed_m_per_s)
+        if span:
+            span.set(tour_length_m=trace.tour_length_m,
+                     movement_j=trace.movement_energy_j,
+                     charging_j=trace.charging_energy_j,
+                     mission_time_s=trace.mission_time_s)
     shortfalls: List[Tuple[int, float]] = []
     for sensor in network:
         if not sensor.is_satisfied:

@@ -19,6 +19,14 @@ from ..geometry import Point
 from .anchor_opt import DEFAULT_RADIUS_STEPS, optimize_anchor
 from .plan import ChargingPlan, stop_for_sensors
 
+try:  # tracing is optional: tour refinement works with repro.obs absent
+    from ..obs.tracer import obs_span
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
 
 @dataclass(frozen=True)
 class TourOptimizationReport:
@@ -110,38 +118,45 @@ def optimize_tour(plan: ChargingPlan, locations: Sequence[Point],
                       if member_locations else 0.0)
         caps.append(max(0.0, bundle_radius - own_radius))
 
-    for _ in range(max_sweeps):
-        sweeps += 1
-        moved_this_sweep = 0
-        for i, stop in enumerate(stops):
-            prev_point = _neighbor(positions, depot, i, -1)
-            next_point = _neighbor(positions, depot, i, +1)
-            member_locations = [locations[s] for s in stop.sensors]
-            result = optimize_anchor(
-                centers[i], prev_point, next_point, member_locations,
-                cost, current=positions[i], max_displacement=caps[i],
-                radius_steps=radius_steps)
-            if result.moved:
-                positions[i] = result.position
-                moved_this_sweep += 1
-        moves += moved_this_sweep
-        if moved_this_sweep == 0:
-            break
+    with obs_span("bto.anchors", stops=len(stops)) as span:
+        for _ in range(max_sweeps):
+            sweeps += 1
+            moved_this_sweep = 0
+            for i, stop in enumerate(stops):
+                prev_point = _neighbor(positions, depot, i, -1)
+                next_point = _neighbor(positions, depot, i, +1)
+                member_locations = [locations[s] for s in stop.sensors]
+                result = optimize_anchor(
+                    centers[i], prev_point, next_point, member_locations,
+                    cost, current=positions[i],
+                    max_displacement=caps[i],
+                    radius_steps=radius_steps)
+                if result.moved:
+                    positions[i] = result.position
+                    moved_this_sweep += 1
+            moves += moved_this_sweep
+            if moved_this_sweep == 0:
+                break
 
-    new_stops = [
-        stop_for_sensors(positions[i], sorted(stop.sensors), locations,
-                         cost)
-        for i, stop in enumerate(stops)
-    ]
-    optimized = ChargingPlan(stops=tuple(new_stops), depot=depot,
-                             label=plan.label)
-    final_energy = plan_total_energy(optimized, locations, cost)
+        new_stops = [
+            stop_for_sensors(positions[i], sorted(stop.sensors),
+                             locations, cost)
+            for i, stop in enumerate(stops)
+        ]
+        optimized = ChargingPlan(stops=tuple(new_stops), depot=depot,
+                                 label=plan.label)
+        final_energy = plan_total_energy(optimized, locations, cost)
 
-    # The per-anchor moves each reduce the exact local objective, so the
-    # global objective cannot increase; guard against regressions anyway.
-    if final_energy > initial_energy + 1e-6 * max(1.0, initial_energy):
-        optimized = plan
-        final_energy = initial_energy
+        # The per-anchor moves each reduce the exact local objective, so
+        # the global objective cannot increase; guard against
+        # regressions anyway.
+        if final_energy > initial_energy + 1e-6 * max(
+                1.0, initial_energy):
+            optimized = plan
+            final_energy = initial_energy
+        if span:
+            span.set(sweeps=sweeps, moves=moves,
+                     improvement_j=initial_energy - final_energy)
 
     report = TourOptimizationReport(sweeps, moves, initial_energy,
                                     final_energy)

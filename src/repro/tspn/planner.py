@@ -21,6 +21,14 @@ from ..tour import ChargingPlan, stop_for_sensors
 from .neighborhood import neighborhoods_from_points
 from .solvers import solve_tspn
 
+try:  # tracing is optional: TSPN planning works with repro.obs absent
+    from ..obs.tracer import obs_span
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
 
 class TspnChargingPlanner(Planner):
     """Charge from a TSPN tour over per-sensor disks."""
@@ -52,10 +60,14 @@ class TspnChargingPlanner(Planner):
         locations = network.locations
         depot = self._depot_for(network)
         neighborhoods = neighborhoods_from_points(locations, self.radius)
-        solution = solve_tspn(
-            neighborhoods, tsp_strategy=self.tsp_strategy,
-            refinement_rounds=self.refinement_rounds, depot=depot,
-            seed=self.seed)
+        with obs_span("bto.tspn", n=len(neighborhoods),
+                      radius_m=self.radius) as span:
+            solution = solve_tspn(
+                neighborhoods, tsp_strategy=self.tsp_strategy,
+                refinement_rounds=self.refinement_rounds, depot=depot,
+                seed=self.seed)
+            if span:
+                span.set(tour_points=len(solution.points))
 
         # Assign every sensor to the visit point nearest it among those
         # within range (ties to the earlier stop); by construction each

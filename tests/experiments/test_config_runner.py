@@ -126,3 +126,63 @@ class TestParallelRunner:
                          jobs=8)
         result = run_averaged(config, 20, 15.0, ["SC"], "captest")
         assert result["SC"]["total_j"].count == 2
+
+
+class TestWorkerTelemetry:
+    """Workers return perf snapshots; the parent merges them back."""
+
+    def _snapshot_for(self, jobs):
+        from dataclasses import replace
+        from repro.perf.counters import PERF
+        config = ExperimentConfig(runs=3, node_count=30,
+                                  node_counts=(30,), radii=(15.0,),
+                                  jobs=1)
+        PERF.reset()
+        try:
+            run_averaged(replace(config, jobs=jobs), 30, 15.0,
+                         ["BC", "SC"], "perf-parity")
+            return PERF.snapshot()
+        finally:
+            PERF.reset()
+
+    def test_parallel_and_serial_report_identical_op_counts(self):
+        serial = self._snapshot_for(jobs=1)
+        parallel = self._snapshot_for(jobs=2)
+        # The planners' kernels must have actually counted something,
+        # or this test would vacuously compare empty dicts.
+        assert serial["counters"]
+        assert serial["counters"] == parallel["counters"]
+        # Timer *totals* are wall time and legitimately differ; the
+        # call counts must match exactly.
+        assert {name: stats["calls"]
+                for name, stats in serial["timers"].items()} == \
+            {name: stats["calls"]
+             for name, stats in parallel["timers"].items()}
+
+    def test_parallel_traced_run_nests_worker_spans(self):
+        from dataclasses import replace
+        from repro.obs.tracer import TRACER
+        config = ExperimentConfig(runs=2, node_count=20,
+                                  node_counts=(20,), radii=(15.0,),
+                                  jobs=2)
+        TRACER.enabled = True
+        TRACER.reset()
+        try:
+            run_averaged(config, 20, 15.0, ["SC"], "trace-parity")
+            events = TRACER.export_events()
+        finally:
+            TRACER.enabled = False
+            TRACER.reset()
+        spans = {}
+        for event in events:
+            if event.get("type") == "span":
+                spans.setdefault(event["name"], []).append(event)
+        assert len(spans["run"]) == 1
+        assert len(spans["seed"]) == config.runs
+        run_id = spans["run"][0]["span_id"]
+        # Worker seed spans are re-parented under the parent run span
+        # and come back in run-index order.
+        assert all(seed["parent_id"] == run_id
+                   for seed in spans["seed"])
+        assert [seed["attrs"]["run_index"]
+                for seed in spans["seed"]] == list(range(config.runs))

@@ -1,0 +1,70 @@
+"""Disabled tracing must be invisible to the numbers.
+
+Two subprocess runs of a trimmed fig13 sweep — one with the tracer
+simply left disabled, one where ``repro.obs`` is *blocked from
+importing at all* — must write byte-identical results CSVs.  This pins
+the zero-cost contract from both directions: the NULL_SPAN path does
+not perturb the pipeline, and every instrumented call site degrades
+gracefully when the observability package does not exist.
+"""
+
+import os
+import subprocess
+import sys
+
+_DRIVER = r"""
+import sys
+
+mode, out_dir = sys.argv[1], sys.argv[2]
+
+if mode == "block":
+    import importlib.abc
+
+    class BlockObs(importlib.abc.MetaPathFinder):
+        def find_spec(self, fullname, path=None, target=None):
+            if fullname == "repro.obs" or \
+                    fullname.startswith("repro.obs."):
+                raise ImportError(f"{fullname} blocked for test")
+            return None
+
+    sys.meta_path.insert(0, BlockObs())
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.tables import print_tables
+
+config = ExperimentConfig(runs=2, node_count=40, node_counts=(40, 60),
+                          radii=(20.0,), default_radius=20.0)
+tables = run_experiment("fig13", config)
+print_tables(tables, csv_dir=out_dir)
+
+if mode == "block":
+    leaked = [name for name in sys.modules
+              if name == "repro.obs" or name.startswith("repro.obs.")]
+    assert not leaked, f"repro.obs leaked into sys.modules: {leaked}"
+"""
+
+
+def _run_fig13(mode: str, out_dir: str) -> None:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    completed = subprocess.run(
+        [sys.executable, "-c", _DRIVER, mode, out_dir],
+        capture_output=True, text=True, env=env, timeout=600)
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_tracing_off_and_never_imported_are_byte_identical(tmp_path):
+    plain_dir = tmp_path / "plain"
+    blocked_dir = tmp_path / "blocked"
+    _run_fig13("plain", str(plain_dir))
+    _run_fig13("block", str(blocked_dir))
+
+    plain_csvs = sorted(os.listdir(plain_dir))
+    blocked_csvs = sorted(os.listdir(blocked_dir))
+    assert plain_csvs == blocked_csvs
+    assert plain_csvs  # the sweep must actually have written CSVs
+    for name in plain_csvs:
+        plain_bytes = (plain_dir / name).read_bytes()
+        blocked_bytes = (blocked_dir / name).read_bytes()
+        assert plain_bytes == blocked_bytes, name

@@ -1,0 +1,78 @@
+"""Tests for run-provenance manifests."""
+
+import json
+
+from repro import __version__
+from repro.obs.manifest import (MANIFEST_SCHEMA,
+                                REQUIRED_MANIFEST_FIELDS, build_manifest,
+                                config_digest, git_revision,
+                                write_manifest)
+from repro.obs.validate import validate_manifest
+
+
+class TestConfigDigest:
+    def test_digest_is_sha256_hex(self):
+        digest = config_digest({"runs": 10})
+        assert len(digest) == 64
+        int(digest, 16)  # must be hex
+
+    def test_digest_is_key_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == \
+            config_digest({"b": 2, "a": 1})
+
+    def test_digest_distinguishes_configs(self):
+        assert config_digest({"runs": 10}) != config_digest({"runs": 11})
+
+    def test_digest_handles_non_json_values(self):
+        # asdict(ExperimentConfig) can contain tuples; default=str
+        # canonicalises anything json.dumps cannot encode natively.
+        config_digest({"radii": (10.0, 20.0), "cost": object()})
+
+
+class TestBuildManifest:
+    def test_carries_every_required_field(self):
+        manifest = build_manifest("fig13", {"runs": 2}, [7, 8], 1.25)
+        for field in REQUIRED_MANIFEST_FIELDS:
+            assert field in manifest, field
+        assert validate_manifest(manifest) == []
+
+    def test_core_values(self):
+        manifest = build_manifest("fig13", {"runs": 2}, [7, 8], 1.25,
+                                  argv=["bundle-charging", "trace"])
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["experiment"] == "fig13"
+        assert manifest["config"] == {"runs": 2}
+        assert manifest["config_hash"] == config_digest({"runs": 2})
+        assert manifest["seeds"] == [7, 8]
+        assert manifest["wall_time_s"] == 1.25
+        assert manifest["argv"] == ["bundle-charging", "trace"]
+        assert manifest["package_version"] == __version__
+
+    def test_extra_keys_merge_without_shadowing(self):
+        manifest = build_manifest(
+            "fig13", {}, [], 0.0,
+            extra={"traced": True, "experiment": "SHADOW"})
+        assert manifest["traced"] is True
+        assert manifest["experiment"] == "fig13"  # required field wins
+
+    def test_git_sha_matches_checkout(self):
+        # The test suite runs inside the repo, so the subprocess probe
+        # should agree with what build_manifest recorded.
+        sha = git_revision()
+        manifest = build_manifest("fig13", {}, [], 0.0)
+        assert manifest["git_sha"] == sha
+        if sha is not None:
+            assert len(sha) == 40
+
+    def test_git_revision_outside_checkout(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) is None
+
+
+class TestWriteManifest:
+    def test_round_trips_through_json(self, tmp_path):
+        manifest = build_manifest("fig12", {"runs": 3}, [1, 2, 3], 0.5)
+        path = tmp_path / "manifest.json"
+        write_manifest(manifest, str(path))
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded == manifest

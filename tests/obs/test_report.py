@@ -1,0 +1,162 @@
+"""Tests for trace-replay energy accounting.
+
+The acceptance test for the observability PR lives here: replaying a
+traced ``run_averaged`` through ``energy_split`` must reproduce the
+untraced runner's aggregates *exactly* (float-for-float), because the
+report reuses the same rows and the same reduction.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_averaged
+from repro.obs.report import (ENERGY_METRICS, build_report_tables,
+                              counter_summary, diff_traces, energy_split,
+                              phase_summary, plan_rows,
+                              render_trace_report, trace_manifest)
+from repro.obs.tracer import TRACER
+from repro.planners import PAPER_ALGORITHMS
+
+CONFIG = ExperimentConfig(runs=2, node_count=40, node_counts=(40,),
+                          radii=(20.0,), default_radius=20.0)
+
+
+@pytest.fixture
+def traced():
+    """Enable the global tracer for one test, restoring it afterwards."""
+    TRACER.enabled = True
+    TRACER.reset()
+    try:
+        yield TRACER
+    finally:
+        TRACER.enabled = False
+        TRACER.reset()
+
+
+def _run(config=CONFIG):
+    return run_averaged(config, config.node_count,
+                        config.default_radius, list(PAPER_ALGORITHMS),
+                        "report-test")
+
+
+class TestExactReplay:
+    def test_energy_split_equals_untraced_aggregates(self, traced):
+        """Acceptance: replayed totals match the live run exactly."""
+        live = _run()
+        events = traced.export_events()
+
+        TRACER.enabled = False
+        untraced = _run()
+
+        replayed = energy_split(events)
+        assert set(replayed) == set(PAPER_ALGORITHMS)
+        for algorithm in PAPER_ALGORITHMS:
+            for metric in ENERGY_METRICS:
+                cell = replayed[algorithm][metric]
+                assert cell == live[algorithm][metric], \
+                    (algorithm, metric)
+                assert cell == untraced[algorithm][metric], \
+                    (algorithm, metric)
+
+    def test_replay_matches_parallel_run(self, traced):
+        """Worker-absorbed events replay to the same aggregates."""
+        live = _run(replace(CONFIG, jobs=2))
+        replayed = energy_split(traced.export_events())
+        for algorithm in PAPER_ALGORITHMS:
+            for metric in ENERGY_METRICS:
+                assert replayed[algorithm][metric] == \
+                    live[algorithm][metric], (algorithm, metric)
+
+    def test_plan_rows_keep_run_order(self, traced):
+        _run()
+        rows = plan_rows(traced.export_events())
+        for algorithm in PAPER_ALGORITHMS:
+            assert len(rows[algorithm]) == CONFIG.runs
+            for row in rows[algorithm]:
+                assert set(ENERGY_METRICS) <= set(row)
+
+
+class TestSummaries:
+    def test_phase_summary_counts_pipeline_spans(self, traced):
+        _run()
+        phases = phase_summary(traced.export_events())
+        assert phases["run"]["calls"] == 1
+        assert phases["seed"]["calls"] == CONFIG.runs
+        assert phases["plan"]["calls"] == \
+            CONFIG.runs * len(PAPER_ALGORITHMS)
+        assert phases["deploy"]["calls"] == CONFIG.runs
+        assert phases["run"]["total_s"] > 0.0
+
+    def test_counter_summary_sums_root_spans_only(self):
+        events = [
+            {"type": "span", "name": "run", "span_id": 1,
+             "parent_id": None, "duration_s": 2.0, "attrs": {},
+             "wall_s": 0.0,
+             "perf": {"counters": {"bundling.cover": 10}}},
+            # child delta is already inside the root's; must not double
+            {"type": "span", "name": "seed", "span_id": 2,
+             "parent_id": 1, "duration_s": 1.0, "attrs": {},
+             "wall_s": 0.0,
+             "perf": {"counters": {"bundling.cover": 10}}},
+        ]
+        summary = counter_summary(events)
+        assert summary["bundling.cover"]["count"] == 10.0
+        assert summary["bundling.cover"]["rate_per_s"] == 5.0
+
+    def test_trace_manifest_extraction(self):
+        events = [{"type": "header"},
+                  {"type": "manifest", "experiment": "fig13"},
+                  {"type": "span"}]
+        assert trace_manifest(events)["experiment"] == "fig13"
+        assert trace_manifest([{"type": "header"}]) is None
+
+
+class TestRendering:
+    def _write_trace(self, tmp_path, name, config=CONFIG):
+        from repro.obs.manifest import build_manifest
+        TRACER.enabled = True
+        TRACER.reset()
+        try:
+            _run(config)
+            manifest = build_manifest("report-test", {"runs": config.runs},
+                                      [], 0.5)
+            path = str(tmp_path / name)
+            TRACER.write_jsonl(path, manifest=manifest)
+        finally:
+            TRACER.enabled = False
+            TRACER.reset()
+        return path
+
+    def test_build_report_tables_shapes(self, traced):
+        _run()
+        tables = build_report_tables(traced.export_events())
+        titles = [table.title for table in tables]
+        assert any("Energy split" in t for t in titles)
+        assert any("pipeline phase" in t for t in titles)
+        assert any("Kernel counters" in t for t in titles)
+
+    def test_empty_trace_builds_no_tables(self):
+        assert build_report_tables([]) == []
+
+    def test_render_trace_report_end_to_end(self, tmp_path):
+        path = self._write_trace(tmp_path, "run.jsonl")
+        text = render_trace_report(path)
+        assert "report-test" in text
+        assert "Energy split" in text
+        for algorithm in PAPER_ALGORITHMS:
+            assert algorithm in text
+
+    def test_diff_traces_reports_deltas(self, tmp_path):
+        path_a = self._write_trace(tmp_path, "a.jsonl")
+        path_b = self._write_trace(tmp_path, "b.jsonl",
+                                   config=replace(CONFIG, base_seed=99))
+        text = diff_traces(path_a, path_b)
+        assert "Energy diff" in text
+        assert "Phase time diff" in text
+
+    def test_diff_same_trace_is_zero(self, tmp_path):
+        path = self._write_trace(tmp_path, "same.jsonl")
+        text = diff_traces(path, path)
+        assert "+0.00%" in text

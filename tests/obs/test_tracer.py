@@ -1,0 +1,178 @@
+"""Tests for the span tracer core."""
+
+import json
+
+import pytest
+
+from repro.obs.jsonl import read_jsonl
+from repro.obs.tracer import (NULL_SPAN, TRACE_SCHEMA, Tracer, TRACER,
+                              obs_enabled, obs_span)
+from repro.perf.counters import PERF
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("deploy", n=5) is NULL_SPAN
+        assert tracer.span("obg.cover") is NULL_SPAN
+
+    def test_null_span_is_falsy(self):
+        assert not NULL_SPAN
+        assert bool(NULL_SPAN) is False
+
+    def test_null_span_performs_no_attribute_writes(self):
+        # __slots__ = () means there is no instance dict to write into:
+        # no code path through a disabled span can mutate anything.
+        assert NULL_SPAN.__slots__ == ()
+        assert not hasattr(NULL_SPAN, "__dict__")
+        with pytest.raises(AttributeError):
+            NULL_SPAN.anything = 1
+
+    def test_disabled_context_manager_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("deploy", n=3) as span:
+            assert span is NULL_SPAN
+            span.set(ignored=True)
+        assert tracer.events == []
+        assert tracer._stack == []
+        assert tracer._next_id == 1
+
+    def test_disabled_emit_drops_record(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit({"type": "move"})
+        assert tracer.events == []
+
+    def test_global_tracer_starts_disabled(self):
+        assert TRACER.enabled is False
+        assert obs_enabled() is False
+        assert obs_span("deploy") is NULL_SPAN
+
+
+class TestEnabledSpans:
+    def test_span_event_fields(self, tracer):
+        with tracer.span("deploy", n=7, seed=42):
+            pass
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event["type"] == "span"
+        assert event["name"] == "deploy"
+        assert event["span_id"] == 1
+        assert event["parent_id"] is None
+        assert event["attrs"] == {"n": 7, "seed": 42}
+        assert event["duration_s"] >= 0.0
+        assert event["wall_s"] > 0.0
+
+    def test_nesting_assigns_parent_ids(self, tracer):
+        with tracer.span("run") as run_span:
+            assert tracer.current() is run_span
+            with tracer.span("seed"):
+                with tracer.span("deploy"):
+                    pass
+        by_name = {event["name"]: event for event in tracer.events}
+        assert by_name["run"]["parent_id"] is None
+        assert by_name["seed"]["parent_id"] == by_name["run"]["span_id"]
+        assert by_name["deploy"]["parent_id"] == \
+            by_name["seed"]["span_id"]
+
+    def test_children_exit_before_parents_in_stream(self, tracer):
+        with tracer.span("run"):
+            with tracer.span("seed"):
+                pass
+        assert [event["name"] for event in tracer.events] == \
+            ["seed", "run"]
+
+    def test_set_attaches_attributes(self, tracer):
+        with tracer.span("plan", algorithm="BC") as span:
+            span.set(total_j=12.5)
+        assert tracer.events[0]["attrs"] == {"algorithm": "BC",
+                                             "total_j": 12.5}
+
+    def test_truthiness_of_live_span(self, tracer):
+        span = tracer.span("plan")
+        assert span  # live spans are truthy so `if span:` guards work
+
+    def test_emit_tags_current_span(self, tracer):
+        with tracer.span("sim.mission") as span:
+            tracer.emit({"type": "move", "length_m": 5.0})
+        move = tracer.events[0]
+        assert move["type"] == "move"
+        assert move["span_id"] == span.span_id
+
+    def test_reset_clears_everything(self, tracer):
+        with tracer.span("run"):
+            pass
+        tracer.reset()
+        assert tracer.events == []
+        assert tracer._next_id == 1
+
+
+class TestPerfAbsorption:
+    def test_span_absorbs_counter_delta(self, tracer):
+        PERF.add("obs.test.counter", 0)  # ensure key exists
+        with tracer.span("obg.cover"):
+            PERF.add("obs.test.counter", 5)
+        perf = tracer.events[0]["perf"]
+        assert perf["counters"]["obs.test.counter"] == 5
+
+    def test_span_absorbs_timer_delta(self, tracer):
+        with tracer.span("obg.cover"):
+            with PERF.timer("obs.test.timer"):
+                pass
+        timers = tracer.events[0]["perf"]["timers"]
+        assert timers["obs.test.timer"]["calls"] == 1
+        assert timers["obs.test.timer"]["total_s"] >= 0.0
+
+    def test_untouched_counters_are_not_reported(self, tracer):
+        PERF.add("obs.test.before", 3)
+        with tracer.span("obg.cover"):
+            pass
+        assert "perf" not in tracer.events[0]
+
+
+class TestWorkerAbsorption:
+    def test_absorb_remaps_ids_and_reparents(self, tracer):
+        worker = Tracer(enabled=True)
+        with worker.span("seed", run_index=1):
+            with worker.span("deploy"):
+                pass
+        exported = worker.export_events()
+        assert worker.events == []
+
+        with tracer.span("run"):
+            tracer.absorb_events(exported)
+        by_name = {event["name"]: event for event in tracer.events}
+        run_id = by_name["run"]["span_id"]
+        assert by_name["seed"]["parent_id"] == run_id
+        assert by_name["deploy"]["parent_id"] == \
+            by_name["seed"]["span_id"]
+        ids = [event["span_id"] for event in tracer.events]
+        assert len(set(ids)) == len(ids)  # no collisions after remap
+
+    def test_absorb_into_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.absorb_events([{"type": "span", "span_id": 1,
+                               "parent_id": None, "name": "seed"}])
+        assert tracer.events == []
+
+
+class TestJsonlExport:
+    def test_write_jsonl_header_manifest_events(self, tracer, tmp_path):
+        with tracer.span("run"):
+            pass
+        path = str(tmp_path / "run.jsonl")
+        tracer.write_jsonl(path, manifest={"experiment": "figX"})
+        events = read_jsonl(path)
+        assert events[0] == {"type": "header", "schema": TRACE_SCHEMA}
+        assert events[1]["type"] == "manifest"
+        assert events[1]["experiment"] == "figX"
+        assert events[2]["name"] == "run"
+
+    def test_events_are_json_serializable(self, tracer):
+        with tracer.span("plan", algorithm="BC") as span:
+            span.set(total_j=1.0)
+        json.dumps(tracer.events)  # must not raise

@@ -1,0 +1,145 @@
+"""Tests for trace/manifest schema validation (the CI gate)."""
+
+import pytest
+
+from repro.obs.jsonl import JsonlError, read_jsonl, write_jsonl
+from repro.obs.manifest import build_manifest
+from repro.obs.tracer import Tracer
+from repro.obs.validate import (KNOWN_EVENT_TYPES, KNOWN_SPAN_NAMES,
+                                assert_valid_jsonl, validate_events,
+                                validate_jsonl, validate_manifest)
+
+
+def _traced_events():
+    tracer = Tracer(enabled=True)
+    with tracer.span("run", experiment="figX"):
+        with tracer.span("seed", run_index=0, seed=7):
+            with tracer.span("deploy", n=5):
+                pass
+    return tracer.events
+
+
+class TestValidateEvents:
+    def test_clean_stream_has_no_problems(self):
+        assert validate_events(_traced_events()) == []
+
+    def test_unknown_span_name_is_flagged(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("obg.typo"):
+            pass
+        problems = validate_events(tracer.events)
+        assert any("unknown span name" in p and "obg.typo" in p
+                   for p in problems)
+
+    def test_unknown_event_type_is_flagged(self):
+        problems = validate_events([{"type": "mystery"}])
+        assert any("unknown type" in p for p in problems)
+
+    def test_missing_type_discriminator_is_flagged(self):
+        problems = validate_events([{"name": "run"}])
+        assert any("no 'type'" in p for p in problems)
+
+    def test_missing_span_key_is_flagged(self):
+        events = _traced_events()
+        del events[0]["duration_s"]
+        problems = validate_events(events)
+        assert any("missing key 'duration_s'" in p for p in problems)
+
+    def test_dangling_parent_id_is_flagged(self):
+        events = _traced_events()
+        events[0]["parent_id"] = 999
+        problems = validate_events(events)
+        assert any("unknown parent" in p for p in problems)
+
+    def test_negative_duration_is_flagged(self):
+        events = _traced_events()
+        events[0]["duration_s"] = -1.0
+        problems = validate_events(events)
+        assert any("negative duration" in p for p in problems)
+
+    def test_mission_trace_records_are_known_types(self):
+        for kind in ("move", "charge", "harvest"):
+            assert kind in KNOWN_EVENT_TYPES
+        assert validate_events([{"type": "move", "length_m": 2.0}]) == []
+
+    def test_taxonomy_covers_the_pipeline(self):
+        for name in ("run", "seed", "deploy", "plan", "obg.candidates",
+                     "obg.cover", "bto.tsp", "bto.tspn", "bto.anchors",
+                     "sim.mission"):
+            assert name in KNOWN_SPAN_NAMES
+
+
+class TestValidateManifest:
+    def test_complete_manifest_is_valid(self):
+        manifest = build_manifest("fig13", {"runs": 2}, [1, 2], 0.1)
+        assert validate_manifest(manifest) == []
+
+    def test_each_missing_required_field_is_flagged(self):
+        manifest = build_manifest("fig13", {"runs": 2}, [1, 2], 0.1)
+        for field in ("config_hash", "seeds", "git_sha", "wall_time_s"):
+            broken = dict(manifest)
+            del broken[field]
+            problems = validate_manifest(broken)
+            assert any(field in p and "missing" in p
+                       for p in problems), field
+
+    def test_wrong_schema_tag_is_flagged(self):
+        manifest = build_manifest("fig13", {}, [], 0.1)
+        manifest["schema"] = "bundle-charging/manifest/v999"
+        assert any("unknown manifest schema" in p
+                   for p in validate_manifest(manifest))
+
+    def test_non_list_seeds_is_flagged(self):
+        manifest = build_manifest("fig13", {}, [], 0.1)
+        manifest["seeds"] = "1,2,3"
+        assert any("'seeds' must be a list" in p
+                   for p in validate_manifest(manifest))
+
+
+class TestValidateJsonl:
+    def _write_trace(self, tmp_path, manifest=None):
+        tracer = Tracer(enabled=True)
+        with tracer.span("run"):
+            pass
+        path = str(tmp_path / "run.jsonl")
+        tracer.write_jsonl(path, manifest=manifest)
+        return path
+
+    def test_full_stream_is_valid(self, tmp_path):
+        manifest = build_manifest("fig13", {}, [], 0.1)
+        path = self._write_trace(tmp_path, manifest=manifest)
+        assert validate_jsonl(path) == []
+        assert_valid_jsonl(path)  # must not raise
+
+    def test_missing_manifest_is_flagged(self, tmp_path):
+        path = self._write_trace(tmp_path, manifest=None)
+        problems = validate_jsonl(path)
+        assert any("no manifest" in p for p in problems)
+        assert validate_jsonl(path, expect_manifest=False) == []
+
+    def test_missing_header_is_flagged(self, tmp_path):
+        path = str(tmp_path / "headless.jsonl")
+        write_jsonl(path, _traced_events())
+        problems = validate_jsonl(path, expect_manifest=False)
+        assert any("header" in p for p in problems)
+
+    def test_wrong_header_schema_is_flagged(self, tmp_path):
+        path = str(tmp_path / "old.jsonl")
+        write_jsonl(path, [{"type": "header",
+                            "schema": "bundle-charging/trace/v0"}])
+        problems = validate_jsonl(path, expect_manifest=False)
+        assert any("unknown trace schema" in p for p in problems)
+
+    def test_assert_valid_raises_with_all_problems(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        write_jsonl(path, [{"type": "mystery"}])
+        with pytest.raises(ValueError) as excinfo:
+            assert_valid_jsonl(path, expect_manifest=False)
+        assert "header" in str(excinfo.value)
+        assert "unknown type" in str(excinfo.value)
+
+    def test_malformed_jsonl_line_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"type": "header"}\nnot json\n')
+        with pytest.raises(JsonlError):
+            read_jsonl(str(path))

@@ -1,9 +1,12 @@
-"""CI regression gate: the quick kernel benchmark.
+"""CI regression gate: the quick kernel benchmark + a traced run.
 
 Runs the same harness as ``python -m repro.cli bench --quick`` on
 trimmed workloads and fails when a fast path loses bit-identity or
 regresses to worse than half its reference implementation's speed
-(i.e. a >2x slowdown of the shipped kernels).
+(i.e. a >2x slowdown of the shipped kernels).  A traced quick
+experiment rides along: its emitted JSONL must validate against the
+``repro.obs`` schema — unknown span names or missing manifest fields
+fail CI here.
 """
 
 from repro.perf.bench import (_FULL, _QUICK, render_report,
@@ -29,3 +32,47 @@ class TestQuickBench:
         assert set(_QUICK) == set(_FULL)
         for key in _QUICK:
             assert _QUICK[key] <= _FULL[key]
+
+    def test_bench_report_embeds_provenance(self):
+        from repro.obs.validate import validate_manifest
+        report = run_benchmarks(quick=True, out_path=None)
+        provenance = report["provenance"]
+        assert validate_manifest(provenance) == []
+        assert provenance["experiment"] == "bench"
+        assert provenance["config"]["quick"] is True
+        # The established report keys stay unchanged for trajectory
+        # compatibility with older BENCH_*.json files.
+        for key in ("benchmark", "quick", "python", "platform",
+                    "entries", "all_identical", "perf_counters"):
+            assert key in report, key
+
+
+class TestTracedRunGate:
+    def test_traced_quick_experiment_emits_valid_jsonl(self, tmp_path):
+        """CI gate: run one experiment traced, validate the stream."""
+        from repro.cli import main
+        from repro.obs.jsonl import read_jsonl
+        from repro.obs.validate import (assert_valid_jsonl,
+                                        validate_jsonl)
+
+        out_dir = tmp_path / "traced"
+        code = main(["trace", "fig13", "--fast",
+                     "--out-dir", str(out_dir)])
+        assert code == 0
+        trace_path = out_dir / "fig13.jsonl"
+        manifest_path = out_dir / "manifest.json"
+        assert trace_path.exists()
+        assert manifest_path.exists()
+
+        # Fails loudly on unknown span names, unknown event types or a
+        # manifest missing a required provenance field.
+        assert validate_jsonl(str(trace_path)) == []
+        assert_valid_jsonl(str(trace_path))
+
+        events = read_jsonl(str(trace_path))
+        names = {event.get("name") for event in events
+                 if event.get("type") == "span"}
+        # The pipeline phases must actually appear in the stream.
+        for expected in ("run", "seed", "deploy", "plan",
+                         "obg.candidates", "obg.cover"):
+            assert expected in names, expected

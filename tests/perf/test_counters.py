@@ -50,6 +50,39 @@ class TestRegistry:
         assert data["counters"]["ops"] == 7
 
 
+class TestMergeSnapshot:
+    def test_counters_and_timers_sum(self):
+        parent = PerfRegistry()
+        parent.add("ops", 2)
+        parent.record_seconds("work", 1.0)
+        worker = PerfRegistry()
+        worker.add("ops", 3)
+        worker.add("extra", 1)
+        worker.record_seconds("work", 0.5)
+        worker.record_seconds("other", 0.25)
+
+        parent.merge_snapshot(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"] == {"ops": 5, "extra": 1}
+        assert snapshot["timers"]["work"] == {"total_s": 1.5, "calls": 2}
+        assert snapshot["timers"]["other"] == {"total_s": 0.25,
+                                               "calls": 1}
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        parent = PerfRegistry(enabled=False)
+        worker = PerfRegistry()
+        worker.add("ops", 3)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.snapshot() == {"timers": {}, "counters": {}}
+
+    def test_merge_empty_snapshot_changes_nothing(self):
+        parent = PerfRegistry()
+        parent.add("ops", 1)
+        before = parent.snapshot()
+        parent.merge_snapshot(PerfRegistry().snapshot())
+        assert parent.snapshot() == before
+
+
 class TestGlobalHelpers:
     def test_global_roundtrip(self):
         perf_reset()

@@ -1,0 +1,107 @@
+"""Round-trip tests for mission-trace record serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.geometry import Point
+from repro.network import Sensor, SensorNetwork
+from repro.sim import (ChargeRecord, HarvestRecord, MissionTrace,
+                       MoveRecord, RECORD_TYPES, TRACE_RECORD_SCHEMA,
+                       record_from_dict, run_mission)
+from repro.tour import ChargingPlan, stop_for_sensors
+
+MOVE = MoveRecord(start_s=0.0, end_s=10.0, origin=Point(0.0, 0.0),
+                  destination=Point(10.0, 0.0), length_m=10.0,
+                  energy_j=500.0)
+CHARGE = ChargeRecord(start_s=10.0, end_s=25.0,
+                      position=Point(10.0, 0.0), stop_index=0,
+                      energy_j=150.0)
+HARVEST = HarvestRecord(sensor_index=3, stop_index=0, distance_m=2.5,
+                        energy_j=0.04, assigned=True)
+
+
+class TestRecordRoundTrip:
+    @pytest.mark.parametrize("record", [MOVE, CHARGE, HARVEST])
+    def test_to_dict_from_dict_round_trip(self, record):
+        raw = record.to_dict()
+        assert record_from_dict(raw) == record
+        assert type(record).from_dict(raw) == record
+
+    @pytest.mark.parametrize("record", [MOVE, CHARGE, HARVEST])
+    def test_dict_is_json_serializable(self, record):
+        raw = record.to_dict()
+        assert record_from_dict(json.loads(json.dumps(raw))) == record
+
+    def test_type_discriminators(self):
+        assert MOVE.to_dict()["type"] == "move"
+        assert CHARGE.to_dict()["type"] == "charge"
+        assert HARVEST.to_dict()["type"] == "harvest"
+        assert set(RECORD_TYPES) == {"move", "charge", "harvest"}
+        assert TRACE_RECORD_SCHEMA == "bundle-charging/mission-trace/v1"
+
+    def test_records_carry_version_tag(self):
+        for record in (MOVE, CHARGE, HARVEST):
+            assert record.to_dict()["v"] == 1
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SimulationError, match="unknown trace record"):
+            record_from_dict({"type": "teleport"})
+        with pytest.raises(SimulationError, match="unknown trace record"):
+            record_from_dict({})
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(SimulationError, match="malformed"):
+            record_from_dict({"type": "move", "start_s": 0.0})
+
+
+class TestMissionTraceRoundTrip:
+    def _mission_trace(self, paper_cost):
+        pts = [Point(100, 0), Point(200, 0)]
+        network = SensorNetwork(
+            [Sensor(index=i, location=p) for i, p in enumerate(pts)],
+            1000.0)
+        stops = tuple(
+            stop_for_sensors(p, [i], pts, paper_cost)
+            for i, p in enumerate(pts))
+        plan = ChargingPlan(stops=stops, depot=Point(0, 0))
+        return run_mission(plan, network, paper_cost)
+
+    def test_simulated_mission_round_trips(self, paper_cost):
+        trace = self._mission_trace(paper_cost)
+        rebuilt = MissionTrace.from_events(trace.to_events())
+        assert rebuilt.moves == trace.moves
+        assert rebuilt.charges == trace.charges
+        assert rebuilt.harvests == trace.harvests
+        assert rebuilt.total_energy_j == trace.total_energy_j
+        assert rebuilt.mission_time_s == trace.mission_time_s
+
+    def test_to_events_is_time_ordered(self, paper_cost):
+        events = self._mission_trace(paper_cost).to_events()
+        timeline = [event for event in events
+                    if event["type"] in ("move", "charge")]
+        starts = [event["start_s"] for event in timeline]
+        assert starts == sorted(starts)
+
+    def test_from_events_skips_foreign_event_types(self, paper_cost):
+        trace = self._mission_trace(paper_cost)
+        stream = ([{"type": "header", "schema": "x"},
+                   {"type": "manifest"},
+                   {"type": "span", "name": "sim.mission"}]
+                  + trace.to_events())
+        rebuilt = MissionTrace.from_events(stream)
+        assert rebuilt.moves == trace.moves
+        assert rebuilt.charges == trace.charges
+        assert rebuilt.harvests == trace.harvests
+
+    def test_round_trip_through_obs_jsonl(self, paper_cost, tmp_path):
+        """A mission trace survives the obs JSONL stream verbatim."""
+        from repro.obs.jsonl import read_jsonl, write_jsonl
+        trace = self._mission_trace(paper_cost)
+        path = str(tmp_path / "mission.jsonl")
+        write_jsonl(path, trace.to_events())
+        rebuilt = MissionTrace.from_events(read_jsonl(path))
+        assert rebuilt.moves == trace.moves
+        assert rebuilt.charges == trace.charges
+        assert rebuilt.harvests == trace.harvests

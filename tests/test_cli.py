@@ -101,3 +101,113 @@ class TestPerfFlags:
         assert report["all_identical"] is True
         assert {e["name"] for e in report["entries"]} >= {
             "greedy_bundles_n40", "fig13_node_sweep"}
+        assert report["provenance"]["experiment"] == "bench"
+
+
+class TestObservabilityFlags:
+    def test_trace_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["trace", "fig13", "--fast", "--out-dir", "runs/"])
+        assert args.experiment == "trace"
+        assert args.target == "fig13"
+        assert args.out_dir == "runs/"
+
+    def test_report_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["report", "--trace", "a.jsonl", "--diff", "b.jsonl"])
+        assert args.experiment == "report"
+        assert args.trace == "a.jsonl"
+        assert args.diff == "b.jsonl"
+
+    def test_profile_flag_parses(self):
+        assert build_parser().parse_args(
+            ["fig16", "--profile"]).profile is True
+        assert build_parser().parse_args(["fig16"]).profile is False
+
+    def test_trace_without_experiment_id_fails(self, capsys):
+        assert main(["trace"]) == 2
+        assert "experiment id" in capsys.readouterr().err
+
+    def test_trace_with_unknown_target_fails(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_report_without_trace_flag_fails(self, capsys):
+        assert main(["report"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+
+class TestTraceReportRoundTrip:
+    def _trace(self, tmp_path):
+        out_dir = os.path.join(tmp_path, "traced")
+        code = main(["trace", "fig13", "--fast", "--out-dir", out_dir])
+        assert code == 0
+        return os.path.join(out_dir, "fig13.jsonl"), out_dir
+
+    def test_trace_writes_valid_jsonl_and_manifest(self, tmp_path,
+                                                   capsys):
+        import json
+        from repro.obs.validate import (validate_jsonl,
+                                        validate_manifest)
+        trace_path, out_dir = self._trace(tmp_path)
+        out = capsys.readouterr().out
+        assert "traced in" in out
+        assert validate_jsonl(trace_path) == []
+        with open(os.path.join(out_dir, "manifest.json"),
+                  encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert validate_manifest(manifest) == []
+        assert manifest["experiment"] == "fig13"
+        assert manifest["traced"] is True
+        assert manifest["seeds"]  # the consumed per-run seeds
+
+    def test_report_replays_the_trace(self, tmp_path, capsys):
+        trace_path, _ = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "Energy split per algorithm" in out
+        assert "Time per pipeline phase" in out
+        for algorithm in ("SC", "CSS", "BC", "BC-OPT"):
+            assert algorithm in out
+
+    def test_report_diff_mode(self, tmp_path, capsys):
+        trace_path, _ = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--trace", trace_path,
+                     "--diff", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "Energy diff" in out
+        assert "Phase time diff" in out
+
+    def test_trace_with_profile_dumps_pstats(self, tmp_path, capsys):
+        import pstats
+        out_dir = os.path.join(tmp_path, "profiled")
+        code = main(["trace", "fig16", "--fast", "--profile",
+                     "--out-dir", out_dir])
+        assert code == 0
+        pstats_path = os.path.join(out_dir, "fig16.pstats")
+        assert os.path.exists(pstats_path)
+        stats = pstats.Stats(pstats_path)  # must parse as a dump
+        assert stats.total_calls > 0
+
+    def test_plain_experiment_profile_next_to_csv(self, tmp_path,
+                                                  capsys):
+        csv_dir = os.path.join(tmp_path, "csv")
+        code = main(["fig16", "--fast", "--profile", "--csv", csv_dir])
+        assert code == 0
+        assert os.path.exists(os.path.join(csv_dir, "fig16.pstats"))
+
+    def test_csv_run_writes_provenance_manifest(self, tmp_path,
+                                                capsys):
+        import json
+        from repro.obs.validate import validate_manifest
+        csv_dir = os.path.join(tmp_path, "csv")
+        code = main(["fig16", "--fast", "--csv", csv_dir])
+        assert code == 0
+        manifest_path = os.path.join(csv_dir, "fig16.manifest.json")
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert validate_manifest(manifest) == []
+        assert manifest["experiment"] == "fig16"
+        assert manifest["traced"] is False
