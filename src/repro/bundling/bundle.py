@@ -80,7 +80,7 @@ def make_bundle(member_indices: Sequence[int],
     members = frozenset(member_indices)
     if not members:
         raise BundlingError("cannot build a bundle from zero sensors")
-    disk = smallest_enclosing_disk([locations[i] for i in members])
+    disk = smallest_enclosing_disk([locations[i] for i in sorted(members)])
     return Bundle(members, disk.center, disk.radius)
 
 

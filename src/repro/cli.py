@@ -20,6 +20,12 @@ Observability (see docs/architecture.md, "Observability")::
     bundle-charging fig13 --fast --profile --csv out/
                                           # cProfile next to the outputs
 
+Static analysis (see docs/architecture.md, "Static analysis")::
+
+    bundle-charging lint                  # lint src/ and tests/
+    bundle-charging lint src --format json
+    bundle-charging lint --list-rules     # rule catalogue + rationale
+
 (or ``python -m repro.cli ...`` without installing the entry point.)
 """
 
@@ -45,13 +51,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=experiment_ids() + ["all", "check", "bench", "trace",
-                                    "report"],
+                                    "report", "lint"],
         help="which figure to regenerate; 'all' runs everything, "
              "'check' runs the reproduction-verdict harness, 'bench' "
              "times the fast-path kernels against their reference "
              "implementations, 'trace' runs one experiment with span "
              "tracing and writes a JSONL log + provenance manifest, "
-             "'report' replays a traced run's energy accounting")
+             "'report' replays a traced run's energy accounting, "
+             "'lint' runs the determinism/invariant static analyzer "
+             "(see 'bundle-charging lint --help')")
     parser.add_argument(
         "target", nargs="?", default=None,
         help="for trace: the experiment id to run traced")
@@ -194,7 +202,13 @@ def _write_run_manifest(experiment_id: str, config: ExperimentConfig,
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # The linter owns its flags (--format, --baseline, ...), so it
+        # is dispatched before the experiment parser sees them.
+        from .lint.cli import main as lint_main
+        return lint_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     config = make_config(args)
     if args.experiment == "bench":
         from .perf.bench import render_report, run_benchmarks

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from ..errors import GeometryError
 from .point import Point
@@ -90,7 +90,7 @@ def disk_from_three_points(a: Point, b: Point, c: Point) -> Optional[Disk]:
 
 
 def disks_through_pair_with_radius(a: Point, b: Point,
-                                   radius: float) -> tuple:
+                                   radius: float) -> Tuple[Disk, ...]:
     """Return the (0, 1 or 2) radius-``radius`` disks through ``a`` and ``b``.
 
     These are the classic candidate disks for geometric unit-disk cover:

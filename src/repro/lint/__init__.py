@@ -1,0 +1,54 @@
+"""``repro.lint`` — AST-based determinism & invariant linter.
+
+A pure-stdlib static-analysis framework encoding this reproduction's
+correctness invariants as lint rules, run in CI next to the tests::
+
+    bundle-charging lint src tests
+    python -m repro.lint --list-rules
+
+Shipped rule pack (see docs/architecture.md, "Static analysis"):
+
+* ``DET001`` — unseeded/global randomness outside repro.network.rng
+* ``DET002`` — wall-clock calls in deterministic kernel modules
+* ``DET003`` — unordered set iteration flowing into outputs
+* ``DET004`` — exact float ==/!= in geometry/charging/tspn
+* ``PAR001`` — reference/fast kernel parity with repro.perf.kernels
+* ``OBS001`` — repro.obs imports must use the ImportError fallback
+
+Per-line and per-file suppression (``# repro-lint: disable=RULE``) and
+a committed JSON baseline support incremental adoption; the baseline in
+this repo is empty because every true positive was fixed at the source.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, fingerprint, load_baseline, write_baseline
+from .core import (Finding, FileContext, ProjectContext, ProjectRule,
+                   Rule, all_rules, register, rule_registry)
+from .engine import LintResult, discover_files, lint_paths, run_lint
+from .report import JSON_SCHEMA_ID, render_json, render_text
+from .suppress import Suppressions, collect_suppressions
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "JSON_SCHEMA_ID",
+    "LintResult",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "collect_suppressions",
+    "discover_files",
+    "fingerprint",
+    "lint_paths",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_registry",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,109 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the linter be adopted on a codebase with pre-existing
+violations without blocking CI: known findings are fingerprinted and
+filtered, while *new* findings still fail the build.  Fingerprints hash
+the rule id, the file path and the *stripped source line text* — not the
+line number — so unrelated edits above a grandfathered finding do not
+invalidate the baseline.  Identical lines in one file share a
+fingerprint; the baseline stores a count and filtering consumes it, so
+adding a second copy of a grandfathered line is still reported.
+
+File format (``lint-baseline.json``, committed at the repo root)::
+
+    {
+      "version": 1,
+      "entries": {"<fingerprint>": {"rule": "...", "path": "...",
+                                    "line_text": "...", "count": N}}
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable, line-number-independent id for one finding."""
+    payload = f"{finding.rule}|{finding.path}|{line_text.strip()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """In-memory baseline: fingerprint -> remaining allowance."""
+
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def filter(self, findings_with_lines: Sequence[Tuple[Finding, str]]
+               ) -> Tuple[List[Finding], int]:
+        """Split findings into (new, baselined-count).
+
+        Each baseline entry absorbs at most ``count`` matching findings;
+        anything beyond that is reported as new.
+        """
+        remaining = {fp: int(entry.get("count", 1))
+                     for fp, entry in self.entries.items()}
+        fresh: List[Finding] = []
+        absorbed = 0
+        for finding, line_text in findings_with_lines:
+            fp = fingerprint(finding, line_text)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                absorbed += 1
+            else:
+                fresh.append(finding)
+        return fresh, absorbed
+
+
+def load_baseline(path: str) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return Baseline()
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path} (expected {BASELINE_VERSION})")
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline entries in {path}")
+    return Baseline(entries=dict(entries))
+
+
+def write_baseline(path: str,
+                   findings_with_lines: Sequence[Tuple[Finding, str]]
+                   ) -> Baseline:
+    """Serialize the given findings as the new baseline and return it."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for finding, line_text in findings_with_lines:
+        fp = fingerprint(finding, line_text)
+        if fp in entries:
+            entries[fp]["count"] = int(entries[fp]["count"]) + 1
+        else:
+            entries[fp] = {"rule": finding.rule, "path": finding.path,
+                           "line_text": line_text.strip(), "count": 1}
+    baseline = Baseline(entries=entries)
+    payload = {"version": BASELINE_VERSION,
+               "entries": {fp: entries[fp] for fp in sorted(entries)}}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return baseline

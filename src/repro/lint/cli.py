@@ -1,0 +1,93 @@
+"""CLI for the linter: ``bundle-charging lint`` / ``python -m repro.lint``.
+
+Exit codes follow the usual linter convention:
+
+* 0 — clean (possibly after suppression/baseline filtering)
+* 1 — findings reported
+* 2 — usage or internal error
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import run_lint
+from .report import render_json, render_rules, render_text
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bundle-charging lint",
+        description="AST-based determinism & invariant linter for the "
+                    "bundle-charging reproduction (rules DET001-DET004, "
+                    "PAR001, OBS001).")
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json follows bundle-charging/lint/v1)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"baseline file of grandfathered findings (default: "
+             f"{DEFAULT_BASELINE} when it exists)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file and report every finding")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0")
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="lint root for relative paths and rule scoping "
+             "(default: current directory)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue with rationales and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rules())
+        return 0
+
+    select = (None if args.select is None
+              else [rule.strip() for rule in args.select.split(",")
+                    if rule.strip()])
+    baseline_path: Optional[str] = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or DEFAULT_BASELINE
+    write_to = ((args.baseline or DEFAULT_BASELINE)
+                if args.write_baseline else None)
+
+    try:
+        result = run_lint(args.paths, root=args.root, select=select,
+                          baseline_path=baseline_path,
+                          write_baseline_to=write_to)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"bundle-charging lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        print(f"wrote {result.baselined} finding"
+              f"{'' if result.baselined == 1 else 's'} to "
+              f"{write_to}")
+        return 0
+    print(render_json(result) if args.format == "json"
+          else render_text(result))
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

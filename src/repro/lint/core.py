@@ -1,0 +1,189 @@
+"""Core data model of the ``repro.lint`` static-analysis framework.
+
+The linter is deliberately pure-stdlib: rules are small :mod:`ast`
+visitors registered in a process-wide registry, the engine feeds them
+parsed file contexts, and everything downstream (suppression, baseline,
+reporters) operates on immutable :class:`Finding` values.
+
+Two rule shapes exist:
+
+* :class:`Rule` — per-file: sees one parsed module at a time.
+* :class:`ProjectRule` — cross-module: sees every parsed module at once
+  (used for parity checks such as PAR001 that cannot be decided from a
+  single file).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "ProjectContext",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "rule_registry",
+    "all_rules",
+]
+
+#: Rule id used for files the engine cannot parse.
+PARSE_ERROR_RULE = "E999"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One linter diagnostic, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Render in the conventional ``path:line:col: RULE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (schema ``bundle-charging/lint/v1``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """One parsed source file as seen by per-file rules.
+
+    Attributes:
+        rel_path: path relative to the lint root, with ``/`` separators
+            (rules scope themselves by this, so it is stable across
+            machines and operating systems).
+        source: the raw file text.
+        tree: the parsed module, or ``None`` when the file failed to
+            parse (the engine emits an ``E999`` finding instead of
+            running rules).
+    """
+
+    rel_path: str
+    source: str
+    tree: Optional[ast.Module]
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module name for files under ``src/`` ('' otherwise)."""
+        rel = self.rel_path
+        if not rel.startswith("src/") or not rel.endswith(".py"):
+            return ""
+        parts = rel[len("src/"):-len(".py")].split("/")
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def in_package(self, *packages: str) -> bool:
+        """True when the module lives under any ``repro.<package>``."""
+        name = self.module_name
+        return any(name == f"repro.{pkg}" or name.startswith(f"repro.{pkg}.")
+                   for pkg in packages)
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed file of one lint invocation, for cross-module rules."""
+
+    files: List[FileContext]
+
+    def by_module(self) -> Dict[str, FileContext]:
+        """Map dotted module names to contexts (src/ files only)."""
+        return {ctx.module_name: ctx for ctx in self.files
+                if ctx.module_name and ctx.tree is not None}
+
+
+class Rule:
+    """Base class for per-file rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    registration happens via the :func:`register` decorator.
+    """
+
+    id: str = ""
+    title: str = ""
+    #: One-paragraph justification tied to the reproduction's invariants;
+    #: surfaced by ``--list-rules`` and the docs.
+    rationale: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Path scoping hook; default: every Python file."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(path=ctx.rel_path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule=self.id, message=message)
+
+
+class ProjectRule(Rule):
+    """Base class for cross-module rules; sees the whole file set."""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    instance = rule_cls()
+    if not instance.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id!r}")
+    _REGISTRY[instance.id] = instance
+    return rule_cls
+
+
+def rule_registry() -> Dict[str, Rule]:
+    """Return the live id -> rule mapping (rule pack must be imported)."""
+    from . import rulepack  # noqa: F401  (importing registers the pack)
+    return _REGISTRY
+
+
+def all_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Return registered rules, optionally restricted to ``select`` ids.
+
+    Raises:
+        KeyError: when ``select`` names an unknown rule id.
+    """
+    registry = rule_registry()
+    if select is None:
+        return [registry[rule_id] for rule_id in sorted(registry)]
+    rules = []
+    for rule_id in select:
+        if rule_id not in registry:
+            raise KeyError(f"unknown rule id {rule_id!r}; "
+                           f"known: {sorted(registry)}")
+        rules.append(registry[rule_id])
+    return rules

@@ -1,0 +1,192 @@
+"""The lint engine: file discovery, parsing, rule dispatch, filtering.
+
+Pipeline per invocation::
+
+    discover .py files -> parse -> per-file rules -> project rules
+        -> inline suppressions -> baseline filter -> LintResult
+
+The engine never imports the code under analysis — everything is pure
+:mod:`ast`, so linting cannot execute side effects and works on files
+that would not even import in this environment.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .core import (PARSE_ERROR_RULE, FileContext, Finding, ProjectContext,
+                   ProjectRule, Rule, all_rules)
+from .suppress import collect_suppressions
+
+__all__ = ["LintResult", "discover_files", "lint_paths", "run_lint"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def discover_files(paths: Sequence[str], root: str) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Args:
+        paths: files or directories, absolute or relative to ``root``.
+        root: the lint root every reported path is relative to.
+
+    Raises:
+        FileNotFoundError: when an argument does not exist.
+    """
+    found: List[str] = []
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root,
+                                                                 path)
+        if os.path.isfile(absolute):
+            found.append(os.path.abspath(absolute))
+        elif os.path.isdir(absolute):
+            for dirpath, dirnames, filenames in os.walk(absolute):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git", ".venv"))
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        found.append(os.path.abspath(
+                            os.path.join(dirpath, filename)))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    # Deterministic order, stable across filesystems.
+    return sorted(dict.fromkeys(found))
+
+
+def _relativize(path: str, root: str) -> str:
+    rel = os.path.relpath(path, root)
+    return rel.replace(os.sep, "/")
+
+
+def _parse_files(files: Sequence[str], root: str
+                 ) -> Tuple[List[FileContext], List[Finding]]:
+    contexts: List[FileContext] = []
+    errors: List[Finding] = []
+    for path in files:
+        rel = _relativize(path, root)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(Finding(path=rel, line=1, col=0,
+                                  rule=PARSE_ERROR_RULE,
+                                  message=f"cannot read file: {exc}"))
+            continue
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            errors.append(Finding(
+                path=rel, line=exc.lineno or 1, col=exc.offset or 0,
+                rule=PARSE_ERROR_RULE,
+                message=f"syntax error: {exc.msg}"))
+            contexts.append(FileContext(rel_path=rel, source=source,
+                                        tree=None))
+            continue
+        contexts.append(FileContext(rel_path=rel, source=source,
+                                    tree=tree))
+    return contexts, errors
+
+
+def _line_text(context_by_path: Dict[str, FileContext],
+               finding: Finding) -> str:
+    ctx = context_by_path.get(finding.path)
+    if ctx is None or not (1 <= finding.line <= len(ctx.lines)):
+        return ""
+    return ctx.lines[finding.line - 1]
+
+
+def lint_paths(paths: Sequence[str], root: Optional[str] = None,
+               select: Optional[Sequence[str]] = None,
+               baseline: Optional[Baseline] = None,
+               baseline_out: Optional[str] = None) -> LintResult:
+    """Run the linter and return a :class:`LintResult`.
+
+    Args:
+        paths: files or directories to lint.
+        root: lint root for relative paths and rule scoping (default:
+            the current working directory).
+        select: restrict to these rule ids (default: every rule).
+        baseline: grandfathered findings to filter out.
+        baseline_out: when given, write the post-suppression findings
+            to this path as the new baseline (and report them all as
+            baselined).
+    """
+    root = os.path.abspath(root or os.getcwd())
+    rules = all_rules(select)
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    files = discover_files(paths, root)
+    contexts, parse_errors = _parse_files(files, root)
+    context_by_path = {ctx.rel_path: ctx for ctx in contexts}
+
+    raw: List[Finding] = list(parse_errors)
+    for ctx in contexts:
+        if ctx.tree is None:
+            continue
+        for rule in file_rules:
+            if rule.applies_to(ctx):
+                raw.extend(rule.check(ctx))
+    project = ProjectContext(files=[ctx for ctx in contexts
+                                    if ctx.tree is not None])
+    for rule in project_rules:
+        raw.extend(rule.check_project(project))
+
+    suppressions = {ctx.rel_path: collect_suppressions(ctx)
+                    for ctx in contexts}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(raw):
+        marks = suppressions.get(finding.path)
+        if (marks is not None and finding.rule != PARSE_ERROR_RULE
+                and marks.is_suppressed(finding)):
+            suppressed += 1
+        else:
+            kept.append(finding)
+
+    with_lines = [(f, _line_text(context_by_path, f)) for f in kept]
+    if baseline_out is not None:
+        write_baseline(baseline_out, with_lines)
+        return LintResult(findings=[], suppressed=suppressed,
+                          baselined=len(kept),
+                          files_checked=len(contexts))
+    if baseline is not None:
+        fresh, absorbed = baseline.filter(with_lines)
+        return LintResult(findings=fresh, suppressed=suppressed,
+                          baselined=absorbed,
+                          files_checked=len(contexts))
+    return LintResult(findings=kept, suppressed=suppressed,
+                      baselined=0, files_checked=len(contexts))
+
+
+def run_lint(paths: Sequence[str], root: Optional[str] = None,
+             select: Optional[Sequence[str]] = None,
+             baseline_path: Optional[str] = None,
+             write_baseline_to: Optional[str] = None) -> LintResult:
+    """Convenience wrapper: load the baseline file, then lint.
+
+    ``baseline_path`` may point at a missing file (treated as empty),
+    which keeps ``--baseline lint-baseline.json`` usable before the
+    first baseline has ever been written.
+    """
+    baseline = (load_baseline(baseline_path)
+                if baseline_path is not None else None)
+    return lint_paths(paths, root=root, select=select, baseline=baseline,
+                      baseline_out=write_baseline_to)

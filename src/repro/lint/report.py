@@ -1,0 +1,65 @@
+"""Text and JSON reporters for lint results.
+
+The JSON shape is a stable machine-readable contract
+(``bundle-charging/lint/v1``) so CI annotations and editor plugins can
+consume it without scraping text output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import all_rules
+from .engine import LintResult
+
+__all__ = ["JSON_SCHEMA_ID", "render_json", "render_rules", "render_text"]
+
+JSON_SCHEMA_ID = "bundle-charging/lint/v1"
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one finding per line plus a summary."""
+    lines: List[str] = [finding.render() for finding in result.findings]
+    by_rule: Dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    if lines:
+        lines.append("")
+    summary = (f"{len(result.findings)} finding"
+               f"{'' if len(result.findings) == 1 else 's'} "
+               f"in {result.files_checked} files")
+    if by_rule:
+        summary += " (" + ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        ) + ")"
+    if result.suppressed:
+        summary += f"; {result.suppressed} suppressed inline"
+    if result.baselined:
+        summary += f"; {result.baselined} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (schema ``bundle-charging/lint/v1``)."""
+    payload = {
+        "schema": JSON_SCHEMA_ID,
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "clean": result.clean,
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The rule catalogue for ``--list-rules``."""
+    blocks: List[str] = []
+    for rule in all_rules():
+        blocks.append(f"{rule.id} — {rule.title}\n    {rule.rationale}")
+    return "\n\n".join(blocks)

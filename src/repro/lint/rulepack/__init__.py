@@ -1,0 +1,14 @@
+"""The shipped rule pack.
+
+Importing this package registers every built-in rule with the registry
+in :mod:`repro.lint.core`.  Third-party packs can follow the same
+pattern: define :class:`~repro.lint.core.Rule` subclasses decorated
+with :func:`~repro.lint.core.register` and import the module before
+calling the engine.
+"""
+
+from __future__ import annotations
+
+from . import determinism, obs, parity
+
+__all__ = ["determinism", "obs", "parity"]

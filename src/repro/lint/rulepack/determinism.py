@@ -1,0 +1,439 @@
+"""Determinism rules DET001–DET004.
+
+These encode the reproduction's seed discipline (docs/architecture.md,
+"Determinism"): every stochastic component takes an explicit seed, no
+kernel reads the wall clock, nothing iterates an unordered container
+into an output, and geometric/energetic floats are never compared
+exactly.  Each rule exists because the OBG/BTO pipeline's headline
+claim — identical seeds give byte-identical figures at any ``--jobs``
+count — dies silently when any of these patterns creeps in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core import FileContext, Finding, Rule, register
+
+__all__ = [
+    "UnseededRandomnessRule",
+    "WallClockRule",
+    "UnorderedIterationRule",
+    "FloatEqualityRule",
+]
+
+#: ``random`` module functions that mutate/read the hidden global RNG.
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: Wall-clock entry points (module attribute form).
+_WALL_CLOCK_ATTRS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Bare names that are wall-clock reads when imported from ``time``.
+_WALL_CLOCK_BARE = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+})
+
+#: Packages whose modules are deterministic kernels (DET002 scope).
+_KERNEL_PACKAGES = (
+    "geometry", "charging", "network", "bundling", "tsp", "tspn",
+    "tour", "planners", "sim", "fleet", "lifetime", "velocity",
+    "analysis", "io", "viz",
+)
+
+#: The one module allowed to construct seed streams (DET001 exemption).
+_RNG_MODULE = "repro.network.rng"
+
+#: Order-insensitive consumers: feeding a set into these is fine.
+_ORDER_INSENSITIVE_SINKS = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "set",
+    "frozenset", "bool",
+})
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an ``ast.Attribute``/``ast.Name`` chain as ``a.b.c``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Names under which ``module`` is importable in this file.
+
+    ``import random`` -> {"random"}; ``import numpy as np`` with
+    ``module='numpy'`` -> {"np"}.
+    """
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or module.split(".")[0])
+                elif alias.name.startswith(module + "."):
+                    # ``import numpy.random`` binds the top-level name.
+                    if alias.asname is None:
+                        aliases.add(module.split(".")[0])
+    return aliases
+
+
+def from_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Map local name -> original name for ``from module import ...``."""
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = alias.name
+    return mapping
+
+
+@register
+class UnseededRandomnessRule(Rule):
+    """DET001 — global/unseeded RNG use outside ``repro.network.rng``."""
+
+    id = "DET001"
+    title = "unseeded randomness"
+    rationale = (
+        "Figure regeneration must be a pure function of the seed "
+        "(docs/architecture.md, 'Determinism'). Global-state RNG calls "
+        "(random.random, np.random.*) and unseeded random.Random() make "
+        "runs irreproducible and break the per-(figure, run) seed "
+        "derivation in repro.network.rng; every stochastic component "
+        "must take an explicit seed or random.Random.")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module_name != _RNG_MODULE
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        tree = ctx.tree
+        random_aliases = module_aliases(tree, "random")
+        numpy_aliases = module_aliases(tree, "numpy")
+        random_names = from_imports(tree, "random")
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            # random.<global func>(...) / random.Random()
+            if len(parts) == 2 and parts[0] in random_aliases:
+                if parts[1] in _GLOBAL_RANDOM_FUNCS:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to global-state '{name}()'; pass an "
+                        f"explicit random.Random (see "
+                        f"repro.network.rng.make_rng)")
+                elif parts[1] == "Random" and not node.args:
+                    yield self.finding(
+                        ctx, node,
+                        "'random.Random()' without a seed is "
+                        "irreproducible; construct it with an explicit "
+                        "seed (repro.network.rng.make_rng)")
+            # from random import shuffle; shuffle(...)
+            elif len(parts) == 1 and parts[0] in random_names:
+                original = random_names[parts[0]]
+                if original in _GLOBAL_RANDOM_FUNCS:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to global-state 'random.{original}()' "
+                        f"(imported as '{parts[0]}'); pass an explicit "
+                        f"random.Random")
+                elif original == "Random" and not node.args:
+                    yield self.finding(
+                        ctx, node,
+                        "'random.Random()' without a seed is "
+                        "irreproducible; give it an explicit seed")
+            # np.random.<func>(...) global state; np.random.default_rng()
+            elif (len(parts) == 3 and parts[0] in numpy_aliases
+                  and parts[1] == "random"):
+                if parts[2] == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx, node,
+                            "'default_rng()' without a seed is "
+                            "irreproducible; pass an explicit seed")
+                elif parts[2] not in ("Generator", "SeedSequence",
+                                      "Philox", "PCG64", "MT19937"):
+                    yield self.finding(
+                        ctx, node,
+                        f"call to numpy global-state '{name}()'; use a "
+                        f"seeded np.random.default_rng(seed) generator")
+
+
+@register
+class WallClockRule(Rule):
+    """DET002 — wall-clock reads inside deterministic kernel modules."""
+
+    id = "DET002"
+    title = "wall-clock call in kernel module"
+    rationale = (
+        "Geometry, bundling, charging, tour and sim modules are pure "
+        "functions of their inputs; reading the clock there either "
+        "leaks timing into results (breaking the byte-identity claim "
+        "between reference and fast kernels) or smuggles in profiling "
+        "that belongs to repro.perf / repro.obs, the only sanctioned "
+        "timing layers.")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*_KERNEL_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        tree = ctx.tree
+        time_names = from_imports(tree, "time")
+        datetime_names = from_imports(tree, "datetime")
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            hit = None
+            if name in _WALL_CLOCK_ATTRS:
+                hit = name
+            else:
+                parts = name.split(".")
+                if len(parts) == 1:
+                    if time_names.get(parts[0]) in _WALL_CLOCK_BARE:
+                        hit = f"time.{time_names[parts[0]]}"
+                elif len(parts) == 2:
+                    # from datetime import datetime; datetime.now()
+                    original = datetime_names.get(parts[0])
+                    if (original in ("datetime", "date")
+                            and f"{original}.{parts[1]}"
+                            in _WALL_CLOCK_ATTRS):
+                        hit = f"datetime.{original}.{parts[1]}"
+            if hit is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock call '{hit}()' in a deterministic "
+                    f"kernel module; timing belongs in repro.perf "
+                    f"(counters/timers) or repro.obs (spans)")
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Collect names bound to set-typed expressions in one scope."""
+
+    def __init__(self) -> None:
+        self.known: Set[str] = set()
+
+    def _is_set_expr(self, node: Optional[ast.AST]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set",
+                                                          "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute):
+                if func.attr in ("union", "intersection", "difference",
+                                 "symmetric_difference", "copy"):
+                    base = func.value
+                    if (isinstance(base, ast.Name)
+                            and base.id in self.known):
+                        return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._is_set_expr(node.left)
+                    or self._is_set_expr(node.right)
+                    or (isinstance(node.left, ast.Name)
+                        and node.left.id in self.known)
+                    or (isinstance(node.right, ast.Name)
+                        and node.right.id in self.known))
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.known.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._is_set_expr(node.value):
+            if isinstance(node.target, ast.Name):
+                self.known.add(node.target.id)
+        self.generic_visit(node)
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003 — iterating a set into ordered output without sorted()."""
+
+    id = "DET003"
+    title = "unordered set iteration"
+    rationale = (
+        "Set iteration order is an implementation detail; looping over "
+        "a set to build a tour, a bundle list or any tie-broken "
+        "argmin/argmax makes results depend on hash layout. The OBG "
+        "pipeline's bit-identity between reference and fast kernels "
+        "(and across --jobs counts) requires every such traversal to "
+        "go through sorted().")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Scoped to library code: tests freely iterate sets in asserts.
+        return ctx.rel_path.startswith("src/")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        scopes: List[ast.AST] = [ctx.tree]
+        scopes.extend(n for n in ast.walk(ctx.tree)
+                      if isinstance(n, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)))
+        for scope in scopes:
+            tracker = _SetTracker()
+            tracker.visit(scope)
+            yield from self._check_scope(ctx, scope, tracker.known)
+
+    def _is_unordered(self, node: ast.AST, known: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name) and node.id in known:
+            return True
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")):
+            return True
+        return False
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST,
+                     known: Set[str]) -> Iterable[Finding]:
+        skip: Set[int] = set()
+        for fn in ast.walk(scope):
+            if isinstance(fn, (ast.FunctionDef,
+                               ast.AsyncFunctionDef)) and fn is not scope:
+                skip.update(id(inner) for inner in ast.walk(fn))
+
+        for node in ast.walk(scope):
+            if id(node) in skip:
+                continue
+            if isinstance(node, ast.For) and self._is_unordered(
+                    node.iter, known):
+                yield self.finding(
+                    ctx, node,
+                    "iteration over a set has no deterministic order; "
+                    "wrap the iterable in sorted(...)")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                # SetComp is exempt: a set built from a set is still
+                # unordered, so the traversal order cannot leak out.
+                for gen in node.generators:
+                    if self._is_unordered(gen.iter, known):
+                        yield self.finding(
+                            ctx, node,
+                            "comprehension over a set has no "
+                            "deterministic order; wrap the iterable "
+                            "in sorted(...)")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                sink = None
+                if isinstance(func, ast.Name):
+                    sink = func.id
+                elif (isinstance(func, ast.Attribute)
+                      and func.attr == "join"):
+                    sink = "join"
+                if sink in ("list", "tuple", "enumerate", "join",
+                            "reversed"):
+                    for arg in node.args:
+                        if self._is_unordered(arg, known):
+                            yield self.finding(
+                                ctx, node,
+                                f"'{sink}(...)' materializes a set in "
+                                f"hash order; wrap the set in "
+                                f"sorted(...) first")
+
+
+@register
+class FloatEqualityRule(Rule):
+    """DET004 — exact float equality in geometry/charging/tspn."""
+
+    id = "DET004"
+    title = "exact float comparison"
+    rationale = (
+        "Geometric predicates (Thm 4/5 anchor search, MinDisk support "
+        "sets) and energy accounting (Eq. 1/3) accumulate rounding "
+        "error; comparing such floats with ==/!= makes feasibility "
+        "flip on the last ulp. Use math.isclose, Point.is_close or "
+        "the module's documented epsilon — comparison against the "
+        "exact literal 0.0 is exempt (division-by-zero guards are "
+        "intentionally exact).")
+
+    #: Zero-argument methods known to return accumulated floats.
+    _FLOAT_METHODS = frozenset({
+        "norm", "norm_squared", "distance_to", "distance_squared_to",
+        "angle", "perimeter_length", "charge_time", "received_power",
+        "efficiency", "charge_energy_cost",
+    })
+    _FLOAT_FUNCS = frozenset({
+        "math.sqrt", "math.hypot", "math.dist", "math.fsum",
+        "math.atan2", "math.cos", "math.sin", "math.exp", "math.log",
+    })
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("geometry", "charging", "tspn")
+
+    def _is_zero_literal(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float)) and node.value == 0
+        if (isinstance(node, ast.UnaryOp)
+                and isinstance(node.op, ast.USub)):
+            return self._is_zero_literal(node.operand)
+        return False
+
+    def _is_float_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float) and node.value != 0.0
+        if (isinstance(node, ast.UnaryOp)
+                and isinstance(node.op, ast.USub)):
+            return self._is_float_expr(node.operand)
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in self._FLOAT_FUNCS:
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._FLOAT_METHODS):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if (self._is_zero_literal(left)
+                        or self._is_zero_literal(right)):
+                    continue
+                if self._is_float_expr(left) or self._is_float_expr(right):
+                    yield self.finding(
+                        ctx, node,
+                        "exact float ==/!= on a computed value; use "
+                        "math.isclose / Point.is_close or the module's "
+                        "epsilon (exact compare against literal 0.0 is "
+                        "allowed as a zero-divide guard)")

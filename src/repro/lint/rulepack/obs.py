@@ -1,0 +1,122 @@
+"""OBS001 — ImportError-safe observability imports.
+
+PR 2's byte-identity guarantee is that a pipeline run with
+``repro.obs`` physically absent produces byte-identical outputs.  That
+only holds because every pipeline module imports the tracer behind the
+fallback pattern::
+
+    try:  # tracing is optional
+        from ..obs.tracer import obs_span
+    except ImportError:
+        from contextlib import nullcontext as _nullcontext
+
+        def obs_span(name, **attrs):
+            return _nullcontext()
+
+A bare module-level ``from ..obs...`` import reintroduces a hard
+dependency and breaks the stripped-obs deployment.  Imports inside
+function bodies are exempt: they are deliberate lazy imports on paths
+(CLI ``trace``/``report``, the bench harness) that only run when the
+user explicitly asked for observability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..core import FileContext, Finding, Rule, register
+
+__all__ = ["ObsImportFallbackRule"]
+
+_SAFE_EXCEPTIONS = frozenset({"ImportError", "ModuleNotFoundError",
+                              "Exception", "BaseException"})
+
+
+def _is_obs_import(node: ast.stmt, module_name: str) -> bool:
+    """True when ``node`` imports from the repro.obs subsystem."""
+    if isinstance(node, ast.Import):
+        return any(alias.name == "repro.obs"
+                   or alias.name.startswith("repro.obs.")
+                   for alias in node.names)
+    if isinstance(node, ast.ImportFrom):
+        target = node.module or ""
+        if node.level == 0:
+            return target == "repro.obs" or target.startswith("repro.obs.")
+        # Relative: resolve against the importing module's package.
+        parts = module_name.split(".") if module_name else []
+        if node.level > len(parts):
+            return False
+        base = parts[:len(parts) - node.level]
+        absolute = ".".join(base + ([target] if target else []))
+        if absolute == "repro.obs" or absolute.startswith("repro.obs."):
+            return True
+        # ``from .. import obs`` / ``from . import obs``
+        if not target and any(alias.name == "obs"
+                              for alias in node.names):
+            return ".".join(base + ["obs"]).startswith("repro.obs")
+    return False
+
+
+def _handles_import_error(node: ast.Try) -> bool:
+    for handler in node.handlers:
+        if handler.type is None:
+            return True
+        exceptions: List[ast.expr] = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple) else [handler.type])
+        for exc in exceptions:
+            if isinstance(exc, ast.Name) and exc.id in _SAFE_EXCEPTIONS:
+                return True
+    return False
+
+
+@register
+class ObsImportFallbackRule(Rule):
+    """OBS001 — module-level obs imports need the ImportError fallback."""
+
+    id = "OBS001"
+    title = "unguarded repro.obs import"
+    rationale = (
+        "The determinism suite proves pipeline outputs byte-identical "
+        "with repro.obs absent (stripped deployments, minimal "
+        "containers). A module-level 'from ..obs import ...' without "
+        "the try/except ImportError fallback makes the whole pipeline "
+        "ImportError at collection time in exactly those environments; "
+        "lazy imports inside functions that only run when tracing was "
+        "requested are fine.")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        name = ctx.module_name
+        if not name.startswith("repro."):
+            return False
+        if name == "repro.obs" or name.startswith("repro.obs."):
+            return False
+        return name != "repro.cli"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        guarded: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Try) and _handles_import_error(node):
+                for child in ast.walk(node):
+                    guarded.add(id(child))
+        # Only module scope is checked: imports inside defs are lazy.
+        in_function: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if child is not node:
+                        in_function.add(id(child))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if id(node) in in_function or id(node) in guarded:
+                continue
+            if _is_obs_import(node, ctx.module_name):
+                yield self.finding(
+                    ctx, node,
+                    "module-level repro.obs import without the "
+                    "try/except ImportError fallback; use the "
+                    "nullcontext obs_span pattern so the pipeline "
+                    "works with repro.obs stripped")

@@ -1,0 +1,179 @@
+"""PAR001 — reference/fast kernel parity (cross-module).
+
+The performance layer's contract (docs/architecture.md, "Performance
+architecture") is that every accelerated kernel keeps its pure-Python
+original as a ``*_reference`` sibling, and that
+``repro.perf.kernels.reference_kernels()`` can flip *all* fast paths
+back at once.  This rule checks the three legs of that contract
+statically:
+
+1. every ``X_reference`` function has a fast sibling ``X`` in the same
+   module;
+2. the module defining a ``*_reference`` kernel is gated by a
+   ``_USE_REFERENCE`` backend flag that ``repro.perf.kernels``
+   registers (directly, or via an imported backend module such as
+   ``repro.bundling.bitset``);
+3. conversely, every backend module registered in
+   ``repro.perf.kernels`` is actually exercised by at least one
+   ``*_reference`` kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import (FileContext, Finding, ProjectContext, ProjectRule,
+                    register)
+
+__all__ = ["KernelParityRule"]
+
+_KERNELS_MODULE = "repro.perf.kernels"
+_FLAG = "_USE_REFERENCE"
+_SUFFIX = "_reference"
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom) -> Optional[str]:
+    """Resolve an ``ImportFrom`` to an absolute dotted module name."""
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    if node.level > len(parts):
+        return None
+    base = parts[:len(parts) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def _imported_modules(ctx: FileContext) -> Dict[str, str]:
+    """Map local alias -> absolute module for module-valued imports."""
+    assert ctx.tree is not None
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(ctx.module_name or "x.y", node)
+            if base is None:
+                continue
+            for alias in node.names:
+                # ``from ..bundling import bitset as _bitset``: the
+                # bound name may itself be a module.
+                aliases[alias.asname or alias.name] = \
+                    f"{base}.{alias.name}"
+    return aliases
+
+
+def _registered_backends(kernels: FileContext) -> Set[str]:
+    """Modules whose ``_USE_REFERENCE`` flag repro.perf.kernels flips."""
+    assert kernels.tree is not None
+    aliases = _imported_modules(kernels)
+    backends: Set[str] = set()
+    for node in ast.walk(kernels.tree):
+        target = None
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Attribute) and tgt.attr == _FLAG:
+                    target = tgt
+        elif isinstance(node, ast.Attribute) and node.attr == _FLAG:
+            target = node
+        if target is not None and isinstance(target.value, ast.Name):
+            module = aliases.get(target.value.id)
+            if module is not None:
+                backends.add(module)
+    return backends
+
+
+def _flag_references(ctx: FileContext) -> Tuple[bool, Set[str]]:
+    """(defines _USE_REFERENCE itself, backend modules referenced)."""
+    assert ctx.tree is not None
+    aliases = _imported_modules(ctx)
+    defines = False
+    referenced: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name) and tgt.id == _FLAG:
+                    defines = True
+        elif isinstance(node, ast.Name) and node.id == _FLAG:
+            defines = defines or isinstance(node.ctx, ast.Store)
+        elif isinstance(node, ast.Attribute) and node.attr == _FLAG:
+            if isinstance(node.value, ast.Name):
+                module = aliases.get(node.value.id)
+                if module is not None:
+                    referenced.add(module)
+    return defines, referenced
+
+
+@register
+class KernelParityRule(ProjectRule):
+    """PAR001 — every reference kernel has a registered fast sibling."""
+
+    id = "PAR001"
+    title = "reference/fast kernel parity"
+    rationale = (
+        "The benchmark harness proves fast kernels bit-identical by "
+        "re-running workloads under reference_kernels(); a reference "
+        "function without a fast sibling (or one whose module is not "
+        "wired into repro.perf.kernels) silently drops out of that "
+        "proof, and a registered backend no reference kernel exercises "
+        "is dead switching logic.")
+
+    def check_project(self, project: ProjectContext
+                      ) -> Iterable[Finding]:
+        modules = project.by_module()
+        kernels = modules.get(_KERNELS_MODULE)
+        backends = (_registered_backends(kernels)
+                    if kernels is not None else set())
+        used_backends: Set[str] = set()
+        any_reference = False
+
+        for name, ctx in sorted(modules.items()):
+            if not name.startswith("repro.") or name == _KERNELS_MODULE:
+                continue
+            assert ctx.tree is not None
+            top_defs: List[ast.FunctionDef] = [
+                node for node in ctx.tree.body
+                if isinstance(node, ast.FunctionDef)]
+            names = {fn.name for fn in top_defs}
+            ref_defs = [fn for fn in top_defs
+                        if fn.name.endswith(_SUFFIX)
+                        and len(fn.name) > len(_SUFFIX)]
+            if not ref_defs:
+                continue
+            any_reference = True
+            defines_flag, referenced = _flag_references(ctx)
+            if defines_flag:
+                used_backends.add(name)
+            used_backends |= referenced & backends
+
+            for fn in ref_defs:
+                sibling = fn.name[:-len(_SUFFIX)]
+                if sibling not in names:
+                    yield self.finding(
+                        ctx, fn,
+                        f"reference kernel '{fn.name}' has no fast "
+                        f"sibling '{sibling}' in {name}; the bench "
+                        f"harness cannot compare it")
+            gated = defines_flag and name in backends
+            gated = gated or bool(referenced & backends)
+            if kernels is not None and not gated:
+                yield self.finding(
+                    ctx, ref_defs[0],
+                    f"module {name} defines reference kernels but is "
+                    f"not gated by a {_FLAG} backend registered in "
+                    f"{_KERNELS_MODULE}; reference_kernels() cannot "
+                    f"switch it")
+
+        if kernels is not None and any_reference:
+            for backend in sorted(backends - used_backends):
+                anchor = modules.get(backend, kernels)
+                yield Finding(
+                    path=anchor.rel_path, line=1, col=0, rule=self.id,
+                    message=(
+                        f"backend {backend} is registered in "
+                        f"{_KERNELS_MODULE} but no '*{_SUFFIX}' kernel "
+                        f"references its {_FLAG} flag"))

@@ -1,0 +1,68 @@
+"""Inline suppression comments.
+
+Three forms, matching the issue-tracker convention::
+
+    x = random.random()          # repro-lint: disable=DET001
+    # repro-lint: disable-next-line=DET003
+    for item in bundle_set:
+        ...
+    # repro-lint: disable-file=DET004   (anywhere in the file)
+
+Multiple rule ids may be comma-separated, and the wildcard ``all``
+silences every rule.  Suppressions are honoured *after* rules run, so
+``--no-suppress`` style tooling can still surface them if ever needed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from .core import FileContext, Finding
+
+__all__ = ["Suppressions", "collect_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file|-next-line)?)\s*=\s*"
+    r"([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)")
+
+_WILDCARDS = frozenset({"all", "*"})
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one file."""
+
+    file_rules: Set[str] = field(default_factory=set)
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when ``finding`` is silenced by an inline directive."""
+        if self._matches(self.file_rules, finding.rule):
+            return True
+        rules = self.line_rules.get(finding.line)
+        return rules is not None and self._matches(rules, finding.rule)
+
+    @staticmethod
+    def _matches(rules: Set[str], rule_id: str) -> bool:
+        return rule_id in rules or bool(rules & _WILDCARDS)
+
+
+def _parse_rules(spec: str) -> FrozenSet[str]:
+    return frozenset(part.strip() for part in spec.split(",") if part.strip())
+
+
+def collect_suppressions(ctx: FileContext) -> Suppressions:
+    """Scan a file's comment lines for suppression directives."""
+    result = Suppressions()
+    for index, line in enumerate(ctx.lines, start=1):
+        for match in _DIRECTIVE.finditer(line):
+            kind, spec = match.group(1), _parse_rules(match.group(2))
+            if kind == "disable-file":
+                result.file_rules |= spec
+            elif kind == "disable-next-line":
+                result.line_rules.setdefault(index + 1, set()).update(spec)
+            else:
+                result.line_rules.setdefault(index, set()).update(spec)
+    return result

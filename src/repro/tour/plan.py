@@ -135,7 +135,8 @@ def stop_for_sensors(position: Point, sensor_indices: Sequence[int],
     monotonically decreasing in distance.
     """
     sensors = frozenset(sensor_indices)
-    distances = [position.distance_to(locations[i]) for i in sensors]
+    distances = [position.distance_to(locations[i])
+                 for i in sorted(sensors)]
     dwell = cost.dwell_time_for_distances(distances)
     if math.isinf(dwell):
         worst = max(distances)

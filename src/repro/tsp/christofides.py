@@ -40,7 +40,9 @@ def christofides_tour(distance: DistanceMatrix) -> Tour:
         matching = set()
 
     multigraph = nx.MultiGraph(mst)
-    for a, b in matching:
+    # min_weight_matching returns a set; fix the edge insertion order so
+    # the Eulerian circuit (and hence the tour) is reproducible.
+    for a, b in sorted(matching):
         multigraph.add_edge(a, b, weight=distance(a, b))
 
     circuit = nx.eulerian_circuit(multigraph, source=0)

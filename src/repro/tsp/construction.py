@@ -169,7 +169,9 @@ def cheapest_insertion_tour(distance: DistanceMatrix,
         best_city = -1
         best_position = 0
         best_cost = float("inf")
-        for city in remaining:
+        # sorted(): ties on insertion cost must break by city index, not
+        # set hash order, for run-to-run reproducibility.
+        for city in sorted(remaining):
             for position in range(len(cycle)):
                 a = cycle[position]
                 b = cycle[(position + 1) % len(cycle)]

@@ -331,7 +331,9 @@ def _or_opt_fast_pass(order: List[int], distance: DistanceMatrix,
                 candidate_positions.add((idx - 1) % rest_len)
         best_delta = -1e-12
         best_position = -1
-        for position in candidate_positions:
+        # sorted(): tie-breaks between equally good insertion points
+        # must not depend on set iteration order.
+        for position in sorted(candidate_positions):
             a = rest[position]
             b = rest[(position + 1) % rest_len]
             insertion_cost = (distance(a, seg_first)

@@ -1,0 +1,32 @@
+"""Shared helpers for the linter's fixture-driven tests."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+from repro.lint import LintResult, lint_paths
+
+
+@pytest.fixture
+def lint_fixture(tmp_path):
+    """Write a small fixture project and lint it.
+
+    Usage::
+
+        result = lint_fixture({"src/repro/x.py": "..."}, select=["DET001"])
+    """
+
+    def run(files: Dict[str, str],
+            select: Optional[Sequence[str]] = None,
+            paths: Optional[Sequence[str]] = None) -> LintResult:
+        for rel, content in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(content))
+        return lint_paths(paths or ["."], root=str(tmp_path),
+                          select=select)
+
+    return run

@@ -1,0 +1,27 @@
+"""The mypy gate for the typed packages (geometry + charging).
+
+Skipped when mypy is not installed (it is an optional ``dev`` extra);
+CI installs it and runs both this test and the standalone
+``python -m mypy`` step from .github/workflows/ci.yml.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+mypy_api = pytest.importorskip(
+    "mypy.api", reason="mypy not installed (pip install -e .[dev])")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def test_geometry_and_charging_are_typed_clean():
+    stdout, stderr, status = mypy_api.run([
+        os.path.join(REPO_ROOT, "src", "repro", "geometry"),
+        os.path.join(REPO_ROOT, "src", "repro", "charging"),
+        "--config-file", os.path.join(REPO_ROOT, "pyproject.toml"),
+    ])
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"

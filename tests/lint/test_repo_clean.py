@@ -1,0 +1,46 @@
+"""Acceptance: the repository itself passes its own linter.
+
+This is the test CI leans on — every determinism/invariant rule holds
+over ``src/`` and ``tests/`` with an *empty* baseline, i.e. nothing is
+grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.lint import lint_paths, load_baseline
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def test_repo_is_lint_clean():
+    result = lint_paths(["src", "tests"], root=REPO_ROOT)
+    assert result.findings == [], "\n".join(
+        finding.render() for finding in result.findings)
+    assert result.files_checked > 200
+
+
+def test_committed_baseline_is_empty():
+    path = os.path.join(REPO_ROOT, "lint-baseline.json")
+    assert os.path.exists(path), "lint-baseline.json must be committed"
+    baseline = load_baseline(path)
+    assert baseline.entries == {}, (
+        "the baseline should stay empty: fix findings at the source "
+        "instead of grandfathering them")
+    payload = json.load(open(path))
+    assert payload["version"] == 1
+
+
+def test_every_shipped_rule_is_registered():
+    from repro.lint import all_rules
+    ids = [rule.id for rule in all_rules()]
+    assert ids == sorted(ids)
+    for expected in ("DET001", "DET002", "DET003", "DET004",
+                     "PAR001", "OBS001"):
+        assert expected in ids
+    for rule in all_rules():
+        assert rule.title, f"{rule.id} has no title"
+        assert rule.rationale, f"{rule.id} has no rationale"

@@ -1,0 +1,105 @@
+"""Reporters: text rendering, JSON schema, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.cli import main as cli_main
+from repro.lint import JSON_SCHEMA_ID
+from repro.lint.cli import main as lint_main
+
+_VIOLATION = """\
+    import random
+
+    def jitter():
+        return random.random()
+    """
+
+
+def _write(tmp_path, rel, content=_VIOLATION):
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(content))
+
+
+class TestJsonReport:
+    def test_schema_shape(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/bad.py")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--format", "json",
+                          "--select", "DET001"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == JSON_SCHEMA_ID
+        assert set(payload) == {"schema", "summary", "findings"}
+        assert set(payload["summary"]) == {
+            "files_checked", "findings", "suppressed", "baselined",
+            "clean"}
+        assert payload["summary"]["clean"] is False
+        assert payload["summary"]["findings"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert finding["rule"] == "DET001"
+        assert finding["path"] == "src/repro/bad.py"
+        assert finding["line"] == 4
+
+    def test_clean_run_shape(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/ok.py", "X = 1\n")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["clean"] is True
+        assert payload["findings"] == []
+
+
+class TestTextReport:
+    def test_findings_and_summary(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/bad.py")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--select", "DET001"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "src/repro/bad.py:4:" in out
+        assert "DET001" in out
+        assert "1 finding" in out
+
+    def test_list_rules_catalogue(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "DET004",
+                        "PAR001", "OBS001"):
+            assert rule_id in out
+
+
+class TestCliDispatch:
+    def test_bundle_charging_lint_subcommand(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/bad.py")
+        code = cli_main(["lint", "src", "--root", str(tmp_path),
+                         "--no-baseline", "--select", "DET001"])
+        assert code == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/ok.py", "X = 1\n")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--select", "NOPE999"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        code = lint_main(["does-not-exist", "--root", str(tmp_path),
+                          "--no-baseline"])
+        assert code == 2
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/bad.py")
+        baseline = str(tmp_path / "lint-baseline.json")
+        assert lint_main(["src", "--root", str(tmp_path),
+                          "--baseline", baseline,
+                          "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main(["src", "--root", str(tmp_path),
+                          "--baseline", baseline]) == 0
+        assert "1 baselined" in capsys.readouterr().out

@@ -1,0 +1,403 @@
+"""Every shipped rule fires on a minimal fixture — and only there.
+
+One test per rule proving (a) the violating snippet is reported and
+(b) the compliant twin of the same snippet is clean, so rules cannot
+silently rot into matching nothing (or everything).
+"""
+
+from __future__ import annotations
+
+
+def rules_of(result):
+    return [finding.rule for finding in result.findings]
+
+
+class TestDET001UnseededRandomness:
+    def test_global_random_call_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                import random
+
+                def jitter():
+                    return random.random()
+                """,
+        }, select=["DET001"])
+        assert rules_of(result) == ["DET001"]
+
+    def test_unseeded_random_constructor_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                import random
+
+                RNG = random.Random()
+                """,
+        }, select=["DET001"])
+        assert rules_of(result) == ["DET001"]
+
+    def test_from_import_alias_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                from random import shuffle as mix
+
+                def scramble(items):
+                    mix(items)
+                """,
+        }, select=["DET001"])
+        assert rules_of(result) == ["DET001"]
+
+    def test_numpy_global_state_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                import numpy as np
+
+                def noise(n):
+                    return np.random.normal(size=n)
+                """,
+        }, select=["DET001"])
+        assert rules_of(result) == ["DET001"]
+
+    def test_unseeded_default_rng_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                import numpy as np
+
+                GEN = np.random.default_rng()
+                """,
+        }, select=["DET001"])
+        assert rules_of(result) == ["DET001"]
+
+    def test_seeded_usage_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/good.py": """\
+                import random
+
+                import numpy as np
+
+                RNG = random.Random(1234)
+                GEN = np.random.default_rng(1234)
+
+                def draw(rng: random.Random) -> float:
+                    return rng.random()
+                """,
+        }, select=["DET001"])
+        assert result.clean
+
+    def test_rng_module_is_exempt(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/network/rng.py": """\
+                import random
+
+                def make_rng(seed):
+                    return random.Random(seed)
+                """,
+        }, select=["DET001"])
+        assert result.clean
+
+
+class TestDET002WallClock:
+    def test_time_call_in_kernel_module_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/geometry/clocky.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """,
+        }, select=["DET002"])
+        assert rules_of(result) == ["DET002"]
+
+    def test_bare_perf_counter_import_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/sim/clocky.py": """\
+                from time import perf_counter
+
+                def elapsed():
+                    return perf_counter()
+                """,
+        }, select=["DET002"])
+        assert rules_of(result) == ["DET002"]
+
+    def test_datetime_now_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bundling/clocky.py": """\
+                from datetime import datetime
+
+                def today():
+                    return datetime.now()
+                """,
+        }, select=["DET002"])
+        assert rules_of(result) == ["DET002"]
+
+    def test_perf_and_obs_modules_are_exempt(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/perf/bench2.py": """\
+                import time
+
+                def measure():
+                    return time.perf_counter()
+                """,
+            "src/repro/obs/clock.py": """\
+                import time
+
+                def wall():
+                    return time.time()
+                """,
+        }, select=["DET002"])
+        assert result.clean
+
+
+class TestDET003UnorderedIteration:
+    def test_for_over_set_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                def collect(universe):
+                    chosen = set(universe)
+                    out = []
+                    for item in chosen:
+                        out.append(item)
+                    return out
+                """,
+        }, select=["DET003"])
+        assert rules_of(result) == ["DET003"]
+
+    def test_comprehension_over_set_literal_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                def labels():
+                    return [str(x) for x in {3, 1, 2}]
+                """,
+        }, select=["DET003"])
+        assert rules_of(result) == ["DET003"]
+
+    def test_list_materialization_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                def snapshot(items):
+                    seen = {i for i in items}
+                    return list(seen)
+                """,
+        }, select=["DET003"])
+        assert rules_of(result) == ["DET003"]
+
+    def test_sorted_iteration_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/good.py": """\
+                def collect(universe):
+                    chosen = set(universe)
+                    out = []
+                    for item in sorted(chosen):
+                        out.append(item)
+                    return sorted({x + 1 for x in chosen})
+                """,
+        }, select=["DET003"])
+        assert result.clean
+
+    def test_order_insensitive_sinks_are_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/good.py": """\
+                def stats(items):
+                    values = set(items)
+                    return len(values), sum(values), max(values)
+                """,
+        }, select=["DET003"])
+        assert result.clean
+
+    def test_tests_are_exempt(self, lint_fixture):
+        result = lint_fixture({
+            "tests/test_bad.py": """\
+                def test_roundtrip():
+                    for item in {1, 2, 3}:
+                        assert item
+                """,
+        }, select=["DET003"])
+        assert result.clean
+
+
+class TestDET004FloatEquality:
+    def test_float_literal_comparison_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/geometry/eq.py": """\
+                def on_unit_circle(r):
+                    return r == 1.0
+                """,
+        }, select=["DET004"])
+        assert rules_of(result) == ["DET004"]
+
+    def test_float_method_comparison_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/charging/eq.py": """\
+                def same_distance(a, b, p):
+                    return a.distance_to(p) == b.distance_to(p)
+                """,
+        }, select=["DET004"])
+        assert rules_of(result) == ["DET004"]
+
+    def test_zero_guard_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/geometry/eq.py": """\
+                def safe_div(num, denom):
+                    if denom == 0.0:
+                        return 0.0
+                    return num / denom
+                """,
+        }, select=["DET004"])
+        assert result.clean
+
+    def test_outside_scoped_packages_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/experiments/eq.py": """\
+                def check(r):
+                    return r == 1.0
+                """,
+        }, select=["DET004"])
+        assert result.clean
+
+
+_KERNELS = """\
+    from contextlib import contextmanager
+
+    from ..bundling import fastmod as _fastmod
+
+
+    @contextmanager
+    def reference_kernels():
+        saved = _fastmod._USE_REFERENCE
+        _fastmod._USE_REFERENCE = True
+        try:
+            yield
+        finally:
+            _fastmod._USE_REFERENCE = saved
+    """
+
+
+class TestPAR001KernelParity:
+    def test_reference_without_fast_sibling_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/perf/kernels.py": _KERNELS,
+            "src/repro/bundling/fastmod.py": """\
+                _USE_REFERENCE = False
+
+                def cover_reference(items):
+                    return sorted(items)
+                """,
+        }, select=["PAR001"])
+        assert "PAR001" in rules_of(result)
+        assert any("no fast sibling" in f.message
+                   for f in result.findings)
+
+    def test_unregistered_reference_module_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/perf/kernels.py": _KERNELS,
+            "src/repro/bundling/fastmod.py": """\
+                _USE_REFERENCE = False
+
+                def cover(items):
+                    if _USE_REFERENCE:
+                        return cover_reference(items)
+                    return sorted(items)
+
+                def cover_reference(items):
+                    return sorted(items)
+                """,
+            "src/repro/tour/rogue.py": """\
+                def shortcut(tour):
+                    return shortcut_reference(tour)
+
+                def shortcut_reference(tour):
+                    return tour
+                """,
+        }, select=["PAR001"])
+        assert any("not gated" in f.message for f in result.findings)
+
+    def test_registered_but_unused_backend_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/perf/kernels.py": _KERNELS,
+            "src/repro/bundling/fastmod.py": """\
+                _USE_REFERENCE = False
+                """,
+            "src/repro/tour/other.py": """\
+                _USE_REFERENCE = False
+
+                def walk(t):
+                    if _USE_REFERENCE:
+                        return walk_reference(t)
+                    return t
+
+                def walk_reference(t):
+                    return t
+                """,
+        }, select=["PAR001"])
+        assert any("no '*_reference' kernel references" in f.message
+                   for f in result.findings)
+
+    def test_paired_and_registered_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/perf/kernels.py": _KERNELS,
+            "src/repro/bundling/fastmod.py": """\
+                _USE_REFERENCE = False
+
+                def cover(items):
+                    if _USE_REFERENCE:
+                        return cover_reference(items)
+                    return sorted(items)
+
+                def cover_reference(items):
+                    return sorted(items)
+                """,
+        }, select=["PAR001"])
+        assert result.clean
+
+
+class TestOBS001ObsImportFallback:
+    def test_unguarded_module_level_import_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/tour/mod.py": """\
+                from ..obs.tracer import obs_span
+
+                def walk():
+                    with obs_span("walk"):
+                        pass
+                """,
+        }, select=["OBS001"])
+        assert rules_of(result) == ["OBS001"]
+
+    def test_fallback_pattern_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/tour/mod.py": """\
+                try:
+                    from ..obs.tracer import obs_span
+                except ImportError:
+                    from contextlib import nullcontext as _nullcontext
+
+                    def obs_span(name, **attrs):
+                        return _nullcontext()
+                """,
+        }, select=["OBS001"])
+        assert result.clean
+
+    def test_lazy_function_level_import_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/tour/mod.py": """\
+                def report():
+                    from ..obs.manifest import build_manifest
+                    return build_manifest
+                """,
+        }, select=["OBS001"])
+        assert result.clean
+
+    def test_obs_package_itself_is_exempt(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/obs/report2.py": """\
+                from .tracer import TRACER
+                from repro.obs.jsonl import read_jsonl
+                """,
+        }, select=["OBS001"])
+        assert result.clean
+
+
+class TestParseErrors:
+    def test_syntax_error_is_reported_not_crashed(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/broken.py": "def oops(:\n",
+        })
+        assert rules_of(result) == ["E999"]

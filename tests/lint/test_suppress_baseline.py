@@ -1,0 +1,188 @@
+"""Suppression directives and the baseline round-trip."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint import (Finding, fingerprint, lint_paths, load_baseline,
+                        run_lint, write_baseline)
+
+_VIOLATION = """\
+    import random
+
+    def jitter():
+        return random.random()
+    """
+
+
+class TestSuppressions:
+    def test_same_line_disable(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                import random
+
+                def jitter():
+                    return random.random()  # repro-lint: disable=DET001
+                """,
+        }, select=["DET001"])
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_disable_next_line(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                import random
+
+                def jitter():
+                    # repro-lint: disable-next-line=DET001
+                    return random.random()
+                """,
+        }, select=["DET001"])
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_disable_file(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                # repro-lint: disable-file=DET001
+                import random
+
+                def jitter():
+                    return random.random()
+
+                def wobble():
+                    return random.uniform(0, 1)
+                """,
+        }, select=["DET001"])
+        assert result.clean
+        assert result.suppressed == 2
+
+    def test_multiple_rules_and_wildcard(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/geometry/bad.py": """\
+                # repro-lint: disable-file=DET001,DET004
+                import random
+
+                def jitter(r):
+                    return random.random() if r == 1.0 else 0.0
+                """,
+            "src/repro/geometry/bad2.py": """\
+                # repro-lint: disable-file=all
+                import random
+
+                def jitter(r):
+                    return random.random() if r == 1.0 else 0.0
+                """,
+        }, select=["DET001", "DET004"])
+        assert result.clean
+        assert result.suppressed == 4
+
+    def test_wrong_rule_id_does_not_suppress(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/bad.py": """\
+                import random
+
+                def jitter():
+                    return random.random()  # repro-lint: disable=DET002
+                """,
+        }, select=["DET001"])
+        assert [f.rule for f in result.findings] == ["DET001"]
+        assert result.suppressed == 0
+
+    def test_parse_errors_cannot_be_suppressed(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/broken.py":
+                "# repro-lint: disable-file=all\ndef oops(:\n",
+        })
+        assert [f.rule for f in result.findings] == ["E999"]
+
+
+class TestBaseline:
+    def _write_fixture(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(textwrap.dedent(_VIOLATION))
+        return target
+
+    def test_round_trip_absorbs_known_findings(self, tmp_path):
+        self._write_fixture(tmp_path)
+        baseline_path = str(tmp_path / "lint-baseline.json")
+
+        first = run_lint(["src"], root=str(tmp_path),
+                         write_baseline_to=baseline_path)
+        assert first.baselined == 1
+
+        second = run_lint(["src"], root=str(tmp_path),
+                          baseline_path=baseline_path)
+        assert second.clean
+        assert second.baselined == 1
+
+    def test_new_findings_still_reported(self, tmp_path):
+        target = self._write_fixture(tmp_path)
+        baseline_path = str(tmp_path / "lint-baseline.json")
+        run_lint(["src"], root=str(tmp_path),
+                 write_baseline_to=baseline_path)
+
+        target.write_text(target.read_text()
+                          + "\n\ndef extra():\n"
+                            "    return random.uniform(0, 1)\n")
+        result = run_lint(["src"], root=str(tmp_path),
+                          baseline_path=baseline_path)
+        assert len(result.findings) == 1
+        assert "uniform" in result.findings[0].message
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        target = self._write_fixture(tmp_path)
+        baseline_path = str(tmp_path / "lint-baseline.json")
+        run_lint(["src"], root=str(tmp_path),
+                 write_baseline_to=baseline_path)
+
+        # Push the violation down by adding lines above it.
+        target.write_text("# a comment\n# another\n"
+                          + target.read_text())
+        result = run_lint(["src"], root=str(tmp_path),
+                          baseline_path=baseline_path)
+        assert result.clean
+        assert result.baselined == 1
+
+    def test_duplicate_lines_consume_counts(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "bad.py"
+        target.parent.mkdir(parents=True)
+        body = ("import random\n\n"
+                "def one():\n    return random.random()\n\n"
+                "def two():\n    return random.random()\n")
+        target.write_text(body)
+        baseline_path = str(tmp_path / "lint-baseline.json")
+        run_lint(["src"], root=str(tmp_path),
+                 write_baseline_to=baseline_path)
+        payload = json.loads((tmp_path / "lint-baseline.json").read_text())
+        assert sum(entry["count"]
+                   for entry in payload["entries"].values()) == 2
+
+        # A third identical violation exceeds the baselined count.
+        target.write_text(body
+                          + "\ndef three():\n    return random.random()\n")
+        result = run_lint(["src"], root=str(tmp_path),
+                          baseline_path=baseline_path)
+        assert len(result.findings) == 1
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = load_baseline(str(tmp_path / "nope.json"))
+        assert baseline.entries == {}
+
+    def test_fingerprint_is_stable(self):
+        finding = Finding(path="src/repro/x.py", line=10, col=4,
+                          rule="DET001", message="whatever")
+        a = fingerprint(finding, "  return random.random()")
+        b = fingerprint(finding, "return random.random()")
+        assert a == b  # indentation-insensitive
+        other = Finding(path="src/repro/x.py", line=10, col=4,
+                        rule="DET002", message="whatever")
+        assert fingerprint(other, "return random.random()") != a
+
+    def test_empty_repo_baseline_matches_committed_file(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        write_baseline(path, [])
+        payload = json.loads(open(path).read())
+        assert payload == {"version": 1, "entries": {}}
