@@ -37,6 +37,12 @@ except ImportError:  # pragma: no cover - repro.obs stripped/blocked
     def obs_span(name, **attrs):  # type: ignore[misc]
         return _nullcontext()
 
+try:  # memoization is optional: bundling works with repro.cache absent
+    from ..cache import stage_memo
+except ImportError:  # pragma: no cover - repro.cache stripped/blocked
+    def stage_memo(stage, params_fn, compute):  # type: ignore[misc]
+        return compute()
+
 
 def greedy_bundles(network: SensorNetwork, radius: float,
                    prune_dominated: bool = True) -> BundleSet:
@@ -91,17 +97,31 @@ def _selected_member_sets(locations: Sequence[Point], radius: float,
             if span:
                 span.set(bundles=len(selected))
         return selected
-    with obs_span("obg.candidates", n=universe_size) as span:
+    def _stage_params():
+        return {"points": list(locations), "radius": radius,
+                "prune": prune_dominated}
+
+    def _compute_masks():
         with PERF.timer("bundling.candidates"):
-            masks = candidate_member_masks(locations, radius)
+            enumerated = candidate_member_masks(locations, radius)
         if prune_dominated:
             with PERF.timer("bundling.maximal"):
-                masks = maximal_masks(masks)
+                enumerated = maximal_masks(enumerated)
+        return enumerated
+
+    with obs_span("obg.candidates", n=universe_size) as span:
+        masks = stage_memo("candidates", _stage_params, _compute_masks)
         if span:
             span.set(candidates=len(masks))
     with obs_span("obg.cover", n=universe_size) as span:
-        with PERF.timer("bundling.cover"):
-            chosen = greedy_cover_masks(masks, universe_size)
+        # The cover is fully determined by the same inputs as the
+        # candidate family, so it shares the key params (under its own
+        # stage name + kernel tag) instead of hashing the mask list.
+        def _compute_cover():
+            with PERF.timer("bundling.cover"):
+                return greedy_cover_masks(masks, universe_size)
+
+        chosen = stage_memo("cover", _stage_params, _compute_cover)
         if span:
             span.set(bundles=len(chosen))
     return [frozenset(indices_from_mask(mask)) for mask in chosen]

@@ -1,0 +1,43 @@
+"""Cross-run stage memoization: a content-addressed cache for the
+deterministic pipeline.
+
+Every pipeline stage — deployment, candidate enumeration, greedy cover,
+TSP ordering, Algorithm 3 anchor refinement, and the full per-seed
+metric row — is a pure function of its inputs.  This package derives a
+canonical SHA-256 key per stage invocation (inputs + parameters + a
+kernel-version tag, :mod:`repro.cache.keys`), keeps pickled results in
+a bounded in-memory LRU plus an opt-in on-disk store
+(:mod:`repro.cache.store`), and serves hits that are bit-identical to
+recomputation (:mod:`repro.cache.stage` — enforced by the randomized
+shadow-verify mode and the CI cold-vs-warm equality gate).
+
+The pipeline reaches the cache through :func:`stage_memo` and the
+activation context (:mod:`repro.cache.active`), imported everywhere
+behind the same ImportError-safe pattern as ``repro.obs`` — a build
+with this package stripped runs unchanged, byte for byte.
+"""
+
+from .active import (activate_cache, activation_for_config,
+                     cache_for_config, get_active_cache,
+                     reset_cache_state, stage_memo)
+from .keys import CACHE_SCHEMA, KERNEL_VERSIONS, canonical, stage_key
+from .stage import StageCache, WARM_START_SKIP_STAGES
+from .store import DiskStore, MemoryStore, PICKLE_PROTOCOL
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DiskStore",
+    "KERNEL_VERSIONS",
+    "MemoryStore",
+    "PICKLE_PROTOCOL",
+    "StageCache",
+    "WARM_START_SKIP_STAGES",
+    "activate_cache",
+    "activation_for_config",
+    "cache_for_config",
+    "canonical",
+    "get_active_cache",
+    "reset_cache_state",
+    "stage_key",
+    "stage_memo",
+]

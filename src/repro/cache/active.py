@@ -1,0 +1,110 @@
+"""Active-cache plumbing: how pipeline call sites reach the cache.
+
+The pipeline's hot modules (bundling, planners, the experiment runner)
+must not take a ``StageCache`` parameter through every signature, and
+must keep working when ``repro.cache`` is physically absent.  They
+therefore import :func:`stage_memo` behind the same ImportError-safe
+pattern as ``repro.obs``, and the runner *activates* a cache around a
+run; with no active cache, ``stage_memo`` is a plain passthrough.
+
+Caches are built once per process per configuration
+(:func:`cache_for_config`) so that a sweep driver's successive
+``run_averaged`` calls share one LRU (that is where cross-radius reuse
+comes from), and pool workers — which receive the same config — build
+their own process-local cache over the same shared disk store.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from .stage import StageCache
+
+#: Activation stack; the innermost activation wins.
+_ACTIVE: list = []
+
+#: Per-process cache registry, keyed by cache-relevant config fields.
+_REGISTRY: Dict[tuple, StageCache] = {}
+
+__all__ = ["activate_cache", "activation_for_config", "cache_for_config",
+           "get_active_cache", "reset_cache_state", "stage_memo"]
+
+
+def get_active_cache() -> Optional[StageCache]:
+    """Return the innermost activated cache, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def activate_cache(cache: Optional[StageCache]) -> Iterator[
+        Optional[StageCache]]:
+    """Make ``cache`` the active cache for the ``with`` block.
+
+    ``None`` is accepted and activates nothing, so callers can write
+    ``with activate_cache(maybe_cache):`` unconditionally.
+    """
+    if cache is None:
+        yield None
+        return
+    _ACTIVE.append(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE.pop()
+
+
+def stage_memo(stage: str, params_fn: Callable[[], Dict[str, Any]],
+               compute: Callable[[], Any]) -> Any:
+    """Memoize ``compute()`` under the active cache (if any).
+
+    Args:
+        stage: registered stage name.
+        params_fn: lazy producer of the stage's key params — only
+            called when a cache is active, so inactive runs pay nothing
+            for key derivation.
+        compute: zero-argument thunk producing the stage result.
+    """
+    cache = get_active_cache()
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(stage, params_fn(), compute)
+
+
+def cache_for_config(config: Any) -> Optional[StageCache]:
+    """Build (or fetch) the process-wide cache for an experiment config.
+
+    Caching is opt-in: returns None unless the config enables the
+    in-memory cache (``use_cache``), names a ``cache_dir``, or requests
+    TSP warm-starting (whose hints live on the cache object).
+    """
+    use_cache = bool(getattr(config, "use_cache", False))
+    cache_dir = getattr(config, "cache_dir", None)
+    warm_start = bool(getattr(config, "warm_start", False))
+    if not (use_cache or cache_dir or warm_start):
+        return None
+    signature = (
+        cache_dir,
+        int(getattr(config, "cache_entries", 256)),
+        float(getattr(config, "shadow_verify", 0.0)),
+        warm_start,
+    )
+    cache = _REGISTRY.get(signature)
+    if cache is None:
+        cache = StageCache(max_entries=signature[1],
+                           cache_dir=signature[0],
+                           shadow_rate=signature[2],
+                           warm_start=signature[3])
+        _REGISTRY[signature] = cache
+    return cache
+
+
+def activation_for_config(config: Any):
+    """Return an activation context for ``config`` (no-op if disabled)."""
+    return activate_cache(cache_for_config(config))
+
+
+def reset_cache_state() -> None:
+    """Drop the registry and activation stack (test isolation)."""
+    _REGISTRY.clear()
+    _ACTIVE.clear()

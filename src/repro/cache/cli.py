@@ -1,0 +1,52 @@
+"""The ``bundle-charging cache`` subcommand: stats / clear / verify.
+
+Operates on an on-disk store (``--cache-dir``); the in-memory LRU is
+per-process and has nothing to inspect after a run ends.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional
+
+from .store import DiskStore
+
+ACTIONS = ("stats", "clear", "verify")
+
+__all__ = ["ACTIONS", "run_cache_command"]
+
+
+def run_cache_command(action: Optional[str],
+                      cache_dir: Optional[str]) -> int:
+    """Execute one cache maintenance action against ``cache_dir``.
+
+    Returns:
+        Process exit code: 0 on success, 1 when ``verify`` finds
+        problems, 2 on usage errors.
+    """
+    if action not in ACTIONS:
+        print(f"cache needs an action, got {action!r}; choose from "
+              f"{list(ACTIONS)}", file=sys.stderr)
+        return 2
+    if not cache_dir:
+        print("cache needs --cache-dir <DIR>", file=sys.stderr)
+        return 2
+    store = DiskStore(cache_dir)
+    if action == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cache entries from {cache_dir}")
+        return 0
+    problems = store.verify()
+    if problems:
+        for problem in problems:
+            print(f"cache verify: {problem}", file=sys.stderr)
+        print(f"{len(problems)} invalid entries in {cache_dir}",
+              file=sys.stderr)
+        return 1
+    entries = store.stats()["entries"]
+    print(f"all {entries} cache entries verified in {cache_dir}")
+    return 0

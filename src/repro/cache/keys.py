@@ -1,0 +1,125 @@
+"""Canonical cache-key derivation for pipeline stages.
+
+A stage's cache key is the SHA-256 digest of a canonical-JSON payload
+combining the stage name, the stage's *kernel-version tag*, and its
+exact inputs and parameters.  Two invariants make the keys safe:
+
+* **Exactness** — floats serialize through ``repr`` (which round-trips
+  every IEEE-754 double), sets are sorted before serialization, and any
+  value the canonicalizer does not recognize raises :class:`CacheError`
+  instead of being stringified lossily.  Identical inputs therefore
+  always produce the identical key, and differing inputs essentially
+  never collide.
+* **Invalidation via kernel tags** — every stage carries a version tag
+  in :data:`KERNEL_VERSIONS`.  Changing a kernel's algorithm (even
+  bit-identically re-deriving its outputs) must bump the tag, which
+  retires every previously stored entry for that stage at once.  This
+  is the whole invalidation story: keys are content-addressed, so
+  nothing else can go stale.
+
+The digest helper is shared with the run-provenance manifests
+(:func:`repro.obs.manifest.config_digest`); a local fallback keeps the
+cache importable when ``repro.obs`` is stripped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from ..charging.energy import CostParameters
+from ..charging.model import ChargingModel
+from ..errors import CacheError
+from ..geometry import Point
+
+try:  # reuse the provenance hashing helper; fall back when obs absent
+    from ..obs.manifest import config_digest as _canonical_digest
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    def _canonical_digest(config: Dict[str, Any]) -> str:
+        canonical = json.dumps(config, sort_keys=True,
+                               separators=(",", ":"), default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+#: Schema tag stamped into every key payload and on-disk entry header.
+CACHE_SCHEMA = "bundle-charging/cache/v1"
+
+#: Per-stage kernel-version tags.  Bump a tag whenever the stage's
+#: implementation changes in a way that could alter (or even re-derive)
+#: its output; the bump invalidates every stored entry for the stage.
+KERNEL_VERSIONS: Dict[str, str] = {
+    "deployment": "deploy/v1",      # seeded network generation
+    "candidates": "obg-candidates/v1",  # candidate mask enumeration
+    "cover": "obg-cover/v1",        # lazy-greedy set-cover selection
+    "tsp": "tsp/v1",                # TSP ordering over stops/anchors
+    "anchor_opt": "bto-anchors/v1",  # Algorithm 3 anchor refinement
+    "seed_row": "pipeline/v1",      # one full seed's metric rows
+}
+
+__all__ = ["CACHE_SCHEMA", "KERNEL_VERSIONS", "canonical", "stage_key"]
+
+
+def canonical(value: Any) -> Any:
+    """Return a canonical JSON-able form of a stage input.
+
+    Handles the pipeline's value vocabulary explicitly — primitives,
+    sequences, sorted sets/dicts, :class:`Point`, :class:`CostParameters`
+    and :class:`ChargingModel` — and refuses anything else, so a new
+    input type cannot silently hash by ``str()`` and collide.
+
+    Raises:
+        CacheError: for a value outside the supported vocabulary.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Point):
+        return {"__point__": [value.x, value.y]}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(canonical(item) for item in value)}
+    if isinstance(value, dict):
+        return {str(key): canonical(value[key])
+                for key in sorted(value, key=str)}
+    if isinstance(value, CostParameters):
+        return {"__cost__": {
+            "move_cost_j_per_m": value.move_cost_j_per_m,
+            "delta_j": value.delta_j,
+            "dwell_policy": value.dwell_policy,
+            "model": canonical(value.model),
+        }}
+    if isinstance(value, ChargingModel):
+        state = {name: canonical(attr)
+                 for name, attr in sorted(vars(value).items())}
+        return {"__model__": [type(value).__qualname__, state]}
+    raise CacheError(
+        f"cannot canonicalize {type(value).__name__!r} for a cache key; "
+        f"teach repro.cache.keys.canonical about it explicitly")
+
+
+def stage_key(stage: str, params: Dict[str, Any]) -> str:
+    """Derive the content-addressed key for one stage invocation.
+
+    Args:
+        stage: stage name; must be registered in :data:`KERNEL_VERSIONS`.
+        params: the stage's exact inputs and parameters.
+
+    Returns:
+        A 64-char SHA-256 hex digest.
+
+    Raises:
+        CacheError: for an unregistered stage or unkeyable params.
+    """
+    try:
+        kernel = KERNEL_VERSIONS[stage]
+    except KeyError:
+        raise CacheError(
+            f"unknown cache stage {stage!r}; register a kernel-version "
+            f"tag in repro.cache.keys.KERNEL_VERSIONS") from None
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "stage": stage,
+        "kernel": kernel,
+        "params": canonical(params),
+    }
+    return _canonical_digest(payload)

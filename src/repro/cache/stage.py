@@ -1,0 +1,195 @@
+"""The stage-memoization engine: :class:`StageCache`.
+
+``get_or_compute(stage, params, compute)`` is the whole contract: derive
+the content-addressed key, serve the pickled payload from the in-memory
+LRU (then the optional disk store), or run ``compute`` and remember the
+result.  Three properties keep it safe to put in front of deterministic
+kernels:
+
+* **Bit-identity** — a hit deserializes the stored pickle, and every
+  cached type (plans, networks, masks, orders) round-trips pickling
+  exactly, so a warm run's outputs are byte-identical to a cold run's.
+  The randomized *shadow-verify* mode enforces this continuously: on a
+  deterministic per-key subsample of hits the stage is recomputed
+  anyway (with caching bypassed underneath) and any byte difference
+  raises :class:`CacheError`.
+* **Isolation** — hits return fresh deserializations, never shared
+  objects, so a caller mutating a result cannot poison the cache.
+* **Observability** — hit/miss/evict/shadow counters report into
+  :data:`repro.perf.PERF` (so they merge across ``--jobs`` workers like
+  every other counter), and when span tracing is live the enclosing
+  span receives a ``cache`` attribute mapping stage -> hit/miss.
+
+Warm-start hints (the opt-in TSP 2-opt warm start) also live here: they
+are deliberately *not* content-addressed — a hint is a best-effort
+starting tour, not a memoized result — and enabling them disables the
+memoization of the stages whose outputs they can change.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import CacheError
+from ..perf.counters import PERF
+from .keys import stage_key
+from .store import DiskStore, MemoryStore, PICKLE_PROTOCOL
+
+try:  # tracing is optional: the cache works with repro.obs absent
+    from ..obs.tracer import TRACER as _TRACER
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    _TRACER = None  # type: ignore[assignment]
+
+#: Stages whose memoization is disabled while TSP warm-starting is on:
+#: their outputs depend on the (execution-order-sensitive) hint state,
+#: so content-addressed keys would no longer determine their values.
+WARM_START_SKIP_STAGES = frozenset({"tsp", "seed_row"})
+
+__all__ = ["StageCache", "WARM_START_SKIP_STAGES"]
+
+
+def _annotate_span(stage: str, outcome: str) -> None:
+    """Attach ``cache: {stage: outcome}`` to the open span, if any."""
+    if _TRACER is None or not _TRACER.enabled:
+        return
+    span = _TRACER.current()
+    if span is None:
+        return
+    cache_attr = dict(span.attrs.get("cache") or {})
+    cache_attr[stage] = outcome
+    span.set(cache=cache_attr)
+
+
+class StageCache:
+    """Content-addressed memoization of pipeline stages.
+
+    Attributes:
+        shadow_rate: fraction of hits to shadow-verify (0 disables; the
+            per-key decision is derived from the key itself, so a given
+            entry is either always or never checked at a given rate —
+            reproducible in CI).
+        warm_start: enable the opt-in TSP warm-start hints (and disable
+            memoization of the stages they influence).
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 cache_dir: Optional[str] = None,
+                 shadow_rate: float = 0.0,
+                 warm_start: bool = False) -> None:
+        if not 0.0 <= shadow_rate <= 1.0:
+            raise CacheError(
+                f"shadow-verify rate must be in [0, 1]: {shadow_rate!r}")
+        self.memory = MemoryStore(max_entries)
+        self.disk: Optional[DiskStore] = (
+            DiskStore(cache_dir) if cache_dir else None)
+        self.shadow_rate = shadow_rate
+        self.warm_start = warm_start
+        self._bypass_depth = 0
+        self._tsp_hints: Dict[tuple, List[int]] = {}
+
+    # --- memoization ------------------------------------------------------
+
+    def get_or_compute(self, stage: str, params: Dict[str, Any],
+                       compute: Callable[[], Any]) -> Any:
+        """Serve ``stage(params)`` from the cache or compute and store it.
+
+        Args:
+            stage: registered stage name (keys.KERNEL_VERSIONS).
+            params: the stage's exact inputs (canonicalizable).
+            compute: zero-argument thunk producing the stage result.
+
+        Raises:
+            CacheError: on an unkeyable stage/params, or when a
+                shadow-verified hit is not bit-identical to recompute.
+        """
+        if self._bypass_depth or (self.warm_start
+                                  and stage in WARM_START_SKIP_STAGES):
+            return compute()
+        key = stage_key(stage, params)
+        blob = self.memory.get(key)
+        if blob is None and self.disk is not None:
+            blob = self.disk.read(key)
+            if blob is not None:
+                PERF.add("cache.disk_hit")
+                evicted = self.memory.put(key, stage, blob)
+                if evicted:
+                    PERF.add("cache.evict", evicted)
+        if blob is not None:
+            PERF.add("cache.hit")
+            PERF.add(f"cache.hit.{stage}")
+            _annotate_span(stage, "hit")
+            if self._shadow_selected(key):
+                self._shadow_verify(stage, key, blob, compute)
+            return pickle.loads(blob)
+        PERF.add("cache.miss")
+        PERF.add(f"cache.miss.{stage}")
+        _annotate_span(stage, "miss")
+        value = compute()
+        blob = pickle.dumps(value, protocol=PICKLE_PROTOCOL)
+        evicted = self.memory.put(key, stage, blob)
+        if evicted:
+            PERF.add("cache.evict", evicted)
+        if self.disk is not None:
+            self.disk.write(key, stage, blob)
+        return value
+
+    def _shadow_selected(self, key: str) -> bool:
+        """Decide (deterministically per key) whether to shadow-check."""
+        if self.shadow_rate <= 0.0:
+            return False
+        if self.shadow_rate >= 1.0:
+            return True
+        rng = random.Random(int(key[:16], 16))
+        return rng.random() < self.shadow_rate
+
+    def _shadow_verify(self, stage: str, key: str, blob: bytes,
+                       compute: Callable[[], Any]) -> None:
+        """Recompute a hit (bypassing the cache) and demand identity."""
+        PERF.add("cache.shadow_checks")
+        self._bypass_depth += 1
+        try:
+            fresh = compute()
+        finally:
+            self._bypass_depth -= 1
+        if pickle.dumps(fresh, protocol=PICKLE_PROTOCOL) != blob:
+            PERF.add("cache.shadow_mismatches")
+            raise CacheError(
+                f"shadow-verify mismatch for stage {stage!r} (key "
+                f"{key[:12]}...): cached payload is not bit-identical "
+                f"to recomputation — the stage is nondeterministic or "
+                f"its kernel changed without a KERNEL_VERSIONS bump")
+
+    # --- warm-start hints -------------------------------------------------
+
+    def tsp_hint(self, strategy: str,
+                 n_cities: int) -> Optional[List[int]]:
+        """Return the last tour order seen for (strategy, city count)."""
+        if not self.warm_start:
+            return None
+        hint = self._tsp_hints.get((strategy, n_cities))
+        if hint is not None:
+            PERF.add("cache.warm_start.used")
+            return list(hint)
+        return None
+
+    def store_tsp_hint(self, strategy: str, n_cities: int,
+                       order: Sequence[int]) -> None:
+        """Remember a solved tour as the next warm-start candidate."""
+        if not self.warm_start:
+            return
+        self._tsp_hints[(strategy, n_cities)] = list(order)
+
+    # --- introspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Return memory (and, if configured, disk) store statistics."""
+        stats: Dict[str, Any] = {
+            "memory": self.memory.stats(),
+            "shadow_rate": self.shadow_rate,
+            "warm_start": self.warm_start,
+        }
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats

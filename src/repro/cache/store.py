@@ -1,0 +1,228 @@
+"""Cache entry stores: bounded in-memory LRU + opt-in on-disk store.
+
+Both stores deal in *pickled payload bytes*, never live objects: a hit
+is deserialized freshly on every read, so cached values can never alias
+a caller's mutable state, and byte-level equality is the natural
+shadow-verify comparison.
+
+The disk layout is one binary file per entry under
+``<root>/objects/<key[:2]>/<key>.bin``:
+
+* line 1 — a JSON header (schema, key, stage, kernel tag, payload
+  SHA-256, payload size), and
+* the raw pickle bytes after the newline.
+
+Writes go through a temp file + ``os.replace`` so concurrent worker
+processes sharing one ``--cache-dir`` can never observe a torn entry.
+Reads validate the header and the payload digest; anything invalid is
+treated as a miss (and reported by ``verify``), never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import CacheError
+from .keys import CACHE_SCHEMA, KERNEL_VERSIONS
+
+#: Fixed pickle protocol, so stored bytes are comparable across runs.
+PICKLE_PROTOCOL = 4
+
+__all__ = ["DiskStore", "MemoryStore", "PICKLE_PROTOCOL",
+           "payload_digest"]
+
+
+def payload_digest(blob: bytes) -> str:
+    """Return the SHA-256 hex digest of pickled payload bytes."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+class MemoryStore:
+    """A bounded LRU over ``key -> payload bytes``.
+
+    Attributes:
+        max_entries: entry-count bound; the least recently used entry
+            is dropped when an insert would exceed it.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise CacheError(
+                f"LRU bound must be positive: {max_entries!r}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._stages: Dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Return the payload for ``key`` (refreshing recency) or None."""
+        blob = self._entries.get(key)
+        if blob is not None:
+            self._entries.move_to_end(key)
+        return blob
+
+    def put(self, key: str, stage: str, blob: bytes) -> int:
+        """Insert (or refresh) an entry; return how many were evicted."""
+        self._entries[key] = blob
+        self._entries.move_to_end(key)
+        self._stages[key] = stage
+        evicted = 0
+        while len(self._entries) > self.max_entries:
+            dropped, _ = self._entries.popitem(last=False)
+            self._stages.pop(dropped, None)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+        self._stages.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Return entry/byte counts, per stage and in total."""
+        per_stage: Dict[str, int] = {}
+        for key in self._entries:
+            stage = self._stages.get(key, "?")
+            per_stage[stage] = per_stage.get(stage, 0) + 1
+        return {
+            "entries": len(self._entries),
+            "bytes": sum(len(blob) for blob in self._entries.values()),
+            "max_entries": self.max_entries,
+            "stages": dict(sorted(per_stage.items())),
+        }
+
+
+class DiskStore:
+    """The opt-in persistent store behind ``--cache-dir``."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._objects = os.path.join(root, "objects")
+        os.makedirs(self._objects, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self._objects, key[:2], f"{key}.bin")
+
+    @staticmethod
+    def _split(raw: bytes) -> Tuple[Dict[str, object], bytes]:
+        """Split a stored file into (header dict, payload bytes)."""
+        newline = raw.index(b"\n")
+        header = json.loads(raw[:newline].decode("utf-8"))
+        return header, raw[newline + 1:]
+
+    def read(self, key: str) -> Optional[bytes]:
+        """Return the validated payload for ``key``, or None.
+
+        A missing, torn, or digest-mismatched entry reads as a miss;
+        ``verify`` is the loud path for corruption.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        try:
+            header, blob = self._split(raw)
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if (header.get("schema") != CACHE_SCHEMA
+                or header.get("key") != key
+                or header.get("payload_sha256") != payload_digest(blob)):
+            return None
+        return blob
+
+    def write(self, key: str, stage: str, blob: bytes) -> None:
+        """Atomically persist one entry (last writer wins)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        header = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "stage": stage,
+            "kernel": KERNEL_VERSIONS.get(stage, "?"),
+            "payload_sha256": payload_digest(blob),
+            "payload_bytes": len(blob),
+        }
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(json.dumps(header, sort_keys=True)
+                         .encode("utf-8"))
+            handle.write(b"\n")
+            handle.write(blob)
+        os.replace(tmp_path, path)
+
+    def _entry_paths(self) -> Iterator[str]:
+        if not os.path.isdir(self._objects):
+            return
+        for shard in sorted(os.listdir(self._objects)):
+            shard_dir = os.path.join(self._objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".bin"):
+                    yield os.path.join(shard_dir, name)
+
+    def stats(self) -> Dict[str, object]:
+        """Return entry/byte counts, per stage and in total."""
+        entries = 0
+        total_bytes = 0
+        per_stage: Dict[str, int] = {}
+        for path in self._entry_paths():
+            entries += 1
+            total_bytes += os.path.getsize(path)
+            try:
+                with open(path, "rb") as handle:
+                    header, _ = self._split(handle.read())
+                stage = str(header.get("stage", "?"))
+            except (OSError, ValueError, UnicodeDecodeError):
+                stage = "?"
+            per_stage[stage] = per_stage.get(stage, 0) + 1
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "stages": dict(sorted(per_stage.items())),
+        }
+
+    def verify(self) -> List[str]:
+        """Check every entry's header and payload digest.
+
+        Returns:
+            Problem strings, one per invalid entry (empty = clean).
+        """
+        problems: List[str] = []
+        for path in self._entry_paths():
+            name = os.path.basename(path)[:-len(".bin")]
+            try:
+                with open(path, "rb") as handle:
+                    raw = handle.read()
+                header, blob = self._split(raw)
+            except (OSError, ValueError, UnicodeDecodeError):
+                problems.append(f"{name}: unreadable or torn entry")
+                continue
+            if header.get("schema") != CACHE_SCHEMA:
+                problems.append(
+                    f"{name}: unknown schema {header.get('schema')!r}")
+            if header.get("key") != name:
+                problems.append(
+                    f"{name}: header key mismatch "
+                    f"({header.get('key')!r})")
+            if header.get("payload_sha256") != payload_digest(blob):
+                problems.append(f"{name}: payload digest mismatch "
+                                f"(corrupt entry)")
+        return problems
+
+    def clear(self) -> int:
+        """Delete every entry; return how many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            os.remove(path)
+            removed += 1
+        return removed

@@ -26,6 +26,17 @@ Static analysis (see docs/architecture.md, "Static analysis")::
     bundle-charging lint src --format json
     bundle-charging lint --list-rules     # rule catalogue + rationale
 
+Stage memoization (see docs/architecture.md, "Caching & sweep reuse")::
+
+    bundle-charging fig12 --cache         # in-memory stage cache
+    bundle-charging fig12 --cache-dir .bc-cache/
+                                          # on-disk cache: re-runs are warm
+    bundle-charging fig12 --cache-dir .bc-cache/ --shadow-verify 0.1
+                                          # spot-check hits against recompute
+    bundle-charging cache stats --cache-dir .bc-cache/
+    bundle-charging cache verify --cache-dir .bc-cache/
+    bundle-charging cache clear --cache-dir .bc-cache/
+
 (or ``python -m repro.cli ...`` without installing the entry point.)
 """
 
@@ -51,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=experiment_ids() + ["all", "check", "bench", "trace",
-                                    "report", "lint"],
+                                    "report", "lint", "cache"],
         help="which figure to regenerate; 'all' runs everything, "
              "'check' runs the reproduction-verdict harness, 'bench' "
              "times the fast-path kernels against their reference "
@@ -59,10 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
              "tracing and writes a JSONL log + provenance manifest, "
              "'report' replays a traced run's energy accounting, "
              "'lint' runs the determinism/invariant static analyzer "
-             "(see 'bundle-charging lint --help')")
+             "(see 'bundle-charging lint --help'), 'cache' inspects an "
+             "on-disk stage cache (stats/clear/verify)")
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="for trace: the experiment id to run traced")
+        help="for trace: the experiment id to run traced; for cache: "
+             "the action (stats, clear or verify)")
     parser.add_argument(
         "--runs", type=int, default=None,
         help="random seeds per data point (default 10; paper used 100)")
@@ -89,7 +102,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", metavar="FILE", default=None,
         help="for bench: write the JSON report here "
-             "(default BENCH_PR1.json in the working directory)")
+             "(default BENCH_PR4.json in the working directory)")
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="memoize pipeline stages in-process (bit-identical hits; "
+             "results unchanged, repeated work skipped)")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="on-disk stage cache shared across runs and --jobs workers "
+             "(implies --cache); also the target of the 'cache' "
+             "subcommand")
+    parser.add_argument(
+        "--cache-entries", type=int, default=None,
+        help="LRU bound of the in-memory stage cache (default 256)")
+    parser.add_argument(
+        "--shadow-verify", type=float, metavar="RATE", default=None,
+        help="fraction of cache hits to recompute and compare "
+             "bit-for-bit (0 disables, 1 checks every hit)")
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help="warm-start TSP local search from the previous same-size "
+             "tour (changes the local optimum; excluded from "
+             "paper-figure defaults)")
+    parser.add_argument(
+        "--shared-deployment", action="store_true",
+        help="derive deployment seeds without the radius so a radius "
+             "sweep reuses one deployment per run (common random "
+             "numbers; excluded from paper-figure defaults)")
     parser.add_argument(
         "--out-dir", metavar="DIR", default=None,
         help="for trace: directory for the JSONL log, manifest and "
@@ -113,13 +152,27 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
               else ExperimentConfig.default())
     if args.runs is not None:
         config = config.with_runs(args.runs)
-    if args.seed is not None or args.jobs is not None:
+    overrides = {}
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if getattr(args, "cache", False):
+        overrides["use_cache"] = True
+    if getattr(args, "cache_dir", None) is not None:
+        overrides["use_cache"] = True
+        overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "cache_entries", None) is not None:
+        overrides["cache_entries"] = args.cache_entries
+    if getattr(args, "shadow_verify", None) is not None:
+        overrides["shadow_verify"] = args.shadow_verify
+    if getattr(args, "warm_start", False):
+        overrides["use_cache"] = True
+        overrides["warm_start"] = True
+    if getattr(args, "shared_deployment", False):
+        overrides["shared_deployment"] = True
+    if overrides:
         from dataclasses import replace
-        overrides = {}
-        if args.seed is not None:
-            overrides["base_seed"] = args.seed
-        if args.jobs is not None:
-            overrides["jobs"] = args.jobs
         config = replace(config, **overrides)
     return config
 
@@ -210,10 +263,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(arguments[1:])
     args = build_parser().parse_args(arguments)
     config = make_config(args)
+    if args.experiment == "cache":
+        from .cache.cli import run_cache_command
+        return run_cache_command(args.target, args.cache_dir)
     if args.experiment == "bench":
         from .perf.bench import render_report, run_benchmarks
         report = run_benchmarks(quick=args.quick,
-                                out_path=args.out or "BENCH_PR1.json")
+                                out_path=args.out or "BENCH_PR4.json")
         print(render_report(report))
         return 0 if report["all_identical"] else 1
     if args.experiment == "check":

@@ -47,5 +47,11 @@ class ExperimentError(BundleChargingError):
     """Raised by the experiment harness for unknown or bad configs."""
 
 
+class CacheError(BundleChargingError):
+    """Raised by the stage-memoization cache: unkeyable inputs, invalid
+    configuration, or a shadow-verify mismatch (a cache hit that is not
+    bit-identical to recomputation)."""
+
+
 class ValidationError(BundleChargingError):
     """Raised when a produced plan violates the charging constraint."""

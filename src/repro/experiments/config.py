@@ -9,7 +9,7 @@ nodes) that preserves every qualitative shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .. import constants
 from ..charging import CostParameters
@@ -32,6 +32,23 @@ class ExperimentConfig:
         jobs: worker processes for the per-seed loop (1 = serial).  The
             per-run seeds are derived, not sequential, so results are
             identical at any job count; only wall-clock changes.
+        use_cache: enable the in-memory stage-memoization cache
+            (:mod:`repro.cache`).  Hits are bit-identical to recompute,
+            so results are unchanged; only wall-clock changes.
+        cache_dir: opt-in on-disk cache store shared across runs (and
+            across ``--jobs`` workers); implies stage memoization.
+        cache_entries: LRU bound of the in-memory stage cache.
+        shadow_verify: fraction of cache hits to shadow-verify (the hit
+            is recomputed and must be bit-identical, else the run
+            fails loudly).  0 disables, 1 checks every hit.
+        warm_start: opt-in TSP 2-opt warm start from the previous tour
+            of the same size.  Changes which local optimum 2-opt finds,
+            so it is excluded from paper-figure defaults.
+        shared_deployment: opt-in sweep mode deriving deployment seeds
+            *without* the radius, so a radius sweep reuses one
+            deployment per (node_count, run) across all radii (common
+            random numbers).  Changes the sampled deployments, so it is
+            excluded from paper-figure defaults.
     """
 
     runs: int = 10
@@ -43,12 +60,24 @@ class ExperimentConfig:
     tsp_strategy: str = "nn+2opt"
     base_seed: int = 20190707  # ICDCS 2019 presentation week
     jobs: int = 1
+    use_cache: bool = False
+    cache_dir: Optional[str] = None
+    cache_entries: int = 256
+    shadow_verify: float = 0.0
+    warm_start: bool = False
+    shared_deployment: bool = False
 
     def __post_init__(self) -> None:
         if self.runs <= 0:
             raise ExperimentError(f"runs must be positive: {self.runs!r}")
         if self.jobs <= 0:
             raise ExperimentError(f"jobs must be positive: {self.jobs!r}")
+        if self.cache_entries <= 0:
+            raise ExperimentError(
+                f"cache_entries must be positive: {self.cache_entries!r}")
+        if not 0.0 <= self.shadow_verify <= 1.0:
+            raise ExperimentError(
+                f"shadow_verify must be in [0, 1]: {self.shadow_verify!r}")
         if self.node_count <= 0:
             raise ExperimentError(
                 f"node_count must be positive: {self.node_count!r}")

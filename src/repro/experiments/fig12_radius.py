@@ -16,7 +16,7 @@ from typing import List
 
 from ..planners import PAPER_ALGORITHMS
 from .config import ExperimentConfig
-from .runner import kilo, run_averaged
+from .runner import kilo, run_averaged, shared_deployments
 from .tables import ResultTable
 
 EXPERIMENT_ID = "fig12"
@@ -25,6 +25,11 @@ EXPERIMENT_ID = "fig12"
 def run(config: ExperimentConfig) -> List[ResultTable]:
     """Regenerate all three panels of Fig. 12."""
     algorithms = list(PAPER_ALGORITHMS)
+    # Opt-in common-random-numbers mode: every radius reuses one
+    # deployment per run, computed (or cache-recalled) exactly once.
+    deployments = (shared_deployments(config, config.node_count,
+                                      EXPERIMENT_ID)
+                   if config.shared_deployment else None)
     columns = ["radius_m"] + algorithms
     table_a = ResultTable("Fig. 12(a): total energy (kJ) vs bundle radius",
                           columns)
@@ -36,7 +41,8 @@ def run(config: ExperimentConfig) -> List[ResultTable]:
 
     for radius in config.radii:
         aggregated = run_averaged(config, config.node_count, radius,
-                                  algorithms, EXPERIMENT_ID)
+                                  algorithms, EXPERIMENT_ID,
+                                  deployments=deployments)
         table_a.add_row(radius_m=radius, **{
             name: kilo(aggregated[name]["total_j"])
             for name in algorithms})

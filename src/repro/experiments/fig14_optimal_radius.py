@@ -18,7 +18,7 @@ from typing import List
 
 from ..bundling import sweep_radii
 from .config import ExperimentConfig
-from .runner import kilo, run_averaged
+from .runner import kilo, run_averaged, shared_deployments
 from .tables import ResultTable
 
 EXPERIMENT_ID = "fig14"
@@ -30,10 +30,13 @@ NODE_COUNT = 200
 def run(config: ExperimentConfig) -> List[ResultTable]:
     """Regenerate both panels of Fig. 14."""
     node_count = min(NODE_COUNT, max(config.node_counts))
+    deployments = (shared_deployments(config, node_count, EXPERIMENT_ID)
+                   if config.shared_deployment else None)
     aggregated_by_radius = {}
     for radius in config.radii:
         aggregated_by_radius[radius] = run_averaged(
-            config, node_count, radius, ["BC", "BC-OPT"], EXPERIMENT_ID)
+            config, node_count, radius, ["BC", "BC-OPT"], EXPERIMENT_ID,
+            deployments=deployments)
 
     table_a = ResultTable(
         f"Fig. 14(a): BC energy decomposition vs radius "

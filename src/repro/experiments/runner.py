@@ -9,14 +9,26 @@ With ``config.jobs > 1`` the per-seed loop fans out over a
 ``(base_seed, label, node_count, radius, run_index)`` — no shared RNG
 state — and results are merged back in run-index order, so the
 aggregated output is identical at any job count.
+
+When the config enables stage memoization (``use_cache`` /
+``cache_dir``), the runner activates a :class:`repro.cache.StageCache`
+around the per-seed loop: the seeded deployment and the full per-seed
+metric row become content-addressed cache stages, and the planner /
+bundling layers memoize their own stages under the same activation.
+Hits are bit-identical to recomputation, so aggregates are unchanged at
+any job count and any cache temperature.  With
+``config.shared_deployment`` a radius sweep additionally derives its
+deployment seeds *without* the radius and can precompute one deployment
+per (node_count, run) for every radius (:func:`shared_deployments`).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..charging import CostParameters
+from ..errors import ExperimentError
 from ..network import SensorNetwork, derive_seed, uniform_deployment
 from ..perf.counters import PERF
 from ..planners import make_planner
@@ -43,6 +55,17 @@ except ImportError:  # pragma: no cover - repro.obs stripped/blocked
 
     def _absorb_events(events) -> None:
         return None
+
+try:  # memoization is optional: the runner works with repro.cache absent
+    from ..cache import activation_for_config, stage_memo
+except ImportError:  # pragma: no cover - repro.cache stripped/blocked
+    from contextlib import nullcontext as _cache_nullcontext
+
+    def activation_for_config(config):  # type: ignore[misc]
+        return _cache_nullcontext()
+
+    def stage_memo(stage, params_fn, compute):  # type: ignore[misc]
+        return compute()
 
 MetricRow = Dict[str, float]
 AggregatedRun = Dict[str, Dict[str, CellStats]]
@@ -71,9 +94,61 @@ def run_algorithms_once(network: SensorNetwork, cost: CostParameters,
     return results
 
 
+def cell_seed(config: ExperimentConfig, experiment_label: str,
+              node_count: int, radius: float, run_index: int) -> int:
+    """Derive the seed of one (cell, run) pair.
+
+    The paper-default derivation includes the radius, so every sweep
+    cell draws an independent deployment.  In the opt-in
+    ``shared_deployment`` mode the radius is replaced by a fixed tag:
+    all radii of a sweep then share one deployment (and one planner
+    seed) per (node_count, run) — the common-random-numbers setup the
+    cache exploits across a radius sweep.
+    """
+    if config.shared_deployment:
+        return derive_seed(config.base_seed, experiment_label,
+                           node_count, "shared", run_index)
+    return derive_seed(config.base_seed, experiment_label, node_count,
+                       radius, run_index)
+
+
+def shared_deployments(config: ExperimentConfig, node_count: int,
+                       experiment_label: str
+                       ) -> "tuple[SensorNetwork, ...]":
+    """Precompute one deployment per run for a shared-mode sweep.
+
+    Only meaningful with ``config.shared_deployment``: the returned
+    networks match what every radius cell of the sweep would deploy, so
+    drivers hand them to :func:`run_averaged` once and workers receive
+    the read-only payload instead of regenerating it per cell.
+    """
+    if not config.shared_deployment:
+        raise ExperimentError("shared_deployments() requires "
+                              "config.shared_deployment=True")
+    with activation_for_config(config):
+        return tuple(
+            _cached_deployment(
+                config, node_count,
+                cell_seed(config, experiment_label, node_count, 0.0,
+                          run_index))
+            for run_index in range(config.runs))
+
+
+def _cached_deployment(config: ExperimentConfig, node_count: int,
+                       seed: int) -> SensorNetwork:
+    """Deploy (or recall) the seeded network — the ``deployment`` stage."""
+    return stage_memo(
+        "deployment",
+        lambda: {"kind": "uniform", "n": node_count, "seed": seed,
+                 "field_side_m": config.field_side_m},
+        lambda: uniform_deployment(node_count, seed,
+                                   field_side_m=config.field_side_m))
+
+
 def run_averaged(config: ExperimentConfig, node_count: int, radius: float,
-                 algorithms: Sequence[str],
-                 experiment_label: str) -> AggregatedRun:
+                 algorithms: Sequence[str], experiment_label: str,
+                 deployments: Optional[Sequence[SensorNetwork]] = None
+                 ) -> AggregatedRun:
     """Run all algorithms over ``config.runs`` seeded deployments.
 
     Args:
@@ -83,30 +158,37 @@ def run_averaged(config: ExperimentConfig, node_count: int, radius: float,
         algorithms: planner names to compare.
         experiment_label: namespaces the seed stream so different figures
             draw independent deployments.
+        deployments: optional prebuilt per-run networks (shared-mode
+            sweeps); must be ``config.runs`` long and match the cell
+            seeds.
 
     Returns:
         ``{algorithm: {metric: CellStats}}``.
     """
     jobs = min(config.jobs, config.runs)
+    networks: Sequence[Optional[SensorNetwork]] = (
+        deployments if deployments is not None
+        else [None] * config.runs)
     with obs_span("run", experiment=experiment_label,
                   node_count=node_count, radius=radius,
                   runs=config.runs, jobs=jobs) as span:
         if span:
             span.set(seeds=[
-                derive_seed(config.base_seed, experiment_label,
-                            node_count, radius, run_index)
+                cell_seed(config, experiment_label, node_count, radius,
+                          run_index)
                 for run_index in range(config.runs)])
         if jobs > 1:
             rows_in_order = _run_seeds_parallel(
                 config, node_count, radius, algorithms,
-                experiment_label, jobs)
+                experiment_label, jobs, networks)
         else:
-            rows_in_order = [
-                _run_one_seed(config, node_count, radius,
-                              tuple(algorithms), experiment_label,
-                              run_index)
-                for run_index in range(config.runs)
-            ]
+            with activation_for_config(config):
+                rows_in_order = [
+                    _run_one_seed(config, node_count, radius,
+                                  tuple(algorithms), experiment_label,
+                                  run_index, networks[run_index])
+                    for run_index in range(config.runs)
+                ]
         per_algorithm: Dict[str, list] = {name: [] for name in algorithms}
         for once in rows_in_order:
             for name, row in once.items():
@@ -117,29 +199,44 @@ def run_averaged(config: ExperimentConfig, node_count: int, radius: float,
 
 def _run_one_seed(config: ExperimentConfig, node_count: int, radius: float,
                   algorithms: Sequence[str], experiment_label: str,
-                  run_index: int) -> Dict[str, MetricRow]:
+                  run_index: int,
+                  network: Optional[SensorNetwork] = None
+                  ) -> Dict[str, MetricRow]:
     """One seeded deployment + plan + evaluation (the fan-out unit).
 
     Top-level so it pickles for :class:`ProcessPoolExecutor`; everything
     it needs travels in its arguments (``ExperimentConfig`` is a frozen
-    dataclass of primitives).
+    dataclass of primitives).  Under an active cache the full metric row
+    is the ``seed_row`` stage — a warm hit skips deployment and planning
+    entirely — and the deployment itself is the ``deployment`` stage.
     """
-    seed = derive_seed(config.base_seed, experiment_label, node_count,
-                       radius, run_index)
+    seed = cell_seed(config, experiment_label, node_count, radius,
+                     run_index)
     with obs_span("seed", run_index=run_index, seed=seed,
                   node_count=node_count):
-        network = uniform_deployment(node_count, seed,
-                                     field_side_m=config.field_side_m)
-        return run_algorithms_once(network, config.cost(), radius,
-                                   algorithms,
-                                   tsp_strategy=config.tsp_strategy,
-                                   seed=seed)
+        def compute_row() -> Dict[str, MetricRow]:
+            net = (network if network is not None
+                   else _cached_deployment(config, node_count, seed))
+            return run_algorithms_once(net, config.cost(), radius,
+                                       algorithms,
+                                       tsp_strategy=config.tsp_strategy,
+                                       seed=seed)
+
+        return stage_memo(
+            "seed_row",
+            lambda: {"n": node_count, "seed": seed, "radius": radius,
+                     "algorithms": list(algorithms),
+                     "tsp_strategy": config.tsp_strategy,
+                     "field_side_m": config.field_side_m,
+                     "cost": config.cost()},
+            compute_row)
 
 
 def _seed_worker(config: ExperimentConfig, node_count: int,
                  radius: float, algorithms: Sequence[str],
                  experiment_label: str, run_index: int,
-                 tracing: bool, perf_enabled: bool):
+                 tracing: bool, perf_enabled: bool,
+                 network: Optional[SensorNetwork] = None):
     """The pool-side fan-out unit: one seed plus its telemetry.
 
     Worker processes are reused across seeds, so the registry is reset
@@ -148,6 +245,9 @@ def _seed_worker(config: ExperimentConfig, node_count: int,
     (``PerfRegistry.merge_snapshot``) so op counts are identical at any
     job count.  With tracing on, the worker's span events ride the same
     return tuple and are re-nested under the parent's ``run`` span.
+    Each worker activates its own process-local stage cache from the
+    config (sharing any on-disk store with every other worker), so
+    cache hit/miss counters merge back exactly like kernel counters.
     """
     PERF.enabled = perf_enabled
     PERF.reset()
@@ -155,8 +255,9 @@ def _seed_worker(config: ExperimentConfig, node_count: int,
         from ..obs.tracer import TRACER as worker_tracer
         worker_tracer.enabled = True
         worker_tracer.reset()
-    rows = _run_one_seed(config, node_count, radius, algorithms,
-                         experiment_label, run_index)
+    with activation_for_config(config):
+        rows = _run_one_seed(config, node_count, radius, algorithms,
+                             experiment_label, run_index, network)
     events = []
     if tracing:
         from ..obs.tracer import TRACER as worker_tracer
@@ -166,14 +267,17 @@ def _seed_worker(config: ExperimentConfig, node_count: int,
 
 def _run_seeds_parallel(config: ExperimentConfig, node_count: int,
                         radius: float, algorithms: Sequence[str],
-                        experiment_label: str,
-                        jobs: int) -> List[Dict[str, MetricRow]]:
+                        experiment_label: str, jobs: int,
+                        networks: Sequence[Optional[SensorNetwork]]
+                        ) -> List[Dict[str, MetricRow]]:
     """Fan the per-seed loop out over worker processes.
 
     ``executor.map`` preserves argument order, so rows come back in
     run-index order — aggregation sees the same sequence the serial
     loop produces — and the workers' perf snapshots and trace events
-    are merged in that same deterministic order.
+    are merged in that same deterministic order.  Prebuilt deployments
+    (shared-mode sweeps) travel to their worker as read-only payloads
+    in the map arguments, once per (node_count, seed).
     """
     algorithms = tuple(algorithms)
     tracing = _tracing_enabled()
@@ -188,6 +292,7 @@ def _run_seeds_parallel(config: ExperimentConfig, node_count: int,
             range(config.runs),
             [tracing] * config.runs,
             [PERF.enabled] * config.runs,
+            list(networks),
         ))
     rows_in_order: List[Dict[str, MetricRow]] = []
     for rows, perf_snapshot, events in results:

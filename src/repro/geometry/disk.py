@@ -19,9 +19,13 @@ from .point import Point
 CONTAINMENT_EPS = 1e-7
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Disk:
-    """A closed disk given by its ``center`` and ``radius``."""
+    """A closed disk given by its ``center`` and ``radius``.
+
+    Slotted like :class:`Point`: the candidate-disk enumeration creates
+    O(n^2) disks per radius, so the per-instance ``__dict__`` matters.
+    """
 
     center: Point
     radius: float

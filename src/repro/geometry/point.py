@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Tuple
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Point:
     """An immutable point (or vector) in the plane.
 
@@ -20,6 +20,10 @@ class Point:
 
         midpoint = (a + b) * 0.5
         direction = (b - a).normalized()
+
+    Points are allocated O(n^2) times in the geometric kernels, so the
+    dataclass is slotted: no per-instance ``__dict__``, noticeably less
+    memory and faster attribute access.
     """
 
     x: float

@@ -10,14 +10,17 @@ run whose results diverged.  The TSP ``*-fast`` strategies are heuristic
 variants (documented as such), so their entry reports tour quality
 instead of identity.
 
-The report is written as JSON (``BENCH_PR1.json`` by default) so speedup
-trajectories can be tracked across PRs.
+The report is written as JSON (``BENCH_PR4.json`` by default; the
+``benchmark`` field follows the file name) so speedup trajectories can
+be tracked across PRs — each PR writes its own ``BENCH_PR<k>.json`` with
+the same entry keys.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import random
 import sys
@@ -27,12 +30,16 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .counters import PERF
 from .kernels import reference_kernels
 
-#: Workload sizes: full scale (the checked-in BENCH_PR1.json) and quick
-#: scale (the CI smoke run).
+#: Workload sizes: full scale (the checked-in ``BENCH_PR<k>.json``) and
+#: quick scale (the CI smoke run).
 _FULL = {"greedy_n": 400, "greedy_radius": 20.0, "greedy_reps": 5,
-         "ellipse_cases": 2000, "tsp_n": 300}
+         "ellipse_cases": 2000, "tsp_n": 300,
+         "cache_n": 300, "cache_runs": 5,
+         "cache_radii": (10.0, 20.0, 30.0, 40.0)}
 _QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
-          "ellipse_cases": 400, "tsp_n": 120}
+          "ellipse_cases": 400, "tsp_n": 120,
+          "cache_n": 100, "cache_runs": 2,
+          "cache_radii": (10.0, 20.0)}
 
 
 def _best_of(func: Callable[[], object], reps: int) -> Tuple[float, object]:
@@ -192,13 +199,78 @@ def _bench_tsp_fast(sizes: Dict) -> Dict:
          "length_ratio": round(fast_len / full_len, 5)})
 
 
+def _bench_cache_sweep(sizes: Dict) -> Dict:
+    """Cold-vs-warm stage-cache radius sweep (cross-run memoization).
+
+    Runs the same radius sweep twice with the stage cache active: the
+    cold pass computes and stores every stage, the warm pass replays the
+    identical request from the cache.  ``reference_s`` is the cold pass,
+    ``fast_s`` the warm one, and ``identical`` gates on the aggregated
+    rows being equal — the cache's bit-identity contract, measured
+    end-to-end.
+    """
+    from dataclasses import replace
+
+    from ..cache import reset_cache_state
+    from ..experiments.config import ExperimentConfig
+    from ..experiments.runner import run_averaged
+    from ..planners import PAPER_ALGORITHMS
+
+    n = sizes["cache_n"]
+    radii = tuple(sizes["cache_radii"])
+    config = replace(ExperimentConfig.fast(), runs=sizes["cache_runs"],
+                     node_count=n, radii=radii, use_cache=True,
+                     cache_entries=8192)
+    algorithms = list(PAPER_ALGORITHMS)
+
+    def sweep():
+        rows = []
+        for radius in radii:
+            aggregated = run_averaged(config, n, radius, algorithms,
+                                      "bench_cache")
+            rows.append({
+                name: {metric: (cell.mean, cell.std, cell.count)
+                       for metric, cell in aggregated[name].items()}
+                for name in algorithms})
+        return rows
+
+    def cache_counters():
+        return {"hits": PERF.counter("cache.hit"),
+                "misses": PERF.counter("cache.miss")}
+
+    reset_cache_state()
+    before = cache_counters()
+    started = time.perf_counter()
+    cold_rows = sweep()
+    cold_s = time.perf_counter() - started
+    after_cold = cache_counters()
+
+    started = time.perf_counter()
+    warm_rows = sweep()
+    warm_s = time.perf_counter() - started
+    after_warm = cache_counters()
+    reset_cache_state()
+
+    identical = cold_rows == warm_rows
+    return _entry(
+        f"cache_warm_sweep_n{n}", cold_s, warm_s, identical,
+        {"radii": list(radii), "runs": config.runs,
+         "algorithms": algorithms,
+         "cold": {key: after_cold[key] - before[key]
+                  for key in before},
+         "warm": {key: after_warm[key] - after_cold[key]
+                  for key in before}})
+
+
 def run_benchmarks(quick: bool = False,
-                   out_path: Optional[str] = "BENCH_PR1.json") -> Dict:
+                   out_path: Optional[str] = "BENCH_PR4.json") -> Dict:
     """Run every kernel benchmark and (optionally) write the JSON report.
 
     Args:
         quick: use CI-scale workloads.
         out_path: where to write the report; ``None`` skips the write.
+            The report's ``benchmark`` field is the file's stem (so
+            ``BENCH_PR4.json`` labels itself ``BENCH_PR4``).
 
     Returns:
         The report dict; ``report["all_identical"]`` is True when every
@@ -215,10 +287,13 @@ def run_benchmarks(quick: bool = False,
         _bench_ellipse_kernel(sizes),
         _bench_tsp_fast(sizes),
         _bench_fig13_sweep(quick),
+        _bench_cache_sweep(sizes),
     ]
     elapsed = time.perf_counter() - started
+    label = (os.path.splitext(os.path.basename(out_path))[0]
+             if out_path else "BENCH_PR4")
     report = {
-        "benchmark": "BENCH_PR1",
+        "benchmark": label,
         "quick": quick,
         "python": sys.version.split()[0],
         "platform": platform.platform(),

@@ -16,7 +16,7 @@ from ..errors import PlanError
 from ..geometry import Point
 from ..network import SensorNetwork
 from ..tour import ChargingPlan
-from ..tsp import solve_tsp
+from ..tsp import Tour, solve_tsp
 
 try:  # tracing is optional: planning works with repro.obs absent
     from ..obs.tracer import obs_span
@@ -25,6 +25,15 @@ except ImportError:  # pragma: no cover - repro.obs stripped/blocked
 
     def obs_span(name, **attrs):  # type: ignore[misc]
         return _nullcontext()
+
+try:  # memoization is optional: planning works with repro.cache absent
+    from ..cache import get_active_cache, stage_memo
+except ImportError:  # pragma: no cover - repro.cache stripped/blocked
+    def get_active_cache():  # type: ignore[misc]
+        return None
+
+    def stage_memo(stage, params_fn, compute):  # type: ignore[misc]
+        return compute()
 
 
 class Planner(ABC):
@@ -72,14 +81,39 @@ class Planner(ABC):
             cities = list(positions)
             if depot is not None:
                 cities.append(depot)
-                tour = solve_tsp(cities, strategy=self.tsp_strategy,
-                                 seed=self.seed)
+            # The raw solver order is the memoized value (``tsp`` stage);
+            # the depot rotation below is a cheap pure function of it.
+            raw_order = stage_memo(
+                "tsp",
+                lambda: {"points": cities, "strategy": self.tsp_strategy,
+                         "seed": self.seed},
+                lambda: self._solve_order(cities))
+            if depot is not None:
+                tour = Tour(list(raw_order))
                 rooted = tour.rotated_to_start(n)  # depot has index n
                 order = [city for city in rooted if city != n]
             else:
-                tour = solve_tsp(cities, strategy=self.tsp_strategy,
-                                 seed=self.seed)
-                order = tour.order
+                order = list(raw_order)
             if sorted(order) != list(range(n)):
                 raise PlanError("TSP ordering lost or duplicated stops")
             return order
+
+    def _solve_order(self, cities: Sequence[Point]) -> List[int]:
+        """Run the TSP solver, threading warm-start hints when enabled.
+
+        With an active cache in ``warm_start`` mode, local search starts
+        from the last tour of the same (strategy, size) — e.g. the
+        previous radius of a sweep — and the result becomes the next
+        hint.  The cache skips memoizing the ``tsp`` stage in this mode,
+        since the output depends on hint state, not only on the inputs.
+        """
+        cache = get_active_cache()
+        initial = None
+        if cache is not None and cache.warm_start:
+            initial = cache.tsp_hint(self.tsp_strategy, len(cities))
+        tour = solve_tsp(cities, strategy=self.tsp_strategy,
+                         seed=self.seed, initial_order=initial)
+        if cache is not None and cache.warm_start:
+            cache.store_tsp_hint(self.tsp_strategy, len(cities),
+                                 tour.order)
+        return tour.order

@@ -16,6 +16,12 @@ from ..network import SensorNetwork
 from ..tour import (ChargingPlan, TourOptimizationReport, optimize_tour)
 from .bc import BundleChargingPlanner, BundleGenerator
 
+try:  # memoization is optional: planning works with repro.cache absent
+    from ..cache import stage_memo
+except ImportError:  # pragma: no cover - repro.cache stripped/blocked
+    def stage_memo(stage, params_fn, compute):  # type: ignore[misc]
+        return compute()
+
 
 class BundleChargingOptPlanner(BundleChargingPlanner):
     """BC + Algorithm 3 anchor refinement."""
@@ -48,10 +54,25 @@ class BundleChargingOptPlanner(BundleChargingPlanner):
              cost: CostParameters) -> ChargingPlan:
         """Build the BC plan, then refine anchors with Algorithm 3."""
         base_plan = super().plan(network, cost)
-        optimized, report = optimize_tour(
-            base_plan, network.locations, cost,
-            bundle_radius=self.radius,
-            max_sweeps=self.max_sweeps,
-            radius_steps=self.radius_steps)
+
+        def _stage_params():
+            return {
+                "stops": [[stop.position, stop.sensors, stop.dwell_s]
+                          for stop in base_plan.stops],
+                "depot": base_plan.depot,
+                "locations": list(network.locations),
+                "cost": cost,
+                "radius": self.radius,
+                "max_sweeps": self.max_sweeps,
+                "radius_steps": self.radius_steps,
+            }
+
+        optimized, report = stage_memo(
+            "anchor_opt", _stage_params,
+            lambda: optimize_tour(
+                base_plan, network.locations, cost,
+                bundle_radius=self.radius,
+                max_sweeps=self.max_sweeps,
+                radius_steps=self.radius_steps))
         self.last_report = report
         return optimized.with_label(self.name)

@@ -18,7 +18,7 @@ strategies for ablation:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..errors import TourError
 from ..geometry import Point
@@ -38,7 +38,8 @@ DEFAULT_STRATEGY = "nn+2opt"
 
 def solve_tsp(points: Sequence[Point],
               strategy: str = DEFAULT_STRATEGY,
-              seed: int = 0) -> Tour:
+              seed: int = 0,
+              initial_order: Optional[Sequence[int]] = None) -> Tour:
     """Solve (approximately) the TSP over ``points``.
 
     Args:
@@ -47,29 +48,47 @@ def solve_tsp(points: Sequence[Point],
             or ``"auto"`` to pick exact for tiny instances and the default
             heuristic otherwise.
         seed: seed for the randomized strategies (``"anneal"``).
+        initial_order: optional warm-start tour over ``range(len(points))``.
+            Improvement strategies (``*+2opt`` and their ``-fast``
+            variants) start local search from it instead of running their
+            constructor; other strategies ignore it.
 
     Returns:
         A closed :class:`Tour` over ``range(len(points))``.
 
     Raises:
-        TourError: for an unknown strategy name.
+        TourError: for an unknown strategy name, or a warm-start order
+            whose length does not match ``points``.
     """
     n = len(points)
     if n <= 1:
         return Tour(list(range(n)))
     distance = DistanceMatrix(points)
-    return solve_tsp_matrix(distance, strategy=strategy, seed=seed)
+    return solve_tsp_matrix(distance, strategy=strategy, seed=seed,
+                            initial_order=initial_order)
 
 
 def solve_tsp_matrix(distance: DistanceMatrix,
                      strategy: str = DEFAULT_STRATEGY,
-                     seed: int = 0) -> Tour:
-    """Solve the TSP over a prebuilt distance matrix."""
+                     seed: int = 0,
+                     initial_order: Optional[Sequence[int]] = None) -> Tour:
+    """Solve the TSP over a prebuilt distance matrix.
+
+    See :func:`solve_tsp` for the ``initial_order`` warm-start contract.
+    """
     n = distance.size
     if n <= 3:
         return Tour(list(range(n)))
     if strategy == "auto":
         strategy = "exact" if n <= 12 else DEFAULT_STRATEGY
+    if initial_order is not None:
+        improver = _IMPROVERS.get(strategy)
+        if improver is not None:
+            if len(initial_order) != n:
+                raise TourError(
+                    f"warm-start order has {len(initial_order)} cities, "
+                    f"instance has {n}")
+            return improver(Tour(list(initial_order)), distance)
 
     solvers: Dict[str, Callable[[], Tour]] = {
         "exact": lambda: held_karp_tour(distance),
@@ -120,6 +139,19 @@ def _improve_fast(tour: Tour, distance: DistanceMatrix) -> Tour:
     improved = two_opt_fast(tour, distance)
     improved = or_opt_fast(improved, distance)
     return two_opt_fast(improved, distance)
+
+
+# Strategies that can consume a warm-start order: their constructor is
+# replaced by the given tour and only the improvement pipeline runs.
+_IMPROVERS: Dict[str, Callable[[Tour, DistanceMatrix], Tour]] = {
+    "nn+2opt": _improve,
+    "greedy+2opt": _improve,
+    "insertion+2opt": _improve,
+    "christofides+2opt": _improve,
+    "mst+2opt": _improve,
+    "nn+2opt-fast": _improve_fast,
+    "greedy+2opt-fast": _improve_fast,
+}
 
 
 def tour_length(points: Sequence[Point], tour: Tour) -> float:

@@ -1,0 +1,1 @@
+"""Tests for the stage-memoization cache (repro.cache)."""

@@ -1,0 +1,113 @@
+"""Tests for the ``bundle-charging cache`` subcommand and cache flags."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cache import DiskStore, PICKLE_PROTOCOL, reset_cache_state
+from repro.cli import build_parser, main, make_config
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache_state():
+    reset_cache_state()
+    yield
+    reset_cache_state()
+
+
+def _seed_store(root):
+    store = DiskStore(root)
+    store.write("ab" + "0" * 62, "tsp",
+                pickle.dumps([1, 2], protocol=PICKLE_PROTOCOL))
+    return store
+
+
+class TestFlags:
+    def test_cache_flag(self):
+        args = build_parser().parse_args(["fig12", "--cache"])
+        assert make_config(args).use_cache
+
+    def test_cache_dir_implies_cache(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig12", "--cache-dir", str(tmp_path)])
+        config = make_config(args)
+        assert config.use_cache
+        assert config.cache_dir == str(tmp_path)
+
+    def test_cache_knobs(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig12", "--cache", "--cache-entries", "64",
+             "--shadow-verify", "0.5"])
+        config = make_config(args)
+        assert config.cache_entries == 64
+        assert config.shadow_verify == 0.5
+
+    def test_warm_start_and_shared_deployment(self):
+        args = build_parser().parse_args(
+            ["fig12", "--warm-start", "--shared-deployment"])
+        config = make_config(args)
+        assert config.warm_start
+        assert config.use_cache
+        assert config.shared_deployment
+
+    def test_defaults_leave_cache_off(self):
+        config = make_config(build_parser().parse_args(["fig12"]))
+        assert not config.use_cache
+        assert config.cache_dir is None
+
+
+class TestCacheSubcommand:
+    def test_stats(self, tmp_path, capsys):
+        _seed_store(str(tmp_path))
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["stages"] == {"tsp": 1}
+
+    def test_verify_clean(self, tmp_path, capsys):
+        _seed_store(str(tmp_path))
+        assert main(["cache", "verify",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_corrupt_fails(self, tmp_path, capsys):
+        _seed_store(str(tmp_path))
+        key = "ab" + "0" * 62
+        path = tmp_path / "objects" / "ab" / f"{key}.bin"
+        path.write_bytes(path.read_bytes()[:-1] + b"X")
+        assert main(["cache", "verify",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "digest mismatch" in capsys.readouterr().err
+
+    def test_clear(self, tmp_path, capsys):
+        store = _seed_store(str(tmp_path))
+        assert main(["cache", "clear",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert store.stats()["entries"] == 0
+
+    def test_missing_action_is_usage_error(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 2
+        assert "needs an action" in capsys.readouterr().err
+
+    def test_unknown_action_is_usage_error(self, tmp_path, capsys):
+        assert main(["cache", "defrag",
+                     "--cache-dir", str(tmp_path)]) == 2
+
+    def test_missing_dir_is_usage_error(self, capsys):
+        assert main(["cache", "stats"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+
+class TestCachedExperimentRun:
+    def test_fig12_with_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["fig12", "--fast", "--runs", "1",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert "seed_row" in stats["stages"]

@@ -1,0 +1,87 @@
+"""The cache must be invisible to the numbers.
+
+Three subprocess runs of a trimmed fig12 radius sweep — one with the
+cache simply left disabled, one where ``repro.cache`` is *blocked from
+importing at all*, and one with the cache fully enabled (plus 100%
+shadow-verify) — must write byte-identical results CSVs.  This pins the
+opt-in contract from every direction: the passthrough path does not
+perturb the pipeline, every call site degrades gracefully when the
+cache package does not exist, and serving stages from the cache is
+bit-identical to recomputing them.
+"""
+
+import os
+import subprocess
+import sys
+
+_DRIVER = r"""
+import sys
+
+mode, out_dir = sys.argv[1], sys.argv[2]
+
+if mode == "block":
+    import importlib.abc
+
+    class BlockCache(importlib.abc.MetaPathFinder):
+        def find_spec(self, fullname, path=None, target=None):
+            if fullname == "repro.cache" or \
+                    fullname.startswith("repro.cache."):
+                raise ImportError(f"{fullname} blocked for test")
+            return None
+
+    sys.meta_path.insert(0, BlockCache())
+
+from dataclasses import replace
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.tables import print_tables
+
+config = ExperimentConfig(runs=2, node_count=40, node_counts=(40,),
+                          radii=(15.0, 30.0), default_radius=20.0)
+if mode == "cached":
+    cache_dir = sys.argv[3]
+    config = replace(config, use_cache=True, cache_dir=cache_dir,
+                     shadow_verify=1.0)
+tables = run_experiment("fig12", config)
+print_tables(tables, csv_dir=out_dir)
+
+if mode == "block":
+    leaked = [name for name in sys.modules
+              if name == "repro.cache"
+              or name.startswith("repro.cache.")]
+    assert not leaked, f"repro.cache leaked into sys.modules: {leaked}"
+"""
+
+
+def _run_fig12(mode: str, out_dir: str, cache_dir: str = "") -> None:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    argv = [sys.executable, "-c", _DRIVER, mode, out_dir]
+    if cache_dir:
+        argv.append(cache_dir)
+    completed = subprocess.run(
+        argv, capture_output=True, text=True, env=env, timeout=600)
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_cache_off_blocked_and_on_are_byte_identical(tmp_path):
+    plain_dir = tmp_path / "plain"
+    blocked_dir = tmp_path / "blocked"
+    cached_dir = tmp_path / "cached"
+    warm_dir = tmp_path / "warm"
+    cache_store = str(tmp_path / "store")
+    _run_fig12("plain", str(plain_dir))
+    _run_fig12("block", str(blocked_dir))
+    _run_fig12("cached", str(cached_dir), cache_store)
+    # Second cached run replays every stage from the shared disk store,
+    # with every hit shadow-verified against recomputation.
+    _run_fig12("cached", str(warm_dir), cache_store)
+
+    plain_csvs = sorted(os.listdir(plain_dir))
+    assert plain_csvs  # the sweep must actually have written CSVs
+    for other in (blocked_dir, cached_dir, warm_dir):
+        assert sorted(os.listdir(other)) == plain_csvs
+        for name in plain_csvs:
+            assert (other / name).read_bytes() \
+                == (plain_dir / name).read_bytes(), (other, name)

@@ -1,0 +1,92 @@
+"""Tests for canonical cache-key derivation."""
+
+import pytest
+
+from repro.cache import KERNEL_VERSIONS, canonical, stage_key
+from repro.charging import CostParameters, FriisChargingModel
+from repro.errors import CacheError
+from repro.geometry import Point
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        for value in (None, True, False, 3, -7, 2.5, "abc"):
+            assert canonical(value) == value
+
+    def test_float_exactness(self):
+        # repr round-trips every double; two nearby doubles must not
+        # canonicalize to the same form.
+        a = 0.1 + 0.2
+        b = 0.3
+        assert a != b
+        assert canonical(a) != canonical(b)
+
+    def test_point(self):
+        assert canonical(Point(1.5, -2.0)) == {"__point__": [1.5, -2.0]}
+
+    def test_sequences_recurse(self):
+        assert canonical([1, (2, 3)]) == [1, [2, 3]]
+
+    def test_sets_are_sorted(self):
+        assert canonical({3, 1, 2}) == {"__set__": [1, 2, 3]}
+        assert canonical(frozenset({"b", "a"})) == {"__set__": ["a", "b"]}
+
+    def test_dicts_are_key_sorted(self):
+        assert list(canonical({"b": 1, "a": 2})) == ["a", "b"]
+
+    def test_cost_parameters(self):
+        cost = CostParameters.paper_defaults()
+        form = canonical(cost)
+        assert "__cost__" in form
+        assert form == canonical(CostParameters.paper_defaults())
+
+    def test_charging_model(self):
+        form = canonical(FriisChargingModel())
+        assert form["__model__"][0] == "FriisChargingModel"
+
+    def test_unknown_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(CacheError, match="canonicalize"):
+            canonical(Opaque())
+
+    def test_unknown_type_inside_container_raises(self):
+        with pytest.raises(CacheError):
+            canonical({"okay": [object()]})
+
+
+class TestStageKey:
+    def test_is_sha256_hex(self):
+        key = stage_key("deployment", {"n": 5, "seed": 1})
+        assert len(key) == 64
+        int(key, 16)  # must parse as hex
+
+    def test_deterministic(self):
+        params = {"n": 5, "seed": 1, "points": [Point(0.0, 1.0)]}
+        assert stage_key("tsp", params) == stage_key("tsp", dict(params))
+
+    def test_param_order_is_irrelevant(self):
+        assert stage_key("cover", {"a": 1, "b": 2}) \
+            == stage_key("cover", {"b": 2, "a": 1})
+
+    def test_different_params_differ(self):
+        assert stage_key("deployment", {"seed": 1}) \
+            != stage_key("deployment", {"seed": 2})
+
+    def test_different_stages_differ(self):
+        assert stage_key("candidates", {"x": 1}) \
+            != stage_key("cover", {"x": 1})
+
+    def test_kernel_tag_invalidates(self, monkeypatch):
+        before = stage_key("tsp", {"x": 1})
+        monkeypatch.setitem(KERNEL_VERSIONS, "tsp", "tsp/v999")
+        assert stage_key("tsp", {"x": 1}) != before
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(CacheError, match="unknown cache stage"):
+            stage_key("not-a-stage", {})
+
+    def test_every_registered_stage_keys(self):
+        for stage in KERNEL_VERSIONS:
+            assert len(stage_key(stage, {"probe": 1})) == 64

@@ -1,0 +1,227 @@
+"""Tests for the StageCache engine and the activation plumbing."""
+
+import pickle
+
+import pytest
+
+from repro.cache import (StageCache, activate_cache, cache_for_config,
+                         get_active_cache, reset_cache_state, stage_key,
+                         stage_memo)
+from repro.cache.store import PICKLE_PROTOCOL
+from repro.errors import CacheError
+from repro.experiments import ExperimentConfig
+from repro.perf.counters import PERF
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache_state():
+    reset_cache_state()
+    yield
+    reset_cache_state()
+
+
+class TestGetOrCompute:
+    def test_miss_then_hit(self):
+        cache = StageCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return [1, 2, 3]
+
+        first = cache.get_or_compute("tsp", {"x": 1}, compute)
+        second = cache.get_or_compute("tsp", {"x": 1}, compute)
+        assert first == second == [1, 2, 3]
+        assert len(calls) == 1
+
+    def test_hit_is_a_fresh_object(self):
+        cache = StageCache()
+        value = cache.get_or_compute("tsp", {"x": 1}, lambda: [1, 2])
+        value.append(99)  # mutating the returned value must not poison
+        again = cache.get_or_compute("tsp", {"x": 1}, lambda: [1, 2])
+        assert again == [1, 2]
+
+    def test_different_params_recompute(self):
+        cache = StageCache()
+        assert cache.get_or_compute("tsp", {"x": 1}, lambda: "a") == "a"
+        assert cache.get_or_compute("tsp", {"x": 2}, lambda: "b") == "b"
+
+    def test_hit_miss_counters(self):
+        PERF.reset()
+        cache = StageCache()
+        cache.get_or_compute("cover", {"x": 1}, lambda: 1)
+        cache.get_or_compute("cover", {"x": 1}, lambda: 1)
+        assert PERF.counter("cache.miss") == 1
+        assert PERF.counter("cache.hit") == 1
+        assert PERF.counter("cache.miss.cover") == 1
+        assert PERF.counter("cache.hit.cover") == 1
+
+    def test_lru_eviction_counter(self):
+        PERF.reset()
+        cache = StageCache(max_entries=1)
+        cache.get_or_compute("tsp", {"x": 1}, lambda: 1)
+        cache.get_or_compute("tsp", {"x": 2}, lambda: 2)
+        assert PERF.counter("cache.evict") == 1
+        # The first entry was evicted, so it recomputes.
+        PERF.reset()
+        cache.get_or_compute("tsp", {"x": 1}, lambda: 1)
+        assert PERF.counter("cache.miss") == 1
+
+    def test_disk_store_survives_new_cache(self, tmp_path):
+        first = StageCache(cache_dir=str(tmp_path))
+        first.get_or_compute("deployment", {"n": 3}, lambda: "payload")
+        PERF.reset()
+        second = StageCache(cache_dir=str(tmp_path))
+        calls = []
+        value = second.get_or_compute("deployment", {"n": 3},
+                                      lambda: calls.append(1) or "new")
+        assert value == "payload"
+        assert not calls
+        assert PERF.counter("cache.disk_hit") == 1
+        assert PERF.counter("cache.hit") == 1
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(CacheError):
+            StageCache().get_or_compute("bogus", {}, lambda: 1)
+
+
+class TestShadowVerify:
+    def test_clean_hit_passes(self):
+        PERF.reset()
+        cache = StageCache(shadow_rate=1.0)
+        cache.get_or_compute("tsp", {"x": 1}, lambda: [1, 2])
+        assert cache.get_or_compute("tsp", {"x": 1},
+                                    lambda: [1, 2]) == [1, 2]
+        assert PERF.counter("cache.shadow_checks") == 1
+        assert PERF.counter("cache.shadow_mismatches") == 0
+
+    def test_poisoned_entry_raises(self):
+        PERF.reset()
+        cache = StageCache(shadow_rate=1.0)
+        cache.get_or_compute("tsp", {"x": 1}, lambda: [1, 2])
+        # Poison the stored payload behind the cache's back.
+        key = stage_key("tsp", {"x": 1})
+        cache.memory.put(key, "tsp",
+                         pickle.dumps([9, 9], protocol=PICKLE_PROTOCOL))
+        with pytest.raises(CacheError, match="shadow-verify mismatch"):
+            cache.get_or_compute("tsp", {"x": 1}, lambda: [1, 2])
+        assert PERF.counter("cache.shadow_mismatches") == 1
+
+    def test_selection_is_deterministic_per_key(self):
+        cache = StageCache(shadow_rate=0.5)
+        key = stage_key("tsp", {"x": 1})
+        decisions = {cache._shadow_selected(key) for _ in range(5)}
+        assert len(decisions) == 1
+
+    def test_recompute_bypasses_inner_stages(self):
+        # The shadow recompute of an outer stage must not serve inner
+        # stages from the cache, or it would verify the cache against
+        # itself.
+        cache = StageCache(shadow_rate=1.0)
+        inner_calls = []
+
+        def outer():
+            return stage_memo("tsp", lambda: {"inner": 1},
+                              lambda: inner_calls.append(1) or [0, 1])
+
+        with activate_cache(cache):
+            cache.get_or_compute("seed_row", {"o": 1}, outer)
+            assert len(inner_calls) == 1
+            cache.get_or_compute("seed_row", {"o": 1}, outer)
+        # The hit's shadow recompute re-ran the outer thunk, and its
+        # inner stage recomputed too (bypass), not served from cache.
+        assert len(inner_calls) == 2
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(CacheError):
+            StageCache(shadow_rate=1.5)
+
+
+class TestWarmStart:
+    def test_skip_stages_not_memoized(self):
+        cache = StageCache(warm_start=True)
+        calls = []
+        for _ in range(2):
+            cache.get_or_compute("tsp", {"x": 1},
+                                 lambda: calls.append(1) or [0, 1])
+        assert len(calls) == 2
+
+    def test_other_stages_still_memoized(self):
+        cache = StageCache(warm_start=True)
+        calls = []
+        for _ in range(2):
+            cache.get_or_compute("deployment", {"x": 1},
+                                 lambda: calls.append(1) or "net")
+        assert len(calls) == 1
+
+    def test_hints_roundtrip(self):
+        cache = StageCache(warm_start=True)
+        assert cache.tsp_hint("nn+2opt", 5) is None
+        cache.store_tsp_hint("nn+2opt", 5, [0, 2, 1, 4, 3])
+        assert cache.tsp_hint("nn+2opt", 5) == [0, 2, 1, 4, 3]
+        assert cache.tsp_hint("nn+2opt", 6) is None
+        assert cache.tsp_hint("greedy+2opt", 5) is None
+
+    def test_hints_disabled_without_warm_start(self):
+        cache = StageCache()
+        cache.store_tsp_hint("nn+2opt", 5, [0, 1, 2, 3, 4])
+        assert cache.tsp_hint("nn+2opt", 5) is None
+
+
+class TestActivation:
+    def test_no_active_cache_is_passthrough(self):
+        calls = []
+        value = stage_memo("tsp", lambda: calls.append("params") or {},
+                           lambda: "computed")
+        assert value == "computed"
+        assert calls == []  # params_fn must not run without a cache
+
+    def test_activation_scopes(self):
+        cache = StageCache()
+        assert get_active_cache() is None
+        with activate_cache(cache):
+            assert get_active_cache() is cache
+        assert get_active_cache() is None
+
+    def test_activate_none_is_noop(self):
+        with activate_cache(None):
+            assert get_active_cache() is None
+
+    def test_stage_memo_uses_active_cache(self):
+        calls = []
+        with activate_cache(StageCache()):
+            for _ in range(2):
+                stage_memo("cover", lambda: {"x": 1},
+                           lambda: calls.append(1) or "v")
+        assert len(calls) == 1
+
+
+class TestCacheForConfig:
+    def test_disabled_config_returns_none(self):
+        assert cache_for_config(ExperimentConfig()) is None
+
+    def test_use_cache_builds_once_per_signature(self):
+        config = ExperimentConfig(use_cache=True)
+        first = cache_for_config(config)
+        second = cache_for_config(ExperimentConfig(use_cache=True))
+        assert first is not None
+        assert first is second
+
+    def test_cache_dir_implies_caching(self, tmp_path):
+        config = ExperimentConfig(cache_dir=str(tmp_path))
+        cache = cache_for_config(config)
+        assert cache is not None
+        assert cache.disk is not None
+
+    def test_warm_start_implies_cache_object(self):
+        cache = cache_for_config(ExperimentConfig(warm_start=True))
+        assert cache is not None
+        assert cache.warm_start
+
+    def test_config_knobs_are_honored(self, tmp_path):
+        config = ExperimentConfig(use_cache=True, cache_entries=7,
+                                  shadow_verify=0.25,
+                                  cache_dir=str(tmp_path))
+        cache = cache_for_config(config)
+        assert cache.memory.max_entries == 7
+        assert cache.shadow_rate == 0.25

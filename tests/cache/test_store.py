@@ -1,0 +1,133 @@
+"""Tests for the in-memory LRU and on-disk cache stores."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cache import DiskStore, MemoryStore, PICKLE_PROTOCOL
+from repro.errors import CacheError
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+KEY_C = "cc" + "0" * 62
+
+
+def _blob(value):
+    return pickle.dumps(value, protocol=PICKLE_PROTOCOL)
+
+
+class TestMemoryStore:
+    def test_roundtrip(self):
+        store = MemoryStore(4)
+        store.put(KEY_A, "tsp", _blob([1, 2, 3]))
+        assert pickle.loads(store.get(KEY_A)) == [1, 2, 3]
+
+    def test_miss_is_none(self):
+        assert MemoryStore(4).get(KEY_A) is None
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(CacheError):
+            MemoryStore(0)
+
+    def test_lru_eviction_order(self):
+        store = MemoryStore(2)
+        assert store.put(KEY_A, "tsp", _blob(1)) == 0
+        assert store.put(KEY_B, "tsp", _blob(2)) == 0
+        # Touch A so B becomes the least recently used entry.
+        assert store.get(KEY_A) is not None
+        assert store.put(KEY_C, "tsp", _blob(3)) == 1
+        assert store.get(KEY_B) is None
+        assert store.get(KEY_A) is not None
+        assert store.get(KEY_C) is not None
+
+    def test_put_refreshes_existing_key(self):
+        store = MemoryStore(2)
+        store.put(KEY_A, "tsp", _blob(1))
+        store.put(KEY_B, "tsp", _blob(2))
+        store.put(KEY_A, "tsp", _blob(10))  # refresh, no eviction
+        store.put(KEY_C, "tsp", _blob(3))   # evicts B, not A
+        assert store.get(KEY_B) is None
+        assert pickle.loads(store.get(KEY_A)) == 10
+
+    def test_stats_and_clear(self):
+        store = MemoryStore(8)
+        store.put(KEY_A, "tsp", _blob(1))
+        store.put(KEY_B, "cover", _blob(2))
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["max_entries"] == 8
+        assert stats["stages"] == {"cover": 1, "tsp": 1}
+        assert stats["bytes"] > 0
+        store.clear()
+        assert len(store) == 0
+        assert store.stats()["entries"] == 0
+
+
+class TestDiskStore:
+    def test_roundtrip(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write(KEY_A, "deployment", _blob({"n": 3}))
+        assert pickle.loads(store.read(KEY_A)) == {"n": 3}
+
+    def test_miss_is_none(self, tmp_path):
+        assert DiskStore(str(tmp_path)).read(KEY_A) is None
+
+    def test_sharded_layout(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write(KEY_A, "tsp", _blob(1))
+        assert os.path.exists(
+            tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.bin")
+
+    def test_last_writer_wins(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write(KEY_A, "tsp", _blob(1))
+        store.write(KEY_A, "tsp", _blob(2))
+        assert pickle.loads(store.read(KEY_A)) == 2
+
+    def test_corrupt_payload_reads_as_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write(KEY_A, "tsp", _blob([1, 2]))
+        path = tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.bin"
+        path.write_bytes(path.read_bytes()[:-1] + b"X")
+        assert store.read(KEY_A) is None
+
+    def test_torn_entry_reads_as_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        path = tmp_path / "objects" / KEY_A[:2]
+        path.mkdir(parents=True)
+        (path / f"{KEY_A}.bin").write_bytes(b"not a header")
+        assert store.read(KEY_A) is None
+
+    def test_verify_clean(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write(KEY_A, "tsp", _blob(1))
+        store.write(KEY_B, "cover", _blob(2))
+        assert store.verify() == []
+
+    def test_verify_reports_corruption(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write(KEY_A, "tsp", _blob([1, 2]))
+        path = tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.bin"
+        path.write_bytes(path.read_bytes()[:-1] + b"X")
+        problems = store.verify()
+        assert len(problems) == 1
+        assert "digest mismatch" in problems[0]
+
+    def test_stats(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write(KEY_A, "tsp", _blob(1))
+        store.write(KEY_B, "tsp", _blob(2))
+        store.write(KEY_C, "deployment", _blob(3))
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["stages"] == {"deployment": 1, "tsp": 2}
+        assert stats["bytes"] > 0
+
+    def test_clear(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write(KEY_A, "tsp", _blob(1))
+        store.write(KEY_B, "tsp", _blob(2))
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+        assert store.read(KEY_A) is None

@@ -1,0 +1,144 @@
+"""End-to-end cache reuse through the experiment runner.
+
+The contract under test: enabling the cache changes wall-clock only —
+aggregated results are bit-identical with the cache off, cold, warm,
+on disk, and at any job count.
+"""
+
+import pytest
+
+from repro.cache import reset_cache_state
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import (cell_seed, run_averaged,
+                                      shared_deployments)
+from repro.errors import ExperimentError
+from repro.perf.counters import PERF
+
+ALGORITHMS = ["SC", "BC"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache_state():
+    reset_cache_state()
+    PERF.reset()
+    yield
+    reset_cache_state()
+
+
+def _config(**overrides):
+    base = dict(runs=2, node_count=30, node_counts=(30,), radii=(15.0,))
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _rows(aggregated):
+    return {name: {metric: (cell.mean, cell.std, cell.count)
+                   for metric, cell in aggregated[name].items()}
+            for name in aggregated}
+
+
+class TestBitIdentity:
+    def test_cached_equals_uncached(self):
+        plain = run_averaged(_config(), 30, 15.0, ALGORITHMS, "t")
+        cached = run_averaged(_config(use_cache=True), 30, 15.0,
+                              ALGORITHMS, "t")
+        assert _rows(plain) == _rows(cached)
+
+    def test_warm_repeat_is_identical_and_hits(self):
+        config = _config(use_cache=True)
+        cold = run_averaged(config, 30, 15.0, ALGORITHMS, "t")
+        misses = PERF.counter("cache.miss")
+        hits_before = PERF.counter("cache.hit")
+        warm = run_averaged(config, 30, 15.0, ALGORITHMS, "t")
+        assert _rows(cold) == _rows(warm)
+        assert misses > 0
+        # The warm pass serves every seed row from the cache.
+        assert PERF.counter("cache.hit.seed_row") == config.runs
+        assert PERF.counter("cache.hit") > hits_before
+        assert PERF.counter("cache.miss") == misses
+
+    def test_disk_cache_warms_across_processes_worth_of_state(
+            self, tmp_path):
+        config = _config(cache_dir=str(tmp_path))
+        cold = run_averaged(config, 30, 15.0, ALGORITHMS, "t")
+        # A fresh registry simulates a new process over the same dir.
+        reset_cache_state()
+        PERF.reset()
+        warm = run_averaged(config, 30, 15.0, ALGORITHMS, "t")
+        assert _rows(cold) == _rows(warm)
+        assert PERF.counter("cache.disk_hit") > 0
+        assert PERF.counter("cache.miss") == 0
+
+    def test_parallel_equals_serial_with_cache(self, tmp_path):
+        config = _config(cache_dir=str(tmp_path))
+        serial = run_averaged(config, 30, 15.0, ALGORITHMS, "t")
+        reset_cache_state()
+        parallel = run_averaged(_config(cache_dir=str(tmp_path), jobs=2),
+                                30, 15.0, ALGORITHMS, "t")
+        assert _rows(serial) == _rows(parallel)
+        # Worker counters merged back into the parent registry.
+        assert PERF.counter("cache.hit") + PERF.counter("cache.miss") > 0
+
+    def test_shadow_verify_full_rate_passes(self):
+        config = _config(use_cache=True, shadow_verify=1.0)
+        cold = run_averaged(config, 30, 15.0, ALGORITHMS, "t")
+        warm = run_averaged(config, 30, 15.0, ALGORITHMS, "t")
+        assert _rows(cold) == _rows(warm)
+        assert PERF.counter("cache.shadow_checks") > 0
+        assert PERF.counter("cache.shadow_mismatches") == 0
+
+
+class TestSeedDerivation:
+    def test_paper_default_seeds_depend_on_radius(self):
+        config = _config()
+        assert cell_seed(config, "t", 30, 10.0, 0) \
+            != cell_seed(config, "t", 30, 20.0, 0)
+
+    def test_shared_mode_seeds_ignore_radius(self):
+        config = _config(shared_deployment=True)
+        assert cell_seed(config, "t", 30, 10.0, 0) \
+            == cell_seed(config, "t", 30, 20.0, 0)
+        assert cell_seed(config, "t", 30, 10.0, 0) \
+            != cell_seed(config, "t", 30, 10.0, 1)
+
+
+class TestSharedDeployments:
+    def test_requires_shared_mode(self):
+        with pytest.raises(ExperimentError):
+            shared_deployments(_config(), 30, "t")
+
+    def test_matches_per_cell_deployments(self):
+        config = _config(shared_deployment=True, use_cache=True)
+        networks = shared_deployments(config, 30, "t")
+        assert len(networks) == config.runs
+        with_prebuilt = run_averaged(config, 30, 15.0, ALGORITHMS, "t",
+                                     deployments=networks)
+        reset_cache_state()
+        without = run_averaged(_config(shared_deployment=True), 30, 15.0,
+                               ALGORITHMS, "t")
+        assert _rows(with_prebuilt) == _rows(without)
+
+    def test_prebuilt_deployments_reach_workers(self):
+        config = _config(shared_deployment=True, use_cache=True, jobs=2)
+        networks = shared_deployments(config, 30, "t")
+        parallel = run_averaged(config, 30, 15.0, ALGORITHMS, "t",
+                                deployments=networks)
+        reset_cache_state()
+        serial = run_averaged(
+            _config(shared_deployment=True, use_cache=True), 30, 15.0,
+            ALGORITHMS, "t", deployments=networks)
+        assert _rows(parallel) == _rows(serial)
+
+
+class TestWarmStartMode:
+    def test_warm_start_produces_valid_results(self):
+        # Warm-start changes which local optimum 2-opt lands in, so no
+        # equality claim — only that the pipeline runs and aggregates.
+        config = _config(use_cache=True, warm_start=True,
+                         radii=(10.0, 20.0))
+        for radius in config.radii:
+            aggregated = run_averaged(config, 30, radius, ALGORITHMS,
+                                      "t")
+            for name in ALGORITHMS:
+                assert aggregated[name]["total_j"].mean > 0.0
+        assert PERF.counter("cache.warm_start.used") > 0

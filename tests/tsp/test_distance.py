@@ -1,0 +1,94 @@
+"""Tests for the dense Euclidean distance matrix."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TourError
+from repro.geometry import Point
+from repro.tsp import DistanceMatrix
+
+coords = st.floats(min_value=-1000.0, max_value=1000.0,
+                   allow_nan=False, allow_infinity=False)
+point_lists = st.lists(
+    st.builds(Point, coords, coords), min_size=1, max_size=12)
+
+
+def _grid(n):
+    return [Point(float(i), float(i * i)) for i in range(n)]
+
+
+class TestValues:
+    def test_matches_pairwise_euclidean(self):
+        points = _grid(6)
+        matrix = DistanceMatrix(points)
+        for i in range(6):
+            for j in range(6):
+                assert matrix(i, j) == pytest.approx(
+                    points[i].distance_to(points[j]))
+
+    def test_size_and_len(self):
+        matrix = DistanceMatrix(_grid(5))
+        assert matrix.size == 5
+        assert len(matrix) == 5
+
+    def test_empty(self):
+        matrix = DistanceMatrix([])
+        assert matrix.size == 0
+        assert len(matrix) == 0
+
+    @given(point_lists)
+    def test_symmetry(self, points):
+        matrix = DistanceMatrix(points)
+        for i in range(len(points)):
+            for j in range(len(points)):
+                assert matrix(i, j) == matrix(j, i)
+
+    @given(point_lists)
+    def test_zero_diagonal(self, points):
+        matrix = DistanceMatrix(points)
+        for i in range(len(points)):
+            assert matrix(i, i) == 0.0
+
+    @given(point_lists)
+    def test_nonnegative_and_finite(self, points):
+        matrix = DistanceMatrix(points)
+        for i in range(len(points)):
+            for j in range(len(points)):
+                value = matrix(i, j)
+                assert value >= 0.0
+                assert math.isfinite(value)
+
+
+class TestRow:
+    def test_row_matches_calls(self):
+        matrix = DistanceMatrix(_grid(4))
+        for i in range(4):
+            assert matrix.row(i) == [matrix(i, j) for j in range(4)]
+
+    def test_row_is_defensive_copy(self):
+        matrix = DistanceMatrix(_grid(4))
+        row = matrix.row(1)
+        row[2] = -123.0
+        assert matrix(1, 2) != -123.0
+        assert matrix.row(1)[2] == matrix(1, 2)
+
+
+class TestValidateIndex:
+    def test_accepts_in_range(self):
+        matrix = DistanceMatrix(_grid(3))
+        for i in range(3):
+            matrix.validate_index(i)  # must not raise
+
+    @pytest.mark.parametrize("bad", [-1, 3, 100])
+    def test_rejects_out_of_range(self, bad):
+        matrix = DistanceMatrix(_grid(3))
+        with pytest.raises(TourError, match="out of range"):
+            matrix.validate_index(bad)
+
+    def test_rejects_everything_when_empty(self):
+        matrix = DistanceMatrix([])
+        with pytest.raises(TourError):
+            matrix.validate_index(0)
