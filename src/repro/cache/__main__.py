@@ -1,0 +1,25 @@
+"""``python -m repro.cache`` — cache maintenance without the entry
+point (CLI parity with ``python -m repro.lint``)."""
+
+import argparse
+import sys
+
+from .cli import ACTIONS, run_cache_command
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cache",
+        description="Inspect or maintain an on-disk stage cache.")
+    parser.add_argument("action", choices=ACTIONS,
+                        help="stats: entry/byte counts per stage; "
+                             "clear: delete every entry; "
+                             "verify: check headers and payload digests")
+    parser.add_argument("--cache-dir", required=True, metavar="DIR",
+                        help="the on-disk cache root")
+    args = parser.parse_args(argv)
+    return run_cache_command(args.action, args.cache_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,12 +48,14 @@ CACHE_SCHEMA = "bundle-charging/cache/v1"
 #: implementation changes in a way that could alter (or even re-derive)
 #: its output; the bump invalidates every stored entry for the stage.
 KERNEL_VERSIONS: Dict[str, str] = {
-    "deployment": "deploy/v1",      # seeded network generation
+    "deployment": "deploy/v2",      # seeded network generation
+                                    # (v2: required_j joined the params)
     "candidates": "obg-candidates/v1",  # candidate mask enumeration
     "cover": "obg-cover/v1",        # lazy-greedy set-cover selection
     "tsp": "tsp/v1",                # TSP ordering over stops/anchors
     "anchor_opt": "bto-anchors/v1",  # Algorithm 3 anchor refinement
     "seed_row": "pipeline/v1",      # one full seed's metric rows
+    "service_request": "service/v1",  # one full /v1/plan payload
 }
 
 __all__ = ["CACHE_SCHEMA", "KERNEL_VERSIONS", "canonical", "stage_key"]

@@ -135,6 +135,18 @@ class StageCache:
             self.disk.write(key, stage, blob)
         return value
 
+    def contains(self, stage: str, params: Dict[str, Any]) -> bool:
+        """Probe whether ``stage(params)`` is currently cached.
+
+        Advisory (a concurrent eviction can race it); the planning
+        service uses it to label a response ``hit`` or ``miss`` before
+        serving through :meth:`get_or_compute`.
+        """
+        key = stage_key(stage, params)
+        if self.memory.get(key) is not None:
+            return True
+        return self.disk is not None and self.disk.read(key) is not None
+
     def _shadow_selected(self, key: str) -> bool:
         """Decide (deterministically per key) whether to shadow-check."""
         if self.shadow_rate <= 0.0:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -44,6 +45,12 @@ def payload_digest(blob: bytes) -> str:
 class MemoryStore:
     """A bounded LRU over ``key -> payload bytes``.
 
+    Thread-safe: a small internal lock guards the recency list, so the
+    planning service's worker threads (and any other concurrent reader)
+    can share one store without corrupting the ``OrderedDict``.  The
+    payloads themselves are immutable bytes, so serving them outside
+    the lock is safe.
+
     Attributes:
         max_entries: entry-count bound; the least recently used entry
             is dropped when an insert would exceed it.
@@ -56,46 +63,52 @@ class MemoryStore:
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self._stages: Dict[str, str] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: str) -> Optional[bytes]:
         """Return the payload for ``key`` (refreshing recency) or None."""
-        blob = self._entries.get(key)
-        if blob is not None:
-            self._entries.move_to_end(key)
-        return blob
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is not None:
+                self._entries.move_to_end(key)
+            return blob
 
     def put(self, key: str, stage: str, blob: bytes) -> int:
         """Insert (or refresh) an entry; return how many were evicted."""
-        self._entries[key] = blob
-        self._entries.move_to_end(key)
-        self._stages[key] = stage
-        evicted = 0
-        while len(self._entries) > self.max_entries:
-            dropped, _ = self._entries.popitem(last=False)
-            self._stages.pop(dropped, None)
-            evicted += 1
-        return evicted
+        with self._lock:
+            self._entries[key] = blob
+            self._entries.move_to_end(key)
+            self._stages[key] = stage
+            evicted = 0
+            while len(self._entries) > self.max_entries:
+                dropped, _ = self._entries.popitem(last=False)
+                self._stages.pop(dropped, None)
+                evicted += 1
+            return evicted
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._entries.clear()
-        self._stages.clear()
+        with self._lock:
+            self._entries.clear()
+            self._stages.clear()
 
     def stats(self) -> Dict[str, object]:
         """Return entry/byte counts, per stage and in total."""
-        per_stage: Dict[str, int] = {}
-        for key in self._entries:
-            stage = self._stages.get(key, "?")
-            per_stage[stage] = per_stage.get(stage, 0) + 1
-        return {
-            "entries": len(self._entries),
-            "bytes": sum(len(blob) for blob in self._entries.values()),
-            "max_entries": self.max_entries,
-            "stages": dict(sorted(per_stage.items())),
-        }
+        with self._lock:
+            per_stage: Dict[str, int] = {}
+            for key in self._entries:
+                stage = self._stages.get(key, "?")
+                per_stage[stage] = per_stage.get(stage, 0) + 1
+            return {
+                "entries": len(self._entries),
+                "bytes": sum(len(blob)
+                             for blob in self._entries.values()),
+                "max_entries": self.max_entries,
+                "stages": dict(sorted(per_stage.items())),
+            }
 
 
 class DiskStore:

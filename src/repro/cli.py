@@ -37,6 +37,12 @@ Stage memoization (see docs/architecture.md, "Caching & sweep reuse")::
     bundle-charging cache verify --cache-dir .bc-cache/
     bundle-charging cache clear --cache-dir .bc-cache/
 
+Serving (see docs/architecture.md, "Serving")::
+
+    bundle-charging serve                 # HTTP planning service :8080
+    bundle-charging serve --port 0 --jobs 4 --queue-limit 64
+    bundle-charging serve --cache-dir .bc-cache/ --trace-dir runs/
+
 (or ``python -m repro.cli ...`` without installing the entry point.)
 """
 
@@ -49,6 +55,7 @@ import time
 from dataclasses import asdict
 from typing import List, Optional
 
+from .errors import ExperimentError
 from .experiments import (ExperimentConfig, experiment_ids, print_tables,
                           run_experiment)
 
@@ -71,7 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
              "'report' replays a traced run's energy accounting, "
              "'lint' runs the determinism/invariant static analyzer "
              "(see 'bundle-charging lint --help'), 'cache' inspects an "
-             "on-disk stage cache (stats/clear/verify)")
+             "on-disk stage cache (stats/clear/verify); 'serve' runs "
+             "the HTTP planning service (see 'bundle-charging serve "
+             "--help')")
     parser.add_argument(
         "target", nargs="?", default=None,
         help="for trace: the experiment id to run traced; for cache: "
@@ -90,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="override the base seed")
     parser.add_argument(
+        "--radius", type=float, default=None,
+        help="override the default charging radius in meters "
+             "(experiments that sweep the radius ignore it)")
+    parser.add_argument(
         "--render", action="store_true",
         help="for fig10: also draw the example tours as ASCII art")
     parser.add_argument(
@@ -102,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", metavar="FILE", default=None,
         help="for bench: write the JSON report here "
-             "(default BENCH_PR4.json in the working directory)")
+             "(default BENCH_PR5.json in the working directory)")
     parser.add_argument(
         "--cache", action="store_true",
         help="memoize pipeline stages in-process (bit-identical hits; "
@@ -147,7 +160,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
-    """Translate CLI flags into an :class:`ExperimentConfig`."""
+    """Translate CLI flags into an :class:`ExperimentConfig`.
+
+    Raises:
+        ExperimentError: on an invalid value (e.g. a negative
+            ``--radius``) or a conflicting combination
+            (``--warm-start`` with ``--shadow-verify``); ``main``
+            turns these into exit code 2, never a traceback.
+    """
+    if (getattr(args, "warm_start", False)
+            and getattr(args, "shadow_verify", None) is not None):
+        raise ExperimentError(
+            "--warm-start conflicts with --shadow-verify: warm-started "
+            "stages are not memoized, so there are no cache hits to "
+            "shadow-check")
     config = (ExperimentConfig.fast() if args.fast
               else ExperimentConfig.default())
     if args.runs is not None:
@@ -155,6 +181,8 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     overrides = {}
     if args.seed is not None:
         overrides["base_seed"] = args.seed
+    if getattr(args, "radius", None) is not None:
+        overrides["default_radius"] = args.radius
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
     if getattr(args, "cache", False):
@@ -261,15 +289,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         # is dispatched before the experiment parser sees them.
         from .lint.cli import main as lint_main
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        # The service owns its flags (--host, --queue-limit, ...), so
+        # it is dispatched before the experiment parser sees them.
+        from .service.cli import main as serve_main
+        return serve_main(arguments[1:])
     args = build_parser().parse_args(arguments)
-    config = make_config(args)
+    try:
+        config = make_config(args)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.experiment == "cache":
         from .cache.cli import run_cache_command
         return run_cache_command(args.target, args.cache_dir)
     if args.experiment == "bench":
         from .perf.bench import render_report, run_benchmarks
         report = run_benchmarks(quick=args.quick,
-                                out_path=args.out or "BENCH_PR4.json")
+                                out_path=args.out or "BENCH_PR5.json")
         print(render_report(report))
         return 0 if report["all_identical"] else 1
     if args.experiment == "check":

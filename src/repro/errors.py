@@ -55,3 +55,9 @@ class CacheError(BundleChargingError):
 
 class ValidationError(BundleChargingError):
     """Raised when a produced plan violates the charging constraint."""
+
+
+class ServiceError(BundleChargingError):
+    """Raised by the planning service: invalid requests, admission
+    rejections (queue overload, draining shutdown), or bad service
+    configuration."""

@@ -8,6 +8,7 @@ nodes) that preserves every qualitative shape.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
@@ -81,6 +82,11 @@ class ExperimentConfig:
         if self.node_count <= 0:
             raise ExperimentError(
                 f"node_count must be positive: {self.node_count!r}")
+        if not (math.isfinite(self.default_radius)
+                and self.default_radius > 0.0):
+            raise ExperimentError(
+                f"default_radius must be a positive finite number: "
+                f"{self.default_radius!r}")
         if not self.radii:
             raise ExperimentError("need at least one radius")
         if not self.node_counts:

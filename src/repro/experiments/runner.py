@@ -27,6 +27,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from .. import constants
 from ..charging import CostParameters
 from ..errors import ExperimentError
 from ..network import SensorNetwork, derive_seed, uniform_deployment
@@ -134,15 +135,32 @@ def shared_deployments(config: ExperimentConfig, node_count: int,
             for run_index in range(config.runs))
 
 
-def _cached_deployment(config: ExperimentConfig, node_count: int,
-                       seed: int) -> SensorNetwork:
-    """Deploy (or recall) the seeded network — the ``deployment`` stage."""
+def deployment_stage(node_count: int, seed: int, field_side_m: float,
+                     required_j: float = constants.DELTA_J
+                     ) -> SensorNetwork:
+    """Deploy (or recall) a seeded uniform network — the ``deployment``
+    cache stage.
+
+    Shared between the experiment runner and the planning service
+    (:mod:`repro.service.executor`): both derive the stage key from the
+    same parameter vocabulary, so a service request for a seeded
+    deployment is a cache hit against a sweep that already deployed it
+    (and vice versa).
+    """
     return stage_memo(
         "deployment",
         lambda: {"kind": "uniform", "n": node_count, "seed": seed,
-                 "field_side_m": config.field_side_m},
+                 "field_side_m": field_side_m,
+                 "required_j": required_j},
         lambda: uniform_deployment(node_count, seed,
-                                   field_side_m=config.field_side_m))
+                                   field_side_m=field_side_m,
+                                   required_j=required_j))
+
+
+def _cached_deployment(config: ExperimentConfig, node_count: int,
+                       seed: int) -> SensorNetwork:
+    """Deploy (or recall) the seeded network — the ``deployment`` stage."""
+    return deployment_stage(node_count, seed, config.field_side_m)
 
 
 def run_averaged(config: ExperimentConfig, node_count: int, radius: float,

@@ -1,8 +1,9 @@
-"""OBS001 — ImportError-safe observability imports.
+"""OBS001 — ImportError-safe optional-subsystem imports.
 
 PR 2's byte-identity guarantee is that a pipeline run with
-``repro.obs`` physically absent produces byte-identical outputs.  That
-only holds because every pipeline module imports the tracer behind the
+``repro.obs`` physically absent produces byte-identical outputs, and
+PR 4 extended the same contract to ``repro.cache``.  That only holds
+because every pipeline module imports these subsystems behind the
 fallback pattern::
 
     try:  # tracing is optional
@@ -13,17 +14,19 @@ fallback pattern::
         def obs_span(name, **attrs):
             return _nullcontext()
 
-A bare module-level ``from ..obs...`` import reintroduces a hard
-dependency and breaks the stripped-obs deployment.  Imports inside
-function bodies are exempt: they are deliberate lazy imports on paths
-(CLI ``trace``/``report``, the bench harness) that only run when the
-user explicitly asked for observability.
+(and the analogous ``stage_memo``/``activate_cache`` passthroughs for
+``repro.cache``).  A bare module-level ``from ..obs...`` or
+``from ..cache...`` import reintroduces a hard dependency and breaks
+the stripped deployment.  Imports inside function bodies are exempt:
+they are deliberate lazy imports on paths (CLI ``trace``/``report``/
+``cache``, the bench harness) that only run when the user explicitly
+asked for the subsystem.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Set
+from typing import Iterable, List, Optional, Set
 
 from ..core import FileContext, Finding, Rule, register
 
@@ -32,30 +35,42 @@ __all__ = ["ObsImportFallbackRule"]
 _SAFE_EXCEPTIONS = frozenset({"ImportError", "ModuleNotFoundError",
                               "Exception", "BaseException"})
 
+#: Subsystems the pipeline must work without (the degraded-mode set).
+_OPTIONAL_SUBSYSTEMS = ("obs", "cache")
 
-def _is_obs_import(node: ast.stmt, module_name: str) -> bool:
-    """True when ``node`` imports from the repro.obs subsystem."""
-    if isinstance(node, ast.Import):
-        return any(alias.name == "repro.obs"
-                   or alias.name.startswith("repro.obs.")
-                   for alias in node.names)
-    if isinstance(node, ast.ImportFrom):
+
+def _imported_subsystem(node: ast.stmt,
+                        module_name: str) -> Optional[str]:
+    """Return the optional subsystem ``node`` imports from, if any."""
+    for subsystem in _OPTIONAL_SUBSYSTEMS:
+        root = f"repro.{subsystem}"
+        if isinstance(node, ast.Import):
+            if any(alias.name == root
+                   or alias.name.startswith(root + ".")
+                   for alias in node.names):
+                return subsystem
+            continue
+        if not isinstance(node, ast.ImportFrom):
+            continue
         target = node.module or ""
         if node.level == 0:
-            return target == "repro.obs" or target.startswith("repro.obs.")
+            if target == root or target.startswith(root + "."):
+                return subsystem
+            continue
         # Relative: resolve against the importing module's package.
         parts = module_name.split(".") if module_name else []
         if node.level > len(parts):
-            return False
+            continue
         base = parts[:len(parts) - node.level]
         absolute = ".".join(base + ([target] if target else []))
-        if absolute == "repro.obs" or absolute.startswith("repro.obs."):
-            return True
-        # ``from .. import obs`` / ``from . import obs``
-        if not target and any(alias.name == "obs"
+        if absolute == root or absolute.startswith(root + "."):
+            return subsystem
+        # ``from .. import obs`` / ``from . import cache``
+        if not target and any(alias.name == subsystem
                               for alias in node.names):
-            return ".".join(base + ["obs"]).startswith("repro.obs")
-    return False
+            if ".".join(base + [subsystem]).startswith(root):
+                return subsystem
+    return None
 
 
 def _handles_import_error(node: ast.Try) -> bool:
@@ -73,25 +88,28 @@ def _handles_import_error(node: ast.Try) -> bool:
 
 @register
 class ObsImportFallbackRule(Rule):
-    """OBS001 — module-level obs imports need the ImportError fallback."""
+    """OBS001 — module-level obs/cache imports need the fallback."""
 
     id = "OBS001"
-    title = "unguarded repro.obs import"
+    title = "unguarded repro.obs / repro.cache import"
     rationale = (
         "The determinism suite proves pipeline outputs byte-identical "
-        "with repro.obs absent (stripped deployments, minimal "
-        "containers). A module-level 'from ..obs import ...' without "
-        "the try/except ImportError fallback makes the whole pipeline "
-        "ImportError at collection time in exactly those environments; "
-        "lazy imports inside functions that only run when tracing was "
+        "with repro.obs and repro.cache absent (stripped deployments, "
+        "minimal containers). A module-level 'from ..obs import ...' "
+        "or 'from ..cache import ...' without the try/except "
+        "ImportError fallback makes the whole pipeline ImportError at "
+        "collection time in exactly those environments; lazy imports "
+        "inside functions that only run when the subsystem was "
         "requested are fine.")
 
     def applies_to(self, ctx: FileContext) -> bool:
         name = ctx.module_name
         if not name.startswith("repro."):
             return False
-        if name == "repro.obs" or name.startswith("repro.obs."):
-            return False
+        for subsystem in _OPTIONAL_SUBSYSTEMS:
+            root = f"repro.{subsystem}"
+            if name == root or name.startswith(root + "."):
+                return False
         return name != "repro.cli"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
@@ -113,10 +131,11 @@ class ObsImportFallbackRule(Rule):
                 continue
             if id(node) in in_function or id(node) in guarded:
                 continue
-            if _is_obs_import(node, ctx.module_name):
+            subsystem = _imported_subsystem(node, ctx.module_name)
+            if subsystem is not None:
                 yield self.finding(
                     ctx, node,
-                    "module-level repro.obs import without the "
-                    "try/except ImportError fallback; use the "
-                    "nullcontext obs_span pattern so the pipeline "
-                    "works with repro.obs stripped")
+                    f"module-level repro.{subsystem} import without "
+                    f"the try/except ImportError fallback; use the "
+                    f"nullcontext/passthrough pattern so the pipeline "
+                    f"works with repro.{subsystem} stripped")

@@ -25,7 +25,8 @@ from .tracer import (NULL_SPAN, TRACE_SCHEMA, Span, Tracer, TRACER,
                      obs_emit, obs_enabled, obs_span)
 from .validate import (KNOWN_EVENT_TYPES, KNOWN_SPAN_NAMES,
                        validate_events, validate_jsonl,
-                       validate_manifest)
+                       validate_manifest, validate_request,
+                       validate_response)
 
 __all__ = [
     "KNOWN_EVENT_TYPES",
@@ -47,6 +48,8 @@ __all__ = [
     "validate_events",
     "validate_jsonl",
     "validate_manifest",
+    "validate_request",
+    "validate_response",
     "write_jsonl",
     "write_manifest",
 ]

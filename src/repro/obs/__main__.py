@@ -1,0 +1,13 @@
+"""``python -m repro.obs`` — trace replay without the entry point
+(CLI parity with ``python -m repro.lint`` / ``python -m repro.cache``).
+
+Dispatches to :func:`repro.obs.report.main`, the same tool as
+``python -m repro.obs.report`` and ``bundle-charging report``.
+"""
+
+import sys
+
+from .report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,8 @@ ENERGY_METRICS = ("total_j", "movement_j", "charging_j",
                   "tour_length_m", "charging_time_s")
 
 __all__ = ["ENERGY_METRICS", "build_report_tables", "counter_summary",
-           "diff_traces", "energy_split", "phase_summary", "plan_rows",
-           "render_trace_report", "trace_manifest"]
+           "diff_traces", "energy_split", "main", "phase_summary",
+           "plan_rows", "render_trace_report", "trace_manifest"]
 
 
 def _spans(events: List[Dict[str, Any]],
@@ -231,3 +231,31 @@ def diff_traces(path_a: str, path_b: str) -> str:
 
     header = f"diff: A={path_a}  B={path_b}"
     return header + "\n\n" + render_tables(tables)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.report`` — replay or diff traced runs.
+
+    CLI parity with ``bundle-charging report`` (and with
+    ``python -m repro.lint`` / ``python -m repro.cache``).
+    """
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Replay a traced run's energy accounting, or "
+                    "compare two traced runs.")
+    parser.add_argument("--trace", required=True, metavar="FILE",
+                        help="the traced run's JSONL log")
+    parser.add_argument("--diff", default=None, metavar="FILE",
+                        help="second JSONL log to compare against")
+    args = parser.parse_args(argv)
+    if args.diff is not None:
+        print(diff_traces(args.trace, args.diff))
+    else:
+        print(render_trace_report(args.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -28,6 +28,7 @@ KNOWN_SPAN_NAMES = frozenset({
     "bto.tspn",         # TSPN substrate solve (extension baseline)
     "bto.anchors",      # Algorithm 3 anchor refinement
     "sim.mission",      # discrete-event mission execution
+    "service.request",  # one planning-service micro-batch compute
 })
 
 #: Event types the JSONL stream may carry (spans + mission trace).
@@ -40,7 +41,27 @@ _SPAN_REQUIRED = ("name", "span_id", "parent_id", "wall_s",
                   "duration_s", "attrs")
 
 __all__ = ["KNOWN_EVENT_TYPES", "KNOWN_SPAN_NAMES", "validate_events",
-           "validate_jsonl", "validate_manifest"]
+           "validate_jsonl", "validate_manifest", "validate_request",
+           "validate_response"]
+
+
+def validate_request(body: Any) -> List[str]:
+    """Validate a ``bundle-charging/request/v1`` planning request.
+
+    Delegates to :func:`repro.service.request.request_problems` (the
+    service package owns the wire schema; this module re-exports the
+    checker so CI gates and tests validate all emitted documents from
+    one place).  Imported lazily to keep ``repro.obs`` free of a
+    module-level dependency on ``repro.service``.
+    """
+    from ..service.request import request_problems
+    return request_problems(body)
+
+
+def validate_response(envelope: Any) -> List[str]:
+    """Validate a ``bundle-charging/response/v1`` service envelope."""
+    from ..service.request import response_problems
+    return response_problems(envelope)
 
 
 def validate_manifest(manifest: Dict[str, Any]) -> List[str]:

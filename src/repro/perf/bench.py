@@ -10,10 +10,13 @@ run whose results diverged.  The TSP ``*-fast`` strategies are heuristic
 variants (documented as such), so their entry reports tour quality
 instead of identity.
 
-The report is written as JSON (``BENCH_PR4.json`` by default; the
+The report is written as JSON (``BENCH_PR5.json`` by default; the
 ``benchmark`` field follows the file name) so speedup trajectories can
 be tracked across PRs — each PR writes its own ``BENCH_PR<k>.json`` with
-the same entry keys.
+the same entry keys.  Beyond the kernel entries, two end-to-end entries
+measure the caching layers: the cold-vs-warm radius sweep
+(``cache_warm_sweep``) and the planning service's HTTP throughput at
+several client concurrencies (``service_throughput``).
 """
 
 from __future__ import annotations
@@ -35,11 +38,15 @@ from .kernels import reference_kernels
 _FULL = {"greedy_n": 400, "greedy_radius": 20.0, "greedy_reps": 5,
          "ellipse_cases": 2000, "tsp_n": 300,
          "cache_n": 300, "cache_runs": 5,
-         "cache_radii": (10.0, 20.0, 30.0, 40.0)}
+         "cache_radii": (10.0, 20.0, 30.0, 40.0),
+         "service_n": 300, "service_requests": 8,
+         "service_concurrency": (1, 4, 16)}
 _QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
           "ellipse_cases": 400, "tsp_n": 120,
           "cache_n": 100, "cache_runs": 2,
-          "cache_radii": (10.0, 20.0)}
+          "cache_radii": (10.0, 20.0),
+          "service_n": 100, "service_requests": 4,
+          "service_concurrency": (1, 4)}
 
 
 def _best_of(func: Callable[[], object], reps: int) -> Tuple[float, object]:
@@ -262,8 +269,88 @@ def _bench_cache_sweep(sizes: Dict) -> Dict:
                   for key in before}})
 
 
+def _bench_service_throughput(sizes: Dict) -> Dict:
+    """Planning-service throughput over real HTTP, cold vs warm cache.
+
+    For each concurrency level a fresh server (fresh cache) answers the
+    same set of distinct ``/v1/plan`` requests twice: the cold pass
+    computes and stores every payload, the warm pass replays them from
+    the stage cache.  ``reference_s``/``fast_s`` are the summed cold and
+    warm pass times, and ``identical`` gates on every request's cold
+    and warm payload bytes being equal — the service's byte-identity
+    contract, measured end-to-end through the wire.
+    """
+    import threading
+    import urllib.request
+    from ..service import ServiceConfig, start_server, stop_server
+
+    n = sizes["service_n"]
+    count = sizes["service_requests"]
+    levels = sizes["service_concurrency"]
+    bodies = [json.dumps({
+        "schema": "bundle-charging/request/v1",
+        "deployment": {"kind": "uniform", "n": n, "seed": seed},
+        "planner": "BC",
+        "radius_m": 20.0,
+    }).encode("utf-8") for seed in range(count)]
+
+    def fire(url: str, body: bytes) -> Dict:
+        request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=600) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def pass_over(url: str, concurrency: int) -> Tuple[float, List]:
+        payloads: List[Optional[str]] = [None] * len(bodies)
+
+        def worker(offset: int) -> None:
+            for index in range(offset, len(bodies), concurrency):
+                document = fire(url, bodies[index])
+                payloads[index] = json.dumps(
+                    document.get("payload"), sort_keys=True,
+                    separators=(",", ":"))
+
+        threads = [threading.Thread(target=worker, args=(offset,))
+                   for offset in range(concurrency)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - started, payloads
+
+    detail: Dict[str, Dict] = {}
+    cold_total = 0.0
+    warm_total = 0.0
+    identical = True
+    for level in levels:
+        config = ServiceConfig(
+            port=0, jobs=min(level, 4),
+            queue_limit=max(32, 2 * count), timeout_s=600.0)
+        server, _ = start_server(config)
+        url = f"http://{config.host}:{server.port}/v1/plan"
+        try:
+            cold_s, cold_payloads = pass_over(url, level)
+            warm_s, warm_payloads = pass_over(url, level)
+        finally:
+            stop_server(server)
+        identical = (identical and None not in cold_payloads
+                     and cold_payloads == warm_payloads)
+        cold_total += cold_s
+        warm_total += warm_s
+        detail[f"c{level}"] = {
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "cold_rps": round(count / cold_s, 2),
+            "warm_rps": round(count / warm_s, 2),
+        }
+    return _entry(
+        f"service_throughput_n{n}", cold_total, warm_total, identical,
+        {"requests": count, "planner": "BC", "levels": detail})
+
+
 def run_benchmarks(quick: bool = False,
-                   out_path: Optional[str] = "BENCH_PR4.json") -> Dict:
+                   out_path: Optional[str] = "BENCH_PR5.json") -> Dict:
     """Run every kernel benchmark and (optionally) write the JSON report.
 
     Args:
@@ -288,10 +375,11 @@ def run_benchmarks(quick: bool = False,
         _bench_tsp_fast(sizes),
         _bench_fig13_sweep(quick),
         _bench_cache_sweep(sizes),
+        _bench_service_throughput(sizes),
     ]
     elapsed = time.perf_counter() - started
     label = (os.path.splitext(os.path.basename(out_path))[0]
-             if out_path else "BENCH_PR4")
+             if out_path else "BENCH_PR5")
     report = {
         "benchmark": label,
         "quick": quick,

@@ -11,8 +11,8 @@ from .base import Planner
 from .bc import BundleChargingPlanner
 from .bc_opt import BundleChargingOptPlanner
 from .css import CombineSkipSubstitutePlanner
-from .registry import (PAPER_ALGORITHMS, make_planner, planner_names,
-                       register_planner)
+from .registry import (PAPER_ALGORITHMS, known_planners, make_planner,
+                       planner_names, register_planner)
 from .sc import SingleChargingPlanner
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "CombineSkipSubstitutePlanner",
     "Planner",
     "SingleChargingPlanner",
+    "known_planners",
     "make_planner",
     "planner_names",
     "register_planner",

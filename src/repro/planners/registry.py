@@ -49,6 +49,11 @@ def planner_names() -> List[str]:
     return list(PAPER_ALGORITHMS)
 
 
+def known_planners() -> List[str]:
+    """Return every registered planner name, sorted (extensions too)."""
+    return sorted(_REGISTRY)
+
+
 def make_planner(name: str, radius: float,
                  tsp_strategy: str = "nn+2opt", seed: int = 0) -> Planner:
     """Instantiate a registered planner.

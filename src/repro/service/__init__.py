@@ -1,0 +1,65 @@
+"""Long-running charging-planning service.
+
+Turns the repository's batch pipeline into a deterministic request/
+response service: JSON planning requests (schema
+``bundle-charging/request/v1``) are validated, canonicalized,
+micro-batched by content digest, executed on a bounded worker pool
+behind admission control, and answered with envelopes whose *payload*
+is a byte-identical pure function of the canonical request.  The stage
+cache (``repro.cache``) and span tracing (``repro.obs``) plug in when
+present and degrade away cleanly when absent.
+
+Layering (each module imports only downward):
+
+* :mod:`.request` — wire schemas, validation, canonicalization,
+  digests, envelopes (pure stdlib, no optional deps).
+* :mod:`.config` — :class:`ServiceConfig`.
+* :mod:`.executor` — canonical request -> deterministic payload,
+  through the stage cache when available.
+* :mod:`.scheduler` — micro-batching queue + worker pool + admission.
+* :mod:`.metrics` — the ``/metrics`` snapshot.
+* :mod:`.http` — the ``ThreadingHTTPServer`` front end.
+* :mod:`.cli` — the ``bundle-charging serve`` subcommand.
+* :mod:`.smoke` — the in-process end-to-end check CI runs.
+"""
+
+from .config import ServiceConfig
+from .executor import cache_for_service, execute_request, plan_payload
+from .http import (PlanningHTTPServer, build_server, start_server,
+                   stop_server)
+from .metrics import metrics_snapshot
+from .request import (CACHE_OUTCOMES, METRICS_SCHEMA, REQUEST_SCHEMA,
+                      RESPONSE_SCHEMA, RequestError, canonical_json,
+                      canonical_request, error_envelope, ok_envelope,
+                      payload_digest, request_digest, request_problems,
+                      response_problems)
+from .scheduler import (DrainingError, OverloadedError,
+                        PlanningScheduler)
+
+__all__ = [
+    "CACHE_OUTCOMES",
+    "DrainingError",
+    "METRICS_SCHEMA",
+    "OverloadedError",
+    "PlanningHTTPServer",
+    "PlanningScheduler",
+    "REQUEST_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "RequestError",
+    "ServiceConfig",
+    "build_server",
+    "cache_for_service",
+    "canonical_json",
+    "canonical_request",
+    "error_envelope",
+    "execute_request",
+    "metrics_snapshot",
+    "ok_envelope",
+    "payload_digest",
+    "plan_payload",
+    "request_digest",
+    "request_problems",
+    "response_problems",
+    "start_server",
+    "stop_server",
+]

@@ -1,0 +1,107 @@
+"""``bundle-charging serve`` — run the planning service.
+
+Flags map 1:1 onto :class:`ServiceConfig`.  The accept loop runs on a
+daemon thread; the foreground thread waits for SIGINT/SIGTERM and then
+performs a graceful drain (finish open batches, flush the trace,
+close the socket), so Ctrl-C never drops an admitted request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import List, Optional
+
+from ..errors import ServiceError
+from .config import ServiceConfig
+from .http import start_server, stop_server
+
+__all__ = ["build_parser", "main", "serve_config"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bundle-charging serve",
+        description="Serve charging-plan requests over HTTP "
+                    "(/v1/plan, /v1/batch, /healthz, /metrics).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default: %(default)s)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker threads (default: %(default)s)")
+    parser.add_argument("--queue-limit", type=int, default=32,
+                        help="open-batch admission bound; beyond it "
+                             "requests are shed with 429 "
+                             "(default: %(default)s)")
+    parser.add_argument("--timeout-s", type=float, default=30.0,
+                        help="per-request wait budget "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the stage cache (responses "
+                             "report cache: off)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist cache entries on disk "
+                             "(shared with experiment runs)")
+    parser.add_argument("--cache-entries", type=int, default=1024,
+                        help="in-memory cache LRU bound "
+                             "(default: %(default)s)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="enable span tracing; write service.jsonl "
+                             "there on shutdown")
+    parser.add_argument("--planners", default=None,
+                        help="comma-separated planner allowlist "
+                             "(default: serve all registered planners)")
+    return parser
+
+
+def serve_config(args: argparse.Namespace) -> ServiceConfig:
+    """Build a validated :class:`ServiceConfig` from parsed flags.
+
+    Raises:
+        ServiceError: on any invalid or inconsistent flag value.
+    """
+    planners = None
+    if args.planners is not None:
+        planners = tuple(name.strip()
+                         for name in args.planners.split(",")
+                         if name.strip())
+    return ServiceConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        queue_limit=args.queue_limit, timeout_s=args.timeout_s,
+        use_cache=not args.no_cache, cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries, trace_dir=args.trace_dir,
+        planners=planners)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = serve_config(args)
+        server, _ = start_server(config)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _request_stop)
+    print(f"serving on http://{config.host}:{server.port} "
+          f"(jobs={config.jobs}, queue_limit={config.queue_limit}, "
+          f"cache={'on' if server.cache is not None else 'off'})")
+    stop.wait()
+    print("draining...", file=sys.stderr)
+    stop_server(server, drain=True)
+    print("stopped.", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

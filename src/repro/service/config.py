@@ -1,0 +1,89 @@
+"""Service configuration: one frozen dataclass for the whole server.
+
+Mirrors :class:`repro.experiments.ExperimentConfig` in spirit — every
+knob a running service needs lives here as a primitive, so the config
+pickles, hashes and logs cleanly and the CLI maps flags onto it 1:1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ServiceError
+from ..planners import known_planners
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Planning-service knobs.
+
+    Attributes:
+        host: bind address of the HTTP front end.
+        port: bind port (0 = ephemeral; the bound port is reported by
+            the server object).
+        jobs: worker threads draining the request queue — the serving
+            analogue of the experiment runner's ``--jobs`` fan-out.
+        queue_limit: admission bound — the maximum number of *open*
+            micro-batches (queued + executing).  Submissions beyond it
+            are shed with a 429-style rejection instead of queuing
+            unboundedly.
+        timeout_s: default per-request wait budget; a request may lower
+            (never raise) it via the ``timeout_s`` query parameter.
+        use_cache: serve repeated requests from the stage cache
+            (``repro.cache``); disabled or absent, every request
+            recomputes and responses report ``"cache": "off"``.
+        cache_dir: opt-in on-disk stage store shared with batch runs.
+        cache_entries: LRU bound of the in-memory stage cache.
+        planners: allowlist of planner names this server accepts;
+            ``None`` serves every registered planner.
+        trace_dir: opt-in observability — enables the span tracer for
+            the server's lifetime and writes ``service.jsonl`` plus a
+            manifest there on graceful shutdown.
+        max_batch: largest ``/v1/batch`` request list accepted.
+        max_body_bytes: largest request body accepted.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    jobs: int = 2
+    queue_limit: int = 32
+    timeout_s: float = 30.0
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    cache_entries: int = 1024
+    planners: Optional[Tuple[str, ...]] = None
+    trace_dir: Optional[str] = None
+    max_batch: int = 16
+    max_body_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.jobs <= 0:
+            raise ServiceError(f"jobs must be positive: {self.jobs!r}")
+        if self.queue_limit <= 0:
+            raise ServiceError(
+                f"queue_limit must be positive: {self.queue_limit!r}")
+        if not (math.isfinite(self.timeout_s) and self.timeout_s > 0.0):
+            raise ServiceError(
+                f"timeout_s must be positive: {self.timeout_s!r}")
+        if self.cache_entries <= 0:
+            raise ServiceError(
+                f"cache_entries must be positive: {self.cache_entries!r}")
+        if self.max_batch <= 0:
+            raise ServiceError(
+                f"max_batch must be positive: {self.max_batch!r}")
+        if not 0 <= self.port <= 65535:
+            raise ServiceError(f"invalid port: {self.port!r}")
+        if self.planners is not None:
+            if not self.planners:
+                raise ServiceError("planner allowlist must not be empty")
+            unknown = sorted(set(self.planners) - set(known_planners()))
+            if unknown:
+                raise ServiceError(
+                    f"unknown planner(s) {unknown}; choose from "
+                    f"{known_planners()}")
+
+    def serves_planner(self, name: str) -> bool:
+        """Return whether this server accepts requests for ``name``."""
+        return self.planners is None or name in self.planners

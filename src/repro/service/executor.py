@@ -1,0 +1,142 @@
+"""Request execution: canonical request -> deterministic payload.
+
+:func:`plan_payload` is the pure function at the heart of the service —
+it deploys (or reconstructs) the sensor network, runs the requested
+planner and evaluates the resulting charging plan, returning a plain
+JSON-able payload.  The payload depends only on the canonical request,
+which is what makes the service's byte-identity contract possible.
+
+:func:`execute_request` layers the stage cache on top: the whole
+payload is one content-addressed ``service_request`` stage, and the
+deployment underneath reuses the experiment runner's ``deployment``
+stage (so a warm sweep cache also warms the service, and vice versa).
+Both layers follow the ImportError-safe pattern — with ``repro.cache``
+absent the service still answers, reporting ``"cache": "off"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..geometry import Point
+from ..network import Sensor, SensorNetwork
+from ..planners import make_planner
+from ..tour import evaluate_plan
+from .request import build_cost, request_digest
+
+try:  # memoization is optional: the service works with repro.cache absent
+    from ..cache import StageCache, activate_cache, stage_memo
+    _HAVE_CACHE = True
+except ImportError:  # pragma: no cover - repro.cache stripped/blocked
+    from contextlib import nullcontext as _cache_nullcontext
+
+    StageCache = None  # type: ignore[assignment, misc]
+    _HAVE_CACHE = False
+
+    def activate_cache(cache):  # type: ignore[misc]
+        return _cache_nullcontext()
+
+    def stage_memo(stage, params_fn, compute):  # type: ignore[misc]
+        return compute()
+
+__all__ = ["cache_for_service", "execute_request", "plan_payload",
+           "request_network"]
+
+
+def request_network(request: Dict[str, Any]) -> SensorNetwork:
+    """Materialize the sensor network of a canonical request.
+
+    Uniform deployments route through the experiment runner's
+    ``deployment`` cache stage (shared key vocabulary — a service
+    deployment and a sweep deployment with the same parameters are one
+    cache entry); inline deployments are rebuilt directly from the
+    request's coordinates.
+    """
+    spec = request["deployment"]
+    required_j = request["charging"]["delta_j"]
+    if spec["kind"] == "uniform":
+        from ..experiments.runner import deployment_stage
+        return deployment_stage(spec["n"], spec["seed"],
+                                spec["field_side_m"],
+                                required_j=required_j)
+    sensors = [Sensor(index, Point(x, y), required_j=required_j)
+               for index, (x, y) in enumerate(spec["sensors"])]
+    return SensorNetwork(sensors, spec["field_side_m"])
+
+
+def _plan_dict(plan: Any) -> Dict[str, Any]:
+    """Serialize a :class:`repro.tour.ChargingPlan` JSON-ably."""
+    depot = plan.depot
+    return {
+        "label": plan.label,
+        "depot": [depot.x, depot.y] if depot is not None else None,
+        "stops": [
+            {
+                "position": [stop.position.x, stop.position.y],
+                "sensors": sorted(stop.sensors),
+                "dwell_s": stop.dwell_s,
+            }
+            for stop in plan.stops
+        ],
+        "tour_length_m": plan.tour_length(),
+    }
+
+
+def plan_payload(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Compute the deterministic payload of one canonical request.
+
+    Pure: the same canonical request always yields a payload whose
+    canonical JSON is byte-identical (floats round-trip through
+    ``repr``; sensor sets serialize sorted).
+    """
+    cost = build_cost(request["charging"])
+    network = request_network(request)
+    planner = make_planner(request["planner"], request["radius_m"],
+                           tsp_strategy=request["tsp_strategy"],
+                           seed=request["seed"])
+    plan = planner.plan(network, cost)
+    metrics = evaluate_plan(plan, network.locations, cost)
+    return {
+        "request": request,
+        "request_sha256": request_digest(request),
+        "plan": _plan_dict(plan),
+        "metrics": metrics.as_row(),
+        "sensor_count": len(network),
+    }
+
+
+def execute_request(request: Dict[str, Any],
+                    cache: Optional["StageCache"] = None
+                    ) -> Tuple[Dict[str, Any], str]:
+    """Serve one canonical request, through the cache when available.
+
+    Returns:
+        ``(payload, outcome)`` where outcome is ``hit`` (served from the
+        cache), ``miss`` (computed and stored), or ``off`` (no cache).
+        The payload is identical in all three cases — the cache's
+        bit-identity contract is what licenses the ``hit`` path.
+    """
+    if cache is None or not _HAVE_CACHE:
+        return plan_payload(request), "off"
+    params = {"request": request}
+    outcome = ("hit" if cache.contains("service_request", params)
+               else "miss")
+    with activate_cache(cache):
+        payload = stage_memo("service_request", lambda: params,
+                             lambda: plan_payload(request))
+    return payload, outcome
+
+
+def cache_for_service(config: Any) -> Optional["StageCache"]:
+    """Build the service's stage cache from a :class:`ServiceConfig`.
+
+    Returns None (degraded or disabled mode) when caching is turned off
+    or ``repro.cache`` is absent; the scheduler then reports every
+    response as ``"cache": "off"``.
+    """
+    if not _HAVE_CACHE:
+        return None
+    if not (config.use_cache or config.cache_dir):
+        return None
+    return StageCache(max_entries=config.cache_entries,
+                      cache_dir=config.cache_dir)

@@ -1,0 +1,323 @@
+"""HTTP front end of the planning service.
+
+A thin, pure-stdlib layer over :mod:`http.server`:
+
+* ``POST /v1/plan`` — one planning request in, one response envelope
+  out.  The envelope's ``payload`` is byte-identical across repeats of
+  the same canonical request; the cache outcome travels both in the
+  envelope and in the ``X-BC-Cache`` header.
+* ``POST /v1/batch`` — ``{"requests": [...]}``, at most
+  ``config.max_batch`` items, answered as ``{"responses": [...]}`` with
+  one envelope per item.  All items are admitted before any is awaited,
+  so identical items in one batch share a single compute.
+* ``GET /healthz`` / ``GET /metrics`` — liveness and the
+  ``bundle-charging/service-metrics/v1`` snapshot.
+
+Error mapping: 400 invalid JSON / invalid request / unknown planner,
+404 unknown path, 405 wrong method, 413 oversized body, 429 admission
+shed (:class:`OverloadedError`), 503 draining, 504 request timeout,
+500 internal planner failure.  Every error body is a typed
+``error_envelope``.
+
+Provenance: at startup the server builds one base manifest (a single
+``git rev-parse`` — never per request); each ok envelope carries it
+extended with the request digest and serving wall time.  Wall-clock
+facts live only there and in headers, never in the payload.  When
+``repro.obs`` is absent the service runs degraded: no provenance, no
+tracing, identical payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .config import ServiceConfig
+from .executor import cache_for_service, execute_request
+from .metrics import metrics_snapshot
+from .request import (RequestError, canonical_request, error_envelope,
+                      ok_envelope)
+from .scheduler import (Batch, DrainingError, OverloadedError,
+                        PlanningScheduler)
+
+try:  # observability is optional: the server works with repro.obs absent
+    from ..obs.manifest import build_manifest as _build_manifest
+    from ..obs.tracer import TRACER as _TRACER
+    _HAVE_OBS = True
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    _build_manifest = None  # type: ignore[assignment]
+    _TRACER = None  # type: ignore[assignment]
+    _HAVE_OBS = False
+
+__all__ = ["PlanningHTTPServer", "ServiceRequestHandler", "build_server",
+           "start_server", "stop_server"]
+
+
+class PlanningHTTPServer(ThreadingHTTPServer):
+    """The serving socket plus the service's long-lived state."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, config: ServiceConfig) -> None:
+        super().__init__((config.host, config.port),
+                         ServiceRequestHandler)
+        self.config = config
+        self.cache = cache_for_service(config)
+        self.scheduler = PlanningScheduler(
+            lambda request: execute_request(request, self.cache),
+            jobs=config.jobs, queue_limit=config.queue_limit)
+        self.started_monotonic = time.monotonic()
+        self.base_provenance: Optional[Dict[str, Any]] = None
+        if _HAVE_OBS:
+            if config.trace_dir:
+                _TRACER.enabled = True
+                _TRACER.reset()
+            self.base_provenance = _build_manifest(
+                "service",
+                {"host": config.host, "port": config.port,
+                 "jobs": config.jobs,
+                 "queue_limit": config.queue_limit,
+                 "use_cache": config.use_cache,
+                 "cache_dir": config.cache_dir,
+                 "planners": (list(config.planners)
+                              if config.planners else None)},
+                seeds=[], wall_time_s=0.0)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        return self.server_address[1]
+
+    def response_provenance(self, digest: str,
+                            wall_time_s: float
+                            ) -> Optional[Dict[str, Any]]:
+        """Extend the base manifest with one response's facts."""
+        if self.base_provenance is None:
+            return None
+        provenance = dict(self.base_provenance)
+        provenance["request_sha256"] = digest
+        provenance["wall_time_s"] = round(wall_time_s, 6)
+        return provenance
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints; every response body is JSON."""
+
+    server: PlanningHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence the default stderr access log."""
+
+    # --- plumbing ---------------------------------------------------------
+
+    def _send_json(self, status: int, document: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_envelope(self, status: int, code: str, message: str,
+                             problems: Optional[List[str]] = None
+                             ) -> None:
+        self._send_json(status, error_envelope(code, message, problems))
+
+    def _read_json_body(self) -> Tuple[Optional[Any], bool]:
+        """Return (parsed body, ok); sends the error response itself."""
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length <= 0:
+            self._send_error_envelope(
+                400, "invalid-json", "request body must be JSON "
+                "(missing or empty Content-Length)")
+            return None, False
+        if length > self.server.config.max_body_bytes:
+            self._send_error_envelope(
+                413, "payload-too-large",
+                f"request body exceeds "
+                f"{self.server.config.max_body_bytes} bytes")
+            return None, False
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8")), True
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_envelope(
+                400, "invalid-json", f"request body is not JSON: {exc}")
+            return None, False
+
+    def _timeout_s(self) -> float:
+        """Effective wait budget: config default, lowerable per request."""
+        default = self.server.config.timeout_s
+        query = parse_qs(urlsplit(self.path).query)
+        values = query.get("timeout_s")
+        if not values:
+            return default
+        try:
+            requested = float(values[0])
+        except ValueError:
+            return default
+        if requested <= 0.0:
+            return default
+        return min(default, requested)
+
+    # --- request serving --------------------------------------------------
+
+    def _admit(self, body: Any) -> Tuple[Optional[Batch],
+                                         Optional[Dict[str, Any]],
+                                         int]:
+        """Validate + submit one item; return (batch, error doc, status)."""
+        try:
+            request = canonical_request(body)
+        except RequestError as exc:
+            return None, error_envelope(exc.code, str(exc),
+                                        exc.problems), 400
+        if not self.server.config.serves_planner(request["planner"]):
+            return None, error_envelope(
+                "planner-not-served",
+                f"this server does not serve planner "
+                f"{request['planner']!r} (allowlist: "
+                f"{list(self.server.config.planners or ())})"), 400
+        try:
+            return self.server.scheduler.submit(request), None, 200
+        except OverloadedError as exc:
+            return None, error_envelope("overloaded", str(exc)), 429
+        except DrainingError as exc:
+            return None, error_envelope("draining", str(exc)), 503
+
+    def _settle(self, batch: Batch, timeout_s: float, started: float
+                ) -> Tuple[Dict[str, Any], int, Dict[str, str]]:
+        """Wait for a batch; return (document, status, extra headers)."""
+        if not self.server.scheduler.wait(batch, timeout_s):
+            return (error_envelope(
+                "timeout",
+                f"request did not complete within {timeout_s}s "
+                f"(it may still finish and warm the cache)"), 504, {})
+        if batch.error is not None:
+            return (error_envelope(
+                "internal",
+                f"planning failed: {batch.error}"), 500, {})
+        envelope = ok_envelope(
+            batch.payload, batch.outcome,
+            provenance=self.server.response_provenance(
+                batch.digest, time.monotonic() - started))
+        headers = {"X-BC-Cache": batch.outcome,
+                   "X-BC-Request-SHA256": batch.digest}
+        return envelope, 200, headers
+
+    def _handle_plan(self) -> None:
+        body, ok = self._read_json_body()
+        if not ok:
+            return
+        started = time.monotonic()
+        batch, error_doc, status = self._admit(body)
+        if batch is None:
+            self._send_json(status, error_doc)
+            return
+        document, status, headers = self._settle(
+            batch, self._timeout_s(), started)
+        self._send_json(status, document, headers)
+
+    def _handle_batch(self) -> None:
+        body, ok = self._read_json_body()
+        if not ok:
+            return
+        requests = body.get("requests") if isinstance(body, dict) else None
+        if not isinstance(requests, list) or not requests:
+            self._send_error_envelope(
+                400, "invalid-request",
+                "batch body must be {\"requests\": [<request>, ...]}")
+            return
+        max_batch = self.server.config.max_batch
+        if len(requests) > max_batch:
+            self._send_error_envelope(
+                400, "batch-too-large",
+                f"batch carries {len(requests)} requests; the limit "
+                f"is {max_batch}")
+            return
+        started = time.monotonic()
+        admitted: List[Tuple[Optional[Batch], Optional[Dict[str, Any]]]] \
+            = [(batch, error_doc)
+               for batch, error_doc, _ in map(self._admit, requests)]
+        timeout_s = self._timeout_s()
+        responses: List[Dict[str, Any]] = []
+        for batch, error_doc in admitted:
+            if batch is None:
+                responses.append(error_doc)
+            else:
+                document, _, _ = self._settle(batch, timeout_s, started)
+                responses.append(document)
+        self._send_json(200, {"responses": responses})
+
+    # --- routing ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "uptime_s": round(
+                    time.monotonic() - self.server.started_monotonic, 3),
+                "draining": self.server.scheduler.stats()["draining"],
+            })
+        elif path == "/metrics":
+            self._send_json(200, metrics_snapshot(
+                self.server.scheduler, self.server.cache))
+        else:
+            self._send_error_envelope(
+                404, "not-found", f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        if path == "/v1/plan":
+            self._handle_plan()
+        elif path == "/v1/batch":
+            self._handle_batch()
+        elif path in ("/healthz", "/metrics"):
+            self._send_error_envelope(
+                405, "method-not-allowed", f"{path} is GET-only")
+        else:
+            self._send_error_envelope(
+                404, "not-found", f"unknown path {path!r}")
+
+
+def build_server(config: ServiceConfig) -> PlanningHTTPServer:
+    """Bind the server socket (without starting the accept loop)."""
+    return PlanningHTTPServer(config)
+
+
+def start_server(config: ServiceConfig
+                 ) -> Tuple[PlanningHTTPServer, threading.Thread]:
+    """Bind and start serving on a daemon thread; return both."""
+    server = build_server(config)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="plan-http", daemon=True)
+    thread.start()
+    return server, thread
+
+
+def stop_server(server: PlanningHTTPServer, drain: bool = True) -> None:
+    """Gracefully stop: drain the scheduler, close the socket, flush
+    the trace (when tracing was enabled) and disable the tracer."""
+    server.scheduler.shutdown(drain=drain)
+    server.shutdown()
+    server.server_close()
+    trace_dir = server.config.trace_dir
+    if _HAVE_OBS and trace_dir and _TRACER.enabled:
+        import os
+        os.makedirs(trace_dir, exist_ok=True)
+        _TRACER.write_jsonl(os.path.join(trace_dir, "service.jsonl"),
+                            manifest=server.base_provenance)
+        _TRACER.enabled = False
+        _TRACER.reset()

@@ -1,0 +1,38 @@
+"""Service metrics: one JSON snapshot for the ``/metrics`` endpoint.
+
+The snapshot merges the scheduler's queue/admission counters, the
+process-wide :data:`repro.perf.PERF` registry (which already carries
+the cache hit/miss/evict counters), and the stage cache's store
+statistics.  Everything is plain JSON; the schema tag is
+``bundle-charging/service-metrics/v1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..perf.counters import PERF
+from .request import METRICS_SCHEMA
+
+__all__ = ["metrics_snapshot"]
+
+
+def metrics_snapshot(scheduler: Any,
+                     cache: Optional[Any] = None) -> Dict[str, Any]:
+    """Build the ``/metrics`` document.
+
+    Args:
+        scheduler: a :class:`repro.service.scheduler.PlanningScheduler`.
+        cache: the service's :class:`repro.cache.StageCache`, or None
+            when caching is off or ``repro.cache`` is absent.
+    """
+    snapshot = PERF.snapshot()
+    return {
+        "schema": METRICS_SCHEMA,
+        "scheduler": scheduler.stats(),
+        "perf": {
+            "counters": snapshot.get("counters", {}),
+            "timers": snapshot.get("timers", {}),
+        },
+        "cache": cache.stats() if cache is not None else None,
+    }

@@ -1,0 +1,461 @@
+"""Request/response protocol of the planning service.
+
+The wire format is deliberately small and *deterministic*:
+
+* A planning request is a JSON object validated against the explicit
+  ``bundle-charging/request/v1`` schema and normalized into a
+  **canonical request** — every optional field filled with its default,
+  every number coerced through ``float()``/``int()`` — so that two
+  bodies describing the same planning problem normalize to the same
+  canonical dict, hash to the same :func:`request_digest`, and
+  therefore share one micro-batch and one cache entry.
+* A response is an **envelope** (``bundle-charging/response/v1``)
+  wrapping a **payload**.  The payload is a pure function of the
+  canonical request — byte-identical across repeats, processes and
+  servers when serialized with :func:`canonical_json` — and the
+  envelope carries the transport-level facts that legitimately vary
+  between repeats: the cache outcome (``hit``/``miss``/``off``), the
+  payload digest, and the per-response provenance record.  Timestamps
+  live only in transport headers and provenance, never in the payload.
+
+Everything here is pure stdlib and imports neither ``repro.obs`` nor
+``repro.cache``, so the protocol stays importable in degraded builds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import constants
+from ..charging import (CostParameters, DWELL_POLICIES, FriisChargingModel,
+                        IdealDiskChargingModel, LinearChargingModel)
+from ..errors import ModelError, ServiceError
+from ..planners import known_planners
+from ..tsp.solver import DEFAULT_STRATEGY, STRATEGY_NAMES
+
+#: Schema tags of the service wire format.
+REQUEST_SCHEMA = "bundle-charging/request/v1"
+RESPONSE_SCHEMA = "bundle-charging/response/v1"
+METRICS_SCHEMA = "bundle-charging/service-metrics/v1"
+
+#: Cache outcomes an envelope may report (``off`` = caching disabled
+#: or ``repro.cache`` absent — the degraded-mode contract).
+CACHE_OUTCOMES = ("hit", "miss", "off")
+
+#: Hard caps keeping a single request bounded.
+MAX_SENSORS = 5000
+MAX_SEED = 2 ** 63
+
+#: The charging-model vocabulary of request ``charging.model``.
+#: ``paper`` is an alias normalizing to the Section VI-A Friis setup.
+CHARGING_MODELS = ("paper", "friis", "linear", "ideal")
+
+_TOP_LEVEL_KEYS = frozenset({
+    "schema", "deployment", "planner", "radius_m", "tsp_strategy",
+    "seed", "charging",
+})
+_DEPLOYMENT_KEYS = frozenset({"kind", "n", "seed", "sensors",
+                              "field_side_m"})
+_CHARGING_KEYS = frozenset({"model", "params", "move_cost_j_per_m",
+                            "delta_j", "dwell_policy"})
+_MODEL_PARAM_KEYS = {
+    "friis": ("alpha", "beta", "source_power_w"),
+    "linear": ("peak_efficiency", "cutoff_m", "source_power_w"),
+    "ideal": ("efficiency", "range_m", "source_power_w"),
+}
+# Bit-identical to the experiment pipeline's defaults: CHARGE_POWER_W
+# is 0.9/60.0, one ulp away from the literal 0.015.
+_FRIIS_DEFAULTS = {"alpha": constants.ALPHA, "beta": constants.BETA,
+                   "source_power_w": constants.CHARGE_POWER_W}
+
+__all__ = [
+    "CACHE_OUTCOMES",
+    "CHARGING_MODELS",
+    "MAX_SENSORS",
+    "METRICS_SCHEMA",
+    "REQUEST_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "RequestError",
+    "build_cost",
+    "canonical_json",
+    "canonical_request",
+    "error_envelope",
+    "ok_envelope",
+    "payload_digest",
+    "request_digest",
+    "request_problems",
+    "response_problems",
+]
+
+
+class RequestError(ServiceError):
+    """An invalid planning request, carrying a typed error code.
+
+    Attributes:
+        code: machine-readable error class (``invalid-request``,
+            ``unsupported-schema``, ``unknown-planner``, ...).
+        problems: one human-readable string per validation failure.
+    """
+
+    def __init__(self, code: str, problems: List[str]) -> None:
+        super().__init__(f"{code}: " + "; ".join(problems))
+        self.code = code
+        self.problems = list(problems)
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` canonically (sorted keys, tight separators).
+
+    This is the byte-identity serialization: the same dict always
+    renders to the same bytes (floats go through ``repr``, which
+    round-trips every IEEE-754 double).
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload: Dict[str, Any]) -> str:
+    """Return the SHA-256 hex digest of a payload's canonical JSON."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def request_digest(canonical: Dict[str, Any]) -> str:
+    """Return the SHA-256 digest identifying a canonical request.
+
+    Identical planning problems share a digest, which is the
+    micro-batching key and part of the ``service_request`` cache key.
+    """
+    return payload_digest(canonical)
+
+
+def _is_number(value: Any) -> bool:
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def _is_integer(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _normalize_deployment(spec: Any, problems: List[str]
+                          ) -> Optional[Dict[str, Any]]:
+    if not isinstance(spec, dict):
+        problems.append("'deployment' must be an object")
+        return None
+    unknown = sorted(set(spec) - _DEPLOYMENT_KEYS)
+    if unknown:
+        problems.append(f"deployment has unknown keys {unknown}")
+    kind = spec.get("kind")
+    if kind not in ("uniform", "inline"):
+        problems.append(
+            f"deployment.kind must be 'uniform' or 'inline', "
+            f"got {kind!r}")
+        return None
+    field_side = spec.get("field_side_m", constants.FIELD_SIDE_M)
+    if not _is_number(field_side) or field_side <= 0.0:
+        problems.append(
+            f"deployment.field_side_m must be a positive number, "
+            f"got {field_side!r}")
+        return None
+    if kind == "uniform":
+        count = spec.get("n")
+        if not _is_integer(count) or not 1 <= count <= MAX_SENSORS:
+            problems.append(
+                f"deployment.n must be an integer in [1, {MAX_SENSORS}],"
+                f" got {count!r}")
+            return None
+        seed = spec.get("seed", 0)
+        if not _is_integer(seed) or abs(seed) >= MAX_SEED:
+            problems.append(
+                f"deployment.seed must be a bounded integer, "
+                f"got {seed!r}")
+            return None
+        if "sensors" in spec:
+            problems.append(
+                "deployment.sensors is only valid with kind 'inline'")
+        return {"kind": "uniform", "n": int(count), "seed": int(seed),
+                "field_side_m": float(field_side)}
+    sensors = spec.get("sensors")
+    if (not isinstance(sensors, list)
+            or not 1 <= len(sensors) <= MAX_SENSORS):
+        problems.append(
+            f"deployment.sensors must be a list of 1..{MAX_SENSORS} "
+            f"[x, y] pairs")
+        return None
+    locations: List[List[float]] = []
+    for index, pair in enumerate(sensors):
+        if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                or not all(_is_number(coord) for coord in pair)):
+            problems.append(
+                f"deployment.sensors[{index}] must be a finite "
+                f"[x, y] pair, got {pair!r}")
+            return None
+        locations.append([float(pair[0]), float(pair[1])])
+    if "n" in spec or "seed" in spec:
+        problems.append(
+            "deployment.n/seed are only valid with kind 'uniform'")
+    return {"kind": "inline", "sensors": locations,
+            "field_side_m": float(field_side)}
+
+
+def _normalize_charging(spec: Any, problems: List[str]
+                        ) -> Optional[Dict[str, Any]]:
+    if spec is None:
+        spec = {}
+    if not isinstance(spec, dict):
+        problems.append("'charging' must be an object")
+        return None
+    unknown = sorted(set(spec) - _CHARGING_KEYS)
+    if unknown:
+        problems.append(f"charging has unknown keys {unknown}")
+    model = spec.get("model", "paper")
+    if model not in CHARGING_MODELS:
+        problems.append(
+            f"charging.model must be one of {list(CHARGING_MODELS)}, "
+            f"got {model!r}")
+        return None
+    if model == "paper":
+        model = "friis"
+    raw_params = spec.get("params", {})
+    if not isinstance(raw_params, dict):
+        problems.append("charging.params must be an object")
+        return None
+    wanted = _MODEL_PARAM_KEYS[model]
+    unknown = sorted(set(raw_params) - set(wanted))
+    if unknown:
+        problems.append(
+            f"charging.params has unknown keys {unknown} for model "
+            f"{model!r}")
+    params: Dict[str, float] = {}
+    defaults = _FRIIS_DEFAULTS if model == "friis" else {}
+    for name in wanted:
+        value = raw_params.get(name, defaults.get(name))
+        if value is None:
+            problems.append(
+                f"charging.params.{name} is required for model "
+                f"{model!r}")
+            return None
+        if not _is_number(value):
+            problems.append(
+                f"charging.params.{name} must be a finite number, "
+                f"got {value!r}")
+            return None
+        params[name] = float(value)
+    move_cost = spec.get("move_cost_j_per_m", constants.MOVE_COST_J_PER_M)
+    delta = spec.get("delta_j", constants.DELTA_J)
+    policy = spec.get("dwell_policy", "simultaneous")
+    if not _is_number(move_cost) or move_cost < 0.0:
+        problems.append(
+            f"charging.move_cost_j_per_m must be a non-negative "
+            f"number, got {move_cost!r}")
+        return None
+    if not _is_number(delta) or delta <= 0.0:
+        problems.append(
+            f"charging.delta_j must be a positive number, got {delta!r}")
+        return None
+    if policy not in DWELL_POLICIES:
+        problems.append(
+            f"charging.dwell_policy must be one of "
+            f"{list(DWELL_POLICIES)}, got {policy!r}")
+        return None
+    canonical = {"model": model, "params": params,
+                 "move_cost_j_per_m": float(move_cost),
+                 "delta_j": float(delta), "dwell_policy": policy}
+    try:
+        build_cost(canonical)
+    except ModelError as exc:
+        problems.append(f"charging parameters rejected: {exc}")
+        return None
+    return canonical
+
+
+def _normalize(body: Any) -> Tuple[Optional[Dict[str, Any]], List[str],
+                                   str]:
+    """Validate + canonicalize; return (canonical, problems, code)."""
+    problems: List[str] = []
+    code = "invalid-request"
+    if not isinstance(body, dict):
+        return None, ["request body must be a JSON object"], code
+    schema = body.get("schema", REQUEST_SCHEMA)
+    if schema != REQUEST_SCHEMA:
+        return None, [f"unsupported request schema {schema!r} "
+                      f"(expected {REQUEST_SCHEMA!r})"], \
+            "unsupported-schema"
+    unknown = sorted(set(body) - _TOP_LEVEL_KEYS)
+    if unknown:
+        problems.append(f"request has unknown keys {unknown}")
+
+    deployment = _normalize_deployment(body.get("deployment"), problems)
+
+    planner = body.get("planner")
+    if not isinstance(planner, str) or planner not in known_planners():
+        problems.append(
+            f"planner must be one of {known_planners()}, "
+            f"got {planner!r}")
+        code = "unknown-planner" if isinstance(planner, str) else code
+
+    radius = body.get("radius_m")
+    if not _is_number(radius) or radius <= 0.0:
+        problems.append(
+            f"radius_m must be a positive finite number, got {radius!r}")
+
+    strategy = body.get("tsp_strategy", DEFAULT_STRATEGY)
+    if strategy not in STRATEGY_NAMES:
+        problems.append(
+            f"tsp_strategy must be one of {list(STRATEGY_NAMES)}, "
+            f"got {strategy!r}")
+
+    seed = body.get("seed", 0)
+    if not _is_integer(seed) or abs(seed) >= MAX_SEED:
+        problems.append(f"seed must be a bounded integer, got {seed!r}")
+
+    charging = _normalize_charging(body.get("charging"), problems)
+
+    if problems or deployment is None or charging is None:
+        return None, problems, code
+    return {
+        "schema": REQUEST_SCHEMA,
+        "deployment": deployment,
+        "planner": planner,
+        "radius_m": float(radius),
+        "tsp_strategy": strategy,
+        "seed": int(seed),
+        "charging": charging,
+    }, [], code
+
+
+def request_problems(body: Any) -> List[str]:
+    """Return every validation problem of a request body (empty = valid)."""
+    _, problems, _ = _normalize(body)
+    return problems
+
+
+def canonical_request(body: Any) -> Dict[str, Any]:
+    """Validate ``body`` and return its canonical request form.
+
+    Raises:
+        RequestError: with a typed code and the full problem list.
+    """
+    canonical, problems, code = _normalize(body)
+    if canonical is None:
+        raise RequestError(code, problems)
+    return canonical
+
+
+def build_cost(charging: Dict[str, Any]) -> CostParameters:
+    """Instantiate the :class:`CostParameters` of a canonical request.
+
+    Deterministic: the same canonical charging dict always builds an
+    identical model (the request's cache key therefore fully determines
+    the physics).
+    """
+    params = charging["params"]
+    model_name = charging["model"]
+    if model_name == "friis":
+        model = FriisChargingModel(
+            alpha=params["alpha"], beta=params["beta"],
+            source_power_w=params["source_power_w"])
+    elif model_name == "linear":
+        model = LinearChargingModel(
+            peak_efficiency=params["peak_efficiency"],
+            cutoff_m=params["cutoff_m"],
+            source_power_w=params["source_power_w"])
+    else:
+        model = IdealDiskChargingModel(
+            efficiency=params["efficiency"], range_m=params["range_m"],
+            source_power_w=params["source_power_w"])
+    return CostParameters(
+        model=model,
+        move_cost_j_per_m=charging["move_cost_j_per_m"],
+        delta_j=charging["delta_j"],
+        dwell_policy=charging["dwell_policy"])
+
+
+def ok_envelope(payload: Dict[str, Any], cache: str,
+                provenance: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+    """Wrap a deterministic payload in a success envelope.
+
+    The payload and its digest are byte-stable across repeats; the
+    ``cache`` outcome and ``provenance`` are transport metadata and may
+    legitimately differ between two servings of the same request.
+    """
+    if cache not in CACHE_OUTCOMES:
+        raise ServiceError(f"unknown cache outcome {cache!r}")
+    envelope: Dict[str, Any] = {
+        "schema": RESPONSE_SCHEMA,
+        "status": "ok",
+        "cache": cache,
+        "payload": payload,
+        "payload_sha256": payload_digest(payload),
+    }
+    if provenance is not None:
+        envelope["provenance"] = provenance
+    return envelope
+
+
+def error_envelope(code: str, message: str,
+                   problems: Optional[List[str]] = None
+                   ) -> Dict[str, Any]:
+    """Build a typed error envelope (no payload, no cache outcome)."""
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if problems:
+        error["problems"] = list(problems)
+    return {"schema": RESPONSE_SCHEMA, "status": "error", "error": error}
+
+
+def response_problems(envelope: Any) -> List[str]:
+    """Return every structural problem of a response envelope.
+
+    Shared with :mod:`repro.obs.validate`, which re-exports it as the
+    response-schema checker for CI gates and tests.
+    """
+    problems: List[str] = []
+    if not isinstance(envelope, dict):
+        return ["response envelope must be a JSON object"]
+    if envelope.get("schema") != RESPONSE_SCHEMA:
+        problems.append(
+            f"unknown response schema {envelope.get('schema')!r} "
+            f"(expected {RESPONSE_SCHEMA!r})")
+    status = envelope.get("status")
+    if status not in ("ok", "error"):
+        problems.append(f"status must be 'ok' or 'error', got {status!r}")
+        return problems
+    if status == "error":
+        error = envelope.get("error")
+        if not isinstance(error, dict):
+            problems.append("error envelope carries no 'error' object")
+        else:
+            for key in ("code", "message"):
+                if not isinstance(error.get(key), str):
+                    problems.append(f"error.{key} must be a string")
+        if "payload" in envelope:
+            problems.append("error envelope must not carry a payload")
+        return problems
+    if envelope.get("cache") not in CACHE_OUTCOMES:
+        problems.append(
+            f"cache outcome must be one of {list(CACHE_OUTCOMES)}, "
+            f"got {envelope.get('cache')!r}")
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        problems.append("ok envelope carries no payload object")
+        return problems
+    digest = envelope.get("payload_sha256")
+    if digest != payload_digest(payload):
+        problems.append("payload_sha256 does not match the payload "
+                        "(non-canonical or tampered payload)")
+    for key in ("request", "request_sha256", "plan", "metrics"):
+        if key not in payload:
+            problems.append(f"payload missing key {key!r}")
+    request = payload.get("request")
+    if isinstance(request, dict):
+        problems.extend(request_problems(request))
+        if payload.get("request_sha256") != request_digest(request):
+            problems.append(
+                "payload request_sha256 does not match the canonical "
+                "request")
+    return problems

@@ -1,0 +1,255 @@
+"""The planning scheduler: bounded queue, micro-batching, worker pool.
+
+Requests enter as canonical request dicts and are grouped into
+**micro-batches** by :func:`repro.service.request.request_digest`:
+while a digest is open (queued or executing), every further submission
+of the same canonical request *joins* the existing batch — one compute,
+N responses — which is safe precisely because payloads are pure
+functions of the canonical request.
+
+**Admission control** bounds the number of open batches at
+``queue_limit``.  A submission that would open batch ``queue_limit+1``
+is shed immediately with :class:`OverloadedError` (the HTTP layer maps
+it to 429) instead of queuing unboundedly; joins are always admitted
+because they add no work.  ``Q + k`` concurrent distinct requests
+against a limit of ``Q`` therefore yield exactly ``k`` rejections.
+
+A fixed pool of ``jobs`` worker threads drains the queue — the serving
+analogue of the experiment runner's ``--jobs`` fan-out, but with
+threads, since one process must share one cache and one tracer.  When
+span tracing is live, computes serialize under a module lock (the
+tracer's span stack is not thread-safe) and each request records a
+``service.request`` span.
+
+Shutdown is graceful by default: :meth:`PlanningScheduler.shutdown`
+stops admissions (:class:`DrainingError`), lets the queue drain, then
+joins the workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ServiceError
+from .request import request_digest
+
+try:  # tracing is optional: the scheduler works with repro.obs absent
+    from ..obs.tracer import TRACER as _TRACER, obs_span
+
+    def _tracing_enabled() -> bool:
+        return _TRACER.enabled
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
+    def _tracing_enabled() -> bool:
+        return False
+
+#: Serializes traced computes: the span tracer keeps one process-wide
+#: stack, so only one worker may trace at a time.  Held only while
+#: tracing is enabled; the untraced hot path runs fully parallel.
+_TRACE_LOCK = threading.Lock()
+
+__all__ = ["DrainingError", "OverloadedError", "PlanningScheduler"]
+
+Compute = Callable[[Dict[str, Any]], Tuple[Dict[str, Any], str]]
+
+
+class OverloadedError(ServiceError):
+    """Admission rejection: the open-batch queue is full (HTTP 429)."""
+
+
+class DrainingError(ServiceError):
+    """Admission rejection: the service is shutting down (HTTP 503)."""
+
+
+class Batch:
+    """One open micro-batch: a canonical request and its completion.
+
+    Attributes:
+        digest: the canonical request digest (the batching key).
+        request: the canonical request dict.
+        done: set once ``payload``/``outcome`` or ``error`` is final.
+        waiters: how many submissions share this batch.
+    """
+
+    __slots__ = ("digest", "request", "done", "payload", "outcome",
+                 "error", "waiters")
+
+    def __init__(self, digest: str, request: Dict[str, Any]) -> None:
+        self.digest = digest
+        self.request = request
+        self.done = threading.Event()
+        self.payload: Optional[Dict[str, Any]] = None
+        self.outcome = "off"
+        self.error: Optional[BaseException] = None
+        self.waiters = 1
+
+
+class PlanningScheduler:
+    """Micro-batching request scheduler over a thread worker pool.
+
+    Args:
+        compute: ``request -> (payload, outcome)`` — typically
+            :func:`repro.service.executor.execute_request` partially
+            applied to the service cache.
+        jobs: worker-thread count.
+        queue_limit: maximum open (queued + executing) batches.
+    """
+
+    def __init__(self, compute: Compute, jobs: int = 2,
+                 queue_limit: int = 32) -> None:
+        if jobs <= 0:
+            raise ServiceError(f"jobs must be positive: {jobs!r}")
+        if queue_limit <= 0:
+            raise ServiceError(
+                f"queue_limit must be positive: {queue_limit!r}")
+        self._compute = compute
+        self.queue_limit = queue_limit
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._settled = threading.Condition(self._lock)
+        self._queue: "deque[Batch]" = deque()
+        self._inflight: Dict[str, Batch] = {}
+        self._open = 0
+        self._draining = False
+        self._stopped = False
+        self._counters = {
+            "accepted": 0, "joined": 0, "rejected": 0, "drained": 0,
+            "completed": 0, "failed": 0, "timeouts": 0,
+        }
+        self._workers: List[threading.Thread] = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"plan-worker-{index}", daemon=True)
+            for index in range(jobs)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # --- admission --------------------------------------------------------
+
+    def submit(self, request: Dict[str, Any]) -> Batch:
+        """Admit one canonical request; return the batch serving it.
+
+        Raises:
+            DrainingError: the scheduler is shutting down.
+            OverloadedError: admitting a new batch would exceed
+                ``queue_limit`` (joins never overload).
+        """
+        digest = request_digest(request)
+        with self._lock:
+            if self._draining:
+                self._counters["drained"] += 1
+                raise DrainingError(
+                    "service is draining; request not admitted")
+            batch = self._inflight.get(digest)
+            if batch is not None:
+                batch.waiters += 1
+                self._counters["accepted"] += 1
+                self._counters["joined"] += 1
+                return batch
+            if self._open >= self.queue_limit:
+                self._counters["rejected"] += 1
+                raise OverloadedError(
+                    f"open-batch limit reached "
+                    f"({self.queue_limit}); request shed")
+            batch = Batch(digest, request)
+            self._inflight[digest] = batch
+            self._open += 1
+            self._queue.append(batch)
+            self._counters["accepted"] += 1
+            self._work.notify()
+            return batch
+
+    def wait(self, batch: Batch, timeout_s: Optional[float]) -> bool:
+        """Block until ``batch`` settles; False on timeout (counted)."""
+        if batch.done.wait(timeout_s):
+            return True
+        with self._lock:
+            self._counters["timeouts"] += 1
+        return False
+
+    # --- execution --------------------------------------------------------
+
+    def _run(self, batch: Batch) -> Tuple[Dict[str, Any], str]:
+        if not _tracing_enabled():
+            return self._compute(batch.request)
+        with _TRACE_LOCK:
+            with obs_span("service.request",
+                          request_sha256=batch.digest,
+                          planner=batch.request["planner"]) as span:
+                payload, outcome = self._compute(batch.request)
+                if span:
+                    span.set(cache_outcome=outcome,
+                             waiters=batch.waiters)
+                return payload, outcome
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopped:
+                    self._work.wait()
+                if not self._queue:
+                    return
+                batch = self._queue.popleft()
+            failed = False
+            try:
+                batch.payload, batch.outcome = self._run(batch)
+            except BaseException as exc:  # settle waiters, keep worker
+                batch.error = exc
+                failed = True
+            with self._lock:
+                self._inflight.pop(batch.digest, None)
+                self._open -= 1
+                self._counters["failed" if failed else "completed"] += 1
+                batch.done.set()
+                self._settled.notify_all()
+
+    # --- lifecycle --------------------------------------------------------
+
+    def shutdown(self, drain: bool = True,
+                 timeout_s: Optional[float] = None) -> None:
+        """Stop admissions and the workers.
+
+        Args:
+            drain: finish every open batch first (graceful); otherwise
+                queued-but-unstarted batches settle with
+                :class:`DrainingError`.
+            timeout_s: optional bound on the graceful drain wait.
+        """
+        with self._lock:
+            self._draining = True
+            if drain:
+                while self._open:
+                    if not self._settled.wait(timeout=timeout_s):
+                        break
+            else:
+                while self._queue:
+                    batch = self._queue.popleft()
+                    self._inflight.pop(batch.digest, None)
+                    self._open -= 1
+                    batch.error = DrainingError(
+                        "service shut down before execution")
+                    batch.done.set()
+            self._stopped = True
+            self._work.notify_all()
+        for worker in self._workers:
+            worker.join()
+
+    # --- introspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Return a consistent snapshot of queue state and counters."""
+        with self._lock:
+            return {
+                "jobs": len(self._workers),
+                "queue_limit": self.queue_limit,
+                "queue_depth": len(self._queue),
+                "open_batches": self._open,
+                "draining": self._draining,
+                "counters": dict(self._counters),
+            }

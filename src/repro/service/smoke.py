@@ -1,0 +1,151 @@
+"""End-to-end service smoke check (used by CI as a job gate).
+
+Starts a real server on an ephemeral port, drives it with ``urllib``
+over actual sockets, and asserts the service's headline contracts:
+
+1. the same request served twice returns **byte-identical payloads**,
+   with the first a cache miss and the second a hit (when the cache is
+   available — ``off``/``off`` in degraded builds);
+2. malformed JSON and an unknown planner both answer 400 with typed
+   error envelopes;
+3. ``/healthz`` and ``/metrics`` respond and the metrics document
+   carries the service-metrics schema;
+4. a batch with duplicate items shares one compute (joined > 0);
+5. shutdown is a graceful drain (exercised by stopping the server).
+
+Run directly: ``python -m repro.service.smoke``.  Exit status 0 = all
+contracts hold.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from .config import ServiceConfig
+from .http import start_server, stop_server
+from .request import (METRICS_SCHEMA, canonical_json, canonical_request,
+                      response_problems)
+
+__all__ = ["run_smoke"]
+
+
+def _call(url: str, body: Optional[bytes] = None
+          ) -> Tuple[int, Dict[str, str], Any]:
+    """POST ``body`` (or GET) to ``url``; return (status, headers, doc)."""
+    request = urllib.request.Request(
+        url, data=body,
+        headers={"Content-Type": "application/json"} if body else {})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            raw = response.read()
+            status = response.status
+            headers = dict(response.headers)
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status = error.code
+        headers = dict(error.headers)
+    return status, headers, json.loads(raw.decode("utf-8"))
+
+
+def _plan_request(node_count: int) -> Dict[str, Any]:
+    return {
+        "schema": "bundle-charging/request/v1",
+        "deployment": {"kind": "uniform", "n": node_count, "seed": 7},
+        "planner": "BC",
+        "radius_m": 20.0,
+    }
+
+
+def run_smoke(node_count: int = 60) -> int:
+    """Run the smoke sequence; return 0 on success, 1 on any failure."""
+    failures = []
+
+    def check(condition: bool, label: str) -> None:
+        print(("ok   " if condition else "FAIL ") + label)
+        if not condition:
+            failures.append(label)
+
+    config = ServiceConfig(port=0, jobs=2, queue_limit=8, timeout_s=60.0)
+    server, _ = start_server(config)
+    base = f"http://{config.host}:{server.port}"
+    body = json.dumps(_plan_request(node_count)).encode("utf-8")
+    try:
+        # 1. byte-identical replay + cache hit on the second serving.
+        status_a, headers_a, doc_a = _call(f"{base}/v1/plan", body)
+        status_b, headers_b, doc_b = _call(f"{base}/v1/plan", body)
+        check(status_a == 200 and status_b == 200, "plan requests answer 200")
+        check(not response_problems(doc_a), "envelope validates")
+        payload_a = canonical_json(doc_a.get("payload"))
+        payload_b = canonical_json(doc_b.get("payload"))
+        check(payload_a == payload_b, "repeat payloads byte-identical")
+        cache_available = doc_a.get("cache") != "off"
+        if cache_available:
+            check(doc_a.get("cache") == "miss"
+                  and doc_b.get("cache") == "hit",
+                  "cache outcome miss then hit")
+            check(headers_a.get("X-BC-Cache") == "miss"
+                  and headers_b.get("X-BC-Cache") == "hit",
+                  "X-BC-Cache header matches envelope")
+        else:
+            check(doc_b.get("cache") == "off",
+                  "degraded mode reports cache off")
+
+        # 2. typed 400s for malformed and unknown-planner requests.
+        status, _, doc = _call(f"{base}/v1/plan", b"{not json")
+        check(status == 400
+              and doc.get("error", {}).get("code") == "invalid-json",
+              "malformed JSON answers 400 invalid-json")
+        bad = dict(_plan_request(node_count), planner="NOPE")
+        status, _, doc = _call(f"{base}/v1/plan",
+                               json.dumps(bad).encode("utf-8"))
+        check(status == 400
+              and doc.get("error", {}).get("code") == "unknown-planner",
+              "unknown planner answers 400 unknown-planner")
+
+        # 3. health + metrics.
+        status, _, doc = _call(f"{base}/healthz")
+        check(status == 200 and doc.get("status") == "ok",
+              "healthz answers ok")
+        status, _, doc = _call(f"{base}/metrics")
+        check(status == 200 and doc.get("schema") == METRICS_SCHEMA,
+              "metrics carries the service-metrics schema")
+
+        # 4. duplicate batch items share one compute.
+        other = dict(_plan_request(node_count), seed=1)
+        canonical_request(other)  # sanity: the variant is valid too
+        batch = {"requests": [_plan_request(node_count),
+                              _plan_request(node_count), other]}
+        status, _, doc = _call(f"{base}/v1/batch",
+                               json.dumps(batch).encode("utf-8"))
+        responses = doc.get("responses", [])
+        check(status == 200 and len(responses) == 3
+              and all(r.get("status") == "ok" for r in responses),
+              "batch answers 3 ok envelopes")
+        check(canonical_json(responses[0].get("payload"))
+              == canonical_json(responses[1].get("payload")),
+              "duplicate batch items byte-identical")
+        status, _, doc = _call(f"{base}/metrics")
+        joined = (doc.get("scheduler", {}).get("counters", {})
+                  .get("joined", 0))
+        check(joined >= 1 or responses[1].get("cache") in ("hit", "off"),
+              "duplicate batch items shared one compute (join or hit)")
+    finally:
+        # 5. graceful drain.
+        stop_server(server, drain=True)
+    stats = server.scheduler.stats()
+    check(stats["queue_depth"] == 0 and stats["open_batches"] == 0,
+          "graceful drain leaves no open batches")
+
+    if failures:
+        print(f"{len(failures)} smoke check(s) failed", file=sys.stderr)
+        return 1
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

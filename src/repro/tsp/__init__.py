@@ -14,8 +14,8 @@ from .exact import MAX_EXACT_CITIES, held_karp_length, held_karp_tour
 from .local_search import (nearest_neighbor_lists, or_opt, or_opt_fast,
                            three_opt, two_opt, two_opt_fast)
 from .mst_approx import minimum_spanning_parent, mst_doubling_tour
-from .solver import (DEFAULT_STRATEGY, solve_tsp, solve_tsp_matrix,
-                     tour_length)
+from .solver import (DEFAULT_STRATEGY, STRATEGY_NAMES, solve_tsp,
+                     solve_tsp_matrix, tour_length)
 from .tour import Tour
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "DEFAULT_STRATEGY",
     "DistanceMatrix",
     "MAX_EXACT_CITIES",
+    "STRATEGY_NAMES",
     "Tour",
     "anneal",
     "cheapest_insertion_tour",

@@ -35,6 +35,17 @@ from .tour import Tour
 
 DEFAULT_STRATEGY = "nn+2opt"
 
+#: Every strategy name :func:`solve_tsp_matrix` accepts (the keys of
+#: its solver table, plus ``"auto"``).  ``tests/tsp`` pins this list
+#: against the table so external validators (the planning service's
+#: request schema) can trust it without building a solver.
+STRATEGY_NAMES = (
+    "auto", "exact", "nn", "greedy", "insertion", "christofides",
+    "nn+2opt", "greedy+2opt", "insertion+2opt", "christofides+2opt",
+    "nn+2opt-fast", "greedy+2opt-fast", "anneal", "nn+3opt", "mst",
+    "mst+2opt",
+)
+
 
 def solve_tsp(points: Sequence[Point],
               strategy: str = DEFAULT_STRATEGY,

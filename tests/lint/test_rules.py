@@ -395,6 +395,53 @@ class TestOBS001ObsImportFallback:
         assert result.clean
 
 
+class TestOBS001CacheImportFallback:
+    """OBS001 also guards ``repro.cache`` — the other optional subsystem."""
+
+    def test_unguarded_cache_import_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/mod.py": """\
+                from ..cache import stage_memo
+
+                def compute():
+                    return stage_memo("s", dict, dict)
+                """,
+        }, select=["OBS001"])
+        assert rules_of(result) == ["OBS001"]
+        assert "cache" in result.findings[0].message
+
+    def test_guarded_cache_import_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/mod.py": """\
+                try:
+                    from ..cache import stage_memo
+                except ImportError:
+                    def stage_memo(stage, params, compute):
+                        return compute()
+                """,
+        }, select=["OBS001"])
+        assert result.clean
+
+    def test_lazy_cache_import_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/mod.py": """\
+                def build():
+                    from ..cache import StageCache
+                    return StageCache()
+                """,
+        }, select=["OBS001"])
+        assert result.clean
+
+    def test_cache_package_itself_is_exempt(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/extras.py": """\
+                from .stage import StageCache
+                from repro.cache.keys import stage_key
+                """,
+        }, select=["OBS001"])
+        assert result.clean
+
+
 class TestParseErrors:
     def test_syntax_error_is_reported_not_crashed(self, lint_fixture):
         result = lint_fixture({

@@ -143,3 +143,35 @@ class TestValidateJsonl:
         path.write_text('{"type": "header"}\nnot json\n')
         with pytest.raises(JsonlError):
             read_jsonl(str(path))
+
+
+class TestServiceSchemas:
+    """The service wire schemas re-exported through repro.obs."""
+
+    def _request(self):
+        return {"schema": "bundle-charging/request/v1",
+                "deployment": {"kind": "uniform", "n": 10, "seed": 1},
+                "planner": "BC", "radius_m": 20.0}
+
+    def test_service_request_span_name_is_known(self):
+        assert "service.request" in KNOWN_SPAN_NAMES
+
+    def test_validate_request_accepts_valid(self):
+        from repro.obs import validate_request
+        assert validate_request(self._request()) == []
+
+    def test_validate_request_flags_problems(self):
+        from repro.obs import validate_request
+        bad = dict(self._request(), radius_m=-1.0)
+        assert validate_request(bad)
+
+    def test_validate_response_round_trip(self):
+        from repro.obs import validate_response
+        from repro.service.request import (canonical_request,
+                                           ok_envelope, request_digest)
+        canonical = canonical_request(self._request())
+        payload = {"request": canonical,
+                   "request_sha256": request_digest(canonical),
+                   "plan": {}, "metrics": {}}
+        assert validate_response(ok_envelope(payload, "off")) == []
+        assert validate_response({"schema": "wrong"})

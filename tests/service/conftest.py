@@ -1,0 +1,65 @@
+"""Shared fixtures for the planning-service tests."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.service import ServiceConfig, start_server, stop_server
+
+
+def small_request(**overrides: Any) -> Dict[str, Any]:
+    """A small valid planning request (fast to execute in tests)."""
+    body: Dict[str, Any] = {
+        "schema": "bundle-charging/request/v1",
+        "deployment": {"kind": "uniform", "n": 25, "seed": 11,
+                       "field_side_m": 300.0},
+        "planner": "BC",
+        "radius_m": 20.0,
+    }
+    body.update(overrides)
+    return body
+
+
+def http_call(url: str, body: Optional[bytes] = None
+              ) -> Tuple[int, Dict[str, str], Any]:
+    """GET/POST ``url``; return (status, headers, parsed JSON body)."""
+    request = urllib.request.Request(
+        url, data=body,
+        headers={"Content-Type": "application/json"} if body else {})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            raw = response.read()
+            status = response.status
+            headers = dict(response.headers)
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status = error.code
+        headers = dict(error.headers)
+    return status, headers, json.loads(raw.decode("utf-8"))
+
+
+def post_json(url: str, document: Any) -> Tuple[int, Dict[str, str], Any]:
+    return http_call(url, json.dumps(document).encode("utf-8"))
+
+
+@pytest.fixture
+def live_server():
+    """Start servers on ephemeral ports; stop them all at teardown."""
+    running = []
+
+    def start(**overrides: Any):
+        config = ServiceConfig(**{"port": 0, "jobs": 2,
+                                  "queue_limit": 8, "timeout_s": 60.0,
+                                  **overrides})
+        server, _ = start_server(config)
+        running.append(server)
+        return server, f"http://{config.host}:{server.port}"
+
+    yield start
+    for server in running:
+        stop_server(server, drain=True)

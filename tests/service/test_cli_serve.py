@@ -1,0 +1,58 @@
+"""Tests for the ``serve`` subcommand and ServiceConfig validation."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.cli import main as cli_main
+from repro.service.cli import build_parser, serve_config
+from repro.service.config import ServiceConfig
+
+
+class TestServiceConfig:
+    def test_defaults_validate(self):
+        config = ServiceConfig()
+        assert config.jobs == 2
+        assert config.serves_planner("BC")
+
+    @pytest.mark.parametrize("overrides", [
+        {"jobs": 0}, {"queue_limit": -1}, {"timeout_s": 0.0},
+        {"timeout_s": float("nan")}, {"cache_entries": 0},
+        {"max_batch": 0}, {"port": 70000}, {"planners": ()},
+        {"planners": ("BC", "NOPE")},
+    ])
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ServiceError):
+            ServiceConfig(**overrides)
+
+    def test_allowlist_restricts(self):
+        config = ServiceConfig(planners=("SC", "BC"))
+        assert config.serves_planner("SC")
+        assert not config.serves_planner("CSS")
+
+
+class TestServeFlags:
+    def test_flags_map_to_config(self):
+        args = build_parser().parse_args(
+            ["--port", "0", "--jobs", "3", "--queue-limit", "5",
+             "--no-cache", "--planners", "BC, SC"])
+        config = serve_config(args)
+        assert config.port == 0
+        assert config.jobs == 3
+        assert config.queue_limit == 5
+        assert config.use_cache is False
+        assert config.planners == ("BC", "SC")
+
+    def test_unknown_planner_exits_2(self, capsys):
+        from repro.service.cli import main as serve_main
+        assert serve_main(["--planners", "NOPE", "--port", "0"]) == 2
+        assert "NOPE" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_2(self, capsys):
+        from repro.service.cli import main as serve_main
+        assert serve_main(["--jobs", "0", "--port", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_top_level_cli_dispatches_serve_errors(self, capsys):
+        assert cli_main(["serve", "--planners", "NOPE",
+                         "--port", "0"]) == 2
+        assert "NOPE" in capsys.readouterr().err

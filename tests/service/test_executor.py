@@ -1,0 +1,100 @@
+"""Tests for request execution and its cache integration."""
+
+from repro.cache import StageCache
+from repro.network import uniform_deployment
+from repro.planners import make_planner
+from repro.service import canonical_json, canonical_request
+from repro.service.executor import (cache_for_service, execute_request,
+                                    plan_payload, request_network)
+from repro.service.config import ServiceConfig
+from repro.tour import evaluate_plan
+
+from .conftest import small_request
+
+
+class TestPlanPayload:
+    def test_payload_is_deterministic(self):
+        request = canonical_request(small_request())
+        first = canonical_json(plan_payload(request))
+        second = canonical_json(plan_payload(request))
+        assert first == second
+
+    def test_payload_matches_direct_pipeline(self, paper_cost):
+        request = canonical_request(small_request())
+        payload = plan_payload(request)
+        network = uniform_deployment(25, 11, field_side_m=300.0)
+        planner = make_planner("BC", 20.0, tsp_strategy="nn+2opt",
+                               seed=0)
+        plan = planner.plan(network, paper_cost)
+        metrics = evaluate_plan(plan, network.locations, paper_cost)
+        assert payload["metrics"] == metrics.as_row()
+        assert payload["sensor_count"] == 25
+        assert payload["plan"]["tour_length_m"] == plan.tour_length()
+
+    def test_inline_deployment_round_trips(self):
+        request = canonical_request(small_request(deployment={
+            "kind": "inline",
+            "sensors": [[10.0, 10.0], [20.0, 15.0], [40.0, 40.0]],
+            "field_side_m": 100.0}))
+        network = request_network(request)
+        assert len(network) == 3
+        assert network[1].location.x == 20.0
+        payload = plan_payload(request)
+        assert payload["sensor_count"] == 3
+
+    def test_sensors_required_j_follows_delta(self):
+        request = canonical_request(small_request(
+            charging={"model": "paper", "delta_j": 5.0}))
+        network = request_network(request)
+        assert all(sensor.required_j == 5.0 for sensor in network)
+
+
+class TestExecuteRequest:
+    def test_no_cache_reports_off(self):
+        request = canonical_request(small_request())
+        payload, outcome = execute_request(request, cache=None)
+        assert outcome == "off"
+        assert payload["request"] == request
+
+    def test_miss_then_hit_byte_identical(self):
+        request = canonical_request(small_request())
+        cache = StageCache(max_entries=64)
+        first, outcome_first = execute_request(request, cache)
+        second, outcome_second = execute_request(request, cache)
+        assert (outcome_first, outcome_second) == ("miss", "hit")
+        assert canonical_json(first) == canonical_json(second)
+
+    def test_distinct_requests_get_distinct_entries(self):
+        cache = StageCache(max_entries=64)
+        a = canonical_request(small_request())
+        b = canonical_request(small_request(seed=3))
+        _, outcome_a = execute_request(a, cache)
+        _, outcome_b = execute_request(b, cache)
+        assert outcome_a == "miss"
+        assert outcome_b == "miss"
+
+    def test_cache_survives_across_planners(self):
+        # Same deployment, different planner: the service_request stage
+        # misses but the shared deployment stage hits underneath.
+        cache = StageCache(max_entries=64)
+        execute_request(canonical_request(small_request()), cache)
+        payload, outcome = execute_request(
+            canonical_request(small_request(planner="SC")), cache)
+        assert outcome == "miss"
+        assert payload["request"]["planner"] == "SC"
+
+
+class TestCacheForService:
+    def test_enabled_by_default(self):
+        assert cache_for_service(ServiceConfig(port=0)) is not None
+
+    def test_disabled_when_requested(self):
+        config = ServiceConfig(port=0, use_cache=False)
+        assert cache_for_service(config) is None
+
+    def test_cache_dir_enables_disk_store(self, tmp_path):
+        config = ServiceConfig(port=0, use_cache=False,
+                               cache_dir=str(tmp_path / "store"))
+        cache = cache_for_service(config)
+        assert cache is not None
+        assert cache.disk is not None

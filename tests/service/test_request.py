@@ -1,0 +1,184 @@
+"""Tests for the service wire protocol (request/response schemas)."""
+
+import pytest
+
+from repro.constants import DELTA_J, FIELD_SIDE_M, MOVE_COST_J_PER_M
+from repro.service import request as req
+from repro.service.request import (RequestError, build_cost,
+                                   canonical_json, canonical_request,
+                                   error_envelope, ok_envelope,
+                                   payload_digest, request_digest,
+                                   request_problems, response_problems)
+
+from .conftest import small_request
+
+
+class TestCanonicalization:
+    def test_minimal_request_fills_defaults(self):
+        canonical = canonical_request(small_request())
+        assert canonical["tsp_strategy"] == "nn+2opt"
+        assert canonical["seed"] == 0
+        charging = canonical["charging"]
+        assert charging["model"] == "friis"
+        assert charging["params"] == {"alpha": 36.0, "beta": 30.0,
+                                      "source_power_w": 0.9 / 60.0}
+        assert charging["move_cost_j_per_m"] == MOVE_COST_J_PER_M
+        assert charging["delta_j"] == DELTA_J
+        assert charging["dwell_policy"] == "simultaneous"
+
+    def test_schema_defaulted_when_absent(self):
+        body = small_request()
+        del body["schema"]
+        assert canonical_request(body)["schema"] == req.REQUEST_SCHEMA
+
+    def test_equivalent_bodies_share_a_digest(self):
+        explicit = canonical_request(small_request(
+            tsp_strategy="nn+2opt", seed=0,
+            charging={"model": "paper"}))
+        minimal = canonical_request(small_request())
+        assert explicit == minimal
+        assert request_digest(explicit) == request_digest(minimal)
+
+    def test_int_radius_normalizes_to_float(self):
+        as_int = canonical_request(small_request(radius_m=20))
+        as_float = canonical_request(small_request(radius_m=20.0))
+        assert request_digest(as_int) == request_digest(as_float)
+
+    def test_field_side_defaults_to_paper(self):
+        body = small_request()
+        del body["deployment"]["field_side_m"]
+        canonical = canonical_request(body)
+        assert canonical["deployment"]["field_side_m"] == FIELD_SIDE_M
+
+    def test_inline_deployment(self):
+        body = small_request(deployment={
+            "kind": "inline", "sensors": [[1.0, 2.0], [3, 4]],
+            "field_side_m": 100.0})
+        canonical = canonical_request(body)
+        assert canonical["deployment"]["sensors"] == [[1.0, 2.0],
+                                                      [3.0, 4.0]]
+
+
+class TestValidation:
+    def test_unknown_planner_is_typed(self):
+        with pytest.raises(RequestError) as excinfo:
+            canonical_request(small_request(planner="NOPE"))
+        assert excinfo.value.code == "unknown-planner"
+
+    def test_unsupported_schema_is_typed(self):
+        with pytest.raises(RequestError) as excinfo:
+            canonical_request(small_request(schema="bundle/other/v9"))
+        assert excinfo.value.code == "unsupported-schema"
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(RequestError) as excinfo:
+            canonical_request(small_request(extra=1))
+        assert any("unknown keys" in p for p in excinfo.value.problems)
+
+    @pytest.mark.parametrize("radius", [0.0, -5.0, "wide", None,
+                                        float("inf"), float("nan"), True])
+    def test_bad_radius_rejected(self, radius):
+        assert request_problems(small_request(radius_m=radius))
+
+    def test_non_object_body_rejected(self):
+        assert request_problems([1, 2, 3])
+        assert request_problems(None)
+
+    def test_bad_deployment_kind(self):
+        problems = request_problems(small_request(
+            deployment={"kind": "ring", "n": 5}))
+        assert any("deployment.kind" in p for p in problems)
+
+    def test_inline_rejects_uniform_keys(self):
+        problems = request_problems(small_request(deployment={
+            "kind": "inline", "sensors": [[0.0, 0.0]], "seed": 1}))
+        assert any("only valid with kind 'uniform'" in p
+                   for p in problems)
+
+    def test_sensor_cap_enforced(self):
+        problems = request_problems(small_request(deployment={
+            "kind": "uniform", "n": req.MAX_SENSORS + 1}))
+        assert problems
+
+    def test_bad_charging_model(self):
+        problems = request_problems(small_request(
+            charging={"model": "quantum"}))
+        assert any("charging.model" in p for p in problems)
+
+    def test_linear_model_requires_params(self):
+        problems = request_problems(small_request(
+            charging={"model": "linear"}))
+        assert any("required for model" in p for p in problems)
+
+    def test_bad_strategy_rejected(self):
+        assert request_problems(small_request(tsp_strategy="magic"))
+
+    def test_collects_multiple_problems(self):
+        problems = request_problems(small_request(
+            planner="NOPE", radius_m=-1.0, seed="x"))
+        assert len(problems) >= 3
+
+
+class TestBuildCost:
+    def test_paper_alias_matches_friis_defaults(self):
+        canonical = canonical_request(small_request(
+            charging={"model": "paper"}))
+        cost = build_cost(canonical["charging"])
+        assert cost.model.alpha == 36.0
+        assert cost.model.beta == 30.0
+
+    def test_ideal_model(self):
+        canonical = canonical_request(small_request(charging={
+            "model": "ideal",
+            "params": {"efficiency": 0.5, "range_m": 10.0,
+                       "source_power_w": 0.1}}))
+        cost = build_cost(canonical["charging"])
+        assert cost.model.range_m == 10.0
+
+    def test_invalid_physics_rejected_at_validation(self):
+        problems = request_problems(small_request(charging={
+            "model": "ideal",
+            "params": {"efficiency": 2.0, "range_m": 10.0,
+                       "source_power_w": 0.1}}))
+        assert any("rejected" in p for p in problems)
+
+
+class TestEnvelopes:
+    def _payload(self):
+        canonical = canonical_request(small_request())
+        return {"request": canonical,
+                "request_sha256": request_digest(canonical),
+                "plan": {"stops": []}, "metrics": {"total_j": 1.0}}
+
+    def test_ok_envelope_round_trips(self):
+        envelope = ok_envelope(self._payload(), "miss")
+        assert response_problems(envelope) == []
+        assert envelope["payload_sha256"] == payload_digest(
+            envelope["payload"])
+
+    def test_unknown_cache_outcome_rejected(self):
+        with pytest.raises(Exception):
+            ok_envelope(self._payload(), "warmish")
+
+    def test_error_envelope_validates(self):
+        envelope = error_envelope("invalid-request", "nope",
+                                  ["problem 1"])
+        assert response_problems(envelope) == []
+        assert envelope["error"]["problems"] == ["problem 1"]
+
+    def test_tampered_payload_detected(self):
+        envelope = ok_envelope(self._payload(), "hit")
+        envelope["payload"]["metrics"]["total_j"] = 999.0
+        assert any("payload_sha256" in p
+                   for p in response_problems(envelope))
+
+    def test_digest_mismatch_on_modified_request(self):
+        payload = self._payload()
+        payload["request"]["seed"] = 5
+        envelope = ok_envelope(payload, "miss")
+        assert any("request_sha256" in p
+                   for p in response_problems(envelope))
+
+    def test_canonical_json_is_tight_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1.5, 2]}) == \
+            '{"a":[1.5,2],"b":1}'

@@ -1,0 +1,174 @@
+"""Tests for the micro-batching scheduler and admission control."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import canonical_request
+from repro.service.scheduler import (DrainingError, OverloadedError,
+                                     PlanningScheduler)
+
+from .conftest import small_request
+
+
+def requests(count):
+    """``count`` distinct canonical requests (distinct seeds)."""
+    return [canonical_request(small_request(seed=seed))
+            for seed in range(count)]
+
+
+class GatedCompute:
+    """A compute stub whose executions block until released."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, request):
+        with self._lock:
+            self.calls += 1
+        if not self.gate.wait(timeout=30):
+            raise TimeoutError("gate never released")
+        return {"request": request}, "off"
+
+
+class TestMicroBatching:
+    def test_identical_requests_share_one_compute(self):
+        compute = GatedCompute()
+        scheduler = PlanningScheduler(compute, jobs=2, queue_limit=8)
+        request = canonical_request(small_request())
+        batches = [scheduler.submit(request) for _ in range(5)]
+        assert len({id(batch) for batch in batches}) == 1
+        assert batches[0].waiters == 5
+        compute.gate.set()
+        assert scheduler.wait(batches[0], timeout_s=30)
+        assert compute.calls == 1
+        stats = scheduler.stats()
+        assert stats["counters"]["accepted"] == 5
+        assert stats["counters"]["joined"] == 4
+        assert stats["counters"]["completed"] == 1
+        scheduler.shutdown()
+
+    def test_distinct_requests_do_not_batch(self):
+        compute = GatedCompute()
+        compute.gate.set()
+        scheduler = PlanningScheduler(compute, jobs=2, queue_limit=8)
+        batches = [scheduler.submit(request)
+                   for request in requests(3)]
+        for batch in batches:
+            assert scheduler.wait(batch, timeout_s=30)
+        assert compute.calls == 3
+        scheduler.shutdown()
+
+
+class TestAdmissionControl:
+    def test_exactly_k_rejections_at_queue_plus_k(self):
+        queue_limit, extra = 4, 3
+        compute = GatedCompute()
+        scheduler = PlanningScheduler(compute, jobs=2,
+                                      queue_limit=queue_limit)
+        admitted = [scheduler.submit(request)
+                    for request in requests(queue_limit)]
+        rejections = 0
+        for request in requests(queue_limit + extra)[queue_limit:]:
+            with pytest.raises(OverloadedError):
+                scheduler.submit(request)
+            rejections += 1
+        assert rejections == extra
+        assert scheduler.stats()["counters"]["rejected"] == extra
+        # Joining a full queue is still admitted (no new work).
+        joined = scheduler.submit(admitted[0].request)
+        assert joined is admitted[0]
+        compute.gate.set()
+        for batch in admitted:
+            assert scheduler.wait(batch, timeout_s=30)
+        scheduler.shutdown()
+        stats = scheduler.stats()
+        assert stats["open_batches"] == 0
+        assert stats["queue_depth"] == 0
+
+    def test_capacity_frees_after_completion(self):
+        compute = GatedCompute()
+        scheduler = PlanningScheduler(compute, jobs=1, queue_limit=2)
+        first, second = [scheduler.submit(request)
+                         for request in requests(2)]
+        with pytest.raises(OverloadedError):
+            scheduler.submit(canonical_request(small_request(seed=99)))
+        compute.gate.set()
+        assert scheduler.wait(first, timeout_s=30)
+        assert scheduler.wait(second, timeout_s=30)
+        third = scheduler.submit(
+            canonical_request(small_request(seed=99)))
+        assert scheduler.wait(third, timeout_s=30)
+        scheduler.shutdown()
+
+
+class TestFailuresAndTimeouts:
+    def test_compute_failure_settles_batch(self):
+        def explode(request):
+            raise ValueError("planner blew up")
+
+        scheduler = PlanningScheduler(explode, jobs=1, queue_limit=4)
+        batch = scheduler.submit(canonical_request(small_request()))
+        assert scheduler.wait(batch, timeout_s=30)
+        assert isinstance(batch.error, ValueError)
+        assert scheduler.stats()["counters"]["failed"] == 1
+        scheduler.shutdown()
+
+    def test_wait_timeout_is_counted(self):
+        compute = GatedCompute()
+        scheduler = PlanningScheduler(compute, jobs=1, queue_limit=4)
+        batch = scheduler.submit(canonical_request(small_request()))
+        assert not scheduler.wait(batch, timeout_s=0.05)
+        assert scheduler.stats()["counters"]["timeouts"] == 1
+        compute.gate.set()
+        assert scheduler.wait(batch, timeout_s=30)
+        scheduler.shutdown()
+
+
+class TestShutdown:
+    def test_draining_rejects_new_work(self):
+        compute = GatedCompute()
+        compute.gate.set()
+        scheduler = PlanningScheduler(compute, jobs=1, queue_limit=4)
+        scheduler.shutdown(drain=True)
+        with pytest.raises(DrainingError):
+            scheduler.submit(canonical_request(small_request()))
+        assert scheduler.stats()["counters"]["drained"] == 1
+
+    def test_graceful_drain_finishes_open_batches(self):
+        compute = GatedCompute()
+        scheduler = PlanningScheduler(compute, jobs=2, queue_limit=8)
+        batches = [scheduler.submit(request)
+                   for request in requests(5)]
+        releaser = threading.Timer(0.1, compute.gate.set)
+        releaser.start()
+        scheduler.shutdown(drain=True)
+        releaser.join()
+        for batch in batches:
+            assert batch.done.is_set()
+            assert batch.error is None
+        assert scheduler.stats()["counters"]["completed"] == 5
+
+    def test_hard_shutdown_settles_queued_with_error(self):
+        compute = GatedCompute()
+        scheduler = PlanningScheduler(compute, jobs=1, queue_limit=8)
+        batches = [scheduler.submit(request)
+                   for request in requests(4)]
+        for _ in range(2000):  # until the worker holds batch 0
+            if compute.calls:
+                break
+            time.sleep(0.005)
+        assert compute.calls == 1
+        # Release the gate mid-shutdown so the join can complete, while
+        # batches 1..3 never start.
+        releaser = threading.Timer(0.1, compute.gate.set)
+        releaser.start()
+        scheduler.shutdown(drain=False)
+        releaser.join()
+        assert all(batch.done.is_set() for batch in batches)
+        assert all(isinstance(batch.error, DrainingError)
+                   for batch in batches[1:])
+        assert compute.calls == 1

@@ -211,3 +211,41 @@ class TestTraceReportRoundTrip:
         assert validate_manifest(manifest) == []
         assert manifest["experiment"] == "fig16"
         assert manifest["traced"] is False
+
+
+class TestExitCodes:
+    """Bad flag values exit 2 with a message — never a traceback."""
+
+    def test_negative_radius_exits_2(self, capsys):
+        assert main(["fig13", "--fast", "--radius", "-5"]) == 2
+        err = capsys.readouterr().err
+        assert "default_radius" in err
+
+    def test_nan_radius_exits_2(self, capsys):
+        assert main(["fig13", "--fast", "--radius", "nan"]) == 2
+        assert "default_radius" in capsys.readouterr().err
+
+    def test_radius_override_applies(self):
+        args = build_parser().parse_args(["fig13", "--radius", "25.5"])
+        assert make_config(args).default_radius == 25.5
+
+    def test_warm_start_conflicts_with_shadow_verify(self, capsys):
+        assert main(["fig12", "--fast", "--warm-start",
+                     "--shadow-verify", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--warm-start" in err
+        assert "--shadow-verify" in err
+
+    def test_zero_runs_exits_2(self, capsys):
+        assert main(["fig12", "--runs", "0"]) == 2
+        assert "runs" in capsys.readouterr().err
+
+    def test_zero_jobs_exits_2(self, capsys):
+        assert main(["fig12", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_invalid_experiment_name_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figurama"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

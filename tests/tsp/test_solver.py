@@ -6,8 +6,9 @@ import pytest
 
 from repro.errors import TourError
 from repro.geometry import Point
-from repro.tsp import (DistanceMatrix, held_karp_length, solve_tsp,
-                       solve_tsp_matrix, tour_length)
+from repro.tsp import (DEFAULT_STRATEGY, STRATEGY_NAMES, DistanceMatrix,
+                       held_karp_length, solve_tsp, solve_tsp_matrix,
+                       tour_length)
 
 
 def random_points(n, seed=0):
@@ -75,3 +76,34 @@ class TestFacade:
             heuristic = tour_length(pts, solve_tsp(pts))
             exact = held_karp_length(matrix)
             assert heuristic <= exact * 1.2 + 1e-9
+
+
+class TestStrategyNamesPin:
+    """``STRATEGY_NAMES`` is the public pin of the solver table.
+
+    The planning service validates ``tsp_strategy`` against it without
+    building a solver, so the list must track the dispatch table
+    exactly.
+    """
+
+    def test_default_strategy_is_listed(self):
+        assert DEFAULT_STRATEGY in STRATEGY_NAMES
+
+    @pytest.mark.parametrize(
+        "strategy", [name for name in STRATEGY_NAMES if name != "exact"])
+    def test_every_listed_name_solves(self, strategy):
+        pts = random_points(10, seed=7)
+        tour = solve_tsp(pts, strategy=strategy, seed=0)
+        assert sorted(tour.order) == list(range(10))
+
+    def test_names_match_dispatch_table_exactly(self):
+        import ast
+
+        from repro.tsp import STRATEGY_NAMES
+        matrix = DistanceMatrix(random_points(6, seed=8))
+        with pytest.raises(TourError) as excinfo:
+            solve_tsp_matrix(matrix, strategy="definitely-not-a-strategy")
+        message = str(excinfo.value)
+        listed = ast.literal_eval(
+            message[message.index("["):message.index("]") + 1])
+        assert sorted(STRATEGY_NAMES) == sorted(listed + ["auto"])
