@@ -17,7 +17,8 @@ exactly as Algorithm 2 prescribes, so reported bundles always fit a
 radius-``r`` disk around their own SED center.
 
 The fast path enumerates member sets as int bitmasks
-(:mod:`repro.bundling.bitset`); the frozenset API is a thin view over it
+(:mod:`repro.bundling.bitset`) over the struct-of-arrays geometry engine
+(:mod:`repro.geometry.soa`); the frozenset API is a thin view over it
 and is bit-identical to the original implementation (kept as the
 ``*_reference`` siblings for the benchmark harness).
 """
@@ -25,11 +26,14 @@ and is bit-identical to the original implementation (kept as the
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import BundlingError
-from ..geometry import (Disk, GridIndex, Point,
-                        disks_through_pair_with_radius, fits_in_radius)
+from ..geometry import (Disk, FlatDeployment, GridIndex, Point,
+                        disks_through_pair_with_radius, fits_in_radius,
+                        flat_candidate_masks, flat_fits_in_radius,
+                        grid_cell_size)
+from ..geometry import soa
 from . import bitset
 from .bitset import indices_from_mask, mask_from_indices, popcount
 
@@ -54,24 +58,55 @@ def candidate_member_sets(locations: Sequence[Point],
 
 
 def candidate_member_masks(locations: Sequence[Point],
-                           radius: float) -> List[int]:
+                           radius: float,
+                           flat: Optional[FlatDeployment] = None
+                           ) -> List[int]:
     """Enumerate candidate bundles as bitmasks (the fast-path pipeline).
 
     Same family and same deterministic order as
     :func:`candidate_member_sets` — element ``k`` of either list denotes
-    the same member set.  The whole enumeration is inlined over flat
-    coordinate arrays: the uniform grid, the per-disk member queries and
-    the two-point disk centers all perform the reference implementation's
-    floating-point operations in the reference order, so the family is
-    bit-identical; only the Point/Disk allocations and per-call dispatch
-    are gone.
+    the same member set.  The default path runs the struct-of-arrays
+    kernel (:func:`repro.geometry.flat_candidate_masks`) over ``flat``
+    (built here when the caller did not thread one through) and imposes
+    the canonical order — descending cardinality, then lexicographic on
+    the member indices; under ``reference_kernels()`` the PR-1 inlined
+    enumeration (:func:`candidate_member_masks_reference`) runs instead.
+    Both are bit-identical to the frozenset oracle on every input.
     """
     if radius < 0.0:
         raise BundlingError(f"negative bundle radius: {radius!r}")
     if not locations:
         return []
+    if soa._USE_REFERENCE:
+        return candidate_member_masks_reference(locations, radius)
+    if flat is None:
+        flat = FlatDeployment.from_points(locations)
+    # The SoA kernel already emits the canonical order (it holds the
+    # member index tuples the sort keys on; re-deriving them here from
+    # the masks would cost more than the enumeration itself).
+    return flat_candidate_masks(flat, radius)
 
-    cell = max(radius, 1e-9)
+
+def _canonical_mask_order(masks: Sequence[int]) -> List[int]:
+    """Sort deduplicated masks into the family's deterministic order."""
+    decorated = sorted(
+        (tuple(indices_from_mask(mask)), mask) for mask in masks)
+    decorated.sort(key=lambda item: -len(item[0]))
+    return [mask for _, mask in decorated]
+
+
+def candidate_member_masks_reference(locations: Sequence[Point],
+                                     radius: float) -> List[int]:
+    """The PR-1 inlined-coordinate-list enumeration, kept as the SoA
+    kernel's like-for-like sibling for the benchmark harness (the
+    frozenset oracle :func:`candidate_member_sets_reference` measures the
+    original object-graph path)."""
+    if radius < 0.0:
+        raise BundlingError(f"negative bundle radius: {radius!r}")
+    if not locations:
+        return []
+
+    cell = grid_cell_size(radius)
     floor = math.floor
     sqrt = math.sqrt
     hypot = math.hypot
@@ -181,10 +216,7 @@ def candidate_member_masks(locations: Sequence[Point],
                             else:
                                 consider_pair_disks(j, i)
 
-    decorated = sorted(
-        (tuple(indices_from_mask(mask)), mask) for mask in seen)
-    decorated.sort(key=lambda item: -len(item[0]))
-    return [mask for _, mask in decorated]
+    return _canonical_mask_order(list(seen))
 
 
 def candidate_member_sets_reference(locations: Sequence[Point],
@@ -196,8 +228,7 @@ def candidate_member_sets_reference(locations: Sequence[Point],
     if not locations:
         return []
 
-    cell = max(radius, 1e-9)
-    index = GridIndex(locations, cell)
+    index = GridIndex(locations, grid_cell_size(radius))
 
     seen: Dict[FrozenSet[int], None] = {}
 
@@ -222,13 +253,30 @@ def candidate_member_sets_reference(locations: Sequence[Point],
 
 def validate_candidates(candidates: Sequence[FrozenSet[int]],
                         locations: Sequence[Point],
-                        radius: float) -> List[FrozenSet[int]]:
+                        radius: float,
+                        flat: Optional[FlatDeployment] = None
+                        ) -> List[FrozenSet[int]]:
     """Filter candidates through the decisional MinDisk (Algorithm 2 l.4-6).
 
     The geometric construction already guarantees feasibility; this pass
     exists to mirror the paper's algorithm exactly and to guard against
-    floating-point edge cases near the radius boundary.
+    floating-point edge cases near the radius boundary.  The fast path
+    runs the validation loop over the flat coordinate buffers
+    (:func:`repro.geometry.flat_fits_in_radius`) — same shuffle stream,
+    same tolerances, bit-identical decisions.
     """
+    if soa._USE_REFERENCE:
+        return validate_candidates_reference(candidates, locations, radius)
+    if flat is None:
+        flat = FlatDeployment.from_points(locations)
+    return [members for members in candidates
+            if flat_fits_in_radius(flat, members, radius)]
+
+
+def validate_candidates_reference(candidates: Sequence[FrozenSet[int]],
+                                  locations: Sequence[Point],
+                                  radius: float) -> List[FrozenSet[int]]:
+    """The original per-candidate Point-list validation loop."""
     feasible = []
     for members in candidates:
         points = [locations[i] for i in members]

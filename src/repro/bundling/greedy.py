@@ -20,7 +20,7 @@ import heapq
 from typing import FrozenSet, List, Sequence, Set
 
 from ..errors import CoverageError
-from ..geometry import Point
+from ..geometry import FlatDeployment, Point, soa
 from ..network import SensorNetwork
 from ..perf.counters import PERF
 from . import bitset
@@ -85,15 +85,20 @@ def _selected_member_sets(locations: Sequence[Point], radius: float,
     path; both produce the identical selection sequence.
     """
     if bitset._USE_REFERENCE:
+        # Same stage timers as the fast branch, so PERF-based stage
+        # timing stays comparable under reference_kernels().
         with obs_span("obg.candidates", n=universe_size) as span:
-            candidates = candidate_member_sets(locations, radius)
+            with PERF.timer("bundling.candidates"):
+                candidates = candidate_member_sets(locations, radius)
             if prune_dominated:
-                candidates = maximal_candidates(candidates)
+                with PERF.timer("bundling.maximal"):
+                    candidates = maximal_candidates(candidates)
             if span:
                 span.set(candidates=len(candidates))
         with obs_span("obg.cover", n=universe_size) as span:
-            selected = greedy_set_cover_reference(candidates,
-                                                  universe_size)
+            with PERF.timer("bundling.cover"):
+                selected = greedy_set_cover_reference(candidates,
+                                                      universe_size)
             if span:
                 span.set(bundles=len(selected))
         return selected
@@ -102,8 +107,13 @@ def _selected_member_sets(locations: Sequence[Point], radius: float,
                 "prune": prune_dominated}
 
     def _compute_masks():
+        # One FlatDeployment per run: the coordinate buffers are shared
+        # by candidate enumeration and any later flat-kernel pass.
+        flat = None if soa._USE_REFERENCE else FlatDeployment.from_points(
+            locations)
         with PERF.timer("bundling.candidates"):
-            enumerated = candidate_member_masks(locations, radius)
+            enumerated = candidate_member_masks(locations, radius,
+                                                flat=flat)
         if prune_dominated:
             with PERF.timer("bundling.maximal"):
                 enumerated = maximal_masks(enumerated)
@@ -177,7 +187,11 @@ def greedy_cover_masks(masks: Sequence[int],
     if universe_size == 0:
         return []
     uncovered = (1 << universe_size) - 1
-    heap = [(-popcount(mask & uncovered), index, mask)
+    # ``uncovered`` is all-ones here, so ``mask <= uncovered`` means the
+    # mask lies inside the universe and the masking AND would return it
+    # unchanged — skipping it avoids a big-int allocation per candidate.
+    heap = [(-popcount(mask if mask <= uncovered else mask & uncovered),
+             index, mask)
             for index, mask in enumerate(masks)]
     heapq.heapify(heap)
     chosen: List[int] = []
@@ -203,7 +217,7 @@ def greedy_cover_masks(masks: Sequence[int],
                 f"candidate bundle")
         newly = selected_mask & uncovered
         chosen.append(newly)
-        uncovered &= ~newly
+        uncovered ^= newly  # newly is a subset, so XOR clears its bits
     PERF.add("bundling.cover.lazy_reevals", reevaluations)
     PERF.add("bundling.cover.selections", len(chosen))
     return chosen

@@ -50,9 +50,12 @@ CACHE_SCHEMA = "bundle-charging/cache/v1"
 KERNEL_VERSIONS: Dict[str, str] = {
     "deployment": "deploy/v2",      # seeded network generation
                                     # (v2: required_j joined the params)
-    "candidates": "obg-candidates/v1",  # candidate mask enumeration
-    "cover": "obg-cover/v1",        # lazy-greedy set-cover selection
-    "tsp": "tsp/v1",                # TSP ordering over stops/anchors
+    "candidates": "obg-candidates/v2",  # candidate mask enumeration
+                                    # (v2: struct-of-arrays kernel)
+    "cover": "obg-cover/v2",        # lazy-greedy set-cover selection
+                                    # (v2: in-universe init + XOR clear)
+    "tsp": "tsp/v2",                # TSP ordering over stops/anchors
+                                    # (v2: flat distance-row kernel)
     "anchor_opt": "bto-anchors/v1",  # Algorithm 3 anchor refinement
     "seed_row": "pipeline/v1",      # one full seed's metric rows
     "service_request": "service/v1",  # one full /v1/plan payload

@@ -115,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", metavar="FILE", default=None,
         help="for bench: write the JSON report here "
-             "(default BENCH_PR5.json in the working directory)")
+             "(default BENCH_PR6.json in the working directory)")
     parser.add_argument(
         "--cache", action="store_true",
         help="memoize pipeline stages in-process (bit-identical hits; "
@@ -306,7 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "bench":
         from .perf.bench import render_report, run_benchmarks
         report = run_benchmarks(quick=args.quick,
-                                out_path=args.out or "BENCH_PR5.json")
+                                out_path=args.out or "BENCH_PR6.json")
         print(render_report(report))
         return 0 if report["all_identical"] else 1
     if args.experiment == "check":

@@ -10,18 +10,21 @@ from .disk import (Disk, disk_from_three_points, disk_from_two_points,
                    disks_through_pair_with_radius)
 from .ellipse import (Ellipse, bisector_residual, focal_sum,
                       min_focal_sum_on_circle)
-from .grid_index import GridIndex
+from .grid_index import GridIndex, grid_cell_size
 from .hull import convex_hull, hull_perimeter
 from .minidisk import (brute_force_enclosing_disk, enclosing_disk_radius,
                        fits_in_radius, smallest_enclosing_disk)
 from .point import (ORIGIN, Point, as_point, centroid, max_distance,
                     polyline_length)
 from .segment import Segment
+from .soa import (FlatDeployment, flat_candidate_masks, flat_distance_rows,
+                  flat_fits_in_radius, flat_members_within)
 
 __all__ = [
     "ORIGIN",
     "Disk",
     "Ellipse",
+    "FlatDeployment",
     "GridIndex",
     "Point",
     "Segment",
@@ -35,7 +38,12 @@ __all__ = [
     "disks_through_pair_with_radius",
     "enclosing_disk_radius",
     "fits_in_radius",
+    "flat_candidate_masks",
+    "flat_distance_rows",
+    "flat_fits_in_radius",
+    "flat_members_within",
     "focal_sum",
+    "grid_cell_size",
     "hull_perimeter",
     "max_distance",
     "min_focal_sum_on_circle",

@@ -19,6 +19,24 @@ from .point import Point
 _CellKey = Tuple[int, int]
 
 
+def grid_cell_size(radius: float) -> float:
+    """Return the uniform-grid cell edge for a radius-``radius`` query.
+
+    The cell edge equals the query radius, floored at ``1e-9`` so a
+    degenerate ``radius == 0.0`` still yields a valid grid (every point
+    then occupies its own cell unless two coincide).  This is the single
+    sizing rule shared by :class:`GridIndex` callers, the candidate
+    enumeration and the struct-of-arrays grids — keeping the fast and
+    reference paths on the same cell decomposition by construction.
+
+    Raises:
+        GeometryError: for a negative or non-finite radius.
+    """
+    if radius < 0.0 or not math.isfinite(radius):
+        raise GeometryError(f"invalid grid query radius: {radius!r}")
+    return max(radius, 1e-9)
+
+
 class GridIndex:
     """Index a fixed point set for radius queries.
 

@@ -1,0 +1,687 @@
+"""Struct-of-arrays geometry engine — flat-coordinate fast kernels.
+
+The object-graph kernels (``Point``/``Disk`` dataclasses, ``GridIndex``
+buckets of indices) plateau around 3x because every hot loop pays
+attribute dispatch and per-pair allocations.  This module is the raw
+speed tier below them: a :class:`FlatDeployment` holds the sensor
+coordinates once per pipeline run in ``array('d')`` buffers (pure
+stdlib, memoryview-exportable) and the kernels iterate cached per-cell
+tuples unpacked straight from those buffers — no ``Point`` or ``Disk``
+is materialized anywhere in an inner loop.
+
+Three kernels run on the flat buffers:
+
+* :func:`flat_candidate_masks` — pair-disk candidate enumeration driven
+  directly off the grid forward sweep (no materialized point pairs, no
+  per-pair ``disks_through_pair_with_radius`` dispatch).  Squared
+  distances gate every comparison; ``sqrt``/``hypot`` appear only in
+  the reference-ordered center computation, so the produced family is
+  bit-identical to the reference enumeration.
+* :func:`flat_members_within` / :func:`flat_fits_in_radius` — the
+  member query and the decisional MinDisk validation.  The Welzl
+  recursion's hot containment checks run over the flat buffers; the
+  (rare) boundary-disk reconstructions delegate to the original
+  :mod:`repro.geometry.disk` helpers so every float is produced by the
+  same expressions as the reference.
+* :func:`flat_distance_rows` — the dense TSP distance matrix built in
+  one pass over the coordinate arrays.
+
+The backend flag :data:`_USE_REFERENCE` mirrors
+:data:`repro.bundling.bitset._USE_REFERENCE`: callers (candidate
+enumeration, ``validate_candidates``, :class:`repro.tsp.DistanceMatrix`)
+route back to their original implementations when it is set, and
+:func:`repro.perf.reference_kernels` flips it together with the other
+backends.  Every kernel here is bit-identical to its reference sibling
+on all inputs — the parity tests and the PAR001 lint rule keep that
+honest.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import GeometryError
+from ..perf.counters import PERF
+from .grid_index import grid_cell_size
+from .minidisk import _EPS, _trivial_disk
+from .point import Point
+
+__all__ = [
+    "FlatDeployment",
+    "flat_candidate_masks",
+    "flat_distance_rows",
+    "flat_fits_in_radius",
+    "flat_members_within",
+]
+
+#: When True, SoA-backed entry points use their reference implementations.
+#: Flipped only via :func:`repro.perf.reference_kernels`.
+_USE_REFERENCE = False
+
+#: Shared shuffle source for the flat decisional MinDisk.  Re-seeded to
+#: ``0x5EED`` per call, it replays exactly the stream of the reference
+#: implementation's default RNG (:data:`repro.geometry.minidisk._DEFAULT_RNG`).
+_FLAT_MINIDISK_RNG = random.Random(0x5EED)
+
+#: One grid occupant: ``(x, y, index)``.  The small index (not a
+#: ``1 << index`` bit) rides along so the member-scan inner loop
+#: accumulates machine-int appends; masks are built once per *unique*
+#: member set at the end instead of once per scan — big-int ORs and
+#: big-int dict hashing are the dominant cost at n=1000.
+_CellPoint = Tuple[float, float, int]
+
+
+class _MissDict(Dict[int, Optional[List[_CellPoint]]]):
+    """Dict-backed cell lookup for grids whose integer key span is too
+    wide to back with a flat list (tiny cells over a huge extent).
+    Indexing a missing key yields ``None`` — the same "empty window"
+    signal as an unfilled list slot — without inserting anything, so the
+    kernels index list and dict lookups with identical code.
+    """
+
+    def __missing__(self, key: int) -> None:
+        return None
+
+
+#: Cell-keyed lookup: ``lookup[key - base]`` is the cell's entry or
+#: ``None``.  A flat list over the padded occupied span when that span
+#: is compact (``base`` anchors slot 0 below the occupied bounds), a
+#: :class:`_MissDict` with ``base == 0`` otherwise.
+_CellLookup = Union[List[Optional[List[_CellPoint]]], _MissDict]
+
+
+class _FlatGrid:
+    """A uniform grid over a :class:`FlatDeployment`, one per cell size.
+
+    ``points`` maps each occupied cell to its occupants as
+    ``(x, y, index)`` tuples in ascending index order; neighborhood
+    scans concatenate these bucket lists without touching the coordinate
+    buffers again.
+
+    Cells are keyed by the single integer ``col * stride + row`` (an int
+    hashes to itself, so lookups skip the tuple allocation and tuple
+    hashing a ``(col, row)`` key would pay).  ``stride`` exceeds the
+    occupied row span by a safety margin, so the encoding is injective
+    for every cell the kernels can query: query centers always lie
+    within one cell-size of some indexed point, hence within two
+    rows/columns of the occupied bounds, far inside the margin.  Callers
+    probing arbitrary coordinates (:func:`flat_members_within`) must
+    bounds-check against ``col_lo``/``row_hi`` first.
+    """
+
+    __slots__ = ("cell_size", "stride", "points",
+                 "col_lo", "col_hi", "row_lo", "row_hi")
+
+    #: Extra rows added to the stride beyond the occupied span; keeps
+    #: ``col * stride + row`` injective for rows within 8 of the data.
+    _MARGIN = 16
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float],
+                 cell_size: float) -> None:
+        self.cell_size = cell_size
+        floor = math.floor
+        cols = [floor(x / cell_size) for x in xs]
+        rows = [floor(y / cell_size) for y in ys]
+        if rows:
+            self.col_lo = min(cols)
+            self.col_hi = max(cols)
+            self.row_lo = min(rows)
+            self.row_hi = max(rows)
+        else:
+            self.col_lo = self.col_hi = self.row_lo = self.row_hi = 0
+        stride = self.row_hi - self.row_lo + self._MARGIN
+        self.stride = stride
+        points: Dict[int, List[_CellPoint]] = {}
+        points_get = points.get
+        for index, x, y, col, row in zip(range(len(xs)), xs, ys,
+                                         cols, rows):
+            key = col * stride + row
+            bucket = points_get(key)
+            if bucket is None:
+                points[key] = [(x, y, index)]
+            else:
+                bucket.append((x, y, index))
+        self.points = points
+
+
+class FlatDeployment:
+    """Read-only struct-of-arrays view of a point set.
+
+    Coordinates live in two ``array('d')`` buffers (exportable as
+    zero-copy memoryviews through :meth:`coords`); the kernels iterate
+    cached per-cell tuple lists derived from them, so inner loops
+    allocate nothing.  Build one per pipeline run — uniform grids are
+    cached per cell size on the instance, so candidate enumeration,
+    member queries and validation at the same radius share one grid.
+    """
+
+    __slots__ = ("_xs", "_ys", "_xs_list", "_ys_list", "_grids")
+
+    def __init__(self, xs: Iterable[float], ys: Iterable[float]) -> None:
+        self._xs = array("d", xs)
+        self._ys = array("d", ys)
+        if len(self._xs) != len(self._ys):
+            raise GeometryError(
+                f"coordinate buffers disagree: {len(self._xs)} xs vs "
+                f"{len(self._ys)} ys")
+        # List views of the buffers: CPython indexes a list of floats
+        # without boxing a fresh float per access, which the pure-Python
+        # inner loops feel; the arrays stay the canonical storage.
+        self._xs_list: List[float] = self._xs.tolist()
+        self._ys_list: List[float] = self._ys.tolist()
+        self._grids: Dict[float, _FlatGrid] = {}
+        PERF.add("soa.flat_builds")
+
+    @classmethod
+    def from_points(cls, points: Sequence[Point]) -> "FlatDeployment":
+        """Build the flat view of a ``Point`` sequence in one pass."""
+        xs: List[float] = []
+        ys: List[float] = []
+        for point in points:
+            xs.append(point.x)
+            ys.append(point.y)
+        return cls(xs, ys)
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def point(self, index: int) -> Point:
+        """Materialize one coordinate pair as a :class:`Point`."""
+        return Point(self._xs[index], self._ys[index])
+
+    def coords(self) -> Tuple["memoryview", "memoryview"]:
+        """Return zero-copy read views over the coordinate buffers."""
+        return (memoryview(self._xs).toreadonly(),
+                memoryview(self._ys).toreadonly())
+
+    def grid(self, cell_size: float) -> _FlatGrid:
+        """Return the uniform grid for ``cell_size`` (cached per size)."""
+        if cell_size <= 0.0 or not math.isfinite(cell_size):
+            raise GeometryError(f"invalid cell size: {cell_size!r}")
+        grid = self._grids.get(cell_size)
+        if grid is None:
+            grid = _FlatGrid(self._xs_list, self._ys_list, cell_size)
+            self._grids[cell_size] = grid
+            PERF.add("soa.grid_builds")
+        return grid
+
+
+def _build_neighborhoods(buckets: Dict[int, List[_CellPoint]],
+                         deltas: Sequence[int],
+                         neighborhoods: _CellLookup, base: int) -> int:
+    """Fill every member-scan neighborhood in one scatter pass.
+
+    The neighborhood of cell ``key`` (stored at slot ``key - base``) is
+    every point a radius-``r`` disk centered in that cell could contain:
+    the concatenation of the grid buckets within ``reach`` cells, as
+    ``(x, y, idx)`` tuples shared with the buckets.  Scattering each
+    occupied bucket into the cells it serves touches each (occupied
+    cell, delta) combination exactly once — fewer lookups than gathering
+    per queried center cell — and a cell left unfilled provably has an
+    empty window (its 3x3 scan would find nothing), so scans treat
+    ``None`` as empty.  Returns the number of neighborhoods filled.
+    """
+    built = 0
+    for key, bucket in buckets.items():
+        start = key - base
+        for delta in deltas:
+            target = start + delta
+            pts = neighborhoods[target]
+            if pts is None:
+                neighborhoods[target] = list(bucket)
+                built += 1
+            else:
+                pts += bucket
+    return built
+
+
+def _scan_center(qx: float, qy: float, cell: float, stride: int,
+                 base: int, neighborhoods: _CellLookup,
+                 radius_sq: float,
+                 seen: Dict[Tuple[int, ...], None]) -> None:
+    """Record the membership of one disk center (cold path).
+
+    Used for coincident-pair, diameter-pair and same-cell-pair centers;
+    the hot mirrored-centers path in :func:`flat_candidate_masks`
+    inlines this body.
+    """
+    floor = math.floor
+    pts = neighborhoods[floor(qx / cell) * stride + floor(qy / cell)
+                        - base]
+    if pts is None:
+        return
+    members: List[int] = []
+    for px, py, idx in pts:
+        ddx = px - qx
+        ddy = py - qy
+        if ddx * ddx + ddy * ddy <= radius_sq:
+            members.append(idx)
+    if members:
+        members.sort()
+        seen[tuple(members)] = None
+
+
+def _pair_disk_centers(ax: float, ay: float, bx: float, by: float,
+                       cell: float, stride: int, base: int,
+                       neighborhoods: _CellLookup,
+                       radius_sq: float, two_radius: float,
+                       seen: Dict[Tuple[int, ...], None]) -> None:
+    """Scan the (up to two) radius-``r`` disk centers through one pair.
+
+    Cold path for same-cell pairs (a small fraction of the sweep); the
+    forward-sweep hot path in :func:`flat_candidate_masks` inlines this
+    body.  The float expressions mirror
+    :func:`repro.geometry.disk.disks_through_pair_with_radius` exactly.
+    """
+    separation = math.hypot(ax - bx, ay - by)
+    if separation > two_radius:
+        return
+    if separation == 0.0:
+        _scan_center(ax, ay, cell, stride, base, neighborhoods,
+                     radius_sq, seen)
+        return
+    mid_x = (ax + bx) * 0.5
+    mid_y = (ay + by) * 0.5
+    half = separation / 2.0
+    offset_sq = radius_sq - half * half
+    if offset_sq <= 0.0:
+        _scan_center(mid_x, mid_y, cell, stride, base, neighborhoods,
+                     radius_sq, seen)
+        return
+    offset = math.sqrt(offset_sq)
+    perp_x = -((by - ay) / separation) * offset
+    perp_y = (bx - ax) / separation * offset
+    _scan_center(mid_x + perp_x, mid_y + perp_y, cell, stride, base,
+                 neighborhoods, radius_sq, seen)
+    _scan_center(mid_x - perp_x, mid_y - perp_y, cell, stride, base,
+                 neighborhoods, radius_sq, seen)
+
+
+def flat_candidate_masks(flat: FlatDeployment, radius: float) -> List[int]:
+    """Enumerate the radius-``radius`` candidate-disk member masks.
+
+    The family is the classic two-point maximal-disk discretization —
+    one disk centered on every point plus the (up to) two radius-``r``
+    disks through each pair at most ``2r`` apart — deduplicated by
+    member mask.  Pair enumeration runs directly on the grid forward
+    sweep over the per-cell tuple lists; member scans share lazily
+    concatenated 3x3-cell neighborhoods per center cell.  Every float
+    comparison and every center coordinate reproduces the reference
+    implementation's expressions exactly, so the returned list is
+    bit-identical to :func:`candidate_member_masks_reference`'s.
+
+    Returns:
+        The deduplicated masks in the family's canonical order:
+        descending cardinality, then ascending lexicographic on the
+        member indices.
+    """
+    if radius < 0.0:
+        raise GeometryError(f"negative candidate radius: {radius!r}")
+    n = len(flat)
+    if n == 0:
+        return []
+    cell = grid_cell_size(radius)
+    grid = flat.grid(cell)
+    buckets = grid.points
+    stride = grid.stride
+    floor = math.floor
+    sqrt = math.sqrt
+    hypot = math.hypot
+    radius_sq = radius * radius
+    reach = math.ceil(radius / cell)
+    deltas = [dx * stride + dy
+              for dx in range(-reach, reach + 1)
+              for dy in range(-reach, reach + 1)]
+
+    # Cell lookups index flat lists when the occupied key span is
+    # compact (the common case): slot ``key - base`` holds the cell's
+    # entry, ``None`` means "no such cell" — exactly what a dict miss
+    # used to signal.  A list subscript beats a dict probe on every
+    # forward-bucket gather, scatter write and center scan, which
+    # together dominate the sweep's lookup traffic.  The padding is
+    # provably sufficient: every query center lies within one cell-size
+    # of an indexed point (pair-disk centers are at distance ``radius``
+    # from their generating points and ``cell >= radius``), so floored
+    # query columns/rows stay within two of the occupied bounds, and
+    # the forward sweep reaches at most two cells ahead.  Wide-span
+    # grids (tiny cells over a huge coordinate extent) fall back to
+    # dict-backed lookups with identical miss semantics via
+    # :class:`_MissDict`.
+    span = (grid.col_hi - grid.col_lo + 7) * stride
+    neighborhoods: _CellLookup
+    buckets_seq: _CellLookup
+    if span <= 32 * n + 4096:
+        base = (grid.col_lo - 3) * stride + (grid.row_lo - 3)
+        neighborhoods = [None] * span
+        buckets_seq = [None] * span
+        for key, bucket in buckets.items():
+            buckets_seq[key - base] = bucket
+    else:
+        base = 0
+        neighborhoods = _MissDict()
+        buckets_seq = _MissDict(buckets)
+
+    # Member-scan neighborhoods, one scatter pass: center cell -> every
+    # point a radius-r disk centered in that cell could contain, as
+    # (x, y, idx) tuples shared with the grid buckets.  No closures
+    # below: a nested function would turn these hot names into cell
+    # variables, demoting every outer-loop access from LOAD_FAST to
+    # LOAD_DEREF.
+    #
+    # Scans deduplicate on sorted *index tuples*, not on masks: hashing
+    # a few machine ints is far cheaper than hashing an n-bit integer,
+    # and the bitmask is then built once per unique member set at the
+    # end instead of OR-accumulated on every scan.
+    built = _build_neighborhoods(buckets, deltas, neighborhoods, base)
+    seen: Dict[Tuple[int, ...], None] = {}
+
+    # One pass over the occupied cells does both candidate shapes: the
+    # single-point disks (a disk centered on every point — the cell's
+    # own neighborhood, never a miss since it contains its own bucket)
+    # and the pair sweep fused with the pair-disk center scans.
+    #
+    # Pairs come from the forward-neighbor cell sweep over the *same*
+    # radius-cell grid the reference enumeration sweeps, so the examined
+    # pair set is identical to the reference's by construction (a
+    # coarser sweep grid could disagree on ulp-boundary pairs whose cell
+    # assignment straddles a floor rounding).  Each cell concatenates
+    # its forward buckets once, so the per-point pair loop is one flat
+    # scan, and every accepted pair runs the inlined
+    # disks_through_pair_with_radius(a, b, radius) body on the spot —
+    # no materialized pair tuples.  ``separation`` is exactly the
+    # reference's (b - a).norm(), so it doubles as the normalizer for
+    # the perpendicular direction; each unordered pair is visited
+    # exactly once, so its orientation is free — both centers are
+    # scanned either way, and hypot/sqrt are sign-symmetric, so the
+    # center coordinates match the reference bit-for-bit.
+    query = 2.0 * radius
+    query_sq = query * query
+    pair_reach = math.ceil(query / cell)
+    forward = [dx * stride + dy
+               for dx in range(0, pair_reach + 1)
+               for dy in range(-pair_reach, pair_reach + 1)
+               if dx > 0 or dy > 0]
+    two_radius = 2.0 * radius
+    queries = 0
+    pair_disks = 0
+    for key, bucket in buckets.items():
+        kb = key - base
+        pts = neighborhoods[kb]
+        if pts is not None:  # always true: a cell scatters into itself
+            for qx, qy, _ in bucket:
+                members: List[int] = []
+                for px, py, idx in pts:
+                    ddx = px - qx
+                    ddy = py - qy
+                    if ddx * ddx + ddy * ddy <= radius_sq:
+                        members.append(idx)
+                if members:
+                    members.sort()
+                    seen[tuple(members)] = None
+        queries += len(bucket)
+        size = len(bucket)
+        if size > 1:  # same-cell pairs, each exactly once (cold path)
+            for a_pos in range(size - 1):
+                ax, ay, _ = bucket[a_pos]
+                for b_pos in range(a_pos + 1, size):
+                    bx, by, _ = bucket[b_pos]
+                    ddx = bx - ax
+                    ddy = by - ay
+                    if ddx * ddx + ddy * ddy <= query_sq:
+                        pair_disks += 1
+                        _pair_disk_centers(ax, ay, bx, by, cell, stride,
+                                           base, neighborhoods,
+                                           radius_sq, two_radius, seen)
+        fpts: List[_CellPoint] = []
+        for delta in forward:
+            other = buckets_seq[kb + delta]
+            if other:
+                fpts += other
+        if not fpts:
+            continue
+        for ax, ay, _ in bucket:
+            for bx, by, _ in fpts:
+                ddx = bx - ax
+                ddy = by - ay
+                if ddx * ddx + ddy * ddy > query_sq:
+                    continue
+                pair_disks += 1
+                # ddx/ddy are exactly (b - a); float subtraction is
+                # antisymmetric and hypot is sign-symmetric, so
+                # hypot(ddx, ddy) is bitwise the reference's
+                # (a - b).norm(), and the perpendicular expressions
+                # below reuse them verbatim.
+                separation = hypot(ddx, ddy)
+                if separation > two_radius:
+                    continue
+                if separation == 0.0:
+                    _scan_center(ax, ay, cell, stride, base,
+                                 neighborhoods, radius_sq, seen)
+                    continue
+                mid_x = (ax + bx) * 0.5
+                mid_y = (ay + by) * 0.5
+                half = separation / 2.0
+                offset_sq = radius_sq - half * half
+                if offset_sq <= 0.0:
+                    _scan_center(mid_x, mid_y, cell, stride, base,
+                                 neighborhoods, radius_sq, seen)
+                    continue
+                offset = sqrt(offset_sq)
+                perp_x = -(ddy / separation) * offset
+                perp_y = ddx / separation * offset
+                # Both mirrored centers, scans inlined.  The two member
+                # lists are compared *before* the first sort: equal
+                # lists mean the identical member set (a very common
+                # outcome — both disks always hold the generating pair),
+                # so the second sort + dedup store can be skipped.
+                qx = mid_x + perp_x
+                qy = mid_y + perp_y
+                pts = neighborhoods[floor(qx / cell) * stride
+                                    + floor(qy / cell) - base]
+                if pts is None:
+                    first = None
+                else:
+                    first = []
+                    for px, py, idx in pts:
+                        ddx = px - qx
+                        ddy = py - qy
+                        if ddx * ddx + ddy * ddy <= radius_sq:
+                            first.append(idx)
+                qx = mid_x - perp_x
+                qy = mid_y - perp_y
+                pts = neighborhoods[floor(qx / cell) * stride
+                                    + floor(qy / cell) - base]
+                if pts is None:
+                    second = None
+                else:
+                    second = []
+                    for px, py, idx in pts:
+                        ddx = px - qx
+                        ddy = py - qy
+                        if ddx * ddx + ddy * ddy <= radius_sq:
+                            second.append(idx)
+                if first:
+                    if second == first:
+                        second = None
+                    first.sort()
+                    seen[tuple(first)] = None
+                if second:
+                    second.sort()
+                    seen[tuple(second)] = None
+
+    PERF.add("soa.member_queries", queries + 2 * pair_disks)
+    PERF.add("soa.pair_disks", pair_disks)
+    PERF.add("soa.neighborhood_builds", built)
+
+    # Canonical family order — descending cardinality, then ascending
+    # lexicographic on the member indices — imposed here where the index
+    # tuples already exist (re-deriving them from the masks costs more
+    # than the whole enumeration sweep).  Grouping by length first keeps
+    # every sort a plain C-level tuple comparison over a smaller run (no
+    # decorated length-key pass), and lets the common 1/2/3-member
+    # groups build their masks in single comprehensions instead of a
+    # per-tuple accumulation loop.
+    by_len: Dict[int, List[Tuple[int, ...]]] = {}
+    by_len_get = by_len.get
+    for member_tuple in seen:
+        group = by_len_get(len(member_tuple))
+        if group is None:
+            by_len[len(member_tuple)] = [member_tuple]
+        else:
+            group.append(member_tuple)
+    bits = [1 << index for index in range(n)]
+    masks: List[int] = []
+    for length in sorted(by_len, reverse=True):
+        group = by_len[length]
+        group.sort()
+        if length == 1:
+            masks += [bits[t[0]] for t in group]
+        elif length == 2:
+            masks += [bits[t[0]] | bits[t[1]] for t in group]
+        elif length == 3:
+            masks += [bits[t[0]] | bits[t[1]] | bits[t[2]] for t in group]
+        else:
+            masks_append = masks.append
+            for member_tuple in group:
+                mask = bits[member_tuple[0]]
+                for idx in member_tuple[1:]:
+                    mask |= bits[idx]
+                masks_append(mask)
+    return masks
+
+
+def flat_members_within(flat: FlatDeployment, qx: float, qy: float,
+                        radius: float) -> int:
+    """Return the membership mask of points within ``radius`` of a query.
+
+    Bit ``i`` is set exactly when point ``i`` lies within the closed
+    radius — the same squared-distance comparison as
+    :meth:`repro.geometry.GridIndex.neighbors_within`, so the mask is
+    the bit-packed twin of that index list on every input.
+    """
+    if radius < 0.0:
+        raise GeometryError(f"negative query radius: {radius!r}")
+    cell = grid_cell_size(radius)
+    grid = flat.grid(cell)
+    buckets_get = grid.points.get
+    stride = grid.stride
+    reach = math.ceil(radius / cell)
+    radius_sq = radius * radius
+    base_x = math.floor(qx / cell)
+    base_y = math.floor(qy / cell)
+    mask = 0
+    # The query point is arbitrary, so clamp the visited cell range to
+    # the occupied bounds: the integer cell encoding is only injective
+    # near the data (see :class:`_FlatGrid`), and cells outside the
+    # occupied bounds are empty anyway.
+    for col in range(max(base_x - reach, grid.col_lo),
+                     min(base_x + reach, grid.col_hi) + 1):
+        for row in range(max(base_y - reach, grid.row_lo),
+                         min(base_y + reach, grid.row_hi) + 1):
+            bucket = buckets_get(col * stride + row)
+            if bucket:
+                for px, py, idx in bucket:
+                    ddx = px - qx
+                    ddy = py - qy
+                    if ddx * ddx + ddy * ddy <= radius_sq:
+                        mask |= 1 << idx
+    return mask
+
+
+def flat_fits_in_radius(flat: FlatDeployment, members: Iterable[int],
+                        radius: float,
+                        rng: Optional[random.Random] = None) -> bool:
+    """Decisional MinDisk over the flat buffers.
+
+    Replays Welzl's move-to-front iteration exactly as
+    :func:`repro.geometry.minidisk.fits_in_radius` does — the same
+    shuffle stream over the same visit order, the same containment
+    tolerances — but keeps the hot containment checks on raw
+    coordinates.  Boundary-disk reconstructions (the rare path) delegate
+    to the original ``disk_from_two_points`` / ``_trivial_disk`` so every
+    produced float is bit-identical to the reference's.
+    """
+    if radius < 0.0:
+        raise GeometryError(f"negative radius: {radius!r}")
+    order = list(members)
+    if rng is None:
+        rng = _FLAT_MINIDISK_RNG
+        rng.seed(0x5EED)
+    rng.shuffle(order)
+    xs = flat._xs_list
+    ys = flat._ys_list
+    hypot = math.hypot
+
+    if not order:
+        enclosing = 0.0
+    else:
+        first = order[0]
+        cx = xs[first]
+        cy = ys[first]
+        cr = 0.0
+        limit = (cr + _EPS * max(1.0, cr)) ** 2
+        for pos in range(1, len(order)):
+            p = order[pos]
+            px = xs[p]
+            py = ys[p]
+            ddx = cx - px
+            ddy = cy - py
+            if ddx * ddx + ddy * ddy <= limit:
+                continue
+            # p must be on the boundary of the new disk.
+            cx, cy, cr = px, py, 0.0
+            limit = (cr + _EPS * max(1.0, cr)) ** 2
+            for j_pos in range(pos):
+                q = order[j_pos]
+                qx = xs[q]
+                qy = ys[q]
+                ddx = cx - qx
+                ddy = cy - qy
+                if ddx * ddx + ddy * ddy <= limit:
+                    continue
+                # p and q are both on the boundary.
+                cx = (px + qx) * 0.5
+                cy = (py + qy) * 0.5
+                cr = hypot(cx - px, cy - py)
+                limit = (cr + _EPS * max(1.0, cr)) ** 2
+                for k_pos in range(j_pos):
+                    s = order[k_pos]
+                    ddx = cx - xs[s]
+                    ddy = cy - ys[s]
+                    if ddx * ddx + ddy * ddy <= limit:
+                        continue
+                    disk = _trivial_disk([Point(px, py), Point(qx, qy),
+                                          Point(xs[s], ys[s])])
+                    cx = disk.center.x
+                    cy = disk.center.y
+                    cr = disk.radius
+                    limit = (cr + _EPS * max(1.0, cr)) ** 2
+        enclosing = cr
+    slack = 1e-9 * max(1.0, radius)
+    return enclosing <= radius + slack
+
+
+def flat_distance_rows(xs: Sequence[float],
+                       ys: Sequence[float]) -> List[List[float]]:
+    """Build the dense Euclidean distance rows over the flat buffers.
+
+    Each upper-triangle entry is ``hypot(xi - xj, yi - yj)`` — exactly
+    the expression ``Point.distance_to`` evaluates — computed in a
+    single comprehension over the coordinate pairs; the lower triangle
+    is mirrored from the rows already built, just as the reference
+    construction mirrors it, so the rows are bit-identical to
+    :func:`repro.tsp.distance.distance_rows_reference`'s (including the
+    exact ``0.0`` diagonal).
+    """
+    hypot = math.hypot
+    coords = list(zip(xs, ys))
+    rows: List[List[float]] = []
+    for i, (xi, yi) in enumerate(coords):
+        row = [other[i] for other in rows]
+        row.append(0.0)
+        row += [hypot(xi - xj, yi - yj) for xj, yj in coords[i + 1:]]
+        rows.append(row)
+    return rows

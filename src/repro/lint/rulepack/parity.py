@@ -7,8 +7,10 @@ original as a ``*_reference`` sibling, and that
 back at once.  This rule checks the three legs of that contract
 statically:
 
-1. every ``X_reference`` function has a fast sibling ``X`` in the same
-   module;
+1. every ``X_reference`` function has a fast sibling: ``X`` in the same
+   module, or the struct-of-arrays kernel ``flat_X`` — defined locally
+   or imported from a registered backend module (directly or through
+   the backend's parent package re-export);
 2. the module defining a ``*_reference`` kernel is gated by a
    ``_USE_REFERENCE`` backend flag that ``repro.perf.kernels``
    registers (directly, or via an imported backend module such as
@@ -87,6 +89,31 @@ def _registered_backends(kernels: FileContext) -> Set[str]:
     return backends
 
 
+def _backend_imports(ctx: FileContext, backends: Set[str]) -> Set[str]:
+    """Names this file imports from a registered backend module.
+
+    A name counts when its ``from X import name`` base is a backend or a
+    package containing one (``from ..geometry import flat_distance_rows``
+    re-exports the :mod:`repro.geometry.soa` kernel through the package
+    ``__init__``), so SoA fast siblings resolve without requiring every
+    consumer to import the backend module directly.
+    """
+    assert ctx.tree is not None
+    names: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        base = _resolve_relative(ctx.module_name or "x.y", node)
+        if base is None:
+            continue
+        if not any(backend == base or backend.startswith(base + ".")
+                   for backend in backends):
+            continue
+        for alias in node.names:
+            names.add(alias.asname or alias.name)
+    return names
+
+
 def _flag_references(ctx: FileContext) -> Tuple[bool, Set[str]]:
     """(defines _USE_REFERENCE itself, backend modules referenced)."""
     assert ctx.tree is not None
@@ -150,14 +177,21 @@ class KernelParityRule(ProjectRule):
                 used_backends.add(name)
             used_backends |= referenced & backends
 
+            from_backends = _backend_imports(ctx, backends)
             for fn in ref_defs:
                 sibling = fn.name[:-len(_SUFFIX)]
-                if sibling not in names:
-                    yield self.finding(
-                        ctx, fn,
-                        f"reference kernel '{fn.name}' has no fast "
-                        f"sibling '{sibling}' in {name}; the bench "
-                        f"harness cannot compare it")
+                if sibling in names:
+                    continue
+                flat = f"flat_{sibling}"
+                if flat in names or flat in from_backends:
+                    # Struct-of-arrays sibling: defined here or imported
+                    # from a registered backend (repro.geometry.soa).
+                    continue
+                yield self.finding(
+                    ctx, fn,
+                    f"reference kernel '{fn.name}' has no fast sibling "
+                    f"'{sibling}' (or SoA sibling '{flat}') in {name}; "
+                    f"the bench harness cannot compare it")
             gated = defines_flag and name in backends
             gated = gated or bool(referenced & backends)
             if kernels is not None and not gated:

@@ -10,7 +10,7 @@ import math
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import DeploymentError
-from ..geometry import GridIndex, Point, convex_hull
+from ..geometry import GridIndex, Point, convex_hull, grid_cell_size
 
 
 class SensorNetwork:
@@ -85,7 +85,7 @@ class SensorNetwork:
         itself), matching Algorithm 2's "find all its neighbors" step
         where each node seeds its own candidate bundles.
         """
-        index = self.spatial_index(max(radius, 1e-9))
+        index = self.spatial_index(grid_cell_size(radius))
         center = self._sensors[sensor_index].location
         return index.neighbors_within(center, radius)
 

@@ -10,7 +10,7 @@ run whose results diverged.  The TSP ``*-fast`` strategies are heuristic
 variants (documented as such), so their entry reports tour quality
 instead of identity.
 
-The report is written as JSON (``BENCH_PR5.json`` by default; the
+The report is written as JSON (``BENCH_PR6.json`` by default; the
 ``benchmark`` field follows the file name) so speedup trajectories can
 be tracked across PRs — each PR writes its own ``BENCH_PR<k>.json`` with
 the same entry keys.  Beyond the kernel entries, two end-to-end entries
@@ -37,12 +37,14 @@ from .kernels import reference_kernels
 #: quick scale (the CI smoke run).
 _FULL = {"greedy_n": 400, "greedy_radius": 20.0, "greedy_reps": 5,
          "ellipse_cases": 2000, "tsp_n": 300,
+         "soa_n": 1000, "soa_radius": 20.0, "soa_reps": 7,
          "cache_n": 300, "cache_runs": 5,
          "cache_radii": (10.0, 20.0, 30.0, 40.0),
          "service_n": 300, "service_requests": 8,
          "service_concurrency": (1, 4, 16)}
 _QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
           "ellipse_cases": 400, "tsp_n": 120,
+          "soa_n": 250, "soa_radius": 20.0, "soa_reps": 3,
           "cache_n": 100, "cache_runs": 2,
           "cache_radii": (10.0, 20.0),
           "service_n": 100, "service_requests": 4,
@@ -101,6 +103,99 @@ def _bench_greedy_bundles(sizes: Dict) -> Dict:
         f"greedy_bundles_n{n}", reference_s, fast_s, identical,
         {"radius_m": radius, "bundles": len(fast_result),
          "best_of": reps})
+
+
+def _bench_soa_candidates_cover(sizes: Dict) -> Dict:
+    """SoA candidate enumeration + bitmask cover vs the original
+    object-graph stages (the dense-deployment kernel entry).
+
+    Measures the two timed pipeline stages — ``bundling.candidates``
+    (family enumeration) and ``bundling.cover`` (greedy selection) — on
+    one seed-fixed deployment.  The fast phase runs first on a clean
+    heap and a ``gc.collect()`` fences it from the reference phase: the
+    reference enumeration allocates ~100k frozensets/Points at n=1000,
+    and interleaving the passes measurably pollutes the fast timings.
+    ``identical`` gates on the full candidate family (canonical order
+    included) and on the exact cover selection sequence.
+    """
+    import gc
+
+    from ..bundling.bitset import mask_from_indices
+    from ..bundling.candidates import (candidate_member_masks,
+                                       candidate_member_sets_reference,
+                                       maximal_candidates, maximal_masks)
+    from ..bundling.greedy import (greedy_cover_masks,
+                                   greedy_set_cover_reference)
+    from ..geometry.soa import FlatDeployment
+    from ..network import uniform_deployment
+
+    n = sizes["soa_n"]
+    radius = sizes["soa_radius"]
+    reps = sizes["soa_reps"]
+    points = uniform_deployment(n, 12345).locations
+
+    # One FlatDeployment per run, exactly like the pipeline (it is
+    # shared by enumeration, validation and the distance matrix, and
+    # costs well under a millisecond at n=1000).
+    flat = FlatDeployment.from_points(points)
+    fast_enum_s, fast_masks = _best_of(
+        lambda: candidate_member_masks(points, radius, flat=flat), reps)
+    fast_maximal = maximal_masks(fast_masks)
+    fast_cover_s, fast_cover = _best_of(
+        lambda: greedy_cover_masks(fast_maximal, n), reps)
+    gc.collect()
+
+    def reference_enum():
+        with reference_kernels():
+            return candidate_member_sets_reference(points, radius)
+
+    ref_enum_s, ref_sets = _best_of(reference_enum, reps)
+    ref_maximal = maximal_candidates(ref_sets)
+
+    def reference_cover():
+        with reference_kernels():
+            return greedy_set_cover_reference(ref_maximal, n)
+
+    ref_cover_s, ref_cover = _best_of(reference_cover, reps)
+
+    identical = (
+        fast_masks == [mask_from_indices(s) for s in ref_sets]
+        and list(fast_cover) == [mask_from_indices(s)
+                                 for s in ref_cover])
+    return _entry(
+        f"soa_candidates_cover_n{n}",
+        ref_enum_s + ref_cover_s, fast_enum_s + fast_cover_s, identical,
+        {"radius_m": radius, "candidates": len(fast_masks),
+         "maximal": len(fast_maximal), "bundles": len(fast_cover),
+         "reference_candidates_s": round(ref_enum_s, 6),
+         "reference_cover_s": round(ref_cover_s, 6),
+         "fast_candidates_s": round(fast_enum_s, 6),
+         "fast_cover_s": round(fast_cover_s, 6),
+         "best_of": reps})
+
+
+def _bench_soa_distance_matrix(sizes: Dict) -> Dict:
+    """Flat-buffer distance rows vs the per-Point reference build."""
+    from ..geometry import Point
+    from ..tsp.distance import DistanceMatrix
+
+    rng = random.Random(9099)
+    n = sizes["soa_n"]
+    points = [Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+              for _ in range(n)]
+
+    fast_s, fast_matrix = _best_of(lambda: DistanceMatrix(points), 3)
+
+    def reference_run():
+        with reference_kernels():
+            return DistanceMatrix(points)
+
+    reference_s, reference_matrix = _best_of(reference_run, 3)
+    identical = all(fast_matrix.row(i) == reference_matrix.row(i)
+                    for i in range(n))
+    return _entry(
+        f"soa_distance_matrix_n{n}", reference_s, fast_s, identical,
+        {"cities": n, "best_of": 3})
 
 
 def _bench_fig13_sweep(quick: bool) -> Dict:
@@ -350,7 +445,7 @@ def _bench_service_throughput(sizes: Dict) -> Dict:
 
 
 def run_benchmarks(quick: bool = False,
-                   out_path: Optional[str] = "BENCH_PR5.json") -> Dict:
+                   out_path: Optional[str] = "BENCH_PR6.json") -> Dict:
     """Run every kernel benchmark and (optionally) write the JSON report.
 
     Args:
@@ -371,6 +466,8 @@ def run_benchmarks(quick: bool = False,
     started = time.perf_counter()
     entries: List[Dict] = [
         _bench_greedy_bundles(sizes),
+        _bench_soa_candidates_cover(sizes),
+        _bench_soa_distance_matrix(sizes),
         _bench_ellipse_kernel(sizes),
         _bench_tsp_fast(sizes),
         _bench_fig13_sweep(quick),
@@ -379,7 +476,7 @@ def run_benchmarks(quick: bool = False,
     ]
     elapsed = time.perf_counter() - started
     label = (os.path.splitext(os.path.basename(out_path))[0]
-             if out_path else "BENCH_PR5")
+             if out_path else "BENCH_PR6")
     report = {
         "benchmark": label,
         "quick": quick,

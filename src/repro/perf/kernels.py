@@ -8,7 +8,7 @@ through both paths and compare outputs and wall-clock honestly:
 
     with reference_kernels():
         slow = greedy_bundles(network, radius)   # pre-PR implementations
-    fast = greedy_bundles(network, radius)       # bitset / scalar paths
+    fast = greedy_bundles(network, radius)       # bitset / scalar / SoA
     assert fast == slow                          # enforced by the bench
 """
 
@@ -25,7 +25,8 @@ def _kernel_modules():
     # repro.perf.counters, so a module-level import here would cycle.
     from ..bundling import bitset as _bitset
     from ..geometry import ellipse as _ellipse
-    return _bitset, _ellipse
+    from ..geometry import soa as _soa
+    return _bitset, _ellipse, _soa
 
 
 @contextmanager
@@ -33,22 +34,27 @@ def reference_kernels() -> Iterator[None]:
     """Run the original (pre-fast-path) kernel implementations.
 
     Affects the bitset set-cover/candidate pipeline in
-    :mod:`repro.bundling` and the scalar Theorem 4/5 search in
-    :mod:`repro.geometry.ellipse`.  Nestable and exception-safe.
+    :mod:`repro.bundling`, the scalar Theorem 4/5 search in
+    :mod:`repro.geometry.ellipse`, and the struct-of-arrays geometry
+    kernels in :mod:`repro.geometry.soa` (candidate enumeration, MinDisk
+    validation, TSP distance rows).  Nestable and exception-safe.
     """
-    _bitset, _ellipse = _kernel_modules()
-    saved_bitset = _bitset._USE_REFERENCE
-    saved_ellipse = _ellipse._USE_REFERENCE
+    _bitset, _ellipse, _soa = _kernel_modules()
+    saved = (_bitset._USE_REFERENCE, _ellipse._USE_REFERENCE,
+             _soa._USE_REFERENCE)
     _bitset._USE_REFERENCE = True
     _ellipse._USE_REFERENCE = True
+    _soa._USE_REFERENCE = True
     try:
         yield
     finally:
-        _bitset._USE_REFERENCE = saved_bitset
-        _ellipse._USE_REFERENCE = saved_ellipse
+        _bitset._USE_REFERENCE = saved[0]
+        _ellipse._USE_REFERENCE = saved[1]
+        _soa._USE_REFERENCE = saved[2]
 
 
 def using_reference_kernels() -> bool:
     """Return True when the reference backends are currently active."""
-    _bitset, _ellipse = _kernel_modules()
-    return _bitset._USE_REFERENCE and _ellipse._USE_REFERENCE
+    _bitset, _ellipse, _soa = _kernel_modules()
+    return (_bitset._USE_REFERENCE and _ellipse._USE_REFERENCE
+            and _soa._USE_REFERENCE)

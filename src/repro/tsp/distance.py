@@ -3,6 +3,14 @@
 TSP heuristics work against an abstract ``distance(i, j)`` callable; this
 module provides the Euclidean matrix over point lists (precomputed, since
 the heuristics probe distances many times per pair).
+
+The fast path builds the rows from flat coordinate arrays in one pass
+(:func:`repro.geometry.flat_distance_rows`); the original per-Point
+construction is kept as :func:`distance_rows_reference` and selected by
+``reference_kernels()`` via the :mod:`repro.geometry.soa` backend flag.
+Both produce bit-identical rows (``math.hypot`` over the same operand
+pairs — symmetry mirroring vs. recomputation cannot diverge because
+``hypot`` is sign- and order-symmetric in its arguments).
 """
 
 from __future__ import annotations
@@ -10,9 +18,25 @@ from __future__ import annotations
 from typing import Callable, List, Sequence
 
 from ..errors import TourError
-from ..geometry import Point
+from ..geometry import Point, flat_distance_rows, soa
 
 DistanceFn = Callable[[int, int], float]
+
+
+def distance_rows_reference(points: Sequence[Point]) -> List[List[float]]:
+    """The original row construction: per-Point ``distance_to`` calls with
+    the lower triangle mirrored from the upper."""
+    n = len(points)
+    rows: List[List[float]] = []
+    for i in range(n):
+        row = [0.0] * n
+        for j in range(n):
+            if j < i:
+                row[j] = rows[j][i]
+            elif j > i:
+                row[j] = points[i].distance_to(points[j])
+        rows.append(row)
+    return rows
 
 
 class DistanceMatrix:
@@ -21,15 +45,15 @@ class DistanceMatrix:
     def __init__(self, points: Sequence[Point]) -> None:
         """Precompute all pairwise Euclidean distances."""
         self._n = len(points)
-        self._rows: List[List[float]] = []
-        for i in range(self._n):
-            row = [0.0] * self._n
-            for j in range(self._n):
-                if j < i:
-                    row[j] = self._rows[j][i]
-                elif j > i:
-                    row[j] = points[i].distance_to(points[j])
-            self._rows.append(row)
+        if soa._USE_REFERENCE:
+            self._rows: List[List[float]] = distance_rows_reference(points)
+        else:
+            xs = [0.0] * self._n
+            ys = [0.0] * self._n
+            for i, point in enumerate(points):
+                xs[i] = point.x
+                ys[i] = point.y
+            self._rows = flat_distance_rows(xs, ys)
 
     def __call__(self, i: int, j: int) -> float:
         return self._rows[i][j]

@@ -85,6 +85,42 @@ class TestGetOrCompute:
             StageCache().get_or_compute("bogus", {}, lambda: 1)
 
 
+class TestKernelVersionInvalidation:
+    """The SoA PR bumped the candidates/cover/tsp kernel tags; entries
+    stored under the previous tags must silently miss and recompute —
+    never deserialize stale payloads, never raise."""
+
+    def test_soa_stage_tags_are_bumped(self):
+        from repro.cache import KERNEL_VERSIONS
+        assert KERNEL_VERSIONS["candidates"] == "obg-candidates/v2"
+        assert KERNEL_VERSIONS["cover"] == "obg-cover/v2"
+        assert KERNEL_VERSIONS["tsp"] == "tsp/v2"
+
+    def test_old_disk_entry_misses_and_recomputes(self, tmp_path,
+                                                  monkeypatch):
+        from repro.cache import KERNEL_VERSIONS
+        params = {"points": [1.0, 2.0], "radius": 20.0}
+        with monkeypatch.context() as patch:
+            # Populate the disk store as a pre-bump build would have.
+            patch.setitem(KERNEL_VERSIONS, "candidates",
+                          "obg-candidates/v1")
+            old = StageCache(cache_dir=str(tmp_path))
+            assert old.get_or_compute("candidates", params,
+                                      lambda: "v1-masks") == "v1-masks"
+        PERF.reset()
+        fresh = StageCache(cache_dir=str(tmp_path))
+        value = fresh.get_or_compute("candidates", params,
+                                     lambda: "v2-masks")
+        assert value == "v2-masks"
+        assert PERF.counter("cache.miss.candidates") == 1
+        assert PERF.counter("cache.disk_hit") == 0
+        # The retired blob stays on disk under its old key, harmlessly;
+        # the bumped tag now hits its own entry.
+        again = fresh.get_or_compute("candidates", params, lambda: "no")
+        assert again == "v2-masks"
+        assert PERF.counter("cache.hit.candidates") == 1
+
+
 class TestShadowVerify:
     def test_clean_hit_passes(self):
         PERF.reset()

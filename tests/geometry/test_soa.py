@@ -1,0 +1,211 @@
+"""Tests for repro.geometry.soa — the struct-of-arrays geometry engine.
+
+The contract under test is *bit-identity*: every flat kernel must
+reproduce its reference sibling's output exactly (not approximately) on
+every input, because the pipeline's cache keys, figure artifacts and the
+PAR001 lint rule all assume the two paths are interchangeable.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bundling.bitset import indices_from_mask, mask_from_indices
+from repro.bundling.candidates import (candidate_member_masks_reference,
+                                       candidate_member_sets_reference)
+from repro.errors import GeometryError
+from repro.geometry import (FlatDeployment, GridIndex, Point,
+                            fits_in_radius, flat_candidate_masks,
+                            flat_distance_rows, flat_fits_in_radius,
+                            flat_members_within, grid_cell_size)
+from repro.geometry.soa import _MissDict
+from repro.tsp.distance import distance_rows_reference
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def _random_points(n, seed, side=100.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0.0, side), rng.uniform(0.0, side))
+            for _ in range(n)]
+
+
+class TestFlatDeployment:
+    def test_from_points_round_trips(self):
+        pts = _random_points(20, 1)
+        flat = FlatDeployment.from_points(pts)
+        assert len(flat) == 20
+        for i, p in enumerate(pts):
+            assert flat.point(i) == p
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            FlatDeployment([0.0, 1.0], [0.0])
+
+    def test_coords_are_readonly_memoryviews(self):
+        flat = FlatDeployment([1.0, 2.0], [3.0, 4.0])
+        xs, ys = flat.coords()
+        assert xs.readonly and ys.readonly
+        assert list(xs) == [1.0, 2.0]
+        assert list(ys) == [3.0, 4.0]
+        with pytest.raises(TypeError):
+            xs[0] = 9.0
+
+    def test_grids_cached_per_cell_size(self):
+        flat = FlatDeployment.from_points(_random_points(10, 2))
+        assert flat.grid(5.0) is flat.grid(5.0)
+        assert flat.grid(5.0) is not flat.grid(7.0)
+
+    def test_invalid_cell_size_raises(self):
+        flat = FlatDeployment([0.0], [0.0])
+        for bad in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(GeometryError):
+                flat.grid(bad)
+
+    def test_empty_deployment(self):
+        flat = FlatDeployment([], [])
+        assert len(flat) == 0
+        assert flat_candidate_masks(flat, 5.0) == []
+        assert flat_members_within(flat, 0.0, 0.0, 5.0) == 0
+
+
+class TestFlatMembersWithin:
+    def test_matches_grid_index_on_random_queries(self):
+        pts = _random_points(60, 3)
+        flat = FlatDeployment.from_points(pts)
+        index = GridIndex(pts, grid_cell_size(7.5))
+        rng = random.Random(4)
+        for _ in range(50):
+            q = Point(rng.uniform(-10.0, 110.0), rng.uniform(-10.0, 110.0))
+            expected = mask_from_indices(index.neighbors_within(q, 7.5))
+            assert flat_members_within(flat, q.x, q.y, 7.5) == expected
+
+    def test_degenerate_zero_radius(self):
+        pts = [Point(0.0, 0.0), Point(0.0, 0.0), Point(1.0, 1.0)]
+        flat = FlatDeployment.from_points(pts)
+        assert flat_members_within(flat, 0.0, 0.0, 0.0) == 0b011
+        assert flat_members_within(flat, 1.0, 1.0, 0.0) == 0b100
+        assert flat_members_within(flat, 0.5, 0.5, 0.0) == 0
+
+    def test_negative_radius_raises(self):
+        flat = FlatDeployment([0.0], [0.0])
+        with pytest.raises(GeometryError):
+            flat_members_within(flat, 0.0, 0.0, -1.0)
+
+
+class TestFlatFitsInRadius:
+    def test_matches_reference_on_random_subsets(self):
+        pts = _random_points(40, 5)
+        flat = FlatDeployment.from_points(pts)
+        rng = random.Random(6)
+        for _ in range(40):
+            members = rng.sample(range(40), rng.randint(1, 10))
+            radius = rng.uniform(0.0, 30.0)
+            expected = fits_in_radius([pts[i] for i in members], radius)
+            assert flat_fits_in_radius(flat, members, radius) == expected
+
+    def test_empty_members_fit_any_radius(self):
+        flat = FlatDeployment([0.0], [0.0])
+        assert flat_fits_in_radius(flat, [], 0.0)
+
+    def test_negative_radius_raises(self):
+        flat = FlatDeployment([0.0], [0.0])
+        with pytest.raises(GeometryError):
+            flat_fits_in_radius(flat, [0], -0.5)
+
+
+class TestFlatDistanceRows:
+    def test_bit_identical_to_reference(self):
+        pts = _random_points(30, 7)
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        assert flat_distance_rows(xs, ys) == distance_rows_reference(pts)
+
+    def test_empty_and_singleton(self):
+        assert flat_distance_rows([], []) == []
+        assert flat_distance_rows([3.0], [4.0]) == [[0.0]]
+
+
+class TestFlatCandidateMasks:
+    def test_negative_radius_raises(self):
+        flat = FlatDeployment([0.0], [0.0])
+        with pytest.raises(GeometryError):
+            flat_candidate_masks(flat, -1.0)
+
+    def test_degenerate_zero_radius(self):
+        # r == 0: one singleton per distinct location, coincident points
+        # merge into one candidate.
+        pts = [Point(0.0, 0.0), Point(0.0, 0.0), Point(5.0, 5.0)]
+        flat = FlatDeployment.from_points(pts)
+        masks = flat_candidate_masks(flat, 0.0)
+        assert masks == [0b011, 0b100]
+
+    def test_tiny_radius_takes_dict_fallback(self):
+        # A tiny cell size over a wide extent blows the flat-list span
+        # guard, exercising the _MissDict-backed lookup path.
+        pts = _random_points(12, 8, side=100.0)
+        flat = FlatDeployment.from_points(pts)
+        radius = 5e-10
+        grid = flat.grid(grid_cell_size(radius))
+        span = (grid.col_hi - grid.col_lo + 7) * grid.stride
+        assert span > 32 * len(flat) + 4096  # the guard must trip
+        expected = [mask_from_indices(s) for s in
+                    candidate_member_sets_reference(pts, radius)]
+        assert flat_candidate_masks(flat, radius) == expected
+
+    def test_missdict_missing_key_yields_none_without_insert(self):
+        lookup = _MissDict({3: []})
+        assert lookup[99] is None
+        assert 99 not in lookup
+
+
+class TestCandidateFamilyParity:
+    """Satellite 3's property parity sweep: the SoA enumeration must be
+    bit-identical to both reference enumerations across radii and
+    densities, including cluster-heavy and coincident-point inputs."""
+
+    @pytest.mark.parametrize("n,radius,side,seed", [
+        (1, 10.0, 100.0, 11),
+        (25, 0.0, 100.0, 12),
+        (50, 2.0, 100.0, 13),      # sparse: most cells empty
+        (80, 20.0, 100.0, 14),     # dense: heavy pair traffic
+        (60, 60.0, 100.0, 15),     # radius comparable to the extent
+        (40, 200.0, 100.0, 16),    # every pair in range: one big family
+        (30, 1e-3, 100.0, 17),     # near-degenerate but list-backed
+    ])
+    def test_matches_both_references(self, n, radius, side, seed):
+        pts = _random_points(n, seed, side=side)
+        flat = FlatDeployment.from_points(pts)
+        fast = flat_candidate_masks(flat, radius)
+        assert fast == candidate_member_masks_reference(pts, radius)
+        assert fast == [mask_from_indices(s) for s in
+                        candidate_member_sets_reference(pts, radius)]
+
+    def test_coincident_cluster(self):
+        pts = ([Point(10.0, 10.0)] * 4
+               + [Point(10.0 + 1e-9, 10.0)] * 2
+               + _random_points(20, 18, side=40.0))
+        flat = FlatDeployment.from_points(pts)
+        fast = flat_candidate_masks(flat, 3.0)
+        assert fast == candidate_member_masks_reference(pts, 3.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pts=st.lists(points, min_size=1, max_size=25),
+           radius=st.floats(min_value=0.0, max_value=150.0,
+                            allow_nan=False, allow_infinity=False))
+    def test_property_parity(self, pts, radius):
+        flat = FlatDeployment.from_points(pts)
+        fast = flat_candidate_masks(flat, radius)
+        reference = [mask_from_indices(s) for s in
+                     candidate_member_sets_reference(pts, radius)]
+        assert fast == reference
+        # Masks decode to strictly deduplicated member sets in canonical
+        # order: descending cardinality, then lexicographic.
+        decoded = [tuple(indices_from_mask(m)) for m in fast]
+        assert len(set(decoded)) == len(decoded)
+        assert decoded == sorted(decoded, key=lambda t: (-len(t), t))

@@ -269,6 +269,25 @@ _KERNELS = """\
             _fastmod._USE_REFERENCE = saved
     """
 
+_KERNELS_SOA = """\
+    from contextlib import contextmanager
+
+    from ..bundling import fastmod as _fastmod
+    from ..geometry import soa as _soa
+
+
+    @contextmanager
+    def reference_kernels():
+        saved = (_fastmod._USE_REFERENCE, _soa._USE_REFERENCE)
+        _fastmod._USE_REFERENCE = True
+        _soa._USE_REFERENCE = True
+        try:
+            yield
+        finally:
+            _fastmod._USE_REFERENCE = saved[0]
+            _soa._USE_REFERENCE = saved[1]
+    """
+
 
 class TestPAR001KernelParity:
     def test_reference_without_fast_sibling_fires(self, lint_fixture):
@@ -346,6 +365,91 @@ class TestPAR001KernelParity:
                 """,
         }, select=["PAR001"])
         assert result.clean
+
+    def test_soa_sibling_from_registered_backend_is_clean(
+            self, lint_fixture):
+        """``rows_reference`` pairs with ``flat_rows`` imported from the
+        registered SoA backend (here via the parent package re-export,
+        like ``repro.tsp.distance`` imports ``flat_distance_rows``)."""
+        result = lint_fixture({
+            "src/repro/perf/kernels.py": _KERNELS_SOA,
+            "src/repro/bundling/fastmod.py": """\
+                _USE_REFERENCE = False
+
+                def cover(items):
+                    if _USE_REFERENCE:
+                        return cover_reference(items)
+                    return sorted(items)
+
+                def cover_reference(items):
+                    return sorted(items)
+                """,
+            "src/repro/geometry/soa.py": """\
+                _USE_REFERENCE = False
+
+                def flat_rows(xs):
+                    return list(xs)
+                """,
+            "src/repro/tour/dist.py": """\
+                from ..geometry import flat_rows, soa
+
+                class Matrix:
+                    def __init__(self, points):
+                        if soa._USE_REFERENCE:
+                            self.rows = rows_reference(points)
+                        else:
+                            self.rows = flat_rows(points)
+
+                def rows_reference(points):
+                    return [list(p) for p in points]
+                """,
+        }, select=["PAR001"])
+        assert result.clean
+
+    def test_soa_sibling_from_unregistered_module_fires(
+            self, lint_fixture):
+        """A ``flat_*`` import only satisfies the parity contract when
+        it comes from a backend ``reference_kernels()`` can switch."""
+        result = lint_fixture({
+            "src/repro/perf/kernels.py": _KERNELS_SOA,
+            "src/repro/bundling/fastmod.py": """\
+                _USE_REFERENCE = False
+
+                def cover(items):
+                    if _USE_REFERENCE:
+                        return cover_reference(items)
+                    return sorted(items)
+
+                def cover_reference(items):
+                    return sorted(items)
+                """,
+            "src/repro/geometry/soa.py": """\
+                _USE_REFERENCE = False
+
+                def flat_rows(xs):
+                    return list(xs)
+                """,
+            "src/repro/tour/helpers.py": """\
+                def flat_rows(xs):
+                    return list(xs)
+                """,
+            "src/repro/tour/dist.py": """\
+                from ..geometry import soa
+                from .helpers import flat_rows
+
+                class Matrix:
+                    def __init__(self, points):
+                        if soa._USE_REFERENCE:
+                            self.rows = rows_reference(points)
+                        else:
+                            self.rows = flat_rows(points)
+
+                def rows_reference(points):
+                    return [list(p) for p in points]
+                """,
+        }, select=["PAR001"])
+        assert any("no fast sibling" in f.message
+                   for f in result.findings)
 
 
 class TestOBS001ObsImportFallback:

@@ -12,10 +12,12 @@ fail CI here.
 from repro.perf.bench import (_FULL, _QUICK, render_report,
                               run_benchmarks)
 
-#: A fast path that drops below half the reference speed has regressed
-#: by more than 2x from where it started (all shipped kernels are >2x
-#: faster than reference); fail CI then.
-MIN_SPEEDUP = 0.5
+#: Every shipped fast path beats its reference at full scale (the SoA
+#: candidates+cover entry by >10x, the distance rows — the narrowest
+#: margin — by ~1.3x).  Quick-scale CI timings are noisy, so the gate
+#: only fails a kernel that drops clearly below reference speed, which
+#: for the shipped set means a multi-x regression from where it started.
+MIN_SPEEDUP = 0.8
 
 
 class TestQuickBench:
