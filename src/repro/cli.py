@@ -42,6 +42,12 @@ Serving (see docs/architecture.md, "Serving")::
     bundle-charging serve                 # HTTP planning service :8080
     bundle-charging serve --port 0 --jobs 4 --queue-limit 64
     bundle-charging serve --cache-dir .bc-cache/ --trace-dir runs/
+    bundle-charging serve --access-log access.jsonl
+
+Load generation (see docs/api.md, "Load generation")::
+
+    bundle-charging loadgen --rate 50 --duration-s 10
+    bundle-charging loadgen --schedule ramp --rate 10 --rate-end 100
 
 (or ``python -m repro.cli ...`` without installing the entry point.)
 """
@@ -115,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", metavar="FILE", default=None,
         help="for bench: write the JSON report here "
-             "(default BENCH_PR6.json in the working directory)")
+             "(default BENCH_PR7.json in the working directory)")
     parser.add_argument(
         "--cache", action="store_true",
         help="memoize pipeline stages in-process (bit-identical hits; "
@@ -294,6 +300,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # it is dispatched before the experiment parser sees them.
         from .service.cli import main as serve_main
         return serve_main(arguments[1:])
+    if arguments and arguments[0] == "loadgen":
+        # Same deal: the load generator owns its flags.
+        from .loadgen.cli import main as loadgen_main
+        return loadgen_main(arguments[1:])
     args = build_parser().parse_args(arguments)
     try:
         config = make_config(args)
@@ -306,7 +316,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "bench":
         from .perf.bench import render_report, run_benchmarks
         report = run_benchmarks(quick=args.quick,
-                                out_path=args.out or "BENCH_PR6.json")
+                                out_path=args.out or "BENCH_PR7.json")
         print(render_report(report))
         return 0 if report["all_identical"] else 1
     if args.experiment == "check":

@@ -1,0 +1,35 @@
+"""Clock indirection for the serving and observability stacks.
+
+The serving stack (``repro.service``, ``repro.loadgen``) and the
+observability layer (``repro.obs``) legitimately read clocks — request
+latencies, span durations, access-log timestamps — but they must do so
+through *one* seam, for two reasons:
+
+* **Auditability** (lint rule OBS002): durations must come from the
+  monotonic clocks and wall time must be confined to timestamps that
+  are documented as transport/provenance facts.  Funnelling every read
+  through this module makes a stray ``time.time()`` in a hot path a
+  lint finding instead of a silent drift source.
+* **Testability**: fixtures monkeypatch :func:`wall` / :func:`monotonic`
+  here to freeze time for deterministic access-log and metrics tests
+  without reaching into ``time`` globally.
+
+The kernel packages are stricter still — they may not read any clock at
+all (DET002); this module is only for the layers whose *job* is timing.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "perf_counter", "wall"]
+
+#: Monotonic clock for durations (queue waits, latencies, uptimes).
+monotonic = time.monotonic
+
+#: High-resolution monotonic clock for short spans (tracer, timers).
+perf_counter = time.perf_counter
+
+#: Wall clock for timestamps only (access-log ``ts``, provenance,
+#: ``/metrics`` start time) — never for durations.
+wall = time.time

@@ -1,4 +1,6 @@
-"""OBS001 — ImportError-safe optional-subsystem imports.
+"""OBS001/OBS002 — observability-layer hygiene rules.
+
+OBS001 — ImportError-safe optional-subsystem imports.
 
 PR 2's byte-identity guarantee is that a pipeline run with
 ``repro.obs`` physically absent produces byte-identical outputs, and
@@ -21,6 +23,17 @@ the stripped deployment.  Imports inside function bodies are exempt:
 they are deliberate lazy imports on paths (CLI ``trace``/``report``/
 ``cache``, the bench harness) that only run when the user explicitly
 asked for the subsystem.
+
+OBS002 — clock indirection in the serving/telemetry hot paths.  The
+modules that *measure* time (``repro.service``, ``repro.obs``,
+``repro.loadgen``) must read clocks through :mod:`repro.clock`
+(``monotonic``/``perf_counter``/``wall``), never ``time.*`` directly:
+the indirection makes every clock read greppable and monkeypatchable
+(latency tests freeze it), and keeps duration math on the monotonic
+clock by construction — a ``time.time()`` delta jumps under NTP slew
+and produces negative latencies in histograms.  ``time.sleep`` and
+calendar formatting (``strftime``/``gmtime``) are not clock *reads*
+and stay allowed.
 """
 
 from __future__ import annotations
@@ -29,8 +42,10 @@ import ast
 from typing import Iterable, List, Optional, Set
 
 from ..core import FileContext, Finding, Rule, register
+from .determinism import (_WALL_CLOCK_BARE, dotted_name, from_imports,
+                          module_aliases)
 
-__all__ = ["ObsImportFallbackRule"]
+__all__ = ["ClockIndirectionRule", "ObsImportFallbackRule"]
 
 _SAFE_EXCEPTIONS = frozenset({"ImportError", "ModuleNotFoundError",
                               "Exception", "BaseException"})
@@ -139,3 +154,59 @@ class ObsImportFallbackRule(Rule):
                     f"the try/except ImportError fallback; use the "
                     f"nullcontext/passthrough pattern so the pipeline "
                     f"works with repro.{subsystem} stripped")
+
+
+#: Packages whose modules must read clocks through ``repro.clock``.
+_CLOCKED_PACKAGES = ("repro.service", "repro.obs", "repro.loadgen")
+
+
+@register
+class ClockIndirectionRule(Rule):
+    """OBS002 — serving/telemetry clock reads go through repro.clock."""
+
+    id = "OBS002"
+    title = "direct time.* clock read in a serving/telemetry module"
+    rationale = (
+        "repro.service, repro.obs and repro.loadgen measure durations "
+        "that end up in histograms, access logs and loadgen reports. "
+        "Reading time.time()/time.monotonic()/time.perf_counter() "
+        "directly scatters unauditable clock reads and invites "
+        "wall-clock deltas that jump under NTP slew; routing every "
+        "read through repro.clock (monotonic/perf_counter/wall) keeps "
+        "durations monotonic by construction and lets tests freeze "
+        "the clock with one monkeypatch. time.sleep and calendar "
+        "formatting (strftime/gmtime) are not clock reads and remain "
+        "allowed.")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        name = ctx.module_name
+        return any(name == package or name.startswith(package + ".")
+                   for package in _CLOCKED_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        time_aliases = module_aliases(ctx.tree, "time")
+        bare = {local: original
+                for local, original in from_imports(ctx.tree,
+                                                    "time").items()
+                if original in _WALL_CLOCK_BARE}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            flagged = None
+            if "." in name:
+                prefix, attr = name.split(".", 1)
+                if prefix in time_aliases and attr in _WALL_CLOCK_BARE:
+                    flagged = f"time.{attr}"
+            elif name in bare:
+                flagged = f"time.{bare[name]}"
+            if flagged is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"direct {flagged}() read; import the clock from "
+                    f"repro.clock (monotonic/perf_counter/wall) so "
+                    f"serving-path time reads stay auditable and "
+                    f"monkeypatchable")

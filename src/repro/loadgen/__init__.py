@@ -1,0 +1,43 @@
+"""Open-loop load generation for the planning service.
+
+``bundle-charging loadgen`` drives a live ``bundle-charging serve``
+instance with a deterministic arrival schedule (constant, step, or
+linear ramp), a Zipf-skewed mix of distinct planning requests, and a
+coordinated-omission-safe latency recorder, then emits a
+``bundle-charging/loadgen/v1`` report (p50/p90/p95/p99/max, achieved
+vs offered rate, error and cache-outcome counts).
+
+Layering (each module imports only downward):
+
+* :mod:`.schedule` — pure arrival-offset generators.
+* :mod:`.mix` — Zipf request pools (seeded sampling).
+* :mod:`.recorder` — CO-safe latency accumulation + exact quantiles.
+* :mod:`.report` — the loadgen/v1 document, validator, table renderer.
+* :mod:`.runner` — the sender-thread crew over ``urllib``.
+* :mod:`.cli` — the ``bundle-charging loadgen`` subcommand.
+* :mod:`.smoke` — the live end-to-end gate CI runs.
+"""
+
+from .mix import build_pool, sample_indices, zipf_weights
+from .recorder import LatencyRecorder, exact_quantile
+from .report import (LOADGEN_SCHEMA, build_report, render_table,
+                     report_problems, write_report)
+from .runner import run_load, serialize_pool
+from .schedule import SCHEDULE_KINDS, arrival_offsets
+
+__all__ = [
+    "LOADGEN_SCHEMA",
+    "LatencyRecorder",
+    "SCHEDULE_KINDS",
+    "arrival_offsets",
+    "build_pool",
+    "build_report",
+    "exact_quantile",
+    "render_table",
+    "report_problems",
+    "run_load",
+    "sample_indices",
+    "serialize_pool",
+    "write_report",
+    "zipf_weights",
+]

@@ -1,0 +1,77 @@
+"""Zipf-distributed request mixes.
+
+Real planning traffic is skewed: a few deployments are re-planned over
+and over (dashboards, retries, popular scenarios) while a long tail is
+asked once.  The mix models that with a pool of ``pool`` distinct
+canonical requests (same shape, different deployment seeds) sampled by
+rank from a Zipf law: request rank ``k`` (1-based) has probability
+proportional to ``1 / k**s``.  ``s = 0`` degenerates to uniform; large
+``s`` concentrates traffic on rank 1 — which is exactly what exercises
+the service's digest-joining and cache paths under load.
+
+Everything is seeded: the same ``(pool, s, seed, count)`` always yields
+the same request sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+__all__ = ["build_pool", "sample_indices", "zipf_weights"]
+
+
+def zipf_weights(pool: int, s: float) -> List[float]:
+    """Normalized rank probabilities ``P(k) ~ 1/k^s`` for ``pool`` items."""
+    if pool <= 0:
+        raise ValueError(f"pool must be positive: {pool!r}")
+    if s < 0.0:
+        raise ValueError(f"zipf exponent must be non-negative: {s!r}")
+    raw = [1.0 / (rank ** s) for rank in range(1, pool + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def sample_indices(count: int, pool: int, s: float,
+                   seed: int) -> List[int]:
+    """Draw ``count`` pool indices (0-based) from the Zipf mix."""
+    weights = zipf_weights(pool, s)
+    rng = random.Random(seed)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    cumulative[-1] = 1.0  # absorb float drift at the top rank
+    indices: List[int] = []
+    for _ in range(count):
+        draw = rng.random()
+        low, high = 0, pool - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < draw:
+                low = mid + 1
+            else:
+                high = mid
+        indices.append(low)
+    return indices
+
+
+def build_pool(pool: int, node_count: int, planner: str,
+               radius_m: float = 20.0,
+               base_seed: int = 0) -> List[Dict[str, Any]]:
+    """Build ``pool`` distinct planning requests (seed-varied).
+
+    Rank 0 gets ``base_seed``, rank 1 ``base_seed + 1``, ... — so the
+    hottest Zipf rank is a stable, nameable request across runs.
+    """
+    return [
+        {
+            "schema": "bundle-charging/request/v1",
+            "deployment": {"kind": "uniform", "n": node_count,
+                           "seed": base_seed + rank},
+            "planner": planner,
+            "radius_m": radius_m,
+        }
+        for rank in range(pool)
+    ]

@@ -1,0 +1,117 @@
+"""Coordinated-omission-safe latency recording.
+
+The classic load-testing mistake: measuring latency from the moment a
+request was *sent* instead of the moment it was *scheduled* to be sent.
+When the client stalls (server backpressure, thread starvation), sends
+slip past their schedule and the slipped wait silently vanishes from
+the measurement — the worst seconds of the run are exactly the ones
+dropped.  The recorder therefore takes both timestamps and scores
+``finished - scheduled``: queueing on the client counts against the
+server's percentiles, as a real user would experience it.
+
+Percentiles are exact (nearest-rank with linear interpolation over the
+sorted sample), not bucketed — the client holds every latency in
+memory, which is fine at load-test sample counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LatencyRecorder", "exact_quantile"]
+
+
+def exact_quantile(sorted_values: List[float],
+                   q: float) -> Optional[float]:
+    """Linear-interpolation quantile of an ascending sample."""
+    if not sorted_values:
+        return None
+    if q <= 0.0:
+        return sorted_values[0]
+    if q >= 1.0:
+        return sorted_values[-1]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    fraction = position - low
+    if low + 1 >= len(sorted_values):
+        return sorted_values[-1]
+    return (sorted_values[low] * (1.0 - fraction)
+            + sorted_values[low + 1] * fraction)
+
+
+class LatencyRecorder:
+    """Thread-safe accumulator of per-request outcomes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._send_lag: List[float] = []
+        self._statuses: Dict[str, int] = {}
+        self._outcomes: Dict[str, int] = {}
+        self._errors = 0
+
+    def record(self, scheduled: float, sent: float, finished: float,
+               status: int, outcome: Optional[str] = None,
+               failed: bool = False) -> None:
+        """Score one request.
+
+        Args:
+            scheduled: monotonic instant the request was *due*.
+            sent: monotonic instant the request actually departed.
+            finished: monotonic instant the response completed.
+            status: HTTP status (0 for transport failures).
+            outcome: the ``X-BC-Cache`` outcome, when known.
+            failed: transport error or non-2xx response.
+        """
+        latency = finished - scheduled
+        lag = sent - scheduled
+        with self._lock:
+            self._latencies.append(latency)
+            self._send_lag.append(lag)
+            key = str(status)
+            self._statuses[key] = self._statuses.get(key, 0) + 1
+            if outcome is not None:
+                self._outcomes[outcome] = \
+                    self._outcomes.get(outcome, 0) + 1
+            if failed:
+                self._errors += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._latencies)
+
+    @property
+    def errors(self) -> int:
+        with self._lock:
+            return self._errors
+
+    def summary(self) -> Dict[str, Any]:
+        """Percentiles and counts over everything recorded so far."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            lags = sorted(self._send_lag)
+            statuses = dict(sorted(self._statuses.items()))
+            outcomes = dict(sorted(self._outcomes.items()))
+            errors = self._errors
+        count = len(latencies)
+        return {
+            "count": count,
+            "errors": errors,
+            "statuses": statuses,
+            "outcomes": outcomes,
+            "latency_s": {
+                "p50": exact_quantile(latencies, 0.50),
+                "p90": exact_quantile(latencies, 0.90),
+                "p95": exact_quantile(latencies, 0.95),
+                "p99": exact_quantile(latencies, 0.99),
+                "max": latencies[-1] if latencies else None,
+                "mean": (sum(latencies) / count) if count else None,
+            },
+            "send_lag_s": {
+                "p50": exact_quantile(lags, 0.50),
+                "p99": exact_quantile(lags, 0.99),
+                "max": lags[-1] if lags else None,
+            },
+        }

@@ -1,0 +1,137 @@
+"""The ``bundle-charging/loadgen/v1`` run report.
+
+One JSON document per load-test run: the offered schedule (shape,
+rates, request mix), what actually happened (achieved rate, error
+counts, cache outcomes), and the coordinated-omission-safe latency
+percentiles from :class:`repro.loadgen.recorder.LatencyRecorder`.
+Provenance (git SHA, version, platform) is embedded when ``repro.obs``
+is available, the same way ``BENCH_*.json`` entries carry it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: Version tag stamped on every loadgen report.
+LOADGEN_SCHEMA = "bundle-charging/loadgen/v1"
+
+__all__ = ["LOADGEN_SCHEMA", "build_report", "render_table",
+           "report_problems", "write_report"]
+
+#: Top-level keys every report must carry.
+_REQUIRED = ("schema", "config", "duration_s", "offered",
+             "achieved_rate", "summary")
+
+#: Keys of the ``offered`` section.
+_OFFERED_REQUIRED = ("kind", "rate", "requests")
+
+
+def build_report(config: Dict[str, Any],
+                 offered: Dict[str, Any],
+                 duration_s: float,
+                 summary: Dict[str, Any],
+                 provenance: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+    """Assemble the report document.
+
+    Args:
+        config: the flag-level run configuration (url, schedule, mix).
+        offered: the schedule actually generated (kind, rate(s),
+            request count).
+        duration_s: measured wall duration of the run.
+        summary: :meth:`LatencyRecorder.summary` output.
+        provenance: optional run manifest.
+    """
+    achieved = (summary["count"] / duration_s) if duration_s > 0 \
+        else 0.0
+    return {
+        "schema": LOADGEN_SCHEMA,
+        "config": config,
+        "offered": offered,
+        "duration_s": round(duration_s, 6),
+        "achieved_rate": round(achieved, 3),
+        "summary": summary,
+        "provenance": provenance,
+    }
+
+
+def report_problems(report: Any) -> List[str]:
+    """Return structural problems of a loadgen report (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["loadgen report must be a JSON object"]
+    schema = report.get("schema")
+    if schema != LOADGEN_SCHEMA:
+        problems.append(f"unknown loadgen schema {schema!r} "
+                        f"(expected {LOADGEN_SCHEMA!r})")
+        return problems
+    for key in _REQUIRED:
+        if key not in report:
+            problems.append(f"loadgen report missing key {key!r}")
+    offered = report.get("offered")
+    if isinstance(offered, dict):
+        for key in _OFFERED_REQUIRED:
+            if key not in offered:
+                problems.append(f"offered section missing key {key!r}")
+    elif "offered" in report:
+        problems.append("offered section must be an object")
+    summary = report.get("summary")
+    if isinstance(summary, dict):
+        latency = summary.get("latency_s")
+        if not isinstance(latency, dict):
+            problems.append("summary.latency_s must be an object")
+        else:
+            for key in ("p50", "p90", "p95", "p99", "max", "mean"):
+                if key not in latency:
+                    problems.append(
+                        f"summary.latency_s missing key {key!r}")
+                else:
+                    value = latency[key]
+                    if value is not None \
+                            and not isinstance(value, (int, float)):
+                        problems.append(
+                            f"summary.latency_s.{key} must be a number "
+                            f"or null, got {value!r}")
+        if not isinstance(summary.get("count"), int):
+            problems.append("summary.count must be an integer")
+        if not isinstance(summary.get("errors"), int):
+            problems.append("summary.errors must be an integer")
+    elif "summary" in report:
+        problems.append("summary section must be an object")
+    for key in ("duration_s", "achieved_rate"):
+        value = report.get(key)
+        if key in report and not isinstance(value, (int, float)):
+            problems.append(f"{key} must be a number, got {value!r}")
+    return problems
+
+
+def render_table(report: Dict[str, Any]) -> str:
+    """Human-readable percentile table for the CLI / README."""
+    summary = report["summary"]
+    latency = summary["latency_s"]
+
+    def cell(value: Optional[float]) -> str:
+        return f"{value * 1000.0:10.2f}" if value is not None \
+            else "         -"
+
+    lines = [
+        f"requests   {summary['count']:>10d}   "
+        f"errors {summary['errors']}",
+        f"offered    {report['offered']['rate']:>10.2f} req/s   "
+        f"achieved {report['achieved_rate']:.2f} req/s",
+        "percentile     latency",
+        f"  p50      {cell(latency['p50'])} ms",
+        f"  p90      {cell(latency['p90'])} ms",
+        f"  p95      {cell(latency['p95'])} ms",
+        f"  p99      {cell(latency['p99'])} ms",
+        f"  max      {cell(latency['max'])} ms",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write the report as canonical (sorted-key) JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, sort_keys=True, indent=2)
+        handle.write("\n")

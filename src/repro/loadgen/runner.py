@@ -1,0 +1,112 @@
+"""The open-loop driver: fire requests on schedule, score honestly.
+
+A fixed crew of sender threads shares one arrival cursor.  Each sender
+claims the next arrival, sleeps until its scheduled instant, POSTs the
+assigned request, and records ``(scheduled, sent, finished)`` with the
+:class:`repro.loadgen.recorder.LatencyRecorder`.  When every sender is
+stuck waiting on a slow server, later arrivals depart late — but their
+latency is still measured from the *schedule*, so the slip shows up in
+the percentiles (and separately in ``send_lag_s``) instead of being
+coordinated-omitted away.
+
+Transport errors score as status 0 and count as errors; the run never
+aborts mid-schedule, because a load test that stops at the first 503
+measures nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..clock import monotonic
+from .recorder import LatencyRecorder
+
+__all__ = ["run_load"]
+
+
+def _post(url: str, body: bytes,
+          timeout_s: float) -> Tuple[int, Optional[str], bool]:
+    """POST one request; return (status, cache outcome, failed)."""
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request,
+                                    timeout=timeout_s) as response:
+            response.read()
+            return (response.status,
+                    response.headers.get("X-BC-Cache"), False)
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code, None, True
+    except (urllib.error.URLError, OSError, TimeoutError):
+        return 0, None, True
+
+
+def run_load(plan_url: str,
+             offsets: List[float],
+             bodies: List[bytes],
+             assignment: List[int],
+             timeout_s: float = 30.0,
+             concurrency: int = 32
+             ) -> Tuple[LatencyRecorder, float]:
+    """Execute one open-loop run.
+
+    Args:
+        plan_url: the ``/v1/plan`` endpoint.
+        offsets: sorted arrival offsets from
+            :func:`repro.loadgen.schedule.arrival_offsets`.
+        bodies: pre-serialized request bodies (the pool).
+        assignment: per-arrival pool index from
+            :func:`repro.loadgen.mix.sample_indices`.
+        timeout_s: per-request HTTP timeout.
+        concurrency: sender-thread count (bounds sockets, not offered
+            rate — late sends are scored, not skipped).
+
+    Returns:
+        The populated recorder and the measured run duration.
+    """
+    if len(offsets) != len(assignment):
+        raise ValueError(
+            f"schedule and mix disagree: {len(offsets)} arrivals vs "
+            f"{len(assignment)} assignments")
+    recorder = LatencyRecorder()
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    started = monotonic()
+
+    def sender() -> None:
+        while True:
+            with cursor_lock:
+                index = cursor[0]
+                if index >= len(offsets):
+                    return
+                cursor[0] = index + 1
+            scheduled = started + offsets[index]
+            delay = scheduled - monotonic()
+            if delay > 0.0:
+                time.sleep(delay)
+            sent = monotonic()
+            status, outcome, failed = _post(
+                plan_url, bodies[assignment[index]], timeout_s)
+            recorder.record(scheduled, sent, monotonic(), status,
+                            outcome=outcome, failed=failed)
+
+    crew = [threading.Thread(target=sender, name=f"loadgen-{i}",
+                             daemon=True)
+            for i in range(max(1, min(concurrency, len(offsets))))]
+    for thread in crew:
+        thread.start()
+    for thread in crew:
+        thread.join()
+    return recorder, monotonic() - started
+
+
+def serialize_pool(pool: List[Dict[str, Any]]) -> List[bytes]:
+    """Pre-serialize request bodies (off the timed path)."""
+    return [json.dumps(request, sort_keys=True).encode("utf-8")
+            for request in pool]

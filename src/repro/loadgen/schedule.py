@@ -1,0 +1,90 @@
+"""Deterministic open-loop arrival schedules.
+
+An open-loop load generator decides *when* each request departs before
+the run starts — arrivals never wait for earlier responses, so a slow
+server accumulates in-flight requests instead of silently throttling
+the offered rate (the closed-loop failure mode that hides latency
+problems).  Each schedule is a pure function of its parameters: the
+same flags always produce the same arrival offsets.
+
+Three shapes:
+
+* ``constant`` — evenly spaced at ``rate`` req/s.
+* ``step`` — ``rate`` until ``step_at_s``, then ``rate_end``.
+* ``ramp`` — linear sweep from ``rate`` to ``rate_end`` over the run;
+  arrival ``i`` solves the cumulative-arrivals integral
+  ``N(t) = r0*t + (r1-r0)*t^2/(2*T)`` for ``N(t) = i`` (a quadratic),
+  so instantaneous spacing matches the instantaneous rate exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["SCHEDULE_KINDS", "arrival_offsets"]
+
+#: The supported schedule shapes, in CLI order.
+SCHEDULE_KINDS = ("constant", "step", "ramp")
+
+
+def _constant(rate: float, duration_s: float,
+              start_s: float = 0.0, start_index: int = 0) -> List[float]:
+    count = int(math.floor(rate * duration_s))
+    return [start_s + index / rate for index in range(count)]
+
+
+def _ramp(rate: float, rate_end: float,
+          duration_s: float) -> List[float]:
+    # N(t) = r0*t + (r1 - r0) * t^2 / (2T); invert for each integer i.
+    slope = (rate_end - rate) / duration_s
+    total = int(math.floor((rate + rate_end) / 2.0 * duration_s))
+    offsets: List[float] = []
+    for index in range(total):
+        if abs(slope) < 1e-12:
+            offsets.append(index / rate)
+            continue
+        # (slope/2) t^2 + r0 t - i = 0 -> positive root.
+        discriminant = rate * rate + 2.0 * slope * index
+        offsets.append((math.sqrt(max(discriminant, 0.0)) - rate)
+                       / slope)
+    return offsets
+
+
+def arrival_offsets(kind: str, rate: float, duration_s: float,
+                    rate_end: Optional[float] = None,
+                    step_at_s: Optional[float] = None) -> List[float]:
+    """Return the sorted arrival offsets (seconds from run start).
+
+    Args:
+        kind: one of :data:`SCHEDULE_KINDS`.
+        rate: the (initial) offered rate in requests/second.
+        duration_s: total run length.
+        rate_end: the post-step / ramp-target rate (``step``/``ramp``).
+        step_at_s: the step instant (``step`` only; defaults to the
+            midpoint).
+
+    Raises:
+        ValueError: unknown kind or non-positive rate/duration.
+    """
+    if kind not in SCHEDULE_KINDS:
+        raise ValueError(f"unknown schedule kind {kind!r}; choose from "
+                         f"{SCHEDULE_KINDS}")
+    if rate <= 0.0 or duration_s <= 0.0:
+        raise ValueError(f"rate and duration must be positive: "
+                         f"rate={rate!r}, duration_s={duration_s!r}")
+    if kind == "constant":
+        return _constant(rate, duration_s)
+    if rate_end is None or rate_end <= 0.0:
+        raise ValueError(f"{kind} schedule needs a positive rate_end, "
+                         f"got {rate_end!r}")
+    if kind == "step":
+        at = duration_s / 2.0 if step_at_s is None else step_at_s
+        if not 0.0 < at < duration_s:
+            raise ValueError(f"step_at_s must fall inside the run: "
+                             f"{step_at_s!r}")
+        first = _constant(rate, at)
+        second = [at + offset
+                  for offset in _constant(rate_end, duration_s - at)]
+        return first + second
+    return _ramp(rate, rate_end, duration_s)

@@ -1,0 +1,133 @@
+"""End-to-end loadgen smoke gate (used by CI).
+
+Boots a real planning server on an ephemeral port (metrics engine on,
+access log on), fires a short constant-rate open-loop run through the
+actual ``bundle-charging loadgen`` CLI, and asserts the telemetry
+contracts end to end:
+
+1. the loadgen report validates against ``bundle-charging/loadgen/v1``
+   and carries a present, finite p99 with non-degenerate p50 < p99;
+2. ``/metrics`` (JSON) validates as service-metrics/v2 and the engine
+   histograms saw the run's requests;
+3. ``/metrics?format=prometheus`` serves text exposition;
+4. the access log parses line-by-line and every record validates
+   against ``bundle-charging/access/v1``.
+
+Run directly: ``python -m repro.loadgen.smoke``.  Exit 0 = all hold.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import tempfile
+import urllib.request
+from typing import Any, Dict, Tuple
+
+from ..service.accesslog import access_record_problems
+from ..service.config import ServiceConfig
+from ..service.http import start_server, stop_server
+from ..service.metrics import metrics_problems
+from .cli import main as loadgen_main
+from .report import report_problems
+
+__all__ = ["run_smoke"]
+
+
+def _get(url: str, accept: str = "application/json"
+         ) -> Tuple[int, str, bytes]:
+    request = urllib.request.Request(url, headers={"Accept": accept})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return (response.status,
+                response.headers.get("Content-Type", ""),
+                response.read())
+
+
+def run_smoke(duration_s: float = 5.0, rate: float = 30.0) -> int:
+    """Run the smoke sequence; return 0 on success, 1 on any failure."""
+    failures = []
+
+    def check(condition: bool, label: str) -> None:
+        print(("ok   " if condition else "FAIL ") + label)
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        access_path = os.path.join(scratch, "access.jsonl")
+        report_path = os.path.join(scratch, "loadgen.json")
+        config = ServiceConfig(port=0, jobs=2, queue_limit=64,
+                               timeout_s=60.0, access_log=access_path)
+        server, _ = start_server(config)
+        base = f"http://{config.host}:{server.port}"
+        try:
+            exit_code = loadgen_main([
+                "--url", base, "--rate", str(rate),
+                "--duration-s", str(duration_s), "--pool", "4",
+                "--zipf-s", "1.1", "--n", "40", "--seed", "0",
+                "--out", report_path,
+            ])
+            check(exit_code == 0, "loadgen CLI exits 0")
+
+            with open(report_path, encoding="utf-8") as handle:
+                report: Dict[str, Any] = json.load(handle)
+            problems = report_problems(report)
+            check(not problems,
+                  f"report validates against loadgen/v1 {problems}")
+            latency = report["summary"]["latency_s"]
+            p50, p99 = latency["p50"], latency["p99"]
+            check(isinstance(p99, float) and math.isfinite(p99),
+                  "p99 present and finite")
+            check(isinstance(p50, float) and p50 < p99,
+                  "p50 < p99 (non-degenerate distribution)")
+            check(report["summary"]["errors"] == 0,
+                  "no request errors under the smoke load")
+
+            status, content_type, raw = _get(f"{base}/metrics")
+            doc = json.loads(raw.decode("utf-8"))
+            problems = metrics_problems(doc)
+            check(status == 200 and not problems,
+                  f"metrics JSON validates as v2 {problems}")
+            engine = doc.get("metrics") or {}
+            histograms = {entry["name"]
+                          for entry in engine.get("histograms", [])}
+            check("service.request_seconds" in histograms,
+                  "request latency histogram populated")
+
+            status, content_type, raw = _get(
+                f"{base}/metrics?format=prometheus")
+            text = raw.decode("utf-8")
+            check(status == 200 and content_type.startswith("text/plain")
+                  and "# TYPE" in text
+                  and "bc_service_request_seconds_bucket" in text,
+                  "prometheus exposition served")
+        finally:
+            stop_server(server, drain=True)
+
+        with open(access_path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        check(len(lines) >= 1, "access log is non-empty")
+        bad = 0
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if access_record_problems(record):
+                bad += 1
+        check(bad == 0,
+              f"every access record parses and validates "
+              f"({len(lines)} lines, {bad} bad)")
+
+    if failures:
+        print(f"{len(failures)} loadgen smoke check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("loadgen smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

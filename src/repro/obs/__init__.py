@@ -21,23 +21,35 @@ from .jsonl import read_jsonl, write_jsonl
 from .manifest import (MANIFEST_SCHEMA, REQUIRED_MANIFEST_FIELDS,
                        build_manifest, config_digest, git_revision,
                        write_manifest)
+from .metrics import (DEFAULT_LATENCY_BOUNDS, METRICS,
+                      METRICS_ENGINE_SCHEMA, NULL_HISTOGRAM, Histogram,
+                      MetricsRegistry, bucket_quantile,
+                      render_prometheus, summarize_histogram)
 from .tracer import (NULL_SPAN, TRACE_SCHEMA, Span, Tracer, TRACER,
                      obs_emit, obs_enabled, obs_span)
 from .validate import (KNOWN_EVENT_TYPES, KNOWN_SPAN_NAMES,
-                       validate_events, validate_jsonl,
+                       validate_access_record, validate_events,
+                       validate_jsonl, validate_loadgen_report,
                        validate_manifest, validate_request,
-                       validate_response)
+                       validate_response, validate_service_metrics)
 
 __all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "Histogram",
     "KNOWN_EVENT_TYPES",
     "KNOWN_SPAN_NAMES",
     "MANIFEST_SCHEMA",
+    "METRICS",
+    "METRICS_ENGINE_SCHEMA",
+    "MetricsRegistry",
+    "NULL_HISTOGRAM",
     "NULL_SPAN",
     "REQUIRED_MANIFEST_FIELDS",
     "Span",
     "TRACER",
     "TRACE_SCHEMA",
     "Tracer",
+    "bucket_quantile",
     "build_manifest",
     "config_digest",
     "git_revision",
@@ -45,11 +57,16 @@ __all__ = [
     "obs_enabled",
     "obs_span",
     "read_jsonl",
+    "render_prometheus",
+    "summarize_histogram",
+    "validate_access_record",
     "validate_events",
     "validate_jsonl",
+    "validate_loadgen_report",
     "validate_manifest",
     "validate_request",
     "validate_response",
+    "validate_service_metrics",
     "write_jsonl",
     "write_manifest",
 ]

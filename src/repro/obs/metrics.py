@@ -1,0 +1,465 @@
+"""Deterministic, dependency-free metrics engine.
+
+Three instrument kinds — monotonically increasing **counters**,
+last-write **gauges**, and fixed-boundary **histograms** — collected in
+a :class:`MetricsRegistry` and exported as a plain-JSON snapshot or as
+Prometheus text exposition.  The engine exists for the serving stack
+(`repro.service` labels request latency/queue-wait/compute histograms
+by planner and cache outcome), but it is generic: names are dotted
+strings, labels are ``str -> str`` pairs, and nothing here imports
+outside the stdlib.
+
+Design contracts, mirroring the rest of ``repro.obs``:
+
+* **Zero-cost disabled path.**  A disabled registry's ``inc``/``set``/
+  ``observe`` return after one attribute check, and
+  :meth:`MetricsRegistry.histogram` hands back the shared, immutable
+  :data:`NULL_HISTOGRAM` (the :data:`repro.obs.tracer.NULL_SPAN`
+  pattern: ``__slots__ = ()``, falsy, allocation-free).
+* **Determinism.**  Snapshots are sorted by ``(name, labels)``; the
+  same observations in any order produce the same snapshot.  The engine
+  itself never reads a clock — callers observe durations they measured
+  through :mod:`repro.clock`.
+* **Mergeability.**  :meth:`MetricsRegistry.merge_snapshot` folds a
+  worker's snapshot into this registry (counters/bucket counts sum,
+  gauges last-write, min/max combine), the same hand-off shape as
+  :meth:`repro.perf.PerfRegistry.merge_snapshot`.
+
+Quantiles are computed from the bucket counts by *exact linear
+interpolation*: the containing bucket is located by cumulative rank and
+the estimate interpolates between the bucket's edges, with the outer
+edges clamped to the observed min/max (so ``quantile(0.0) == min`` and
+``quantile(1.0) == max`` exactly, and a single-bucket histogram
+interpolates over its true observed range, not the full bucket width).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Version tag stamped on exported engine snapshots.
+METRICS_ENGINE_SCHEMA = "bundle-charging/metrics-engine/v1"
+
+#: Default latency boundaries (seconds): sub-millisecond to one minute,
+#: roughly logarithmic.  Observations above the last edge land in the
+#: overflow bucket; below the first edge, in the first bucket.
+DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "METRICS_ENGINE_SCHEMA",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "NULL_HISTOGRAM",
+    "bucket_quantile",
+    "render_prometheus",
+    "summarize_histogram",
+]
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelItems:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def bucket_quantile(boundaries: Sequence[float], counts: Sequence[int],
+                    count: int, vmin: float, vmax: float,
+                    q: float) -> Optional[float]:
+    """Quantile ``q`` of a bucketed distribution, or None when empty.
+
+    Locates the bucket containing rank ``q * count`` and linearly
+    interpolates between its edges; the first bucket's lower edge and
+    the overflow bucket's upper edge are the observed min/max, and the
+    result is clamped to ``[vmin, vmax]``.
+    """
+    if count <= 0:
+        return None
+    if q <= 0.0:
+        return vmin
+    if q >= 1.0:
+        return vmax
+    target = q * count
+    cumulative = 0.0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count <= 0:
+            continue
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= target:
+            lower = boundaries[index - 1] if index > 0 else vmin
+            upper = (boundaries[index] if index < len(boundaries)
+                     else vmax)
+            lower = max(lower, vmin)
+            upper = min(upper, vmax)
+            if upper < lower:
+                upper = lower
+            fraction = (target - previous) / bucket_count
+            return lower + (upper - lower) * fraction
+    return vmax
+
+
+class _NullHistogram:
+    """The shared disabled histogram: falsy, immutable, allocation-free.
+
+    ``__slots__ = ()`` guarantees no instance dict exists, so no code
+    path through a disabled histogram can write an attribute — the
+    same zero-cost contract as :data:`repro.obs.tracer.NULL_SPAN`.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def observe(self, value: float) -> None:
+        """Ignore the observation (disabled)."""
+
+
+#: The one disabled histogram every accessor shares while the owning
+#: registry is disabled.
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class Histogram:
+    """A fixed-boundary histogram with exact-interpolation quantiles.
+
+    ``len(boundaries) + 1`` buckets: bucket ``i`` holds observations in
+    ``(boundaries[i-1], boundaries[i]]`` and the final bucket is the
+    overflow for everything above the last edge.  Observations below
+    the first edge clamp into the first bucket; non-finite values are
+    clamped by sign (``+inf`` overflow, ``-inf`` first bucket) and NaN
+    is dropped.  Thread-safe: the serving workers share instances.
+    """
+
+    __slots__ = ("boundaries", "counts", "count", "total", "vmin",
+                 "vmax", "_lock")
+
+    def __init__(self, boundaries: Sequence[float] =
+                 DEFAULT_LATENCY_BOUNDS) -> None:
+        edges = tuple(float(edge) for edge in boundaries)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError(
+                f"histogram boundaries must be strictly increasing "
+                f"and non-empty: {boundaries!r}")
+        self.boundaries = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+        self._lock = threading.Lock()
+
+    def __bool__(self) -> bool:
+        return True
+
+    def observe(self, value: float) -> None:
+        """Record one observation (clamped into the edge buckets)."""
+        value = float(value)
+        if value != value:  # NaN: unorderable, no bucket to clamp into
+            return
+        index = bisect_left(self.boundaries, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.vmin:
+                self.vmin = value
+            if value > self.vmax:
+                self.vmax = value
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Interpolated quantile ``q`` in [0, 1]; None when empty."""
+        with self._lock:
+            return bucket_quantile(self.boundaries, self.counts,
+                                   self.count, self.vmin, self.vmax, q)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable state (mergeable; see ``merge_snapshot``)."""
+        with self._lock:
+            return {
+                "boundaries": list(self.boundaries),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum": self.total,
+                "min": self.vmin if self.count else None,
+                "max": self.vmax if self.count else None,
+            }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Raises:
+            ValueError: when the boundary vectors differ (merging
+                incompatible bucket layouts would silently corrupt
+                quantiles).
+        """
+        if list(snapshot["boundaries"]) != list(self.boundaries):
+            raise ValueError(
+                f"cannot merge histograms with different boundaries: "
+                f"{snapshot['boundaries']!r} vs {list(self.boundaries)!r}")
+        with self._lock:
+            for index, bucket_count in enumerate(snapshot["counts"]):
+                self.counts[index] += bucket_count
+            self.count += snapshot["count"]
+            self.total += snapshot["sum"]
+            if snapshot["min"] is not None:
+                self.vmin = min(self.vmin, snapshot["min"])
+            if snapshot["max"] is not None:
+                self.vmax = max(self.vmax, snapshot["max"])
+
+
+def summarize_histogram(entry: Dict[str, Any],
+                        quantiles: Sequence[float] = (0.5, 0.9, 0.95,
+                                                      0.99)
+                        ) -> Dict[str, Any]:
+    """Add interpolated percentile fields to a histogram snapshot dict.
+
+    Returns a new dict with ``p50``/``p90``/... keys (``p99`` for
+    ``0.99``) and ``mean`` derived from the bucket data — the form the
+    ``/metrics`` v2 document embeds.
+    """
+    vmin = entry["min"] if entry["min"] is not None else float("inf")
+    vmax = entry["max"] if entry["max"] is not None else float("-inf")
+    summarized = dict(entry)
+    for q in quantiles:
+        label = f"p{round(q * 100):d}" if q * 100 == round(q * 100) \
+            else f"p{q * 100:g}"
+        summarized[label] = bucket_quantile(
+            entry["boundaries"], entry["counts"], entry["count"],
+            vmin, vmax, q)
+    summarized["mean"] = (entry["sum"] / entry["count"]
+                          if entry["count"] else None)
+    return summarized
+
+
+class MetricsRegistry:
+    """Labeled counters, gauges and histograms behind one enable flag.
+
+    Instruments are keyed by ``(name, sorted labels)``.  The registry
+    starts disabled (the zero-cost default); the planning service
+    enables its per-server instance at startup, and the module-level
+    :data:`METRICS` registry serves ad-hoc callers the way
+    :data:`repro.obs.tracer.TRACER` does for spans.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelItems], int] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], float] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        self._boundaries: Dict[str, Tuple[float, ...]] = {}
+
+    # --- recording --------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1, **labels: Any) -> None:
+        """Bump counter ``name{labels}`` by ``amount``."""
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set gauge ``name{labels}`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float,
+                boundaries: Optional[Sequence[float]] = None,
+                **labels: Any) -> None:
+        """Record ``value`` into histogram ``name{labels}``."""
+        if not self.enabled:
+            return
+        self._histogram(name, boundaries, labels).observe(value)
+
+    def histogram(self, name: str,
+                  boundaries: Optional[Sequence[float]] = None,
+                  **labels: Any):
+        """Return the live histogram handle (or :data:`NULL_HISTOGRAM`).
+
+        Binding the handle once lets a hot call site skip the registry
+        lookup per observation; disabled registries hand back the
+        shared no-op so the call site needs no branch of its own.
+        """
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._histogram(name, boundaries, labels)
+
+    def _histogram(self, name: str,
+                   boundaries: Optional[Sequence[float]],
+                   labels: Dict[str, Any]) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                edges = self._boundaries.get(name)
+                if edges is None:
+                    edges = (tuple(float(b) for b in boundaries)
+                             if boundaries is not None
+                             else DEFAULT_LATENCY_BOUNDS)
+                    self._boundaries[name] = edges
+                histogram = Histogram(edges)
+                self._histograms[key] = histogram
+            return histogram
+
+    # --- export -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic JSON view: entries sorted by (name, labels)."""
+        with self._lock:
+            counters = [
+                {"name": name, "labels": dict(label_items),
+                 "value": value}
+                for (name, label_items), value
+                in sorted(self._counters.items())
+            ]
+            gauges = [
+                {"name": name, "labels": dict(label_items),
+                 "value": value}
+                for (name, label_items), value
+                in sorted(self._gauges.items())
+            ]
+            histogram_items = sorted(self._histograms.items())
+        histograms = []
+        for (name, label_items), histogram in histogram_items:
+            entry: Dict[str, Any] = {"name": name,
+                                     "labels": dict(label_items)}
+            entry.update(histogram.snapshot())
+            histograms.append(entry)
+        return {
+            "schema": METRICS_ENGINE_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram buckets sum, gauges take the incoming
+        value, min/max combine — the worker hand-off contract shared
+        with :meth:`repro.perf.PerfRegistry.merge_snapshot`.
+        """
+        if not self.enabled:
+            return
+        for entry in snapshot.get("counters", ()):
+            self.inc(entry["name"], entry["value"], **entry["labels"])
+        for entry in snapshot.get("gauges", ()):
+            self.set_gauge(entry["name"], entry["value"],
+                           **entry["labels"])
+        for entry in snapshot.get("histograms", ()):
+            histogram = self._histogram(entry["name"],
+                                        entry["boundaries"],
+                                        entry["labels"])
+            histogram.merge_snapshot(entry)
+
+    def reset(self) -> None:
+        """Drop every instrument (keeps ``enabled``)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._boundaries.clear()
+
+
+#: The process-wide default registry (disabled until someone opts in),
+#: mirroring :data:`repro.obs.tracer.TRACER`.
+METRICS = MetricsRegistry(enabled=False)
+
+
+# --- Prometheus text exposition ------------------------------------------
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    """Sanitize a dotted metric name into Prometheus form."""
+    sanitized = "".join(
+        ch if (ch.isascii() and (ch.isalnum() or ch in "_:")) else "_"
+        for ch in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized + suffix
+
+
+def _prom_labels(labels: Dict[str, str],
+                 extra: Optional[Dict[str, str]] = None) -> str:
+    """Render a label set as ``{k="v",...}`` (empty string when none)."""
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key in sorted(merged):
+        value = str(merged[key]).replace("\\", r"\\") \
+            .replace('"', r'\"').replace("\n", r"\n")
+        parts.append(f'{_prom_name(key)}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_number(value: float) -> str:
+    """Render a sample value (Prometheus spells infinities ``+Inf``)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: Dict[str, Any],
+                      prefix: str = "bc") -> str:
+    """Render an engine snapshot as Prometheus text exposition.
+
+    Counters become ``<prefix>_<name>_total``, gauges plain gauges,
+    histograms the conventional cumulative ``_bucket{le=...}`` series
+    plus ``_sum`` and ``_count``.  Lines are emitted in snapshot order
+    (already sorted), so the exposition is deterministic.
+    """
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def type_line(metric: str, kind: str) -> None:
+        if seen_types.get(metric) != kind:
+            seen_types[metric] = kind
+            lines.append(f"# TYPE {metric} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        metric = _prom_name(f"{prefix}.{entry['name']}", "_total")
+        type_line(metric, "counter")
+        lines.append(f"{metric}{_prom_labels(entry['labels'])} "
+                     f"{entry['value']}")
+    for entry in snapshot.get("gauges", ()):
+        metric = _prom_name(f"{prefix}.{entry['name']}")
+        type_line(metric, "gauge")
+        lines.append(f"{metric}{_prom_labels(entry['labels'])} "
+                     f"{_prom_number(entry['value'])}")
+    for entry in snapshot.get("histograms", ()):
+        metric = _prom_name(f"{prefix}.{entry['name']}")
+        type_line(metric, "histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        for edge, bucket_count in zip(entry["boundaries"],
+                                      entry["counts"]):
+            cumulative += bucket_count
+            lines.append(
+                f"{metric}_bucket"
+                f"{_prom_labels(labels, {'le': _prom_number(edge)})} "
+                f"{cumulative}")
+        lines.append(
+            f"{metric}_bucket"
+            f"{_prom_labels(labels, {'le': '+Inf'})} {entry['count']}")
+        lines.append(f"{metric}_sum{_prom_labels(labels)} "
+                     f"{_prom_number(entry['sum'])}")
+        lines.append(f"{metric}_count{_prom_labels(labels)} "
+                     f"{entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -26,9 +26,9 @@ parent's current span.
 from __future__ import annotations
 
 import json
-import time
 from typing import Any, Dict, List, Optional
 
+from ..clock import perf_counter, wall
 from ..perf.counters import PERF
 
 #: Version tag stamped on every exported event stream header.
@@ -92,16 +92,16 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
-        self._wall = time.time()
+        self._wall = wall()
         self._perf_counters = dict(PERF._counters)
         self._perf_timers = dict(PERF._timer_total)
         self._perf_calls = dict(PERF._timer_calls)
         self._tracer._stack.append(self)
-        self._started = time.perf_counter()
+        self._started = perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        duration = time.perf_counter() - self._started
+        duration = perf_counter() - self._started
         tracer = self._tracer
         if tracer._stack and tracer._stack[-1] is self:
             tracer._stack.pop()

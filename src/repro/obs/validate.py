@@ -40,9 +40,11 @@ KNOWN_EVENT_TYPES = frozenset({
 _SPAN_REQUIRED = ("name", "span_id", "parent_id", "wall_s",
                   "duration_s", "attrs")
 
-__all__ = ["KNOWN_EVENT_TYPES", "KNOWN_SPAN_NAMES", "validate_events",
-           "validate_jsonl", "validate_manifest", "validate_request",
-           "validate_response"]
+__all__ = ["KNOWN_EVENT_TYPES", "KNOWN_SPAN_NAMES",
+           "validate_access_record", "validate_events",
+           "validate_jsonl", "validate_loadgen_report",
+           "validate_manifest", "validate_request",
+           "validate_response", "validate_service_metrics"]
 
 
 def validate_request(body: Any) -> List[str]:
@@ -62,6 +64,29 @@ def validate_response(envelope: Any) -> List[str]:
     """Validate a ``bundle-charging/response/v1`` service envelope."""
     from ..service.request import response_problems
     return response_problems(envelope)
+
+
+def validate_service_metrics(document: Any) -> List[str]:
+    """Validate a ``bundle-charging/service-metrics/v1|v2`` document.
+
+    Both schema generations are accepted — the ``schema`` field is the
+    discriminator a consumer switches on; v2 is a strict superset of
+    the v1 keys.
+    """
+    from ..service.metrics import metrics_problems
+    return metrics_problems(document)
+
+
+def validate_access_record(record: Any) -> List[str]:
+    """Validate one ``bundle-charging/access/v1`` access-log record."""
+    from ..service.accesslog import access_record_problems
+    return access_record_problems(record)
+
+
+def validate_loadgen_report(report: Any) -> List[str]:
+    """Validate a ``bundle-charging/loadgen/v1`` load-test report."""
+    from ..loadgen.report import report_problems
+    return report_problems(report)
 
 
 def validate_manifest(manifest: Dict[str, Any]) -> List[str]:

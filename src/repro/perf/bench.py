@@ -10,13 +10,15 @@ run whose results diverged.  The TSP ``*-fast`` strategies are heuristic
 variants (documented as such), so their entry reports tour quality
 instead of identity.
 
-The report is written as JSON (``BENCH_PR6.json`` by default; the
+The report is written as JSON (``BENCH_PR7.json`` by default; the
 ``benchmark`` field follows the file name) so speedup trajectories can
 be tracked across PRs — each PR writes its own ``BENCH_PR<k>.json`` with
-the same entry keys.  Beyond the kernel entries, two end-to-end entries
-measure the caching layers: the cold-vs-warm radius sweep
-(``cache_warm_sweep``) and the planning service's HTTP throughput at
-several client concurrencies (``service_throughput``).
+the same entry keys.  Beyond the kernel entries, three end-to-end
+entries measure the serving layers: the cold-vs-warm radius sweep
+(``cache_warm_sweep``), the planning service's HTTP throughput at
+several client concurrencies (``service_throughput``), and the
+service's cold-vs-warm latency percentiles under open-loop burst load
+(``service_latency``, built on :mod:`repro.loadgen`).
 """
 
 from __future__ import annotations
@@ -41,14 +43,18 @@ _FULL = {"greedy_n": 400, "greedy_radius": 20.0, "greedy_reps": 5,
          "cache_n": 300, "cache_runs": 5,
          "cache_radii": (10.0, 20.0, 30.0, 40.0),
          "service_n": 300, "service_requests": 8,
-         "service_concurrency": (1, 4, 16)}
+         "service_concurrency": (1, 4, 16),
+         "latency_n": 300, "latency_requests": 8,
+         "latency_concurrency": (1, 4)}
 _QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
           "ellipse_cases": 400, "tsp_n": 120,
           "soa_n": 250, "soa_radius": 20.0, "soa_reps": 3,
           "cache_n": 100, "cache_runs": 2,
           "cache_radii": (10.0, 20.0),
           "service_n": 100, "service_requests": 4,
-          "service_concurrency": (1, 4)}
+          "service_concurrency": (1, 4),
+          "latency_n": 100, "latency_requests": 4,
+          "latency_concurrency": (1, 4)}
 
 
 def _best_of(func: Callable[[], object], reps: int) -> Tuple[float, object]:
@@ -444,8 +450,70 @@ def _bench_service_throughput(sizes: Dict) -> Dict:
         {"requests": count, "planner": "BC", "levels": detail})
 
 
+def _bench_service_latency(sizes: Dict) -> Dict:
+    """Cold-vs-warm service latency percentiles under open-loop load.
+
+    Built on :mod:`repro.loadgen`: per concurrency level a fresh server
+    answers a burst of distinct ``/v1/plan`` requests (every arrival
+    scheduled at t=0, so the recorder's coordinated-omission-safe
+    latencies include queueing at saturation), then the identical burst
+    again warm from the stage cache.  ``reference_s``/``fast_s`` are
+    the summed cold/warm burst durations; the percentile decomposition
+    per level lives in ``detail``.  ``identical`` stays ``None`` —
+    payload identity over the wire is already gated by
+    ``service_throughput``.
+    """
+    from ..loadgen.mix import build_pool
+    from ..loadgen.runner import run_load, serialize_pool
+    from ..service import ServiceConfig, start_server, stop_server
+
+    n = sizes["latency_n"]
+    count = sizes["latency_requests"]
+    levels = sizes["latency_concurrency"]
+    bodies = serialize_pool(build_pool(count, n, "BC"))
+    offsets = [0.0] * count
+    assignment = list(range(count))
+
+    def percentiles(summary: Dict) -> Dict:
+        latency = summary["latency_s"]
+        return {key: (round(latency[key], 6)
+                      if latency[key] is not None else None)
+                for key in ("p50", "p95", "p99", "max")}
+
+    detail: Dict[str, Dict] = {}
+    cold_total = 0.0
+    warm_total = 0.0
+    for level in levels:
+        config = ServiceConfig(
+            port=0, jobs=min(level, 4),
+            queue_limit=max(32, 2 * count), timeout_s=600.0)
+        server, _ = start_server(config)
+        url = f"http://{config.host}:{server.port}/v1/plan"
+        try:
+            cold_rec, cold_s = run_load(url, offsets, bodies,
+                                        assignment, timeout_s=600.0,
+                                        concurrency=level)
+            warm_rec, warm_s = run_load(url, offsets, bodies,
+                                        assignment, timeout_s=600.0,
+                                        concurrency=level)
+        finally:
+            stop_server(server)
+        cold_total += cold_s
+        warm_total += warm_s
+        detail[f"c{level}"] = {
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "cold": percentiles(cold_rec.summary()),
+            "warm": percentiles(warm_rec.summary()),
+            "errors": cold_rec.errors + warm_rec.errors,
+        }
+    return _entry(
+        f"service_latency_n{n}", cold_total, warm_total, None,
+        {"requests": count, "planner": "BC", "levels": detail})
+
+
 def run_benchmarks(quick: bool = False,
-                   out_path: Optional[str] = "BENCH_PR6.json") -> Dict:
+                   out_path: Optional[str] = "BENCH_PR7.json") -> Dict:
     """Run every kernel benchmark and (optionally) write the JSON report.
 
     Args:
@@ -473,10 +541,11 @@ def run_benchmarks(quick: bool = False,
         _bench_fig13_sweep(quick),
         _bench_cache_sweep(sizes),
         _bench_service_throughput(sizes),
+        _bench_service_latency(sizes),
     ]
     elapsed = time.perf_counter() - started
     label = (os.path.splitext(os.path.basename(out_path))[0]
-             if out_path else "BENCH_PR6")
+             if out_path else "BENCH_PR7")
     report = {
         "benchmark": label,
         "quick": quick,

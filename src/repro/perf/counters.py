@@ -10,17 +10,33 @@ Counters and timers are namespaced with dotted names
 (``"bundling.cover"``, ``"ellipse.golden_fallback"``) and exported as a
 JSON-friendly snapshot; the benchmark harness embeds these snapshots in
 its ``BENCH_*.json`` trajectory files.
+
+:meth:`PerfRegistry.observe` adds fixed-boundary distributions on top:
+a dict of bucket counts plus count/sum/min/max per name, mergeable
+across ``--jobs`` workers through :meth:`PerfRegistry.merge_snapshot`
+exactly like counters and timers.  This is deliberately *not* the
+labeled engine in :mod:`repro.obs.metrics` — ``repro.perf`` must stay
+import-free of optional subsystems, so it carries its own minimal
+bucketing (shared default boundaries, no labels).
 """
 
 from __future__ import annotations
 
 import json
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 __all__ = ["PerfRegistry", "PERF", "perf_timer", "perf_add",
            "perf_snapshot", "perf_reset"]
+
+#: Default histogram boundaries (seconds) — mirrors
+#: ``repro.obs.metrics.DEFAULT_LATENCY_BOUNDS`` without importing it.
+_DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 
 class PerfRegistry:
@@ -36,6 +52,7 @@ class PerfRegistry:
         self._timer_total: Dict[str, float] = {}
         self._timer_calls: Dict[str, int] = {}
         self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Dict[str, object]] = {}
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -65,6 +82,34 @@ class PerfRegistry:
         self._timer_total[name] = self._timer_total.get(name, 0.0) + seconds
         self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
 
+    def observe(self, name: str, value: float,
+                boundaries: Sequence[float] = _DEFAULT_BOUNDS) -> None:
+        """Record ``value`` into fixed-boundary histogram ``name``.
+
+        ``len(boundaries) + 1`` buckets with a trailing overflow;
+        values below the first edge clamp into the first bucket and
+        NaN is dropped.  Boundaries are fixed at first observation.
+        """
+        if not self.enabled:
+            return
+        value = float(value)
+        if value != value:  # NaN: unorderable, no bucket to clamp into
+            return
+        entry = self._histograms.get(name)
+        if entry is None:
+            edges = tuple(float(edge) for edge in boundaries)
+            entry = {"boundaries": edges,
+                     "counts": [0] * (len(edges) + 1),
+                     "count": 0, "sum": 0.0,
+                     "min": float("inf"), "max": float("-inf")}
+            self._histograms[name] = entry
+        counts: List[int] = entry["counts"]  # type: ignore[assignment]
+        counts[bisect_left(entry["boundaries"], value)] += 1
+        entry["count"] = entry["count"] + 1  # type: ignore[operator]
+        entry["sum"] = entry["sum"] + value  # type: ignore[operator]
+        entry["min"] = min(entry["min"], value)  # type: ignore[type-var]
+        entry["max"] = max(entry["max"], value)  # type: ignore[type-var]
+
     def counter(self, name: str) -> int:
         """Return the current value of counter ``name`` (0 if unseen)."""
         return self._counters.get(name, 0)
@@ -74,22 +119,42 @@ class PerfRegistry:
         return self._timer_total.get(name, 0.0)
 
     def snapshot(self) -> Dict[str, object]:
-        """Return a JSON-serializable view of all timers and counters."""
+        """Return a JSON-serializable view of all instruments."""
         timers = {
             name: {"total_s": total,
                    "calls": self._timer_calls.get(name, 0)}
             for name, total in sorted(self._timer_total.items())
         }
-        return {"timers": timers, "counters": dict(sorted(
-            self._counters.items()))}
+        result: Dict[str, object] = {
+            "timers": timers,
+            "counters": dict(sorted(self._counters.items())),
+        }
+        if self._histograms:
+            result["histograms"] = {
+                name: {"boundaries": list(entry["boundaries"]),
+                       "counts": list(entry["counts"]),
+                       "count": entry["count"], "sum": entry["sum"],
+                       "min": (entry["min"] if entry["count"]
+                               else None),
+                       "max": (entry["max"] if entry["count"]
+                               else None)}
+                for name, entry in sorted(self._histograms.items())
+            }
+        return result
 
     def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
         Counters are summed; timers sum both total seconds and call
-        counts.  This is how worker processes' per-seed registries are
-        folded back into the parent after a ``--jobs N`` run, so the
-        parallel and serial runners report identical op counts.
+        counts; histogram buckets sum with min/max combining.  This is
+        how worker processes' per-seed registries are folded back into
+        the parent after a ``--jobs N`` run, so the parallel and serial
+        runners report identical op counts.
+
+        Raises:
+            ValueError: when a histogram arrives with boundaries that
+                differ from the ones already accumulated under the
+                same name.
         """
         if not self.enabled:
             return
@@ -100,12 +165,41 @@ class PerfRegistry:
                                        + stats["total_s"])
             self._timer_calls[name] = (self._timer_calls.get(name, 0)
                                        + stats["calls"])
+        for name, incoming in snapshot.get("histograms", {}).items():
+            entry = self._histograms.get(name)
+            if entry is None:
+                edges = tuple(float(edge)
+                              for edge in incoming["boundaries"])
+                entry = {"boundaries": edges,
+                         "counts": [0] * (len(edges) + 1),
+                         "count": 0, "sum": 0.0,
+                         "min": float("inf"), "max": float("-inf")}
+                self._histograms[name] = entry
+            if list(entry["boundaries"]) != \
+                    list(incoming["boundaries"]):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: boundary "
+                    f"vectors differ")
+            counts: List[int] = entry["counts"]  # type: ignore[assignment]
+            for index, bucket in enumerate(incoming["counts"]):
+                counts[index] += bucket
+            entry["count"] = entry["count"] \
+                + incoming["count"]  # type: ignore[operator]
+            entry["sum"] = entry["sum"] \
+                + incoming["sum"]  # type: ignore[operator]
+            if incoming.get("min") is not None:
+                entry["min"] = min(entry["min"],  # type: ignore[type-var]
+                                   incoming["min"])
+            if incoming.get("max") is not None:
+                entry["max"] = max(entry["max"],  # type: ignore[type-var]
+                                   incoming["max"])
 
     def reset(self) -> None:
-        """Clear all timers and counters (keeps ``enabled``)."""
+        """Clear all instruments (keeps ``enabled``)."""
         self._timer_total.clear()
         self._timer_calls.clear()
         self._counters.clear()
+        self._histograms.clear()
 
     def write_json(self, path: str) -> None:
         """Write :meth:`snapshot` to ``path`` as indented JSON."""

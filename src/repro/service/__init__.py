@@ -17,18 +17,22 @@ Layering (each module imports only downward):
 * :mod:`.executor` — canonical request -> deterministic payload,
   through the stage cache when available.
 * :mod:`.scheduler` — micro-batching queue + worker pool + admission.
-* :mod:`.metrics` — the ``/metrics`` snapshot.
+* :mod:`.metrics` — the ``/metrics`` v2 snapshot + Prometheus text.
+* :mod:`.accesslog` — the JSONL structured access log.
 * :mod:`.http` — the ``ThreadingHTTPServer`` front end.
 * :mod:`.cli` — the ``bundle-charging serve`` subcommand.
 * :mod:`.smoke` — the in-process end-to-end check CI runs.
 """
 
+from .accesslog import (AccessLogWriter, access_record,
+                        access_record_problems)
 from .config import ServiceConfig
 from .executor import cache_for_service, execute_request, plan_payload
 from .http import (PlanningHTTPServer, build_server, start_server,
                    stop_server)
-from .metrics import metrics_snapshot
-from .request import (CACHE_OUTCOMES, METRICS_SCHEMA, REQUEST_SCHEMA,
+from .metrics import metrics_problems, metrics_snapshot, prometheus_text
+from .request import (ACCESS_SCHEMA, CACHE_OUTCOMES, METRICS_SCHEMA,
+                      METRICS_SCHEMA_V2, REQUEST_SCHEMA,
                       RESPONSE_SCHEMA, RequestError, canonical_json,
                       canonical_request, error_envelope, ok_envelope,
                       payload_digest, request_digest, request_problems,
@@ -37,9 +41,12 @@ from .scheduler import (DrainingError, OverloadedError,
                         PlanningScheduler)
 
 __all__ = [
+    "ACCESS_SCHEMA",
+    "AccessLogWriter",
     "CACHE_OUTCOMES",
     "DrainingError",
     "METRICS_SCHEMA",
+    "METRICS_SCHEMA_V2",
     "OverloadedError",
     "PlanningHTTPServer",
     "PlanningScheduler",
@@ -47,16 +54,20 @@ __all__ = [
     "RESPONSE_SCHEMA",
     "RequestError",
     "ServiceConfig",
+    "access_record",
+    "access_record_problems",
     "build_server",
     "cache_for_service",
     "canonical_json",
     "canonical_request",
     "error_envelope",
     "execute_request",
+    "metrics_problems",
     "metrics_snapshot",
     "ok_envelope",
     "payload_digest",
     "plan_payload",
+    "prometheus_text",
     "request_digest",
     "request_problems",
     "response_problems",

@@ -1,0 +1,131 @@
+"""Structured JSONL access log for the planning service.
+
+One line per settled request (schema ``bundle-charging/access/v1``),
+written by the request handler after the response bytes go out.  The
+record carries what the latency histograms aggregate away: the request
+digest, planner, cache outcome, HTTP status, and the per-request
+latency decomposition (total / queue wait / compute), so a slow p99 in
+``/metrics`` can be chased down to the exact requests that caused it.
+
+The writer is append-only, line-buffered, and serialized by a lock —
+``ThreadingHTTPServer`` handlers share one instance — and each record
+is one ``json.dumps(..., sort_keys=True)`` line, so a reader can
+``json.loads`` line-by-line (the CI loadgen gate does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..clock import wall
+from .request import ACCESS_SCHEMA
+
+__all__ = ["ACCESS_SCHEMA", "AccessLogWriter", "access_record",
+           "access_record_problems"]
+
+#: Keys every access record must carry.
+_REQUIRED = ("schema", "ts_unix", "method", "path", "status",
+             "latency_s")
+
+#: Optional numeric fields validated for type when present.
+_OPTIONAL_NUMBERS = ("queue_wait_s", "compute_s", "bytes_out",
+                     "batch_size")
+
+
+def access_record(method: str,
+                  path: str,
+                  status: int,
+                  latency_s: float,
+                  digest: Optional[str] = None,
+                  planner: Optional[str] = None,
+                  outcome: Optional[str] = None,
+                  queue_wait_s: Optional[float] = None,
+                  compute_s: Optional[float] = None,
+                  bytes_out: Optional[int] = None,
+                  batch_size: Optional[int] = None,
+                  error: Optional[str] = None) -> Dict[str, Any]:
+    """Build one access-log record (timestamps stamped here)."""
+    record: Dict[str, Any] = {
+        "schema": ACCESS_SCHEMA,
+        "ts_unix": round(wall(), 6),
+        "method": method,
+        "path": path,
+        "status": int(status),
+        "latency_s": round(float(latency_s), 9),
+    }
+    if digest is not None:
+        record["digest"] = digest
+    if planner is not None:
+        record["planner"] = planner
+    if outcome is not None:
+        record["outcome"] = outcome
+    if queue_wait_s is not None:
+        record["queue_wait_s"] = round(float(queue_wait_s), 9)
+    if compute_s is not None:
+        record["compute_s"] = round(float(compute_s), 9)
+    if bytes_out is not None:
+        record["bytes_out"] = int(bytes_out)
+    if batch_size is not None:
+        record["batch_size"] = int(batch_size)
+    if error is not None:
+        record["error"] = error
+    return record
+
+
+class AccessLogWriter:
+    """Thread-safe append-only JSONL sink for access records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record as a single JSON line and flush."""
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "AccessLogWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def access_record_problems(record: Any) -> List[str]:
+    """Return structural problems of one access record (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return ["access record must be a JSON object"]
+    schema = record.get("schema")
+    if schema != ACCESS_SCHEMA:
+        problems.append(f"unknown access schema {schema!r} "
+                        f"(expected {ACCESS_SCHEMA!r})")
+        return problems
+    for key in _REQUIRED:
+        if key not in record:
+            problems.append(f"access record missing key {key!r}")
+    for key in ("ts_unix", "latency_s"):
+        value = record.get(key)
+        if key in record and not isinstance(value, (int, float)):
+            problems.append(f"{key} must be a number, got {value!r}")
+        elif isinstance(value, (int, float)) and key == "latency_s" \
+                and value < 0.0:
+            problems.append("latency_s must be non-negative")
+    status = record.get("status")
+    if "status" in record and not isinstance(status, int):
+        problems.append(f"status must be an integer, got {status!r}")
+    for key in _OPTIONAL_NUMBERS:
+        value = record.get(key)
+        if key in record and not isinstance(value, (int, float)):
+            problems.append(f"{key} must be a number, got {value!r}")
+    return problems

@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--planners", default=None,
                         help="comma-separated planner allowlist "
                              "(default: serve all registered planners)")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="disable the latency metrics engine "
+                             "(payloads are identical either way)")
+    parser.add_argument("--access-log", default=None,
+                        help="append one JSONL access record per "
+                             "settled request to this file")
     return parser
 
 
@@ -74,7 +80,8 @@ def serve_config(args: argparse.Namespace) -> ServiceConfig:
         queue_limit=args.queue_limit, timeout_s=args.timeout_s,
         use_cache=not args.no_cache, cache_dir=args.cache_dir,
         cache_entries=args.cache_entries, trace_dir=args.trace_dir,
-        planners=planners)
+        planners=planners, metrics=not args.no_metrics,
+        access_log=args.access_log)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

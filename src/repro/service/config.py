@@ -43,6 +43,15 @@ class ServiceConfig:
             manifest there on graceful shutdown.
         max_batch: largest ``/v1/batch`` request list accepted.
         max_body_bytes: largest request body accepted.
+        metrics: run the per-server metrics engine (latency/queue-wait/
+            compute histograms labeled by planner and cache outcome;
+            exported by ``/metrics``).  On by default — the engine is
+            cheap and payloads are unaffected by contract; disable to
+            prove byte-identity or to shave the last histogram update
+            off the hot path.  Silently degrades to off when
+            ``repro.obs`` is absent.
+        access_log: opt-in path of a JSONL structured access log (one
+            ``bundle-charging/access/v1`` record per settled request).
     """
 
     host: str = "127.0.0.1"
@@ -57,6 +66,8 @@ class ServiceConfig:
     trace_dir: Optional[str] = None
     max_batch: int = 16
     max_body_bytes: int = 8 * 1024 * 1024
+    metrics: bool = True
+    access_log: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs <= 0:

@@ -11,7 +11,18 @@ A thin, pure-stdlib layer over :mod:`http.server`:
   one envelope per item.  All items are admitted before any is awaited,
   so identical items in one batch share a single compute.
 * ``GET /healthz`` / ``GET /metrics`` — liveness and the
-  ``bundle-charging/service-metrics/v1`` snapshot.
+  ``bundle-charging/service-metrics/v2`` snapshot (uptime, provenance,
+  scheduler/perf/cache stats, and the labeled latency histograms).
+  ``Accept: text/plain`` or ``?format=prometheus`` switches ``/metrics``
+  to Prometheus text exposition.
+
+Telemetry: each server owns a :class:`repro.obs.metrics.MetricsRegistry`
+(enabled by ``config.metrics``) recording request latency, queue wait
+and compute histograms labeled by planner and cache outcome, plus an
+optional JSONL access log (``config.access_log``) with one
+``bundle-charging/access/v1`` record per settled request.  Both are
+observers only: response payloads are byte-identical with metrics on,
+off, or ``repro.obs`` absent.
 
 Error mapping: 400 invalid JSON / invalid request / unknown planner,
 404 unknown path, 405 wrong method, 413 oversized body, 429 admission
@@ -31,14 +42,15 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..clock import monotonic, wall
+from .accesslog import AccessLogWriter, access_record
 from .config import ServiceConfig
 from .executor import cache_for_service, execute_request
-from .metrics import metrics_snapshot
+from .metrics import metrics_snapshot, prometheus_text
 from .request import (RequestError, canonical_request, error_envelope,
                       ok_envelope)
 from .scheduler import (Batch, DrainingError, OverloadedError,
@@ -46,10 +58,12 @@ from .scheduler import (Batch, DrainingError, OverloadedError,
 
 try:  # observability is optional: the server works with repro.obs absent
     from ..obs.manifest import build_manifest as _build_manifest
+    from ..obs.metrics import MetricsRegistry as _MetricsRegistry
     from ..obs.tracer import TRACER as _TRACER
     _HAVE_OBS = True
 except ImportError:  # pragma: no cover - repro.obs stripped/blocked
     _build_manifest = None  # type: ignore[assignment]
+    _MetricsRegistry = None  # type: ignore[assignment]
     _TRACER = None  # type: ignore[assignment]
     _HAVE_OBS = False
 
@@ -68,10 +82,16 @@ class PlanningHTTPServer(ThreadingHTTPServer):
                          ServiceRequestHandler)
         self.config = config
         self.cache = cache_for_service(config)
+        self.metrics = (_MetricsRegistry(enabled=config.metrics)
+                        if _HAVE_OBS else None)
         self.scheduler = PlanningScheduler(
             lambda request: execute_request(request, self.cache),
-            jobs=config.jobs, queue_limit=config.queue_limit)
-        self.started_monotonic = time.monotonic()
+            jobs=config.jobs, queue_limit=config.queue_limit,
+            metrics=self.metrics)
+        self.access_log = (AccessLogWriter(config.access_log)
+                           if config.access_log else None)
+        self.started_monotonic = monotonic()
+        self.started_unix = wall()
         self.base_provenance: Optional[Dict[str, Any]] = None
         if _HAVE_OBS:
             if config.trace_dir:
@@ -104,6 +124,15 @@ class PlanningHTTPServer(ThreadingHTTPServer):
         provenance["wall_time_s"] = round(wall_time_s, 6)
         return provenance
 
+    def metrics_document(self) -> Dict[str, Any]:
+        """Build the current ``/metrics`` v2 document."""
+        return metrics_snapshot(
+            self.scheduler, self.cache,
+            uptime_s=monotonic() - self.started_monotonic,
+            started_unix=self.started_unix,
+            provenance=self.base_provenance,
+            registry=self.metrics)
+
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
     """Routes the four endpoints; every response body is JSON."""
@@ -117,7 +146,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # --- plumbing ---------------------------------------------------------
 
     def _send_json(self, status: int, document: Dict[str, Any],
-                   headers: Optional[Dict[str, str]] = None) -> None:
+                   headers: Optional[Dict[str, str]] = None) -> int:
         body = json.dumps(document, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -126,11 +155,25 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        return len(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4; "
+                   "charset=utf-8") -> int:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return len(body)
 
     def _send_error_envelope(self, status: int, code: str, message: str,
                              problems: Optional[List[str]] = None
-                             ) -> None:
-        self._send_json(status, error_envelope(code, message, problems))
+                             ) -> int:
+        self._last_error = (status, code)
+        return self._send_json(status,
+                               error_envelope(code, message, problems))
 
     def _read_json_body(self) -> Tuple[Optional[Any], bool]:
         """Return (parsed body, ok); sends the error response itself."""
@@ -211,85 +254,186 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         envelope = ok_envelope(
             batch.payload, batch.outcome,
             provenance=self.server.response_provenance(
-                batch.digest, time.monotonic() - started))
+                batch.digest, monotonic() - started))
         headers = {"X-BC-Cache": batch.outcome,
                    "X-BC-Request-SHA256": batch.digest}
         return envelope, 200, headers
 
+    def _record_plan(self, path: str, status: int, started: float,
+                     batch: Optional[Batch] = None,
+                     document: Optional[Dict[str, Any]] = None,
+                     bytes_out: Optional[int] = None) -> None:
+        """Observe one settled plan item: histograms + access log.
+
+        Pure observer — runs after the response document is built, so
+        it can never perturb payload bytes.
+        """
+        latency = monotonic() - started
+        planner = batch.request.get("planner") if batch else None
+        outcome = batch.outcome if batch and status == 200 else None
+        error = None
+        if document is not None and document.get("status") == "error":
+            error = document.get("error", {}).get("code")
+            outcome = None
+        metrics = self.server.metrics
+        if metrics is not None:
+            metrics.observe("service.request_seconds", latency,
+                            planner=planner or "-",
+                            outcome=outcome or "none",
+                            status=str(status))
+            metrics.inc("service.requests", path=path,
+                        status=str(status))
+        log = self.server.access_log
+        if log is not None:
+            log.write(access_record(
+                "POST", path, status, latency,
+                digest=batch.digest if batch else None,
+                planner=planner, outcome=outcome,
+                queue_wait_s=batch.queue_wait_s if batch else None,
+                compute_s=batch.compute_s if batch else None,
+                bytes_out=bytes_out, error=error))
+
+    def _record_access(self, method: str, path: str, status: int,
+                       started: float,
+                       bytes_out: Optional[int] = None,
+                       error: Optional[str] = None) -> None:
+        """Log a non-plan request (health, metrics, routing errors).
+
+        Counted in ``service.requests`` and the access log, but kept
+        out of the latency histograms so scrapes and 404s cannot skew
+        the planning percentiles.
+        """
+        latency = monotonic() - started
+        metrics = self.server.metrics
+        if metrics is not None:
+            metrics.inc("service.requests", path=path,
+                        status=str(status))
+        log = self.server.access_log
+        if log is not None:
+            log.write(access_record(method, path, status, latency,
+                                    bytes_out=bytes_out, error=error))
+
     def _handle_plan(self) -> None:
+        started = monotonic()
         body, ok = self._read_json_body()
         if not ok:
+            status, code = self._last_error
+            self._record_access("POST", "/v1/plan", status, started,
+                                error=code)
             return
-        started = time.monotonic()
         batch, error_doc, status = self._admit(body)
         if batch is None:
-            self._send_json(status, error_doc)
+            sent = self._send_json(status, error_doc)
+            self._record_plan("/v1/plan", status, started,
+                              document=error_doc, bytes_out=sent)
             return
         document, status, headers = self._settle(
             batch, self._timeout_s(), started)
-        self._send_json(status, document, headers)
+        sent = self._send_json(status, document, headers)
+        self._record_plan("/v1/plan", status, started, batch=batch,
+                          document=document, bytes_out=sent)
 
     def _handle_batch(self) -> None:
+        started = monotonic()
         body, ok = self._read_json_body()
         if not ok:
+            status, code = self._last_error
+            self._record_access("POST", "/v1/batch", status, started,
+                                error=code)
             return
         requests = body.get("requests") if isinstance(body, dict) else None
         if not isinstance(requests, list) or not requests:
-            self._send_error_envelope(
+            sent = self._send_error_envelope(
                 400, "invalid-request",
                 "batch body must be {\"requests\": [<request>, ...]}")
+            self._record_access("POST", "/v1/batch", 400, started,
+                                bytes_out=sent, error="invalid-request")
             return
         max_batch = self.server.config.max_batch
         if len(requests) > max_batch:
-            self._send_error_envelope(
+            sent = self._send_error_envelope(
                 400, "batch-too-large",
                 f"batch carries {len(requests)} requests; the limit "
                 f"is {max_batch}")
+            self._record_access("POST", "/v1/batch", 400, started,
+                                bytes_out=sent, error="batch-too-large")
             return
-        started = time.monotonic()
-        admitted: List[Tuple[Optional[Batch], Optional[Dict[str, Any]]]] \
-            = [(batch, error_doc)
-               for batch, error_doc, _ in map(self._admit, requests)]
+        admitted: List[Tuple[Optional[Batch], Optional[Dict[str, Any]],
+                             int]] \
+            = [(batch, error_doc, status)
+               for batch, error_doc, status in map(self._admit, requests)]
         timeout_s = self._timeout_s()
         responses: List[Dict[str, Any]] = []
-        for batch, error_doc in admitted:
+        settled: List[Tuple[Optional[Batch], Dict[str, Any], int]] = []
+        for batch, error_doc, status in admitted:
             if batch is None:
                 responses.append(error_doc)
+                settled.append((None, error_doc, status))
             else:
-                document, _, _ = self._settle(batch, timeout_s, started)
+                document, status, _ = self._settle(batch, timeout_s,
+                                                   started)
                 responses.append(document)
+                settled.append((batch, document, status))
         self._send_json(200, {"responses": responses})
+        for batch, document, status in settled:
+            self._record_plan("/v1/batch", status, started,
+                              batch=batch, document=document)
 
     # --- routing ----------------------------------------------------------
 
+    def _wants_prometheus(self) -> bool:
+        """Content negotiation for ``/metrics``: query beats Accept."""
+        query = parse_qs(urlsplit(self.path).query)
+        formats = query.get("format")
+        if formats:
+            return formats[0].lower() in ("prometheus", "text")
+        accept = (self.headers.get("Accept") or "").lower()
+        return "text/plain" in accept
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        started = monotonic()
         path = urlsplit(self.path).path
         if path == "/healthz":
-            self._send_json(200, {
+            sent = self._send_json(200, {
                 "status": "ok",
                 "uptime_s": round(
-                    time.monotonic() - self.server.started_monotonic, 3),
+                    monotonic() - self.server.started_monotonic, 3),
                 "draining": self.server.scheduler.stats()["draining"],
             })
+            self._record_access("GET", path, 200, started,
+                                bytes_out=sent)
         elif path == "/metrics":
-            self._send_json(200, metrics_snapshot(
-                self.server.scheduler, self.server.cache))
+            document = self.server.metrics_document()
+            if self._wants_prometheus():
+                sent = self._send_text(200, prometheus_text(document))
+            else:
+                sent = self._send_json(200, document)
+            self._record_access("GET", path, 200, started,
+                                bytes_out=sent)
         else:
-            self._send_error_envelope(
+            sent = self._send_error_envelope(
                 404, "not-found", f"unknown path {path!r}")
+            self._record_access("GET", path, 404, started,
+                                bytes_out=sent, error="not-found")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        started = monotonic()
         path = urlsplit(self.path).path
         if path == "/v1/plan":
             self._handle_plan()
         elif path == "/v1/batch":
             self._handle_batch()
         elif path in ("/healthz", "/metrics"):
-            self._send_error_envelope(
+            sent = self._send_error_envelope(
                 405, "method-not-allowed", f"{path} is GET-only")
+            self._record_access("POST", path, 405, started,
+                                bytes_out=sent,
+                                error="method-not-allowed")
         else:
-            self._send_error_envelope(
+            sent = self._send_error_envelope(
                 404, "not-found", f"unknown path {path!r}")
+            self._record_access("POST", path, 404, started,
+                                bytes_out=sent, error="not-found")
 
 
 def build_server(config: ServiceConfig) -> PlanningHTTPServer:
@@ -308,11 +452,13 @@ def start_server(config: ServiceConfig
 
 
 def stop_server(server: PlanningHTTPServer, drain: bool = True) -> None:
-    """Gracefully stop: drain the scheduler, close the socket, flush
-    the trace (when tracing was enabled) and disable the tracer."""
+    """Gracefully stop: drain the scheduler, close the socket and the
+    access log, flush the trace (when enabled), disable the tracer."""
     server.scheduler.shutdown(drain=drain)
     server.shutdown()
     server.server_close()
+    if server.access_log is not None:
+        server.access_log.close()
     trace_dir = server.config.trace_dir
     if _HAVE_OBS and trace_dir and _TRACER.enabled:
         import os

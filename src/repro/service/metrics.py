@@ -1,38 +1,228 @@
-"""Service metrics: one JSON snapshot for the ``/metrics`` endpoint.
+"""Service metrics: the ``/metrics`` document and its text exposition.
 
-The snapshot merges the scheduler's queue/admission counters, the
-process-wide :data:`repro.perf.PERF` registry (which already carries
-the cache hit/miss/evict counters), and the stage cache's store
-statistics.  Everything is plain JSON; the schema tag is
-``bundle-charging/service-metrics/v1``.
+The JSON document (schema ``bundle-charging/service-metrics/v2``)
+merges five sources into one self-describing snapshot:
+
+* process identity: uptime, start timestamp, and the run-provenance
+  manifest built at server startup (git SHA, package version, python,
+  platform) — so a scraped snapshot can always be traced back to the
+  code that produced it;
+* the scheduler's queue/admission counters;
+* the process-wide :data:`repro.perf.PERF` registry (kernel timers and
+  the cache hit/miss/evict counters);
+* the stage cache's store statistics;
+* the server's :class:`repro.obs.metrics.MetricsRegistry` — request
+  latency/queue-wait/compute histograms labeled by planner and cache
+  outcome, with interpolated p50/p90/p95/p99 summaries inlined.
+
+Every v1 key (``scheduler``, ``perf``, ``cache``) is still present at
+the same place, so a v1 consumer keeps working; the ``schema`` field is
+the discriminator.  :func:`prometheus_text` renders the same document
+as Prometheus text exposition (served for ``Accept: text/plain`` or
+``?format=prometheus``) without importing ``repro.obs`` — degraded
+builds still expose counters and gauges, just no engine histograms.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..perf.counters import PERF
-from .request import METRICS_SCHEMA
+from .request import METRICS_SCHEMA, METRICS_SCHEMA_V2
 
-__all__ = ["metrics_snapshot"]
+try:  # observability is optional: summaries degrade away without it
+    from ..obs.metrics import render_prometheus as _render_engine
+    from ..obs.metrics import summarize_histogram as _summarize
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    _render_engine = None  # type: ignore[assignment]
+    _summarize = None  # type: ignore[assignment]
+
+__all__ = ["metrics_problems", "metrics_snapshot", "prometheus_text"]
+
+#: Keys shared by both schema generations.
+_V1_KEYS = ("scheduler", "perf", "cache")
+#: Keys v2 adds on top of the v1 shape.
+_V2_KEYS = ("uptime_s", "started_unix", "provenance", "metrics")
 
 
 def metrics_snapshot(scheduler: Any,
-                     cache: Optional[Any] = None) -> Dict[str, Any]:
+                     cache: Optional[Any] = None,
+                     uptime_s: Optional[float] = None,
+                     started_unix: Optional[float] = None,
+                     provenance: Optional[Dict[str, Any]] = None,
+                     registry: Optional[Any] = None) -> Dict[str, Any]:
     """Build the ``/metrics`` document.
 
     Args:
         scheduler: a :class:`repro.service.scheduler.PlanningScheduler`.
         cache: the service's :class:`repro.cache.StageCache`, or None
             when caching is off or ``repro.cache`` is absent.
+        uptime_s: seconds since the server started (monotonic delta,
+            measured by the caller).
+        started_unix: wall-clock start timestamp of the process.
+        provenance: the server's base run-provenance manifest, or None
+            in degraded builds.
+        registry: the server's metrics engine
+            (:class:`repro.obs.metrics.MetricsRegistry`), or None when
+            metrics are disabled or ``repro.obs`` is absent.
     """
     snapshot = PERF.snapshot()
+    engine: Optional[Dict[str, Any]] = None
+    if registry is not None and getattr(registry, "enabled", False):
+        engine = registry.snapshot()
+        if _summarize is not None:
+            engine["histograms"] = [_summarize(entry)
+                                    for entry in engine["histograms"]]
     return {
-        "schema": METRICS_SCHEMA,
+        "schema": METRICS_SCHEMA_V2,
+        "uptime_s": (round(uptime_s, 6)
+                     if uptime_s is not None else None),
+        "started_unix": (round(started_unix, 6)
+                         if started_unix is not None else None),
+        "provenance": provenance,
         "scheduler": scheduler.stats(),
         "perf": {
             "counters": snapshot.get("counters", {}),
             "timers": snapshot.get("timers", {}),
         },
         "cache": cache.stats() if cache is not None else None,
+        "metrics": engine,
     }
+
+
+def metrics_problems(document: Any) -> List[str]:
+    """Return structural problems of a ``/metrics`` document.
+
+    Accepts both schema generations: the v1 shape (``scheduler`` /
+    ``perf`` / ``cache``) and the v2 superset (adds ``uptime_s``,
+    ``started_unix``, ``provenance``, ``metrics``).
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["metrics document must be a JSON object"]
+    schema = document.get("schema")
+    if schema not in (METRICS_SCHEMA, METRICS_SCHEMA_V2):
+        problems.append(
+            f"unknown metrics schema {schema!r} (expected "
+            f"{METRICS_SCHEMA!r} or {METRICS_SCHEMA_V2!r})")
+        return problems
+    for key in _V1_KEYS:
+        if key not in document:
+            problems.append(f"metrics document missing key {key!r}")
+    scheduler = document.get("scheduler")
+    if isinstance(scheduler, dict):
+        if not isinstance(scheduler.get("counters"), dict):
+            problems.append("scheduler section carries no counters")
+    elif "scheduler" in document:
+        problems.append("scheduler section must be an object")
+    if schema == METRICS_SCHEMA:
+        return problems
+    for key in _V2_KEYS:
+        if key not in document:
+            problems.append(f"v2 metrics document missing key {key!r}")
+    for key in ("uptime_s", "started_unix"):
+        value = document.get(key)
+        if value is not None and not isinstance(value, (int, float)):
+            problems.append(f"{key} must be a number or null, "
+                            f"got {value!r}")
+    provenance = document.get("provenance")
+    if provenance is not None and not isinstance(provenance, dict):
+        problems.append("provenance must be an object or null")
+    engine = document.get("metrics")
+    if engine is not None:
+        if not isinstance(engine, dict):
+            problems.append("metrics section must be an object or null")
+        else:
+            for section in ("counters", "gauges", "histograms"):
+                if not isinstance(engine.get(section), list):
+                    problems.append(
+                        f"metrics.{section} must be a list")
+            for index, entry in enumerate(engine.get("histograms")
+                                          or []):
+                if not isinstance(entry, dict):
+                    problems.append(
+                        f"metrics.histograms[{index}] must be an object")
+                    continue
+                for key in ("name", "boundaries", "counts", "count",
+                            "sum"):
+                    if key not in entry:
+                        problems.append(
+                            f"metrics.histograms[{index}] missing "
+                            f"key {key!r}")
+    return problems
+
+
+# --- Prometheus text exposition ------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted/aliased name into Prometheus metric form."""
+    sanitized = "".join(
+        ch if (ch.isascii() and (ch.isalnum() or ch in "_:")) else "_"
+        for ch in str(name))
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _line(lines: List[str], metric: str, value: Any,
+          kind: Optional[str] = None,
+          seen: Optional[Dict[str, str]] = None) -> None:
+    if value is None:
+        return
+    if kind and seen is not None and seen.get(metric) != kind:
+        seen[metric] = kind
+        lines.append(f"# TYPE {metric} {kind}")
+    if isinstance(value, bool):
+        value = int(value)
+    lines.append(f"{metric} {value}")
+
+
+def prometheus_text(document: Dict[str, Any]) -> str:
+    """Render a ``/metrics`` v2 document as Prometheus exposition text.
+
+    Self-contained string formatting over the JSON document: process
+    gauges, scheduler counters/gauges, cache stats and perf counters/
+    timers always render; the engine section (labeled histograms) is
+    delegated to :func:`repro.obs.metrics.render_prometheus` and simply
+    omitted in degraded builds where it is ``None`` anyway.
+    """
+    lines: List[str] = []
+    seen: Dict[str, str] = {}
+    _line(lines, "bc_uptime_seconds", document.get("uptime_s"),
+          "gauge", seen)
+    _line(lines, "bc_process_start_time_seconds",
+          document.get("started_unix"), "gauge", seen)
+
+    scheduler = document.get("scheduler") or {}
+    for name in ("jobs", "queue_limit", "queue_depth", "open_batches",
+                 "draining"):
+        _line(lines, f"bc_scheduler_{name}", scheduler.get(name),
+              "gauge", seen)
+    for name, value in (scheduler.get("counters") or {}).items():
+        _line(lines, f"bc_scheduler_{_prom_name(name)}_total", value,
+              "counter", seen)
+
+    cache = document.get("cache")
+    if isinstance(cache, dict):
+        for name, value in sorted(cache.items()):
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                _line(lines, f"bc_cache_{_prom_name(name)}", value,
+                      "gauge", seen)
+
+    perf = document.get("perf") or {}
+    for name, value in (perf.get("counters") or {}).items():
+        _line(lines, f"bc_perf_{_prom_name(name)}_total", value,
+              "counter", seen)
+    for name, stats in (perf.get("timers") or {}).items():
+        metric = f"bc_perf_{_prom_name(name)}"
+        _line(lines, f"{metric}_seconds_total", stats.get("total_s"),
+              "counter", seen)
+        _line(lines, f"{metric}_calls_total", stats.get("calls"),
+              "counter", seen)
+
+    text = "\n".join(lines) + ("\n" if lines else "")
+    engine = document.get("metrics")
+    if engine is not None and _render_engine is not None:
+        text += _render_engine(engine)
+    return text

@@ -40,6 +40,8 @@ from ..tsp.solver import DEFAULT_STRATEGY, STRATEGY_NAMES
 REQUEST_SCHEMA = "bundle-charging/request/v1"
 RESPONSE_SCHEMA = "bundle-charging/response/v1"
 METRICS_SCHEMA = "bundle-charging/service-metrics/v1"
+METRICS_SCHEMA_V2 = "bundle-charging/service-metrics/v2"
+ACCESS_SCHEMA = "bundle-charging/access/v1"
 
 #: Cache outcomes an envelope may report (``off`` = caching disabled
 #: or ``repro.cache`` absent — the degraded-mode contract).
@@ -72,10 +74,12 @@ _FRIIS_DEFAULTS = {"alpha": constants.ALPHA, "beta": constants.BETA,
                    "source_power_w": constants.CHARGE_POWER_W}
 
 __all__ = [
+    "ACCESS_SCHEMA",
     "CACHE_OUTCOMES",
     "CHARGING_MODELS",
     "MAX_SENSORS",
     "METRICS_SCHEMA",
+    "METRICS_SCHEMA_V2",
     "REQUEST_SCHEMA",
     "RESPONSE_SCHEMA",
     "RequestError",

@@ -32,6 +32,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..clock import monotonic
 from ..errors import ServiceError
 from .request import request_digest
 
@@ -75,10 +76,14 @@ class Batch:
         request: the canonical request dict.
         done: set once ``payload``/``outcome`` or ``error`` is final.
         waiters: how many submissions share this batch.
+        submitted: monotonic admission time (queue-wait anchor).
+        queue_wait_s: admission → compute-start delay, set on dequeue.
+        compute_s: compute duration, set when the batch settles.
     """
 
     __slots__ = ("digest", "request", "done", "payload", "outcome",
-                 "error", "waiters")
+                 "error", "waiters", "submitted", "queue_wait_s",
+                 "compute_s")
 
     def __init__(self, digest: str, request: Dict[str, Any]) -> None:
         self.digest = digest
@@ -88,6 +93,9 @@ class Batch:
         self.outcome = "off"
         self.error: Optional[BaseException] = None
         self.waiters = 1
+        self.submitted = monotonic()
+        self.queue_wait_s: Optional[float] = None
+        self.compute_s: Optional[float] = None
 
 
 class PlanningScheduler:
@@ -99,16 +107,22 @@ class PlanningScheduler:
             applied to the service cache.
         jobs: worker-thread count.
         queue_limit: maximum open (queued + executing) batches.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`
+            receiving per-batch queue-wait/compute histograms labeled
+            by planner and cache outcome.  A plain duck-typed object so
+            the scheduler never imports ``repro.obs`` itself.
     """
 
     def __init__(self, compute: Compute, jobs: int = 2,
-                 queue_limit: int = 32) -> None:
+                 queue_limit: int = 32,
+                 metrics: Optional[Any] = None) -> None:
         if jobs <= 0:
             raise ServiceError(f"jobs must be positive: {jobs!r}")
         if queue_limit <= 0:
             raise ServiceError(
                 f"queue_limit must be positive: {queue_limit!r}")
         self._compute = compute
+        self._metrics = metrics
         self.queue_limit = queue_limit
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -196,18 +210,32 @@ class PlanningScheduler:
                 if not self._queue:
                     return
                 batch = self._queue.popleft()
+            started = monotonic()
+            batch.queue_wait_s = started - batch.submitted
             failed = False
             try:
                 batch.payload, batch.outcome = self._run(batch)
             except BaseException as exc:  # settle waiters, keep worker
                 batch.error = exc
                 failed = True
+            batch.compute_s = monotonic() - started
             with self._lock:
                 self._inflight.pop(batch.digest, None)
                 self._open -= 1
                 self._counters["failed" if failed else "completed"] += 1
                 batch.done.set()
                 self._settled.notify_all()
+            metrics = self._metrics
+            if metrics is not None:
+                planner = batch.request.get("planner", "?")
+                outcome = "error" if failed else batch.outcome
+                metrics.observe("service.queue_wait_seconds",
+                                batch.queue_wait_s, planner=planner)
+                metrics.observe("service.compute_seconds",
+                                batch.compute_s, planner=planner,
+                                outcome=outcome)
+                metrics.inc("service.batches", planner=planner,
+                            outcome=outcome)
 
     # --- lifecycle --------------------------------------------------------
 

@@ -27,8 +27,9 @@ from typing import Any, Dict, Optional, Tuple
 
 from .config import ServiceConfig
 from .http import start_server, stop_server
-from .request import (METRICS_SCHEMA, canonical_json, canonical_request,
-                      response_problems)
+from .metrics import metrics_problems
+from .request import (METRICS_SCHEMA_V2, canonical_json,
+                      canonical_request, response_problems)
 
 __all__ = ["run_smoke"]
 
@@ -111,8 +112,11 @@ def run_smoke(node_count: int = 60) -> int:
         check(status == 200 and doc.get("status") == "ok",
               "healthz answers ok")
         status, _, doc = _call(f"{base}/metrics")
-        check(status == 200 and doc.get("schema") == METRICS_SCHEMA,
-              "metrics carries the service-metrics schema")
+        check(status == 200 and doc.get("schema") == METRICS_SCHEMA_V2,
+              "metrics carries the service-metrics/v2 schema")
+        check(not metrics_problems(doc), "metrics document validates")
+        check(isinstance(doc.get("uptime_s"), (int, float)),
+              "metrics reports uptime")
 
         # 4. duplicate batch items share one compute.
         other = dict(_plan_request(node_count), seed=1)

@@ -552,3 +552,75 @@ class TestParseErrors:
             "src/repro/broken.py": "def oops(:\n",
         })
         assert rules_of(result) == ["E999"]
+
+
+class TestOBS002ClockIndirection:
+    def test_direct_monotonic_in_service_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/bad.py": """\
+                import time
+
+                def stamp():
+                    return time.monotonic()
+                """,
+        }, select=["OBS002"])
+        assert rules_of(result) == ["OBS002"]
+        assert "repro.clock" in result.findings[0].message
+
+    def test_bare_from_import_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/loadgen/bad.py": """\
+                from time import time
+
+                def stamp():
+                    return time()
+                """,
+        }, select=["OBS002"])
+        assert rules_of(result) == ["OBS002"]
+
+    def test_aliased_module_fires(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/obs/bad.py": """\
+                import time as _t
+
+                def stamp():
+                    return _t.perf_counter()
+                """,
+        }, select=["OBS002"])
+        assert rules_of(result) == ["OBS002"]
+
+    def test_repro_clock_usage_is_clean(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/good.py": """\
+                from ..clock import monotonic, wall
+
+                def stamp():
+                    return monotonic(), wall()
+                """,
+        }, select=["OBS002"])
+        assert result.clean
+
+    def test_sleep_and_formatting_are_allowed(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/loadgen/good.py": """\
+                import time
+
+                def pace():
+                    time.sleep(0.01)
+                    return time.strftime("%Y", time.gmtime(0.0))
+                """,
+        }, select=["OBS002"])
+        assert result.clean
+
+    def test_rule_scoped_to_serving_packages(self, lint_fixture):
+        # Kernel modules have their own determinism rules; OBS002
+        # must not fire outside repro.service/obs/loadgen.
+        result = lint_fixture({
+            "src/repro/perf/sampler.py": """\
+                import time
+
+                def stamp():
+                    return time.monotonic()
+                """,
+        }, select=["OBS002"])
+        assert result.clean

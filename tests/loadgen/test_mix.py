@@ -1,0 +1,65 @@
+"""Zipf request-mix sampling: weights, determinism, pool construction."""
+
+import pytest
+
+from repro.loadgen.mix import build_pool, sample_indices, zipf_weights
+
+
+class TestZipfWeights:
+    def test_weights_normalize(self):
+        weights = zipf_weights(8, 1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert len(weights) == 8
+
+    def test_weights_decrease_with_rank(self):
+        weights = zipf_weights(6, 1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] > weights[-1]
+
+    def test_s_zero_is_uniform(self):
+        weights = zipf_weights(5, 0.0)
+        assert all(w == pytest.approx(0.2) for w in weights)
+
+    def test_bad_pool_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, -0.5)
+
+
+class TestSampleIndices:
+    def test_deterministic_for_seed(self):
+        assert sample_indices(50, 8, 1.1, seed=7) == \
+            sample_indices(50, 8, 1.1, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert sample_indices(50, 8, 1.1, seed=1) != \
+            sample_indices(50, 8, 1.1, seed=2)
+
+    def test_indices_in_range(self):
+        indices = sample_indices(200, 4, 1.1, seed=0)
+        assert len(indices) == 200
+        assert set(indices) <= {0, 1, 2, 3}
+
+    def test_skew_favours_low_ranks(self):
+        indices = sample_indices(2000, 8, 2.0, seed=0)
+        rank0 = indices.count(0)
+        rank7 = indices.count(7)
+        assert rank0 > rank7
+
+
+class TestBuildPool:
+    def test_pool_bodies_are_distinct_and_deterministic(self):
+        first = build_pool(4, 30, "BC")
+        second = build_pool(4, 30, "BC")
+        assert first == second
+        seeds = [body["deployment"]["seed"] for body in first]
+        assert seeds == [0, 1, 2, 3]
+
+    def test_pool_carries_planner_and_size(self):
+        pool = build_pool(2, 25, "TSPN", radius_m=15.0, base_seed=9)
+        for body in pool:
+            assert body["planner"] == "TSPN"
+            assert body["deployment"]["n"] == 25
+            assert body["radius_m"] == 15.0
+        assert body["deployment"]["seed"] == 10

@@ -1,0 +1,59 @@
+"""Coordinated-omission-safe latency recorder and exact quantiles."""
+
+import pytest
+
+from repro.loadgen.recorder import LatencyRecorder, exact_quantile
+
+
+class TestExactQuantile:
+    def test_empty_is_none(self):
+        assert exact_quantile([], 0.5) is None
+
+    def test_single_value(self):
+        assert exact_quantile([3.0], 0.0) == 3.0
+        assert exact_quantile([3.0], 1.0) == 3.0
+
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert exact_quantile(values, 0.0) == 1.0
+        assert exact_quantile(values, 1.0) == 4.0
+        assert exact_quantile(values, 0.5) == pytest.approx(2.5)
+
+
+class TestLatencyRecorder:
+    def test_latency_measured_from_scheduled_not_sent(self):
+        # Coordinated-omission safety: a request scheduled at t=0 but
+        # only sent at t=5 (sender backlog) must report the full wait.
+        recorder = LatencyRecorder()
+        recorder.record(scheduled=0.0, sent=5.0, finished=5.2,
+                        status=200)
+        summary = recorder.summary()
+        assert summary["latency_s"]["p50"] == pytest.approx(5.2)
+        assert summary["send_lag_s"]["max"] == pytest.approx(5.0)
+
+    def test_summary_counts_and_statuses(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.0, 0.0, 0.010, status=200, outcome="hit")
+        recorder.record(0.1, 0.1, 0.130, status=200, outcome="miss")
+        recorder.record(0.2, 0.2, 0.250, status=400, failed=True)
+        summary = recorder.summary()
+        assert summary["count"] == 3
+        assert summary["errors"] == 1
+        assert summary["statuses"] == {"200": 2, "400": 1}
+        assert summary["outcomes"] == {"hit": 1, "miss": 1}
+
+    def test_percentiles_ordered(self):
+        recorder = LatencyRecorder()
+        for index in range(100):
+            start = index * 0.01
+            recorder.record(start, start, start + 0.001 * (index + 1),
+                            status=200)
+        latency = recorder.summary()["latency_s"]
+        assert latency["p50"] <= latency["p90"] <= latency["p95"] \
+            <= latency["p99"] <= latency["max"]
+        assert latency["mean"] == pytest.approx(0.0505)
+
+    def test_empty_summary(self):
+        summary = LatencyRecorder().summary()
+        assert summary["count"] == 0
+        assert summary["latency_s"]["p50"] is None

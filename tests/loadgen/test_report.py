@@ -1,0 +1,86 @@
+"""Loadgen report assembly, validation, and rendering."""
+
+import json
+
+import pytest
+
+from repro.loadgen.recorder import LatencyRecorder
+from repro.loadgen.report import (LOADGEN_SCHEMA, build_report,
+                                  render_table, report_problems,
+                                  write_report)
+
+
+def _sample_report():
+    recorder = LatencyRecorder()
+    for index in range(20):
+        start = index * 0.05
+        recorder.record(start, start, start + 0.002 + 0.0001 * index,
+                        status=200, outcome="hit")
+    return build_report(
+        config={"url": "http://127.0.0.1:8080", "schedule": "constant",
+                "rate": 20.0, "duration_s": 1.0, "pool": 4,
+                "zipf_s": 1.1, "seed": 0},
+        offered={"kind": "constant", "rate": 20.0, "requests": 20},
+        duration_s=1.0,
+        summary=recorder.summary(),
+    )
+
+
+class TestBuildReport:
+    def test_valid_report_has_no_problems(self):
+        report = _sample_report()
+        assert report["schema"] == LOADGEN_SCHEMA
+        assert report_problems(report) == []
+
+    def test_achieved_rate(self):
+        report = _sample_report()
+        assert report["achieved_rate"] == pytest.approx(20.0)
+
+    def test_zero_duration_rate_is_zero(self):
+        report = build_report({}, {"kind": "constant", "rate": 1.0,
+                                   "requests": 0}, 0.0,
+                              LatencyRecorder().summary())
+        assert report["achieved_rate"] == 0.0
+
+
+class TestProblems:
+    def test_wrong_schema_rejected(self):
+        assert report_problems({"schema": "nope"})
+        assert report_problems([]) == \
+            ["loadgen report must be a JSON object"]
+
+    def test_missing_keys_reported(self):
+        report = _sample_report()
+        del report["offered"]
+        del report["summary"]
+        problems = report_problems(report)
+        assert any("offered" in p for p in problems)
+        assert any("summary" in p for p in problems)
+
+    def test_missing_percentile_reported(self):
+        report = _sample_report()
+        del report["summary"]["latency_s"]["p99"]
+        assert any("p99" in p for p in report_problems(report))
+
+    def test_non_numeric_percentile_reported(self):
+        report = _sample_report()
+        report["summary"]["latency_s"]["p50"] = "fast"
+        assert any("p50" in p for p in report_problems(report))
+
+    def test_validator_registered_with_obs(self):
+        pytest.importorskip("repro.obs")
+        from repro.obs import validate_loadgen_report
+        assert validate_loadgen_report(_sample_report()) == []
+
+
+class TestRendering:
+    def test_table_mentions_percentiles(self):
+        table = render_table(_sample_report())
+        for token in ("p50", "p99", "req/s", "ms"):
+            assert token in table
+
+    def test_write_report_round_trips(self, tmp_path):
+        path = tmp_path / "report.json"
+        report = _sample_report()
+        write_report(report, str(path))
+        assert json.loads(path.read_text()) == report

@@ -1,0 +1,84 @@
+"""Arrival-schedule generators: shapes, determinism, edge cases."""
+
+import pytest
+
+from repro.loadgen.schedule import SCHEDULE_KINDS, arrival_offsets
+
+
+class TestConstant:
+    def test_even_spacing(self):
+        offsets = arrival_offsets("constant", 10.0, 1.0)
+        assert len(offsets) == 10
+        assert offsets[0] == 0.0
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(gap == pytest.approx(0.1) for gap in gaps)
+
+    def test_deterministic(self):
+        assert arrival_offsets("constant", 7.0, 3.0) == \
+            arrival_offsets("constant", 7.0, 3.0)
+
+    def test_all_within_duration(self):
+        offsets = arrival_offsets("constant", 33.0, 2.5)
+        assert all(0.0 <= offset < 2.5 for offset in offsets)
+
+
+class TestStep:
+    def test_rate_doubles_after_step(self):
+        offsets = arrival_offsets("step", 10.0, 2.0, rate_end=20.0,
+                                  step_at_s=1.0)
+        before = [o for o in offsets if o < 1.0]
+        after = [o for o in offsets if o >= 1.0]
+        assert len(before) == 10
+        assert len(after) == 20
+
+    def test_default_step_at_midpoint(self):
+        offsets = arrival_offsets("step", 10.0, 2.0, rate_end=30.0)
+        assert len([o for o in offsets if o < 1.0]) == 10
+        assert len([o for o in offsets if o >= 1.0]) == 30
+
+    def test_step_outside_run_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_offsets("step", 10.0, 2.0, rate_end=20.0,
+                            step_at_s=2.5)
+
+
+class TestRamp:
+    def test_total_count_is_average_rate(self):
+        offsets = arrival_offsets("ramp", 10.0, 4.0, rate_end=30.0)
+        assert len(offsets) == 80  # (10+30)/2 * 4
+
+    def test_monotone_and_densifying(self):
+        offsets = arrival_offsets("ramp", 5.0, 10.0, rate_end=50.0)
+        assert offsets == sorted(offsets)
+        first_gap = offsets[1] - offsets[0]
+        last_gap = offsets[-1] - offsets[-2]
+        assert last_gap < first_gap
+
+    def test_flat_ramp_equals_constant(self):
+        ramp = arrival_offsets("ramp", 10.0, 2.0, rate_end=10.0)
+        constant = arrival_offsets("constant", 10.0, 2.0)
+        assert ramp == pytest.approx(constant)
+
+    def test_offsets_within_duration(self):
+        offsets = arrival_offsets("ramp", 10.0, 4.0, rate_end=30.0)
+        assert all(0.0 <= offset <= 4.0 + 1e-9 for offset in offsets)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_offsets("burst", 10.0, 1.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_offsets("constant", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            arrival_offsets("constant", 10.0, -1.0)
+
+    def test_step_and_ramp_need_rate_end(self):
+        for kind in ("step", "ramp"):
+            with pytest.raises(ValueError):
+                arrival_offsets(kind, 10.0, 1.0)
+
+    def test_kinds_catalogue(self):
+        assert SCHEDULE_KINDS == ("constant", "step", "ramp")

@@ -1,0 +1,235 @@
+"""Tests for the metrics engine (repro.obs.metrics).
+
+Covers the histogram edge cases the ISSUE pins down — empty quantiles,
+out-of-range clamping into the overflow bucket, cross-worker merges —
+plus the zero-cost disabled contract and the Prometheus renderer.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_LATENCY_BOUNDS, NULL_HISTOGRAM,
+                               Histogram, MetricsRegistry,
+                               bucket_quantile, render_prometheus,
+                               summarize_histogram)
+
+
+class TestHistogram:
+    def test_empty_quantiles_are_none(self):
+        histogram = Histogram((1.0, 2.0))
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(0.0) is None
+        assert histogram.quantile(1.0) is None
+
+    def test_empty_snapshot_min_max_none(self):
+        snapshot = Histogram((1.0, 2.0)).snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None
+        assert snapshot["max"] is None
+
+    def test_single_observation_all_quantiles_equal_it(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(1.5)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(1.5)
+
+    def test_above_last_edge_lands_in_overflow_bucket(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.counts == [0, 0, 1]
+        assert histogram.quantile(0.5) == pytest.approx(100.0)
+
+    def test_below_first_edge_lands_in_first_bucket(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(-5.0)
+        assert histogram.counts == [1, 0, 0]
+        assert histogram.quantile(0.5) == pytest.approx(-5.0)
+
+    def test_infinities_clamp_by_sign(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(float("inf"))
+        histogram.observe(float("-inf"))
+        assert histogram.counts == [1, 0, 1]
+
+    def test_nan_is_dropped(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(float("nan"))
+        assert histogram.count == 0
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = Histogram(DEFAULT_LATENCY_BOUNDS)
+        for value in (0.003, 0.004, 0.006, 0.007):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == pytest.approx(0.003)
+        assert histogram.quantile(1.0) == pytest.approx(0.007)
+        p50 = histogram.quantile(0.5)
+        assert 0.003 <= p50 <= 0.007
+
+    def test_quantile_monotone_in_q(self):
+        histogram = Histogram(DEFAULT_LATENCY_BOUNDS)
+        for index in range(100):
+            histogram.observe(0.0001 * (index + 1) * 7 % 0.5)
+        previous = -math.inf
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            value = histogram.quantile(q)
+            assert value >= previous
+            previous = value
+
+    def test_boundaries_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_merge_snapshot_sums_buckets_and_combines_extremes(self):
+        left = Histogram((1.0, 2.0))
+        right = Histogram((1.0, 2.0))
+        left.observe(0.5)
+        left.observe(1.5)
+        right.observe(1.7)
+        right.observe(9.0)
+        left.merge_snapshot(right.snapshot())
+        assert left.count == 4
+        assert left.counts == [1, 2, 1]
+        assert left.vmin == pytest.approx(0.5)
+        assert left.vmax == pytest.approx(9.0)
+        assert left.total == pytest.approx(0.5 + 1.5 + 1.7 + 9.0)
+
+    def test_merge_rejects_mismatched_boundaries(self):
+        left = Histogram((1.0, 2.0))
+        right = Histogram((1.0, 3.0))
+        right.observe(2.5)
+        with pytest.raises(ValueError):
+            left.merge_snapshot(right.snapshot())
+
+
+class TestBucketQuantile:
+    def test_empty_returns_none(self):
+        assert bucket_quantile((1.0,), [0, 0], 0, math.inf,
+                               -math.inf, 0.5) is None
+
+    def test_extremes_return_min_max(self):
+        assert bucket_quantile((1.0,), [2, 0], 2, 0.2, 0.8, 0.0) == 0.2
+        assert bucket_quantile((1.0,), [2, 0], 2, 0.2, 0.8, 1.0) == 0.8
+
+
+class TestSummarize:
+    def test_summary_adds_percentiles_and_mean(self):
+        histogram = Histogram(DEFAULT_LATENCY_BOUNDS)
+        for value in (0.001, 0.002, 0.004, 0.008):
+            histogram.observe(value)
+        entry = dict(histogram.snapshot(), name="x", labels={})
+        summary = summarize_histogram(entry)
+        for key in ("p50", "p90", "p95", "p99", "mean"):
+            assert isinstance(summary[key], float)
+        assert summary["mean"] == pytest.approx(0.00375)
+
+    def test_empty_summary_fields_are_none(self):
+        entry = dict(Histogram((1.0,)).snapshot(), name="x", labels={})
+        summary = summarize_histogram(entry)
+        assert summary["p50"] is None
+        assert summary["mean"] is None
+
+
+class TestRegistry:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("a")
+        registry.set_gauge("b", 1.0)
+        registry.observe("c", 0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == []
+        assert snapshot["gauges"] == []
+        assert snapshot["histograms"] == []
+
+    def test_disabled_histogram_handle_is_shared_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        handle = registry.histogram("c")
+        assert handle is NULL_HISTOGRAM
+        assert not handle
+        handle.observe(1.0)  # must not raise, must not record
+
+    def test_null_histogram_has_no_instance_dict(self):
+        assert not hasattr(NULL_HISTOGRAM, "__dict__")
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("req", planner="BC")
+        registry.inc("req", planner="BC")
+        registry.inc("req", planner="TSPN")
+        counters = registry.snapshot()["counters"]
+        assert [(c["labels"]["planner"], c["value"])
+                for c in counters] == [("BC", 2), ("TSPN", 1)]
+
+    def test_snapshot_order_is_deterministic(self):
+        first = MetricsRegistry(enabled=True)
+        second = MetricsRegistry(enabled=True)
+        for registry, order in ((first, (1, 2, 3)), (second, (3, 1, 2))):
+            for seed in order:
+                registry.observe("lat", 0.001 * seed,
+                                 planner=f"p{seed}")
+                registry.inc("req", planner=f"p{seed}")
+        assert first.snapshot() == second.snapshot()
+
+    def test_merge_snapshot_across_workers(self):
+        # Simulate the --jobs hand-off: two worker registries fold
+        # into the parent and the result equals one serial registry.
+        parent = MetricsRegistry(enabled=True)
+        serial = MetricsRegistry(enabled=True)
+        workers = [MetricsRegistry(enabled=True) for _ in range(2)]
+        observations = [(0, 0.001), (1, 0.500), (0, 99.0), (1, 0.002)]
+        for worker_index, value in observations:
+            workers[worker_index].observe("lat", value, planner="BC")
+            workers[worker_index].inc("req", planner="BC")
+            serial.observe("lat", value, planner="BC")
+            serial.inc("req", planner="BC")
+        for worker in workers:
+            parent.merge_snapshot(worker.snapshot())
+        assert parent.snapshot() == serial.snapshot()
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        source = MetricsRegistry(enabled=True)
+        source.inc("a")
+        target = MetricsRegistry(enabled=False)
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot()["counters"] == []
+
+
+class TestPrometheus:
+    def test_render_counters_gauges_histograms(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("service.requests", 3, path="/v1/plan")
+        registry.set_gauge("queue.depth", 2.0)
+        registry.observe("service.request_seconds", 0.003,
+                         boundaries=(0.001, 0.01), planner="BC")
+        registry.observe("service.request_seconds", 5.0,
+                         boundaries=(0.001, 0.01), planner="BC")
+        text = render_prometheus(registry.snapshot())
+        assert '# TYPE bc_service_requests_total counter' in text
+        assert 'bc_service_requests_total{path="/v1/plan"} 3' in text
+        assert "# TYPE bc_queue_depth gauge" in text
+        assert ('# TYPE bc_service_request_seconds histogram'
+                in text)
+        # Cumulative buckets: 0.001 -> 0, 0.01 -> 1, +Inf -> 2.
+        assert ('bc_service_request_seconds_bucket'
+                '{le="0.001",planner="BC"} 0') in text
+        assert ('bc_service_request_seconds_bucket'
+                '{le="0.01",planner="BC"} 1') in text
+        assert ('bc_service_request_seconds_bucket'
+                '{le="+Inf",planner="BC"} 2') in text
+        assert ('bc_service_request_seconds_count{planner="BC"} 2'
+                in text)
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("c", label='quo"te')
+        text = render_prometheus(registry.snapshot())
+        assert 'label="quo\\"te"' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(
+            MetricsRegistry(enabled=True).snapshot()) == ""

@@ -94,3 +94,58 @@ class TestGlobalHelpers:
         assert snapshot["timers"]["global.work"]["calls"] == 1
         perf_reset()
         assert PERF.snapshot() == {"timers": {}, "counters": {}}
+
+
+class TestHistograms:
+    def test_observe_buckets_and_stats(self):
+        registry = PerfRegistry()
+        registry.observe("lat", 0.0007, boundaries=(0.001, 0.01))
+        registry.observe("lat", 0.005, boundaries=(0.001, 0.01))
+        registry.observe("lat", 2.0, boundaries=(0.001, 0.01))
+        entry = registry.snapshot()["histograms"]["lat"]
+        assert entry["counts"] == [1, 1, 1]
+        assert entry["count"] == 3
+        assert entry["min"] == 0.0007
+        assert entry["max"] == 2.0
+
+    def test_nan_dropped_and_disabled_noop(self):
+        registry = PerfRegistry()
+        registry.observe("lat", float("nan"))
+        assert "histograms" not in registry.snapshot()
+        disabled = PerfRegistry(enabled=False)
+        disabled.observe("lat", 0.5)
+        assert "histograms" not in disabled.snapshot()
+
+    def test_merge_across_jobs_workers_equals_serial(self):
+        # The --jobs hand-off: each worker observes into its own
+        # registry, the parent folds the snapshots, and the result
+        # must match one serial registry seeing every value.
+        workers = [PerfRegistry() for _ in range(3)]
+        serial = PerfRegistry()
+        values = [0.0007, 0.003, 0.02, 0.4, 7.0, 120.0]
+        for index, value in enumerate(values):
+            workers[index % 3].observe("lat", value)
+            serial.observe("lat", value)
+        parent = PerfRegistry()
+        for worker in workers:
+            parent.merge_snapshot(worker.snapshot())
+        assert parent.snapshot()["histograms"] == \
+            serial.snapshot()["histograms"]
+
+    def test_merge_rejects_boundary_mismatch(self):
+        left = PerfRegistry()
+        right = PerfRegistry()
+        left.observe("lat", 0.5, boundaries=(0.1, 1.0))
+        right.observe("lat", 0.5, boundaries=(0.1, 2.0))
+        try:
+            left.merge_snapshot(right.snapshot())
+        except ValueError as error:
+            assert "boundary" in str(error)
+        else:
+            raise AssertionError("boundary mismatch not rejected")
+
+    def test_reset_clears_histograms(self):
+        registry = PerfRegistry()
+        registry.observe("lat", 0.5)
+        registry.reset()
+        assert "histograms" not in registry.snapshot()

@@ -2,7 +2,7 @@
 
 import json
 
-from repro.service import METRICS_SCHEMA, response_problems
+from repro.service import METRICS_SCHEMA_V2, response_problems
 
 from .conftest import http_call, post_json, small_request
 
@@ -19,7 +19,7 @@ class TestEndpoints:
         _, base = live_server()
         status, _, doc = http_call(f"{base}/metrics")
         assert status == 200
-        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["schema"] == METRICS_SCHEMA_V2
         assert "counters" in doc["scheduler"]
         assert "perf" in doc
         assert doc["cache"] is not None  # caching on by default

@@ -1,0 +1,219 @@
+"""Serving telemetry: /metrics v2, Prometheus exposition, access log,
+and the byte-identity contract (metrics must be a pure observer).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.service import (ACCESS_SCHEMA, METRICS_SCHEMA_V2,
+                           access_record_problems, metrics_problems,
+                           prometheus_text)
+
+from .conftest import http_call, post_json, small_request
+
+
+def _fetch_text(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return (response.status, dict(response.headers),
+                response.read().decode("utf-8"))
+
+
+def _read_log(path, expect_lines):
+    # Access records are written just after the response bytes go out,
+    # so poll briefly instead of racing the handler thread.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        lines = path.read_text().splitlines() if path.exists() else []
+        if len(lines) >= expect_lines:
+            return lines
+        time.sleep(0.01)
+    raise AssertionError(
+        f"access log never reached {expect_lines} lines: {lines!r}")
+
+
+class TestMetricsV2:
+    def test_document_validates_and_carries_uptime(self, live_server):
+        _, base = live_server()
+        status, _, doc = http_call(f"{base}/metrics")
+        assert status == 200
+        assert doc["schema"] == METRICS_SCHEMA_V2
+        assert metrics_problems(doc) == []
+        assert isinstance(doc["uptime_s"], float)
+        assert isinstance(doc["started_unix"], float)
+
+    def test_request_histograms_appear_after_traffic(self, live_server):
+        _, base = live_server()
+        status, _, _ = post_json(f"{base}/v1/plan", small_request())
+        assert status == 200
+        _, _, doc = http_call(f"{base}/metrics")
+        names = {h["name"] for h in doc["metrics"]["histograms"]}
+        assert "service.request_seconds" in names
+        assert "service.queue_wait_seconds" in names
+        assert "service.compute_seconds" in names
+        request_series = [h for h in doc["metrics"]["histograms"]
+                          if h["name"] == "service.request_seconds"]
+        labels = request_series[0]["labels"]
+        assert labels["planner"] == "BC"
+        assert labels["outcome"] in ("miss", "hit", "joined", "off")
+        assert request_series[0]["p50"] is not None
+
+    def test_metrics_disabled_server_omits_engine_series(
+            self, live_server):
+        _, base = live_server(metrics=False)
+        post_json(f"{base}/v1/plan", small_request())
+        _, _, doc = http_call(f"{base}/metrics")
+        assert metrics_problems(doc) == []
+        assert doc["metrics"] is None
+
+    def test_v1_documents_still_validate(self):
+        v1 = {"schema": "bundle-charging/service-metrics/v1",
+              "scheduler": {"counters": {}}, "perf": {}, "cache": None}
+        assert metrics_problems(v1) == []
+
+
+class TestPrometheusNegotiation:
+    def test_query_parameter_selects_text(self, live_server):
+        _, base = live_server()
+        post_json(f"{base}/v1/plan", small_request())
+        status, headers, text = _fetch_text(
+            f"{base}/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE bc_uptime_seconds gauge" in text
+        assert "bc_service_request_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+
+    def test_accept_header_selects_text(self, live_server):
+        _, base = live_server()
+        status, headers, text = _fetch_text(
+            f"{base}/metrics", headers={"Accept": "text/plain"})
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "bc_scheduler_" in text
+
+    def test_default_remains_json(self, live_server):
+        _, base = live_server()
+        status, headers, doc = http_call(f"{base}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert doc["schema"] == METRICS_SCHEMA_V2
+
+    def test_prometheus_text_renders_offline_document(self, live_server):
+        _, base = live_server()
+        post_json(f"{base}/v1/plan", small_request())
+        _, _, doc = http_call(f"{base}/metrics")
+        text = prometheus_text(doc)
+        assert "bc_process_start_time_seconds" in text
+        assert "bc_perf_" in text
+
+
+class TestAccessLog:
+    def test_every_request_logged_and_valid(self, live_server,
+                                            tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        _, base = live_server(access_log=str(log_path))
+        post_json(f"{base}/v1/plan", small_request())
+        post_json(f"{base}/v1/plan", small_request())  # cache hit
+        http_call(f"{base}/nope")  # 404
+        lines = _read_log(log_path, 3)
+        records = [json.loads(line) for line in lines]
+        for record in records:
+            assert record["schema"] == ACCESS_SCHEMA
+            assert access_record_problems(record) == []
+            assert record["latency_s"] >= 0.0
+        plans = [r for r in records if r["path"] == "/v1/plan"]
+        assert [r["status"] for r in plans] == [200, 200]
+        assert plans[0]["planner"] == "BC"
+        assert plans[0]["outcome"] == "miss"
+        assert plans[1]["outcome"] == "hit"
+        assert plans[0]["digest"] == plans[1]["digest"]
+        missing = [r for r in records if r["path"] == "/nope"]
+        assert missing[0]["method"] == "GET"
+        assert missing[0]["status"] == 404
+        assert missing[0]["error"] == "not-found"
+
+    def test_error_requests_carry_code(self, live_server, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        _, base = live_server(access_log=str(log_path))
+        post_json(f"{base}/v1/plan", small_request(planner="NOPE"))
+        record = json.loads(_read_log(log_path, 1)[0])
+        assert record["status"] == 400
+        assert record["error"] == "unknown-planner"
+
+
+_IDENTITY_DRIVER = r"""
+import json
+import sys
+import urllib.request
+
+mode, out_path = sys.argv[1], sys.argv[2]
+
+if mode == "block":
+    import importlib.abc
+
+    class BlockObs(importlib.abc.MetaPathFinder):
+        def find_spec(self, fullname, path=None, target=None):
+            if fullname == "repro.obs" or \
+                    fullname.startswith("repro.obs."):
+                raise ImportError(f"{fullname} blocked for test")
+            return None
+
+    sys.meta_path.insert(0, BlockObs())
+
+from repro.service import ServiceConfig, start_server, stop_server
+
+config = ServiceConfig(port=0, jobs=2, timeout_s=60.0,
+                       metrics=(mode != "off"))
+server, _ = start_server(config)
+try:
+    body = json.dumps({
+        "schema": "bundle-charging/request/v1",
+        "deployment": {"kind": "uniform", "n": 25, "seed": 11,
+                       "field_side_m": 300.0},
+        "planner": "BC",
+        "radius_m": 20.0,
+    }).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}/v1/plan", data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        document = json.loads(response.read().decode("utf-8"))
+finally:
+    stop_server(server, drain=True)
+
+canonical = json.dumps(
+    {"payload": document["payload"],
+     "payload_sha256": document["payload_sha256"]},
+    sort_keys=True, separators=(",", ":"))
+with open(out_path, "w", encoding="utf-8") as handle:
+    handle.write(canonical)
+"""
+
+
+def _plan_payload_bytes(mode, out_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    completed = subprocess.run(
+        [sys.executable, "-c", _IDENTITY_DRIVER, mode, out_path],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    with open(out_path, "rb") as handle:
+        return handle.read()
+
+
+def test_plan_payload_identical_with_metrics_on_off_absent(tmp_path):
+    # Telemetry must be a pure observer: the planning payload bytes
+    # cannot depend on whether metrics are on, off, or repro.obs is
+    # not importable at all.
+    on = _plan_payload_bytes("on", str(tmp_path / "on.json"))
+    off = _plan_payload_bytes("off", str(tmp_path / "off.json"))
+    blocked = _plan_payload_bytes("block", str(tmp_path / "block.json"))
+    assert on == off == blocked
+    assert b'"payload_sha256"' in on
