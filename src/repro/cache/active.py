@@ -16,13 +16,25 @@ their own process-local cache over the same shared disk store.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from .stage import StageCache
 
-#: Activation stack; the innermost activation wins.
-_ACTIVE: list = []
+#: Per-thread activation stacks; the innermost activation wins.  The
+#: stack is thread-local because the serving scheduler activates the
+#: service cache around every request *on its worker threads* — a
+#: process-wide list would interleave pushes/pops across concurrent
+#: requests and make ``get_active_cache`` see another thread's cache.
+_ACTIVE = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = _ACTIVE.stack = []
+    return stack
 
 #: Per-process cache registry, keyed by cache-relevant config fields.
 _REGISTRY: Dict[tuple, StageCache] = {}
@@ -32,8 +44,9 @@ __all__ = ["activate_cache", "activation_for_config", "cache_for_config",
 
 
 def get_active_cache() -> Optional[StageCache]:
-    """Return the innermost activated cache, or None."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """Return this thread's innermost activated cache, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
 
 
 @contextmanager
@@ -47,11 +60,12 @@ def activate_cache(cache: Optional[StageCache]) -> Iterator[
     if cache is None:
         yield None
         return
-    _ACTIVE.append(cache)
+    stack = _stack()
+    stack.append(cache)
     try:
         yield cache
     finally:
-        _ACTIVE.pop()
+        stack.pop()
 
 
 def stage_memo(stage: str, params_fn: Callable[[], Dict[str, Any]],
@@ -105,6 +119,7 @@ def activation_for_config(config: Any):
 
 
 def reset_cache_state() -> None:
-    """Drop the registry and activation stack (test isolation)."""
+    """Drop the registry and this thread's activation stack (test
+    isolation; other threads' activations are theirs to unwind)."""
     _REGISTRY.clear()
-    _ACTIVE.clear()
+    _stack().clear()

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import pickle
 import random
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import CacheError
@@ -86,8 +87,21 @@ class StageCache:
             DiskStore(cache_dir) if cache_dir else None)
         self.shadow_rate = shadow_rate
         self.warm_start = warm_start
-        self._bypass_depth = 0
+        # The service shares one StageCache across scheduler workers:
+        # the shadow-verify bypass depth is per-thread (another
+        # thread's verification must not bypass this one's lookups),
+        # and the hint table has an owning lock.
+        self._local = threading.local()
+        self._hint_lock = threading.Lock()
         self._tsp_hints: Dict[tuple, List[int]] = {}
+
+    @property
+    def _bypass_depth(self) -> int:
+        return getattr(self._local, "bypass_depth", 0)
+
+    @_bypass_depth.setter
+    def _bypass_depth(self, value: int) -> None:
+        self._local.bypass_depth = value
 
     # --- memoization ------------------------------------------------------
 
@@ -180,18 +194,20 @@ class StageCache:
         """Return the last tour order seen for (strategy, city count)."""
         if not self.warm_start:
             return None
-        hint = self._tsp_hints.get((strategy, n_cities))
+        with self._hint_lock:
+            hint = self._tsp_hints.get((strategy, n_cities))
+            hint = list(hint) if hint is not None else None
         if hint is not None:
             PERF.add("cache.warm_start.used")
-            return list(hint)
-        return None
+        return hint
 
     def store_tsp_hint(self, strategy: str, n_cities: int,
                        order: Sequence[int]) -> None:
         """Remember a solved tour as the next warm-start candidate."""
         if not self.warm_start:
             return
-        self._tsp_hints[(strategy, n_cities)] = list(order)
+        with self._hint_lock:
+            self._tsp_hints[(strategy, n_cities)] = list(order)
 
     # --- introspection ----------------------------------------------------
 

@@ -14,6 +14,18 @@ Shipped rule pack (see docs/architecture.md, "Static analysis"):
 * ``DET004`` — exact float ==/!= in geometry/charging/tspn
 * ``PAR001`` — reference/fast kernel parity with repro.perf.kernels
 * ``OBS001`` — repro.obs imports must use the ImportError fallback
+* ``CONC001-CONC005`` — thread-safety over the shared call graph:
+  lock-discipline, lock-order, Condition.wait loops, fork safety,
+  thread-reachable lockless shared state
+* ``PURE001-PURE002`` — cache purity: every function transitively
+  reachable from a memoized stage compute must be free of clock/RNG
+  reads and mutable module-global state
+
+Project-scope rules share one semantic model per invocation (import
+graph, symbol table, conservative call graph — ``repro.lint.project``
+and ``repro.lint.callgraph``), resolved lazily on first use.  The
+engine caches per-file results by content hash and fans the per-file
+phase out over ``--jobs`` worker processes.
 
 Per-line and per-file suppression (``# repro-lint: disable=RULE``) and
 a committed JSON baseline support incremental adoption; the baseline in
@@ -25,8 +37,10 @@ from __future__ import annotations
 from .baseline import Baseline, fingerprint, load_baseline, write_baseline
 from .core import (Finding, FileContext, ProjectContext, ProjectRule,
                    Rule, all_rules, register, rule_registry)
-from .engine import LintResult, discover_files, lint_paths, run_lint
-from .report import JSON_SCHEMA_ID, render_json, render_text
+from .engine import (LINT_STATS_SCHEMA_ID, LintResult, discover_files,
+                     lint_paths, run_lint)
+from .report import (JSON_SCHEMA_ID, lint_stats_problems, render_json,
+                     render_sarif, render_text)
 from .suppress import Suppressions, collect_suppressions
 
 __all__ = [
@@ -34,6 +48,7 @@ __all__ = [
     "FileContext",
     "Finding",
     "JSON_SCHEMA_ID",
+    "LINT_STATS_SCHEMA_ID",
     "LintResult",
     "ProjectContext",
     "ProjectRule",
@@ -44,9 +59,11 @@ __all__ = [
     "discover_files",
     "fingerprint",
     "lint_paths",
+    "lint_stats_problems",
     "load_baseline",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_registry",
     "run_lint",

@@ -1,0 +1,364 @@
+"""Conservative call graph over the project symbol model.
+
+Built once per lint run on top of :class:`repro.lint.project
+.ProjectAnalysis` and shared by the CONC and PURE rule families.  The
+graph is deliberately *over*-approximating — a missing edge would let a
+purity or locking violation hide behind one indirection, so unresolved
+attribute calls fall back to class-hierarchy analysis by method name
+(every project method with that name becomes a callee), and function
+references that escape as arguments (thread targets, stage-compute
+thunks, pool submissions) add edges even though no call expression is
+visible.
+
+Resolution order for a call inside function ``F`` of class ``C``:
+
+1. nested defs of ``F`` (thunks, sender loops);
+2. ``self.m(...)`` -> ``C`` and its project-resolvable bases;
+3. bare names -> module functions, from-imports (re-export chains
+   chased through package ``__init__``\\ s), classes (-> ``__init__``);
+4. ``alias.f(...)`` -> the aliased module's exports;
+5. ``instance.m(...)`` for module-level singletons -> the singleton's
+   class;
+6. anything else attribute-shaped -> CHA by method name.
+
+Lambdas are attributed to their enclosing function; nested ``def``\\ s
+are independent graph nodes (``module:outer.inner``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .project import ClassInfo, FunctionInfo, ModuleSymbols, \
+    ProjectAnalysis
+
+__all__ = ["CallGraph", "Resolver", "build_call_graph",
+           "function_body_nodes"]
+
+
+def function_body_nodes(root: ast.AST,
+                        include_nested: bool = False
+                        ) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested ``def``\\ s.
+
+    Lambdas *are* descended into — they belong to the enclosing
+    function.  Pass ``include_nested=True`` to get a plain walk.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if (not include_nested
+                and isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class CallGraph:
+    """Qualified-name edges plus reachability."""
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add(self, caller: str, callee: str) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure of callees from ``roots`` (inclusive)."""
+        seen: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            qname = frontier.pop()
+            if qname in seen:
+                continue
+            seen.add(qname)
+            frontier.extend(self.edges.get(qname, ()))
+        return seen
+
+    def shortest_path(self, roots: Iterable[str],
+                      target: str) -> List[str]:
+        """A breadth-first witness chain root -> ... -> target."""
+        parents: Dict[str, Optional[str]] = {r: None for r in roots}
+        frontier = list(parents)
+        while frontier:
+            next_frontier: List[str] = []
+            for qname in frontier:
+                if qname == target:
+                    chain = [qname]
+                    while parents[chain[-1]] is not None:
+                        chain.append(parents[chain[-1]])  # type: ignore
+                    return list(reversed(chain))
+                for callee in sorted(self.edges.get(qname, ())):
+                    if callee not in parents:
+                        parents[callee] = qname
+                        next_frontier.append(callee)
+            frontier = next_frontier
+        return []
+
+
+class Resolver:
+    """Shared call-target resolution over one :class:`ProjectAnalysis`."""
+
+    def __init__(self, analysis: ProjectAnalysis) -> None:
+        self.analysis = analysis
+        self._nested_cache: Dict[str, Dict[str, str]] = {}
+
+    # --- environment ------------------------------------------------------
+
+    def _owner_class(self, info: FunctionInfo) -> Optional[ClassInfo]:
+        if info.class_name is None:
+            return None
+        syms = self.analysis.modules.get(info.module)
+        if syms is None:
+            return None
+        return syms.classes.get(info.class_name)
+
+    def _nested_of(self, info: FunctionInfo) -> Dict[str, str]:
+        """Local name -> qname for defs nested inside ``info``."""
+        cached = self._nested_cache.get(info.qname)
+        if cached is not None:
+            return cached
+        short = info.qname.split(":", 1)[1]
+        prefix = f"{info.module}:{short}."
+        nested: Dict[str, str] = {}
+        for qname in self.analysis.functions:
+            if qname.startswith(prefix):
+                local = qname[len(prefix):]
+                if "." not in local:
+                    nested[local] = qname
+        self._nested_cache[info.qname] = nested
+        return nested
+
+    def _self_method(self, info: FunctionInfo,
+                     attr: str) -> Optional[str]:
+        cls = self._owner_class(info)
+        if cls is None:
+            return None
+        for candidate in self.analysis.class_and_bases(cls):
+            if attr in candidate.methods:
+                return candidate.methods[attr].qname
+        return None
+
+    def _cha(self, attr: str) -> List[str]:
+        if attr.startswith("__") and attr.endswith("__"):
+            return []
+        return list(self.analysis.methods_by_name.get(attr, ()))
+
+    def _module_of_name(self, syms: ModuleSymbols,
+                        name: str) -> Optional[str]:
+        """Module a bare local name refers to, if any."""
+        target = syms.import_aliases.get(name)
+        if target is not None and target in self.analysis.modules:
+            return target
+        for kind, qname in self.analysis.resolve_export_all(
+                syms.module, name):
+            if kind == "module":
+                return qname
+        return None
+
+    def _instance_class(self, syms: ModuleSymbols,
+                        name: str) -> Optional[ClassInfo]:
+        """Class of a module-level singleton referenced by ``name``."""
+        for kind, qname in self.analysis.resolve_export_all(
+                syms.module, name):
+            if kind == "instance":
+                return self.analysis.classes.get(qname)
+        return None
+
+    def _export_targets(self, module: str, name: str) -> List[str]:
+        """Function targets for ``module.name`` — every candidate.
+
+        The ImportError-fallback pattern binds a local passthrough def
+        and the real import under one name; both are followed.
+        """
+        targets: List[str] = []
+        for kind, qname in self.analysis.resolve_export_all(module,
+                                                            name):
+            if kind == "func":
+                targets.append(qname)
+            elif kind == "class":
+                cls = self.analysis.classes.get(qname)
+                if cls is not None and "__init__" in cls.methods:
+                    targets.append(cls.methods["__init__"].qname)
+        return targets
+
+    # --- call resolution --------------------------------------------------
+
+    def resolve_call(self, info: FunctionInfo,
+                     func: ast.expr) -> List[str]:
+        """Possible project callee qnames of ``func`` inside ``info``."""
+        syms = self.analysis.modules.get(info.module)
+        if syms is None:
+            return []
+        if isinstance(func, ast.Name):
+            nested = self._nested_of(info)
+            if func.id in nested:
+                return [nested[func.id]]
+            return self._export_targets(info.module, func.id)
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id == "self":
+                    target = self._self_method(info, attr)
+                    return [target] if target else self._cha(attr)
+                module = self._module_of_name(syms, value.id)
+                if module is not None:
+                    return self._export_targets(module, attr)
+                cls = self._instance_class(syms, value.id)
+                if cls is not None:
+                    for candidate in self.analysis.class_and_bases(cls):
+                        if attr in candidate.methods:
+                            return [candidate.methods[attr].qname]
+                    return []
+            return self._cha(attr)
+        return []
+
+    def calls_in(self, info: FunctionInfo,
+                 root: ast.AST) -> Set[str]:
+        """Resolved callee qnames of every call under ``root`` (which
+        is resolved in ``info``'s environment; nested defs skipped)."""
+        callees: Set[str] = set()
+        nodes = [root] if not isinstance(root, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef)) \
+            else []
+        for node in nodes + list(function_body_nodes(root)):
+            if isinstance(node, ast.Call):
+                callees.update(self.resolve_call(info, node.func))
+        return callees
+
+    def escaping_refs(self, info: FunctionInfo) -> Set[str]:
+        """Functions referenced (not called) inside ``info``'s body."""
+        call_funcs = {
+            id(node.func)
+            for node in function_body_nodes(info.node)
+            if isinstance(node, ast.Call)}
+        refs: Set[str] = set()
+        syms = self.analysis.modules.get(info.module)
+        if syms is None:
+            return refs
+        nested = self._nested_of(info)
+        for node in function_body_nodes(info.node):
+            if id(node) in call_funcs:
+                continue
+            if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                         ast.Load):
+                if node.id in nested:
+                    refs.add(nested[node.id])
+                else:
+                    for kind, qname in self.analysis.resolve_export_all(
+                            info.module, node.id):
+                        if kind == "func":
+                            refs.add(qname)
+            elif (isinstance(node, ast.Attribute)
+                  and isinstance(node.ctx, ast.Load)
+                  and isinstance(node.value, ast.Name)):
+                if node.value.id == "self":
+                    target = self._self_method(info, node.attr)
+                    if target is not None:
+                        refs.add(target)
+                else:
+                    module = self._module_of_name(syms, node.value.id)
+                    if module is not None:
+                        for kind, qname in \
+                                self.analysis.resolve_export_all(
+                                    module, node.attr):
+                            if kind == "func":
+                                refs.add(qname)
+        return refs
+
+    # --- thread roots -----------------------------------------------------
+
+    def thread_roots(self) -> Set[str]:
+        """Entry points that run on serving/background threads.
+
+        Three sources: ``threading.Thread(target=...)`` targets,
+        ``do_*`` methods of request-handler subclasses (one thread per
+        connection under ``ThreadingHTTPServer``), and callables handed
+        to constructors of classes that start worker threads in
+        ``__init__`` (the scheduler's compute argument).
+        """
+        roots: Set[str] = set()
+        for cls in self.analysis.classes.values():
+            for target in cls.thread_targets:
+                if target in cls.methods:
+                    roots.add(cls.methods[target].qname)
+            if any("RequestHandler" in base for base in cls.bases):
+                for name, method in cls.methods.items():
+                    if name.startswith("do_"):
+                        roots.add(method.qname)
+        threaded_ctors = {
+            cls.methods["__init__"].qname: cls
+            for cls in self.analysis.classes.values()
+            if cls.creates_threads and "__init__" in cls.methods}
+        for info in list(self.analysis.functions.values()):
+            for node in function_body_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Name) or isinstance(
+                        node.func, ast.Attribute):
+                    targets = self.resolve_call(info, node.func)
+                else:
+                    targets = []
+                if not any(t in threaded_ctors for t in targets):
+                    # Thread(target=X) at arbitrary call sites.
+                    self._plain_thread_targets(info, node, roots)
+                    continue
+                for arg in list(node.args) + [kw.value
+                                              for kw in node.keywords]:
+                    roots.update(self._callable_arg_roots(info, arg))
+        return roots
+
+    def _plain_thread_targets(self, info: FunctionInfo, node: ast.Call,
+                              roots: Set[str]) -> None:
+        syms = self.analysis.modules.get(info.module)
+        if syms is None:
+            return
+        dotted_parts: List[str] = []
+        func: ast.AST = node.func
+        while isinstance(func, ast.Attribute):
+            dotted_parts.append(func.attr)
+            func = func.value
+        if isinstance(func, ast.Name):
+            dotted_parts.append(func.id)
+        dotted = ".".join(reversed(dotted_parts))
+        is_thread = (dotted == "Thread"
+                     and syms.from_names.get("Thread",
+                                             ("", ""))[0] == "threading")
+        is_thread = is_thread or dotted.endswith("threading.Thread") \
+            or dotted == "threading.Thread"
+        if not is_thread:
+            return
+        for kw in node.keywords:
+            if kw.arg == "target":
+                roots.update(self._callable_arg_roots(info, kw.value))
+
+    def _callable_arg_roots(self, info: FunctionInfo,
+                            arg: ast.expr) -> Set[str]:
+        """Roots contributed by one callable-valued argument."""
+        if isinstance(arg, ast.Lambda):
+            return self.calls_in(info, arg.body)
+        if isinstance(arg, (ast.Name, ast.Attribute)):
+            return set(self.resolve_call(info, arg))
+        return set()
+
+
+def build_call_graph(analysis: ProjectAnalysis
+                     ) -> Tuple[CallGraph, Resolver]:
+    """Build the project call graph; returns (graph, resolver)."""
+    resolver = Resolver(analysis)
+    graph = CallGraph()
+    for qname, info in analysis.functions.items():
+        graph.edges.setdefault(qname, set())
+        for node in function_body_nodes(info.node):
+            if isinstance(node, ast.Call):
+                for callee in resolver.resolve_call(info, node.func):
+                    if callee != qname:
+                        graph.add(qname, callee)
+        for ref in resolver.escaping_refs(info):
+            if ref != qname:
+                graph.add(qname, ref)
+    return graph, resolver

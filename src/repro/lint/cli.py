@@ -10,11 +10,13 @@ Exit codes follow the usual linter convention:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .engine import run_lint
-from .report import render_json, render_rules, render_text
+from .report import (render_json, render_rules, render_sarif,
+                     render_text)
 
 __all__ = ["build_parser", "main"]
 
@@ -25,14 +27,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bundle-charging lint",
         description="AST-based determinism & invariant linter for the "
-                    "bundle-charging reproduction (rules DET001-DET004, "
-                    "PAR001, OBS001).")
+                    "bundle-charging reproduction: per-file rules "
+                    "(DET001-DET004, OBS001) plus project-scope rules "
+                    "over a shared call graph (PAR001, CONC001-CONC005, "
+                    "PURE001-PURE002).")
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],
         help="files or directories to lint (default: src tests)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (json follows bundle-charging/lint/v1)")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (json follows bundle-charging/lint/v1; "
+             "sarif emits SARIF 2.1.0 for code-scanning upload)")
     parser.add_argument(
         "--baseline", metavar="FILE", default=None,
         help=f"baseline file of grandfathered findings (default: "
@@ -51,9 +56,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint root for relative paths and rule scoping "
              "(default: current directory)")
     parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the per-file phase (findings are "
+             "identical at any value; default: 1)")
+    parser.add_argument(
+        "--stats", nargs="?", const="-", default=None, metavar="FILE",
+        help="emit per-rule timing stats as bundle-charging/"
+             "lint-stats/v1 JSON to FILE ('-' or no value: stderr)")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue with rationales and exit")
     return parser
+
+
+def _emit_stats(destination: str, stats: Optional[dict]) -> None:
+    if stats is None:
+        return
+    text = json.dumps(stats, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text, file=sys.stderr)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -61,6 +85,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         print(render_rules())
         return 0
+    if args.jobs < 1:
+        print("bundle-charging lint: error: --jobs must be >= 1",
+              file=sys.stderr)
+        return 2
 
     select = (None if args.select is None
               else [rule.strip() for rule in args.select.split(",")
@@ -74,18 +102,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         result = run_lint(args.paths, root=args.root, select=select,
                           baseline_path=baseline_path,
-                          write_baseline_to=write_to)
+                          write_baseline_to=write_to, jobs=args.jobs)
     except (FileNotFoundError, KeyError, ValueError) as exc:
         print(f"bundle-charging lint: error: {exc}", file=sys.stderr)
         return 2
 
+    if args.stats is not None:
+        _emit_stats(args.stats, result.stats)
     if args.write_baseline:
         print(f"wrote {result.baselined} finding"
               f"{'' if result.baselined == 1 else 's'} to "
               f"{write_to}")
         return 0
-    print(render_json(result) if args.format == "json"
-          else render_text(result))
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_text(result))
     return 0 if result.clean else 1
 
 

@@ -105,11 +105,34 @@ class ProjectContext:
     """Every parsed file of one lint invocation, for cross-module rules."""
 
     files: List[FileContext]
+    _analysis: Optional[object] = field(default=None, init=False,
+                                        repr=False, compare=False)
+    _call_graph: Optional[tuple] = field(default=None, init=False,
+                                         repr=False, compare=False)
 
     def by_module(self) -> Dict[str, FileContext]:
         """Map dotted module names to contexts (src/ files only)."""
         return {ctx.module_name: ctx for ctx in self.files
                 if ctx.module_name and ctx.tree is not None}
+
+    def analysis(self):
+        """The shared :class:`repro.lint.project.ProjectAnalysis`.
+
+        Resolved lazily on first use and cached, so every project-scope
+        rule of one lint run shares a single symbol-table/import-graph
+        pass (imported lazily to keep the core free of cycles).
+        """
+        if self._analysis is None:
+            from .project import build_project
+            self._analysis = build_project(self)
+        return self._analysis
+
+    def call_graph(self):
+        """``(CallGraph, Resolver)`` over :meth:`analysis`, cached."""
+        if self._call_graph is None:
+            from .callgraph import build_call_graph
+            self._call_graph = build_call_graph(self.analysis())
+        return self._call_graph
 
 
 class Rule:

@@ -2,18 +2,41 @@
 
 Pipeline per invocation::
 
-    discover .py files -> parse -> per-file rules -> project rules
-        -> inline suppressions -> baseline filter -> LintResult
+    discover .py files -> parse + per-file rules (cached, parallel)
+        -> project rules -> inline suppressions -> baseline filter
+        -> LintResult
 
 The engine never imports the code under analysis — everything is pure
 :mod:`ast`, so linting cannot execute side effects and works on files
 that would not even import in this environment.
+
+Two throughput features sit in front of the per-file phase:
+
+* **Content-hash caching** — each file's parse + per-file findings are
+  cached in-process, keyed by ``(sha256(source), rel_path, rule ids)``.
+  Repeated ``lint_paths`` calls (watch modes, test suites, the service
+  of a long-lived editor plugin) re-analyze only files whose bytes
+  changed.  The cache is bounded FIFO so pathological callers cannot
+  grow it without limit.
+* **``jobs`` fan-out** — cache misses are parsed and checked in a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers return
+  picklable ``(tree, findings, timings)`` triples; suppression,
+  project rules, and baseline filtering always run in the parent so
+  results are byte-identical to a serial run.
+
+Per-rule wall-clock timings are accumulated into ``LintResult.stats``
+(schema ``bundle-charging/lint-stats/v1``).  In parallel mode the
+per-rule seconds are summed across workers, so they are CPU-seconds,
+not elapsed time; ``phases`` carries the parent's elapsed view.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,7 +45,19 @@ from .core import (PARSE_ERROR_RULE, FileContext, Finding, ProjectContext,
                    ProjectRule, Rule, all_rules)
 from .suppress import collect_suppressions
 
-__all__ = ["LintResult", "discover_files", "lint_paths", "run_lint"]
+__all__ = ["LINT_STATS_SCHEMA_ID", "LintResult", "discover_files",
+           "lint_paths", "run_lint"]
+
+#: Schema id stamped on ``LintResult.stats`` documents.
+LINT_STATS_SCHEMA_ID = "bundle-charging/lint-stats/v1"
+
+#: Maximum cached per-file results (FIFO eviction beyond this).
+_CACHE_LIMIT = 4096
+
+#: ``(sha256, rel_path, rule ids) -> (tree, findings)`` result cache.
+_RESULT_CACHE: "OrderedDict[Tuple[str, str, Tuple[str, ...]], " \
+               "Tuple[Optional[ast.Module], Tuple[Finding, ...]]]" = \
+    OrderedDict()
 
 
 @dataclass
@@ -33,6 +68,8 @@ class LintResult:
     suppressed: int = 0
     baselined: int = 0
     files_checked: int = 0
+    #: ``bundle-charging/lint-stats/v1`` document (timings, cache hits).
+    stats: Optional[Dict[str, object]] = None
 
     @property
     def clean(self) -> bool:
@@ -75,33 +112,56 @@ def _relativize(path: str, root: str) -> str:
     return rel.replace(os.sep, "/")
 
 
-def _parse_files(files: Sequence[str], root: str
-                 ) -> Tuple[List[FileContext], List[Finding]]:
-    contexts: List[FileContext] = []
-    errors: List[Finding] = []
-    for path in files:
-        rel = _relativize(path, root)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except (OSError, UnicodeDecodeError) as exc:
-            errors.append(Finding(path=rel, line=1, col=0,
-                                  rule=PARSE_ERROR_RULE,
-                                  message=f"cannot read file: {exc}"))
+def _analyze_source(rel: str, source: str,
+                    rule_ids: Tuple[str, ...]) -> Tuple[
+        Optional[ast.Module], Tuple[Finding, ...], Dict[str, float]]:
+    """Parse one file and run the per-file rules over it.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor`
+    workers can import it by qualified name; the return value is fully
+    picklable (``ast`` trees pickle, :class:`Finding` is a frozen
+    dataclass).  ``timings`` maps ``"parse"`` and each rule id to
+    seconds spent.
+    """
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
+    try:
+        tree: Optional[ast.Module] = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        timings["parse"] = time.perf_counter() - started
+        finding = Finding(path=rel, line=exc.lineno or 1,
+                          col=exc.offset or 0, rule=PARSE_ERROR_RULE,
+                          message=f"syntax error: {exc.msg}")
+        return None, (finding,), timings
+    timings["parse"] = time.perf_counter() - started
+
+    ctx = FileContext(rel_path=rel, source=source, tree=tree)
+    findings: List[Finding] = []
+    for rule in all_rules(rule_ids):
+        if isinstance(rule, ProjectRule) or not rule.applies_to(ctx):
             continue
-        try:
-            tree = ast.parse(source, filename=rel)
-        except SyntaxError as exc:
-            errors.append(Finding(
-                path=rel, line=exc.lineno or 1, col=exc.offset or 0,
-                rule=PARSE_ERROR_RULE,
-                message=f"syntax error: {exc.msg}"))
-            contexts.append(FileContext(rel_path=rel, source=source,
-                                        tree=None))
-            continue
-        contexts.append(FileContext(rel_path=rel, source=source,
-                                    tree=tree))
-    return contexts, errors
+        rule_started = time.perf_counter()
+        findings.extend(rule.check(ctx))
+        timings[rule.id] = (timings.get(rule.id, 0.0)
+                            + time.perf_counter() - rule_started)
+    return tree, tuple(findings), timings
+
+
+def _analyze_worker(payload: Tuple[str, str, Tuple[str, ...]]) -> Tuple[
+        str, Optional[ast.Module], Tuple[Finding, ...],
+        Dict[str, float]]:
+    """Pool adapter: unpack one ``(rel, source, rule_ids)`` work item."""
+    rel, source, rule_ids = payload
+    tree, findings, timings = _analyze_source(rel, source, rule_ids)
+    return rel, tree, findings, timings
+
+
+def _cache_put(key: Tuple[str, str, Tuple[str, ...]],
+               value: Tuple[Optional[ast.Module],
+                            Tuple[Finding, ...]]) -> None:
+    _RESULT_CACHE[key] = value
+    while len(_RESULT_CACHE) > _CACHE_LIMIT:
+        _RESULT_CACHE.popitem(last=False)
 
 
 def _line_text(context_by_path: Dict[str, FileContext],
@@ -115,7 +175,8 @@ def _line_text(context_by_path: Dict[str, FileContext],
 def lint_paths(paths: Sequence[str], root: Optional[str] = None,
                select: Optional[Sequence[str]] = None,
                baseline: Optional[Baseline] = None,
-               baseline_out: Optional[str] = None) -> LintResult:
+               baseline_out: Optional[str] = None,
+               jobs: int = 1) -> LintResult:
     """Run the linter and return a :class:`LintResult`.
 
     Args:
@@ -127,33 +188,96 @@ def lint_paths(paths: Sequence[str], root: Optional[str] = None,
         baseline_out: when given, write the post-suppression findings
             to this path as the new baseline (and report them all as
             baselined).
+        jobs: worker processes for the per-file phase (1 = in-process).
+            Findings are identical at any ``jobs`` value.
     """
+    total_started = time.perf_counter()
     root = os.path.abspath(root or os.getcwd())
     rules = all_rules(select)
     file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
     project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    file_rule_ids = tuple(sorted(r.id for r in file_rules))
 
+    # --- scan: read bytes, hash, split cache hits from misses ------------
+    scan_started = time.perf_counter()
     files = discover_files(paths, root)
-    contexts, parse_errors = _parse_files(files, root)
-    context_by_path = {ctx.rel_path: ctx for ctx in contexts}
-
-    raw: List[Finding] = list(parse_errors)
-    for ctx in contexts:
-        if ctx.tree is None:
+    read_errors: List[Finding] = []
+    # rel -> (source, cache key); preserves discovery order.
+    sources: "OrderedDict[str, Tuple[str, Tuple[str, str, Tuple[str, ...]]]]" = \
+        OrderedDict()
+    for path in files:
+        rel = _relativize(path, root)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            source = raw.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            read_errors.append(Finding(path=rel, line=1, col=0,
+                                       rule=PARSE_ERROR_RULE,
+                                       message=f"cannot read file: {exc}"))
             continue
-        for rule in file_rules:
-            if rule.applies_to(ctx):
-                raw.extend(rule.check(ctx))
+        sha = hashlib.sha256(raw).hexdigest()
+        sources[rel] = (source, (sha, rel, file_rule_ids))
+    pending = [(rel, source, file_rule_ids)
+               for rel, (source, key) in sources.items()
+               if key not in _RESULT_CACHE]
+    cached_count = len(sources) - len(pending)
+    scan_s = time.perf_counter() - scan_started
+
+    # --- per-file phase: parse + file rules (parallel on misses) ---------
+    file_phase_started = time.perf_counter()
+    rule_seconds: Dict[str, float] = {}
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        chunksize = max(1, len(pending) // (jobs * 4))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            analyzed = list(pool.map(_analyze_worker, pending,
+                                     chunksize=chunksize))
+    else:
+        analyzed = [_analyze_worker(item) for item in pending]
+    for rel, tree, findings, timings in analyzed:
+        _cache_put(sources[rel][1], (tree, findings))
+        for name, seconds in timings.items():
+            rule_seconds[name] = rule_seconds.get(name, 0.0) + seconds
+
+    contexts: List[FileContext] = []
+    raw_findings: List[Finding] = list(read_errors)
+    parse_errors = len(read_errors)
+    for rel, (source, key) in sources.items():
+        tree, findings = _RESULT_CACHE[key]
+        contexts.append(FileContext(rel_path=rel, source=source,
+                                    tree=tree))
+        raw_findings.extend(findings)
+        if tree is None:
+            parse_errors += 1
+    context_by_path = {ctx.rel_path: ctx for ctx in contexts}
+    file_rules_s = time.perf_counter() - file_phase_started
+
+    # --- project phase: semantic model + cross-module rules --------------
     project = ProjectContext(files=[ctx for ctx in contexts
                                     if ctx.tree is not None])
-    for rule in project_rules:
-        raw.extend(rule.check_project(project))
+    model_s = 0.0
+    project_rules_s = 0.0
+    if project_rules:
+        model_started = time.perf_counter()
+        project.analysis()
+        project.call_graph()
+        model_s = time.perf_counter() - model_started
+        project_started = time.perf_counter()
+        for rule in project_rules:
+            rule_started = time.perf_counter()
+            raw_findings.extend(rule.check_project(project))
+            rule_seconds[rule.id] = (rule_seconds.get(rule.id, 0.0)
+                                     + time.perf_counter() - rule_started)
+        project_rules_s = time.perf_counter() - project_started
 
+    # --- filtering: suppressions, then baseline --------------------------
+    filter_started = time.perf_counter()
     suppressions = {ctx.rel_path: collect_suppressions(ctx)
                     for ctx in contexts}
     kept: List[Finding] = []
     suppressed = 0
-    for finding in sorted(raw):
+    for finding in sorted(raw_findings):
         marks = suppressions.get(finding.path)
         if (marks is not None and finding.rule != PARSE_ERROR_RULE
                 and marks.is_suppressed(finding)):
@@ -161,25 +285,61 @@ def lint_paths(paths: Sequence[str], root: Optional[str] = None,
         else:
             kept.append(finding)
 
+    by_rule: Dict[str, int] = {}
+    for finding in raw_findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+
+    def _finish(result: LintResult) -> LintResult:
+        filter_s = time.perf_counter() - filter_started
+        # Union of timed rules and finding counts: a file served from
+        # the content-hash cache contributes findings but no seconds.
+        rule_names = (set(rule_seconds) | set(by_rule)) - {"parse"}
+        rule_stats = {
+            name: {"seconds": round(rule_seconds.get(name, 0.0), 6),
+                   "findings": by_rule.get(name, 0)}
+            for name in sorted(rule_names)
+        }
+        result.stats = {
+            "schema": LINT_STATS_SCHEMA_ID,
+            "jobs": jobs,
+            "files": {
+                "checked": len(contexts),
+                "cached": cached_count,
+                "parse_errors": parse_errors,
+            },
+            "phases": {
+                "scan_s": round(scan_s, 6),
+                "parse_s": round(rule_seconds.get("parse", 0.0), 6),
+                "file_rules_s": round(file_rules_s, 6),
+                "semantic_model_s": round(model_s, 6),
+                "project_rules_s": round(project_rules_s, 6),
+                "filter_s": round(filter_s, 6),
+                "total_s": round(time.perf_counter() - total_started, 6),
+            },
+            "rules": rule_stats,
+        }
+        return result
+
     with_lines = [(f, _line_text(context_by_path, f)) for f in kept]
     if baseline_out is not None:
         write_baseline(baseline_out, with_lines)
-        return LintResult(findings=[], suppressed=suppressed,
-                          baselined=len(kept),
-                          files_checked=len(contexts))
+        return _finish(LintResult(findings=[], suppressed=suppressed,
+                                  baselined=len(kept),
+                                  files_checked=len(contexts)))
     if baseline is not None:
         fresh, absorbed = baseline.filter(with_lines)
-        return LintResult(findings=fresh, suppressed=suppressed,
-                          baselined=absorbed,
-                          files_checked=len(contexts))
-    return LintResult(findings=kept, suppressed=suppressed,
-                      baselined=0, files_checked=len(contexts))
+        return _finish(LintResult(findings=fresh, suppressed=suppressed,
+                                  baselined=absorbed,
+                                  files_checked=len(contexts)))
+    return _finish(LintResult(findings=kept, suppressed=suppressed,
+                              baselined=0, files_checked=len(contexts)))
 
 
 def run_lint(paths: Sequence[str], root: Optional[str] = None,
              select: Optional[Sequence[str]] = None,
              baseline_path: Optional[str] = None,
-             write_baseline_to: Optional[str] = None) -> LintResult:
+             write_baseline_to: Optional[str] = None,
+             jobs: int = 1) -> LintResult:
     """Convenience wrapper: load the baseline file, then lint.
 
     ``baseline_path`` may point at a missing file (treated as empty),
@@ -189,4 +349,4 @@ def run_lint(paths: Sequence[str], root: Optional[str] = None,
     baseline = (load_baseline(baseline_path)
                 if baseline_path is not None else None)
     return lint_paths(paths, root=root, select=select, baseline=baseline,
-                      baseline_out=write_baseline_to)
+                      baseline_out=write_baseline_to, jobs=jobs)

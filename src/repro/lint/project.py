@@ -1,0 +1,539 @@
+"""Project-wide semantic model: symbol tables and the import graph.
+
+:func:`build_project` walks every parsed module of one lint invocation
+exactly once and produces a :class:`ProjectAnalysis` — per-module
+symbol tables (functions, classes and their methods, module-level
+singletons, import aliases), an import graph, and the bookkeeping the
+cross-module rule families need (which module globals are ever
+reassigned, which classes own locks, which methods are thread entry
+points).  The result is cached on the :class:`~repro.lint.core
+.ProjectContext`, so the CONC and PURE rule families share one
+resolution pass instead of re-walking the ASTs per rule.
+
+Everything here is resolution only — no judgement.  The call graph
+built on top lives in :mod:`repro.lint.callgraph`; the rules that
+consume both live in :mod:`repro.lint.rulepack.conc` and
+:mod:`repro.lint.rulepack.purity`.
+
+Qualified names use ``module:func`` / ``module:Class.method`` /
+``module:outer.inner`` (nested defs), keeping the module boundary
+unambiguous even for dotted module paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import FileContext, ProjectContext
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleSymbols",
+    "ProjectAnalysis",
+    "build_project",
+    "qualified_name",
+]
+
+#: ``threading`` constructors that create lock-like synchronization
+#: primitives (the "owning lock" vocabulary of the CONC family).
+LOCK_CONSTRUCTORS = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+})
+
+#: ``threading`` constructors that are unsafe to create at module level
+#: in code that may later ``fork()`` (locks can be held by a thread
+#: that does not exist in the child; threads silently vanish).
+FORK_SENSITIVE_CONSTRUCTORS = frozenset(
+    LOCK_CONSTRUCTORS | {"Event", "Barrier", "Thread"})
+
+
+def qualified_name(module: str, *parts: str) -> str:
+    """Build the canonical ``module:a.b`` qualified name."""
+    return f"{module}:{'.'.join(parts)}"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by qualified name."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+    #: Enclosing function's qname for nested defs (thunks, senders).
+    parent: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, base names, and its synchronization shape."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: Raw base expressions as dotted strings (unresolved).
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: self attributes assigned a ``threading.<LOCK_CONSTRUCTORS>()``.
+    lock_attrs: Dict[str, str] = field(default_factory=dict)
+    #: Condition attrs -> the lock attr they wrap (``Condition(X)``).
+    condition_aliases: Dict[str, str] = field(default_factory=dict)
+    #: Method names passed as ``threading.Thread(target=self.X)``.
+    thread_targets: Set[str] = field(default_factory=set)
+    #: True when any method constructs a ``threading.Thread``.
+    creates_threads: bool = False
+
+
+@dataclass
+class ModuleSymbols:
+    """Everything resolvable about one module from its own source."""
+
+    module: str
+    ctx: FileContext
+    #: ``import a.b as c`` -> {"c": "a.b"}; module-valued from-imports
+    #: (``from ..pkg import mod``) land here too when resolvable.
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    #: ``from m import x as y`` -> {"y": ("m", "x")}.
+    from_names: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level ``NAME = ClassName(...)`` singletons -> raw callee
+    #: (dotted) used to construct them.
+    instances: Dict[str, str] = field(default_factory=dict)
+    #: Module-level names bound to lock-like primitives.
+    module_locks: Dict[str, str] = field(default_factory=dict)
+    #: Module-level names bound to list/dict/set literals or calls.
+    module_containers: Set[str] = field(default_factory=set)
+    #: All module-level assigned names (the module's global namespace).
+    global_names: Set[str] = field(default_factory=set)
+    #: Globals reassigned via a ``global`` statement in some function.
+    rebound_globals: Set[str] = field(default_factory=set)
+    #: Absolute modules this module imports (import-graph edges).
+    imports: Set[str] = field(default_factory=set)
+    #: Module registers an ``os.register_at_fork`` reinitializer.
+    at_fork_reinit: bool = False
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom,
+                      is_package: bool = False) -> Optional[str]:
+    """Absolute dotted base module of an ``ImportFrom`` (or None).
+
+    ``is_package`` marks a package ``__init__``, whose level-1 relative
+    imports resolve against the package itself rather than its parent
+    (``from .active import x`` inside ``repro/cache/__init__.py`` means
+    ``repro.cache.active``).
+    """
+    if node.level == 0:
+        return node.module
+    parts = module.split(".") if module else []
+    drop = node.level - 1 if is_package else node.level
+    if drop > len(parts):
+        return None
+    base = parts[:len(parts) - drop] if drop else list(parts)
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _threading_constructor(call: ast.Call,
+                           syms: "ModuleSymbols") -> Optional[str]:
+    """Return the ``threading.X`` constructor name of ``call``, if any."""
+    name = _dotted(call.func)
+    if name is None:
+        return None
+    if "." in name:
+        prefix, attr = name.rsplit(".", 1)
+        if syms.import_aliases.get(prefix) == "threading":
+            return attr
+        return None
+    origin = syms.from_names.get(name)
+    if origin is not None and origin[0] == "threading":
+        return origin[1]
+    return None
+
+
+def _collect_imports(tree: ast.Module, module: str,
+                     syms: ModuleSymbols,
+                     is_package: bool = False) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                syms.imports.add(alias.name)
+                syms.import_aliases[
+                    alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else
+                    alias.name.split(".")[0])
+                if alias.asname is None and "." not in alias.name:
+                    syms.import_aliases[alias.name] = alias.name
+                elif alias.asname is not None:
+                    syms.import_aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(module or "x.y", node, is_package)
+            if base is None:
+                continue
+            syms.imports.add(base)
+            for alias in node.names:
+                local = alias.asname or alias.name
+                syms.from_names[local] = (base, alias.name)
+
+
+def _function_info(module: str, node: ast.AST, name_parts: List[str],
+                   class_name: Optional[str] = None,
+                   parent: Optional[str] = None) -> FunctionInfo:
+    return FunctionInfo(qname=qualified_name(module, *name_parts),
+                        module=module, name=name_parts[-1], node=node,
+                        class_name=class_name, parent=parent)
+
+
+def _collect_nested(module: str, outer: FunctionInfo,
+                    sink: Dict[str, FunctionInfo]) -> None:
+    """Register defs nested directly inside ``outer`` (one level of
+    qualification per nesting step; bodies stay attached)."""
+    prefix = outer.qname.split(":", 1)[1]
+    for child in ast.walk(outer.node):
+        if child is outer.node:
+            continue
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Only direct or transitively nested defs of *this* function
+            # body; qualification keeps one level: outer.inner.
+            info = _function_info(module, child,
+                                  [prefix, child.name],
+                                  class_name=outer.class_name,
+                                  parent=outer.qname)
+            sink.setdefault(info.qname, info)
+
+
+def _scan_class(module: str, node: ast.ClassDef,
+                syms: ModuleSymbols) -> ClassInfo:
+    cls = ClassInfo(qname=qualified_name(module, node.name),
+                    module=module, name=node.name, node=node)
+    for base in node.bases:
+        dotted = _dotted(base)
+        if dotted is not None:
+            cls.bases.append(dotted)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _function_info(module, stmt, [node.name, stmt.name],
+                                  class_name=node.name)
+            cls.methods[stmt.name] = info
+    # Lock attributes and thread creation anywhere in the class body.
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign) and isinstance(sub.value,
+                                                      ast.Call):
+            ctor = _threading_constructor(sub.value, syms)
+            if ctor is None:
+                continue
+            for target in sub.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    if ctor in LOCK_CONSTRUCTORS:
+                        cls.lock_attrs[target.attr] = ctor
+                    if ctor == "Condition" and sub.value.args:
+                        arg = sub.value.args[0]
+                        if (isinstance(arg, ast.Attribute)
+                                and isinstance(arg.value, ast.Name)
+                                and arg.value.id == "self"):
+                            cls.condition_aliases[target.attr] = \
+                                arg.attr
+        if isinstance(sub, ast.Call):
+            if _threading_constructor(sub, syms) == "Thread":
+                cls.creates_threads = True
+                for kw in sub.keywords:
+                    if kw.arg != "target":
+                        continue
+                    if (isinstance(kw.value, ast.Attribute)
+                            and isinstance(kw.value.value, ast.Name)
+                            and kw.value.value.id == "self"):
+                        cls.thread_targets.add(kw.value.attr)
+    return cls
+
+
+def _scan_module_scope(tree: ast.Module, module: str,
+                       syms: ModuleSymbols) -> None:
+    """Module-level bindings: singletons, locks, containers, names."""
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            syms.global_names.add(stmt.name)
+            continue
+        elif isinstance(stmt, ast.Try):
+            # ImportError-fallback blocks still bind module names.
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Assign):
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Name):
+                            syms.global_names.add(tgt.id)
+                elif isinstance(sub, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    syms.global_names.add(sub.name)
+            continue
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            syms.global_names.add(target.id)
+            if isinstance(value, ast.Call):
+                ctor = _threading_constructor(value, syms)
+                if ctor in FORK_SENSITIVE_CONSTRUCTORS:
+                    syms.module_locks[target.id] = ctor or ""
+                callee = _dotted(value.func)
+                if callee is not None:
+                    if callee in ("list", "dict", "set", "deque",
+                                  "defaultdict", "OrderedDict"):
+                        syms.module_containers.add(target.id)
+                    else:
+                        syms.instances[target.id] = callee
+            elif isinstance(value, (ast.List, ast.Dict, ast.Set)):
+                syms.module_containers.add(target.id)
+
+
+def _scan_function_globals(tree: ast.Module,
+                           syms: ModuleSymbols) -> None:
+    """Names any function rebinds via ``global`` statements."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            syms.rebound_globals.update(node.names)
+
+
+def _scan_at_fork(tree: ast.Module, syms: ModuleSymbols) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None and dotted.endswith(
+                    "register_at_fork"):
+                syms.at_fork_reinit = True
+                return
+
+
+def build_module_symbols(ctx: FileContext) -> ModuleSymbols:
+    """Resolve one module's symbol table (tree must be parsed)."""
+    assert ctx.tree is not None
+    module = ctx.module_name
+    syms = ModuleSymbols(module=module, ctx=ctx)
+    _collect_imports(ctx.tree, module, syms,
+                     is_package=ctx.rel_path.endswith("/__init__.py"))
+    _scan_module_scope(ctx.tree, module, syms)
+    _scan_function_globals(ctx.tree, syms)
+    _scan_at_fork(ctx.tree, syms)
+
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _function_info(module, stmt, [stmt.name])
+            syms.functions[stmt.name] = info
+        elif isinstance(stmt, ast.ClassDef):
+            syms.classes[stmt.name] = _scan_class(module, stmt, syms)
+        elif isinstance(stmt, ast.Try):
+            # Fallback defs inside ImportError guards are module-level.
+            for sub in stmt.body + sum(
+                    [h.body for h in stmt.handlers], []):
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    syms.functions.setdefault(
+                        sub.name, _function_info(module, sub,
+                                                 [sub.name]))
+    return syms
+
+
+@dataclass
+class ProjectAnalysis:
+    """The shared semantic model one lint run resolves once."""
+
+    modules: Dict[str, ModuleSymbols]
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Method name -> qnames of every project method with that name
+    #: (the class-hierarchy-analysis fallback for attribute calls).
+    methods_by_name: Dict[str, List[str]] = field(default_factory=dict)
+    #: module -> absolute modules it imports (project members only).
+    import_graph: Dict[str, Set[str]] = field(default_factory=dict)
+    #: (module, name) pairs some *other* module's code assigns through
+    #: an attribute store (``kernels.py``-style backend flag flips).
+    mutated_module_attrs: Set[Tuple[str, str]] = field(
+        default_factory=set)
+
+    # --- resolution -------------------------------------------------------
+
+    def resolve_export_all(self, module: str, name: str,
+                           _depth: int = 0) -> List[Tuple[str, str]]:
+        """All project symbols ``module.name`` may denote.
+
+        Chases re-exports through package ``__init__`` chains (bounded
+        depth).  Each result is ``(kind, qname)`` with kind ``"func"``,
+        ``"class"``, ``"instance"`` or ``"module"``; for instances the
+        qname is the *class* qname when resolvable, else
+        ``module:name``.  More than one result happens legitimately:
+        the ImportError-fallback pattern binds a local passthrough def
+        *and* the real from-import under one name, and a conservative
+        caller must follow both.
+        """
+        results: List[Tuple[str, str]] = []
+        if _depth > 8:
+            return results
+        syms = self.modules.get(module)
+        if syms is None:
+            return results
+        if name in syms.functions:
+            results.append(("func", syms.functions[name].qname))
+        if name in syms.classes:
+            results.append(("class", syms.classes[name].qname))
+        if name in syms.instances:
+            cls = self.resolve_class_name(syms, syms.instances[name])
+            results.append(
+                ("instance", cls.qname if cls is not None
+                 else qualified_name(module, name)))
+        origin = syms.from_names.get(name)
+        if origin is not None:
+            chased = self.resolve_export_all(origin[0], origin[1],
+                                             _depth + 1)
+            if chased:
+                results.extend(chased)
+            else:
+                # A re-exported submodule: ``from . import soa``.
+                submodule = f"{origin[0]}.{origin[1]}"
+                if submodule in self.modules:
+                    results.append(("module", submodule))
+        if name in syms.import_aliases:
+            target = syms.import_aliases[name]
+            if target in self.modules:
+                results.append(("module", target))
+        # ``module.name`` naming a plain (un-re-exported) submodule.
+        if f"{module}.{name}" in self.modules:
+            results.append(("module", f"{module}.{name}"))
+        seen: Set[Tuple[str, str]] = set()
+        unique = [r for r in results
+                  if r not in seen and not seen.add(r)]  # type: ignore
+        return unique
+
+    def resolve_export(self, module: str, name: str,
+                       _depth: int = 0) -> Optional[Tuple[str, str]]:
+        """First (highest-priority) resolution of ``module.name``."""
+        results = self.resolve_export_all(module, name, _depth)
+        return results[0] if results else None
+
+    def resolve_class_name(self, syms: ModuleSymbols,
+                           dotted: str) -> Optional[ClassInfo]:
+        """Resolve a (possibly dotted) class reference from ``syms``."""
+        if "." not in dotted:
+            if dotted in syms.classes:
+                return syms.classes[dotted]
+            resolved = self.resolve_export(syms.module, dotted)
+            if resolved is not None and resolved[0] == "class":
+                return self.classes.get(resolved[1])
+            return None
+        prefix, attr = dotted.rsplit(".", 1)
+        base = syms.import_aliases.get(prefix)
+        if base is None:
+            return None
+        resolved = self.resolve_export(base, attr)
+        if resolved is not None and resolved[0] == "class":
+            return self.classes.get(resolved[1])
+        return None
+
+    def class_and_bases(self, cls: ClassInfo,
+                        _depth: int = 0) -> List[ClassInfo]:
+        """The class plus its project-resolvable base chain."""
+        result = [cls]
+        if _depth > 8:
+            return result
+        syms = self.modules.get(cls.module)
+        if syms is None:
+            return result
+        for base in cls.bases:
+            parent = self.resolve_class_name(syms, base)
+            if parent is not None and parent.qname != cls.qname:
+                result.extend(self.class_and_bases(parent, _depth + 1))
+        return result
+
+    def import_closure(self, seeds: Set[str]) -> Set[str]:
+        """Project modules transitively imported from ``seeds``."""
+        seen: Set[str] = set()
+        frontier = [m for m in seeds if m in self.modules]
+        while frontier:
+            module = frontier.pop()
+            if module in seen:
+                continue
+            seen.add(module)
+            for imported in self.import_graph.get(module, ()):
+                if imported in self.modules and imported not in seen:
+                    frontier.append(imported)
+        return seen
+
+
+def _attribute_store_targets(syms: ModuleSymbols,
+                             analysis: ProjectAnalysis) -> None:
+    """Record ``alias.NAME = ...`` stores into *project* modules."""
+    tree = syms.ctx.tree
+    assert tree is not None
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)):
+                continue
+            referent = target.value.id
+            module = syms.import_aliases.get(referent)
+            if module is None:
+                origin = syms.from_names.get(referent)
+                if origin is not None:
+                    resolved = analysis.resolve_export(origin[0],
+                                                       origin[1])
+                    if (resolved is not None
+                            and resolved[0] == "module"):
+                        module = resolved[1]
+            if module is not None and module in analysis.modules:
+                analysis.mutated_module_attrs.add(
+                    (module, target.attr))
+
+
+def build_project(project: ProjectContext) -> ProjectAnalysis:
+    """Resolve the whole-project semantic model (one pass)."""
+    modules: Dict[str, ModuleSymbols] = {}
+    for name, ctx in project.by_module().items():
+        modules[name] = build_module_symbols(ctx)
+
+    analysis = ProjectAnalysis(modules=modules)
+    for name, syms in modules.items():
+        analysis.import_graph[name] = {
+            imported for imported in syms.imports if imported in modules}
+        for info in syms.functions.values():
+            analysis.functions[info.qname] = info
+            _collect_nested(name, info, analysis.functions)
+        for cls in syms.classes.values():
+            analysis.classes[cls.qname] = cls
+            for method in cls.methods.values():
+                analysis.functions[method.qname] = method
+                _collect_nested(name, method, analysis.functions)
+                analysis.methods_by_name.setdefault(
+                    method.name, []).append(method.qname)
+    for qnames in analysis.methods_by_name.values():
+        qnames.sort()
+    for syms in modules.values():
+        _attribute_store_targets(syms, analysis)
+    return analysis

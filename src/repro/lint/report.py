@@ -1,21 +1,34 @@
-"""Text and JSON reporters for lint results.
+"""Text, JSON, and SARIF reporters for lint results.
 
 The JSON shape is a stable machine-readable contract
 (``bundle-charging/lint/v1``) so CI annotations and editor plugins can
-consume it without scraping text output.
+consume it without scraping text output.  :func:`render_sarif` emits
+SARIF 2.1.0 for code-scanning upload, and
+:func:`lint_stats_problems` validates the ``--stats`` timing document
+(``bundle-charging/lint-stats/v1``) the same way the observability
+schemas are validated.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Any, Dict, List
 
-from .core import all_rules
-from .engine import LintResult
+from .core import PARSE_ERROR_RULE, all_rules
+from .engine import LINT_STATS_SCHEMA_ID, LintResult
 
-__all__ = ["JSON_SCHEMA_ID", "render_json", "render_rules", "render_text"]
+__all__ = ["JSON_SCHEMA_ID", "SARIF_SCHEMA_URI", "lint_stats_problems",
+           "render_json", "render_rules", "render_sarif", "render_text"]
 
 JSON_SCHEMA_ID = "bundle-charging/lint/v1"
+
+#: The published SARIF 2.1.0 schema location.
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Keys every ``phases`` object in a stats document must carry.
+_STATS_PHASES = ("scan_s", "parse_s", "file_rules_s", "semantic_model_s",
+                 "project_rules_s", "filter_s", "total_s")
 
 
 def render_text(result: LintResult) -> str:
@@ -55,6 +68,126 @@ def render_json(result: LintResult) -> str:
         "findings": [finding.to_dict() for finding in result.findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report for code-scanning upload.
+
+    Every registered rule (plus the synthetic ``E999`` parse-error
+    rule) appears in the driver's rule table so viewers can show
+    titles/rationales even for rules with no findings this run.
+    Columns are 1-based per the SARIF spec; findings carry the
+    linter's 0-based ``col`` plus one.
+    """
+    rules_meta: List[Dict[str, Any]] = [{
+        "id": PARSE_ERROR_RULE,
+        "shortDescription": {"text": "File cannot be parsed"},
+        "fullDescription": {
+            "text": "The engine could not read or parse this file; no "
+                    "rules ran over it."},
+        "defaultConfiguration": {"level": "error"},
+    }]
+    for rule in all_rules():
+        rules_meta.append({
+            "id": rule.id,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "warning"},
+        })
+    index_of = {meta["id"]: index
+                for index, meta in enumerate(rules_meta)}
+
+    results: List[Dict[str, Any]] = []
+    for finding in result.findings:
+        entry: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": ("error" if finding.rule == PARSE_ERROR_RULE
+                      else "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": finding.line,
+                               "startColumn": finding.col + 1},
+                },
+            }],
+        }
+        if finding.rule in index_of:
+            entry["ruleIndex"] = index_of[finding.rule]
+        results.append(entry)
+
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "bundle-charging-lint",
+                "informationUri": "docs/architecture.md",
+                "rules": rules_meta,
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def lint_stats_problems(document: Any) -> List[str]:
+    """Validate a ``bundle-charging/lint-stats/v1`` document.
+
+    Returns problem strings (empty = valid); re-exported through
+    :func:`repro.obs.validate.validate_lint_stats` so CI gates check
+    all emitted documents from one place.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["stats document is not an object"]
+    if document.get("schema") != LINT_STATS_SCHEMA_ID:
+        problems.append(
+            f"unknown stats schema {document.get('schema')!r} "
+            f"(expected {LINT_STATS_SCHEMA_ID!r})")
+    jobs = document.get("jobs")
+    if not isinstance(jobs, int) or jobs < 1:
+        problems.append(f"'jobs' must be a positive integer: {jobs!r}")
+    files = document.get("files")
+    if not isinstance(files, dict):
+        problems.append("stats document missing 'files' object")
+    else:
+        for key in ("checked", "cached", "parse_errors"):
+            value = files.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"files.{key} must be a non-negative integer: "
+                    f"{value!r}")
+    phases = document.get("phases")
+    if not isinstance(phases, dict):
+        problems.append("stats document missing 'phases' object")
+    else:
+        for key in _STATS_PHASES:
+            value = phases.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"phases.{key} must be a non-negative number: "
+                    f"{value!r}")
+    rules = document.get("rules")
+    if not isinstance(rules, dict):
+        problems.append("stats document missing 'rules' object")
+    else:
+        for rule_id, entry in rules.items():
+            if not isinstance(entry, dict):
+                problems.append(f"rules.{rule_id} is not an object")
+                continue
+            seconds = entry.get("seconds")
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                problems.append(
+                    f"rules.{rule_id}.seconds must be a non-negative "
+                    f"number: {seconds!r}")
+            findings = entry.get("findings")
+            if not isinstance(findings, int) or findings < 0:
+                problems.append(
+                    f"rules.{rule_id}.findings must be a non-negative "
+                    f"integer: {findings!r}")
+    return problems
 
 
 def render_rules() -> str:

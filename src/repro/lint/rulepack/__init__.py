@@ -9,6 +9,6 @@ calling the engine.
 
 from __future__ import annotations
 
-from . import determinism, obs, parity
+from . import conc, determinism, obs, parity, purity
 
-__all__ = ["determinism", "obs", "parity"]
+__all__ = ["conc", "determinism", "obs", "parity", "purity"]

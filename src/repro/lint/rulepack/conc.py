@@ -1,0 +1,616 @@
+"""Concurrency rules CONC001–CONC005 (cross-module).
+
+The serving stack runs planner computes on scheduler worker threads and
+HTTP handler threads, and is about to go multi-process (ROADMAP item 1:
+pre-forked digest-sharded workers).  These rules encode its locking
+discipline statically, on top of the shared project model
+(:mod:`repro.lint.project`) and call graph
+(:mod:`repro.lint.callgraph`):
+
+* CONC001 — an attribute that is written under ``self.<lock>`` anywhere
+  in a thread-involved class must be written under it everywhere
+  (``__init__`` is exempt: construction happens-before publication).
+* CONC002 — nested lock acquisitions must follow one global order; a
+  pair of sites acquiring two locks in opposite orders is a deadlock.
+* CONC003 — ``Condition.wait`` must sit inside a predicate loop
+  (``while``): bare waits miss wakeups and spurious-wake consistently.
+* CONC004 — module-level locks/conditions/threads/open handles in the
+  serving import closure are fork-unsafe unless the module registers an
+  ``os.register_at_fork`` reinitializer.
+* CONC005 — shared mutable state reachable from serving threads needs
+  an owning lock: lockless singleton classes whose methods mutate
+  ``self``, and module-global containers mutated outside any lock.
+
+Scope: the concurrency surface — ``repro.service``, ``repro.obs``,
+``repro.cache``, ``repro.perf``, ``repro.loadgen``.  Pipeline/planner
+classes are per-call objects and stay out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (Dict, Iterable, Iterator, List, Optional, Set,
+                    Tuple)
+
+from ..core import FileContext, Finding, ProjectContext, ProjectRule, \
+    register
+
+__all__ = [
+    "InconsistentLockingRule",
+    "LockOrderRule",
+    "BareConditionWaitRule",
+    "ForkUnsafeModuleStateRule",
+    "UnownedSharedStateRule",
+]
+
+#: Packages forming the thread-shared surface of the repo.
+_CONC_PACKAGES = ("service", "obs", "cache", "perf", "loadgen")
+
+#: Container methods that mutate their receiver in place.
+_MUTATORS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popleft", "popitem", "remove",
+    "setdefault", "sort", "update",
+})
+
+#: ``("self", class_qname, attr)`` or ``("mod", module, name)``.
+LockId = Tuple[str, str, str]
+
+
+def _render_lock(lock: LockId) -> str:
+    kind, owner, attr = lock
+    if kind == "self":
+        return f"{owner.split(':', 1)[1]}.{attr}"
+    return f"{owner}.{attr}"
+
+
+def _lock_id(expr: ast.expr, cls, syms, analysis) -> Optional[LockId]:
+    """Canonical lock identity of a ``with`` context expression.
+
+    ``Condition(self.X)`` aliases normalize to the underlying lock so
+    ``with self._work:`` and ``with self._lock:`` count as the same
+    acquisition.
+    """
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)):
+        if expr.value.id == "self" and cls is not None:
+            attr = expr.attr
+            if attr in cls.lock_attrs or attr in cls.condition_aliases:
+                return ("self", cls.qname,
+                        cls.condition_aliases.get(attr, attr))
+            return None
+        # ``alias.LOCK`` — a lock owned by another project module.
+        module = syms.import_aliases.get(expr.value.id)
+        if module is None:
+            resolved = analysis.resolve_export(syms.module,
+                                               expr.value.id)
+            if resolved is not None and resolved[0] == "module":
+                module = resolved[1]
+        if module is not None and module in analysis.modules:
+            if expr.attr in analysis.modules[module].module_locks:
+                return ("mod", module, expr.attr)
+        return None
+    if isinstance(expr, ast.Name):
+        if expr.id in syms.module_locks:
+            return ("mod", syms.module, expr.id)
+        origin = syms.from_names.get(expr.id)
+        if origin is not None and origin[0] in analysis.modules:
+            if origin[1] in analysis.modules[origin[0]].module_locks:
+                return ("mod", origin[0], origin[1])
+    return None
+
+
+def _walk_with_locks(root: ast.AST, cls, syms, analysis
+                     ) -> Iterator[Tuple[str, ast.AST,
+                                         Tuple[LockId, ...], int]]:
+    """Yield lock-aware traversal events over one function body.
+
+    Events are ``("node", node, held, while_depth)`` for every node and
+    ``("acquire", with_node, held_before, while_depth)`` with the
+    acquired locks stashed on the event node via ``_acquired``.  Nested
+    ``def``\\ s are skipped (they run later, without these locks);
+    lambdas are descended (they run here).
+    """
+
+    def visit(node: ast.AST, held: Tuple[LockId, ...],
+              depth: int) -> Iterator[Tuple[str, ast.AST,
+                                            Tuple[LockId, ...], int]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                continue
+            yield ("node", child, held, depth)
+            yield from handle(child, held, depth)
+
+    def handle(node: ast.AST, held: Tuple[LockId, ...],
+               depth: int) -> Iterator[Tuple[str, ast.AST,
+                                             Tuple[LockId, ...], int]]:
+        """Dispatch one already-yielded node's subtree.
+
+        Separate from ``visit`` so a ``With``/``While`` appearing as a
+        direct body statement of another ``With`` gets the same
+        acquire/depth treatment as one met through generic child
+        iteration.
+        """
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[LockId] = []
+            for item in node.items:
+                lock = _lock_id(item.context_expr, cls, syms, analysis)
+                if lock is not None and lock not in held:
+                    acquired.append(lock)
+            if acquired:
+                node._acquired = tuple(acquired)  # type: ignore
+                yield ("acquire", node, held, depth)
+            inner = held + tuple(acquired)
+            for item in node.items:
+                yield from visit(item.context_expr, held, depth)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    continue
+                yield ("node", stmt, inner, depth)
+                yield from handle(stmt, inner, depth)
+        elif isinstance(node, ast.While):
+            yield from visit(node, held, depth + 1)
+        else:
+            yield from visit(node, held, depth)
+
+    yield from visit(root, (), 0)
+
+
+def _self_writes(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """``(attr, node)`` when ``node`` writes a ``self`` attribute.
+
+    Covers rebinds (``self.x = ...``, ``self.x += ...``), item stores
+    into a self-held container (``self.x[k] = ...``), and in-place
+    mutator calls (``self.x.append(...)``).
+    """
+    def self_attr(expr: ast.AST) -> Optional[str]:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            return expr.attr
+        return None
+
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            base = target
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            attr = self_attr(base)
+            if attr is not None:
+                yield (attr, node)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = self_attr(func.value)
+            if attr is not None:
+                yield (attr, node)
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return ctx.in_package(*_CONC_PACKAGES)
+
+
+def _thread_reach(project: ProjectContext) -> Set[str]:
+    graph, resolver = project.call_graph()
+    return graph.reachable(resolver.thread_roots())
+
+
+def _thread_involved(cls, reach: Set[str]) -> bool:
+    """Class runs or hosts threads: starts them, is a thread target, or
+    has a method on some serving/background thread's call path."""
+    if cls.creates_threads or cls.thread_targets:
+        return True
+    return any(m.qname in reach for m in cls.methods.values())
+
+
+@register
+class InconsistentLockingRule(ProjectRule):
+    """CONC001 — lock-guarded attribute written without its lock."""
+
+    id = "CONC001"
+    title = "inconsistent attribute locking"
+    rationale = (
+        "The scheduler/cache/metrics classes protect shared state with "
+        "an owning self lock; one write site skipping that lock is a "
+        "data race the other sites' discipline hides until a worker "
+        "pool widens the window. If any non-__init__ write to an "
+        "attribute holds self.<lock>, every non-__init__ write must.")
+
+    def check_project(self, project: ProjectContext
+                      ) -> Iterable[Finding]:
+        analysis = project.analysis()
+        reach = _thread_reach(project)
+        for module in sorted(analysis.modules):
+            syms = analysis.modules[module]
+            if not _in_scope(syms.ctx):
+                continue
+            for cls in syms.classes.values():
+                if not cls.lock_attrs:
+                    continue
+                if not _thread_involved(cls, reach):
+                    continue
+                yield from self._check_class(syms, cls, analysis)
+
+    def _check_class(self, syms, cls, analysis) -> Iterable[Finding]:
+        lock_like = set(cls.lock_attrs) | set(cls.condition_aliases)
+        # (method, attr, node, self locks held) for every write site.
+        events: List[Tuple[str, str, ast.AST, Set[str]]] = []
+        for method in cls.methods.values():
+            for kind, node, held, _depth in _walk_with_locks(
+                    method.node, cls, syms, analysis):
+                if kind != "node":
+                    continue
+                for attr, site in _self_writes(node):
+                    if attr in lock_like:
+                        continue
+                    held_self = {lock[2] for lock in held
+                                 if lock[0] == "self"
+                                 and lock[1] == cls.qname}
+                    events.append((method.name, attr, site, held_self))
+        guards: Dict[str, Set[str]] = {}
+        for method, attr, _node, held in events:
+            if method != "__init__" and held:
+                guards.setdefault(attr, set()).update(held)
+        for method, attr, node, held in events:
+            if method == "__init__" or held or attr not in guards:
+                continue
+            locks = ", ".join(f"self.{name}"
+                              for name in sorted(guards[attr]))
+            yield self.finding(
+                syms.ctx, node,
+                f"'{cls.name}.{method}' writes 'self.{attr}' without "
+                f"holding {locks}, but other sites guard that "
+                f"attribute with it; hoist the write under the lock")
+
+
+@register
+class LockOrderRule(ProjectRule):
+    """CONC002 — two locks acquired in opposite orders somewhere."""
+
+    id = "CONC002"
+    title = "inconsistent lock acquisition order"
+    rationale = (
+        "A scheduler worker holding lock A while taking lock B "
+        "deadlocks against a handler doing the reverse. All nested "
+        "acquisitions across the serving surface must follow one "
+        "global order; Condition(lock) aliases count as their "
+        "underlying lock.")
+
+    def check_project(self, project: ProjectContext
+                      ) -> Iterable[Finding]:
+        analysis = project.analysis()
+        # (outer, inner) -> first acquisition site witnessing it.
+        edges: Dict[Tuple[LockId, LockId],
+                    Tuple[FileContext, ast.AST]] = {}
+        for module in sorted(analysis.modules):
+            syms = analysis.modules[module]
+            if not _in_scope(syms.ctx):
+                continue
+            for info in syms.functions.values():
+                self._collect(info, None, syms, analysis, edges)
+            for cls in syms.classes.values():
+                for method in cls.methods.values():
+                    self._collect(method, cls, syms, analysis, edges)
+        adjacency: Dict[LockId, Set[LockId]] = {}
+        for outer, inner in edges:
+            adjacency.setdefault(outer, set()).add(inner)
+        for (outer, inner), (ctx, node) in sorted(
+                edges.items(), key=lambda kv: (kv[1][0].rel_path,
+                                               kv[1][1].lineno)):
+            if self._reaches(adjacency, inner, outer):
+                yield self.finding(
+                    ctx, node,
+                    f"acquires {_render_lock(inner)} while holding "
+                    f"{_render_lock(outer)}, but another site orders "
+                    f"them the other way round; pick one global lock "
+                    f"order")
+
+    def _collect(self, info, cls, syms, analysis, edges) -> None:
+        for kind, node, held, _depth in _walk_with_locks(
+                info.node, cls, syms, analysis):
+            if kind != "acquire":
+                continue
+            for inner in node._acquired:  # type: ignore[attr-defined]
+                for outer in held:
+                    edges.setdefault((outer, inner), (syms.ctx, node))
+
+    @staticmethod
+    def _reaches(adjacency: Dict[LockId, Set[LockId]],
+                 start: LockId, goal: LockId) -> bool:
+        seen: Set[LockId] = set()
+        frontier = [start]
+        while frontier:
+            lock = frontier.pop()
+            if lock == goal:
+                return True
+            if lock in seen:
+                continue
+            seen.add(lock)
+            frontier.extend(adjacency.get(lock, ()))
+        return False
+
+
+@register
+class BareConditionWaitRule(ProjectRule):
+    """CONC003 — ``Condition.wait`` outside a ``while`` predicate loop."""
+
+    id = "CONC003"
+    title = "Condition.wait outside a predicate loop"
+    rationale = (
+        "A condition wait can return spuriously and after missed "
+        "notifications consumed by another waiter; only re-checking "
+        "the predicate in a while loop makes the scheduler's "
+        "work/settled handoff correct. wait_for() carries its own "
+        "predicate and is exempt.")
+
+    def check_project(self, project: ProjectContext
+                      ) -> Iterable[Finding]:
+        analysis = project.analysis()
+        for module in sorted(analysis.modules):
+            syms = analysis.modules[module]
+            if not _in_scope(syms.ctx):
+                continue
+            infos = list(syms.functions.values())
+            for cls in syms.classes.values():
+                infos.extend(cls.methods.values())
+            for info in infos:
+                cls = (syms.classes.get(info.class_name)
+                       if info.class_name else None)
+                for kind, node, _held, depth in _walk_with_locks(
+                        info.node, cls, syms, analysis):
+                    if kind != "node" or not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if (not isinstance(func, ast.Attribute)
+                            or func.attr != "wait"):
+                        continue
+                    if not self._is_condition(func.value, cls, syms):
+                        continue
+                    if depth == 0:
+                        yield self.finding(
+                            syms.ctx, node,
+                            "Condition.wait() outside a while loop "
+                            "misses notifications and wakes "
+                            "spuriously; re-check the predicate: "
+                            "'while not <pred>: cond.wait()'")
+
+    @staticmethod
+    def _is_condition(expr: ast.expr, cls, syms) -> bool:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and cls is not None):
+            return (cls.lock_attrs.get(expr.attr) == "Condition"
+                    or expr.attr in cls.condition_aliases)
+        if isinstance(expr, ast.Name):
+            return syms.module_locks.get(expr.id) == "Condition"
+        return False
+
+
+@register
+class ForkUnsafeModuleStateRule(ProjectRule):
+    """CONC004 — fork-unsafe module-level primitives in serving code."""
+
+    id = "CONC004"
+    title = "fork-unsafe module-level state in the serving closure"
+    rationale = (
+        "ROADMAP item 1 pre-forks digest-sharded workers. A module-"
+        "level Lock/Condition/Thread/open handle created at import "
+        "time is inherited by the child in whatever state the parent "
+        "held it — a lock owned by a thread that does not exist in the "
+        "child deadlocks forever. Modules in the serving import "
+        "closure must register an os.register_at_fork reinitializer "
+        "for such state.")
+
+    def check_project(self, project: ProjectContext
+                      ) -> Iterable[Finding]:
+        analysis = project.analysis()
+        seeds = {m for m in analysis.modules
+                 if m == "repro.service" or m.startswith("repro.service.")}
+        closure = analysis.import_closure(seeds)
+        for module in sorted(closure):
+            syms = analysis.modules[module]
+            if syms.at_fork_reinit:
+                continue
+            flagged = dict(syms.module_locks)
+            for name, callee in syms.instances.items():
+                if callee == "open":
+                    flagged[name] = "open"
+            if not flagged:
+                continue
+            for name, node in self._module_assigns(syms.ctx, flagged):
+                kind = flagged[name]
+                what = ("open file handle" if kind == "open"
+                        else f"threading.{kind}")
+                yield self.finding(
+                    syms.ctx, node,
+                    f"module-level {what} '{name}' is reachable from "
+                    f"repro.service and not fork-safe; reinitialize it "
+                    f"via os.register_at_fork(after_in_child=...) "
+                    f"before the pre-forked worker pool lands")
+
+    @staticmethod
+    def _module_assigns(ctx: FileContext, names: Dict[str, str]
+                        ) -> Iterator[Tuple[str, ast.AST]]:
+        assert ctx.tree is not None
+        for stmt in ast.walk(ctx.tree):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id in names):
+                        yield (target.id, stmt)
+
+
+@register
+class UnownedSharedStateRule(ProjectRule):
+    """CONC005 — thread-shared mutable state with no owning lock."""
+
+    id = "CONC005"
+    title = "thread-shared mutable state without an owning lock"
+    rationale = (
+        "State a serving/background thread mutates needs exactly one "
+        "owner: a self lock for singleton registries, a module lock "
+        "for module-global containers, or thread-local storage. A "
+        "lockless shared registry loses updates under the thread pool "
+        "and silently corrupts counters the acceptance harness "
+        "asserts on.")
+
+    def check_project(self, project: ProjectContext
+                      ) -> Iterable[Finding]:
+        analysis = project.analysis()
+        graph, resolver = project.call_graph()
+        reach = graph.reachable(resolver.thread_roots())
+        singleton_classes = self._singleton_classes(analysis)
+        for module in sorted(analysis.modules):
+            syms = analysis.modules[module]
+            if not _in_scope(syms.ctx):
+                continue
+            yield from self._check_classes(syms, analysis, reach,
+                                           singleton_classes)
+            yield from self._check_globals(syms, analysis, reach)
+
+    @staticmethod
+    def _singleton_classes(analysis) -> Dict[str, str]:
+        """Class qname -> shared-instance name instantiating it.
+
+        Two sharing shapes: a module-level ``NAME = Class(...)``
+        singleton, and an instance stored into a module-level container
+        (``_REGISTRY[key] = Class(...)``) — registry entries outlive
+        the storing call and are handed to every thread that looks
+        them up.
+        """
+        singletons: Dict[str, str] = {}
+        for syms in analysis.modules.values():
+            for name, callee in syms.instances.items():
+                cls = analysis.resolve_class_name(syms, callee)
+                if cls is not None:
+                    singletons.setdefault(cls.qname, name)
+            if not syms.module_containers or syms.ctx.tree is None:
+                continue
+            # Anywhere-in-module ``var = ClassName(...)`` bindings, so
+            # the two-step ``cache = StageCache(...); _REG[k] = cache``
+            # registry idiom resolves too.
+            constructed: Dict[str, str] = {}
+            for node in ast.walk(syms.ctx.tree):
+                if (isinstance(node, ast.Assign)
+                        and isinstance(node.value, ast.Call)
+                        and isinstance(node.value.func, ast.Name)):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            constructed[target.id] = node.value.func.id
+            for node in ast.walk(syms.ctx.tree):
+                if not isinstance(node, ast.Assign):
+                    continue
+                callee = None
+                if (isinstance(node.value, ast.Call)
+                        and isinstance(node.value.func, ast.Name)):
+                    callee = node.value.func.id
+                elif isinstance(node.value, ast.Name):
+                    callee = constructed.get(node.value.id)
+                if callee is None:
+                    continue
+                for target in node.targets:
+                    base = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if (not isinstance(base, ast.Name)
+                            or base is target
+                            or base.id not in syms.module_containers):
+                        continue
+                    cls = analysis.resolve_class_name(syms, callee)
+                    if cls is not None:
+                        singletons.setdefault(
+                            cls.qname, f"{base.id}[...]")
+        return singletons
+
+    def _check_classes(self, syms, analysis, reach: Set[str],
+                       singletons: Dict[str, str]) -> Iterable[Finding]:
+        for cls in syms.classes.values():
+            if cls.lock_attrs:
+                continue
+            if any("RequestHandler" in base for base in cls.bases):
+                # One handler instance per connection; never shared.
+                continue
+            if cls.qname not in singletons:
+                continue
+            witness: Optional[Tuple[str, str]] = None
+            for method in cls.methods.values():
+                if method.name == "__init__":
+                    continue
+                if method.qname not in reach:
+                    continue
+                for kind, node, _held, _d in _walk_with_locks(
+                        method.node, cls, syms, analysis):
+                    if kind != "node":
+                        continue
+                    for attr, _site in _self_writes(node):
+                        witness = (method.name, attr)
+                        break
+                    if witness:
+                        break
+                if witness:
+                    break
+            if witness:
+                method_name, attr = witness
+                yield self.finding(
+                    syms.ctx, cls.node,
+                    f"'{cls.name}' is shared as module-level singleton "
+                    f"'{singletons[cls.qname]}' and mutated from "
+                    f"serving threads ('{method_name}' writes "
+                    f"'self.{attr}') with no owning lock; add a "
+                    f"threading.Lock or make the state thread-local")
+
+    def _check_globals(self, syms, analysis,
+                       reach: Set[str]) -> Iterable[Finding]:
+        infos = list(syms.functions.values())
+        for cls in syms.classes.values():
+            infos.extend(cls.methods.values())
+        for info in infos:
+            if info.qname not in reach:
+                continue
+            cls = (syms.classes.get(info.class_name)
+                   if info.class_name else None)
+            func_globals = {
+                name for node in ast.walk(info.node)
+                if isinstance(node, ast.Global) for name in node.names}
+            for kind, node, held, _d in _walk_with_locks(
+                    info.node, cls, syms, analysis):
+                if kind != "node" or held:
+                    continue
+                target = self._global_mutation(node, syms, func_globals)
+                if target is not None:
+                    yield self.finding(
+                        syms.ctx, node,
+                        f"'{info.name}' mutates module global "
+                        f"'{target}' from a serving thread with no "
+                        f"lock held; guard it with a module lock or "
+                        f"use threading.local()")
+
+    @staticmethod
+    def _global_mutation(node: ast.AST, syms,
+                         func_globals: Set[str]) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in syms.module_containers):
+                return func.value.id
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                base = target
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if not isinstance(base, ast.Name):
+                    continue
+                if (isinstance(target, ast.Subscript)
+                        and base.id in syms.module_containers):
+                    return base.id
+                if base.id in func_globals:
+                    return base.id
+        return None

@@ -1,0 +1,311 @@
+"""Cache-purity rules PURE001–PURE002 (cross-module).
+
+Every memoized stage in :data:`repro.cache.keys.KERNEL_VERSIONS` is a
+contract: the payload is a pure function of ``(stage, params, kernel
+version)``.  A compute function that reads the wall clock, the global
+RNG, ``os.environ`` or a mutable module global returns values the cache
+key does not capture — the first warm hit then serves a stale or
+simply *different* answer, silently, to every planner sharing the
+content-addressed store.
+
+These rules find every ``stage_memo(...)`` / ``get_or_compute(...)``
+call site with a literal stage name, take its compute callable as a
+root, and scan the call-graph closure of those roots:
+
+* PURE001 — direct clock (``time.*``, ``datetime.now``…) or
+  global-RNG (``random.*``) calls.  :mod:`repro.clock` is the one
+  sanctioned time source and is exempt (stages must thread timestamps
+  through parameters, not read them mid-compute).
+* PURE002 — reads of ambient mutable state: ``os.environ`` and module
+  globals that are rebound at runtime (``global`` statements or
+  cross-module attribute stores).  The ``_USE_REFERENCE`` backend
+  flags are exempt: they are versioned by the kernel-parity contract
+  (PAR001) and flipped only by the bench harness.
+
+The observability/perf/lint layers are out of scope — they time and
+count around the compute but never feed the payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import Finding, ProjectContext, ProjectRule, register
+from .determinism import (_GLOBAL_RANDOM_FUNCS, _WALL_CLOCK_ATTRS,
+                          _WALL_CLOCK_BARE)
+
+__all__ = ["ImpureStageClockRule", "ImpureStageAmbientReadRule"]
+
+_KEYS_MODULE = "repro.cache.keys"
+_VERSIONS_NAME = "KERNEL_VERSIONS"
+
+#: Modules exempt from the purity scan: the memo/observability
+#: infrastructure measures *around* the compute and never contributes
+#: to payloads, and repro.clock is the sanctioned time indirection.
+_EXEMPT_PACKAGES = ("perf", "obs", "lint", "cache")
+_EXEMPT_MODULES = frozenset({"repro.clock"})
+
+#: Backend flags the parity contract owns (see PAR001): flipped only
+#: by the bench harness, versioned through KERNEL_VERSIONS.
+_EXEMPT_GLOBALS = frozenset({"_USE_REFERENCE"})
+
+
+def _stage_names(analysis) -> Set[str]:
+    """Stage names from the KERNEL_VERSIONS dict literal, or empty.
+
+    Parsed statically from :mod:`repro.cache.keys`; when that module is
+    outside the linted file set (CI lints subtrees), the rules go
+    silent rather than guessing.
+    """
+    syms = analysis.modules.get(_KEYS_MODULE)
+    if syms is None or syms.ctx.tree is None:
+        return set()
+    for node in syms.ctx.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == _VERSIONS_NAME
+                   for t in targets):
+            continue
+        if isinstance(node.value, ast.Dict):
+            return {key.value for key in node.value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)}
+    return set()
+
+
+def _compute_arg(call: ast.Call) -> Optional[ast.expr]:
+    """The compute callable of a stage_memo/get_or_compute call."""
+    if len(call.args) >= 3:
+        return call.args[2]
+    for kw in call.keywords:
+        if kw.arg == "compute":
+            return kw.value
+    return None
+
+
+def _is_stage_call(call: ast.Call, stages: Set[str]) -> Optional[str]:
+    """Literal stage name when ``call`` memoizes a known stage."""
+    func = call.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name not in ("stage_memo", "get_or_compute"):
+        return None
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str) and value in stages:
+            return value
+    return None
+
+
+def _stage_roots(project: ProjectContext
+                 ) -> Tuple[Dict[str, str], List[Tuple[str, object,
+                                                       ast.Lambda]]]:
+    """Find stage compute roots across the project.
+
+    Returns ``(roots, lambdas)``: ``roots`` maps root function qnames
+    to the stage name that registers them; ``lambdas`` carries inline
+    compute lambdas as ``(stage, enclosing FunctionInfo, node)`` so
+    their bodies can be scanned in the enclosing environment.
+    """
+    analysis = project.analysis()
+    _graph, resolver = project.call_graph()
+    stages = _stage_names(analysis)
+    roots: Dict[str, str] = {}
+    lambdas: List[Tuple[str, object, ast.Lambda]] = []
+    if not stages:
+        return roots, lambdas
+    from ..callgraph import function_body_nodes
+    for info in analysis.functions.values():
+        for node in function_body_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            stage = _is_stage_call(node, stages)
+            if stage is None:
+                continue
+            compute = _compute_arg(node)
+            if compute is None:
+                continue
+            if isinstance(compute, ast.Lambda):
+                lambdas.append((stage, info, compute))
+                for qname in resolver.calls_in(info, compute.body):
+                    roots.setdefault(qname, stage)
+            elif isinstance(compute, (ast.Name, ast.Attribute)):
+                for qname in resolver.resolve_call(info, compute):
+                    roots.setdefault(qname, stage)
+    return roots, lambdas
+
+
+class _StagePurityRule(ProjectRule):
+    """Shared driver: scan the closure of stage computes for one
+    violation predicate implemented by subclasses."""
+
+    def check_project(self, project: ProjectContext
+                      ) -> Iterable[Finding]:
+        analysis = project.analysis()
+        graph, _resolver = project.call_graph()
+        roots, lambdas = _stage_roots(project)
+        if not roots and not lambdas:
+            return
+        reach = graph.reachable(roots)
+        from ..callgraph import function_body_nodes
+        for qname in sorted(reach):
+            info = analysis.functions.get(qname)
+            if info is None or self._exempt(info.module):
+                continue
+            syms = analysis.modules[info.module]
+            stage = roots.get(qname)
+            if stage is None:
+                chain = graph.shortest_path(roots, qname)
+                stage = roots.get(chain[0], "?") if chain else "?"
+            for node in function_body_nodes(info.node):
+                yield from self._check_node(syms, info, node, stage,
+                                            analysis)
+        for stage, info, lam in lambdas:
+            if self._exempt(info.module):  # type: ignore[attr-defined]
+                continue
+            syms = analysis.modules[info.module]  # type: ignore
+            for node in ast.walk(lam):
+                yield from self._check_node(syms, info, node, stage,
+                                            analysis)
+
+    @staticmethod
+    def _exempt(module: str) -> bool:
+        if module in _EXEMPT_MODULES:
+            return True
+        return any(module == f"repro.{pkg}"
+                   or module.startswith(f"repro.{pkg}.")
+                   for pkg in _EXEMPT_PACKAGES)
+
+    def _check_node(self, syms, info, node: ast.AST, stage: str,
+                    analysis) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def _resolve_call_dotted(node: ast.Call, syms) -> Optional[str]:
+    """Canonical ``module.attr`` of a call through an import alias."""
+    func = node.func
+    parts: List[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if not isinstance(func, ast.Name):
+        return None
+    parts.append(func.id)
+    parts.reverse()
+    head = syms.import_aliases.get(parts[0])
+    if head is None:
+        return None
+    return ".".join([head] + parts[1:])
+
+
+@register
+class ImpureStageClockRule(_StagePurityRule):
+    """PURE001 — clock/RNG access inside a memoized stage's closure."""
+
+    id = "PURE001"
+    title = "clock or global RNG inside a memoized stage"
+    rationale = (
+        "A stage payload must be a pure function of (stage, params, "
+        "kernel version) — that is the whole warm-start contract. A "
+        "time.time()/random.random() call inside the compute closure "
+        "makes the first cold run's answer canonical forever; every "
+        "later run silently inherits it. Thread timestamps and seeded "
+        "RNGs through params, or use repro.clock at the edges.")
+
+    def _check_node(self, syms, info, node: ast.AST, stage: str,
+                    analysis) -> Iterable[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        hit: Optional[str] = None
+        dotted = _resolve_call_dotted(node, syms)
+        if dotted is not None:
+            if dotted in _WALL_CLOCK_ATTRS:
+                hit = dotted
+            else:
+                head, _, attr = dotted.rpartition(".")
+                if head == "random" and attr in _GLOBAL_RANDOM_FUNCS:
+                    hit = dotted
+        elif isinstance(node.func, ast.Name):
+            origin = syms.from_names.get(node.func.id)
+            if origin is not None:
+                if origin[0] == "time" and origin[1] in _WALL_CLOCK_BARE:
+                    hit = f"time.{origin[1]}"
+                elif (origin[0] == "random"
+                      and origin[1] in _GLOBAL_RANDOM_FUNCS):
+                    hit = f"random.{origin[1]}"
+        if hit is not None:
+            yield self.finding(
+                syms.ctx, node,
+                f"'{info.name}' is in the compute closure of memoized "
+                f"stage '{stage}' but calls '{hit}()'; the cache key "
+                f"cannot capture it — pass the value through params "
+                f"or read it outside the stage via repro.clock")
+
+
+@register
+class ImpureStageAmbientReadRule(_StagePurityRule):
+    """PURE002 — ambient mutable state read inside a stage's closure."""
+
+    id = "PURE002"
+    title = "ambient state read inside a memoized stage"
+    rationale = (
+        "os.environ and module globals that are rebound at runtime "
+        "(global statements, cross-module attribute stores) are "
+        "invisible to the stage key; a compute that reads them caches "
+        "one configuration's answer under a key every configuration "
+        "shares. Pass such values through the stage params so they "
+        "participate in the digest.")
+
+    def _check_node(self, syms, info, node: ast.AST, stage: str,
+                    analysis) -> Iterable[Finding]:
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx,
+                                                         ast.Load):
+            if (node.attr == "environ"
+                    and isinstance(node.value, ast.Name)
+                    and syms.import_aliases.get(node.value.id) == "os"):
+                yield self.finding(
+                    syms.ctx, node,
+                    f"'{info.name}' reads os.environ inside memoized "
+                    f"stage '{stage}'; environment state is not part "
+                    f"of the cache key — pass it through params")
+                return
+            if (isinstance(node.value, ast.Name)
+                    and node.attr not in _EXEMPT_GLOBALS):
+                module = syms.import_aliases.get(node.value.id)
+                if (module is not None
+                        and (module, node.attr)
+                        in analysis.mutated_module_attrs):
+                    yield self.finding(
+                        syms.ctx, node,
+                        f"'{info.name}' reads '{module}.{node.attr}' "
+                        f"inside memoized stage '{stage}', but that "
+                        f"global is reassigned at runtime; pass it "
+                        f"through params so it enters the digest")
+        elif isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                       ast.Load):
+            name = node.id
+            if name in _EXEMPT_GLOBALS:
+                return
+            rebound = (name in syms.rebound_globals
+                       or (info.module, name)
+                       in analysis.mutated_module_attrs)
+            if rebound and name in syms.global_names:
+                yield self.finding(
+                    syms.ctx, node,
+                    f"'{info.name}' reads module global '{name}' "
+                    f"inside memoized stage '{stage}', but it is "
+                    f"rebound at runtime; pass it through params so "
+                    f"it enters the digest")
+            if (syms.from_names.get(name) == ("os", "environ")):
+                yield self.finding(
+                    syms.ctx, node,
+                    f"'{info.name}' reads os.environ inside memoized "
+                    f"stage '{stage}'; pass it through params")

@@ -26,6 +26,7 @@ parent's current span.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Dict, List, Optional
 
 from ..clock import perf_counter, wall
@@ -93,9 +94,8 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._wall = wall()
-        self._perf_counters = dict(PERF._counters)
-        self._perf_timers = dict(PERF._timer_total)
-        self._perf_calls = dict(PERF._timer_calls)
+        (self._perf_counters, self._perf_timers,
+         self._perf_calls) = PERF.instrument_view()
         self._tracer._stack.append(self)
         self._started = perf_counter()
         return self
@@ -122,15 +122,16 @@ class Span:
 
     def _perf_delta(self) -> Dict[str, Any]:
         """Return the PERF registry's change over this span's lifetime."""
+        now_counters, now_timers, now_calls = PERF.instrument_view()
         counters = {
             name: value - self._perf_counters.get(name, 0)
-            for name, value in PERF._counters.items()
+            for name, value in now_counters.items()
             if value != self._perf_counters.get(name, 0)
         }
         timers = {}
-        for name, total in PERF._timer_total.items():
+        for name, total in now_timers.items():
             delta = total - self._perf_timers.get(name, 0.0)
-            calls = (PERF._timer_calls.get(name, 0)
+            calls = (now_calls.get(name, 0)
                      - self._perf_calls.get(name, 0))
             if calls or delta:
                 timers[name] = {"total_s": delta, "calls": calls}
@@ -154,6 +155,12 @@ class Tracer:
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
+        # TRACER is a process-wide singleton the serving threads can
+        # reach; the lock owns span-id allocation and the event list.
+        # The span *stack* stays single-threaded by contract — the
+        # scheduler serializes traced computes under its _TRACE_LOCK,
+        # since nesting is meaningless across interleaved threads.
+        self._lock = threading.Lock()
         self.events: List[Dict[str, Any]] = []
         self._stack: List[Span] = []
         self._next_id = 1
@@ -164,8 +171,9 @@ class Tracer:
         """Open a span named ``name`` (use as a context manager)."""
         if not self.enabled:
             return NULL_SPAN
-        span_id = self._next_id
-        self._next_id += 1
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         parent_id = self._stack[-1].span_id if self._stack else None
         return Span(self, name, span_id, parent_id, dict(attrs))
 
@@ -186,20 +194,23 @@ class Tracer:
         if self._stack and "span_id" not in record:
             record = dict(record)
             record["span_id"] = self._stack[-1].span_id
-        self.events.append(record)
+        with self._lock:
+            self.events.append(record)
 
     # --- lifecycle --------------------------------------------------------
 
     def reset(self) -> None:
         """Drop all events and open spans (keeps ``enabled``)."""
-        self.events.clear()
-        self._stack.clear()
-        self._next_id = 1
+        with self._lock:
+            self.events.clear()
+            self._stack.clear()
+            self._next_id = 1
 
     def export_events(self) -> List[Dict[str, Any]]:
         """Return and clear the collected events (worker hand-off)."""
-        events = list(self.events)
-        self.events.clear()
+        with self._lock:
+            events = list(self.events)
+            self.events.clear()
         return events
 
     def absorb_events(self, events: List[Dict[str, Any]]) -> None:
@@ -213,24 +224,25 @@ class Tracer:
         """
         if not self.enabled or not events:
             return
-        mapping: Dict[int, int] = {}
-        for event in events:
-            old_id = event.get("span_id")
-            if isinstance(old_id, int) and old_id not in mapping:
-                mapping[old_id] = self._next_id
-                self._next_id += 1
-        parent = self._stack[-1].span_id if self._stack else None
-        for event in events:
-            merged = dict(event)
-            old_id = merged.get("span_id")
-            if isinstance(old_id, int):
-                merged["span_id"] = mapping[old_id]
-            if merged.get("type") == "span":
-                old_parent = merged.get("parent_id")
-                merged["parent_id"] = (mapping[old_parent]
-                                       if old_parent in mapping
-                                       else parent)
-            self.events.append(merged)
+        with self._lock:
+            mapping: Dict[int, int] = {}
+            for event in events:
+                old_id = event.get("span_id")
+                if isinstance(old_id, int) and old_id not in mapping:
+                    mapping[old_id] = self._next_id
+                    self._next_id += 1
+            parent = self._stack[-1].span_id if self._stack else None
+            for event in events:
+                merged = dict(event)
+                old_id = merged.get("span_id")
+                if isinstance(old_id, int):
+                    merged["span_id"] = mapping[old_id]
+                if merged.get("type") == "span":
+                    old_parent = merged.get("parent_id")
+                    merged["parent_id"] = (mapping[old_parent]
+                                           if old_parent in mapping
+                                           else parent)
+                self.events.append(merged)
 
     # --- export -----------------------------------------------------------
 

@@ -42,9 +42,10 @@ _SPAN_REQUIRED = ("name", "span_id", "parent_id", "wall_s",
 
 __all__ = ["KNOWN_EVENT_TYPES", "KNOWN_SPAN_NAMES",
            "validate_access_record", "validate_events",
-           "validate_jsonl", "validate_loadgen_report",
-           "validate_manifest", "validate_request",
-           "validate_response", "validate_service_metrics"]
+           "validate_jsonl", "validate_lint_stats",
+           "validate_loadgen_report", "validate_manifest",
+           "validate_request", "validate_response",
+           "validate_service_metrics"]
 
 
 def validate_request(body: Any) -> List[str]:
@@ -87,6 +88,12 @@ def validate_loadgen_report(report: Any) -> List[str]:
     """Validate a ``bundle-charging/loadgen/v1`` load-test report."""
     from ..loadgen.report import report_problems
     return report_problems(report)
+
+
+def validate_lint_stats(document: Any) -> List[str]:
+    """Validate a ``bundle-charging/lint-stats/v1`` timing document."""
+    from ..lint.report import lint_stats_problems
+    return lint_stats_problems(document)
 
 
 def validate_manifest(manifest: Dict[str, Any]) -> List[str]:

@@ -23,6 +23,7 @@ bucketing (shared default boundaries, no labels).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -49,6 +50,10 @@ class PerfRegistry:
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled: bool = enabled
+        # PERF is shared by scheduler workers and handler threads; the
+        # lock owns every instrument dict, including snapshot reads
+        # (dict iteration during a concurrent insert raises).
+        self._lock = threading.Lock()
         self._timer_total: Dict[str, float] = {}
         self._timer_calls: Dict[str, int] = {}
         self._counters: Dict[str, int] = {}
@@ -65,22 +70,28 @@ class PerfRegistry:
             yield
         finally:
             elapsed = time.perf_counter() - started
-            self._timer_total[name] = \
-                self._timer_total.get(name, 0.0) + elapsed
-            self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
+            with self._lock:
+                self._timer_total[name] = \
+                    self._timer_total.get(name, 0.0) + elapsed
+                self._timer_calls[name] = \
+                    self._timer_calls.get(name, 0) + 1
 
     def add(self, name: str, amount: int = 1) -> None:
         """Bump counter ``name`` by ``amount``."""
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def record_seconds(self, name: str, seconds: float) -> None:
         """Fold an externally measured duration into timer ``name``."""
         if not self.enabled:
             return
-        self._timer_total[name] = self._timer_total.get(name, 0.0) + seconds
-        self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
+        with self._lock:
+            self._timer_total[name] = \
+                self._timer_total.get(name, 0.0) + seconds
+            self._timer_calls[name] = \
+                self._timer_calls.get(name, 0) + 1
 
     def observe(self, name: str, value: float,
                 boundaries: Sequence[float] = _DEFAULT_BOUNDS) -> None:
@@ -95,52 +106,71 @@ class PerfRegistry:
         value = float(value)
         if value != value:  # NaN: unorderable, no bucket to clamp into
             return
-        entry = self._histograms.get(name)
-        if entry is None:
-            edges = tuple(float(edge) for edge in boundaries)
-            entry = {"boundaries": edges,
-                     "counts": [0] * (len(edges) + 1),
-                     "count": 0, "sum": 0.0,
-                     "min": float("inf"), "max": float("-inf")}
-            self._histograms[name] = entry
-        counts: List[int] = entry["counts"]  # type: ignore[assignment]
-        counts[bisect_left(entry["boundaries"], value)] += 1
-        entry["count"] = entry["count"] + 1  # type: ignore[operator]
-        entry["sum"] = entry["sum"] + value  # type: ignore[operator]
-        entry["min"] = min(entry["min"], value)  # type: ignore[type-var]
-        entry["max"] = max(entry["max"], value)  # type: ignore[type-var]
+        with self._lock:
+            entry = self._histograms.get(name)
+            if entry is None:
+                edges = tuple(float(edge) for edge in boundaries)
+                entry = {"boundaries": edges,
+                         "counts": [0] * (len(edges) + 1),
+                         "count": 0, "sum": 0.0,
+                         "min": float("inf"), "max": float("-inf")}
+                self._histograms[name] = entry
+            counts: List[int] = entry["counts"]  # type: ignore[assignment]
+            counts[bisect_left(entry["boundaries"], value)] += 1
+            entry["count"] = entry["count"] + 1  # type: ignore[operator]
+            entry["sum"] = entry["sum"] + value  # type: ignore[operator]
+            entry["min"] = min(entry["min"],  # type: ignore[type-var]
+                               value)
+            entry["max"] = max(entry["max"],  # type: ignore[type-var]
+                               value)
+
+    def instrument_view(self) -> Tuple[Dict[str, int],
+                                       Dict[str, float],
+                                       Dict[str, int]]:
+        """Consistent copies of (counters, timer totals, timer calls).
+
+        The span tracer diffs these around a span; copying under the
+        lock keeps the dict iteration safe against concurrent bumps.
+        """
+        with self._lock:
+            return (dict(self._counters), dict(self._timer_total),
+                    dict(self._timer_calls))
 
     def counter(self, name: str) -> int:
         """Return the current value of counter ``name`` (0 if unseen)."""
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def timer_seconds(self, name: str) -> float:
         """Return the accumulated seconds of timer ``name`` (0 if unseen)."""
-        return self._timer_total.get(name, 0.0)
+        with self._lock:
+            return self._timer_total.get(name, 0.0)
 
     def snapshot(self) -> Dict[str, object]:
         """Return a JSON-serializable view of all instruments."""
-        timers = {
-            name: {"total_s": total,
-                   "calls": self._timer_calls.get(name, 0)}
-            for name, total in sorted(self._timer_total.items())
-        }
-        result: Dict[str, object] = {
-            "timers": timers,
-            "counters": dict(sorted(self._counters.items())),
-        }
-        if self._histograms:
-            result["histograms"] = {
-                name: {"boundaries": list(entry["boundaries"]),
-                       "counts": list(entry["counts"]),
-                       "count": entry["count"], "sum": entry["sum"],
-                       "min": (entry["min"] if entry["count"]
-                               else None),
-                       "max": (entry["max"] if entry["count"]
-                               else None)}
-                for name, entry in sorted(self._histograms.items())
+        with self._lock:
+            timers = {
+                name: {"total_s": total,
+                       "calls": self._timer_calls.get(name, 0)}
+                for name, total in sorted(self._timer_total.items())
             }
-        return result
+            result: Dict[str, object] = {
+                "timers": timers,
+                "counters": dict(sorted(self._counters.items())),
+            }
+            if self._histograms:
+                result["histograms"] = {
+                    name: {"boundaries": list(entry["boundaries"]),
+                           "counts": list(entry["counts"]),
+                           "count": entry["count"],
+                           "sum": entry["sum"],
+                           "min": (entry["min"] if entry["count"]
+                                   else None),
+                           "max": (entry["max"] if entry["count"]
+                                   else None)}
+                    for name, entry in sorted(self._histograms.items())
+                }
+            return result
 
     def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
@@ -158,48 +188,53 @@ class PerfRegistry:
         """
         if not self.enabled:
             return
-        for name, value in snapshot.get("counters", {}).items():
-            self._counters[name] = self._counters.get(name, 0) + value
-        for name, stats in snapshot.get("timers", {}).items():
-            self._timer_total[name] = (self._timer_total.get(name, 0.0)
-                                       + stats["total_s"])
-            self._timer_calls[name] = (self._timer_calls.get(name, 0)
-                                       + stats["calls"])
-        for name, incoming in snapshot.get("histograms", {}).items():
-            entry = self._histograms.get(name)
-            if entry is None:
-                edges = tuple(float(edge)
-                              for edge in incoming["boundaries"])
-                entry = {"boundaries": edges,
-                         "counts": [0] * (len(edges) + 1),
-                         "count": 0, "sum": 0.0,
-                         "min": float("inf"), "max": float("-inf")}
-                self._histograms[name] = entry
-            if list(entry["boundaries"]) != \
-                    list(incoming["boundaries"]):
-                raise ValueError(
-                    f"cannot merge histogram {name!r}: boundary "
-                    f"vectors differ")
-            counts: List[int] = entry["counts"]  # type: ignore[assignment]
-            for index, bucket in enumerate(incoming["counts"]):
-                counts[index] += bucket
-            entry["count"] = entry["count"] \
-                + incoming["count"]  # type: ignore[operator]
-            entry["sum"] = entry["sum"] \
-                + incoming["sum"]  # type: ignore[operator]
-            if incoming.get("min") is not None:
-                entry["min"] = min(entry["min"],  # type: ignore[type-var]
-                                   incoming["min"])
-            if incoming.get("max") is not None:
-                entry["max"] = max(entry["max"],  # type: ignore[type-var]
-                                   incoming["max"])
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = \
+                    self._counters.get(name, 0) + value
+            for name, stats in snapshot.get("timers", {}).items():
+                self._timer_total[name] = (
+                    self._timer_total.get(name, 0.0) + stats["total_s"])
+                self._timer_calls[name] = (
+                    self._timer_calls.get(name, 0) + stats["calls"])
+            for name, incoming in snapshot.get("histograms",
+                                               {}).items():
+                entry = self._histograms.get(name)
+                if entry is None:
+                    edges = tuple(float(edge)
+                                  for edge in incoming["boundaries"])
+                    entry = {"boundaries": edges,
+                             "counts": [0] * (len(edges) + 1),
+                             "count": 0, "sum": 0.0,
+                             "min": float("inf"),
+                             "max": float("-inf")}
+                    self._histograms[name] = entry
+                if list(entry["boundaries"]) != \
+                        list(incoming["boundaries"]):
+                    raise ValueError(
+                        f"cannot merge histogram {name!r}: boundary "
+                        f"vectors differ")
+                counts: List[int] = entry["counts"]  # type: ignore[assignment]
+                for index, bucket in enumerate(incoming["counts"]):
+                    counts[index] += bucket
+                entry["count"] = entry["count"] \
+                    + incoming["count"]  # type: ignore[operator]
+                entry["sum"] = entry["sum"] \
+                    + incoming["sum"]  # type: ignore[operator]
+                if incoming.get("min") is not None:
+                    entry["min"] = min(entry["min"],  # type: ignore[type-var]
+                                       incoming["min"])
+                if incoming.get("max") is not None:
+                    entry["max"] = max(entry["max"],  # type: ignore[type-var]
+                                       incoming["max"])
 
     def reset(self) -> None:
         """Clear all instruments (keeps ``enabled``)."""
-        self._timer_total.clear()
-        self._timer_calls.clear()
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._timer_total.clear()
+            self._timer_calls.clear()
+            self._counters.clear()
+            self._histograms.clear()
 
     def write_json(self, path: str) -> None:
         """Write :meth:`snapshot` to ``path`` as indented JSON."""

@@ -28,6 +28,7 @@ joins the workers.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -54,6 +55,23 @@ except ImportError:  # pragma: no cover - repro.obs stripped/blocked
 #: stack, so only one worker may trace at a time.  Held only while
 #: tracing is enabled; the untraced hot path runs fully parallel.
 _TRACE_LOCK = threading.Lock()
+
+
+def _reinit_trace_lock() -> None:
+    """Replace the trace lock after fork.
+
+    A fork can land while a parent worker thread holds the lock; the
+    child inherits it locked with no thread to release it.  Worker
+    threads themselves do not survive the fork, so a fresh lock is the
+    correct child state (the pre-forked worker pool of ROADMAP item 1
+    forks before serving threads start, making this a safety net).
+    """
+    global _TRACE_LOCK
+    _TRACE_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not available on all platforms
+    os.register_at_fork(after_in_child=_reinit_trace_lock)
 
 __all__ = ["DrainingError", "OverloadedError", "PlanningScheduler"]
 

@@ -1,0 +1,320 @@
+"""Fixture tests for the concurrency rule family (CONC001–CONC005).
+
+Each rule gets a seeded-bug fixture it must fire on and a fixed
+variant it must stay silent on — the contract the repo-wide clean test
+leans on.  Fixtures live under ``src/repro/service/`` (or another
+``_CONC_PACKAGES`` member) because the rules scope themselves to the
+thread-shared surface.
+"""
+
+from __future__ import annotations
+
+_SCHED_UNLOCKED = """\
+    import threading
+
+    class Sched:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+            self._worker = threading.Thread(target=self._loop)
+
+        def _loop(self):
+            with self._lock:
+                self._count += 1
+
+        def bump(self):
+            self._count += 1
+    """
+
+_SCHED_LOCKED = """\
+    import threading
+
+    class Sched:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+            self._worker = threading.Thread(target=self._loop)
+
+        def _loop(self):
+            with self._lock:
+                self._count += 1
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+    """
+
+
+class TestConc001InconsistentLocking:
+    def test_fires_on_unlocked_write(self, lint_fixture):
+        result = lint_fixture({"src/repro/service/sched.py":
+                               _SCHED_UNLOCKED}, select=["CONC001"])
+        assert [f.rule for f in result.findings] == ["CONC001"]
+        finding = result.findings[0]
+        assert "self._count" in finding.message
+        assert "self._lock" in finding.message
+        # Anchored at the write site, not the class or lock.
+        assert finding.line == 14
+
+    def test_silent_when_every_write_is_guarded(self, lint_fixture):
+        result = lint_fixture({"src/repro/service/sched.py":
+                               _SCHED_LOCKED}, select=["CONC001"])
+        assert result.clean
+
+    def test_init_writes_are_exempt(self, lint_fixture):
+        # Construction happens-before publication: the unlocked writes
+        # in __init__ must not poison the guard set.
+        result = lint_fixture({"src/repro/service/sched.py":
+                               _SCHED_LOCKED}, select=["CONC001"])
+        assert result.clean
+
+    def test_thread_uninvolved_class_out_of_scope(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/plain.py": """\
+                import threading
+
+                class Plain:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def locked(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def unlocked(self):
+                        self._count += 1
+                """,
+        }, select=["CONC001"])
+        # No threads touch Plain, so the inconsistency is not a race.
+        assert result.clean
+
+
+class TestConc002LockOrder:
+    def test_fires_on_opposite_nesting(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/locks.py": """\
+                import threading
+
+                LOCK_A = threading.Lock()
+                LOCK_B = threading.Lock()
+
+                def one():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+
+                def two():
+                    with LOCK_B:
+                        with LOCK_A:
+                            pass
+                """,
+        }, select=["CONC002"])
+        assert {f.rule for f in result.findings} == {"CONC002"}
+        assert len(result.findings) >= 1
+
+    def test_silent_on_consistent_order(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/locks.py": """\
+                import threading
+
+                LOCK_A = threading.Lock()
+                LOCK_B = threading.Lock()
+
+                def one():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+
+                def two():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+                """,
+        }, select=["CONC002"])
+        assert result.clean
+
+
+class TestConc003BareWait:
+    def test_fires_on_wait_outside_while(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/waity.py": """\
+                import threading
+
+                class Waiter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._cond = threading.Condition(self._lock)
+                        self._ready = False
+
+                    def get(self):
+                        with self._cond:
+                            self._cond.wait()
+                            return self._ready
+                """,
+        }, select=["CONC003"])
+        assert [f.rule for f in result.findings] == ["CONC003"]
+
+    def test_silent_inside_predicate_loop(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/waity.py": """\
+                import threading
+
+                class Waiter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._cond = threading.Condition(self._lock)
+                        self._ready = False
+
+                    def get(self):
+                        with self._cond:
+                            while not self._ready:
+                                self._cond.wait()
+                            return self._ready
+                """,
+        }, select=["CONC003"])
+        assert result.clean
+
+
+class TestConc004ForkSafety:
+    def test_fires_on_module_lock_in_serving_closure(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/state.py": """\
+                import threading
+
+                _LOCK = threading.Lock()
+
+                def guarded():
+                    with _LOCK:
+                        return 1
+                """,
+        }, select=["CONC004"])
+        assert [f.rule for f in result.findings] == ["CONC004"]
+        assert "_LOCK" in result.findings[0].message
+
+    def test_silent_with_at_fork_reinit(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/state.py": """\
+                import os
+                import threading
+
+                _LOCK = threading.Lock()
+
+                def _reinit():
+                    global _LOCK
+                    _LOCK = threading.Lock()
+
+                if hasattr(os, "register_at_fork"):
+                    os.register_at_fork(after_in_child=_reinit)
+
+                def guarded():
+                    with _LOCK:
+                        return 1
+                """,
+        }, select=["CONC004"])
+        assert result.clean
+
+    def test_silent_outside_serving_closure(self, lint_fixture):
+        # Same lock, but nothing under repro.service imports it.
+        result = lint_fixture({
+            "src/repro/experiments/state.py": """\
+                import threading
+
+                _LOCK = threading.Lock()
+                """,
+        }, select=["CONC004"])
+        assert result.clean
+
+
+class TestConc005UnownedSharedState:
+    def test_fires_on_lockless_singleton(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/registry.py": """\
+                import threading
+
+                class Registry:
+                    def __init__(self):
+                        self._items = {}
+
+                    def put(self, key, value):
+                        self._items[key] = value
+
+                REG = Registry()
+
+                def _serve():
+                    REG.put("a", 1)
+
+                def start():
+                    thread = threading.Thread(target=_serve)
+                    thread.start()
+                    return thread
+                """,
+        }, select=["CONC005"])
+        assert [f.rule for f in result.findings] == ["CONC005"]
+        assert "Registry" in result.findings[0].message
+
+    def test_silent_with_owning_lock(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/registry.py": """\
+                import threading
+
+                class Registry:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+
+                REG = Registry()
+
+                def _serve():
+                    REG.put("a", 1)
+
+                def start():
+                    thread = threading.Thread(target=_serve)
+                    thread.start()
+                    return thread
+                """,
+        }, select=["CONC005"])
+        assert result.clean
+
+    def test_fires_on_global_container_mutation(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/gauges.py": """\
+                import threading
+
+                GAUGES = {}
+
+                def _serve():
+                    GAUGES["requests"] = GAUGES.get("requests", 0) + 1
+
+                def start():
+                    thread = threading.Thread(target=_serve)
+                    thread.start()
+                    return thread
+                """,
+        }, select=["CONC005"])
+        assert [f.rule for f in result.findings] == ["CONC005"]
+        assert "GAUGES" in result.findings[0].message
+
+    def test_silent_when_mutation_holds_module_lock(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/gauges.py": """\
+                import threading
+
+                _LOCK = threading.Lock()
+                GAUGES = {}
+
+                def _serve():
+                    with _LOCK:
+                        GAUGES["requests"] = GAUGES.get("requests", 0) + 1
+
+                def start():
+                    thread = threading.Thread(target=_serve)
+                    thread.start()
+                    return thread
+                """,
+        }, select=["CONC005"])
+        assert result.clean

@@ -1,0 +1,127 @@
+"""Engine throughput features: ``jobs`` fan-out, content-hash caching,
+and the ``bundle-charging/lint-stats/v1`` timing document."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import (LINT_STATS_SCHEMA_ID, lint_paths,
+                        lint_stats_problems)
+from repro.lint.engine import _RESULT_CACHE
+
+_CLEAN = """\
+    def add(a, b):
+        return a + b
+    """
+
+_DIRTY = """\
+    import random
+
+    def jitter():
+        return random.random()
+    """
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    for index in range(6):
+        target = tmp_path / "src" / "repro" / f"mod{index}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(
+            _DIRTY if index % 2 else _CLEAN))
+    return tmp_path
+
+
+class TestJobsParity:
+    def test_parallel_findings_match_serial(self, fixture_tree):
+        _RESULT_CACHE.clear()
+        serial = lint_paths(["src"], root=str(fixture_tree))
+        _RESULT_CACHE.clear()
+        parallel = lint_paths(["src"], root=str(fixture_tree), jobs=2)
+        assert parallel.findings == serial.findings
+        assert parallel.suppressed == serial.suppressed
+        assert parallel.files_checked == serial.files_checked
+        assert len(serial.findings) == 3  # one DET001 per dirty module
+
+    def test_jobs_recorded_in_stats(self, fixture_tree):
+        _RESULT_CACHE.clear()
+        result = lint_paths(["src"], root=str(fixture_tree), jobs=2)
+        assert result.stats["jobs"] == 2
+
+
+class TestContentHashCache:
+    def test_second_run_is_fully_cached(self, fixture_tree):
+        _RESULT_CACHE.clear()
+        cold = lint_paths(["src"], root=str(fixture_tree))
+        assert cold.stats["files"]["cached"] == 0
+        warm = lint_paths(["src"], root=str(fixture_tree))
+        assert warm.stats["files"]["cached"] == warm.files_checked
+        assert warm.findings == cold.findings
+
+    def test_changed_file_invalidates_only_itself(self, fixture_tree):
+        _RESULT_CACHE.clear()
+        lint_paths(["src"], root=str(fixture_tree))
+        target = fixture_tree / "src" / "repro" / "mod0.py"
+        target.write_text("def changed():\n    return 2\n")
+        warm = lint_paths(["src"], root=str(fixture_tree))
+        assert warm.stats["files"]["cached"] == warm.files_checked - 1
+
+    def test_cache_keyed_by_selected_rules(self, fixture_tree):
+        _RESULT_CACHE.clear()
+        all_rules = lint_paths(["src"], root=str(fixture_tree))
+        det_only = lint_paths(["src"], root=str(fixture_tree),
+                              select=["DET004"])
+        # Different rule set -> different cache key -> no false reuse.
+        assert det_only.stats["files"]["cached"] == 0
+        assert det_only.clean
+        assert not all_rules.clean
+
+
+class TestStatsDocument:
+    def test_stats_validate_clean(self, fixture_tree):
+        result = lint_paths(["src"], root=str(fixture_tree))
+        assert result.stats["schema"] == LINT_STATS_SCHEMA_ID
+        assert lint_stats_problems(result.stats) == []
+
+    def test_stats_validate_through_obs(self, fixture_tree):
+        from repro.obs.validate import validate_lint_stats
+        result = lint_paths(["src"], root=str(fixture_tree))
+        assert validate_lint_stats(result.stats) == []
+
+    def test_per_rule_entries_cover_findings(self, fixture_tree):
+        _RESULT_CACHE.clear()
+        result = lint_paths(["src"], root=str(fixture_tree))
+        rules = result.stats["rules"]
+        assert rules["DET001"]["findings"] == 3
+        assert rules["DET001"]["seconds"] >= 0.0
+
+    def test_phase_timings_are_complete(self, fixture_tree):
+        result = lint_paths(["src"], root=str(fixture_tree))
+        phases = result.stats["phases"]
+        for key in ("scan_s", "parse_s", "file_rules_s",
+                    "semantic_model_s", "project_rules_s", "filter_s",
+                    "total_s"):
+            assert phases[key] >= 0.0
+        assert phases["total_s"] >= phases["filter_s"]
+
+    def test_problems_reported_on_malformed_documents(self):
+        assert lint_stats_problems(None)
+        assert lint_stats_problems({"schema": "nope"})
+        broken = {"schema": LINT_STATS_SCHEMA_ID, "jobs": 0,
+                  "files": {"checked": -1},
+                  "phases": {}, "rules": {"X": {"seconds": -1}}}
+        problems = lint_stats_problems(broken)
+        assert any("jobs" in p for p in problems)
+        assert any("checked" in p for p in problems)
+        assert any("total_s" in p for p in problems)
+        assert any("X" in p for p in problems)
+
+    def test_parse_errors_counted(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "broken.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def oops(:\n")
+        result = lint_paths(["src"], root=str(tmp_path))
+        assert result.stats["files"]["parse_errors"] == 1
+        assert [f.rule for f in result.findings] == ["E999"]

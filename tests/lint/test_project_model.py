@@ -1,0 +1,162 @@
+"""Unit tests for the semantic model (``repro.lint.project``) and the
+call graph (``repro.lint.callgraph``) that project-scope rules share."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Dict
+
+from repro.lint.core import FileContext, ProjectContext
+
+
+def _project(files: Dict[str, str]) -> ProjectContext:
+    contexts = []
+    for rel, source in files.items():
+        source = textwrap.dedent(source)
+        contexts.append(FileContext(rel_path=rel, source=source,
+                                    tree=ast.parse(source)))
+    return ProjectContext(files=contexts)
+
+
+class TestImportResolution:
+    def test_package_init_relative_import(self):
+        # ``from .active import helper`` inside a package __init__
+        # resolves against the package itself, not its parent.
+        project = _project({
+            "src/repro/cache/__init__.py":
+                "from .active import helper\n",
+            "src/repro/cache/active.py":
+                "def helper():\n    return 1\n",
+        })
+        analysis = project.analysis()
+        syms = analysis.modules["repro.cache"]
+        assert syms.from_names["helper"] == ("repro.cache.active",
+                                             "helper")
+
+    def test_module_relative_import(self):
+        # The same level-1 import inside a plain module resolves
+        # against the containing package.
+        project = _project({
+            "src/repro/cache/stage.py":
+                "from .keys import stage_key\n",
+            "src/repro/cache/keys.py":
+                "def stage_key(stage, params):\n    return stage\n",
+        })
+        analysis = project.analysis()
+        syms = analysis.modules["repro.cache.stage"]
+        assert syms.from_names["stage_key"] == ("repro.cache.keys",
+                                                "stage_key")
+
+    def test_import_graph_edges(self):
+        project = _project({
+            "src/repro/a.py": "import repro.b\n",
+            "src/repro/b.py": "x = 1\n",
+        })
+        analysis = project.analysis()
+        assert "repro.b" in analysis.import_graph.get("repro.a", set())
+
+    def test_import_closure(self):
+        project = _project({
+            "src/repro/service/__init__.py":
+                "from repro.cache import helper\n",
+            "src/repro/cache/__init__.py":
+                "from .active import helper\n",
+            "src/repro/cache/active.py":
+                "def helper():\n    return 1\n",
+            "src/repro/unrelated.py": "y = 2\n",
+        })
+        analysis = project.analysis()
+        closure = analysis.import_closure({"repro.service"})
+        assert "repro.cache.active" in closure
+        assert "repro.unrelated" not in closure
+
+
+class TestCallGraph:
+    def test_edge_through_package_reexport(self):
+        # Caller imports a name from the package; the graph must chase
+        # the __init__ re-export to the defining module.
+        project = _project({
+            "src/repro/cache/__init__.py":
+                "from .active import helper\n",
+            "src/repro/cache/active.py":
+                "def helper():\n    return 1\n",
+            "src/repro/runner.py": """\
+                from repro.cache import helper
+
+                def go():
+                    return helper()
+                """,
+        })
+        graph, _resolver = project.call_graph()
+        reach = graph.reachable({"repro.runner:go"})
+        assert "repro.cache.active:helper" in reach
+
+    def test_method_call_on_module_singleton(self):
+        project = _project({
+            "src/repro/service/reg.py": """\
+                class Registry:
+                    def put(self, key):
+                        return key
+
+                REG = Registry()
+
+                def serve():
+                    return REG.put("a")
+                """,
+        })
+        graph, _resolver = project.call_graph()
+        reach = graph.reachable({"repro.service.reg:serve"})
+        assert "repro.service.reg:Registry.put" in reach
+
+    def test_thread_roots_include_thread_targets(self):
+        project = _project({
+            "src/repro/service/bg.py": """\
+                import threading
+
+                def _loop():
+                    return 1
+
+                def start():
+                    thread = threading.Thread(target=_loop)
+                    thread.start()
+                    return thread
+                """,
+        })
+        _graph, resolver = project.call_graph()
+        assert "repro.service.bg:_loop" in resolver.thread_roots()
+
+    def test_shortest_path_finds_registering_root(self):
+        project = _project({
+            "src/repro/pipe.py": """\
+                def a():
+                    return b()
+
+                def b():
+                    return c()
+
+                def c():
+                    return 1
+                """,
+        })
+        graph, _resolver = project.call_graph()
+        path = graph.shortest_path({"repro.pipe:a"}, "repro.pipe:c")
+        assert path[0] == "repro.pipe:a"
+        assert path[-1] == "repro.pipe:c"
+
+    def test_non_src_files_have_no_module_identity(self):
+        project = _project({
+            "tests/test_x.py": "def helper():\n    return 1\n",
+        })
+        analysis = project.analysis()
+        assert analysis.modules == {} or \
+            "tests.test_x" not in analysis.modules
+
+
+class TestSharedModelCaching:
+    def test_analysis_is_resolved_once(self):
+        project = _project({
+            "src/repro/a.py": "x = 1\n",
+        })
+        assert project.analysis() is project.analysis()
+        assert project.call_graph() is project.call_graph()

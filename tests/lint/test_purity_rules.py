@@ -1,0 +1,229 @@
+"""Fixture tests for the cache-purity rule family (PURE001–PURE002).
+
+The rules root themselves at ``stage_memo``/``get_or_compute`` call
+sites whose stage names appear in ``repro.cache.keys.KERNEL_VERSIONS``
+and scan the call-graph closure of the compute callables, so every
+fixture ships a minimal ``keys.py`` next to the offending pipeline
+module.
+"""
+
+from __future__ import annotations
+
+_KEYS = """\
+    KERNEL_VERSIONS = {
+        "tsp": "v1",
+    }
+    """
+
+
+class TestPure001ClockAndRng:
+    def test_fires_on_direct_clock_read(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                import time
+
+                def _compute():
+                    return time.time()
+
+                def run():
+                    return stage_memo("tsp", lambda: {}, _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001"])
+        assert [f.rule for f in result.findings] == ["PURE001"]
+        assert "time.time" in result.findings[0].message
+
+    def test_fires_transitively_through_call_graph(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                import time
+
+                def _clock():
+                    return time.time()
+
+                def _compute():
+                    return _clock()
+
+                def run():
+                    return stage_memo("tsp", lambda: {}, _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001"])
+        assert [f.rule for f in result.findings] == ["PURE001"]
+        # The violation is in the helper, two hops from the root, and
+        # the message attributes it to the registering stage.
+        assert "_clock" in result.findings[0].message
+        assert "'tsp'" in result.findings[0].message
+
+    def test_fires_on_global_rng(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                import random
+
+                def _compute():
+                    return random.random()
+
+                def run():
+                    return stage_memo("tsp", lambda: {}, _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001"])
+        assert [f.rule for f in result.findings] == ["PURE001"]
+
+    def test_fires_inside_inline_lambda_compute(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                import time
+
+                def run():
+                    return stage_memo("tsp", lambda: {},
+                                      lambda: time.time())
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001"])
+        assert [f.rule for f in result.findings] == ["PURE001"]
+
+    def test_silent_when_value_threaded_through_params(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                def _compute_for(now):
+                    def _compute():
+                        return now
+                    return _compute
+
+                def run(now):
+                    return stage_memo("tsp", lambda: {"now": now},
+                                      _compute_for(now))
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001"])
+        assert result.clean
+
+    def test_silent_outside_any_stage(self, lint_fixture):
+        # time.time in a function never registered as a compute root.
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                import time
+
+                def unrelated():
+                    return time.time()
+                """,
+        }, select=["PURE001"])
+        assert result.clean
+
+    def test_silent_without_kernel_versions(self, lint_fixture):
+        # CI lints subtrees: with keys.py outside the file set the
+        # stage rules must go silent rather than guess.
+        result = lint_fixture({
+            "src/repro/pipeline.py": """\
+                import time
+
+                def _compute():
+                    return time.time()
+
+                def run():
+                    return stage_memo("tsp", lambda: {}, _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001"])
+        assert result.clean
+
+
+class TestPure002AmbientReads:
+    def test_fires_on_os_environ(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                import os
+
+                def _compute():
+                    return os.environ.get("MODE", "fast")
+
+                def run():
+                    return stage_memo("tsp", lambda: {}, _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE002"])
+        assert [f.rule for f in result.findings] == ["PURE002"]
+        assert "os.environ" in result.findings[0].message
+
+    def test_fires_on_rebound_module_global(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                _MODE = "fast"
+
+                def set_mode(mode):
+                    global _MODE
+                    _MODE = mode
+
+                def _compute():
+                    return _MODE
+
+                def run():
+                    return stage_memo("tsp", lambda: {}, _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE002"])
+        assert [f.rule for f in result.findings] == ["PURE002"]
+        assert "_MODE" in result.findings[0].message
+
+    def test_silent_on_constant_module_global(self, lint_fixture):
+        # A module global nobody rebinds is configuration, not state.
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                _SCALE = 2.0
+
+                def _compute():
+                    return _SCALE
+
+                def run():
+                    return stage_memo("tsp", lambda: {}, _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE002"])
+        assert result.clean
+
+    def test_silent_when_passed_through_params(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": """\
+                def _compute_for(mode):
+                    def _compute():
+                        return mode
+                    return _compute
+
+                def run(mode):
+                    return stage_memo("tsp", lambda: {"mode": mode},
+                                      _compute_for(mode))
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE002"])
+        assert result.clean

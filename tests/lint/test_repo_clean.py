@@ -39,7 +39,9 @@ def test_every_shipped_rule_is_registered():
     ids = [rule.id for rule in all_rules()]
     assert ids == sorted(ids)
     for expected in ("DET001", "DET002", "DET003", "DET004",
-                     "PAR001", "OBS001"):
+                     "PAR001", "OBS001",
+                     "CONC001", "CONC002", "CONC003", "CONC004",
+                     "CONC005", "PURE001", "PURE002"):
         assert expected in ids
     for rule in all_rules():
         assert rule.title, f"{rule.id} has no title"

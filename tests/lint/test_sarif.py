@@ -1,0 +1,142 @@
+"""The SARIF 2.1.0 reporter and the ``--stats``/``--jobs`` CLI flags."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint import LINT_STATS_SCHEMA_ID
+from repro.lint.cli import main as lint_main
+from repro.lint.report import SARIF_SCHEMA_URI
+
+_VIOLATION = """\
+    import random
+
+    def jitter():
+        return random.random()
+    """
+
+
+def _write(tmp_path, rel, content=_VIOLATION):
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(content))
+
+
+class TestSarifReport:
+    def _run(self, tmp_path, capsys, extra=()):
+        _write(tmp_path, "src/repro/bad.py")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--format", "sarif",
+                          "--select", "DET001", *extra])
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_top_level_shape(self, tmp_path, capsys):
+        code, payload = self._run(tmp_path, capsys)
+        assert code == 1
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"] == SARIF_SCHEMA_URI
+        assert len(payload["runs"]) == 1
+
+    def test_result_location_is_one_based(self, tmp_path, capsys):
+        _code, payload = self._run(tmp_path, capsys)
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "warning"
+        region = (result["locations"][0]["physicalLocation"]["region"])
+        assert region["startLine"] == 4
+        # Finding cols are 0-based; SARIF columns are 1-based.
+        assert region["startColumn"] >= 1
+        artifact = (result["locations"][0]["physicalLocation"]
+                    ["artifactLocation"]["uri"])
+        assert artifact == "src/repro/bad.py"
+
+    def test_rule_table_covers_registry_and_e999(self, tmp_path, capsys):
+        _code, payload = self._run(tmp_path, capsys)
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "bundle-charging-lint"
+        ids = [rule["id"] for rule in driver["rules"]]
+        for expected in ("E999", "DET001", "CONC001", "PURE001"):
+            assert expected in ids
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+
+    def test_rule_index_points_into_rule_table(self, tmp_path, capsys):
+        _code, payload = self._run(tmp_path, capsys)
+        run = payload["runs"][0]
+        (result,) = run["results"]
+        meta = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert meta["id"] == result["ruleId"]
+
+    def test_parse_error_is_error_level(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/broken.py", "def oops(:\n")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--format", "sarif"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "E999"
+        assert result["level"] == "error"
+
+    def test_clean_run_has_empty_results(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/ok.py", "X = 1\n")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--format", "sarif"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
+
+class TestStatsFlag:
+    def test_stats_to_file(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/bad.py")
+        stats_path = tmp_path / "stats.json"
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--select", "DET001",
+                          "--stats", str(stats_path)])
+        assert code == 1
+        stats = json.loads(stats_path.read_text())
+        assert stats["schema"] == LINT_STATS_SCHEMA_ID
+        assert stats["rules"]["DET001"]["findings"] == 1
+
+    def test_stats_to_stderr(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/ok.py", "X = 1\n")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--stats"])
+        assert code == 0
+        err = capsys.readouterr().err
+        stats = json.loads(err)
+        assert stats["schema"] == LINT_STATS_SCHEMA_ID
+
+    def test_stats_validates_through_obs(self, tmp_path, capsys):
+        from repro.obs.validate import validate_lint_stats
+        _write(tmp_path, "src/repro/ok.py", "X = 1\n")
+        stats_path = tmp_path / "stats.json"
+        lint_main(["src", "--root", str(tmp_path), "--no-baseline",
+                   "--stats", str(stats_path)])
+        capsys.readouterr()
+        assert validate_lint_stats(
+            json.loads(stats_path.read_text())) == []
+
+
+class TestJobsFlag:
+    def test_jobs_must_be_positive(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/ok.py", "X = 1\n")
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--no-baseline", "--jobs", "0"])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_exit_code_matches_serial(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/bad.py")
+        _write(tmp_path, "src/repro/bad2.py")
+        serial = lint_main(["src", "--root", str(tmp_path),
+                            "--no-baseline", "--select", "DET001"])
+        out_serial = capsys.readouterr().out
+        parallel = lint_main(["src", "--root", str(tmp_path),
+                              "--no-baseline", "--select", "DET001",
+                              "--jobs", "2"])
+        out_parallel = capsys.readouterr().out
+        assert serial == parallel == 1
+        assert out_serial == out_parallel

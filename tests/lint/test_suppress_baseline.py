@@ -186,3 +186,139 @@ class TestBaseline:
         write_baseline(path, [])
         payload = json.loads(open(path).read())
         assert payload == {"version": 1, "entries": {}}
+
+
+_SCHED_UNLOCKED = """\
+    import threading
+
+    class Sched:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+            self._worker = threading.Thread(target=self._loop)
+
+        def _loop(self):
+            with self._lock:
+                self._count += 1
+
+        def bump(self):
+            self._count += 1{suffix}
+    """
+
+_IMPURE_STAGE = """\
+    import time
+
+    def _compute():
+        return time.time()
+
+    def run():
+        return stage_memo("tsp", lambda: {{}}, _compute)
+
+    def stage_memo(stage, params_fn, compute):
+        return compute()
+    """
+
+_KEYS = 'KERNEL_VERSIONS = {\n    "tsp": "v1",\n}\n'
+
+
+class TestProjectScopeSuppression:
+    """Project-scope findings anchor at one site; only a directive on
+    that anchor line suppresses them."""
+
+    def test_disable_on_write_site_suppresses(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/service/sched.py": _SCHED_UNLOCKED.format(
+                suffix="  # repro-lint: disable=CONC001"),
+        }, select=["CONC001"])
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_disable_on_lock_site_does_not_suppress(self, lint_fixture):
+        # The finding anchors at the unlocked write in bump(), not at
+        # the guarded write in _loop(); a directive on the lock site
+        # must not swallow it.
+        source = _SCHED_UNLOCKED.format(suffix="").replace(
+            "self._count += 1\n\n    def bump",
+            "self._count += 1  # repro-lint: disable=CONC001\n\n"
+            "    def bump")
+        result = lint_fixture({"src/repro/service/sched.py": source},
+                              select=["CONC001"])
+        assert [f.rule for f in result.findings] == ["CONC001"]
+        assert result.suppressed == 0
+
+    def test_purity_finding_suppressed_at_violation_site(
+            self, lint_fixture):
+        # PURE001 anchors at the clock call inside the compute closure,
+        # not at the stage_memo registration site.
+        result = lint_fixture({
+            "src/repro/cache/keys.py": _KEYS,
+            "src/repro/pipeline.py": _IMPURE_STAGE.replace(
+                "return time.time()",
+                "return time.time()  # repro-lint: disable=PURE001"),
+        }, select=["PURE001"])
+        assert result.clean
+        assert result.suppressed == 1
+
+
+class TestProjectScopeBaseline:
+    """Baselines for cross-module findings fingerprint the anchor line
+    text, so edits to *other* files in the project cannot disturb
+    them."""
+
+    def _fixture(self, tmp_path):
+        keys = tmp_path / "src" / "repro" / "cache" / "keys.py"
+        keys.parent.mkdir(parents=True, exist_ok=True)
+        keys.write_text(_KEYS)
+        pipeline = tmp_path / "src" / "repro" / "pipeline.py"
+        pipeline.write_text(textwrap.dedent(_IMPURE_STAGE))
+        return keys, pipeline
+
+    def test_baseline_survives_drift_in_other_file(self, tmp_path):
+        keys, _pipeline = self._fixture(tmp_path)
+        baseline_path = str(tmp_path / "lint-baseline.json")
+        first = run_lint(["src"], root=str(tmp_path),
+                         select=["PURE001"],
+                         write_baseline_to=baseline_path)
+        assert first.baselined == 1
+
+        # Drift the *registration* file (keys.py) — comments above the
+        # dict shift every line.  The finding anchors in pipeline.py,
+        # whose lines are untouched, so it stays baselined.
+        keys.write_text("# comment\n# another comment\n"
+                        + keys.read_text())
+        result = run_lint(["src"], root=str(tmp_path),
+                          select=["PURE001"],
+                          baseline_path=baseline_path)
+        assert result.clean
+        assert result.baselined == 1
+
+    def test_baseline_survives_drift_in_anchor_file(self, tmp_path):
+        _keys, pipeline = self._fixture(tmp_path)
+        baseline_path = str(tmp_path / "lint-baseline.json")
+        run_lint(["src"], root=str(tmp_path), select=["PURE001"],
+                 write_baseline_to=baseline_path)
+
+        pipeline.write_text("# pushed down\n" + pipeline.read_text())
+        result = run_lint(["src"], root=str(tmp_path),
+                          select=["PURE001"],
+                          baseline_path=baseline_path)
+        assert result.clean
+        assert result.baselined == 1
+
+    def test_new_violation_not_absorbed_by_project_baseline(
+            self, tmp_path):
+        _keys, pipeline = self._fixture(tmp_path)
+        baseline_path = str(tmp_path / "lint-baseline.json")
+        run_lint(["src"], root=str(tmp_path), select=["PURE001"],
+                 write_baseline_to=baseline_path)
+
+        pipeline.write_text(pipeline.read_text().replace(
+            "def _compute():\n    return time.time()",
+            "def _compute():\n    return time.time() + "
+            "time.monotonic()"))
+        result = run_lint(["src"], root=str(tmp_path),
+                          select=["PURE001"],
+                          baseline_path=baseline_path)
+        # The edited line no longer matches the fingerprint, and it now
+        # carries two clock reads.
+        assert len(result.findings) == 2
