@@ -49,10 +49,12 @@ class LatencyRecorder:
         self._send_lag: List[float] = []
         self._statuses: Dict[str, int] = {}
         self._outcomes: Dict[str, int] = {}
+        self._workers: Dict[str, int] = {}
         self._errors = 0
 
     def record(self, scheduled: float, sent: float, finished: float,
                status: int, outcome: Optional[str] = None,
+               worker: Optional[str] = None,
                failed: bool = False) -> None:
         """Score one request.
 
@@ -62,6 +64,8 @@ class LatencyRecorder:
             finished: monotonic instant the response completed.
             status: HTTP status (0 for transport failures).
             outcome: the ``X-BC-Cache`` outcome, when known.
+            worker: the ``X-BC-Worker`` shard that answered, when the
+                target is a multi-process pool.
             failed: transport error or non-2xx response.
         """
         latency = finished - scheduled
@@ -74,6 +78,9 @@ class LatencyRecorder:
             if outcome is not None:
                 self._outcomes[outcome] = \
                     self._outcomes.get(outcome, 0) + 1
+            if worker is not None:
+                self._workers[worker] = \
+                    self._workers.get(worker, 0) + 1
             if failed:
                 self._errors += 1
 
@@ -94,6 +101,7 @@ class LatencyRecorder:
             lags = sorted(self._send_lag)
             statuses = dict(sorted(self._statuses.items()))
             outcomes = dict(sorted(self._outcomes.items()))
+            workers = dict(sorted(self._workers.items()))
             errors = self._errors
         count = len(latencies)
         return {
@@ -101,6 +109,7 @@ class LatencyRecorder:
             "errors": errors,
             "statuses": statuses,
             "outcomes": outcomes,
+            "workers": workers,
             "latency_s": {
                 "p50": exact_quantile(latencies, 0.50),
                 "p90": exact_quantile(latencies, 0.90),

@@ -6,6 +6,20 @@ counts, cache outcomes), and the coordinated-omission-safe latency
 percentiles from :class:`repro.loadgen.recorder.LatencyRecorder`.
 Provenance (git SHA, version, platform) is embedded when ``repro.obs``
 is available, the same way ``BENCH_*.json`` entries carry it.
+
+The schema stays ``loadgen/v1`` with two *documented additive*
+sections (old readers keep working, new readers get validated types):
+
+* ``saturation`` — offered-vs-achieved detection.  The offered rate is
+  the schedule's arrivals over its window; the achieved rate is
+  completions over measured wall time.  When the server keeps up the
+  two agree; when it saturates, the run stretches past its window and
+  ``ratio`` drops.  Below :data:`SATURATION_RATIO` the run is flagged
+  ``saturated`` — the scaling bench hunts for the highest offered rate
+  that stays unflagged.
+* ``summary.workers`` — the per-worker routing histogram, counted
+  from the ``X-BC-Worker`` shard header of a multi-process pool
+  (empty against a single-process server).
 """
 
 from __future__ import annotations
@@ -16,8 +30,11 @@ from typing import Any, Dict, List, Optional
 #: Version tag stamped on every loadgen report.
 LOADGEN_SCHEMA = "bundle-charging/loadgen/v1"
 
-__all__ = ["LOADGEN_SCHEMA", "build_report", "render_table",
-           "report_problems", "write_report"]
+#: Achieved/offered ratio below which a run counts as saturated.
+SATURATION_RATIO = 0.9
+
+__all__ = ["LOADGEN_SCHEMA", "SATURATION_RATIO", "build_report",
+           "render_table", "report_problems", "write_report"]
 
 #: Top-level keys every report must carry.
 _REQUIRED = ("schema", "config", "duration_s", "offered",
@@ -25,6 +42,9 @@ _REQUIRED = ("schema", "config", "duration_s", "offered",
 
 #: Keys of the ``offered`` section.
 _OFFERED_REQUIRED = ("kind", "rate", "requests")
+
+#: Keys of the additive ``saturation`` section.
+_SATURATION_NUMBERS = ("offered_rate", "achieved_rate", "ratio")
 
 
 def build_report(config: Dict[str, Any],
@@ -45,7 +65,7 @@ def build_report(config: Dict[str, Any],
     """
     achieved = (summary["count"] / duration_s) if duration_s > 0 \
         else 0.0
-    return {
+    report = {
         "schema": LOADGEN_SCHEMA,
         "config": config,
         "offered": offered,
@@ -54,6 +74,22 @@ def build_report(config: Dict[str, Any],
         "summary": summary,
         "provenance": provenance,
     }
+    window = config.get("duration_s") if isinstance(config, dict) \
+        else None
+    offered_rate = None
+    if isinstance(window, (int, float)) and window > 0:
+        offered_rate = offered["requests"] / window
+    elif isinstance(offered.get("rate"), (int, float)):
+        offered_rate = offered["rate"]
+    if offered_rate is not None and offered_rate > 0:
+        ratio = achieved / offered_rate
+        report["saturation"] = {
+            "offered_rate": round(offered_rate, 3),
+            "achieved_rate": round(achieved, 3),
+            "ratio": round(ratio, 4),
+            "saturated": ratio < SATURATION_RATIO,
+        }
+    return report
 
 
 def report_problems(report: Any) -> List[str]:
@@ -97,12 +133,44 @@ def report_problems(report: Any) -> List[str]:
             problems.append("summary.count must be an integer")
         if not isinstance(summary.get("errors"), int):
             problems.append("summary.errors must be an integer")
+        workers = summary.get("workers")
+        if workers is not None:
+            if not isinstance(workers, dict):
+                problems.append("summary.workers must be an object")
+            else:
+                for shard, value in workers.items():
+                    if not isinstance(value, int) \
+                            or isinstance(value, bool):
+                        problems.append(
+                            f"summary.workers[{shard!r}] must be an "
+                            f"integer, got {value!r}")
     elif "summary" in report:
         problems.append("summary section must be an object")
     for key in ("duration_s", "achieved_rate"):
         value = report.get(key)
         if key in report and not isinstance(value, (int, float)):
             problems.append(f"{key} must be a number, got {value!r}")
+    saturation = report.get("saturation")
+    if saturation is not None:
+        if not isinstance(saturation, dict):
+            problems.append("saturation section must be an object")
+        else:
+            for key in _SATURATION_NUMBERS:
+                value = saturation.get(key)
+                if key not in saturation:
+                    problems.append(
+                        f"saturation section missing key {key!r}")
+                elif not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    problems.append(
+                        f"saturation.{key} must be a number, "
+                        f"got {value!r}")
+            if "saturated" not in saturation:
+                problems.append(
+                    "saturation section missing key 'saturated'")
+            elif not isinstance(saturation["saturated"], bool):
+                problems.append(
+                    "saturation.saturated must be a boolean")
     return problems
 
 
@@ -127,6 +195,22 @@ def render_table(report: Dict[str, Any]) -> str:
         f"  p99      {cell(latency['p99'])} ms",
         f"  max      {cell(latency['max'])} ms",
     ]
+    saturation = report.get("saturation")
+    if isinstance(saturation, dict):
+        flag = "SATURATED" if saturation.get("saturated") else "ok"
+        lines.append(
+            f"saturation {saturation['ratio']:>10.4f}   {flag} "
+            f"(threshold {SATURATION_RATIO})")
+    workers = summary.get("workers")
+    if isinstance(workers, dict) and workers:
+        total = sum(workers.values())
+        lines.append("worker       routed      share")
+        for shard in sorted(workers):
+            routed = workers[shard]
+            share = routed / total if total else 0.0
+            bar = "#" * max(1, round(share * 20))
+            lines.append(
+                f"  {shard:<8} {routed:>10d}   {share:>6.1%}  {bar}")
     return "\n".join(lines)
 
 

@@ -29,9 +29,14 @@ from .recorder import LatencyRecorder
 __all__ = ["run_load"]
 
 
-def _post(url: str, body: bytes,
-          timeout_s: float) -> Tuple[int, Optional[str], bool]:
-    """POST one request; return (status, cache outcome, failed)."""
+def _post(url: str, body: bytes, timeout_s: float
+          ) -> Tuple[int, Optional[str], Optional[str], bool]:
+    """POST one request; return (status, outcome, worker, failed).
+
+    ``worker`` is the ``X-BC-Worker`` shard header a multi-process
+    pool stamps on each response (None against a single server) —
+    the per-worker routing histogram in the report comes from it.
+    """
     request = urllib.request.Request(
         url, data=body, headers={"Content-Type": "application/json"})
     try:
@@ -39,12 +44,13 @@ def _post(url: str, body: bytes,
                                     timeout=timeout_s) as response:
             response.read()
             return (response.status,
-                    response.headers.get("X-BC-Cache"), False)
+                    response.headers.get("X-BC-Cache"),
+                    response.headers.get("X-BC-Worker"), False)
     except urllib.error.HTTPError as error:
         error.read()
-        return error.code, None, True
+        return error.code, None, None, True
     except (urllib.error.URLError, OSError, TimeoutError):
-        return 0, None, True
+        return 0, None, None, True
 
 
 def run_load(plan_url: str,
@@ -91,10 +97,11 @@ def run_load(plan_url: str,
             if delay > 0.0:
                 time.sleep(delay)
             sent = monotonic()
-            status, outcome, failed = _post(
+            status, outcome, worker, failed = _post(
                 plan_url, bodies[assignment[index]], timeout_s)
             recorder.record(scheduled, sent, monotonic(), status,
-                            outcome=outcome, failed=failed)
+                            outcome=outcome, worker=worker,
+                            failed=failed)
 
     crew = [threading.Thread(target=sender, name=f"loadgen-{i}",
                              daemon=True)

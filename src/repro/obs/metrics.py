@@ -58,6 +58,7 @@ __all__ = [
     "METRICS",
     "NULL_HISTOGRAM",
     "bucket_quantile",
+    "merge_snapshots",
     "render_prometheus",
     "summarize_histogram",
 ]
@@ -377,6 +378,28 @@ class MetricsRegistry:
 #: The process-wide default registry (disabled until someone opts in),
 #: mirroring :data:`repro.obs.tracer.TRACER`.
 METRICS = MetricsRegistry(enabled=False)
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]
+                    ) -> Dict[str, Any]:
+    """Merge several registry snapshots into one combined snapshot.
+
+    The multi-worker aggregation path: each pool worker exports its
+    :meth:`MetricsRegistry.snapshot` in ``/metrics``, and the parent
+    dispatcher folds them through a fresh registry — counters sum,
+    gauges take the last value, histogram buckets sum with min/max
+    combining.  Extra summary keys (``p50``/``mean`` from
+    :func:`summarize_histogram`) on incoming entries are ignored, so
+    already-summarized documents merge fine.
+
+    Raises:
+        ValueError: when two snapshots carry the same histogram with
+            different bucket boundaries.
+    """
+    registry = MetricsRegistry(enabled=True)
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry.snapshot()
 
 
 # --- Prometheus text exposition ------------------------------------------

@@ -45,7 +45,9 @@ _FULL = {"greedy_n": 400, "greedy_radius": 20.0, "greedy_reps": 5,
          "service_n": 300, "service_requests": 8,
          "service_concurrency": (1, 4, 16),
          "latency_n": 300, "latency_requests": 8,
-         "latency_concurrency": (1, 4)}
+         "latency_concurrency": (1, 4),
+         "scaling_n": 300, "scaling_requests": 12,
+         "scaling_workers": (1, 4)}
 _QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
           "ellipse_cases": 400, "tsp_n": 120,
           "soa_n": 250, "soa_radius": 20.0, "soa_reps": 3,
@@ -54,7 +56,9 @@ _QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
           "service_n": 100, "service_requests": 4,
           "service_concurrency": (1, 4),
           "latency_n": 100, "latency_requests": 4,
-          "latency_concurrency": (1, 4)}
+          "latency_concurrency": (1, 4),
+          "scaling_n": 100, "scaling_requests": 6,
+          "scaling_workers": (1, 4)}
 
 
 def _best_of(func: Callable[[], object], reps: int) -> Tuple[float, object]:
@@ -512,6 +516,107 @@ def _bench_service_latency(sizes: Dict) -> Dict:
         {"requests": count, "planner": "BC", "levels": detail})
 
 
+def _bench_service_scaling(sizes: Dict) -> Dict:
+    """Horizontal scaling: pre-forked pool vs single-process server.
+
+    For each worker count a fresh deployment (fresh shared cache)
+    answers a full-backlog burst of distinct cold ``/v1/plan``
+    requests — the achieved rate under a saturated backlog *is* the
+    saturation throughput — then the identical burst again warm from
+    the shared on-disk tier.  ``reference_s``/``fast_s`` are the cold
+    burst times of the first and last worker counts, so ``speedup`` is
+    the measured horizontal scaling factor.  ``identical`` gates on
+    every payload being byte-equal across worker counts and across
+    cold/warm — the dispatcher must not change a single byte.
+
+    The pool forks *processes*, so the scaling ceiling is the CPU
+    actually granted to the container, reported honestly as
+    ``effective_cores`` in the detail (a 4-worker pool on ~2 granted
+    cores cannot reach 4x, or even 2.5x, no matter how good the
+    dispatcher is).
+    """
+    import hashlib
+    import tempfile
+    import urllib.request
+    from ..loadgen.mix import build_pool
+    from ..loadgen.runner import run_load, serialize_pool
+    from ..service import ServiceConfig, start_server, stop_server
+    from ..service.pool import start_pool, stop_pool
+
+    def payload_sha(url: str, body: bytes) -> str:
+        request = urllib.request.Request(
+            url, data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=600) as response:
+            document = json.loads(response.read().decode("utf-8"))
+        canonical = json.dumps(document.get("payload"), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    n = sizes["scaling_n"]
+    count = sizes["scaling_requests"]
+    worker_counts = [w for w in sizes["scaling_workers"]
+                     if w == 1 or hasattr(os, "fork")]
+    bodies = serialize_pool(build_pool(count, n, "BC"))
+    offsets = [0.0] * count
+    assignment = list(range(count))
+
+    try:
+        effective_cores = len(os.sched_getaffinity(0))
+    except AttributeError:
+        effective_cores = os.cpu_count() or 1
+
+    detail: Dict[str, Dict] = {
+        "requests": count, "planner": "BC",
+        "effective_cores": effective_cores,
+    }
+    cold_times: List[float] = []
+    payload_digests: List[Tuple[str, ...]] = []
+    identical = True
+    for workers in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="bc-bench-") as warm:
+            config = ServiceConfig(
+                port=0, jobs=2, workers=workers,
+                queue_limit=max(32, 2 * count), timeout_s=600.0,
+                cache_dir=warm)
+            if workers > 1:
+                server, _ = start_pool(config)
+            else:
+                server, _ = start_server(config)
+            url = f"http://{config.host}:{server.port}/v1/plan"
+            try:
+                cold_rec, cold_s = run_load(
+                    url, offsets, bodies, assignment,
+                    timeout_s=600.0, concurrency=count)
+                warm_rec, warm_s = run_load(
+                    url, offsets, bodies, assignment,
+                    timeout_s=600.0, concurrency=count)
+                # Warm replay of every body — cheap, and the digest
+                # tuple must be equal across worker counts.
+                digests = tuple(payload_sha(url, body)
+                                for body in bodies)
+            finally:
+                if workers > 1:
+                    stop_pool(server)
+                else:
+                    stop_server(server)
+        identical = identical and cold_rec.errors == 0 \
+            and warm_rec.errors == 0
+        cold_times.append(cold_s)
+        payload_digests.append(digests)
+        detail[f"w{workers}"] = {
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "cold_rps": round(count / cold_s, 3),
+            "warm_rps": round(count / warm_s, 3),
+            "routing": cold_rec.summary()["workers"],
+        }
+    identical = identical and len(set(payload_digests)) == 1
+    return _entry(
+        f"service_scaling_n{n}", cold_times[0], cold_times[-1],
+        identical, detail)
+
+
 def run_benchmarks(quick: bool = False,
                    out_path: Optional[str] = "BENCH_PR7.json") -> Dict:
     """Run every kernel benchmark and (optionally) write the JSON report.
@@ -542,6 +647,7 @@ def run_benchmarks(quick: bool = False,
         _bench_cache_sweep(sizes),
         _bench_service_throughput(sizes),
         _bench_service_latency(sizes),
+        _bench_service_scaling(sizes),
     ]
     elapsed = time.perf_counter() - started
     label = (os.path.splitext(os.path.basename(out_path))[0]

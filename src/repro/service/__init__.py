@@ -20,6 +20,10 @@ Layering (each module imports only downward):
 * :mod:`.metrics` — the ``/metrics`` v2 snapshot + Prometheus text.
 * :mod:`.accesslog` — the JSONL structured access log.
 * :mod:`.http` — the ``ThreadingHTTPServer`` front end.
+* :mod:`.ring` — the consistent-hash ring sharding the digest space.
+* :mod:`.pool` — pre-forked multi-process serving (``--workers N``):
+  a parent dispatcher routes each canonical digest to its shard
+  worker; the on-disk cache is the shared warm tier.
 * :mod:`.cli` — the ``bundle-charging serve`` subcommand.
 * :mod:`.smoke` — the in-process end-to-end check CI runs.
 """
@@ -30,7 +34,11 @@ from .config import ServiceConfig
 from .executor import cache_for_service, execute_request, plan_payload
 from .http import (PlanningHTTPServer, build_server, start_server,
                    stop_server)
-from .metrics import metrics_problems, metrics_snapshot, prometheus_text
+from .metrics import (aggregate_worker_metrics, metrics_problems,
+                      metrics_snapshot, prometheus_text)
+from .pool import (DispatcherHTTPServer, WorkerHandle, start_pool,
+                   stop_pool, worker_config)
+from .ring import HashRing
 from .request import (ACCESS_SCHEMA, CACHE_OUTCOMES, METRICS_SCHEMA,
                       METRICS_SCHEMA_V2, REQUEST_SCHEMA,
                       RESPONSE_SCHEMA, RequestError, canonical_json,
@@ -44,7 +52,9 @@ __all__ = [
     "ACCESS_SCHEMA",
     "AccessLogWriter",
     "CACHE_OUTCOMES",
+    "DispatcherHTTPServer",
     "DrainingError",
+    "HashRing",
     "METRICS_SCHEMA",
     "METRICS_SCHEMA_V2",
     "OverloadedError",
@@ -54,7 +64,9 @@ __all__ = [
     "RESPONSE_SCHEMA",
     "RequestError",
     "ServiceConfig",
+    "WorkerHandle",
     "access_record",
+    "aggregate_worker_metrics",
     "access_record_problems",
     "build_server",
     "cache_for_service",
@@ -71,6 +83,9 @@ __all__ = [
     "request_digest",
     "request_problems",
     "response_problems",
+    "start_pool",
     "start_server",
+    "stop_pool",
     "stop_server",
+    "worker_config",
 ]

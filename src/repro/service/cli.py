@@ -32,7 +32,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bind port; 0 picks an ephemeral port "
                              "(default: %(default)s)")
     parser.add_argument("--jobs", type=int, default=2,
-                        help="worker threads (default: %(default)s)")
+                        help="worker threads per process "
+                             "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="pre-forked worker processes; above 1 a "
+                             "parent dispatcher shards requests by "
+                             "canonical digest over a consistent-hash "
+                             "ring (default: %(default)s)")
     parser.add_argument("--queue-limit", type=int, default=32,
                         help="open-batch admission bound; beyond it "
                              "requests are shed with 429 "
@@ -77,6 +83,7 @@ def serve_config(args: argparse.Namespace) -> ServiceConfig:
                          if name.strip())
     return ServiceConfig(
         host=args.host, port=args.port, jobs=args.jobs,
+        workers=args.workers,
         queue_limit=args.queue_limit, timeout_s=args.timeout_s,
         use_cache=not args.no_cache, cache_dir=args.cache_dir,
         cache_entries=args.cache_entries, trace_dir=args.trace_dir,
@@ -86,9 +93,15 @@ def serve_config(args: argparse.Namespace) -> ServiceConfig:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    pooled = False
     try:
         config = serve_config(args)
-        server, _ = start_server(config)
+        if config.workers > 1:
+            from .pool import start_pool, stop_pool
+            server, _ = start_pool(config)
+            pooled = True
+        else:
+            server, _ = start_server(config)
     except (ServiceError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -100,12 +113,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, _request_stop)
-    print(f"serving on http://{config.host}:{server.port} "
-          f"(jobs={config.jobs}, queue_limit={config.queue_limit}, "
-          f"cache={'on' if server.cache is not None else 'off'})")
+    if pooled:
+        shards = ", ".join(f"{handle.index}:{handle.port}"
+                           for handle in server.workers)
+        print(f"serving on http://{config.host}:{server.port} "
+              f"(workers={config.workers}, jobs={config.jobs}/worker, "
+              f"queue_limit={config.queue_limit}, shards=[{shards}])")
+    else:
+        print(f"serving on http://{config.host}:{server.port} "
+              f"(jobs={config.jobs}, "
+              f"queue_limit={config.queue_limit}, "
+              f"cache={'on' if server.cache is not None else 'off'})")
     stop.wait()
     print("draining...", file=sys.stderr)
-    stop_server(server, drain=True)
+    if pooled:
+        stop_pool(server, drain=True)
+    else:
+        stop_server(server, drain=True)
     print("stopped.", file=sys.stderr)
     return 0
 

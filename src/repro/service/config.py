@@ -25,6 +25,13 @@ class ServiceConfig:
             the server object).
         jobs: worker threads draining the request queue — the serving
             analogue of the experiment runner's ``--jobs`` fan-out.
+        workers: pre-forked worker *processes*.  ``1`` (the default)
+            serves from a single ``ThreadingHTTPServer``; above that,
+            ``serve`` forks N children each owning a shard of the
+            canonical-request digest space behind a parent dispatcher
+            (:mod:`repro.service.pool`), with ``jobs`` threads *per
+            worker* and the on-disk cache (``cache_dir``) as the
+            shared warm tier.
         queue_limit: admission bound — the maximum number of *open*
             micro-batches (queued + executing).  Submissions beyond it
             are shed with a 429-style rejection instead of queuing
@@ -57,6 +64,7 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 8080
     jobs: int = 2
+    workers: int = 1
     queue_limit: int = 32
     timeout_s: float = 30.0
     use_cache: bool = True
@@ -72,6 +80,9 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.jobs <= 0:
             raise ServiceError(f"jobs must be positive: {self.jobs!r}")
+        if not 1 <= self.workers <= 64:
+            raise ServiceError(
+                f"workers must be in 1..64: {self.workers!r}")
         if self.queue_limit <= 0:
             raise ServiceError(
                 f"queue_limit must be positive: {self.queue_limit!r}")

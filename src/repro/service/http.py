@@ -41,6 +41,7 @@ tracing, identical payloads.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
@@ -77,9 +78,28 @@ class PlanningHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, config: ServiceConfig) -> None:
-        super().__init__((config.host, config.port),
-                         ServiceRequestHandler)
+    def __init__(self, config: ServiceConfig,
+                 sock: Optional[socket.socket] = None,
+                 worker_index: Optional[int] = None) -> None:
+        if sock is None:
+            super().__init__((config.host, config.port),
+                             ServiceRequestHandler)
+        else:
+            # Adopt a pre-bound, already-listening socket.  The worker
+            # pool binds every worker socket in the parent *before*
+            # forking (so it knows the ports without any IPC), then
+            # each child wraps its own socket here.
+            address = sock.getsockname()
+            super().__init__((address[0], address[1]),
+                             ServiceRequestHandler,
+                             bind_and_activate=False)
+            self.socket.close()  # drop the unused default socket
+            self.socket = sock
+            self.server_address = address
+            # Mimic HTTPServer.server_bind, skipped above.
+            self.server_name = socket.getfqdn(address[0])
+            self.server_port = address[1]
+        self.worker_index = worker_index
         self.config = config
         self.cache = cache_for_service(config)
         self.metrics = (_MetricsRegistry(enabled=config.metrics)
@@ -257,6 +277,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 batch.digest, monotonic() - started))
         headers = {"X-BC-Cache": batch.outcome,
                    "X-BC-Request-SHA256": batch.digest}
+        if self.server.worker_index is not None:
+            # Pool worker: stamp which shard computed the response so
+            # the dispatcher (and loadgen) can observe the routing.
+            headers["X-BC-Worker"] = str(self.server.worker_index)
         return envelope, 200, headers
 
     def _record_plan(self, path: str, status: int, started: float,

@@ -27,22 +27,27 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from ..perf.counters import PERF
+from ..perf.counters import PERF, PerfRegistry
 from .request import METRICS_SCHEMA, METRICS_SCHEMA_V2
 
 try:  # observability is optional: summaries degrade away without it
+    from ..obs.metrics import merge_snapshots as _merge_engine
     from ..obs.metrics import render_prometheus as _render_engine
     from ..obs.metrics import summarize_histogram as _summarize
 except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    _merge_engine = None  # type: ignore[assignment]
     _render_engine = None  # type: ignore[assignment]
     _summarize = None  # type: ignore[assignment]
 
-__all__ = ["metrics_problems", "metrics_snapshot", "prometheus_text"]
+__all__ = ["aggregate_worker_metrics", "metrics_problems",
+           "metrics_snapshot", "prometheus_text"]
 
 #: Keys shared by both schema generations.
 _V1_KEYS = ("scheduler", "perf", "cache")
 #: Keys v2 adds on top of the v1 shape.
 _V2_KEYS = ("uptime_s", "started_unix", "provenance", "metrics")
+#: Scheduler gauges summed across workers by the pool aggregation.
+_SCHED_SUMMED = ("jobs", "queue_limit", "queue_depth", "open_batches")
 
 
 def metrics_snapshot(scheduler: Any,
@@ -90,12 +95,129 @@ def metrics_snapshot(scheduler: Any,
     }
 
 
+def aggregate_worker_metrics(entries: List[Dict[str, Any]],
+                             uptime_s: Optional[float] = None,
+                             started_unix: Optional[float] = None,
+                             provenance: Optional[Dict[str, Any]] = None,
+                             ring_replicas: Optional[int] = None
+                             ) -> Dict[str, Any]:
+    """Merge per-worker ``/metrics`` v2 documents into one pool view.
+
+    The multi-process ``started_unix``/``uptime_s`` semantics: the
+    top-level fields are the *parent's* (the pool is one service with
+    one start time), while each worker's own pair lives in its row of
+    the additive ``workers`` section.  Everything countable merges via
+    the existing hand-off paths — scheduler counters and perf
+    registries sum (:meth:`repro.perf.PerfRegistry.merge_snapshot`),
+    engine histograms bucket-merge
+    (:func:`repro.obs.metrics.merge_snapshots`) and are re-summarized.
+    The in-memory cache tier sums across workers; the disk tier is the
+    *shared* warm store, so it is reported once, not N times.
+
+    Args:
+        entries: one dict per worker with keys ``worker``, ``pid``,
+            ``port``, ``routed``, and ``document`` (the worker's
+            scraped v2 document, or None when the scrape failed —
+            the row is then marked unhealthy and skipped).
+        uptime_s: parent uptime (monotonic delta).
+        started_unix: parent wall-clock start time.
+        provenance: the dispatcher's base manifest, or None degraded.
+        ring_replicas: vnodes per worker on the dispatch ring.
+    """
+    scheduler: Dict[str, Any] = {key: 0 for key in _SCHED_SUMMED}
+    scheduler["draining"] = False
+    counters: Dict[str, int] = {}
+    perf = PerfRegistry(enabled=True)
+    memory: Dict[str, int] = {"entries": 0, "bytes": 0,
+                              "max_entries": 0}
+    cache: Optional[Dict[str, Any]] = None
+    engines: List[Dict[str, Any]] = []
+    workers: List[Dict[str, Any]] = []
+    for entry in entries:
+        document = entry.get("document")
+        row: Dict[str, Any] = {
+            "worker": entry["worker"],
+            "pid": entry.get("pid"),
+            "port": entry.get("port"),
+            "routed": int(entry.get("routed", 0)),
+            "healthy": document is not None,
+            "uptime_s": None,
+            "started_unix": None,
+        }
+        if document is not None:
+            row["uptime_s"] = document.get("uptime_s")
+            row["started_unix"] = document.get("started_unix")
+            sched = document.get("scheduler") or {}
+            for key in _SCHED_SUMMED:
+                value = sched.get(key)
+                if isinstance(value, (int, float)):
+                    scheduler[key] += value
+            scheduler["draining"] = (scheduler["draining"]
+                                     or bool(sched.get("draining")))
+            for name, value in (sched.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + value
+            perf.merge_snapshot(document.get("perf") or {})
+            stats = document.get("cache")
+            if isinstance(stats, dict):
+                if cache is None:
+                    cache = {"memory": memory}
+                    for key in ("shadow_rate", "warm_start", "disk"):
+                        if key in stats:
+                            cache[key] = stats[key]
+                tier = stats.get("memory")
+                if isinstance(tier, dict):
+                    for key in memory:
+                        value = tier.get(key)
+                        if isinstance(value, int):
+                            memory[key] += value
+            engine = document.get("metrics")
+            if engine is not None:
+                engines.append(engine)
+        workers.append(row)
+    scheduler["counters"] = dict(sorted(counters.items()))
+    merged_engine: Optional[Dict[str, Any]] = None
+    if engines and _merge_engine is not None:
+        merged_engine = _merge_engine(engines)
+        if _summarize is not None:
+            merged_engine["histograms"] = [
+                _summarize(entry)
+                for entry in merged_engine["histograms"]]
+    snapshot = perf.snapshot()
+    dispatcher: Dict[str, Any] = {
+        "workers": len(entries),
+        "routed_total": sum(row["routed"] for row in workers),
+    }
+    if ring_replicas is not None:
+        dispatcher["ring_replicas"] = ring_replicas
+    return {
+        "schema": METRICS_SCHEMA_V2,
+        "uptime_s": (round(uptime_s, 6)
+                     if uptime_s is not None else None),
+        "started_unix": (round(started_unix, 6)
+                         if started_unix is not None else None),
+        "provenance": provenance,
+        "scheduler": scheduler,
+        "perf": {
+            "counters": snapshot.get("counters", {}),
+            "timers": snapshot.get("timers", {}),
+        },
+        "cache": cache,
+        "metrics": merged_engine,
+        "workers": workers,
+        "dispatcher": dispatcher,
+    }
+
+
 def metrics_problems(document: Any) -> List[str]:
     """Return structural problems of a ``/metrics`` document.
 
     Accepts both schema generations: the v1 shape (``scheduler`` /
     ``perf`` / ``cache``) and the v2 superset (adds ``uptime_s``,
-    ``started_unix``, ``provenance``, ``metrics``).
+    ``started_unix``, ``provenance``, ``metrics``).  Multi-worker
+    documents from :func:`aggregate_worker_metrics` stay schema v2
+    with two *additive* sections, both validated when present:
+    ``workers`` (one row per pool worker) and ``dispatcher`` (routing
+    totals).
     """
     problems: List[str] = []
     if not isinstance(document, dict):
@@ -149,6 +271,53 @@ def metrics_problems(document: Any) -> List[str]:
                         problems.append(
                             f"metrics.histograms[{index}] missing "
                             f"key {key!r}")
+    workers = document.get("workers")
+    if workers is not None:
+        if not isinstance(workers, list):
+            problems.append("workers section must be a list")
+        else:
+            for index, row in enumerate(workers):
+                if not isinstance(row, dict):
+                    problems.append(
+                        f"workers[{index}] must be an object")
+                    continue
+                for key in ("worker", "routed", "healthy"):
+                    if key not in row:
+                        problems.append(
+                            f"workers[{index}] missing key {key!r}")
+                for key in ("worker", "routed"):
+                    value = row.get(key)
+                    if key in row and (not isinstance(value, int)
+                                       or isinstance(value, bool)):
+                        problems.append(
+                            f"workers[{index}].{key} must be an "
+                            f"integer, got {value!r}")
+                if "healthy" in row \
+                        and not isinstance(row["healthy"], bool):
+                    problems.append(
+                        f"workers[{index}].healthy must be a boolean")
+                for key in ("uptime_s", "started_unix"):
+                    value = row.get(key)
+                    if value is not None \
+                            and not isinstance(value, (int, float)):
+                        problems.append(
+                            f"workers[{index}].{key} must be a "
+                            f"number or null, got {value!r}")
+    dispatcher = document.get("dispatcher")
+    if dispatcher is not None:
+        if not isinstance(dispatcher, dict):
+            problems.append("dispatcher section must be an object")
+        else:
+            for key in ("workers", "routed_total"):
+                value = dispatcher.get(key)
+                if key not in dispatcher:
+                    problems.append(
+                        f"dispatcher section missing key {key!r}")
+                elif not isinstance(value, int) \
+                        or isinstance(value, bool):
+                    problems.append(
+                        f"dispatcher.{key} must be an integer, "
+                        f"got {value!r}")
     return problems
 
 
@@ -220,6 +389,33 @@ def prometheus_text(document: Dict[str, Any]) -> str:
               "counter", seen)
         _line(lines, f"{metric}_calls_total", stats.get("calls"),
               "counter", seen)
+
+    dispatcher = document.get("dispatcher")
+    if isinstance(dispatcher, dict):
+        _line(lines, "bc_dispatcher_workers",
+              dispatcher.get("workers"), "gauge", seen)
+        _line(lines, "bc_dispatcher_routed_total",
+              dispatcher.get("routed_total"), "counter", seen)
+    for row in document.get("workers") or []:
+        if not isinstance(row, dict) or "worker" not in row:
+            continue
+        labels = f'{{worker="{row["worker"]}"}}'
+        for metric, kind, value in (
+                ("bc_worker_up", "gauge", row.get("healthy")),
+                ("bc_worker_routed_total", "counter",
+                 row.get("routed")),
+                ("bc_worker_uptime_seconds", "gauge",
+                 row.get("uptime_s")),
+                ("bc_worker_start_time_seconds", "gauge",
+                 row.get("started_unix"))):
+            if value is None:
+                continue
+            if seen.get(metric) != kind:
+                seen[metric] = kind
+                lines.append(f"# TYPE {metric} {kind}")
+            if isinstance(value, bool):
+                value = int(value)
+            lines.append(f"{metric}{labels} {value}")
 
     text = "\n".join(lines) + ("\n" if lines else "")
     engine = document.get("metrics")

@@ -1,0 +1,615 @@
+"""Pre-forked worker pool: digest-sharded multi-process serving.
+
+``bundle-charging serve --workers N`` scales the single-process
+:class:`~repro.service.http.PlanningHTTPServer` across N processes
+without giving up the service's two load-bearing contracts — byte
+identical payloads and duplicate collapsing:
+
+* **Pre-fork with parent-bound sockets.**  The parent binds one
+  listening socket per worker (ephemeral localhost ports) *before*
+  forking, so it knows every worker's address with no IPC; each child
+  closes its siblings' sockets and adopts its own into a normal
+  :class:`PlanningHTTPServer` (``sock=`` parameter).  Connections that
+  arrive before a child reaches ``accept`` simply queue in the
+  listen backlog.
+* **Digest-sharded dispatch.**  The parent runs a thin dispatcher
+  (:class:`DispatcherHTTPServer`): it validates and canonicalizes each
+  request exactly like a worker would, hashes the canonical SHA-256
+  onto a :class:`~repro.service.ring.HashRing`, and forwards to the
+  owning worker over keep-alive connections.  Identical in-flight
+  requests therefore always land on the same process, where the
+  scheduler's micro-batching collapses them into one compute.
+* **Shared warm tier.**  Workers share ``config.cache_dir``; the disk
+  store's atomic temp-file + ``os.replace`` writes already tolerate
+  concurrent writers, so one worker's cold miss warms every sibling.
+* **Aggregated telemetry.**  ``GET /metrics`` on the dispatcher scrapes
+  every worker's v2 document and merges them via
+  :func:`repro.service.metrics.aggregate_worker_metrics` — counters
+  summed, engine histograms bucket-merged, per-worker rows under a new
+  ``workers`` section.  ``started_unix``/``uptime_s`` are the
+  *parent's* (the pool's identity), each worker keeps its own in its
+  row.
+* **Coordinated drain.**  ``stop_pool`` stops the dispatcher's accept
+  loop, lets in-flight forwards settle, SIGTERMs every child (each
+  drains its scheduler and exits), and reaps them all — escalating to
+  SIGKILL only past the deadline, so no orphans survive.
+
+Per-worker derived outputs: worker *i* appends to
+``<access_log>.w<i>`` and traces into ``<trace_dir>/worker<i>/`` so
+the children never interleave writes on one handle.  The pool module
+itself keeps no module-level mutable state (locks, threads, handles) —
+everything is instance-owned and created *after* fork, which is what
+lint rule CONC004 checks for this import closure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass, replace
+from http.client import HTTPConnection, HTTPException
+from http.server import ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..clock import monotonic, wall
+from ..errors import ServiceError
+from ..perf.counters import PERF
+from .config import ServiceConfig
+from .http import PlanningHTTPServer, ServiceRequestHandler, stop_server
+from .metrics import aggregate_worker_metrics, prometheus_text
+from .request import (RequestError, canonical_json, canonical_request,
+                      error_envelope, request_digest)
+from .ring import HashRing
+
+try:  # observability is optional, exactly as in repro.service.http
+    from ..obs.manifest import build_manifest as _build_manifest
+    _HAVE_OBS = True
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    _build_manifest = None  # type: ignore[assignment]
+    _HAVE_OBS = False
+
+__all__ = ["DispatcherHTTPServer", "DispatchRequestHandler",
+           "WorkerHandle", "start_pool", "stop_pool", "worker_config"]
+
+#: Extra client budget on top of the request timeout, so a worker's own
+#: 504 envelope always arrives before the dispatcher gives up on it.
+_FORWARD_MARGIN_S = 10.0
+
+#: Listen backlog of the pre-bound worker sockets (absorbs the window
+#: between fork and the child's first ``accept``).
+_WORKER_BACKLOG = 128
+
+
+@dataclass(frozen=True)
+class WorkerHandle:
+    """Parent-side identity of one forked worker process."""
+
+    index: int
+    pid: int
+    host: str
+    port: int
+
+
+def worker_config(config: ServiceConfig, index: int) -> ServiceConfig:
+    """Derive worker ``index``'s config from the pool config.
+
+    The child serves on an adopted socket (so ``port`` is moot), runs
+    as a single-process server (``workers=1``), and gets per-worker
+    access-log / trace paths so siblings never share a file handle.
+    The cache directory is deliberately *not* derived: it is the
+    shared warm tier.
+    """
+    updates: Dict[str, Any] = {"workers": 1, "port": 0}
+    if config.access_log:
+        updates["access_log"] = f"{config.access_log}.w{index}"
+    if config.trace_dir:
+        updates["trace_dir"] = os.path.join(config.trace_dir,
+                                            f"worker{index}")
+    return replace(config, **updates)
+
+
+def _worker_main(config: ServiceConfig, sock: socket.socket,
+                 index: int) -> None:
+    """Child entry point: serve until SIGTERM, drain, ``_exit``.
+
+    Never returns — the child must not fall back into the forked
+    parent's stack (pytest, CLI, atexit handlers), so every path ends
+    in :func:`os._exit`.
+    """
+    try:
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+        # The parent owns Ctrl-C: it drains the whole pool via SIGTERM.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        # Drop perf counters inherited from the parent process so the
+        # aggregated /metrics never double-counts pre-fork work.
+        PERF.reset()
+        server = PlanningHTTPServer(worker_config(config, index),
+                                    sock=sock, worker_index=index)
+        thread = threading.Thread(target=server.serve_forever,
+                                  name=f"plan-worker-{index}",
+                                  daemon=True)
+        thread.start()
+        stop.wait()
+        stop_server(server, drain=True)
+    except BaseException as exc:  # noqa: BLE001 - child must never unwind
+        try:
+            print(f"worker {index} crashed: {exc!r}", file=sys.stderr)
+        finally:
+            os._exit(70)
+    os._exit(0)
+
+
+class _WorkerClient:
+    """Keep-alive HTTP connections to one worker (thread-safe pool).
+
+    Handlers run on dispatcher threads; each checkout either reuses an
+    idle connection or opens a fresh one.  A request that fails on a
+    *reused* connection (worker closed it between requests) is retried
+    once on a fresh connection; failures on fresh connections
+    propagate — the worker is genuinely unreachable.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._lock = threading.Lock()
+        self._idle: List[HTTPConnection] = []
+
+    def request(self, method: str, path: str,
+                body: Optional[bytes] = None,
+                timeout_s: float = 10.0
+                ) -> Tuple[int, Dict[str, str], bytes]:
+        """Round-trip one request; return (status, headers, body)."""
+        with self._lock:
+            conn = self._idle.pop() if self._idle else None
+        reused = conn is not None
+        if conn is None:
+            conn = HTTPConnection(self._host, self._port,
+                                  timeout=timeout_s)
+        try:
+            return self._roundtrip(conn, method, path, body, timeout_s)
+        except (OSError, HTTPException):
+            conn.close()
+            if not reused:
+                raise
+        fresh = HTTPConnection(self._host, self._port,
+                               timeout=timeout_s)
+        try:
+            return self._roundtrip(fresh, method, path, body, timeout_s)
+        except (OSError, HTTPException):
+            fresh.close()
+            raise
+
+    def _roundtrip(self, conn: HTTPConnection, method: str, path: str,
+                   body: Optional[bytes], timeout_s: float
+                   ) -> Tuple[int, Dict[str, str], bytes]:
+        conn.timeout = timeout_s
+        if conn.sock is not None:
+            conn.sock.settimeout(timeout_s)
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        will_close = response.will_close
+        response_headers = dict(response.getheaders())
+        if will_close:
+            conn.close()
+        else:
+            with self._lock:
+                self._idle.append(conn)
+        return response.status, response_headers, data
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+class DispatcherHTTPServer(ThreadingHTTPServer):
+    """The pool's front socket: canonicalize, shard, forward, relay."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, config: ServiceConfig,
+                 handles: List[WorkerHandle]) -> None:
+        super().__init__((config.host, config.port),
+                         DispatchRequestHandler)
+        self.config = config
+        self.workers: Tuple[WorkerHandle, ...] = tuple(handles)
+        self.ring = HashRing([str(handle.index) for handle in handles])
+        self.clients = {handle.index: _WorkerClient(handle.host,
+                                                    handle.port)
+                        for handle in handles}
+        # Duck-typed plumbing shared with ServiceRequestHandler: the
+        # dispatcher itself keeps no metrics engine or access log —
+        # workers own the request-level telemetry.
+        self.metrics = None
+        self.access_log = None
+        self.worker_index: Optional[int] = None
+        self.started_monotonic = monotonic()
+        self.started_unix = wall()
+        self.base_provenance: Optional[Dict[str, Any]] = None
+        if _HAVE_OBS:
+            self.base_provenance = _build_manifest(
+                "service-pool",
+                {"host": config.host, "port": config.port,
+                 "workers": config.workers, "jobs": config.jobs,
+                 "queue_limit": config.queue_limit,
+                 "use_cache": config.use_cache,
+                 "cache_dir": config.cache_dir,
+                 "ring_replicas": self.ring.replicas},
+                seeds=[], wall_time_s=0.0)
+        self._route_lock = threading.Lock()
+        self._routed = {handle.index: 0 for handle in handles}
+        self._active = 0
+
+    @property
+    def port(self) -> int:
+        """The bound dispatcher port (for ``port=0`` ephemeral binds)."""
+        return self.server_address[1]
+
+    def route_worker(self, digest: str) -> int:
+        """Ring owner of a canonical request digest."""
+        return int(self.ring.node_for(digest))
+
+    def forward(self, index: int, method: str, path: str,
+                body: Optional[bytes] = None,
+                timeout_s: float = 10.0
+                ) -> Tuple[int, Dict[str, str], bytes]:
+        """Proxy one request to worker ``index``."""
+        with self._route_lock:
+            self._active += 1
+        try:
+            return self.clients[index].request(method, path, body=body,
+                                               timeout_s=timeout_s)
+        finally:
+            with self._route_lock:
+                self._active -= 1
+
+    def count_routed(self, index: int) -> None:
+        with self._route_lock:
+            self._routed[index] += 1
+
+    def routed_counts(self) -> Dict[int, int]:
+        with self._route_lock:
+            return dict(self._routed)
+
+    def active_forwards(self) -> int:
+        with self._route_lock:
+            return self._active
+
+    def health_document(self) -> Dict[str, Any]:
+        """Pool liveness: the dispatcher plus every worker's healthz."""
+        rows: List[Dict[str, Any]] = []
+        all_alive = True
+        for handle in self.workers:
+            alive = False
+            draining = None
+            try:
+                status, _, data = self.forward(handle.index, "GET",
+                                               "/healthz",
+                                               timeout_s=5.0)
+                if status == 200:
+                    alive = True
+                    draining = json.loads(data).get("draining")
+            except (OSError, HTTPException, ValueError):
+                alive = False
+            all_alive = all_alive and alive
+            rows.append({"worker": handle.index, "pid": handle.pid,
+                         "alive": alive, "draining": draining})
+        return {
+            "status": "ok" if all_alive else "degraded",
+            "uptime_s": round(monotonic() - self.started_monotonic, 3),
+            "draining": False,
+            "workers": rows,
+        }
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """Scrape every worker and merge into one pool-wide document."""
+        routed = self.routed_counts()
+        entries: List[Dict[str, Any]] = []
+        for handle in self.workers:
+            document = None
+            try:
+                status, _, data = self.forward(handle.index, "GET",
+                                               "/metrics",
+                                               timeout_s=5.0)
+                if status == 200:
+                    document = json.loads(data)
+            except (OSError, HTTPException, ValueError):
+                document = None
+            entries.append({"worker": handle.index, "pid": handle.pid,
+                            "port": handle.port,
+                            "routed": routed[handle.index],
+                            "document": document})
+        return aggregate_worker_metrics(
+            entries,
+            uptime_s=monotonic() - self.started_monotonic,
+            started_unix=self.started_unix,
+            provenance=self.base_provenance,
+            ring_replicas=self.ring.replicas)
+
+
+class DispatchRequestHandler(ServiceRequestHandler):
+    """Dispatcher endpoints: same surface, forwarding instead of compute.
+
+    Reuses the parent handler's plumbing (JSON body reading, error
+    envelopes, timeout parsing, content negotiation); only the four
+    route bodies differ.  Validation runs *here*, before forwarding,
+    with byte-identical error envelopes to a worker's — clients cannot
+    tell a dispatcher 400 from a worker 400.
+    """
+
+    server: DispatcherHTTPServer
+
+    # --- forwarding plumbing ---------------------------------------------
+
+    def _forward_timeout_s(self) -> float:
+        return self._timeout_s() + _FORWARD_MARGIN_S
+
+    def _forward_path(self) -> str:
+        """Worker-side plan path, preserving the query string."""
+        query = urlsplit(self.path).query
+        return "/v1/plan" + (f"?{query}" if query else "")
+
+    def _relay(self, status: int, body: bytes,
+               headers: Dict[str, str]) -> int:
+        """Send a worker's response bytes through unmodified."""
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        return len(body)
+
+    def _shard_for(self, body: Any
+                   ) -> Tuple[Optional[Dict[str, Any]], Optional[int],
+                              Optional[Dict[str, Any]]]:
+        """Canonicalize + route; return (request, worker, error doc)."""
+        try:
+            request = canonical_request(body)
+        except RequestError as exc:
+            return None, None, error_envelope(exc.code, str(exc),
+                                              exc.problems)
+        if not self.server.config.serves_planner(request["planner"]):
+            return None, None, error_envelope(
+                "planner-not-served",
+                f"this server does not serve planner "
+                f"{request['planner']!r} (allowlist: "
+                f"{list(self.server.config.planners or ())})")
+        digest = request_digest(request)
+        return request, self.server.route_worker(digest), None
+
+    # --- request dispatch -------------------------------------------------
+
+    def _dispatch_plan(self) -> None:
+        body, ok = self._read_json_body()
+        if not ok:
+            return
+        request, index, error_doc = self._shard_for(body)
+        if request is None:
+            self._send_json(400, error_doc)
+            return
+        payload = canonical_json(request).encode("utf-8")
+        try:
+            status, headers, data = self.server.forward(
+                index, "POST", self._forward_path(), body=payload,
+                timeout_s=self._forward_timeout_s())
+        except (OSError, HTTPException) as exc:
+            self._send_json(503, error_envelope(
+                "worker-unavailable",
+                f"worker {index} did not answer: {exc}"))
+            return
+        self.server.count_routed(index)
+        relay = {name: headers[name]
+                 for name in ("X-BC-Cache", "X-BC-Request-SHA256",
+                              "X-BC-Worker")
+                 if name in headers}
+        relay.setdefault("X-BC-Worker", str(index))
+        self._relay(status, data, relay)
+
+    def _forward_item(self, responses: List[Optional[Dict[str, Any]]],
+                      position: int, index: int, path: str,
+                      payload: bytes, timeout_s: float) -> None:
+        """One batch item's forward (runs on its own thread)."""
+        try:
+            _, _, data = self.server.forward(index, "POST", path,
+                                             body=payload,
+                                             timeout_s=timeout_s)
+            self.server.count_routed(index)
+            responses[position] = json.loads(data)
+        except (OSError, HTTPException, ValueError) as exc:
+            responses[position] = error_envelope(
+                "worker-unavailable",
+                f"worker {index} did not answer: {exc}")
+
+    def _dispatch_batch(self) -> None:
+        body, ok = self._read_json_body()
+        if not ok:
+            return
+        requests = (body.get("requests")
+                    if isinstance(body, dict) else None)
+        if not isinstance(requests, list) or not requests:
+            self._send_error_envelope(
+                400, "invalid-request",
+                "batch body must be {\"requests\": [<request>, ...]}")
+            return
+        max_batch = self.server.config.max_batch
+        if len(requests) > max_batch:
+            self._send_error_envelope(
+                400, "batch-too-large",
+                f"batch carries {len(requests)} requests; the limit "
+                f"is {max_batch}")
+            return
+        timeout_s = self._forward_timeout_s()
+        path = self._forward_path()
+        responses: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        threads: List[threading.Thread] = []
+        for position, item in enumerate(requests):
+            request, index, error_doc = self._shard_for(item)
+            if request is None:
+                responses[position] = error_doc
+                continue
+            payload = canonical_json(request).encode("utf-8")
+            # Forward concurrently: items admitted together overlap
+            # across shards, and duplicates collapse inside one shard.
+            thread = threading.Thread(
+                target=self._forward_item,
+                args=(responses, position, index, path, payload,
+                      timeout_s),
+                name=f"dispatch-batch-{position}", daemon=True)
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join()
+        self._send_json(200, {"responses": responses})
+
+    # --- routing ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            self._send_json(200, self.server.health_document())
+        elif path == "/metrics":
+            document = self.server.metrics_document()
+            if self._wants_prometheus():
+                self._send_text(200, prometheus_text(document))
+            else:
+                self._send_json(200, document)
+        else:
+            self._send_error_envelope(
+                404, "not-found", f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        if path == "/v1/plan":
+            self._dispatch_plan()
+        elif path == "/v1/batch":
+            self._dispatch_batch()
+        elif path in ("/healthz", "/metrics"):
+            self._send_error_envelope(
+                405, "method-not-allowed", f"{path} is GET-only")
+        else:
+            self._send_error_envelope(
+                404, "not-found", f"unknown path {path!r}")
+
+
+def start_pool(config: ServiceConfig
+               ) -> Tuple[DispatcherHTTPServer, threading.Thread]:
+    """Fork the workers, start the dispatcher; return (server, thread).
+
+    Mirrors :func:`repro.service.http.start_server` — the returned
+    server exposes ``.port`` and is stopped with :func:`stop_pool`.
+
+    Raises:
+        ServiceError: when ``config.workers < 2`` or the platform has
+            no ``os.fork`` (Windows); callers should fall back to the
+            single-process server.
+    """
+    if config.workers < 2:
+        raise ServiceError(
+            f"start_pool needs workers >= 2, got {config.workers}; "
+            f"use start_server for a single process")
+    if not hasattr(os, "fork"):
+        raise ServiceError(
+            "--workers > 1 needs os.fork(), which this platform "
+            "does not provide")
+
+    sockets: List[socket.socket] = []
+    try:
+        for _ in range(config.workers):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((config.host, 0))
+            sock.listen(_WORKER_BACKLOG)
+            sockets.append(sock)
+    except OSError:
+        for sock in sockets:
+            sock.close()
+        raise
+
+    handles: List[WorkerHandle] = []
+    for index, sock in enumerate(sockets):
+        pid = os.fork()
+        if pid == 0:
+            for other_index, other in enumerate(sockets):
+                if other_index != index:
+                    other.close()
+            _worker_main(config, sock, index)  # calls os._exit
+        handles.append(WorkerHandle(index=index, pid=pid,
+                                    host=config.host,
+                                    port=sock.getsockname()[1]))
+    for sock in sockets:
+        sock.close()
+
+    try:
+        dispatcher = DispatcherHTTPServer(config, handles)
+    except OSError:
+        _terminate_workers(handles, timeout_s=10.0)
+        raise
+    thread = threading.Thread(target=dispatcher.serve_forever,
+                              name="plan-dispatch", daemon=True)
+    thread.start()
+    return dispatcher, thread
+
+
+def _terminate_workers(handles: List[WorkerHandle],
+                       timeout_s: float) -> None:
+    """SIGTERM + reap every child; SIGKILL stragglers past deadline."""
+    for handle in handles:
+        try:
+            os.kill(handle.pid, signal.SIGTERM)
+        except (ProcessLookupError, PermissionError):
+            pass
+    remaining = list(handles)
+    deadline = monotonic() + timeout_s
+    while remaining and monotonic() < deadline:
+        still: List[WorkerHandle] = []
+        for handle in remaining:
+            try:
+                pid, _ = os.waitpid(handle.pid, os.WNOHANG)
+            except ChildProcessError:
+                continue  # already reaped elsewhere
+            if pid == 0:
+                still.append(handle)
+        remaining = still
+        if remaining:
+            time.sleep(0.02)
+    for handle in remaining:  # refuse to orphan a wedged child
+        try:
+            os.kill(handle.pid, signal.SIGKILL)
+            os.waitpid(handle.pid, 0)
+        except (ProcessLookupError, ChildProcessError,
+                PermissionError):
+            pass
+
+
+def stop_pool(dispatcher: DispatcherHTTPServer, drain: bool = True,
+              timeout_s: float = 30.0) -> None:
+    """Gracefully stop the pool: dispatcher first, then every worker.
+
+    Order matters: stop accepting, let in-flight forwards settle (so
+    no response is cut off mid-relay), then SIGTERM the children —
+    each drains its scheduler before exiting — and reap them all.
+    """
+    dispatcher.shutdown()
+    if drain:
+        deadline = monotonic() + timeout_s
+        while dispatcher.active_forwards() > 0 \
+                and monotonic() < deadline:
+            time.sleep(0.02)
+    _terminate_workers(list(dispatcher.workers), timeout_s=timeout_s)
+    for client in dispatcher.clients.values():
+        client.close()
+    dispatcher.server_close()

@@ -13,14 +13,25 @@ over actual sockets, and asserts the service's headline contracts:
 4. a batch with duplicate items shares one compute (joined > 0);
 5. shutdown is a graceful drain (exercised by stopping the server).
 
-Run directly: ``python -m repro.service.smoke``.  Exit status 0 = all
-contracts hold.
+With ``--workers N`` (N >= 2) the sequence instead exercises the
+pre-forked pool (:mod:`repro.service.pool`): same-shard routing of
+identical requests, payload byte-identity against a single-process
+server, aggregated ``/metrics`` with per-worker rows, and a drain
+that leaves no orphan processes behind.
+
+Run directly: ``python -m repro.service.smoke [--workers N]``.
+Exit status 0 = all contracts hold.
 """
 
 from __future__ import annotations
 
+import argparse
+import errno
 import json
+import os
+import socket
 import sys
+import tempfile
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional, Tuple
@@ -31,7 +42,7 @@ from .metrics import metrics_problems
 from .request import (METRICS_SCHEMA_V2, canonical_json,
                       canonical_request, response_problems)
 
-__all__ = ["run_smoke"]
+__all__ = ["run_pool_smoke", "run_smoke"]
 
 
 def _call(url: str, body: Optional[bytes] = None
@@ -151,5 +162,109 @@ def run_smoke(node_count: int = 60) -> int:
     return 0
 
 
+def run_pool_smoke(workers: int = 2, node_count: int = 60) -> int:
+    """Smoke the pre-forked pool; return 0 on success, 1 on failure."""
+    from .pool import start_pool, stop_pool
+
+    if not hasattr(os, "fork"):
+        print("pool smoke skipped: platform has no os.fork()")
+        return 0
+    failures = []
+
+    def check(condition: bool, label: str) -> None:
+        print(("ok   " if condition else "FAIL ") + label)
+        if not condition:
+            failures.append(label)
+
+    body = json.dumps(_plan_request(node_count)).encode("utf-8")
+
+    # Reference payload from a plain single-process server.
+    single = ServiceConfig(port=0, jobs=2, timeout_s=60.0)
+    server, _ = start_server(single)
+    try:
+        _, _, doc = _call(
+            f"http://{single.host}:{server.port}/v1/plan", body)
+        reference = canonical_json(doc.get("payload"))
+    finally:
+        stop_server(server, drain=True)
+
+    with tempfile.TemporaryDirectory(prefix="bc-smoke-") as warm:
+        config = ServiceConfig(port=0, jobs=2, workers=workers,
+                               timeout_s=60.0, cache_dir=warm)
+        dispatcher, _ = start_pool(config)
+        base = f"http://{config.host}:{dispatcher.port}"
+        pids = [handle.pid for handle in dispatcher.workers]
+        try:
+            # 1. identical requests land on the same worker shard and
+            #    the second serving is a shared-warm-tier hit.
+            status_a, headers_a, doc_a = _call(f"{base}/v1/plan", body)
+            status_b, headers_b, doc_b = _call(f"{base}/v1/plan", body)
+            check(status_a == 200 and status_b == 200,
+                  "pool plan requests answer 200")
+            shard_a = headers_a.get("X-BC-Worker")
+            shard_b = headers_b.get("X-BC-Worker")
+            check(shard_a is not None and shard_a == shard_b,
+                  "identical requests route to the same worker")
+            check(doc_b.get("cache") == "hit",
+                  "second serving hits the shared warm tier")
+
+            # 2. payload bytes match the single-process server.
+            check(canonical_json(doc_a.get("payload")) == reference,
+                  "pool payload byte-identical to single server")
+
+            # 3. aggregated metrics: one row per worker + dispatcher.
+            status, _, doc = _call(f"{base}/metrics")
+            check(status == 200
+                  and doc.get("schema") == METRICS_SCHEMA_V2,
+                  "pool metrics carries the service-metrics/v2 schema")
+            check(not metrics_problems(doc),
+                  "pool metrics document validates")
+            rows = doc.get("workers", [])
+            check(len(rows) == workers
+                  and all(row.get("healthy") for row in rows),
+                  f"metrics aggregates {workers} healthy workers")
+            check(doc.get("dispatcher", {}).get("workers") == workers,
+                  "dispatcher section reports the pool size")
+        finally:
+            # 4. graceful drain: no orphans, socket released.
+            stop_pool(dispatcher, drain=True)
+        orphans = []
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+                orphans.append(pid)
+            except ProcessLookupError:
+                pass
+        check(orphans == [], "drain leaves no orphan workers")
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            refused = probe.connect_ex(
+                (config.host, dispatcher.port)) == errno.ECONNREFUSED
+        finally:
+            probe.close()
+        check(refused, "dispatcher socket released after drain")
+
+    if failures:
+        print(f"{len(failures)} pool smoke check(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"pool smoke ({workers} workers): all checks passed")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="bundle-charging service smoke check")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="pool size; >= 2 smokes the pre-forked "
+                             "pool instead of the single server")
+    parser.add_argument("--nodes", type=int, default=60,
+                        help="deployment size of the smoke request")
+    args = parser.parse_args(argv)
+    if args.workers > 1:
+        return run_pool_smoke(args.workers, args.nodes)
+    return run_smoke(args.nodes)
+
+
 if __name__ == "__main__":
-    sys.exit(run_smoke())
+    sys.exit(main())

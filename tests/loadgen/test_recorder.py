@@ -42,6 +42,21 @@ class TestLatencyRecorder:
         assert summary["statuses"] == {"200": 2, "400": 1}
         assert summary["outcomes"] == {"hit": 1, "miss": 1}
 
+    def test_worker_shards_counted(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.0, 0.0, 0.01, status=200, worker="1")
+        recorder.record(0.1, 0.1, 0.11, status=200, worker="0")
+        recorder.record(0.2, 0.2, 0.21, status=200, worker="1")
+        recorder.record(0.3, 0.3, 0.31, status=200)  # single server
+        summary = recorder.summary()
+        assert summary["workers"] == {"0": 1, "1": 2}
+        assert summary["count"] == 4
+
+    def test_single_server_workers_histogram_empty(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.0, 0.0, 0.01, status=200)
+        assert recorder.summary()["workers"] == {}
+
     def test_percentiles_ordered(self):
         recorder = LatencyRecorder()
         for index in range(100):

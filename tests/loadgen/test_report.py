@@ -5,9 +5,9 @@ import json
 import pytest
 
 from repro.loadgen.recorder import LatencyRecorder
-from repro.loadgen.report import (LOADGEN_SCHEMA, build_report,
-                                  render_table, report_problems,
-                                  write_report)
+from repro.loadgen.report import (LOADGEN_SCHEMA, SATURATION_RATIO,
+                                  build_report, render_table,
+                                  report_problems, write_report)
 
 
 def _sample_report():
@@ -15,7 +15,8 @@ def _sample_report():
     for index in range(20):
         start = index * 0.05
         recorder.record(start, start, start + 0.002 + 0.0001 * index,
-                        status=200, outcome="hit")
+                        status=200, outcome="hit",
+                        worker=str(index % 2))
     return build_report(
         config={"url": "http://127.0.0.1:8080", "schedule": "constant",
                 "rate": 20.0, "duration_s": 1.0, "pool": 4,
@@ -41,6 +42,48 @@ class TestBuildReport:
                                    "requests": 0}, 0.0,
                               LatencyRecorder().summary())
         assert report["achieved_rate"] == 0.0
+
+
+class TestSaturation:
+    def test_keeping_up_is_not_saturated(self):
+        saturation = _sample_report()["saturation"]
+        assert saturation["offered_rate"] == pytest.approx(20.0)
+        assert saturation["achieved_rate"] == pytest.approx(20.0)
+        assert saturation["ratio"] == pytest.approx(1.0)
+        assert saturation["saturated"] is False
+
+    def test_stretched_run_is_flagged(self):
+        # 20 arrivals scheduled over 1s but the run took 2.5s: the
+        # achieved rate collapses to 8 req/s against 20 offered.
+        recorder = LatencyRecorder()
+        for index in range(20):
+            start = index * 0.05
+            recorder.record(start, start, start + 0.4, status=200)
+        report = build_report(
+            config={"duration_s": 1.0},
+            offered={"kind": "constant", "rate": 20.0,
+                     "requests": 20},
+            duration_s=2.5, summary=recorder.summary())
+        saturation = report["saturation"]
+        assert saturation["ratio"] == pytest.approx(0.4)
+        assert saturation["saturated"] is True
+        assert saturation["ratio"] < SATURATION_RATIO
+
+    def test_offered_rate_falls_back_to_schedule_rate(self):
+        report = build_report(
+            config={}, offered={"kind": "constant", "rate": 10.0,
+                                "requests": 10},
+            duration_s=1.0, summary=LatencyRecorder().summary())
+        assert report["saturation"]["offered_rate"] == \
+            pytest.approx(10.0)
+
+    def test_no_offered_rate_omits_section(self):
+        report = build_report(
+            config={}, offered={"kind": "trace", "rate": None,
+                                "requests": 0},
+            duration_s=1.0, summary=LatencyRecorder().summary())
+        assert "saturation" not in report
+        assert report_problems(report) == []
 
 
 class TestProblems:
@@ -72,6 +115,28 @@ class TestProblems:
         from repro.obs import validate_loadgen_report
         assert validate_loadgen_report(_sample_report()) == []
 
+    def test_saturation_types_checked(self):
+        report = _sample_report()
+        report["saturation"]["ratio"] = "low"
+        assert any("saturation.ratio" in p
+                   for p in report_problems(report))
+        report["saturation"] = {"saturated": "yes"}
+        problems = report_problems(report)
+        assert any("offered_rate" in p for p in problems)
+        assert any("saturated" in p for p in problems)
+        report["saturation"] = []
+        assert any("saturation section" in p
+                   for p in report_problems(report))
+
+    def test_workers_histogram_types_checked(self):
+        report = _sample_report()
+        report["summary"]["workers"]["0"] = "many"
+        assert any("summary.workers" in p
+                   for p in report_problems(report))
+        report["summary"]["workers"] = ["0", "1"]
+        assert any("summary.workers must be an object" in p
+                   for p in report_problems(report))
+
 
 class TestRendering:
     def test_table_mentions_percentiles(self):
@@ -79,8 +144,27 @@ class TestRendering:
         for token in ("p50", "p99", "req/s", "ms"):
             assert token in table
 
+    def test_table_shows_routing_histogram_and_saturation(self):
+        table = render_table(_sample_report())
+        assert "worker" in table
+        assert "share" in table
+        assert "50.0%" in table
+        assert "saturation" in table
+        assert "ok" in table
+
+    def test_table_without_workers_skips_histogram(self):
+        report = _sample_report()
+        report["summary"]["workers"] = {}
+        assert "share" not in render_table(report)
+
     def test_write_report_round_trips(self, tmp_path):
         path = tmp_path / "report.json"
         report = _sample_report()
         write_report(report, str(path))
-        assert json.loads(path.read_text()) == report
+        loaded = json.loads(path.read_text())
+        assert loaded == report
+        # The additive sections survive the disk round trip and still
+        # validate — old-reader compatibility plus new-reader types.
+        assert report_problems(loaded) == []
+        assert loaded["summary"]["workers"] == {"0": 10, "1": 10}
+        assert loaded["saturation"]["saturated"] is False

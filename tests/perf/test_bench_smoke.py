@@ -19,13 +19,24 @@ from repro.perf.bench import (_FULL, _QUICK, render_report,
 #: for the shipped set means a multi-x regression from where it started.
 MIN_SPEEDUP = 0.8
 
+#: ``service_scaling`` is not a fast-vs-reference pair: its "speedup"
+#: is the horizontal scaling factor (4-worker pool over one process),
+#: bounded by the cores the container actually grants.  On a
+#: single-core CI runner it hovers around 1.0x with the dispatcher hop
+#: as noise, so it only gates against a pathological dispatcher (a
+#: >2x slowdown), not against the kernel floor.
+MIN_SCALING = 0.5
+
 
 class TestQuickBench:
     def test_quick_bench_identity_and_no_regression(self):
         report = run_benchmarks(quick=True, out_path=None)
         assert report["all_identical"], render_report(report)
         for entry in report["entries"]:
-            assert entry["speedup"] >= MIN_SPEEDUP, (
+            floor = (MIN_SCALING
+                     if entry["name"].startswith("service_scaling")
+                     else MIN_SPEEDUP)
+            assert entry["speedup"] >= floor, (
                 f"{entry['name']} regressed: {entry['speedup']}x "
                 f"(fast {entry['fast_s']}s vs reference "
                 f"{entry['reference_s']}s)")

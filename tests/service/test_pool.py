@@ -1,0 +1,359 @@
+"""Pre-forked worker pool: sharded dispatch, aggregation, drain.
+
+The contracts under test:
+
+* payloads are byte-identical (``payload_sha256``) whether a request
+  is served by ``--workers 1``, a pool, or a degraded build with
+  ``repro.obs``/``repro.cache`` blocked;
+* identical requests route to the same shard worker (sticky by
+  canonical digest), so duplicate collapse keeps working;
+* ``/metrics`` merges worker documents with parent-owned
+  ``started_unix``/``uptime_s`` and per-worker rows;
+* ``stop_pool`` drains and reaps every child — no orphans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.validate import validate_service_metrics
+from repro.service import (METRICS_SCHEMA_V2, ServiceConfig,
+                           aggregate_worker_metrics, metrics_problems,
+                           prometheus_text, start_pool, start_server,
+                           stop_pool, stop_server, worker_config)
+
+from .conftest import post_json, small_request
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="worker pool needs os.fork")
+
+
+def _get_json(url: str):
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+@pytest.fixture(scope="module")
+def pool_base():
+    """One shared 2-worker pool for the read-mostly HTTP tests."""
+    config = ServiceConfig(port=0, jobs=2, workers=2, timeout_s=60.0)
+    pool, _ = start_pool(config)
+    try:
+        yield pool, f"http://127.0.0.1:{pool.port}"
+    finally:
+        stop_pool(pool)
+
+
+class TestWorkerConfig:
+    def test_derives_per_worker_outputs(self, tmp_path):
+        config = ServiceConfig(
+            port=0, workers=4,
+            access_log=str(tmp_path / "access.jsonl"),
+            trace_dir=str(tmp_path / "trace"),
+            cache_dir=str(tmp_path / "cache"))
+        derived = worker_config(config, 2)
+        assert derived.workers == 1
+        assert derived.access_log.endswith("access.jsonl.w2")
+        assert derived.trace_dir.endswith(os.path.join("trace",
+                                                       "worker2"))
+        # The disk cache is the shared warm tier — never per-worker.
+        assert derived.cache_dir == config.cache_dir
+
+    def test_workers_bounds_validated(self):
+        from repro.errors import ServiceError
+        with pytest.raises(ServiceError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(workers=65)
+
+
+class TestShardedServing:
+    def test_identical_requests_stick_to_one_worker(self, pool_base):
+        _, base = pool_base
+        body = small_request()
+        results = [post_json(f"{base}/v1/plan", body)
+                   for _ in range(3)]
+        workers = {headers.get("X-BC-Worker")
+                   for _, headers, _ in results}
+        assert len(workers) == 1 and None not in workers
+        digests = {document["payload_sha256"]
+                   for _, _, document in results}
+        assert len(digests) == 1
+
+    def test_pool_payload_matches_single_server(self, pool_base):
+        _, base = pool_base
+        body = small_request()
+        single, _ = start_server(ServiceConfig(port=0, jobs=2,
+                                               timeout_s=60.0))
+        try:
+            _, _, expected = post_json(
+                f"http://127.0.0.1:{single.port}/v1/plan", body)
+        finally:
+            stop_server(single)
+        _, _, pooled = post_json(f"{base}/v1/plan", body)
+        assert pooled["payload"] == expected["payload"]
+        assert pooled["payload_sha256"] == expected["payload_sha256"]
+
+    def test_batch_duplicates_share_one_payload(self, pool_base):
+        _, base = pool_base
+        body = small_request()
+        other = small_request(
+            deployment={"kind": "uniform", "n": 25, "seed": 12,
+                        "field_side_m": 300.0})
+        status, _, document = post_json(
+            f"{base}/v1/batch", {"requests": [body, body, other]})
+        assert status == 200
+        first, second, third = document["responses"]
+        assert first["payload"] == second["payload"]
+        assert third["payload_sha256"] != first["payload_sha256"]
+
+    def test_validation_errors_answered_by_dispatcher(self, pool_base):
+        _, base = pool_base
+        status, _, document = post_json(
+            f"{base}/v1/plan", small_request(planner="NOPE"))
+        assert status == 400
+        assert document["error"]["code"] == "unknown-planner"
+
+    def test_healthz_reports_every_worker(self, pool_base):
+        pool, base = pool_base
+        document = _get_json(f"{base}/healthz")
+        assert document["status"] == "ok"
+        assert [row["worker"] for row in document["workers"]] == [0, 1]
+        assert all(row["alive"] for row in document["workers"])
+
+    def test_metrics_aggregates_across_workers(self, pool_base):
+        pool, base = pool_base
+        post_json(f"{base}/v1/plan", small_request())
+        document = _get_json(f"{base}/metrics")
+        assert document["schema"] == METRICS_SCHEMA_V2
+        assert validate_service_metrics(document) == []
+        rows = document["workers"]
+        assert [row["worker"] for row in rows] == [0, 1]
+        assert all(row["healthy"] for row in rows)
+        assert document["dispatcher"]["workers"] == 2
+        assert document["dispatcher"]["routed_total"] \
+            == sum(row["routed"] for row in rows)
+        # jobs sum across the pool: 2 workers x 2 threads.
+        assert document["scheduler"]["jobs"] == 4
+
+
+class TestPayloadIdentityAcrossWorkerCounts:
+    def test_workers_1_and_4_serve_identical_bytes(self):
+        body = small_request()
+        single, _ = start_server(ServiceConfig(port=0, jobs=2,
+                                               timeout_s=60.0))
+        try:
+            _, _, expected = post_json(
+                f"http://127.0.0.1:{single.port}/v1/plan", body)
+        finally:
+            stop_server(single)
+        pool, _ = start_pool(ServiceConfig(port=0, jobs=1, workers=4,
+                                           timeout_s=60.0))
+        try:
+            _, headers, pooled = post_json(
+                f"http://127.0.0.1:{pool.port}/v1/plan", body)
+        finally:
+            stop_pool(pool)
+        assert "X-BC-Worker" in headers
+        assert pooled["payload"] == expected["payload"]
+        assert pooled["payload_sha256"] == expected["payload_sha256"]
+
+
+class TestDrain:
+    def test_stop_pool_reaps_every_child(self):
+        pool, _ = start_pool(ServiceConfig(port=0, jobs=1, workers=2,
+                                           timeout_s=60.0))
+        base = f"http://127.0.0.1:{pool.port}"
+        post_json(f"{base}/v1/plan", small_request())
+        pids = [handle.pid for handle in pool.workers]
+        stop_pool(pool)
+        orphans = []
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+                orphans.append(pid)
+            except ProcessLookupError:
+                pass
+        assert orphans == []
+        with pytest.raises(OSError):
+            urllib.request.urlopen(f"{base}/healthz", timeout=5)
+
+
+def _worker_document(started_unix=100.0, uptime_s=5.0, completed=3,
+                     engine=None):
+    return {
+        "schema": METRICS_SCHEMA_V2,
+        "uptime_s": uptime_s,
+        "started_unix": started_unix,
+        "provenance": None,
+        "scheduler": {"jobs": 2, "queue_limit": 32, "queue_depth": 0,
+                      "open_batches": 0, "draining": False,
+                      "counters": {"accepted": completed,
+                                   "completed": completed}},
+        "perf": {"counters": {"cache.stage.hit": 1},
+                 "timers": {"plan": {"total_s": 0.5,
+                                     "calls": completed}}},
+        "cache": {"memory": {"entries": 2, "bytes": 64,
+                             "max_entries": 1024},
+                  "shadow_rate": 0.0, "warm_start": False},
+        "metrics": engine,
+    }
+
+
+def _engine_snapshot(count):
+    registry = MetricsRegistry(enabled=True)
+    for index in range(count):
+        registry.observe("service.request_seconds",
+                         0.01 * (index + 1), planner="BC",
+                         outcome="miss", status="200")
+    return registry.snapshot()
+
+
+class TestAggregateWorkerMetrics:
+    def _entries(self, documents):
+        return [{"worker": index, "pid": 1000 + index,
+                 "port": 9000 + index, "routed": 2 * index + 1,
+                 "document": document}
+                for index, document in enumerate(documents)]
+
+    def test_parent_owns_top_level_timestamps(self):
+        merged = aggregate_worker_metrics(
+            self._entries([_worker_document(started_unix=50.0),
+                           _worker_document(started_unix=60.0)]),
+            uptime_s=9.5, started_unix=42.0)
+        assert merged["started_unix"] == 42.0
+        assert merged["uptime_s"] == 9.5
+        assert [row["started_unix"] for row in merged["workers"]] \
+            == [50.0, 60.0]
+
+    def test_counters_and_perf_sum(self):
+        merged = aggregate_worker_metrics(
+            self._entries([_worker_document(completed=3),
+                           _worker_document(completed=5)]))
+        assert merged["scheduler"]["counters"]["completed"] == 8
+        assert merged["scheduler"]["jobs"] == 4
+        assert merged["perf"]["counters"]["cache.stage.hit"] == 2
+        assert merged["perf"]["timers"]["plan"]["calls"] == 8
+        assert merged["cache"]["memory"]["entries"] == 4
+
+    def test_engine_histograms_bucket_merge(self):
+        merged = aggregate_worker_metrics(
+            self._entries([_worker_document(engine=_engine_snapshot(3)),
+                           _worker_document(
+                               engine=_engine_snapshot(5))]))
+        histograms = merged["metrics"]["histograms"]
+        assert len(histograms) == 1
+        assert histograms[0]["count"] == 8
+        assert "p99" in histograms[0]  # re-summarized after merge
+
+    def test_unhealthy_worker_row_survives(self):
+        merged = aggregate_worker_metrics(
+            self._entries([_worker_document(), None]))
+        assert [row["healthy"] for row in merged["workers"]] \
+            == [True, False]
+        assert merged["scheduler"]["counters"]["completed"] == 3
+        assert merged["dispatcher"]["routed_total"] == 4
+
+    def test_document_validates_and_renders_prometheus(self):
+        merged = aggregate_worker_metrics(
+            self._entries([_worker_document(),
+                           _worker_document()]),
+            uptime_s=1.0, started_unix=2.0, ring_replicas=160)
+        assert metrics_problems(merged) == []
+        assert validate_service_metrics(merged) == []
+        text = prometheus_text(merged)
+        assert 'bc_worker_up{worker="0"} 1' in text
+        assert 'bc_worker_routed_total{worker="1"} 3' in text
+        assert "bc_dispatcher_workers 2" in text
+
+    def test_rejects_malformed_worker_rows(self):
+        merged = aggregate_worker_metrics(
+            self._entries([_worker_document()]))
+        merged["workers"][0]["routed"] = "three"
+        problems = metrics_problems(merged)
+        assert any("routed" in problem for problem in problems)
+        merged["dispatcher"] = {"workers": 1}
+        problems = metrics_problems(merged)
+        assert any("routed_total" in problem for problem in problems)
+
+
+_DEGRADED_DRIVER = r"""
+import json
+import sys
+import urllib.request
+
+out_path = sys.argv[1]
+
+import importlib.abc
+
+class BlockOptionalDeps(importlib.abc.MetaPathFinder):
+    _BLOCKED = ("repro.obs", "repro.cache")
+
+    def find_spec(self, fullname, path=None, target=None):
+        for prefix in self._BLOCKED:
+            if fullname == prefix or fullname.startswith(prefix + "."):
+                raise ImportError(f"{fullname} blocked for test")
+        return None
+
+sys.meta_path.insert(0, BlockOptionalDeps())
+
+from repro.service import ServiceConfig, start_pool, stop_pool
+
+config = ServiceConfig(port=0, jobs=1, workers=2, timeout_s=60.0)
+pool, _ = start_pool(config)
+try:
+    body = json.dumps({
+        "schema": "bundle-charging/request/v1",
+        "deployment": {"kind": "uniform", "n": 25, "seed": 11,
+                       "field_side_m": 300.0},
+        "planner": "BC",
+        "radius_m": 20.0,
+    }).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{pool.port}/v1/plan", data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        document = json.loads(response.read().decode("utf-8"))
+finally:
+    stop_pool(pool)
+
+with open(out_path, "w", encoding="utf-8") as handle:
+    json.dump({"payload": document["payload"],
+               "payload_sha256": document["payload_sha256"],
+               "cache": document["cache"]}, handle, sort_keys=True)
+"""
+
+
+def test_degraded_pool_serves_identical_payloads(tmp_path):
+    # The pool must keep the byte-identity contract with repro.obs
+    # and repro.cache both unimportable: no provenance, cache "off",
+    # same payload bytes.
+    out_path = str(tmp_path / "degraded.json")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    completed = subprocess.run(
+        [sys.executable, "-c", _DEGRADED_DRIVER, out_path],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    with open(out_path, encoding="utf-8") as handle:
+        degraded = json.load(handle)
+    assert degraded["cache"] == "off"
+
+    single, _ = start_server(ServiceConfig(port=0, jobs=2,
+                                           timeout_s=60.0))
+    try:
+        _, _, expected = post_json(
+            f"http://127.0.0.1:{single.port}/v1/plan",
+            small_request())
+    finally:
+        stop_server(single)
+    assert degraded["payload"] == expected["payload"]
+    assert degraded["payload_sha256"] == expected["payload_sha256"]

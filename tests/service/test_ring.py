@@ -1,0 +1,104 @@
+"""Unit tests for the consistent-hash ring (`repro.service.ring`).
+
+The two properties the worker pool leans on:
+
+* **balance** — shard sizes stay within a fixed factor of the mean
+  for every pool size the service supports in practice (2..16);
+* **stability** — removing one node remaps *only* the keys it owned
+  (~1/N of the corpus); every key whose owner survives keeps it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.ring import DEFAULT_REPLICAS, HashRing
+
+#: A fixed digest corpus — sha256 like real canonical request digests.
+CORPUS = [hashlib.sha256(f"request-{index}".encode()).hexdigest()
+          for index in range(4000)]
+
+#: Empirical worst max/mean at 160 vnodes over 2..16 nodes is ~1.26;
+#: the bound leaves headroom without hiding a balance regression.
+MAX_OVER_MEAN = 1.35
+MIN_OVER_MEAN = 0.60
+
+
+class TestBalance:
+    @pytest.mark.parametrize("nodes", list(range(2, 17)))
+    def test_shard_balance_within_fixed_bound(self, nodes: int) -> None:
+        ring = HashRing([str(index) for index in range(nodes)])
+        counts = ring.shard_counts(CORPUS)
+        assert set(counts) == {str(index) for index in range(nodes)}
+        assert sum(counts.values()) == len(CORPUS)
+        mean = len(CORPUS) / nodes
+        assert max(counts.values()) <= MAX_OVER_MEAN * mean
+        assert min(counts.values()) >= MIN_OVER_MEAN * mean
+
+    def test_more_replicas_tighten_the_spread(self) -> None:
+        loose = HashRing(["a", "b", "c", "d"], replicas=4)
+        tight = HashRing(["a", "b", "c", "d"],
+                         replicas=DEFAULT_REPLICAS)
+
+        def spread(ring: HashRing) -> int:
+            counts = ring.shard_counts(CORPUS)
+            return max(counts.values()) - min(counts.values())
+
+        assert spread(tight) < spread(loose)
+
+
+class TestStability:
+    @pytest.mark.parametrize("nodes", [4, 8, 16])
+    def test_removing_one_node_remaps_only_its_shard(
+            self, nodes: int) -> None:
+        ring = HashRing([str(index) for index in range(nodes)])
+        owners = {digest: ring.node_for(digest) for digest in CORPUS}
+        removed = str(nodes // 2)
+        smaller = ring.without(removed)
+
+        moved_from_survivors = 0
+        remapped = 0
+        for digest in CORPUS:
+            new_owner = smaller.node_for(digest)
+            if owners[digest] == removed:
+                remapped += 1
+                assert new_owner != removed
+            elif new_owner != owners[digest]:
+                moved_from_survivors += 1
+        # The consistent-hashing contract: surviving owners keep every
+        # key; only the removed node's ~1/N shard moves.
+        assert moved_from_survivors == 0
+        assert remapped <= MAX_OVER_MEAN * len(CORPUS) / nodes
+        assert remapped >= MIN_OVER_MEAN * len(CORPUS) / nodes
+
+    def test_mapping_is_deterministic_across_instances(self) -> None:
+        first = HashRing(["0", "1", "2"])
+        second = HashRing(["0", "1", "2"])
+        for digest in CORPUS[:200]:
+            assert first.node_for(digest) == second.node_for(digest)
+
+
+class TestValidation:
+    def test_rejects_empty_ring(self) -> None:
+        with pytest.raises(ServiceError):
+            HashRing([])
+
+    def test_rejects_duplicate_nodes(self) -> None:
+        with pytest.raises(ServiceError):
+            HashRing(["0", "0"])
+
+    def test_rejects_nonpositive_replicas(self) -> None:
+        with pytest.raises(ServiceError):
+            HashRing(["0"], replicas=0)
+
+    def test_without_unknown_node(self) -> None:
+        with pytest.raises(ServiceError):
+            HashRing(["0", "1"]).without("7")
+
+    def test_shard_counts_covers_every_node(self) -> None:
+        ring = HashRing(["only"])
+        assert ring.shard_counts([]) == {"only": 0}
+        assert ring.node_for(CORPUS[0]) == "only"
