@@ -59,6 +59,10 @@ KERNEL_VERSIONS: Dict[str, str] = {
     "anchor_opt": "bto-anchors/v1",  # Algorithm 3 anchor refinement
     "seed_row": "pipeline/v1",      # one full seed's metric rows
     "service_request": "service/v1",  # one full /v1/plan payload
+    "delta_candidates": "delta-candidates/v1",  # dirty-region candidate
+                                    # masks over a sub-deployment
+    "delta_cover": "delta-cover/v1",  # dirty-region greedy sub-cover
+    "delta_request": "delta-service/v1",  # one /v1/plan/delta payload
 }
 
 __all__ = ["CACHE_SCHEMA", "KERNEL_VERSIONS", "canonical", "stage_key"]

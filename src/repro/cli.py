@@ -123,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="for bench: write the JSON report here "
              "(default BENCH_PR7.json in the working directory)")
     parser.add_argument(
+        "--only", metavar="NAME", default=None,
+        help="for bench: run only the workloads whose key contains "
+             "NAME (e.g. --only replan_latency)")
+    parser.add_argument(
         "--cache", action="store_true",
         help="memoize pipeline stages in-process (bit-identical hits; "
              "results unchanged, repeated work skipped)")
@@ -315,8 +319,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_cache_command(args.target, args.cache_dir)
     if args.experiment == "bench":
         from .perf.bench import render_report, run_benchmarks
-        report = run_benchmarks(quick=args.quick,
-                                out_path=args.out or "BENCH_PR7.json")
+        try:
+            report = run_benchmarks(
+                quick=args.quick,
+                out_path=args.out or "BENCH_PR7.json",
+                only=args.only)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(render_report(report))
         return 0 if report["all_identical"] else 1
     if args.experiment == "check":

@@ -1,0 +1,69 @@
+"""Incremental replanning: apply network churn without a full replan.
+
+The subsystem in one pass: :mod:`repro.delta.events` defines the typed
+delta vocabulary (``sensor_moved`` / ``sensor_died`` /
+``sensor_joined``, batched as a :class:`DeltaSet`);
+:mod:`repro.delta.engine` applies a batch to a retained
+:class:`PlanState` by regenerating only the dirty region's bundles and
+splicing the tour; :mod:`repro.delta.session` gives repaired plans
+their wire identity (content-addressed session handles);
+:mod:`repro.delta.store` bounds how many sessions a server retains;
+and :mod:`repro.delta.protocol` is the ``POST /v1/plan/delta`` wire
+format the service exposes on top.
+"""
+
+from .engine import (DEFAULT_MAX_RATIO, FULL_REPLAN_FRACTION, PlanState,
+                     RepairReport, apply_delta_set, dirty_sensor_set,
+                     full_replan, initial_state, repair_plan,
+                     validate_repair)
+from .events import (DELTA_RECORD_SCHEMA, DELTA_RECORD_TYPES, MAX_DELTAS,
+                     DeltaSet, SensorDied, SensorJoined, SensorMoved,
+                     delta_problems, delta_record_from_dict)
+from .protocol import (DELTA_ERROR_STATUS, DELTA_REQUEST_SCHEMA,
+                       canonical_delta_request,
+                       canonical_delta_request_problems,
+                       delta_payload_problems, delta_request_problems)
+from .session import (DELTA_KERNEL_STAGES, PlanSession, advance_session,
+                      delta_kernel_sha256, handle_root, plan_from_dict,
+                      plan_to_dict, session_from_plan_payload,
+                      state_digest)
+from .store import DEFAULT_SESSION_ENTRIES, SessionStore
+
+__all__ = [
+    "DEFAULT_MAX_RATIO",
+    "DEFAULT_SESSION_ENTRIES",
+    "DELTA_ERROR_STATUS",
+    "DELTA_KERNEL_STAGES",
+    "DELTA_RECORD_SCHEMA",
+    "DELTA_RECORD_TYPES",
+    "DELTA_REQUEST_SCHEMA",
+    "FULL_REPLAN_FRACTION",
+    "MAX_DELTAS",
+    "DeltaSet",
+    "PlanSession",
+    "PlanState",
+    "RepairReport",
+    "SensorDied",
+    "SensorJoined",
+    "SensorMoved",
+    "SessionStore",
+    "advance_session",
+    "apply_delta_set",
+    "canonical_delta_request",
+    "canonical_delta_request_problems",
+    "delta_kernel_sha256",
+    "delta_payload_problems",
+    "delta_problems",
+    "delta_record_from_dict",
+    "delta_request_problems",
+    "dirty_sensor_set",
+    "full_replan",
+    "handle_root",
+    "initial_state",
+    "plan_from_dict",
+    "plan_to_dict",
+    "repair_plan",
+    "session_from_plan_payload",
+    "state_digest",
+    "validate_repair",
+]

@@ -1,0 +1,572 @@
+"""Dirty-region plan repair: apply a :class:`DeltaSet` without replanning.
+
+The engine retains a :class:`PlanState` — the deployment, liveness
+vector and current :class:`~repro.tour.ChargingPlan` — and repairs it
+in place of a full replan:
+
+1. **Dirty region.**  Candidate disks are sensor-anchored with radius
+   ``r`` (Definition 3), so the membership of sensor ``j``'s disk
+   changes exactly when a change site lies within ``r`` of ``j``.
+   Every changed coordinate — a moved sensor's old and new position, a
+   dead sensor's position, a joiner's position — is queried against the
+   :class:`~repro.geometry.FlatDeployment` flat buffers at radius
+   ``r``; the union mask is the dirty set: the anchors of every
+   candidate disk the edit touched.
+2. **Bundle eviction + sub-cover.**  Stops whose members intersect the
+   dirty set (or contain a dead sensor) are evicted; the displaced
+   alive sensors form a sub-deployment that is re-covered by the same
+   candidate-enumeration + lazy-greedy kernels as a full plan, memoized
+   under the ``delta_candidates`` / ``delta_cover`` stage keys so
+   repeated repairs of the same region hit :mod:`repro.cache`.
+3. **Tour splice.**  Surviving stops keep their relative order; each
+   new stop enters at its cheapest-insertion gap, then a localized
+   Or-opt pass relocates only the spliced stops and their immediate
+   neighbors.  Cost is ``O(k·n)`` for ``k`` new stops — never a fresh
+   TSP solve.
+
+A repair that would rebuild more than half the alive network falls back
+to a deterministic full replan (strategy ``"full"``); an empty delta
+set returns the retained state object unchanged (strategy ``"noop"``),
+which is what makes the service's empty-delta byte-identity guarantee
+trivial.  ``shadow=True`` runs the full replan alongside every repair
+and enforces the energy-ratio bound, mirroring the cache shadow-verify
+idiom.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import (Any, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
+
+from ..bundling import bitset
+from ..bundling.bundle import make_bundle
+from ..bundling.candidates import (candidate_member_masks,
+                                   candidate_member_sets, maximal_candidates,
+                                   maximal_masks)
+from ..bundling.greedy import (greedy_cover_masks,
+                               greedy_set_cover_reference)
+from ..bundling.bitset import indices_from_mask
+from ..charging import CostParameters
+from ..errors import DeltaError
+from ..geometry import (FlatDeployment, Point, flat_dirty_members, soa)
+from ..network import Sensor, SensorNetwork
+from ..planners import make_planner
+from ..tour import ChargingPlan, Stop, plan_total_energy, stop_for_sensors
+from .events import DeltaSet, SensorDied, SensorJoined, SensorMoved, \
+    _as_delta_set
+
+try:  # tracing is optional: repair works with repro.obs absent
+    from ..obs.tracer import obs_span
+except ImportError:  # pragma: no cover - repro.obs stripped/blocked
+    from contextlib import nullcontext as _nullcontext
+
+    def obs_span(name, **attrs):  # type: ignore[misc]
+        return _nullcontext()
+
+try:  # memoization is optional: repair works with repro.cache absent
+    from ..cache import stage_memo
+except ImportError:  # pragma: no cover - repro.cache stripped/blocked
+    def stage_memo(stage, params_fn, compute):  # type: ignore[misc]
+        return compute()
+
+__all__ = [
+    "DEFAULT_MAX_RATIO",
+    "FULL_REPLAN_FRACTION",
+    "PlanState",
+    "RepairReport",
+    "apply_delta_set",
+    "dirty_sensor_set",
+    "full_replan",
+    "initial_state",
+    "repair_plan",
+    "validate_repair",
+]
+
+#: Default bound on repaired-vs-full energy (the parity-gate contract).
+DEFAULT_MAX_RATIO = 1.05
+
+#: Repairs that would rebuild more than this fraction of the alive
+#: network fall back to a deterministic full replan instead.
+FULL_REPLAN_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class PlanState:
+    """Everything the repairer retains between edits.
+
+    Attributes:
+        locations: sensor positions by stable index (dead sensors keep
+            their slot — indices are identifiers and are never
+            re-packed).
+        alive: liveness by index.
+        plan: the current charging plan over the alive sensors.
+        radius: bundle generation radius ``r``.
+        planner: registry name of the planner that produced ``plan``
+            (used by the full-replan fallback and shadow baseline).
+        tsp_strategy: TSP pipeline name for full replans.
+        seed: TSP seed for full replans.
+        field_side_m: square field side (meters), for rebuilding a
+            :class:`~repro.network.SensorNetwork` on full replans.
+    """
+
+    locations: Tuple[Point, ...]
+    alive: Tuple[bool, ...]
+    plan: ChargingPlan
+    radius: float
+    planner: str
+    tsp_strategy: str
+    seed: int
+    field_side_m: float
+
+    def __post_init__(self) -> None:
+        if len(self.locations) != len(self.alive):
+            raise DeltaError(
+                f"{len(self.locations)} locations but {len(self.alive)} "
+                f"liveness flags")
+        if self.radius <= 0.0 or not math.isfinite(self.radius):
+            raise DeltaError(f"invalid generation radius: {self.radius!r}")
+
+    @property
+    def alive_count(self) -> int:
+        """Number of alive sensors."""
+        return sum(1 for flag in self.alive if flag)
+
+    def alive_indices(self) -> List[int]:
+        """Stable indices of the alive sensors, ascending."""
+        return [i for i, flag in enumerate(self.alive) if flag]
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What one repair did (and, under shadow, how good it was).
+
+    Attributes:
+        strategy: ``"noop"`` (empty delta set), ``"repair"``
+            (dirty-region splice) or ``"full"`` (fallback replan).
+        delta_count: records in the applied delta set.
+        dirty_sensors: alive sensors in the dirty region.
+        evicted_stops: stops removed from the retained tour.
+        inserted_stops: stops spliced into the repaired tour.
+        alive_count: alive sensors after the edit.
+        energy_j: Eq. 3 total energy of the repaired plan.
+        full_energy_j: full-replan energy when one was computed
+            (shadow mode or the ``"full"`` strategy), else None.
+        energy_ratio: ``energy_j / full_energy_j`` when available.
+    """
+
+    strategy: str
+    delta_count: int
+    dirty_sensors: int
+    evicted_stops: int
+    inserted_stops: int
+    alive_count: int
+    energy_j: float
+    full_energy_j: Optional[float] = None
+    energy_ratio: Optional[float] = None
+
+    def as_payload_dict(self) -> Dict[str, Any]:
+        """The shadow-independent slice, safe to embed in payload bytes.
+
+        Shadow-only fields (the full-replan energy and ratio) stay out
+        so a payload is byte-identical with and without
+        ``--delta-shadow-verify``.
+        """
+        return {
+            "strategy": self.strategy,
+            "delta_count": self.delta_count,
+            "dirty_sensors": self.dirty_sensors,
+            "evicted_stops": self.evicted_stops,
+            "inserted_stops": self.inserted_stops,
+            "alive_count": self.alive_count,
+        }
+
+
+def initial_state(network: SensorNetwork, plan: ChargingPlan,
+                  radius: float, planner: str, tsp_strategy: str,
+                  seed: int) -> PlanState:
+    """Retain a freshly planned network as the repairer's base state."""
+    return PlanState(
+        locations=tuple(network.locations),
+        alive=(True,) * len(network),
+        plan=plan,
+        radius=radius,
+        planner=planner,
+        tsp_strategy=tsp_strategy,
+        seed=seed,
+        field_side_m=network.field_side_m,
+    )
+
+
+def _require_alive(alive: List[bool], index: int, verb: str) -> None:
+    if not 0 <= index < len(alive):
+        raise DeltaError(
+            f"cannot {verb} sensor {index}: index out of range "
+            f"(deployment has {len(alive)} slots)")
+    if not alive[index]:
+        raise DeltaError(f"cannot {verb} sensor {index}: it is dead")
+
+
+def _require_position(x: float, y: float) -> None:
+    if not (math.isfinite(x) and math.isfinite(y)):
+        raise DeltaError(f"non-finite position ({x!r}, {y!r})")
+
+
+def apply_delta_set(state: PlanState, delta_set: DeltaSet
+                    ) -> Tuple[List[Point], List[bool],
+                               List[Tuple[float, float]], Set[int]]:
+    """Apply an edit sequentially; return the post-edit deployment.
+
+    Returns:
+        ``(locations, alive, changed_points, died)`` — the new position
+        and liveness lists, every changed coordinate (a move contributes
+        its old *and* new position; deaths and joins contribute one
+        each) and the set of indices that died.
+
+    Raises:
+        DeltaError: on a reference to an out-of-range or dead sensor or
+            a non-finite position.
+    """
+    locations = list(state.locations)
+    alive = list(state.alive)
+    changed: List[Tuple[float, float]] = []
+    died: Set[int] = set()
+    for record in delta_set:
+        if isinstance(record, SensorMoved):
+            _require_alive(alive, record.index, "move")
+            _require_position(record.x, record.y)
+            old = locations[record.index]
+            changed.append((old.x, old.y))
+            changed.append((record.x, record.y))
+            locations[record.index] = Point(record.x, record.y)
+        elif isinstance(record, SensorDied):
+            _require_alive(alive, record.index, "kill")
+            old = locations[record.index]
+            changed.append((old.x, old.y))
+            alive[record.index] = False
+            died.add(record.index)
+        elif isinstance(record, SensorJoined):
+            _require_position(record.x, record.y)
+            changed.append((record.x, record.y))
+            locations.append(Point(record.x, record.y))
+            alive.append(True)
+        else:  # DeltaSet.__post_init__ guards this; belt and braces
+            raise DeltaError(f"not a delta record: {record!r}")
+    return locations, alive, changed, died
+
+
+def dirty_sensor_set(locations: Sequence[Point], alive: Sequence[bool],
+                     changed: Sequence[Tuple[float, float]],
+                     radius: float) -> Set[int]:
+    """Alive sensors within ``r`` of any changed coordinate.
+
+    These are exactly the anchors of the radius-``r`` candidate disks
+    whose membership the edit changed (disks are sensor-anchored, so
+    disk ``j`` gains or loses a change site iff ``d(j, site) <= r``) —
+    the sensors whose bundles the repair must regenerate.  Stops
+    containing a dirty sensor are then evicted whole, which pulls the
+    touched disks' remaining members into the re-cover region.  Uses
+    the flat-buffer grid query unless the reference kernels are active,
+    in which case a brute-force scan produces the identical set.
+    """
+    reach = radius
+    dirty: Set[int] = set()
+    if soa._USE_REFERENCE:
+        reach_sq = reach * reach
+        for index, point in enumerate(locations):
+            if not alive[index]:
+                continue
+            for cx, cy in changed:
+                dx = point.x - cx
+                dy = point.y - cy
+                if dx * dx + dy * dy <= reach_sq:
+                    dirty.add(index)
+                    break
+        return dirty
+    flat = FlatDeployment.from_points(locations)
+    mask = flat_dirty_members(flat, changed, reach)
+    for index in indices_from_mask(mask):
+        if alive[index]:
+            dirty.add(index)
+    return dirty
+
+
+def _recover_region(region: Sequence[int], locations: Sequence[Point],
+                    radius: float) -> List[FrozenSet[int]]:
+    """Re-cover the displaced sub-deployment; return global member sets.
+
+    Mirrors the candidate + lazy-greedy pipeline of
+    :func:`repro.bundling.greedy._selected_member_sets`, memoized under
+    the ``delta_candidates`` / ``delta_cover`` stage keys so repairs of
+    a previously seen region are cache hits.
+    """
+    sub_locations = [locations[i] for i in region]
+    universe = len(region)
+    if bitset._USE_REFERENCE:
+        candidates = candidate_member_sets(sub_locations, radius)
+        candidates = maximal_candidates(candidates)
+        selected = greedy_set_cover_reference(candidates, universe)
+        return [frozenset(region[j] for j in members)
+                for members in selected]
+
+    def _stage_params():
+        return {"points": list(sub_locations), "radius": radius,
+                "prune": True}
+
+    def _compute_masks():
+        flat = None if soa._USE_REFERENCE else FlatDeployment.from_points(
+            sub_locations)
+        enumerated = candidate_member_masks(sub_locations, radius,
+                                            flat=flat)
+        return maximal_masks(enumerated)
+
+    masks = stage_memo("delta_candidates", _stage_params, _compute_masks)
+
+    def _compute_cover():
+        return greedy_cover_masks(masks, universe)
+
+    chosen = stage_memo("delta_cover", _stage_params, _compute_cover)
+    return [frozenset(region[j] for j in indices_from_mask(mask))
+            for mask in chosen]
+
+
+def _cheapest_gap(cycle: Sequence[Point], position: Point) -> int:
+    """Index ``g`` of the cheapest insertion gap ``(cycle[g], cycle[g+1])``.
+
+    Deterministic: scans gaps in order and keeps the first strict
+    minimum, so ties resolve to the earliest gap.
+    """
+    best_gap = 0
+    best_cost = math.inf
+    size = len(cycle)
+    for gap in range(size):
+        a = cycle[gap]
+        b = cycle[(gap + 1) % size]
+        cost = (a.distance_to(position) + position.distance_to(b)
+                - a.distance_to(b))
+        if cost < best_cost:
+            best_cost = cost
+            best_gap = gap
+    return best_gap
+
+
+def _insert_cheapest(stops: List[Stop], stop: Stop,
+                     depot: Optional[Point]) -> int:
+    """Insert ``stop`` at its cheapest-insertion position; return it."""
+    if not stops:
+        stops.append(stop)
+        return 0
+    if depot is not None:
+        cycle = [depot] + [s.position for s in stops]
+        gap = _cheapest_gap(cycle, stop.position)
+        index = gap  # gap g sits between cycle[g] and cycle[g+1]
+    else:
+        cycle = [s.position for s in stops]
+        gap = _cheapest_gap(cycle, stop.position)
+        index = (gap + 1) % (len(cycle) + 1)
+    stops.insert(index, stop)
+    return index
+
+
+def _splice_tour(kept: List[Stop], new_stops: List[Stop],
+                 depot: Optional[Point]) -> List[Stop]:
+    """Cheapest-insert each new stop, then relocate the touched window.
+
+    The relocation pass is the localized Or-opt: only the spliced stops
+    and their immediate neighbors are candidates for a move, each
+    relocation is a full cheapest re-insertion (the original gap is
+    always a candidate, so the tour never gets longer), and candidates
+    are visited in deterministic tour order.
+    """
+    stops = list(kept)
+    for stop in new_stops:
+        _insert_cheapest(stops, stop, depot)
+    if len(stops) <= 2:
+        return stops
+    inserted = set(id(stop) for stop in new_stops)
+    touched: List[Stop] = []
+    for index, stop in enumerate(stops):
+        if id(stop) in inserted:
+            for neighbor in (index - 1, index, index + 1):
+                candidate = stops[neighbor % len(stops)]
+                if candidate not in touched:
+                    touched.append(candidate)
+    for stop in touched:
+        index = stops.index(stop)
+        stops.pop(index)
+        _insert_cheapest(stops, stop, depot)
+    return stops
+
+
+def validate_repair(plan: ChargingPlan, locations: Sequence[Point],
+                    alive: Sequence[bool], radius: float) -> None:
+    """Assert a repaired plan is valid for the post-edit network.
+
+    Valid means: the stops partition exactly the alive sensors (full
+    coverage, nothing dead assigned — plans never re-pack indices, so
+    this replaces :meth:`ChargingPlan.validate_complete`), and every
+    stop's farthest assigned sensor is within the generation radius.
+
+    Raises:
+        DeltaError: describing the first violation found.
+    """
+    assigned = plan.assigned_sensors
+    expected = frozenset(i for i, flag in enumerate(alive) if flag)
+    missing = sorted(expected - assigned)
+    if missing:
+        raise DeltaError(
+            f"repaired plan leaves {len(missing)} alive sensors "
+            f"uncovered: {missing[:10]}")
+    extra = sorted(assigned - expected)
+    if extra:
+        raise DeltaError(
+            f"repaired plan assigns {len(extra)} dead or unknown "
+            f"sensors: {extra[:10]}")
+    tolerance = radius + 1e-6 * max(1.0, radius)
+    for position, stop in enumerate(plan.stops):
+        worst = stop.worst_distance(locations)
+        if worst > tolerance:
+            raise DeltaError(
+                f"stop {position} at {stop.position} charges a sensor "
+                f"{worst:.3f} m away (generation radius {radius} m)")
+
+
+def full_replan(locations: Sequence[Point], alive: Sequence[bool],
+                state: PlanState, cost: CostParameters) -> ChargingPlan:
+    """Plan the alive sub-network from scratch; remap to stable indices.
+
+    The alive sensors are compacted into a fresh
+    :class:`~repro.network.SensorNetwork` (planners require consecutive
+    indices), planned with the retained planner configuration, and the
+    resulting stops are remapped back to the stable global indices.
+    Deterministic: same inputs, same plan.
+    """
+    alive_global = [i for i, flag in enumerate(alive) if flag]
+    if not alive_global:
+        raise DeltaError("cannot replan a network with no alive sensors")
+    sensors = [Sensor(index=compact, location=locations[global_index],
+                      required_j=cost.delta_j)
+               for compact, global_index in enumerate(alive_global)]
+    network = SensorNetwork(sensors, state.field_side_m,
+                            base_station=state.plan.depot)
+    planner = make_planner(state.planner, state.radius,
+                           tsp_strategy=state.tsp_strategy,
+                           seed=state.seed)
+    compact_plan = planner.plan(network, cost)
+    stops = tuple(
+        Stop(position=stop.position,
+             sensors=frozenset(alive_global[c] for c in stop.sensors),
+             dwell_s=stop.dwell_s)
+        for stop in compact_plan.stops)
+    return ChargingPlan(stops=stops, depot=state.plan.depot,
+                        label=state.plan.label)
+
+
+def repair_plan(state: PlanState, deltas: Iterable[Any],
+                cost: CostParameters, *, shadow: bool = False,
+                max_ratio: float = DEFAULT_MAX_RATIO
+                ) -> Tuple[PlanState, RepairReport]:
+    """Apply a delta set to a retained plan state; repair the plan.
+
+    Args:
+        state: the retained state to edit.
+        deltas: delta records (or their serialized dicts), applied in
+            order as one atomic edit.
+        cost: mission cost constants (dwell times for new stops).
+        shadow: also run the full replan and enforce ``max_ratio`` —
+            the repair analogue of cache shadow-verify.  Never changes
+            the repaired plan, only checks it.
+        max_ratio: largest allowed repaired/full energy ratio.
+
+    Returns:
+        ``(new_state, report)``.  An empty delta set returns ``state``
+        itself (identical object) with strategy ``"noop"``.
+
+    Raises:
+        DeltaError: on an inapplicable delta, an invalid repair result,
+            or a shadow-verified ratio above the bound.
+    """
+    if max_ratio < 1.0 or not math.isfinite(max_ratio):
+        raise DeltaError(f"invalid energy-ratio bound: {max_ratio!r}")
+    delta_set = _as_delta_set(deltas)
+    if delta_set.is_empty:
+        energy = plan_total_energy(state.plan, state.locations, cost)
+        report = RepairReport(
+            strategy="noop", delta_count=0, dirty_sensors=0,
+            evicted_stops=0, inserted_stops=0,
+            alive_count=state.alive_count, energy_j=energy)
+        return state, report
+
+    with obs_span("delta.repair", n=len(state.locations),
+                  deltas=len(delta_set)) as span:
+        locations, alive, changed, died = apply_delta_set(state, delta_set)
+        alive_count = sum(1 for flag in alive if flag)
+        if not alive_count:
+            raise DeltaError("delta set leaves no alive sensors")
+        dirty = dirty_sensor_set(locations, alive, changed, state.radius)
+
+        evicted: List[Stop] = []
+        kept: List[Stop] = []
+        for stop in state.plan.stops:
+            if stop.sensors & dirty or stop.sensors & died:
+                evicted.append(stop)
+            else:
+                kept.append(stop)
+        region = set(dirty)
+        for stop in evicted:
+            region.update(i for i in stop.sensors if alive[i])
+
+        full_energy: Optional[float] = None
+        if len(region) * 2 > alive_count:
+            strategy = "full"
+            plan = full_replan(locations, alive, state, cost)
+            inserted = len(plan.stops)
+            evicted_count = len(state.plan.stops)
+        else:
+            strategy = "repair"
+            # A pure-death edit can leave nothing to re-cover (the dead
+            # sensors' stops had no surviving members): the repair is
+            # then eviction alone.
+            member_sets = _recover_region(sorted(region), locations,
+                                          state.radius) if region else []
+            new_stops = [
+                stop_for_sensors(
+                    make_bundle(sorted(members), locations).anchor,
+                    sorted(members), locations, cost)
+                for members in member_sets]
+            stops = _splice_tour(kept, new_stops, state.plan.depot)
+            plan = ChargingPlan(stops=tuple(stops),
+                                depot=state.plan.depot,
+                                label=state.plan.label)
+            inserted = len(new_stops)
+            evicted_count = len(evicted)
+
+        validate_repair(plan, locations, alive, state.radius)
+        energy = plan_total_energy(plan, locations, cost)
+
+        ratio: Optional[float] = None
+        if strategy == "full":
+            full_energy = energy
+            ratio = 1.0
+        elif shadow:
+            baseline = full_replan(locations, alive, state, cost)
+            full_energy = plan_total_energy(baseline, locations, cost)
+            ratio = energy / full_energy if full_energy > 0.0 else 1.0
+            if ratio > max_ratio * (1.0 + 1e-12):
+                raise DeltaError(
+                    f"shadow-verify failed: repaired plan spends "
+                    f"{ratio:.4f}x the full replan's energy "
+                    f"(bound {max_ratio})")
+        if span:
+            span.set(strategy=strategy, dirty=len(dirty),
+                     evicted=evicted_count, inserted=inserted)
+
+    new_state = replace(state, locations=tuple(locations),
+                        alive=tuple(alive), plan=plan)
+    report = RepairReport(
+        strategy=strategy, delta_count=len(delta_set),
+        dirty_sensors=len(dirty), evicted_stops=evicted_count,
+        inserted_stops=inserted, alive_count=alive_count,
+        energy_j=energy, full_energy_j=full_energy, energy_ratio=ratio)
+    return new_state, report

@@ -1,0 +1,248 @@
+"""The typed delta vocabulary: what can change between two plans.
+
+Three record types describe network churn — a sensor moved, died, or
+joined — and a :class:`DeltaSet` batches them into one atomic edit
+applied to a retained plan state.  Records serialize exactly like the
+mission-trace records of :mod:`repro.sim.trace` (plain dicts with a
+``"type"`` discriminator and a ``"v"`` version field), so delta
+streams, mission traces and observability streams share one JSONL
+vocabulary; :mod:`repro.sim.events` exposes the unified registry and
+:func:`repro.obs.validate.validate_events` accepts both families.
+
+Everything here is pure stdlib (no geometry imports beyond
+:class:`Point`) so the wire layer stays importable in degraded builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import DeltaError
+
+#: Version tag for serialized delta records.
+DELTA_RECORD_SCHEMA = "bundle-charging/delta/v1"
+
+#: Hard cap on one DeltaSet (keeps a single repair bounded).
+MAX_DELTAS = 1024
+
+__all__ = [
+    "DELTA_RECORD_SCHEMA",
+    "DELTA_RECORD_TYPES",
+    "MAX_DELTAS",
+    "DeltaSet",
+    "SensorDied",
+    "SensorJoined",
+    "SensorMoved",
+    "delta_problems",
+    "delta_record_from_dict",
+]
+
+
+def _require_number(raw: Dict[str, Any], key: str) -> float:
+    value = raw[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{key} must be a number, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class SensorMoved:
+    """A sensor changed position (mobility, re-deployment, drift).
+
+    Attributes:
+        index: which sensor moved (index in the retained deployment).
+        x / y: the new position.
+    """
+
+    index: int
+    x: float
+    y: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize as a type-discriminated JSONL-ready dict."""
+        return {"type": "sensor_moved", "v": 1, "index": self.index,
+                "x": self.x, "y": self.y}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "SensorMoved":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(index=int(raw["index"]),
+                   x=_require_number(raw, "x"),
+                   y=_require_number(raw, "y"))
+
+
+@dataclass(frozen=True)
+class SensorDied:
+    """A sensor left the network (hardware failure, battery death).
+
+    Attributes:
+        index: which sensor died.  Its index stays reserved — indices
+            are stable identifiers and are never re-packed by a repair.
+    """
+
+    index: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize as a type-discriminated JSONL-ready dict."""
+        return {"type": "sensor_died", "v": 1, "index": self.index}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "SensorDied":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(index=int(raw["index"]))
+
+
+@dataclass(frozen=True)
+class SensorJoined:
+    """A new sensor appeared; it takes the next free index on apply.
+
+    Attributes:
+        x / y: deployment position of the new sensor.
+    """
+
+    x: float
+    y: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize as a type-discriminated JSONL-ready dict."""
+        return {"type": "sensor_joined", "v": 1, "x": self.x,
+                "y": self.y}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "SensorJoined":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(x=_require_number(raw, "x"),
+                   y=_require_number(raw, "y"))
+
+
+#: ``"type"`` discriminator -> record class, for stream replay.
+DELTA_RECORD_TYPES = {
+    "sensor_moved": SensorMoved,
+    "sensor_died": SensorDied,
+    "sensor_joined": SensorJoined,
+}
+
+DeltaRecord = Any  # SensorMoved | SensorDied | SensorJoined
+
+
+def delta_record_from_dict(raw: Dict[str, Any]) -> DeltaRecord:
+    """Rebuild any delta record from its serialized form.
+
+    Raises:
+        DeltaError: on a missing or unknown ``"type"`` or a malformed
+            record body.
+    """
+    kind = raw.get("type") if isinstance(raw, dict) else None
+    record_class = DELTA_RECORD_TYPES.get(kind)
+    if record_class is None:
+        raise DeltaError(
+            f"unknown delta record type {kind!r}; expected one of "
+            f"{sorted(DELTA_RECORD_TYPES)}")
+    try:
+        return record_class.from_dict(raw)
+    except (KeyError, TypeError, ValueError) as error:
+        raise DeltaError(
+            f"malformed {kind!r} delta record {raw!r}: {error}"
+        ) from error
+
+
+def delta_problems(raw: Any) -> List[str]:
+    """Return every structural problem of a serialized delta list.
+
+    Mirrors the service wire validators: one human-readable string per
+    failure, empty list when the stream is valid.  An empty list is
+    valid — an empty :class:`DeltaSet` is the no-op repair.
+    """
+    problems: List[str] = []
+    if not isinstance(raw, list):
+        return ["deltas must be a JSON list of delta records"]
+    if len(raw) > MAX_DELTAS:
+        return [f"delta set carries {len(raw)} records; the limit is "
+                f"{MAX_DELTAS}"]
+    for position, record in enumerate(raw):
+        if not isinstance(record, dict):
+            problems.append(
+                f"deltas[{position}] must be an object, got {record!r}")
+            continue
+        try:
+            delta_record_from_dict(record)
+        except DeltaError as error:
+            problems.append(f"deltas[{position}]: {error}")
+    return problems
+
+
+@dataclass(frozen=True)
+class DeltaSet:
+    """An ordered batch of delta records applied as one atomic edit.
+
+    Order matters: a ``sensor_joined`` takes the next free index at its
+    position in the sequence, and later records may reference it.
+
+    Attributes:
+        deltas: the records, in application order.
+    """
+
+    deltas: Tuple[DeltaRecord, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.deltas) > MAX_DELTAS:
+            raise DeltaError(
+                f"delta set carries {len(self.deltas)} records; the "
+                f"limit is {MAX_DELTAS}")
+        for record in self.deltas:
+            if type(record) not in DELTA_RECORD_TYPES.values():
+                raise DeltaError(
+                    f"not a delta record: {record!r}")
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    def __iter__(self):
+        return iter(self.deltas)
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the no-op edit (repair must be byte-identical)."""
+        return not self.deltas
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Serialize every record, preserving application order."""
+        return [record.to_dict() for record in self.deltas]
+
+    @classmethod
+    def from_dicts(cls, raw: Sequence[Dict[str, Any]]) -> "DeltaSet":
+        """Rebuild a delta set from :meth:`to_dicts` output.
+
+        Raises:
+            DeltaError: on any malformed record.
+        """
+        if not isinstance(raw, (list, tuple)):
+            raise DeltaError(
+                f"delta set must be a list of records, got {raw!r}")
+        return cls(tuple(delta_record_from_dict(record)
+                         for record in raw))
+
+    def changed_indices(self, existing_count: int) -> List[int]:
+        """Indices this edit touches (joins numbered from
+        ``existing_count`` in application order)."""
+        touched: List[int] = []
+        next_index = existing_count
+        for record in self.deltas:
+            if isinstance(record, SensorJoined):
+                touched.append(next_index)
+                next_index += 1
+            else:
+                touched.append(record.index)
+        return touched
+
+
+def _as_delta_set(deltas: Iterable[Any]) -> DeltaSet:
+    """Coerce records-or-dicts into a DeltaSet (internal helper)."""
+    records = []
+    for record in deltas:
+        if isinstance(record, dict):
+            records.append(delta_record_from_dict(record))
+        else:
+            records.append(record)
+    return DeltaSet(tuple(records))

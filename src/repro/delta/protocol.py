@@ -1,0 +1,172 @@
+"""Wire protocol of ``POST /v1/plan/delta``.
+
+A delta request references a retained session by handle and carries an
+ordered list of serialized delta records::
+
+    {"schema": "bundle-charging/delta-request/v1",
+     "session": "<handle from a prior /v1/plan or delta response>",
+     "deltas": [{"type": "sensor_moved", "v": 1, ...}, ...],
+     "kernel_sha256": "<optional pin from delta_kernel_sha256()>"}
+
+The server normalizes this into a **canonical delta request** — the
+planner name of the session's establishing request joins the dict so
+scheduler metrics and spans label uniformly — and the canonical form
+is the micro-batching and ``delta_request`` cache key, exactly like a
+canonical plan request is for ``/v1/plan``.  Error mapping mirrors the
+plan endpoint's typed envelopes, with two delta-specific codes:
+``unknown-session`` (404: handle not retained — re-establish via
+``/v1/plan``) and ``stale-kernel`` (409: the pinned kernel fingerprint
+does not match this server's, so the retained session's cache lineage
+is invalid for the client's expectations).
+
+Pure stdlib + :mod:`repro.delta.events`; imports nothing from
+``repro.service``, so the service can layer on top without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import DeltaError
+from .events import delta_problems, delta_record_from_dict
+
+__all__ = [
+    "DELTA_ERROR_STATUS",
+    "DELTA_REQUEST_SCHEMA",
+    "canonical_delta_request",
+    "canonical_delta_request_problems",
+    "delta_payload_problems",
+    "delta_request_problems",
+    "require_valid_delta_request",
+]
+
+#: Schema tag of the delta-request wire format.
+DELTA_REQUEST_SCHEMA = "bundle-charging/delta-request/v1"
+
+#: Typed error code -> HTTP status for the delta endpoint.
+DELTA_ERROR_STATUS = {
+    "invalid-request": 400,
+    "unsupported-schema": 400,
+    "unknown-session": 404,
+    "stale-kernel": 409,
+}
+
+_WIRE_KEYS = frozenset({"schema", "session", "deltas", "kernel_sha256"})
+
+#: Keys every delta payload carries (the response contract).
+_PAYLOAD_KEYS = ("request", "request_sha256", "plan", "metrics",
+                 "alive_count", "session", "repair")
+
+_REPAIR_KEYS = ("strategy", "delta_count", "dirty_sensors",
+                "evicted_stops", "inserted_stops", "alive_count")
+
+
+def delta_request_problems(body: Any) -> List[str]:
+    """Return every structural problem of a delta request body.
+
+    Shared verbatim by the worker and the pool dispatcher so both tiers
+    reject malformed bodies with byte-identical problem lists.
+    """
+    problems: List[str] = []
+    if not isinstance(body, dict):
+        return ["request body must be a JSON object"]
+    schema = body.get("schema", DELTA_REQUEST_SCHEMA)
+    if schema != DELTA_REQUEST_SCHEMA:
+        return [f"unsupported request schema {schema!r} "
+                f"(expected {DELTA_REQUEST_SCHEMA!r})"]
+    unknown = sorted(set(body) - _WIRE_KEYS)
+    if unknown:
+        problems.append(f"request has unknown keys {unknown}")
+    session = body.get("session")
+    if not isinstance(session, str) or not session:
+        problems.append(
+            f"session must be a non-empty handle string, got {session!r}")
+    kernel = body.get("kernel_sha256")
+    if kernel is not None and (not isinstance(kernel, str) or not kernel):
+        problems.append(
+            f"kernel_sha256 must be a fingerprint string when present, "
+            f"got {kernel!r}")
+    if "deltas" not in body:
+        problems.append("request carries no 'deltas' list")
+    else:
+        problems.extend(delta_problems(body["deltas"]))
+    return problems
+
+
+def canonical_delta_request(body: Dict[str, Any],
+                            planner: str) -> Dict[str, Any]:
+    """Normalize a validated delta body into its canonical form.
+
+    Every delta record round-trips through its dataclass so numeric
+    fields canonicalize (``1`` and ``1.0`` normalize identically), and
+    the session's planner name joins the dict — the scheduler labels
+    spans and metrics by ``request["planner"]`` for every batch kind.
+    The optional client-side ``kernel_sha256`` pin is transport-level
+    (checked at admission) and stays out of the canonical form, so a
+    pinned and an unpinned request share one batch and cache entry.
+    """
+    deltas = [delta_record_from_dict(record).to_dict()
+              for record in body["deltas"]]
+    return {
+        "schema": DELTA_REQUEST_SCHEMA,
+        "planner": planner,
+        "session": body["session"],
+        "deltas": deltas,
+    }
+
+
+def canonical_delta_request_problems(request: Any) -> List[str]:
+    """Validate a *canonical* delta request (as embedded in payloads)."""
+    problems: List[str] = []
+    if not isinstance(request, dict):
+        return ["canonical delta request must be an object"]
+    if request.get("schema") != DELTA_REQUEST_SCHEMA:
+        problems.append(
+            f"unknown delta request schema {request.get('schema')!r}")
+    if not isinstance(request.get("planner"), str):
+        problems.append("canonical delta request missing planner name")
+    session = request.get("session")
+    if not isinstance(session, str) or not session:
+        problems.append(
+            f"session must be a non-empty handle string, got {session!r}")
+    problems.extend(delta_problems(request.get("deltas")))
+    return problems
+
+
+def delta_payload_problems(payload: Any) -> List[str]:
+    """Return every structural problem of a delta response payload.
+
+    Used by :func:`repro.service.request.response_problems` (and through
+    it :mod:`repro.obs.validate`) when an ok envelope wraps a delta
+    payload — recognized by the embedded request's schema tag.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["delta payload must be an object"]
+    for key in _PAYLOAD_KEYS:
+        if key not in payload:
+            problems.append(f"delta payload missing key {key!r}")
+    problems.extend(canonical_delta_request_problems(
+        payload.get("request")))
+    session = payload.get("session")
+    if not isinstance(session, str) or not session:
+        problems.append("delta payload must carry the successor handle")
+    repair = payload.get("repair")
+    if not isinstance(repair, dict):
+        problems.append("delta payload must carry a repair report")
+    else:
+        for key in _REPAIR_KEYS:
+            if key not in repair:
+                problems.append(f"repair report missing key {key!r}")
+        if repair.get("strategy") not in ("noop", "repair", "full"):
+            problems.append(
+                f"repair strategy must be noop/repair/full, got "
+                f"{repair.get('strategy')!r}")
+    return problems
+
+
+def require_valid_delta_request(body: Any) -> None:
+    """Raise :class:`DeltaError` listing problems of an invalid body."""
+    problems = delta_request_problems(body)
+    if problems:
+        raise DeltaError("; ".join(problems))

@@ -1,0 +1,214 @@
+"""Retained plan sessions: the state behind ``POST /v1/plan/delta``.
+
+A :class:`PlanSession` pairs a retained :class:`~repro.delta.engine.PlanState`
+with its wire identity: the canonical ``/v1/plan`` request that created
+it, the root request digest, and the session *handle* clients present
+on delta calls.  Handles are content-addressed and chain-structured::
+
+    <root-digest>                      the freshly planned session
+    <root-digest>.<state-digest>       after one or more repairs
+
+The root segment never changes along a repair chain, which is what
+lets the multi-worker dispatcher route every delta of a session to the
+worker that planned it (the same digest the ``/v1/plan`` shard used).
+The state digest covers the post-edit deployment, liveness and plan,
+so the handle is a pure function of session content — two identical
+repair chains produce identical handles on any worker.
+
+Sessions are rebuildable from ``(canonical request, payload)`` alone
+(:func:`session_from_plan_payload`), so holding one is never required
+for correctness — it is a performance artifact, like a cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable
+
+from ..errors import DeltaError
+from ..geometry import Point
+from ..tour import ChargingPlan, Stop
+from .engine import PlanState, apply_delta_set
+from .events import _as_delta_set
+
+try:  # kernel fingerprints are optional: sessions work with cache absent
+    from ..cache.keys import KERNEL_VERSIONS
+except ImportError:  # pragma: no cover - repro.cache stripped/blocked
+    KERNEL_VERSIONS: Dict[str, str] = {}  # type: ignore[no-redef]
+
+__all__ = [
+    "DELTA_KERNEL_STAGES",
+    "PlanSession",
+    "advance_session",
+    "delta_kernel_sha256",
+    "handle_root",
+    "plan_from_dict",
+    "plan_to_dict",
+    "session_from_plan_payload",
+    "state_digest",
+]
+
+#: Cache stages whose kernel tags invalidate retained sessions: a bump
+#: in any of these changes what a repair would compute, so a client
+#: holding a handle minted under the old tags must re-establish.
+DELTA_KERNEL_STAGES = ("candidates", "cover", "tsp", "anchor_opt",
+                       "delta_candidates", "delta_cover", "delta_request")
+
+
+def _canonical_json(document: Any) -> str:
+    """Canonical JSON (sorted keys, no whitespace) — digest input."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def delta_kernel_sha256() -> str:
+    """Fingerprint of every kernel tag a repair depends on.
+
+    Deterministic across processes of the same build; changes exactly
+    when one of :data:`DELTA_KERNEL_STAGES` bumps its tag in
+    :data:`repro.cache.keys.KERNEL_VERSIONS`.  The service returns 409
+    for deltas that pin a different fingerprint.
+    """
+    tags = {stage: KERNEL_VERSIONS.get(stage, "off")
+            for stage in DELTA_KERNEL_STAGES}
+    return _sha256(_canonical_json(tags))
+
+
+def plan_to_dict(plan: ChargingPlan) -> Dict[str, Any]:
+    """Serialize a plan exactly like a ``/v1/plan`` payload does.
+
+    This is the single source of the wire shape — the service executor
+    delegates here — so a repaired plan and a fresh plan serialize
+    byte-identically when they are the same plan.
+    """
+    depot = plan.depot
+    return {
+        "label": plan.label,
+        "depot": [depot.x, depot.y] if depot is not None else None,
+        "stops": [
+            {
+                "position": [stop.position.x, stop.position.y],
+                "sensors": sorted(stop.sensors),
+                "dwell_s": stop.dwell_s,
+            }
+            for stop in plan.stops
+        ],
+        "tour_length_m": plan.tour_length(),
+    }
+
+
+def plan_from_dict(raw: Dict[str, Any]) -> ChargingPlan:
+    """Rebuild a :class:`ChargingPlan` from :func:`plan_to_dict` output.
+
+    Lossless for the byte-identity contract: serializing the rebuilt
+    plan reproduces the input dict exactly (floats round-trip through
+    ``repr``, the tour length is recomputed from identical waypoints).
+
+    Raises:
+        DeltaError: on a malformed plan document.
+    """
+    try:
+        depot_raw = raw["depot"]
+        depot = (Point(float(depot_raw[0]), float(depot_raw[1]))
+                 if depot_raw is not None else None)
+        stops = tuple(
+            Stop(position=Point(float(stop["position"][0]),
+                                float(stop["position"][1])),
+                 sensors=frozenset(int(i) for i in stop["sensors"]),
+                 dwell_s=float(stop["dwell_s"]))
+            for stop in raw["stops"])
+        return ChargingPlan(stops=stops, depot=depot,
+                            label=str(raw["label"]))
+    except (KeyError, TypeError, ValueError, IndexError) as error:
+        raise DeltaError(f"malformed plan document: {error}") from error
+
+
+@dataclass(frozen=True)
+class PlanSession:
+    """One retained plan and its wire identity.
+
+    Attributes:
+        request: the canonical ``/v1/plan`` request that established
+            the session (the repair chain's planner configuration).
+        root: the request digest — the handle's routing segment.
+        handle: what clients present on ``/v1/plan/delta``.
+        state: the retained deployment + plan.
+        plan_dict: the current plan, serialized — retained so an empty
+            delta set answers byte-identically without recomputation.
+    """
+
+    request: Dict[str, Any]
+    root: str
+    handle: str
+    state: PlanState
+    plan_dict: Dict[str, Any]
+
+
+def handle_root(handle: str) -> str:
+    """The routing segment of a session handle (chains keep the root)."""
+    return handle.split(".", 1)[0]
+
+
+def state_digest(root: str, state: PlanState) -> str:
+    """Content digest of a session's post-edit state."""
+    document = {
+        "base": root,
+        "locations": [[p.x, p.y] for p in state.locations],
+        "alive": list(state.alive),
+        "plan": plan_to_dict(state.plan),
+    }
+    return _sha256(_canonical_json(document))
+
+
+def session_from_plan_payload(request: Dict[str, Any],
+                              payload: Dict[str, Any]) -> PlanSession:
+    """Establish a session from a ``/v1/plan`` canonical request + payload.
+
+    Pure reconstruction — no planning: the deployment is rebuilt from
+    the request (through the shared ``deployment`` cache stage for
+    uniform specs) and the plan from the payload, so establishing a
+    session costs far less than the plan it retains.
+    """
+    from ..service.executor import request_network
+
+    network = request_network(request)
+    plan_dict = payload["plan"]
+    state = PlanState(
+        locations=tuple(network.locations),
+        alive=(True,) * len(network),
+        plan=plan_from_dict(plan_dict),
+        radius=request["radius_m"],
+        planner=request["planner"],
+        tsp_strategy=request["tsp_strategy"],
+        seed=request["seed"],
+        field_side_m=network.field_side_m,
+    )
+    root = payload["request_sha256"]
+    return PlanSession(request=request, root=root, handle=root,
+                       state=state, plan_dict=plan_dict)
+
+
+def advance_session(session: PlanSession, deltas: Iterable[Any],
+                    payload: Dict[str, Any]) -> PlanSession:
+    """Build the successor session after a repair.
+
+    Cheap on purpose: the successor's state is reconstructed from the
+    edit and the repaired payload (never by re-running the repair), so
+    cache hits and misses advance identically and the handle chain is
+    the same on every worker.
+    """
+    delta_set = _as_delta_set(deltas)
+    if delta_set.is_empty:
+        return session
+    locations, alive, _, _ = apply_delta_set(session.state, delta_set)
+    plan_dict = payload["plan"]
+    state = replace(session.state, locations=tuple(locations),
+                    alive=tuple(alive), plan=plan_from_dict(plan_dict))
+    handle = f"{session.root}.{state_digest(session.root, state)}"
+    return PlanSession(request=session.request, root=session.root,
+                       handle=handle, state=state, plan_dict=plan_dict)

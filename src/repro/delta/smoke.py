@@ -1,0 +1,213 @@
+"""End-to-end incremental-replanning smoke gate (used by CI).
+
+Boots real planning servers on ephemeral ports and drives the
+``POST /v1/plan/delta`` contracts over live HTTP:
+
+1. the empty :class:`~repro.delta.events.DeltaSet` repair returns the
+   establishing plan's ``plan``/``metrics`` byte-identically, without
+   advancing the session handle;
+2. seeded drift churn repairs chain handles (every successor keeps the
+   root segment) and every repaired plan validates against the
+   post-edit deployment;
+3. with ``delta_shadow_verify`` on, every repair's energy stays within
+   the parity bound of a full replan (``X-BC-Delta-Ratio`` is the
+   proof the check actually ran) — the robust drift configuration the
+   CI delta-parity gate pins;
+4. the typed error envelopes hold: 404 ``unknown-session`` and 409
+   ``stale-kernel``;
+5. a session minted against a 2-worker pool keeps answering along its
+   repair chain (digest-sharded routing by the handle's root segment).
+
+Run directly: ``python -m repro.delta.smoke``.  Exit 0 = all hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.config import ServiceConfig
+from ..service.http import start_server, stop_server
+from .protocol import DELTA_REQUEST_SCHEMA
+
+__all__ = ["run_smoke"]
+
+#: The robust parity configuration: small drift moves over a moderate
+#: density at r=10 keep repairs comfortably inside the 1.05 bound.
+SMOKE_N = 120
+SMOKE_RADIUS = 10.0
+SMOKE_FIELD = 100.0
+SMOKE_ROUNDS = 4
+MAX_RATIO = 1.05
+
+
+def _post(url: str, document: Dict[str, Any]
+          ) -> Tuple[int, Dict[str, str], Any]:
+    request = urllib.request.Request(
+        url, data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return (response.status, dict(response.headers),
+                    json.loads(response.read().decode("utf-8")))
+    except urllib.error.HTTPError as error:
+        return (error.code, dict(error.headers),
+                json.loads(error.read().decode("utf-8")))
+
+
+def _plan_body() -> Dict[str, Any]:
+    return {
+        "schema": "bundle-charging/request/v1",
+        "deployment": {"kind": "uniform", "n": SMOKE_N, "seed": 17,
+                       "field_side_m": SMOKE_FIELD},
+        "planner": "BC",
+        "radius_m": SMOKE_RADIUS,
+    }
+
+
+def _delta_body(handle: str, deltas: List[Dict[str, Any]],
+                **extra: Any) -> Dict[str, Any]:
+    body = {"schema": DELTA_REQUEST_SCHEMA, "session": handle,
+            "deltas": deltas}
+    body.update(extra)
+    return body
+
+
+def _drift_moves(rng: random.Random, count: int,
+                 drift_m: float = 5.0) -> List[Dict[str, Any]]:
+    """Seeded small teleports (positions clamp inside the field)."""
+    moves = []
+    for _ in range(count):
+        moves.append({
+            "type": "sensor_moved", "v": 1,
+            "index": rng.randrange(SMOKE_N),
+            "x": rng.uniform(0.0, SMOKE_FIELD),
+            "y": rng.uniform(0.0, SMOKE_FIELD),
+        })
+    return moves
+
+
+def run_smoke() -> int:
+    """Run the smoke sequence; return 0 on success, 1 on any failure."""
+    failures: List[str] = []
+
+    def check(condition: bool, label: str) -> None:
+        print(("ok   " if condition else "FAIL ") + label)
+        if not condition:
+            failures.append(label)
+
+    config = ServiceConfig(port=0, jobs=2, queue_limit=16,
+                           timeout_s=120.0, delta_shadow_verify=True,
+                           delta_max_ratio=MAX_RATIO)
+    server, _ = start_server(config)
+    base = f"http://{config.host}:{server.port}"
+    try:
+        status, headers, envelope = _post(base + "/v1/plan",
+                                          _plan_body())
+        check(status == 200, "establishing /v1/plan answers 200")
+        handle = headers.get("X-BC-Session")
+        payload = envelope["payload"]
+        check(handle == payload["request_sha256"],
+              "X-BC-Session is the establishing request digest")
+
+        # 1. Empty-delta byte-identity.
+        status, headers, envelope = _post(base + "/v1/plan/delta",
+                                          _delta_body(handle, []))
+        noop = envelope["payload"]
+        check(status == 200 and noop["repair"]["strategy"] == "noop",
+              "empty delta answers 200 with strategy noop")
+        check(noop["plan"] == payload["plan"]
+              and noop["metrics"] == payload["metrics"],
+              "empty-delta plan and metrics byte-identical to base")
+        check(headers.get("X-BC-Session") == handle,
+              "empty delta does not advance the handle")
+
+        # 2 + 3. Seeded drift churn under shadow verification.
+        rng = random.Random(23)
+        current = handle
+        worst_ratio = 0.0
+        for round_index in range(SMOKE_ROUNDS):
+            moves = _drift_moves(rng, count=1 + round_index % 2)
+            status, headers, envelope = _post(
+                base + "/v1/plan/delta", _delta_body(current, moves))
+            if status != 200:
+                check(False, f"churn round {round_index} answers 200 "
+                             f"(got {status}: {envelope})")
+                break
+            repaired = envelope["payload"]
+            successor = headers.get("X-BC-Session")
+            check(successor == repaired["session"]
+                  and successor.split(".", 1)[0] == handle,
+                  f"round {round_index} successor keeps the root")
+            ratio_header = headers.get("X-BC-Delta-Ratio")
+            if repaired["repair"]["strategy"] == "repair":
+                check(ratio_header is not None,
+                      f"round {round_index} shadow ratio header present")
+                if ratio_header is not None:
+                    worst_ratio = max(worst_ratio, float(ratio_header))
+            current = successor
+        check(worst_ratio <= MAX_RATIO,
+              f"worst shadow ratio {worst_ratio:.4f} <= {MAX_RATIO} "
+              f"(enforced server-side)")
+
+        # 4. Typed error envelopes.
+        status, _, envelope = _post(base + "/v1/plan/delta",
+                                    _delta_body("f" * 64, []))
+        check(status == 404
+              and envelope["error"]["code"] == "unknown-session",
+              "unknown session answers 404 unknown-session")
+        status, _, envelope = _post(
+            base + "/v1/plan/delta",
+            _delta_body(handle, [], kernel_sha256="0" * 64))
+        check(status == 409
+              and envelope["error"]["code"] == "stale-kernel",
+              "stale kernel pin answers 409 stale-kernel")
+    finally:
+        stop_server(server, drain=True)
+
+    # 5. Multi-worker pool routing (skipped where fork is unavailable).
+    if hasattr(os, "fork"):
+        from ..service.pool import start_pool, stop_pool
+        pool_config = ServiceConfig(port=0, jobs=2, workers=2,
+                                    timeout_s=120.0)
+        pool, _ = start_pool(pool_config)
+        try:
+            base = f"http://127.0.0.1:{pool.port}"
+            status, headers, envelope = _post(base + "/v1/plan",
+                                              _plan_body())
+            check(status == 200, "pool /v1/plan answers 200")
+            handle = headers.get("X-BC-Session")
+            worker = headers.get("X-BC-Worker")
+            rng = random.Random(29)
+            current: Optional[str] = handle
+            for round_index in range(2):
+                status, headers, envelope = _post(
+                    base + "/v1/plan/delta",
+                    _delta_body(current, _drift_moves(rng, 1)))
+                if status != 200:
+                    check(False, f"pool churn round {round_index} "
+                                 f"answers 200 (got {status})")
+                    break
+                check(headers.get("X-BC-Worker") == worker,
+                      f"pool round {round_index} stays on the minting "
+                      f"worker")
+                current = headers.get("X-BC-Session")
+        finally:
+            stop_pool(pool)
+    else:  # pragma: no cover - every CI platform has fork
+        print("skip pool routing (os.fork unavailable)")
+
+    if failures:
+        print(f"\n{len(failures)} delta smoke failure(s)")
+        return 1
+    print("\ndelta smoke: all contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

@@ -1,0 +1,63 @@
+"""A bounded, thread-safe LRU store for retained plan sessions.
+
+The service keeps sessions the way it keeps cache entries: bounded,
+evict-least-recently-used, and safe to lose — a session is rebuildable
+from its establishing request + payload, so eviction costs a client
+one re-establishment, never correctness.  Every handle in a repair
+chain stays addressable until evicted, so clients may fork a chain
+(replay different deltas against an old handle) freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..errors import DeltaError
+from .session import PlanSession
+
+__all__ = ["DEFAULT_SESSION_ENTRIES", "SessionStore"]
+
+#: Default retained-session bound (per worker process).
+DEFAULT_SESSION_ENTRIES = 256
+
+
+class SessionStore:
+    """Bounded LRU map: session handle -> :class:`PlanSession`."""
+
+    def __init__(self, max_entries: int = DEFAULT_SESSION_ENTRIES) -> None:
+        if max_entries < 1:
+            raise DeltaError(
+                f"session store needs at least one entry, got "
+                f"{max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._sessions: "OrderedDict[str, PlanSession]" = OrderedDict()
+        self.evictions = 0
+
+    def get(self, handle: str) -> Optional[PlanSession]:
+        """Look a session up and mark it most recently used."""
+        with self._lock:
+            session = self._sessions.get(handle)
+            if session is not None:
+                self._sessions.move_to_end(handle)
+            return session
+
+    def put(self, session: PlanSession) -> None:
+        """Retain a session (idempotent per handle), evicting LRU."""
+        with self._lock:
+            self._sessions[session.handle] = session
+            self._sessions.move_to_end(session.handle)
+            while len(self._sessions) > self.max_entries:
+                self._sessions.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def handles(self) -> List[str]:
+        """Current handles, least recently used first (for tests)."""
+        with self._lock:
+            return list(self._sessions)

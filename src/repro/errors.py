@@ -61,3 +61,10 @@ class ServiceError(BundleChargingError):
     """Raised by the planning service: invalid requests, admission
     rejections (queue overload, draining shutdown), or bad service
     configuration."""
+
+
+class DeltaError(BundleChargingError):
+    """Raised by the incremental-replanning subsystem: malformed delta
+    records, deltas that cannot apply to the retained session state
+    (unknown or dead sensor indices, out-of-field positions), or a
+    shadow-verified repair whose energy exceeds the configured bound."""

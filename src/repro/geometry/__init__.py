@@ -17,8 +17,9 @@ from .minidisk import (brute_force_enclosing_disk, enclosing_disk_radius,
 from .point import (ORIGIN, Point, as_point, centroid, max_distance,
                     polyline_length)
 from .segment import Segment
-from .soa import (FlatDeployment, flat_candidate_masks, flat_distance_rows,
-                  flat_fits_in_radius, flat_members_within)
+from .soa import (FlatDeployment, flat_candidate_masks, flat_dirty_members,
+                  flat_distance_rows, flat_fits_in_radius,
+                  flat_members_within)
 
 __all__ = [
     "ORIGIN",
@@ -39,6 +40,7 @@ __all__ = [
     "enclosing_disk_radius",
     "fits_in_radius",
     "flat_candidate_masks",
+    "flat_dirty_members",
     "flat_distance_rows",
     "flat_fits_in_radius",
     "flat_members_within",

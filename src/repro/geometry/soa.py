@@ -53,6 +53,7 @@ __all__ = [
     "FlatDeployment",
     "flat_candidate_masks",
     "flat_distance_rows",
+    "flat_dirty_members",
     "flat_fits_in_radius",
     "flat_members_within",
 ]
@@ -588,6 +589,25 @@ def flat_members_within(flat: FlatDeployment, qx: float, qy: float,
                     ddy = py - qy
                     if ddx * ddx + ddy * ddy <= radius_sq:
                         mask |= 1 << idx
+    return mask
+
+
+def flat_dirty_members(flat: FlatDeployment,
+                       centers: Iterable[Tuple[float, float]],
+                       radius: float) -> int:
+    """Return the union membership mask within ``radius`` of any center.
+
+    This is the dirty-region query of the incremental replanner
+    (:mod:`repro.delta.engine`): candidate disks are sensor-anchored
+    with the generation radius ``r``, so a disk's membership changes
+    exactly when a change site lies within ``r`` of its anchor.  The
+    replanner calls this with every changed coordinate to bound the set
+    of sensors whose bundles need regeneration.  One shared grid
+    (cached on ``flat``) serves every center.
+    """
+    mask = 0
+    for cx, cy in centers:
+        mask |= flat_members_within(flat, cx, cy, radius)
     return mask
 
 

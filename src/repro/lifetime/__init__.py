@@ -3,13 +3,18 @@
 Closes the paper's energy loop: sensors drain (constant or Poisson
 event-driven), a charging round triggers when enough run low, the
 planner's mission recharges them, repeat — yielding operational metrics
-(availability, charger energy per day, downtime) per planner.
+(availability, charger energy per day, downtime) per planner.  An
+optional :class:`ChurnModel` evolves the network itself (drift, death,
+joins, one-shot failure injection); rounds then flow through the
+incremental repairer (:mod:`repro.delta`) instead of fresh replans.
 """
 
+from .churn import ChurnModel
 from .consumption import ConstantDrain, ConsumptionModel, EventDrain
 from .simulation import (LifetimeResult, LifetimeSimulator, RoundRecord)
 
 __all__ = [
+    "ChurnModel",
     "ConstantDrain",
     "ConsumptionModel",
     "EventDrain",

@@ -1,0 +1,158 @@
+"""Network churn for the lifetime simulator.
+
+Dense sensor deployments are not static over a multi-day horizon:
+nodes drift (re-deployment, environmental displacement), die
+(hardware failure, not just energy exhaustion) and join (incremental
+rollout).  :class:`ChurnModel` turns those processes into the typed
+delta vocabulary of :mod:`repro.delta.events`, one batch per charging
+round, so the simulator can *repair* its retained plan between rounds
+instead of replanning from scratch.
+
+Determinism contract: every round's batch is a pure function of
+``(seed, round_index)`` plus the network snapshot it is applied to —
+the per-round stream is ``random.Random(seed * 1_000_003 +
+round_index)``, never a shared generator — so simulations agree
+byte-for-byte however the surrounding experiment harness schedules
+them (any ``--jobs``, any interleaving, resumed or not).
+
+Failure injection rides alongside the stochastic churn: at
+``failure_time_s`` the model emits one batch of ``sensor_died``
+records for ``nodes_to_kill`` seeded-uniform victims — the classic
+"k nodes fail at time t" experiment — and never fires again.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["ChurnModel"]
+
+#: Per-round stream stride (a prime, so round streams never collide
+#: with plain consecutive seeds used elsewhere).
+_ROUND_STRIDE = 1_000_003
+
+
+class ChurnModel:
+    """Seeded per-round network churn, expressed as delta records.
+
+    Args:
+        move_rate: per-sensor probability of drifting this round.
+        death_rate: per-sensor probability of (hardware) death this
+            round.
+        join_rate: expected number of sensors joining per round (the
+            fractional part resolves by a seeded coin flip).
+        drift_m: half-width of the uniform per-axis drift; moved
+            sensors land clamped inside the field.
+        seed: churn stream seed.
+        failure_time_s: optional one-shot failure-injection time; at
+            the first query at-or-after it, ``nodes_to_kill`` alive
+            sensors die in one batch.
+        nodes_to_kill: how many sensors the failure injection kills.
+    """
+
+    def __init__(self, move_rate: float = 0.0, death_rate: float = 0.0,
+                 join_rate: float = 0.0, drift_m: float = 5.0,
+                 seed: int = 0,
+                 failure_time_s: Optional[float] = None,
+                 nodes_to_kill: int = 0) -> None:
+        for name, rate in (("move_rate", move_rate),
+                           ("death_rate", death_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(
+                    f"{name} must be a probability in [0, 1]: {rate!r}")
+        if join_rate < 0.0 or not math.isfinite(join_rate):
+            raise SimulationError(
+                f"join_rate must be a finite non-negative expected "
+                f"count: {join_rate!r}")
+        if drift_m < 0.0 or not math.isfinite(drift_m):
+            raise SimulationError(f"invalid drift_m: {drift_m!r}")
+        if failure_time_s is not None and (
+                not math.isfinite(failure_time_s) or failure_time_s < 0.0):
+            raise SimulationError(
+                f"invalid failure_time_s: {failure_time_s!r}")
+        if nodes_to_kill < 0:
+            raise SimulationError(
+                f"nodes_to_kill must be non-negative: {nodes_to_kill!r}")
+        if nodes_to_kill > 0 and failure_time_s is None:
+            raise SimulationError(
+                "nodes_to_kill needs a failure_time_s to fire at")
+        self.move_rate = move_rate
+        self.death_rate = death_rate
+        self.join_rate = join_rate
+        self.drift_m = drift_m
+        self.seed = seed
+        self.failure_time_s = failure_time_s
+        self.nodes_to_kill = nodes_to_kill
+        self._failure_fired = False
+
+    # --- per-round stochastic churn ------------------------------------
+
+    def round_rng(self, round_index: int) -> random.Random:
+        """The round's private stream (pure in seed and round index)."""
+        return random.Random(self.seed * _ROUND_STRIDE + round_index)
+
+    def deltas_for_round(self, round_index: int,
+                         locations: Sequence[Tuple[float, float]],
+                         alive: Sequence[bool],
+                         field_side_m: float) -> List[Dict[str, Any]]:
+        """Draw round ``round_index``'s churn batch as delta records.
+
+        Deaths trump moves (a sensor never does both in one round);
+        records come out deaths-then-moves-then-joins, each group in
+        ascending index order, so the batch itself is deterministic.
+        """
+        rng = self.round_rng(round_index)
+        died: List[Dict[str, Any]] = []
+        moved: List[Dict[str, Any]] = []
+        for index, is_alive in enumerate(alive):
+            if not is_alive:
+                continue
+            if rng.random() < self.death_rate:
+                died.append({"type": "sensor_died", "v": 1,
+                             "index": index})
+                continue
+            if rng.random() < self.move_rate:
+                x, y = locations[index]
+                nx = min(field_side_m,
+                         max(0.0, x + rng.uniform(-self.drift_m,
+                                                  self.drift_m)))
+                ny = min(field_side_m,
+                         max(0.0, y + rng.uniform(-self.drift_m,
+                                                  self.drift_m)))
+                moved.append({"type": "sensor_moved", "v": 1,
+                              "index": index, "x": nx, "y": ny})
+        joins = int(self.join_rate)
+        if rng.random() < self.join_rate - joins:
+            joins += 1
+        joined = [{"type": "sensor_joined", "v": 1,
+                   "x": rng.uniform(0.0, field_side_m),
+                   "y": rng.uniform(0.0, field_side_m)}
+                  for _ in range(joins)]
+        return died + moved + joined
+
+    # --- one-shot failure injection ------------------------------------
+
+    def failure_deltas(self, now_s: float,
+                       alive: Sequence[bool]) -> List[Dict[str, Any]]:
+        """Return the failure batch if injection fires at ``now_s``.
+
+        One-shot: the first call at-or-after ``failure_time_s`` kills
+        ``nodes_to_kill`` seeded-uniform alive sensors (fewer if the
+        network is smaller); later calls return nothing.
+        """
+        if (self._failure_fired or self.failure_time_s is None
+                or now_s < self.failure_time_s
+                or self.nodes_to_kill == 0):
+            return []
+        self._failure_fired = True
+        candidates = [index for index, is_alive in enumerate(alive)
+                      if is_alive]
+        rng = random.Random(self.seed * _ROUND_STRIDE - 1)
+        victims = sorted(rng.sample(
+            candidates, min(self.nodes_to_kill, len(candidates))))
+        return [{"type": "sensor_died", "v": 1, "index": index}
+                for index in victims]

@@ -17,19 +17,29 @@ Timeline per round:
 
 A sensor whose battery hits zero is *down* (it stops sensing but can be
 recharged); downtime is tracked per sensor-second.
+
+With a :class:`~repro.lifetime.churn.ChurnModel` attached the network
+itself evolves: each round draws a seeded batch of ``sensor_moved`` /
+``sensor_died`` / ``sensor_joined`` deltas and the simulator *repairs*
+its retained plan (:func:`repro.delta.engine.repair_plan`) instead of
+replanning from scratch — the operational setting the incremental
+replanning engine exists for.  ``churn=None`` (the default) leaves
+every legacy code path — and therefore every legacy result —
+byte-identical.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from ..charging import CostParameters
 from ..errors import SimulationError
 from ..network import SensorNetwork
 from ..planners import Planner
 from ..tour import ChargingPlan
+from .churn import ChurnModel
 from .consumption import ConsumptionModel
 
 
@@ -64,6 +74,12 @@ class LifetimeResult:
         downtime_sensor_s: summed sensor-seconds spent at zero energy.
         min_battery_j: lowest battery level observed anywhere.
         final_batteries_j: battery levels at the end of the horizon.
+        churn_moves: sensors drifted by churn over the horizon.
+        churn_deaths: sensors killed by churn or failure injection.
+        churn_joins: sensors that joined mid-horizon.
+        repaired_rounds: rounds served by an incremental repair (the
+            rest were full replans — or, with ``churn=None``, every
+            round replans and this stays 0).
     """
 
     horizon_s: float
@@ -73,6 +89,10 @@ class LifetimeResult:
     min_battery_j: float = math.inf
 
     final_batteries_j: List[float] = field(default_factory=list)
+    churn_moves: int = 0
+    churn_deaths: int = 0
+    churn_joins: int = 0
+    repaired_rounds: int = 0
 
     @property
     def round_count(self) -> int:
@@ -104,12 +124,13 @@ class LifetimeSimulator:
                  trigger_threshold_j: float,
                  trigger_count: int = 1,
                  speed_m_per_s: float = 1.0,
-                 drain_step_s: float = 600.0) -> None:
+                 drain_step_s: float = 600.0,
+                 churn: Optional[ChurnModel] = None) -> None:
         """Create a simulator.
 
         Args:
-            network: sensors (positions are fixed; batteries simulated
-                here, starting full).
+            network: sensors (batteries simulated here, starting full;
+                positions are fixed unless ``churn`` moves them).
             planner: the trajectory planner to exercise each round.
             cost: mission cost constants (``delta_j`` is how much each
                 mission must deliver per sensor).
@@ -122,6 +143,11 @@ class LifetimeSimulator:
                 paper's "n sensors run out of power" knob).
             speed_m_per_s: charger ground speed.
             drain_step_s: integration step for the drain phase.
+            churn: optional network churn; rounds then repair the
+                retained plan incrementally instead of replanning.
+                Requires a radius-bearing planner (every registered
+                one qualifies).  ``None`` keeps the legacy fixed
+                network byte-identically.
         """
         if battery_capacity_j <= 0.0:
             raise SimulationError(
@@ -145,15 +171,35 @@ class LifetimeSimulator:
         self.speed = speed_m_per_s
         self.drain_step_s = drain_step_s
         self.batteries = [battery_capacity_j] * len(network)
+        self._churn = churn
+        self._base_count = len(network)
+        self.locations = [(point.x, point.y)
+                          for point in network.locations]
+        self.alive = [True] * len(network)
+        self._plan_state: Any = None  # repro.delta PlanState, lazily
+        self._round_index = 0
+        self._pending_deltas: List[Dict[str, Any]] = []
+        if churn is not None and not hasattr(planner, "radius"):
+            raise SimulationError(
+                f"churn simulation needs a radius-bearing planner; "
+                f"{planner.name!r} has no bundle radius to repair with")
 
     # --- phases --------------------------------------------------------
 
     def _drain(self, result: LifetimeResult, start_s: float,
                duration_s: float) -> None:
-        """Spend energy for ``duration_s``; track downtime and minima."""
+        """Spend energy for ``duration_s``; track downtime and minima.
+
+        Churn-dead sensors neither drain nor accrue downtime (they are
+        out of the network, not merely depleted); joined sensors reuse
+        the consumption table modulo the base deployment size, so a
+        heterogeneous drain model needs no resizing mid-run.
+        """
         for index in range(len(self.batteries)):
-            spent = self.consumption.energy_spent(index, start_s,
-                                                  duration_s)
+            if self._churn is not None and not self.alive[index]:
+                continue
+            spent = self.consumption.energy_spent(
+                index % self._base_count, start_s, duration_s)
             level = self.batteries[index]
             if spent >= level > 0.0:
                 # Died partway through: pro-rate the downtime.
@@ -169,23 +215,82 @@ class LifetimeSimulator:
             result.min_battery_j = min(result.min_battery_j, level)
 
     def _triggered(self) -> int:
-        """Return how many sensors sit at or below the trigger level."""
-        return sum(1 for level in self.batteries
-                   if level <= self.threshold_j)
+        """Return how many sensors sit at or below the trigger level.
+
+        Churn-dead sensors do not count — a round fires for sensors
+        that can still be charged, not for permanently removed ones.
+        """
+        if self._churn is None:
+            return sum(1 for level in self.batteries
+                       if level <= self.threshold_j)
+        return sum(1 for index, level in enumerate(self.batteries)
+                   if self.alive[index] and level <= self.threshold_j)
+
+    def _churned_plan(self, result: LifetimeResult) -> ChargingPlan:
+        """Evolve the network one round and repair the retained plan.
+
+        The first round establishes the plan with a full planner run;
+        every later round applies the pending failure batch plus this
+        round's seeded churn batch through the incremental repairer.
+        The simulator's ``locations`` / ``alive`` / ``batteries`` views
+        resync from the repaired state (joined sensors start at full
+        capacity).
+        """
+        from ..delta.engine import initial_state, repair_plan
+        if self._plan_state is None:
+            plan = self.planner.plan(self.network, self.cost)
+            self._plan_state = initial_state(
+                self.network, plan, self.planner.radius,
+                self.planner.name, self.planner.tsp_strategy,
+                self.planner.seed)
+        deltas = self._pending_deltas + self._churn.deltas_for_round(
+            self._round_index, self.locations, self.alive,
+            self.network.field_side_m)
+        self._pending_deltas = []
+        self._round_index += 1
+        for record in deltas:
+            if record["type"] == "sensor_moved":
+                result.churn_moves += 1
+            elif record["type"] == "sensor_joined":
+                result.churn_joins += 1
+            elif self.alive[record["index"]]:
+                # Pending failure deaths were counted when injected.
+                result.churn_deaths += 1
+        state, report = repair_plan(self._plan_state, deltas, self.cost)
+        self._plan_state = state
+        if report.strategy == "repair":
+            result.repaired_rounds += 1
+        self.locations = [(point.x, point.y)
+                          for point in state.locations]
+        self.alive = list(state.alive)
+        while len(self.batteries) < len(self.alive):
+            self.batteries.append(self.capacity_j)
+        return state.plan
 
     def _run_mission(self, now_s: float,
                      result: LifetimeResult) -> float:
         """Plan and execute one charging round; return its duration."""
-        plan: ChargingPlan = self.planner.plan(self.network, self.cost)
+        if self._churn is not None:
+            plan: ChargingPlan = self._churned_plan(result)
+        else:
+            plan = self.planner.plan(self.network, self.cost)
         tour_s = plan.tour_length() / self.speed
         dwell_s = plan.total_dwell_s()
         mission_s = tour_s + dwell_s
 
         # Harvest: every sensor receives from every stop (one-to-many).
-        for index, sensor in enumerate(self.network):
+        for index in range(len(self.batteries)):
+            if self._churn is not None and not self.alive[index]:
+                continue
+            if self._churn is None:
+                x, y = (self.network.sensors[index].location.x,
+                        self.network.sensors[index].location.y)
+            else:
+                x, y = self.locations[index]
             harvested = 0.0
             for stop in plan.stops:
-                distance = stop.position.distance_to(sensor.location)
+                distance = math.hypot(stop.position.x - x,
+                                      stop.position.y - y)
                 power = self.cost.model.received_power(distance)
                 harvested += power * stop.dwell_s
             self.batteries[index] = min(self.capacity_j,
@@ -222,6 +327,16 @@ class LifetimeSimulator:
         result = LifetimeResult(horizon_s=horizon_s)
         now = 0.0
         while now < horizon_s:
+            if self._churn is not None:
+                # One-shot failure injection: victims leave the live
+                # bookkeeping immediately; the plan folds them in at
+                # the next repair.
+                failures = self._churn.failure_deltas(now, self.alive)
+                if failures:
+                    self._pending_deltas.extend(failures)
+                    for record in failures:
+                        self.alive[record["index"]] = False
+                    result.churn_deaths += len(failures)
             if self._triggered() >= self.trigger_count:
                 if len(result.rounds) >= max_rounds:
                     raise SimulationError(

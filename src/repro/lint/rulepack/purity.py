@@ -51,31 +51,62 @@ _EXEMPT_MODULES = frozenset({"repro.clock"})
 _EXEMPT_GLOBALS = frozenset({"_USE_REFERENCE"})
 
 
-def _stage_names(analysis) -> Set[str]:
-    """Stage names from the KERNEL_VERSIONS dict literal, or empty.
+def _literal_dict_keys(node: ast.Dict) -> Set[str]:
+    """String keys of a dict literal (non-constant keys are skipped)."""
+    return {key.value for key in node.keys
+            if isinstance(key, ast.Constant)
+            and isinstance(key.value, str)}
 
-    Parsed statically from :mod:`repro.cache.keys`; when that module is
-    outside the linted file set (CI lints subtrees), the rules go
-    silent rather than guessing.
+
+def _stage_names(analysis) -> Set[str]:
+    """Every stage name registered on KERNEL_VERSIONS, or empty.
+
+    Parsed statically from :mod:`repro.cache.keys`.  Three registration
+    idioms are recognized, so a stage family added after the module's
+    dict literal (the ``delta_*`` stages' original failure mode) is
+    still auto-covered by PURE001/PURE002:
+
+    * the ``KERNEL_VERSIONS = {...}`` dict literal itself,
+    * ``KERNEL_VERSIONS["stage"] = "tag"`` subscript assignments,
+    * ``KERNEL_VERSIONS.update({"stage": "tag", ...})`` calls.
+
+    When the module is outside the linted file set (CI lints subtrees),
+    the rules go silent rather than guessing.
     """
     syms = analysis.modules.get(_KEYS_MODULE)
     if syms is None or syms.ctx.tree is None:
         return set()
-    for node in syms.ctx.tree.body:
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets = [node.target]
-        else:
-            continue
-        if not any(isinstance(t, ast.Name) and t.id == _VERSIONS_NAME
-                   for t in targets):
-            continue
-        if isinstance(node.value, ast.Dict):
-            return {key.value for key in node.value.keys
-                    if isinstance(key, ast.Constant)
-                    and isinstance(key.value, str)}
-    return set()
+    stages: Set[str] = set()
+    for node in ast.walk(syms.ctx.tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            value = node.value
+            if value is None:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Name)
+                        and target.id == _VERSIONS_NAME
+                        and isinstance(value, ast.Dict)):
+                    stages.update(_literal_dict_keys(value))
+                elif (isinstance(target, ast.Subscript)
+                      and isinstance(target.value, ast.Name)
+                      and target.value.id == _VERSIONS_NAME
+                      and isinstance(target.slice, ast.Constant)
+                      and isinstance(target.slice.value, str)):
+                    stages.add(target.slice.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr == "update"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == _VERSIONS_NAME
+                    and node.args
+                    and isinstance(node.args[0], ast.Dict)):
+                stages.update(_literal_dict_keys(node.args[0]))
+    return stages
 
 
 def _compute_arg(call: ast.Call) -> Optional[ast.expr]:

@@ -5,7 +5,10 @@ instance with a deterministic arrival schedule (constant, step, or
 linear ramp), a Zipf-skewed mix of distinct planning requests, and a
 coordinated-omission-safe latency recorder, then emits a
 ``bundle-charging/loadgen/v1`` report (p50/p90/p95/p99/max, achieved
-vs offered rate, error and cache-outcome counts).
+vs offered rate, error and cache-outcome counts).  ``--churn F``
+interleaves a seeded fraction of ``/v1/plan/delta`` repairs against
+established sessions — every delta body precomputed before the clock
+starts — and splits latencies per traffic kind in the report.
 
 Layering (each module imports only downward):
 
@@ -18,11 +21,11 @@ Layering (each module imports only downward):
 * :mod:`.smoke` — the live end-to-end gate CI runs.
 """
 
-from .mix import build_pool, sample_indices, zipf_weights
+from .mix import build_pool, churn_mix, sample_indices, zipf_weights
 from .recorder import LatencyRecorder, exact_quantile
 from .report import (LOADGEN_SCHEMA, build_report, render_table,
                      report_problems, write_report)
-from .runner import run_load, serialize_pool
+from .runner import establish_sessions, run_load, serialize_pool
 from .schedule import SCHEDULE_KINDS, arrival_offsets
 
 __all__ = [
@@ -32,6 +35,8 @@ __all__ = [
     "arrival_offsets",
     "build_pool",
     "build_report",
+    "churn_mix",
+    "establish_sessions",
     "exact_quantile",
     "render_table",
     "report_problems",

@@ -14,9 +14,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .mix import build_pool, sample_indices
+from .mix import build_pool, churn_mix, sample_indices
 from .report import build_report, render_table, write_report
-from .runner import run_load, serialize_pool
+from .runner import establish_sessions, run_load, serialize_pool
 from .schedule import SCHEDULE_KINDS, arrival_offsets
 
 try:  # provenance is optional, like everywhere else
@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--timeout-s", type=float, default=30.0,
                         help="per-request HTTP timeout "
                              "(default: %(default)s)")
+    parser.add_argument("--churn", type=float, default=0.0,
+                        help="fraction of arrivals sent as "
+                             "/v1/plan/delta repairs against "
+                             "established sessions; every delta body "
+                             "is precomputed before the clock starts "
+                             "(default: %(default)s)")
     parser.add_argument("--out", default=None,
                         help="write the loadgen/v1 report JSON here")
     return parser
@@ -93,14 +99,36 @@ def main(argv: Optional[List[str]] = None) -> int:
               "(rate * duration < 1)", file=sys.stderr)
         return 2
 
+    if not 0.0 <= args.churn <= 1.0:
+        print(f"error: --churn must be in [0, 1]: {args.churn!r}",
+              file=sys.stderr)
+        return 2
+
     plan_url = args.url.rstrip("/") + "/v1/plan"
     print(f"loadgen: {len(offsets)} requests over {args.duration_s}s "
           f"({args.schedule} @ {args.rate} req/s, pool={args.pool}, "
-          f"zipf_s={args.zipf_s}) -> {plan_url}")
+          f"zipf_s={args.zipf_s}, churn={args.churn}) -> {plan_url}")
+    bodies = serialize_pool(pool)
+    urls = kinds = None
+    if args.churn > 0.0:
+        # Untimed establishment phase: one plan per rank mints the
+        # session handles every delta body targets; then the whole
+        # delta pool is built before the schedule starts.
+        handles = establish_sessions(plan_url, bodies,
+                                     timeout_s=args.timeout_s)
+        established = sum(1 for handle in handles
+                          if handle is not None)
+        print(f"churn: established {established}/{len(pool)} sessions")
+        extra, assignment, kinds = churn_mix(
+            assignment, handles, args.churn, args.seed + 1, args.n)
+        bodies = bodies + serialize_pool(extra)
+        delta_url = args.url.rstrip("/") + "/v1/plan/delta"
+        urls = [plan_url] * len(pool) + [delta_url] * len(extra)
     recorder, duration = run_load(plan_url, offsets,
-                                  serialize_pool(pool), assignment,
+                                  bodies, assignment,
                                   timeout_s=args.timeout_s,
-                                  concurrency=args.concurrency)
+                                  concurrency=args.concurrency,
+                                  urls=urls, kinds=kinds)
 
     config = {
         "url": args.url, "schedule": args.schedule, "rate": args.rate,
@@ -109,6 +137,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "zipf_s": args.zipf_s, "seed": args.seed, "n": args.n,
         "planner": args.planner, "radius_m": args.radius_m,
         "concurrency": args.concurrency, "timeout_s": args.timeout_s,
+        "churn": args.churn,
     }
     offered = {"kind": args.schedule, "rate": args.rate,
                "rate_end": args.rate_end, "requests": len(offsets)}

@@ -10,15 +10,18 @@ proportional to ``1 / k**s``.  ``s = 0`` degenerates to uniform; large
 the service's digest-joining and cache paths under load.
 
 Everything is seeded: the same ``(pool, s, seed, count)`` always yields
-the same request sequence.
+the same request sequence.  :func:`churn_mix` layers incremental
+traffic on top — a seeded fraction of arrivals becomes unique
+``/v1/plan/delta`` requests against established sessions, every body
+precomputed before the clock starts.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["build_pool", "sample_indices", "zipf_weights"]
+__all__ = ["build_pool", "churn_mix", "sample_indices", "zipf_weights"]
 
 
 def zipf_weights(pool: int, s: float) -> List[float]:
@@ -75,3 +78,57 @@ def build_pool(pool: int, node_count: int, planner: str,
         }
         for rank in range(pool)
     ]
+
+
+def churn_mix(assignment: Sequence[int],
+              handles: Sequence[Optional[str]],
+              churn: float, seed: int, node_count: int,
+              field_side_m: float = 100.0
+              ) -> Tuple[List[Dict[str, Any]], List[int], List[str]]:
+    """Rewrite a seeded fraction of arrivals into delta requests.
+
+    Every converted arrival gets its *own* precomputed
+    ``/v1/plan/delta`` body — a unique seeded ``sensor_moved`` against
+    the establishing (root) session handle of the arrival's Zipf rank
+    — built entirely before the run starts, so the churn mix stays
+    coordinated-omission-safe: nothing is generated on the timed path.
+    Ranks whose session failed to establish keep their plan request.
+
+    Args:
+        assignment: per-arrival plan-pool index.
+        handles: per-rank session handle from the establishment phase
+            (None where establishment failed).
+        churn: fraction of arrivals converted, in [0, 1].
+        seed: conversion + move-generation seed.
+        node_count: sensors per deployment (bounds the moved index).
+        field_side_m: field bound of the generated positions.
+
+    Returns:
+        ``(extra_bodies, new_assignment, kinds)`` — delta request
+        dicts to append to the pool, the rewritten per-arrival
+        assignment (delta arrivals index past the plan pool), and one
+        ``"plan"`` / ``"delta"`` label per pool entry after extension.
+    """
+    if not 0.0 <= churn <= 1.0:
+        raise ValueError(f"churn must be a fraction in [0, 1]: {churn!r}")
+    rng = random.Random(seed)
+    extra: List[Dict[str, Any]] = []
+    new_assignment = list(assignment)
+    base = len(handles)
+    for position, rank in enumerate(assignment):
+        if rng.random() >= churn:
+            continue
+        handle = handles[rank] if 0 <= rank < base else None
+        if handle is None:
+            continue
+        extra.append({
+            "schema": "bundle-charging/delta-request/v1",
+            "session": handle,
+            "deltas": [{"type": "sensor_moved", "v": 1,
+                        "index": rng.randrange(node_count),
+                        "x": rng.uniform(0.0, field_side_m),
+                        "y": rng.uniform(0.0, field_side_m)}],
+        })
+        new_assignment[position] = base + len(extra) - 1
+    kinds = ["plan"] * base + ["delta"] * len(extra)
+    return extra, new_assignment, kinds

@@ -50,12 +50,14 @@ class LatencyRecorder:
         self._statuses: Dict[str, int] = {}
         self._outcomes: Dict[str, int] = {}
         self._workers: Dict[str, int] = {}
+        self._kinds: Dict[str, Dict[str, Any]] = {}
         self._errors = 0
 
     def record(self, scheduled: float, sent: float, finished: float,
                status: int, outcome: Optional[str] = None,
                worker: Optional[str] = None,
-               failed: bool = False) -> None:
+               failed: bool = False,
+               kind: Optional[str] = None) -> None:
         """Score one request.
 
         Args:
@@ -67,6 +69,9 @@ class LatencyRecorder:
             worker: the ``X-BC-Worker`` shard that answered, when the
                 target is a multi-process pool.
             failed: transport error or non-2xx response.
+            kind: optional traffic-kind label (``"plan"`` /
+                ``"delta"``); labeled runs get a per-kind latency
+                split in the summary.
         """
         latency = finished - scheduled
         lag = sent - scheduled
@@ -81,6 +86,12 @@ class LatencyRecorder:
             if worker is not None:
                 self._workers[worker] = \
                     self._workers.get(worker, 0) + 1
+            if kind is not None:
+                bucket = self._kinds.setdefault(
+                    kind, {"latencies": [], "errors": 0})
+                bucket["latencies"].append(latency)
+                if failed:
+                    bucket["errors"] += 1
             if failed:
                 self._errors += 1
 
@@ -102,8 +113,25 @@ class LatencyRecorder:
             statuses = dict(sorted(self._statuses.items()))
             outcomes = dict(sorted(self._outcomes.items()))
             workers = dict(sorted(self._workers.items()))
+            kinds = {label: {"latencies": sorted(bucket["latencies"]),
+                             "errors": bucket["errors"]}
+                     for label, bucket in sorted(self._kinds.items())}
             errors = self._errors
         count = len(latencies)
+        kind_rows: Dict[str, Any] = {}
+        for label, bucket in kinds.items():
+            sample = bucket["latencies"]
+            kind_rows[label] = {
+                "count": len(sample),
+                "errors": bucket["errors"],
+                "latency_s": {
+                    "p50": exact_quantile(sample, 0.50),
+                    "p99": exact_quantile(sample, 0.99),
+                    "max": sample[-1] if sample else None,
+                    "mean": (sum(sample) / len(sample)) if sample
+                    else None,
+                },
+            }
         return {
             "count": count,
             "errors": errors,
@@ -123,4 +151,6 @@ class LatencyRecorder:
                 "p99": exact_quantile(lags, 0.99),
                 "max": lags[-1] if lags else None,
             },
+            # Additive: only labeled runs (--churn mixes) carry it.
+            **({"kinds": kind_rows} if kind_rows else {}),
         }

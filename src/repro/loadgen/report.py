@@ -20,6 +20,9 @@ sections (old readers keep working, new readers get validated types):
 * ``summary.workers`` — the per-worker routing histogram, counted
   from the ``X-BC-Worker`` shard header of a multi-process pool
   (empty against a single-process server).
+* ``summary.kinds`` — the per-traffic-kind latency split a ``--churn``
+  mix records (``plan`` full plans vs ``delta`` incremental repairs),
+  each kind with its own count, errors, and percentiles.
 """
 
 from __future__ import annotations
@@ -144,6 +147,37 @@ def report_problems(report: Any) -> List[str]:
                         problems.append(
                             f"summary.workers[{shard!r}] must be an "
                             f"integer, got {value!r}")
+        kinds = summary.get("kinds")
+        if kinds is not None:
+            if not isinstance(kinds, dict):
+                problems.append("summary.kinds must be an object")
+            else:
+                for label, row in kinds.items():
+                    if not isinstance(row, dict):
+                        problems.append(
+                            f"summary.kinds[{label!r}] must be an "
+                            f"object")
+                        continue
+                    for key in ("count", "errors"):
+                        if not isinstance(row.get(key), int):
+                            problems.append(
+                                f"summary.kinds[{label!r}].{key} must "
+                                f"be an integer")
+                    latency_row = row.get("latency_s")
+                    if not isinstance(latency_row, dict):
+                        problems.append(
+                            f"summary.kinds[{label!r}].latency_s must "
+                            f"be an object")
+                    else:
+                        for key in ("p50", "p99", "max", "mean"):
+                            value = latency_row.get(key)
+                            if key in latency_row and value is not None \
+                                    and not isinstance(value,
+                                                       (int, float)):
+                                problems.append(
+                                    f"summary.kinds[{label!r}]"
+                                    f".latency_s.{key} must be a "
+                                    f"number or null")
     elif "summary" in report:
         problems.append("summary section must be an object")
     for key in ("duration_s", "achieved_rate"):
@@ -211,6 +245,18 @@ def render_table(report: Dict[str, Any]) -> str:
             bar = "#" * max(1, round(share * 20))
             lines.append(
                 f"  {shard:<8} {routed:>10d}   {share:>6.1%}  {bar}")
+    kinds = summary.get("kinds")
+    if isinstance(kinds, dict) and kinds:
+        lines.append("kind          count        p50        p99   "
+                     "errors")
+        for label in sorted(kinds):
+            row = kinds[label]
+            latency_row = row.get("latency_s", {})
+            lines.append(
+                f"  {label:<8} {row.get('count', 0):>8d} "
+                f"{cell(latency_row.get('p50'))} "
+                f"{cell(latency_row.get('p99'))}   "
+                f"{row.get('errors', 0)}")
     return "\n".join(lines)
 
 

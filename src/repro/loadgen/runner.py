@@ -26,7 +26,35 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..clock import monotonic
 from .recorder import LatencyRecorder
 
-__all__ = ["run_load"]
+__all__ = ["establish_sessions", "run_load", "serialize_pool"]
+
+
+def establish_sessions(plan_url: str, bodies: List[bytes],
+                       timeout_s: float = 30.0
+                       ) -> List[Optional[str]]:
+    """POST each pool body once and harvest its session handle.
+
+    The churn mix's untimed warm-up: every rank's establishing plan
+    runs before the schedule starts, returning the ``X-BC-Session``
+    handle per rank (None where the request failed — those ranks keep
+    serving plain plan traffic).
+    """
+    handles: List[Optional[str]] = []
+    for body in bodies:
+        request = urllib.request.Request(
+            plan_url, data=body,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=timeout_s) as response:
+                response.read()
+                handles.append(response.headers.get("X-BC-Session"))
+        except urllib.error.HTTPError as error:
+            error.read()
+            handles.append(None)
+        except (urllib.error.URLError, OSError, TimeoutError):
+            handles.append(None)
+    return handles
 
 
 def _post(url: str, body: bytes, timeout_s: float
@@ -58,12 +86,14 @@ def run_load(plan_url: str,
              bodies: List[bytes],
              assignment: List[int],
              timeout_s: float = 30.0,
-             concurrency: int = 32
+             concurrency: int = 32,
+             urls: Optional[List[str]] = None,
+             kinds: Optional[List[str]] = None
              ) -> Tuple[LatencyRecorder, float]:
     """Execute one open-loop run.
 
     Args:
-        plan_url: the ``/v1/plan`` endpoint.
+        plan_url: the ``/v1/plan`` endpoint (the default target).
         offsets: sorted arrival offsets from
             :func:`repro.loadgen.schedule.arrival_offsets`.
         bodies: pre-serialized request bodies (the pool).
@@ -72,6 +102,11 @@ def run_load(plan_url: str,
         timeout_s: per-request HTTP timeout.
         concurrency: sender-thread count (bounds sockets, not offered
             rate — late sends are scored, not skipped).
+        urls: optional per-pool-index target URL (same length as
+            ``bodies``); lets a churn mix aim delta bodies at
+            ``/v1/plan/delta`` while plan bodies keep ``plan_url``.
+        kinds: optional per-pool-index traffic-kind label, recorded
+            for the per-kind latency split.
 
     Returns:
         The populated recorder and the measured run duration.
@@ -80,6 +115,11 @@ def run_load(plan_url: str,
         raise ValueError(
             f"schedule and mix disagree: {len(offsets)} arrivals vs "
             f"{len(assignment)} assignments")
+    for name, per_body in (("urls", urls), ("kinds", kinds)):
+        if per_body is not None and len(per_body) != len(bodies):
+            raise ValueError(
+                f"{name} and bodies disagree: {len(per_body)} vs "
+                f"{len(bodies)}")
     recorder = LatencyRecorder()
     cursor_lock = threading.Lock()
     cursor = [0]
@@ -97,11 +137,14 @@ def run_load(plan_url: str,
             if delay > 0.0:
                 time.sleep(delay)
             sent = monotonic()
+            pool_index = assignment[index]
+            url = urls[pool_index] if urls is not None else plan_url
+            kind = kinds[pool_index] if kinds is not None else None
             status, outcome, worker, failed = _post(
-                plan_url, bodies[assignment[index]], timeout_s)
+                url, bodies[pool_index], timeout_s)
             recorder.record(scheduled, sent, monotonic(), status,
                             outcome=outcome, worker=worker,
-                            failed=failed)
+                            failed=failed, kind=kind)
 
     crew = [threading.Thread(target=sender, name=f"loadgen-{i}",
                              daemon=True)

@@ -29,11 +29,15 @@ KNOWN_SPAN_NAMES = frozenset({
     "bto.anchors",      # Algorithm 3 anchor refinement
     "sim.mission",      # discrete-event mission execution
     "service.request",  # one planning-service micro-batch compute
+    "delta.repair",     # incremental dirty-region plan repair
 })
 
-#: Event types the JSONL stream may carry (spans + mission trace).
+#: Event types the JSONL stream may carry (spans + mission trace +
+#: network-churn deltas, one discriminated union — see
+#: :data:`repro.sim.events.EVENT_RECORD_TYPES`).
 KNOWN_EVENT_TYPES = frozenset({
     "header", "manifest", "span", "move", "charge", "harvest",
+    "sensor_moved", "sensor_died", "sensor_joined",
 })
 
 #: Keys every span event must carry.

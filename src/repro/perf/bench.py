@@ -47,7 +47,8 @@ _FULL = {"greedy_n": 400, "greedy_radius": 20.0, "greedy_reps": 5,
          "latency_n": 300, "latency_requests": 8,
          "latency_concurrency": (1, 4),
          "scaling_n": 300, "scaling_requests": 12,
-         "scaling_workers": (1, 4)}
+         "scaling_workers": (1, 4),
+         "replan_ns": (40, 300, 1000, 2000), "replan_reps": 3}
 _QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
           "ellipse_cases": 400, "tsp_n": 120,
           "soa_n": 250, "soa_radius": 20.0, "soa_reps": 3,
@@ -58,7 +59,8 @@ _QUICK = {"greedy_n": 150, "greedy_radius": 20.0, "greedy_reps": 3,
           "latency_n": 100, "latency_requests": 4,
           "latency_concurrency": (1, 4),
           "scaling_n": 100, "scaling_requests": 6,
-          "scaling_workers": (1, 4)}
+          "scaling_workers": (1, 4),
+          "replan_ns": (40, 300), "replan_reps": 3}
 
 
 def _best_of(func: Callable[[], object], reps: int) -> Tuple[float, object]:
@@ -617,8 +619,90 @@ def _bench_service_scaling(sizes: Dict) -> Dict:
         identical, detail)
 
 
+def _bench_replan_latency(sizes: Dict) -> Dict:
+    """Incremental repair vs a full replan for single-sensor churn.
+
+    Per deployment size, a retained :class:`repro.delta.PlanState`
+    absorbs one seeded drift move (a ±5 m teleport) two ways:
+    ``fast_s`` is the dirty-region repair
+    (:func:`repro.delta.repair_plan`), ``reference_s`` the full replan
+    of the post-edit network — summed over the sizes so ``speedup`` is
+    the aggregate delta advantage (per-size speedups live in
+    ``detail``).  ``identical`` gates on the empty-delta contract: a
+    no-op repair must return the retained state object with a
+    byte-identical serialized plan, at every size.  Repair quality
+    (energy within 1.05x of the full replan) is gated separately by the
+    live-HTTP delta smoke; here the shadow energy ratio is reported in
+    the detail for trajectory tracking.
+    """
+    from ..charging import CostParameters, FriisChargingModel
+    from ..delta.engine import (apply_delta_set, full_replan,
+                                initial_state, repair_plan)
+    from ..delta.events import DeltaSet, SensorMoved
+    from ..delta.session import plan_to_dict
+    from ..network import uniform_deployment
+    from ..planners import make_planner
+    from ..tour import plan_total_energy
+
+    radius = 10.0
+    field = 100.0
+    reps = sizes["replan_reps"]
+    cost = CostParameters(model=FriisChargingModel())
+    detail: Dict[str, Dict] = {"radius_m": radius,
+                               "field_side_m": field, "best_of": reps}
+    fast_total = 0.0
+    reference_total = 0.0
+    identical = True
+    for n in sizes["replan_ns"]:
+        network = uniform_deployment(n, 12345, field_side_m=field)
+        planner = make_planner("BC", radius)
+        plan = planner.plan(network, cost)
+        state = initial_state(network, plan, radius, planner.name,
+                              planner.tsp_strategy, planner.seed)
+
+        # The empty-delta identity gate.
+        noop_state, noop_report = repair_plan(state, [], cost)
+        identical = (identical and noop_state is state
+                     and noop_report.strategy == "noop"
+                     and plan_to_dict(noop_state.plan)
+                     == plan_to_dict(state.plan))
+
+        rng = random.Random(1000 + n)
+        index = rng.randrange(n)
+        origin = state.locations[index]
+        move = SensorMoved(
+            index=index,
+            x=min(field, max(0.0, origin.x + rng.uniform(-5.0, 5.0))),
+            y=min(field, max(0.0, origin.y + rng.uniform(-5.0, 5.0))))
+
+        fast_s, (repaired, report) = _best_of(
+            lambda: repair_plan(state, [move], cost), reps)
+        locations, alive, _, _ = apply_delta_set(state,
+                                                 DeltaSet((move,)))
+        reference_s, baseline = _best_of(
+            lambda: full_replan(locations, alive, state, cost), reps)
+        repaired_j = plan_total_energy(repaired.plan,
+                                       repaired.locations, cost)
+        baseline_j = plan_total_energy(baseline, locations, cost)
+        fast_total += fast_s
+        reference_total += reference_s
+        detail[f"n{n}"] = {
+            "fast_s": round(fast_s, 6),
+            "reference_s": round(reference_s, 6),
+            "speedup": round(reference_s / fast_s, 3)
+            if fast_s > 0 else None,
+            "strategy": report.strategy,
+            "dirty_sensors": report.dirty_sensors,
+            "energy_ratio": round(repaired_j / baseline_j, 5)
+            if baseline_j > 0 else None,
+        }
+    return _entry("replan_latency", reference_total, fast_total,
+                  identical, detail)
+
+
 def run_benchmarks(quick: bool = False,
-                   out_path: Optional[str] = "BENCH_PR7.json") -> Dict:
+                   out_path: Optional[str] = "BENCH_PR7.json",
+                   only: Optional[str] = None) -> Dict:
     """Run every kernel benchmark and (optionally) write the JSON report.
 
     Args:
@@ -626,29 +710,44 @@ def run_benchmarks(quick: bool = False,
         out_path: where to write the report; ``None`` skips the write.
             The report's ``benchmark`` field is the file's stem (so
             ``BENCH_PR4.json`` labels itself ``BENCH_PR4``).
+        only: run only the workloads whose key contains this substring
+            (``--only replan_latency`` is the CI delta gate).
 
     Returns:
         The report dict; ``report["all_identical"]`` is True when every
         bit-identity workload produced byte-equal results on both
         backends.
+
+    Raises:
+        ValueError: when ``only`` matches no workload.
     """
     from ..obs.manifest import build_manifest
 
     sizes = _QUICK if quick else _FULL
+    workloads: List[Tuple[str, Callable[[], Dict]]] = [
+        ("greedy_bundles", lambda: _bench_greedy_bundles(sizes)),
+        ("soa_candidates_cover",
+         lambda: _bench_soa_candidates_cover(sizes)),
+        ("soa_distance_matrix",
+         lambda: _bench_soa_distance_matrix(sizes)),
+        ("ellipse_anchor_search", lambda: _bench_ellipse_kernel(sizes)),
+        ("tsp_local_search", lambda: _bench_tsp_fast(sizes)),
+        ("fig13_node_sweep", lambda: _bench_fig13_sweep(quick)),
+        ("cache_warm_sweep", lambda: _bench_cache_sweep(sizes)),
+        ("service_throughput",
+         lambda: _bench_service_throughput(sizes)),
+        ("service_latency", lambda: _bench_service_latency(sizes)),
+        ("service_scaling", lambda: _bench_service_scaling(sizes)),
+        ("replan_latency", lambda: _bench_replan_latency(sizes)),
+    ]
+    if only is not None:
+        workloads = [(key, build) for key, build in workloads
+                     if only in key]
+        if not workloads:
+            raise ValueError(f"--only {only!r} matches no workload")
     PERF.reset()
     started = time.perf_counter()
-    entries: List[Dict] = [
-        _bench_greedy_bundles(sizes),
-        _bench_soa_candidates_cover(sizes),
-        _bench_soa_distance_matrix(sizes),
-        _bench_ellipse_kernel(sizes),
-        _bench_tsp_fast(sizes),
-        _bench_fig13_sweep(quick),
-        _bench_cache_sweep(sizes),
-        _bench_service_throughput(sizes),
-        _bench_service_latency(sizes),
-        _bench_service_scaling(sizes),
-    ]
+    entries: List[Dict] = [build() for _key, build in workloads]
     elapsed = time.perf_counter() - started
     label = (os.path.splitext(os.path.basename(out_path))[0]
              if out_path else "BENCH_PR7")
@@ -664,7 +763,8 @@ def run_benchmarks(quick: bool = False,
         # Provenance rides along under its own key; the established
         # keys above stay unchanged for trajectory compatibility.
         "provenance": build_manifest(
-            "bench", {"quick": quick, "sizes": dict(sizes)}, [],
+            "bench", {"quick": quick, "sizes": dict(sizes),
+                      "only": only}, [],
             elapsed),
     }
     if out_path:

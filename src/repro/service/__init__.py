@@ -7,7 +7,10 @@ micro-batched by content digest, executed on a bounded worker pool
 behind admission control, and answered with envelopes whose *payload*
 is a byte-identical pure function of the canonical request.  The stage
 cache (``repro.cache``) and span tracing (``repro.obs``) plug in when
-present and degrade away cleanly when absent.
+present and degrade away cleanly when absent.  ``POST /v1/plan/delta``
+layers incremental replanning on top: retained sessions
+(:mod:`repro.delta`) are repaired in place instead of replanned, under
+the same byte-identity and micro-batching discipline.
 
 Layering (each module imports only downward):
 
@@ -31,7 +34,8 @@ Layering (each module imports only downward):
 from .accesslog import (AccessLogWriter, access_record,
                         access_record_problems)
 from .config import ServiceConfig
-from .executor import cache_for_service, execute_request, plan_payload
+from .executor import (cache_for_service, delta_plan_payload,
+                       execute_delta, execute_request, plan_payload)
 from .http import (PlanningHTTPServer, build_server, start_server,
                    stop_server)
 from .metrics import (aggregate_worker_metrics, metrics_problems,
@@ -72,7 +76,9 @@ __all__ = [
     "cache_for_service",
     "canonical_json",
     "canonical_request",
+    "delta_plan_payload",
     "error_envelope",
+    "execute_delta",
     "execute_request",
     "metrics_problems",
     "metrics_snapshot",

@@ -67,6 +67,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--access-log", default=None,
                         help="append one JSONL access record per "
                              "settled request to this file")
+    parser.add_argument("--sessions", type=int, default=256,
+                        help="retained plan sessions (LRU) behind "
+                             "/v1/plan/delta; eviction only costs a "
+                             "client re-establishment "
+                             "(default: %(default)s)")
+    parser.add_argument("--delta-shadow-verify", action="store_true",
+                        help="run a full replan beside every delta "
+                             "repair and fail requests whose energy "
+                             "exceeds the bounded ratio (expensive; "
+                             "payload bytes unchanged)")
+    parser.add_argument("--delta-max-ratio", type=float, default=1.05,
+                        help="repaired/full energy ratio enforced "
+                             "under --delta-shadow-verify "
+                             "(default: %(default)s)")
     return parser
 
 
@@ -88,7 +102,10 @@ def serve_config(args: argparse.Namespace) -> ServiceConfig:
         use_cache=not args.no_cache, cache_dir=args.cache_dir,
         cache_entries=args.cache_entries, trace_dir=args.trace_dir,
         planners=planners, metrics=not args.no_metrics,
-        access_log=args.access_log)
+        access_log=args.access_log,
+        session_entries=args.sessions,
+        delta_shadow_verify=args.delta_shadow_verify,
+        delta_max_ratio=args.delta_max_ratio)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

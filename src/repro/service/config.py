@@ -59,6 +59,18 @@ class ServiceConfig:
             ``repro.obs`` is absent.
         access_log: opt-in path of a JSONL structured access log (one
             ``bundle-charging/access/v1`` record per settled request).
+        session_entries: LRU bound on retained plan sessions (the state
+            behind ``POST /v1/plan/delta``); evicted sessions cost a
+            client one re-establishment via ``/v1/plan``, never
+            correctness.
+        delta_shadow_verify: run a full replan alongside every repair
+            and fail the request when the repaired plan's energy
+            exceeds ``delta_max_ratio`` times the replan's — the repair
+            analogue of the cache's ``--shadow-verify``.  Observer-only
+            for payload bytes; expensive (it is a full replan per
+            delta).
+        delta_max_ratio: the bounded energy-ratio contract enforced
+            under shadow verification (>= 1.0).
     """
 
     host: str = "127.0.0.1"
@@ -76,6 +88,9 @@ class ServiceConfig:
     max_body_bytes: int = 8 * 1024 * 1024
     metrics: bool = True
     access_log: Optional[str] = None
+    session_entries: int = 256
+    delta_shadow_verify: bool = False
+    delta_max_ratio: float = 1.05
 
     def __post_init__(self) -> None:
         if self.jobs <= 0:
@@ -97,6 +112,15 @@ class ServiceConfig:
                 f"max_batch must be positive: {self.max_batch!r}")
         if not 0 <= self.port <= 65535:
             raise ServiceError(f"invalid port: {self.port!r}")
+        if self.session_entries <= 0:
+            raise ServiceError(
+                f"session_entries must be positive: "
+                f"{self.session_entries!r}")
+        if not (math.isfinite(self.delta_max_ratio)
+                and self.delta_max_ratio >= 1.0):
+            raise ServiceError(
+                f"delta_max_ratio must be a finite ratio >= 1.0: "
+                f"{self.delta_max_ratio!r}")
         if self.planners is not None:
             if not self.planners:
                 raise ServiceError("planner allowlist must not be empty")

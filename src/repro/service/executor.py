@@ -16,8 +16,12 @@ absent the service still answers, reporting ``"cache": "off"``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, MutableMapping, Optional, Tuple
 
+from ..delta.engine import DEFAULT_MAX_RATIO, repair_plan
+from ..delta.session import (PlanSession, plan_to_dict, state_digest)
+from ..delta.store import SessionStore
+from ..errors import DeltaError
 from ..geometry import Point
 from ..network import Sensor, SensorNetwork
 from ..planners import make_planner
@@ -39,8 +43,8 @@ except ImportError:  # pragma: no cover - repro.cache stripped/blocked
     def stage_memo(stage, params_fn, compute):  # type: ignore[misc]
         return compute()
 
-__all__ = ["cache_for_service", "execute_request", "plan_payload",
-           "request_network"]
+__all__ = ["cache_for_service", "delta_plan_payload", "execute_delta",
+           "execute_request", "plan_payload", "request_network"]
 
 
 def request_network(request: Dict[str, Any]) -> SensorNetwork:
@@ -65,21 +69,13 @@ def request_network(request: Dict[str, Any]) -> SensorNetwork:
 
 
 def _plan_dict(plan: Any) -> Dict[str, Any]:
-    """Serialize a :class:`repro.tour.ChargingPlan` JSON-ably."""
-    depot = plan.depot
-    return {
-        "label": plan.label,
-        "depot": [depot.x, depot.y] if depot is not None else None,
-        "stops": [
-            {
-                "position": [stop.position.x, stop.position.y],
-                "sensors": sorted(stop.sensors),
-                "dwell_s": stop.dwell_s,
-            }
-            for stop in plan.stops
-        ],
-        "tour_length_m": plan.tour_length(),
-    }
+    """Serialize a :class:`repro.tour.ChargingPlan` JSON-ably.
+
+    Delegates to :func:`repro.delta.session.plan_to_dict` — the single
+    source of the plan wire shape — so a ``/v1/plan`` payload and a
+    ``/v1/plan/delta`` payload carrying the same plan are byte-equal.
+    """
+    return plan_to_dict(plan)
 
 
 def plan_payload(request: Dict[str, Any]) -> Dict[str, Any]:
@@ -124,6 +120,106 @@ def execute_request(request: Dict[str, Any],
     with activate_cache(cache):
         payload = stage_memo("service_request", lambda: params,
                              lambda: plan_payload(request))
+    return payload, outcome
+
+
+def delta_plan_payload(request: Dict[str, Any], session: PlanSession
+                       ) -> Tuple[Dict[str, Any], Any]:
+    """Repair one session against a canonical delta request.
+
+    Pure given ``(request, session)`` — and the session is itself a
+    pure function of its handle (handles are content digests), so the
+    payload is fully determined by the canonical request, which is what
+    licenses caching it under the ``delta_request`` stage.
+
+    Returns:
+        ``(payload, report)`` — the deterministic payload plus the
+        :class:`~repro.delta.engine.RepairReport` (whose shadow-only
+        fields stay out of the payload).
+    """
+    cost = build_cost(session.request["charging"])
+    new_state, report = repair_plan(
+        session.state, request["deltas"], cost,
+        shadow=request.get("_shadow", False),
+        max_ratio=request.get("_max_ratio", DEFAULT_MAX_RATIO))
+    if report.strategy == "noop":
+        successor = session.handle
+    else:
+        successor = (f"{session.root}."
+                     f"{state_digest(session.root, new_state)}")
+    metrics = evaluate_plan(new_state.plan, new_state.locations, cost)
+    # Strip the transport-side underscore knobs (shadow configuration)
+    # before embedding/digesting: the wire request is what the payload
+    # must be a pure function of.
+    wire_request = {key: value for key, value in request.items()
+                    if not key.startswith("_")}
+    payload = {
+        "request": wire_request,
+        "request_sha256": request_digest(wire_request),
+        "plan": plan_to_dict(new_state.plan),
+        "metrics": metrics.as_row(),
+        "alive_count": report.alive_count,
+        "session": successor,
+        "repair": report.as_payload_dict(),
+    }
+    return payload, report
+
+
+def execute_delta(request: Dict[str, Any], sessions: SessionStore,
+                  cache: Optional["StageCache"] = None, *,
+                  shadow: bool = False,
+                  max_ratio: float = DEFAULT_MAX_RATIO,
+                  report_sink: Optional[MutableMapping] = None
+                  ) -> Tuple[Dict[str, Any], str]:
+    """Serve one canonical delta request, through the cache when on.
+
+    The session is resolved here (not at admission) so the scheduler's
+    compute stays a pure function of the canonical request; eviction
+    between admission and compute surfaces as a :class:`DeltaError`.
+    Shadow verification runs *inside* the compute — a bound violation
+    fails the request rather than silently serving the repair — but its
+    knobs and results never reach the payload, so bytes are identical
+    with shadow on or off.
+
+    Returns:
+        ``(payload, outcome)`` exactly like :func:`execute_request`.
+        When the repair actually ran (miss/off), its report lands in
+        ``report_sink`` keyed by the request digest — transport-side
+        only, for the ``X-BC-Delta-Ratio`` header and delta metrics.
+    """
+    handle = request["session"]
+    session = sessions.get(handle)
+    if session is None:
+        raise DeltaError(
+            f"session {handle!r} is no longer retained "
+            f"(re-establish it via /v1/plan)")
+    digest = request_digest(request)
+    # Shadow knobs ride on underscore keys the payload strips: they are
+    # transport configuration, not request content, and must not change
+    # the cache key or the payload bytes.
+    compute_request = dict(request)
+    compute_request["_shadow"] = shadow
+    compute_request["_max_ratio"] = max_ratio
+
+    computed: Dict[str, Any] = {}
+
+    def _compute() -> Dict[str, Any]:
+        payload, report = delta_plan_payload(compute_request, session)
+        computed["report"] = report
+        return payload
+
+    if cache is None or not _HAVE_CACHE:
+        payload = _compute()
+        outcome = "off"
+    else:
+        params = {"request": request}
+        outcome = ("hit" if cache.contains("delta_request", params)
+                   else "miss")
+        with activate_cache(cache):
+            payload = stage_memo("delta_request", lambda: params,
+                                 _compute)
+    if report_sink is not None and "report" in computed:
+        report_sink[digest] = computed["report"]
     return payload, outcome
 
 

@@ -10,6 +10,14 @@ A thin, pure-stdlib layer over :mod:`http.server`:
   ``config.max_batch`` items, answered as ``{"responses": [...]}`` with
   one envelope per item.  All items are admitted before any is awaited,
   so identical items in one batch share a single compute.
+* ``POST /v1/plan/delta`` — incremental replanning: a session handle
+  (minted by ``/v1/plan`` in the ``X-BC-Session`` header and in every
+  delta payload) plus a list of delta records, answered with the
+  repaired plan under the same canonical-request / ``payload_sha256``
+  discipline and micro-batching as ``/v1/plan``.  The successor handle
+  rides in the payload and the ``X-BC-Session`` header; under
+  ``--delta-shadow-verify`` the repaired/full energy ratio is reported
+  in ``X-BC-Delta-Ratio``.
 * ``GET /healthz`` / ``GET /metrics`` — liveness and the
   ``bundle-charging/service-metrics/v2`` snapshot (uptime, provenance,
   scheduler/perf/cache stats, and the labeled latency histograms).
@@ -25,9 +33,13 @@ observers only: response payloads are byte-identical with metrics on,
 off, or ``repro.obs`` absent.
 
 Error mapping: 400 invalid JSON / invalid request / unknown planner,
-404 unknown path, 405 wrong method, 413 oversized body, 429 admission
-shed (:class:`OverloadedError`), 503 draining, 504 request timeout,
-500 internal planner failure.  Every error body is a typed
+404 unknown path or unknown session (``unknown-session`` — the handle
+was evicted or never minted here; re-establish via ``/v1/plan``),
+405 wrong method, 409 stale session kernel (``stale-kernel`` — the
+client pinned a ``kernel_sha256`` that no longer matches this server's
+repair kernels), 413 oversized body, 429 admission shed
+(:class:`OverloadedError`), 503 draining, 504 request timeout, 500
+internal planner failure.  Every error body is a typed
 ``error_envelope``.
 
 Provenance: at startup the server builds one base manifest (a single
@@ -48,9 +60,15 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..clock import monotonic, wall
+from ..delta.protocol import (DELTA_REQUEST_SCHEMA,
+                              canonical_delta_request,
+                              delta_request_problems)
+from ..delta.session import (advance_session, delta_kernel_sha256,
+                             session_from_plan_payload)
+from ..delta.store import SessionStore
 from .accesslog import AccessLogWriter, access_record
 from .config import ServiceConfig
-from .executor import cache_for_service, execute_request
+from .executor import (cache_for_service, execute_delta, execute_request)
 from .metrics import metrics_snapshot, prometheus_text
 from .request import (RequestError, canonical_request, error_envelope,
                       ok_envelope)
@@ -104,10 +122,16 @@ class PlanningHTTPServer(ThreadingHTTPServer):
         self.cache = cache_for_service(config)
         self.metrics = (_MetricsRegistry(enabled=config.metrics)
                         if _HAVE_OBS else None)
+        self.sessions = SessionStore(config.session_entries)
+        # Transport-side repair reports (bounded, keyed by request
+        # digest): written by the compute when a repair actually runs,
+        # read once by the handler for the X-BC-Delta-Ratio header and
+        # the delta metrics.  Never touches payload bytes.
+        self.delta_reports: Dict[str, Any] = {}
+        self._delta_reports_lock = threading.Lock()
         self.scheduler = PlanningScheduler(
-            lambda request: execute_request(request, self.cache),
-            jobs=config.jobs, queue_limit=config.queue_limit,
-            metrics=self.metrics)
+            self._compute, jobs=config.jobs,
+            queue_limit=config.queue_limit, metrics=self.metrics)
         self.access_log = (AccessLogWriter(config.access_log)
                            if config.access_log else None)
         self.started_monotonic = monotonic()
@@ -127,6 +151,46 @@ class PlanningHTTPServer(ThreadingHTTPServer):
                  "planners": (list(config.planners)
                               if config.planners else None)},
                 seeds=[], wall_time_s=0.0)
+
+    def _compute(self, request: Dict[str, Any]
+                 ) -> Tuple[Dict[str, Any], str]:
+        """The scheduler's compute: dispatch on the request schema.
+
+        Canonical plan requests and canonical delta requests share one
+        scheduler (one queue, one admission bound, one micro-batching
+        digest space) and are told apart by their ``schema`` tag.
+        """
+        if request.get("schema") == DELTA_REQUEST_SCHEMA:
+            return execute_delta(
+                request, self.sessions, self.cache,
+                shadow=self.config.delta_shadow_verify,
+                max_ratio=self.config.delta_max_ratio,
+                report_sink=self._report_sink())
+        return execute_request(request, self.cache)
+
+    def _report_sink(self) -> Dict[str, Any]:
+        """Bound the report map before handing it to a compute."""
+        with self._delta_reports_lock:
+            if len(self.delta_reports) > 4 * self.config.queue_limit:
+                self.delta_reports.clear()
+            return self.delta_reports
+
+    def take_delta_report(self, digest: str) -> Optional[Any]:
+        """Pop the repair report of one served delta request, if any."""
+        with self._delta_reports_lock:
+            return self.delta_reports.pop(digest, None)
+
+    def register_session(self, request: Dict[str, Any],
+                         payload: Dict[str, Any]) -> str:
+        """Retain (or refresh) the session a ``/v1/plan`` answer mints.
+
+        Reconstruction is pure, so registering the same payload twice
+        (repeat requests, cache hits, duplicate batch items) converges
+        on one handle.
+        """
+        session = session_from_plan_payload(request, payload)
+        self.sessions.put(session)
+        return session.handle
 
     @property
     def port(self) -> int:
@@ -353,9 +417,104 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         document, status, headers = self._settle(
             batch, self._timeout_s(), started)
+        if status == 200:
+            headers["X-BC-Session"] = self.server.register_session(
+                batch.request, batch.payload)
         sent = self._send_json(status, document, headers)
         self._record_plan("/v1/plan", status, started, batch=batch,
                           document=document, bytes_out=sent)
+
+    def _handle_delta(self) -> None:
+        started = monotonic()
+        path = "/v1/plan/delta"
+        body, ok = self._read_json_body()
+        if not ok:
+            status, code = self._last_error
+            self._record_access("POST", path, status, started,
+                                error=code)
+            return
+        problems = delta_request_problems(body)
+        if problems:
+            code = ("unsupported-schema"
+                    if any("unsupported request schema" in problem
+                           for problem in problems)
+                    else "invalid-request")
+            sent = self._send_error_envelope(
+                400, code, "invalid delta request", problems)
+            self._record_plan(path, 400, started,
+                              document=error_envelope(code, "invalid"),
+                              bytes_out=sent)
+            return
+        pinned = body.get("kernel_sha256")
+        if pinned is not None and pinned != delta_kernel_sha256():
+            sent = self._send_error_envelope(
+                409, "stale-kernel",
+                f"session kernels changed: this server repairs under "
+                f"fingerprint {delta_kernel_sha256()}; re-establish "
+                f"the session via /v1/plan")
+            self._record_plan(path, 409, started,
+                              document=error_envelope("stale-kernel",
+                                                      "stale"),
+                              bytes_out=sent)
+            return
+        session = self.server.sessions.get(body["session"])
+        if session is None:
+            sent = self._send_error_envelope(
+                404, "unknown-session",
+                f"session {body['session']!r} is not retained here; "
+                f"re-establish it via /v1/plan")
+            self._record_plan(path, 404, started,
+                              document=error_envelope("unknown-session",
+                                                      "unknown"),
+                              bytes_out=sent)
+            return
+        request = canonical_delta_request(body,
+                                          session.request["planner"])
+        try:
+            batch = self.server.scheduler.submit(request)
+        except OverloadedError as exc:
+            sent = self._send_json(429,
+                                   error_envelope("overloaded", str(exc)))
+            self._record_plan(path, 429, started,
+                              document=error_envelope("overloaded",
+                                                      "shed"),
+                              bytes_out=sent)
+            return
+        except DrainingError as exc:
+            sent = self._send_json(503,
+                                   error_envelope("draining", str(exc)))
+            self._record_plan(path, 503, started,
+                              document=error_envelope("draining",
+                                                      "drain"),
+                              bytes_out=sent)
+            return
+        document, status, headers = self._settle(
+            batch, self._timeout_s(), started)
+        report = self.server.take_delta_report(batch.digest)
+        if status == 200:
+            successor = advance_session(session, request["deltas"],
+                                        batch.payload)
+            self.server.sessions.put(successor)
+            headers["X-BC-Session"] = batch.payload["session"]
+            if report is not None and report.energy_ratio is not None:
+                headers["X-BC-Delta-Ratio"] = repr(report.energy_ratio)
+        sent = self._send_json(status, document, headers)
+        self._record_plan(path, status, started, batch=batch,
+                          document=document, bytes_out=sent)
+        self._record_delta(status, batch, report)
+
+    def _record_delta(self, status: int, batch: Batch,
+                      report: Optional[Any]) -> None:
+        """Delta-specific telemetry on top of the shared plan metrics."""
+        metrics = self.server.metrics
+        if metrics is None:
+            return
+        strategy = report.strategy if report is not None else "cached"
+        metrics.inc("service.delta_requests", strategy=strategy,
+                    status=str(status))
+        if report is not None and batch.compute_s is not None:
+            metrics.observe("service.delta_repair_seconds",
+                            batch.compute_s, strategy=report.strategy)
 
     def _handle_batch(self) -> None:
         started = monotonic()
@@ -396,6 +555,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             else:
                 document, status, _ = self._settle(batch, timeout_s,
                                                    started)
+                if status == 200:
+                    self.server.register_session(batch.request,
+                                                 batch.payload)
                 responses.append(document)
                 settled.append((batch, document, status))
         self._send_json(200, {"responses": responses})
@@ -445,6 +607,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path
         if path == "/v1/plan":
             self._handle_plan()
+        elif path == "/v1/plan/delta":
+            self._handle_delta()
         elif path == "/v1/batch":
             self._handle_batch()
         elif path in ("/healthz", "/metrics"):

@@ -18,7 +18,10 @@ identical payloads and duplicate collapsing:
   onto a :class:`~repro.service.ring.HashRing`, and forwards to the
   owning worker over keep-alive connections.  Identical in-flight
   requests therefore always land on the same process, where the
-  scheduler's micro-batching collapses them into one compute.
+  scheduler's micro-batching collapses them into one compute.  Delta
+  requests shard by the *root* segment of their session handle (the
+  establishing plan request's digest), so a session's whole repair
+  lineage stays on the worker that retains it.
 * **Shared warm tier.**  Workers share ``config.cache_dir``; the disk
   store's atomic temp-file + ``os.replace`` writes already tolerate
   concurrent writers, so one worker's cold miss warms every sibling.
@@ -58,6 +61,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from ..clock import monotonic, wall
+from ..delta.protocol import delta_request_problems
+from ..delta.session import handle_root
 from ..errors import ServiceError
 from ..perf.counters import PERF
 from .config import ServiceConfig
@@ -356,10 +361,10 @@ class DispatchRequestHandler(ServiceRequestHandler):
     def _forward_timeout_s(self) -> float:
         return self._timeout_s() + _FORWARD_MARGIN_S
 
-    def _forward_path(self) -> str:
-        """Worker-side plan path, preserving the query string."""
+    def _forward_path(self, base: str = "/v1/plan") -> str:
+        """Worker-side path, preserving the query string."""
         query = urlsplit(self.path).query
-        return "/v1/plan" + (f"?{query}" if query else "")
+        return base + (f"?{query}" if query else "")
 
     def _relay(self, status: int, body: bytes,
                headers: Dict[str, str]) -> int:
@@ -414,7 +419,49 @@ class DispatchRequestHandler(ServiceRequestHandler):
         self.server.count_routed(index)
         relay = {name: headers[name]
                  for name in ("X-BC-Cache", "X-BC-Request-SHA256",
-                              "X-BC-Worker")
+                              "X-BC-Worker", "X-BC-Session")
+                 if name in headers}
+        relay.setdefault("X-BC-Worker", str(index))
+        self._relay(status, data, relay)
+
+    def _dispatch_delta(self) -> None:
+        """Route a delta request to the worker owning its session.
+
+        Sessions are sharded by the *root* segment of the handle — the
+        establishing ``/v1/plan`` request's digest — so every delta
+        against a session lands on the worker that minted it, however
+        many repairs have chained since.  Validation runs here with the
+        worker's exact problem list, so dispatcher 400s are
+        byte-identical to worker 400s.
+        """
+        body, ok = self._read_json_body()
+        if not ok:
+            return
+        problems = delta_request_problems(body)
+        if problems:
+            code = ("unsupported-schema"
+                    if any("unsupported request schema" in problem
+                           for problem in problems)
+                    else "invalid-request")
+            self._send_error_envelope(400, code, "invalid delta request",
+                                      problems)
+            return
+        index = self.server.route_worker(handle_root(body["session"]))
+        payload = canonical_json(body).encode("utf-8")
+        try:
+            status, headers, data = self.server.forward(
+                index, "POST", self._forward_path("/v1/plan/delta"),
+                body=payload, timeout_s=self._forward_timeout_s())
+        except (OSError, HTTPException) as exc:
+            self._send_json(503, error_envelope(
+                "worker-unavailable",
+                f"worker {index} did not answer: {exc}"))
+            return
+        self.server.count_routed(index)
+        relay = {name: headers[name]
+                 for name in ("X-BC-Cache", "X-BC-Request-SHA256",
+                              "X-BC-Worker", "X-BC-Session",
+                              "X-BC-Delta-Ratio")
                  if name in headers}
         relay.setdefault("X-BC-Worker", str(index))
         self._relay(status, data, relay)
@@ -495,6 +542,8 @@ class DispatchRequestHandler(ServiceRequestHandler):
         path = urlsplit(self.path).path
         if path == "/v1/plan":
             self._dispatch_plan()
+        elif path == "/v1/plan/delta":
+            self._dispatch_delta()
         elif path == "/v1/batch":
             self._dispatch_batch()
         elif path in ("/healthz", "/metrics"):

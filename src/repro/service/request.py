@@ -452,10 +452,27 @@ def response_problems(envelope: Any) -> List[str]:
     if digest != payload_digest(payload):
         problems.append("payload_sha256 does not match the payload "
                         "(non-canonical or tampered payload)")
+    request = payload.get("request")
+    if (isinstance(request, dict)
+            and request.get("schema") == "bundle-charging/delta-request/v1"):
+        # Delta payloads embed a canonical *delta* request and a repair
+        # report instead of a plan request; validate with the delta
+        # checker (lazily imported — repro.delta may be stripped).
+        try:
+            from ..delta.protocol import delta_payload_problems
+        except ImportError:  # pragma: no cover - repro.delta absent
+            problems.append(
+                "delta payload seen but repro.delta is unavailable")
+            return problems
+        problems.extend(delta_payload_problems(payload))
+        if payload.get("request_sha256") != request_digest(request):
+            problems.append(
+                "payload request_sha256 does not match the canonical "
+                "request")
+        return problems
     for key in ("request", "request_sha256", "plan", "metrics"):
         if key not in payload:
             problems.append(f"payload missing key {key!r}")
-    request = payload.get("request")
     if isinstance(request, dict):
         problems.extend(request_problems(request))
         if payload.get("request_sha256") != request_digest(request):

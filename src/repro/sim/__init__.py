@@ -7,7 +7,8 @@ constraint end-to-end.
 
 from .charger import DEFAULT_SPEED_M_PER_S, MobileCharger, run_mission
 from .engine import SimulationEngine
-from .events import Event, EventQueue
+from .events import (EVENT_RECORD_TYPES, Event, EventQueue,
+                     event_record_from_dict)
 from .trace import (ChargeRecord, HarvestRecord, MissionTrace,
                     MoveRecord, RECORD_TYPES, TRACE_RECORD_SCHEMA,
                     record_from_dict)
@@ -16,6 +17,7 @@ from .validate import ValidationResult, robustness_margin, validate_plan
 __all__ = [
     "DEFAULT_SPEED_M_PER_S",
     "ChargeRecord",
+    "EVENT_RECORD_TYPES",
     "Event",
     "EventQueue",
     "HarvestRecord",
@@ -26,6 +28,7 @@ __all__ = [
     "SimulationEngine",
     "TRACE_RECORD_SCHEMA",
     "ValidationResult",
+    "event_record_from_dict",
     "record_from_dict",
     "robustness_margin",
     "run_mission",

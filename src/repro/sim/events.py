@@ -1,9 +1,22 @@
-"""Discrete-event core: events and the time-ordered event queue.
+"""Discrete-event core: events, the time-ordered queue, and the
+unified serialized-event registry.
 
 A tiny but real DES kernel: events carry a firing time and a handler;
 the engine pops them in time order (FIFO among ties) and lets handlers
 schedule further events.  The mobile-charger process in
 :mod:`repro.sim.charger` is built on top of it.
+
+The module also owns :data:`EVENT_RECORD_TYPES` — the single
+discriminated union of every serialized event record the repository
+emits: the mission-trace family (``move`` / ``charge`` / ``harvest``
+from :mod:`repro.sim.trace`) plus the network-churn delta family
+(``sensor_moved`` / ``sensor_died`` / ``sensor_joined`` from
+:mod:`repro.delta.events`).  Before this registry the failure/churn
+records were ad-hoc dicts with no shared ``to_dict``/``from_dict``
+contract; now :func:`event_record_from_dict` round-trips any record
+from one place, and :mod:`repro.obs.validate` whitelists exactly the
+union's discriminators.  The delta half is ImportError-guarded — with
+``repro.delta`` stripped the registry degrades to the trace family.
 """
 
 from __future__ import annotations
@@ -12,11 +25,41 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SimulationError
+from .trace import RECORD_TYPES
+
+try:  # the churn vocabulary is optional, like every subsystem bridge
+    from ..delta.events import DELTA_RECORD_TYPES
+except ImportError:  # pragma: no cover - repro.delta stripped/blocked
+    DELTA_RECORD_TYPES = {}  # type: ignore[assignment]
 
 EventHandler = Callable[["Event"], None]
+
+#: ``"type"`` discriminator -> record class, across *every* serialized
+#: event family the repo emits (mission trace + network churn).
+EVENT_RECORD_TYPES = {**RECORD_TYPES, **DELTA_RECORD_TYPES}
+
+
+def event_record_from_dict(raw: Dict[str, Any]) -> Any:
+    """Rebuild any serialized event record, whatever its family.
+
+    One entry point for stream replay: dispatches on the ``"type"``
+    discriminator over :data:`EVENT_RECORD_TYPES` and delegates to the
+    family's own ``from_dict`` (so each family keeps its own
+    validation and error type).
+
+    Raises:
+        SimulationError: on a missing or unknown ``"type"``.
+    """
+    kind = raw.get("type") if isinstance(raw, dict) else None
+    record_class = EVENT_RECORD_TYPES.get(kind)
+    if record_class is None:
+        raise SimulationError(
+            f"unknown event record type {kind!r}; expected one of "
+            f"{sorted(EVENT_RECORD_TYPES)}")
+    return record_class.from_dict(raw)
 
 
 @dataclass(order=True)

@@ -1,0 +1,32 @@
+"""Shared helpers for the incremental-replanning tests."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import pytest
+
+from repro.charging import CostParameters, FriisChargingModel
+from repro.delta import PlanState, initial_state
+from repro.network import SensorNetwork, uniform_deployment
+from repro.planners import make_planner
+
+
+@pytest.fixture
+def cost() -> CostParameters:
+    return CostParameters(model=FriisChargingModel())
+
+
+def planned_state(n: int = 40, seed: int = 7, radius: float = 20.0,
+                  field_side_m: float = 100.0,
+                  cost: CostParameters = None
+                  ) -> Tuple[SensorNetwork, PlanState, CostParameters]:
+    """Plan a small uniform deployment and retain it as a PlanState."""
+    if cost is None:
+        cost = CostParameters(model=FriisChargingModel())
+    network = uniform_deployment(n, seed=seed, field_side_m=field_side_m)
+    planner = make_planner("BC", radius)
+    plan = planner.plan(network, cost)
+    state = initial_state(network, plan, radius, planner.name,
+                          planner.tsp_strategy, planner.seed)
+    return network, state, cost

@@ -1,0 +1,230 @@
+"""Dirty-region repair: identity, validity, and the energy bound."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.charging import CostParameters, FriisChargingModel
+from repro.delta import (SensorDied, SensorJoined, SensorMoved,
+                         apply_delta_set, dirty_sensor_set, full_replan,
+                         plan_to_dict, repair_plan, validate_repair)
+from repro.delta.events import DeltaSet
+from repro.errors import DeltaError
+from repro.tour import plan_total_energy
+
+from .conftest import planned_state
+
+
+def drift_deltas(state, seed: int, count: int = 1,
+                 drift_m: float = 5.0):
+    """Small seeded teleports of alive sensors (the common churn)."""
+    rng = random.Random(seed)
+    alive = state.alive_indices()
+    deltas = []
+    for _ in range(count):
+        index = rng.choice(alive)
+        point = state.locations[index]
+        deltas.append(SensorMoved(
+            index=index,
+            x=min(state.field_side_m,
+                  max(0.0, point.x + rng.uniform(-drift_m, drift_m))),
+            y=min(state.field_side_m,
+                  max(0.0, point.y + rng.uniform(-drift_m, drift_m)))))
+    return deltas
+
+
+class TestEmptyDelta:
+    def test_returns_identical_state_object(self, cost):
+        _, state, _ = planned_state(cost=cost)
+        new_state, report = repair_plan(state, [], cost)
+        assert new_state is state
+        assert report.strategy == "noop"
+        assert report.delta_count == 0
+
+    def test_plan_serialization_byte_identical(self, cost):
+        # The service's empty-delta guarantee reduces to this.
+        _, state, _ = planned_state(cost=cost)
+        new_state, _ = repair_plan(state, [], cost)
+        assert plan_to_dict(new_state.plan) == plan_to_dict(state.plan)
+
+
+class TestApplyDeltaSet:
+    def test_move_contributes_both_positions(self, cost):
+        _, state, _ = planned_state(n=20, cost=cost)
+        old = state.locations[3]
+        locations, alive, changed, died = apply_delta_set(
+            state, DeltaSet((SensorMoved(index=3, x=1.0, y=2.0),)))
+        assert (old.x, old.y) in changed
+        assert (1.0, 2.0) in changed
+        assert locations[3].x == 1.0 and locations[3].y == 2.0
+        assert died == set()
+        assert all(alive)
+
+    def test_death_keeps_slot(self, cost):
+        _, state, _ = planned_state(n=20, cost=cost)
+        locations, alive, _, died = apply_delta_set(
+            state, DeltaSet((SensorDied(index=5),)))
+        assert died == {5}
+        assert not alive[5]
+        assert len(locations) == len(state.locations)
+
+    def test_join_appends(self, cost):
+        _, state, _ = planned_state(n=20, cost=cost)
+        locations, alive, _, _ = apply_delta_set(
+            state, DeltaSet((SensorJoined(x=50.0, y=50.0),)))
+        assert len(locations) == len(state.locations) + 1
+        assert alive[-1]
+
+    def test_move_of_dead_sensor_rejected(self, cost):
+        _, state, _ = planned_state(n=20, cost=cost)
+        batch = DeltaSet((SensorDied(index=2),
+                          SensorMoved(index=2, x=1.0, y=1.0)))
+        with pytest.raises(DeltaError, match="dead"):
+            apply_delta_set(state, batch)
+
+    def test_out_of_range_index_rejected(self, cost):
+        _, state, _ = planned_state(n=20, cost=cost)
+        with pytest.raises(DeltaError, match="out of range"):
+            apply_delta_set(state, DeltaSet((SensorDied(index=99),)))
+
+    def test_non_finite_position_rejected(self, cost):
+        _, state, _ = planned_state(n=20, cost=cost)
+        with pytest.raises(DeltaError, match="non-finite"):
+            apply_delta_set(
+                state,
+                DeltaSet((SensorJoined(x=float("nan"), y=0.0),)))
+
+
+class TestDirtyRegion:
+    def test_reach_is_the_generation_radius(self, cost):
+        # Disks are sensor-anchored (Definition 3): sensor j's disk
+        # changes iff a change site is within r of j — not 2r.
+        _, state, _ = planned_state(n=30, cost=cost)
+        site = state.locations[0]
+        dirty = dirty_sensor_set(
+            state.locations, list(state.alive), [(site.x, site.y)],
+            state.radius)
+        for index, point in enumerate(state.locations):
+            inside = point.distance_to(site) <= state.radius
+            assert (index in dirty) == inside
+
+    def test_dead_sensors_never_dirty(self, cost):
+        _, state, _ = planned_state(n=30, cost=cost)
+        alive = list(state.alive)
+        alive[0] = False
+        site = state.locations[0]
+        dirty = dirty_sensor_set(state.locations, alive,
+                                 [(site.x, site.y)], state.radius)
+        assert 0 not in dirty
+
+
+class TestRepairValidityAndBound:
+    def test_single_move_repairs_validly(self, cost):
+        _, state, _ = planned_state(n=60, seed=3, radius=10.0, cost=cost)
+        deltas = drift_deltas(state, seed=1)
+        new_state, report = repair_plan(state, deltas, cost, shadow=True,
+                                        max_ratio=1.2)
+        validate_repair(new_state.plan, new_state.locations,
+                        new_state.alive, state.radius)
+        assert report.strategy in ("repair", "full")
+        assert report.energy_ratio is not None
+
+    def test_death_removes_sensor_from_plan(self, cost):
+        _, state, _ = planned_state(n=40, cost=cost)
+        victim = state.plan.stops[0]
+        index = min(victim.sensors)
+        new_state, _ = repair_plan(state, [SensorDied(index=index)],
+                                   cost)
+        assert index not in new_state.plan.assigned_sensors
+        validate_repair(new_state.plan, new_state.locations,
+                        new_state.alive, state.radius)
+
+    def test_join_enters_the_plan(self, cost):
+        _, state, _ = planned_state(n=40, cost=cost)
+        new_state, _ = repair_plan(state,
+                                   [SensorJoined(x=50.0, y=50.0)], cost)
+        joined = len(state.locations)
+        assert joined in new_state.plan.assigned_sensors
+        validate_repair(new_state.plan, new_state.locations,
+                        new_state.alive, state.radius)
+
+    @pytest.mark.parametrize("n,radius", [(60, 10.0), (120, 10.0),
+                                          (120, 20.0), (200, 15.0)])
+    def test_energy_bound_sweep(self, n, radius, cost):
+        # Broad sweep: validity everywhere, a loose energy bound (the
+        # strict 1.05 CI gate runs on the robust smoke config).
+        _, state, _ = planned_state(n=n, seed=n + int(radius),
+                                    radius=radius, cost=cost)
+        for round_index in range(3):
+            deltas = drift_deltas(state, seed=round_index,
+                                  count=1 + round_index)
+            state, report = repair_plan(state, deltas, cost)
+            validate_repair(state.plan, state.locations, state.alive,
+                            state.radius)
+            full = full_replan(state.locations, state.alive, state, cost)
+            full_energy = plan_total_energy(full, state.locations, cost)
+            energy = plan_total_energy(state.plan, state.locations, cost)
+            assert energy <= full_energy * 1.2 + 1e-9
+
+    def test_mixed_churn_round_stays_valid(self, cost):
+        _, state, _ = planned_state(n=80, seed=5, radius=15.0, cost=cost)
+        rng = random.Random(9)
+        for round_index in range(4):
+            alive = state.alive_indices()
+            deltas = drift_deltas(state, seed=round_index, count=2)
+            deltas.append(SensorDied(index=rng.choice(alive)))
+            deltas.append(SensorJoined(
+                x=rng.uniform(0.0, state.field_side_m),
+                y=rng.uniform(0.0, state.field_side_m)))
+            state, report = repair_plan(state, deltas, cost)
+            validate_repair(state.plan, state.locations, state.alive,
+                            state.radius)
+            assert report.alive_count == state.alive_count
+
+    def test_repair_is_deterministic(self, cost):
+        _, state, _ = planned_state(n=60, seed=3, radius=10.0, cost=cost)
+        deltas = [d.to_dict() for d in drift_deltas(state, seed=2,
+                                                    count=3)]
+        first, first_report = repair_plan(state, deltas, cost)
+        second, second_report = repair_plan(state, deltas, cost)
+        assert plan_to_dict(first.plan) == plan_to_dict(second.plan)
+        assert first_report == second_report
+
+
+class TestFallbacksAndErrors:
+    def test_huge_dirty_region_falls_back_to_full(self, cost):
+        # Moving most sensors makes the region majority-alive: the
+        # valve must choose a deterministic full replan.
+        _, state, _ = planned_state(n=30, seed=2, radius=30.0, cost=cost)
+        rng = random.Random(0)
+        deltas = [SensorMoved(index=i,
+                              x=rng.uniform(0.0, state.field_side_m),
+                              y=rng.uniform(0.0, state.field_side_m))
+                  for i in range(len(state.locations))]
+        new_state, report = repair_plan(state, deltas, cost)
+        assert report.strategy == "full"
+        assert report.energy_ratio == 1.0
+        validate_repair(new_state.plan, new_state.locations,
+                        new_state.alive, state.radius)
+
+    def test_killing_everyone_rejected(self, cost):
+        _, state, _ = planned_state(n=10, cost=cost)
+        deltas = [SensorDied(index=i) for i in range(10)]
+        with pytest.raises(DeltaError, match="no alive sensors"):
+            repair_plan(state, deltas, cost)
+
+    def test_invalid_ratio_bound_rejected(self, cost):
+        _, state, _ = planned_state(n=10, cost=cost)
+        with pytest.raises(DeltaError, match="ratio bound"):
+            repair_plan(state, [], cost, max_ratio=0.5)
+
+    def test_shadow_report_fields_stay_out_of_payload_dict(self, cost):
+        _, state, _ = planned_state(n=60, seed=3, radius=10.0, cost=cost)
+        deltas = drift_deltas(state, seed=1)
+        _, shadowed = repair_plan(state, deltas, cost, shadow=True,
+                                  max_ratio=10.0)
+        _, plain = repair_plan(state, deltas, cost)
+        assert shadowed.as_payload_dict() == plain.as_payload_dict()
+        assert "energy_ratio" not in plain.as_payload_dict()

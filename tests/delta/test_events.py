@@ -1,0 +1,131 @@
+"""The typed delta vocabulary and the unified event registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delta import (DELTA_RECORD_TYPES, MAX_DELTAS, DeltaSet,
+                         SensorDied, SensorJoined, SensorMoved,
+                         delta_problems, delta_record_from_dict)
+from repro.errors import DeltaError
+from repro.sim import EVENT_RECORD_TYPES, event_record_from_dict
+from repro.sim.trace import RECORD_TYPES
+from repro.errors import SimulationError
+
+
+class TestRecordRoundTrips:
+    @pytest.mark.parametrize("record", [
+        SensorMoved(index=3, x=10.5, y=-2.0),
+        SensorDied(index=0),
+        SensorJoined(x=0.0, y=99.25),
+    ])
+    def test_to_dict_from_dict_identity(self, record):
+        raw = record.to_dict()
+        assert raw["v"] == 1
+        assert raw["type"] in DELTA_RECORD_TYPES
+        assert delta_record_from_dict(raw) == record
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(DeltaError, match="unknown delta record"):
+            delta_record_from_dict({"type": "sensor_teleported", "v": 1})
+
+    def test_malformed_body_raises(self):
+        with pytest.raises(DeltaError, match="malformed"):
+            delta_record_from_dict({"type": "sensor_moved", "v": 1,
+                                    "index": 0, "x": "east", "y": 1.0})
+
+    def test_bool_coordinates_rejected(self):
+        with pytest.raises(DeltaError, match="malformed"):
+            delta_record_from_dict({"type": "sensor_joined", "v": 1,
+                                    "x": True, "y": 0.0})
+
+
+class TestDeltaSet:
+    def test_empty_set_is_noop(self):
+        assert DeltaSet().is_empty
+        assert len(DeltaSet()) == 0
+
+    def test_round_trip_preserves_order(self):
+        records = (SensorDied(index=1), SensorJoined(x=1.0, y=2.0),
+                   SensorMoved(index=0, x=3.0, y=4.0))
+        batch = DeltaSet(records)
+        assert DeltaSet.from_dicts(batch.to_dicts()) == batch
+        assert tuple(batch) == records
+
+    def test_rejects_non_records(self):
+        with pytest.raises(DeltaError, match="not a delta record"):
+            DeltaSet(({"type": "sensor_died", "index": 1},))
+
+    def test_rejects_oversized_batch(self):
+        records = tuple(SensorDied(index=i)
+                        for i in range(MAX_DELTAS + 1))
+        with pytest.raises(DeltaError, match="limit"):
+            DeltaSet(records)
+
+    def test_changed_indices_numbers_joins_sequentially(self):
+        batch = DeltaSet((SensorMoved(index=2, x=0.0, y=0.0),
+                          SensorJoined(x=1.0, y=1.0),
+                          SensorJoined(x=2.0, y=2.0),
+                          SensorDied(index=0)))
+        assert batch.changed_indices(10) == [2, 10, 11, 0]
+
+
+class TestDeltaProblems:
+    def test_empty_list_is_valid(self):
+        assert delta_problems([]) == []
+
+    def test_non_list_rejected(self):
+        assert delta_problems({"type": "sensor_died"}) \
+            == ["deltas must be a JSON list of delta records"]
+
+    def test_each_bad_record_reported_with_position(self):
+        problems = delta_problems([
+            {"type": "sensor_died", "v": 1, "index": 0},
+            "not-a-dict",
+            {"type": "nope", "v": 1},
+        ])
+        assert len(problems) == 2
+        assert "deltas[1]" in problems[0]
+        assert "deltas[2]" in problems[1]
+
+    def test_over_limit_short_circuits(self):
+        raw = [{"type": "sensor_died", "v": 1, "index": i}
+               for i in range(MAX_DELTAS + 1)]
+        problems = delta_problems(raw)
+        assert len(problems) == 1
+        assert "limit" in problems[0]
+
+
+class TestUnifiedRegistry:
+    def test_registry_is_union_of_both_families(self):
+        assert set(EVENT_RECORD_TYPES) \
+            == set(RECORD_TYPES) | set(DELTA_RECORD_TYPES)
+
+    def test_dispatches_delta_records(self):
+        record = event_record_from_dict(
+            {"type": "sensor_moved", "v": 1, "index": 2,
+             "x": 5.0, "y": 6.0})
+        assert record == SensorMoved(index=2, x=5.0, y=6.0)
+
+    def test_dispatches_trace_records(self):
+        sample = next(iter(RECORD_TYPES))
+        assert sample in EVENT_RECORD_TYPES
+
+    def test_unknown_type_raises_simulation_error(self):
+        with pytest.raises(SimulationError, match="unknown event"):
+            event_record_from_dict({"type": "nope", "v": 1})
+
+    def test_non_dict_raises(self):
+        with pytest.raises(SimulationError):
+            event_record_from_dict("sensor_moved")
+
+
+class TestObsValidation:
+    def test_obs_accepts_delta_event_types(self):
+        from repro.obs.validate import KNOWN_EVENT_TYPES
+        for kind in DELTA_RECORD_TYPES:
+            assert kind in KNOWN_EVENT_TYPES
+
+    def test_obs_knows_repair_span(self):
+        from repro.obs.validate import KNOWN_SPAN_NAMES
+        assert "delta.repair" in KNOWN_SPAN_NAMES

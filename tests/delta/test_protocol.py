@@ -1,0 +1,139 @@
+"""The /v1/plan/delta wire format and its validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delta import (DELTA_ERROR_STATUS, DELTA_REQUEST_SCHEMA,
+                         canonical_delta_request,
+                         canonical_delta_request_problems,
+                         delta_payload_problems, delta_request_problems)
+from repro.delta.protocol import require_valid_delta_request
+from repro.errors import DeltaError
+
+
+def wire_body(**overrides):
+    body = {
+        "schema": DELTA_REQUEST_SCHEMA,
+        "session": "a" * 64,
+        "deltas": [{"type": "sensor_moved", "v": 1, "index": 0,
+                    "x": 1.0, "y": 2.0}],
+    }
+    body.update(overrides)
+    return body
+
+
+class TestRequestProblems:
+    def test_valid_body_is_clean(self):
+        assert delta_request_problems(wire_body()) == []
+
+    def test_empty_delta_list_is_valid(self):
+        assert delta_request_problems(wire_body(deltas=[])) == []
+
+    def test_schema_defaults_when_absent(self):
+        body = wire_body()
+        del body["schema"]
+        assert delta_request_problems(body) == []
+
+    def test_wrong_schema_short_circuits(self):
+        problems = delta_request_problems(wire_body(schema="nope"))
+        assert len(problems) == 1
+        assert "unsupported request schema" in problems[0]
+
+    def test_non_object_rejected(self):
+        assert delta_request_problems([]) \
+            == ["request body must be a JSON object"]
+
+    def test_unknown_keys_reported(self):
+        problems = delta_request_problems(wire_body(surprise=1))
+        assert any("unknown keys" in p for p in problems)
+
+    def test_missing_session_reported(self):
+        body = wire_body()
+        del body["session"]
+        problems = delta_request_problems(body)
+        assert any("session" in p for p in problems)
+
+    def test_missing_deltas_reported(self):
+        body = wire_body()
+        del body["deltas"]
+        problems = delta_request_problems(body)
+        assert any("'deltas'" in p for p in problems)
+
+    def test_kernel_pin_must_be_string(self):
+        problems = delta_request_problems(wire_body(kernel_sha256=7))
+        assert any("kernel_sha256" in p for p in problems)
+
+    def test_require_valid_raises_joined_problems(self):
+        with pytest.raises(DeltaError, match="session"):
+            require_valid_delta_request(wire_body(session=""))
+
+
+class TestCanonicalForm:
+    def test_planner_joins_and_numbers_normalize(self):
+        body = wire_body(deltas=[{"type": "sensor_moved", "v": 1,
+                                  "index": 0, "x": 1, "y": 2}])
+        canonical = canonical_delta_request(body, "BC")
+        assert canonical["planner"] == "BC"
+        record = canonical["deltas"][0]
+        assert record["x"] == 1.0 and isinstance(record["x"], float)
+
+    def test_kernel_pin_stays_out_of_canonical_form(self):
+        pinned = canonical_delta_request(
+            wire_body(kernel_sha256="f" * 64), "BC")
+        bare = canonical_delta_request(wire_body(), "BC")
+        assert pinned == bare
+        assert "kernel_sha256" not in pinned
+
+    def test_canonical_problems_validate_embedded_form(self):
+        canonical = canonical_delta_request(wire_body(), "BC")
+        assert canonical_delta_request_problems(canonical) == []
+        broken = dict(canonical)
+        del broken["planner"]
+        assert any("planner" in p
+                   for p in canonical_delta_request_problems(broken))
+
+
+class TestErrorStatusMap:
+    def test_typed_codes_cover_the_delta_failures(self):
+        assert DELTA_ERROR_STATUS["unknown-session"] == 404
+        assert DELTA_ERROR_STATUS["stale-kernel"] == 409
+        assert DELTA_ERROR_STATUS["invalid-request"] == 400
+        assert DELTA_ERROR_STATUS["unsupported-schema"] == 400
+
+
+class TestPayloadProblems:
+    def _payload(self):
+        return {
+            "request": canonical_delta_request(wire_body(), "BC"),
+            "request_sha256": "b" * 64,
+            "plan": {"label": "BC", "depot": None, "stops": [],
+                     "tour_length_m": 0.0},
+            "metrics": {},
+            "alive_count": 25,
+            "session": "a" * 64 + ".c" * 1,
+            "repair": {"strategy": "repair", "delta_count": 1,
+                       "dirty_sensors": 2, "evicted_stops": 1,
+                       "inserted_stops": 1, "alive_count": 25},
+        }
+
+    def test_valid_payload_is_clean(self):
+        assert delta_payload_problems(self._payload()) == []
+
+    def test_missing_repair_report_reported(self):
+        payload = self._payload()
+        del payload["repair"]
+        problems = delta_payload_problems(payload)
+        assert any("repair" in p for p in problems)
+
+    def test_unknown_strategy_reported(self):
+        payload = self._payload()
+        payload["repair"]["strategy"] = "magic"
+        problems = delta_payload_problems(payload)
+        assert any("strategy" in p for p in problems)
+
+    def test_missing_successor_handle_reported(self):
+        payload = self._payload()
+        payload["session"] = ""
+        problems = delta_payload_problems(payload)
+        assert any("successor" in p for p in problems)

@@ -1,0 +1,141 @@
+"""Session handles, plan round-trips, and the bounded store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delta import (DELTA_KERNEL_STAGES, SensorMoved, SessionStore,
+                         advance_session, delta_kernel_sha256,
+                         handle_root, plan_from_dict, plan_to_dict,
+                         repair_plan, session_from_plan_payload,
+                         state_digest)
+from repro.delta.session import PlanSession
+from repro.errors import DeltaError
+from repro.service.executor import execute_request
+from repro.service.request import canonical_request
+
+from .conftest import planned_state
+
+
+def established_session():
+    """Establish a session the way the worker does: request → payload."""
+    body = {
+        "schema": "bundle-charging/request/v1",
+        "deployment": {"kind": "uniform", "n": 25, "seed": 11,
+                       "field_side_m": 300.0},
+        "planner": "BC",
+        "radius_m": 20.0,
+    }
+    request = canonical_request(body)
+    payload, _ = execute_request(request, None)
+    return request, payload, session_from_plan_payload(request, payload)
+
+
+class TestHandles:
+    def test_root_handle_has_no_chain_segment(self):
+        _, payload, session = established_session()
+        assert session.handle == session.root
+        assert session.root == payload["request_sha256"]
+        assert handle_root(session.handle) == session.root
+
+    def test_chained_handle_keeps_root(self):
+        assert handle_root("abc.def") == "abc"
+        assert handle_root("abc.def.ghi") == "abc"
+
+    def test_state_digest_is_content_addressed(self, cost):
+        _, state, _ = planned_state(n=20, cost=cost)
+        assert state_digest("root", state) == state_digest("root", state)
+        assert state_digest("root", state) != state_digest("other", state)
+
+
+class TestPlanRoundTrip:
+    def test_to_dict_from_dict_identity(self, cost):
+        _, state, _ = planned_state(n=30, cost=cost)
+        raw = plan_to_dict(state.plan)
+        assert plan_to_dict(plan_from_dict(raw)) == raw
+
+    def test_malformed_plan_rejected(self):
+        with pytest.raises(DeltaError, match="malformed plan"):
+            plan_from_dict({"label": "x", "stops": "nope"})
+
+
+class TestSessionLifecycle:
+    def test_establishment_is_pure_reconstruction(self):
+        request, payload, session = established_session()
+        assert session.plan_dict == payload["plan"]
+        assert session.state.alive == (True,) * 25
+        assert session.state.radius == request["radius_m"]
+        assert plan_to_dict(session.state.plan) == payload["plan"]
+
+    def test_advance_mints_chained_handle(self, cost):
+        _, payload, session = established_session()
+        from repro.service.executor import build_cost
+        cost = build_cost(session.request["charging"])
+        deltas = [{"type": "sensor_moved", "v": 1, "index": 0,
+                   "x": 10.0, "y": 10.0}]
+        new_state, _ = repair_plan(session.state, deltas, cost)
+        repaired_payload = dict(payload,
+                                plan=plan_to_dict(new_state.plan))
+        successor = advance_session(session, deltas, repaired_payload)
+        assert successor.root == session.root
+        assert successor.handle.startswith(session.root + ".")
+        assert handle_root(successor.handle) == session.root
+
+    def test_advance_on_empty_delta_returns_same_session(self):
+        _, payload, session = established_session()
+        assert advance_session(session, [], payload) is session
+
+    def test_advance_is_deterministic(self, cost):
+        _, payload, session = established_session()
+        from repro.service.executor import build_cost
+        cost = build_cost(session.request["charging"])
+        deltas = [{"type": "sensor_moved", "v": 1, "index": 0,
+                   "x": 10.0, "y": 10.0}]
+        new_state, _ = repair_plan(session.state, deltas, cost)
+        repaired = dict(payload, plan=plan_to_dict(new_state.plan))
+        first = advance_session(session, deltas, repaired)
+        second = advance_session(session, deltas, repaired)
+        assert first.handle == second.handle
+
+
+class TestKernelFingerprint:
+    def test_stable_within_a_build(self):
+        assert delta_kernel_sha256() == delta_kernel_sha256()
+
+    def test_covers_every_repair_stage(self):
+        from repro.cache.keys import KERNEL_VERSIONS
+        for stage in ("delta_candidates", "delta_cover",
+                      "delta_request"):
+            assert stage in DELTA_KERNEL_STAGES
+            assert stage in KERNEL_VERSIONS
+
+
+class TestSessionStore:
+    @staticmethod
+    def _dummy(handle: str) -> PlanSession:
+        _, state, _ = planned_state(n=5, cost=None)
+        return PlanSession(request={}, root=handle_root(handle),
+                           handle=handle, state=state,
+                           plan_dict={})
+
+    def test_lru_eviction(self):
+        store = SessionStore(max_entries=2)
+        store.put(self._dummy("a"))
+        store.put(self._dummy("b"))
+        assert store.get("a") is not None  # refresh a
+        store.put(self._dummy("c"))  # evicts b
+        assert store.get("b") is None
+        assert store.get("a") is not None
+        assert store.get("c") is not None
+        assert store.evictions == 1
+        assert len(store) == 2
+
+    def test_put_is_idempotent_per_handle(self):
+        store = SessionStore(max_entries=4)
+        store.put(self._dummy("a"))
+        store.put(self._dummy("a"))
+        assert len(store) == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(DeltaError, match="at least one"):
+            SessionStore(max_entries=0)

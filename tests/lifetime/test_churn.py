@@ -1,0 +1,161 @@
+"""Churn-aware lifetime simulation: determinism and legacy identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lifetime import ChurnModel, ConstantDrain, LifetimeSimulator
+from repro.network import uniform_deployment
+from repro.planners import make_planner
+
+DAY_S = 86_400.0
+
+
+def _simulator(paper_cost, churn=None, count=40, rate_w=5e-6,
+               seed=5, radius=30.0):
+    network = uniform_deployment(count=count, seed=seed,
+                                 field_side_m=500.0)
+    return LifetimeSimulator(
+        network=network,
+        planner=make_planner("BC", radius),
+        cost=paper_cost,
+        consumption=ConstantDrain(rate_w=rate_w),
+        battery_capacity_j=2.0,
+        trigger_threshold_j=0.5,
+        trigger_count=3,
+        churn=churn,
+    )
+
+
+def _fingerprint(result):
+    return (result.round_count, result.charger_energy_j,
+            result.downtime_sensor_s, result.min_battery_j,
+            tuple(result.final_batteries_j),
+            result.churn_moves, result.churn_deaths,
+            result.churn_joins, result.repaired_rounds)
+
+
+class TestChurnModel:
+    def test_round_streams_are_pure_in_seed_and_round(self):
+        churn = ChurnModel(move_rate=0.2, seed=9)
+        a = churn.round_rng(3).random()
+        b = ChurnModel(move_rate=0.2, seed=9).round_rng(3).random()
+        assert a == b
+        assert churn.round_rng(3).random() != churn.round_rng(4).random()
+
+    def test_deltas_for_round_deterministic(self):
+        locations = [(float(i), float(i)) for i in range(20)]
+        alive = [True] * 20
+        churn = ChurnModel(move_rate=0.3, death_rate=0.1,
+                           join_rate=0.5, seed=2)
+        first = churn.deltas_for_round(1, locations, alive, 100.0)
+        second = ChurnModel(move_rate=0.3, death_rate=0.1,
+                            join_rate=0.5, seed=2).deltas_for_round(
+            1, locations, alive, 100.0)
+        assert first == second
+
+    def test_deaths_trump_moves(self):
+        # With certain death, nothing moves.
+        churn = ChurnModel(move_rate=1.0, death_rate=1.0, seed=0)
+        deltas = churn.deltas_for_round(
+            0, [(1.0, 1.0)], [True], 100.0)
+        assert [d["type"] for d in deltas] == ["sensor_died"]
+
+    def test_moves_stay_in_field(self):
+        churn = ChurnModel(move_rate=1.0, drift_m=50.0, seed=1)
+        locations = [(0.0, 0.0), (100.0, 100.0)]
+        deltas = churn.deltas_for_round(0, locations, [True, True],
+                                        100.0)
+        for record in deltas:
+            assert 0.0 <= record["x"] <= 100.0
+            assert 0.0 <= record["y"] <= 100.0
+
+    def test_integer_join_rate_joins_exactly(self):
+        churn = ChurnModel(join_rate=2.0, seed=0)
+        deltas = churn.deltas_for_round(0, [(1.0, 1.0)], [True], 100.0)
+        assert [d["type"] for d in deltas] \
+            == ["sensor_joined", "sensor_joined"]
+
+    def test_failure_injection_is_one_shot(self):
+        churn = ChurnModel(failure_time_s=100.0, nodes_to_kill=2,
+                           seed=4)
+        alive = [True] * 10
+        assert churn.failure_deltas(50.0, alive) == []
+        first = churn.failure_deltas(150.0, alive)
+        assert len(first) == 2
+        assert first == sorted(first, key=lambda d: d["index"])
+        assert churn.failure_deltas(200.0, alive) == []
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(SimulationError):
+            ChurnModel(move_rate=1.5)
+        with pytest.raises(SimulationError):
+            ChurnModel(death_rate=-0.1)
+        with pytest.raises(SimulationError):
+            ChurnModel(nodes_to_kill=3)  # needs failure_time_s
+
+
+class TestChurnSimulation:
+    def test_legacy_path_unchanged_without_churn(self, paper_cost):
+        # churn=None must stay byte-identical to the pre-churn code.
+        first = _simulator(paper_cost).run(20 * DAY_S)
+        second = _simulator(paper_cost).run(20 * DAY_S)
+        assert _fingerprint(first) == _fingerprint(second)
+        assert first.churn_moves == 0
+        assert first.repaired_rounds == 0
+
+    def test_churn_run_is_deterministic(self, paper_cost):
+        churn = ChurnModel(move_rate=0.1, death_rate=0.03,
+                           join_rate=0.2, drift_m=10.0, seed=3)
+        first = _simulator(paper_cost, churn=churn).run(20 * DAY_S)
+        rebuilt = ChurnModel(move_rate=0.1, death_rate=0.03,
+                             join_rate=0.2, drift_m=10.0, seed=3)
+        second = _simulator(paper_cost, churn=rebuilt).run(20 * DAY_S)
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_churn_counts_accumulate(self, paper_cost):
+        churn = ChurnModel(move_rate=0.3, death_rate=0.05,
+                           join_rate=0.5, seed=1)
+        result = _simulator(paper_cost, churn=churn).run(20 * DAY_S)
+        assert result.round_count >= 1
+        assert result.churn_moves > 0
+        assert result.churn_joins > 0
+        # Later rounds repair rather than replan.
+        if result.round_count > 1:
+            assert result.repaired_rounds >= 1
+
+    def test_failure_injection_kills_nodes(self, paper_cost):
+        churn = ChurnModel(failure_time_s=5 * DAY_S, nodes_to_kill=4,
+                           seed=7)
+        simulator = _simulator(paper_cost, churn=churn)
+        result = simulator.run(20 * DAY_S)
+        assert result.churn_deaths >= 4
+        assert sum(1 for flag in simulator.alive if flag) \
+            <= len(simulator.alive) - 4
+
+    def test_joined_sensors_grow_the_network(self, paper_cost):
+        churn = ChurnModel(join_rate=1.0, seed=2)
+        simulator = _simulator(paper_cost, churn=churn)
+        result = simulator.run(20 * DAY_S)
+        if result.round_count:
+            assert len(simulator.alive) > 40
+            assert len(result.final_batteries_j) == len(simulator.alive)
+
+    def test_churn_needs_radius_planner(self, paper_cost):
+        network = uniform_deployment(count=10, seed=1,
+                                     field_side_m=500.0)
+        planner = make_planner("BC", 30.0)
+
+        class NoRadius:
+            name = "norad"
+
+            def plan(self, network, cost):  # pragma: no cover
+                return planner.plan(network, cost)
+
+        with pytest.raises(SimulationError, match="radius"):
+            LifetimeSimulator(
+                network=network, planner=NoRadius(), cost=paper_cost,
+                consumption=ConstantDrain(rate_w=1e-6),
+                battery_capacity_j=2.0, trigger_threshold_j=0.5,
+                churn=ChurnModel(move_rate=0.1))

@@ -147,6 +147,102 @@ class TestPure001ClockAndRng:
         assert result.clean
 
 
+class TestDeltaStageDiscovery:
+    """Stages registered after the dict literal are auto-covered.
+
+    ``repro.delta`` adds its ``delta_*`` stages to KERNEL_VERSIONS via
+    ``KERNEL_VERSIONS["stage"] = ...`` / ``.update({...})`` rather than
+    editing the literal; the purity rules must still see them.
+    """
+
+    def test_fires_on_subscript_registered_stage(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": """\
+                KERNEL_VERSIONS = {
+                    "tsp": "v1",
+                }
+                KERNEL_VERSIONS["delta_cover"] = "greedy-repair-v1"
+                """,
+            "src/repro/pipeline.py": """\
+                import time
+
+                def _compute():
+                    return time.time()
+
+                def run():
+                    return stage_memo("delta_cover", lambda: {},
+                                      _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001"])
+        assert [f.rule for f in result.findings] == ["PURE001"]
+        assert "'delta_cover'" in result.findings[0].message
+
+    def test_fires_on_update_registered_stage(self, lint_fixture):
+        result = lint_fixture({
+            "src/repro/cache/keys.py": """\
+                KERNEL_VERSIONS = {
+                    "tsp": "v1",
+                }
+                KERNEL_VERSIONS.update({
+                    "delta_candidates": "dirty-region-v1",
+                    "delta_request": "repair-v1",
+                })
+                """,
+            "src/repro/pipeline.py": """\
+                import random
+
+                def _compute():
+                    return random.random()
+
+                def run():
+                    return stage_memo("delta_candidates", lambda: {},
+                                      _compute)
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001"])
+        assert [f.rule for f in result.findings] == ["PURE001"]
+        assert "'delta_candidates'" in result.findings[0].message
+
+    def test_seeded_rng_threaded_through_params_is_clean(
+            self, lint_fixture):
+        # The delta engine's discipline: derive the RNG outside the
+        # stage, thread the seed through params.
+        result = lint_fixture({
+            "src/repro/cache/keys.py": """\
+                KERNEL_VERSIONS = {}
+                KERNEL_VERSIONS.update({"delta_cover": "v1"})
+                """,
+            "src/repro/pipeline.py": """\
+                def _compute_for(seed):
+                    def _compute():
+                        return seed * 3
+                    return _compute
+
+                def run(seed):
+                    return stage_memo("delta_cover",
+                                      lambda: {"seed": seed},
+                                      _compute_for(seed))
+
+                def stage_memo(stage, params_fn, compute):
+                    return compute()
+                """,
+        }, select=["PURE001", "PURE002"])
+        assert result.clean
+
+    def test_real_keys_module_exposes_delta_stages(self):
+        # Guard against the registration idiom in the real module
+        # drifting away from what _stage_names can parse.
+        from repro.cache.keys import KERNEL_VERSIONS
+        for stage in ("delta_candidates", "delta_cover",
+                      "delta_request"):
+            assert stage in KERNEL_VERSIONS
+
+
 class TestPure002AmbientReads:
     def test_fires_on_os_environ(self, lint_fixture):
         result = lint_fixture({

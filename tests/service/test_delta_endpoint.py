@@ -1,0 +1,177 @@
+"""POST /v1/plan/delta over live HTTP: identity, chaining, errors."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.delta import DELTA_REQUEST_SCHEMA, delta_kernel_sha256
+from repro.service import ServiceConfig
+
+from .conftest import post_json, small_request
+
+
+def delta_body(handle, deltas=None, **overrides):
+    body = {
+        "schema": DELTA_REQUEST_SCHEMA,
+        "session": handle,
+        "deltas": deltas if deltas is not None else [],
+    }
+    body.update(overrides)
+    return body
+
+
+MOVE = {"type": "sensor_moved", "v": 1, "index": 0,
+        "x": 12.5, "y": 140.0}
+
+
+def establish(url):
+    status, headers, envelope = post_json(url + "/v1/plan",
+                                          small_request())
+    assert status == 200
+    handle = headers.get("X-BC-Session")
+    assert handle == envelope["payload"]["request_sha256"]
+    return handle, envelope["payload"]
+
+
+class TestEmptyDeltaIdentity:
+    def test_noop_repair_is_byte_identical(self, live_server):
+        _, url = live_server()
+        handle, plan_payload = establish(url)
+        status, headers, envelope = post_json(
+            url + "/v1/plan/delta", delta_body(handle))
+        assert status == 200
+        payload = envelope["payload"]
+        assert payload["plan"] == plan_payload["plan"]
+        assert payload["metrics"] == plan_payload["metrics"]
+        assert payload["repair"]["strategy"] == "noop"
+        # No successor: the handle chain does not advance on a noop.
+        assert headers["X-BC-Session"] == handle
+        assert payload["session"] == handle
+
+    def test_repeat_noop_is_a_cache_hit_with_identical_digest(
+            self, live_server):
+        _, url = live_server(cache_entries=64)
+        handle, _ = establish(url)
+        first = post_json(url + "/v1/plan/delta", delta_body(handle))
+        second = post_json(url + "/v1/plan/delta", delta_body(handle))
+        assert first[2]["payload"] == second[2]["payload"]
+        assert second[1]["X-BC-Cache"] == "hit"
+
+
+class TestRepairChaining:
+    def test_repair_mints_successor_and_chains(self, live_server):
+        _, url = live_server()
+        handle, _ = establish(url)
+        status, headers, envelope = post_json(
+            url + "/v1/plan/delta", delta_body(handle, [MOVE]))
+        assert status == 200
+        successor = headers["X-BC-Session"]
+        assert successor.startswith(handle + ".")
+        assert envelope["payload"]["session"] == successor
+        assert envelope["payload"]["repair"]["strategy"] \
+            in ("repair", "full")
+        # The successor is itself addressable.
+        move2 = dict(MOVE, index=1, x=200.0, y=30.0)
+        status2, headers2, _ = post_json(
+            url + "/v1/plan/delta", delta_body(successor, [move2]))
+        assert status2 == 200
+        assert headers2["X-BC-Session"].startswith(handle + ".")
+
+    def test_repair_is_deterministic_across_servers(self, live_server):
+        _, url_a = live_server()
+        _, url_b = live_server()
+        results = []
+        for url in (url_a, url_b):
+            handle, _ = establish(url)
+            _, headers, envelope = post_json(
+                url + "/v1/plan/delta", delta_body(handle, [MOVE]))
+            results.append((headers["X-BC-Session"],
+                            envelope["payload"]))
+        assert results[0] == results[1]
+
+    def test_shadow_verify_does_not_change_bytes(self, live_server):
+        _, url_plain = live_server()
+        _, url_shadow = live_server(delta_shadow_verify=True,
+                                    delta_max_ratio=2.0)
+        payloads = []
+        for url in (url_plain, url_shadow):
+            handle, _ = establish(url)
+            _, headers, envelope = post_json(
+                url + "/v1/plan/delta", delta_body(handle, [MOVE]))
+            payloads.append(envelope["payload"])
+            if url is url_shadow:
+                ratio = float(headers["X-BC-Delta-Ratio"])
+                assert ratio <= 2.0
+        assert payloads[0] == payloads[1]
+
+
+class TestErrorEnvelopes:
+    def test_unknown_session_is_404(self, live_server):
+        _, url = live_server()
+        status, _, envelope = post_json(
+            url + "/v1/plan/delta", delta_body("f" * 64))
+        assert status == 404
+        assert envelope["error"]["code"] == "unknown-session"
+
+    def test_stale_kernel_pin_is_409(self, live_server):
+        _, url = live_server()
+        handle, _ = establish(url)
+        status, _, envelope = post_json(
+            url + "/v1/plan/delta",
+            delta_body(handle, kernel_sha256="0" * 64))
+        assert status == 409
+        assert envelope["error"]["code"] == "stale-kernel"
+
+    def test_matching_kernel_pin_passes(self, live_server):
+        _, url = live_server()
+        handle, _ = establish(url)
+        status, _, _ = post_json(
+            url + "/v1/plan/delta",
+            delta_body(handle, kernel_sha256=delta_kernel_sha256()))
+        assert status == 200
+
+    def test_malformed_body_is_400(self, live_server):
+        _, url = live_server()
+        status, _, envelope = post_json(
+            url + "/v1/plan/delta",
+            {"schema": DELTA_REQUEST_SCHEMA, "session": "x",
+             "deltas": [{"type": "nope"}]})
+        assert status == 400
+        assert envelope["error"]["code"] == "invalid-request"
+        assert envelope["error"]["problems"]
+
+    def test_wrong_schema_is_400_unsupported(self, live_server):
+        _, url = live_server()
+        status, _, envelope = post_json(
+            url + "/v1/plan/delta",
+            {"schema": "nope/v9", "session": "x", "deltas": []})
+        assert status == 400
+        assert envelope["error"]["code"] == "unsupported-schema"
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"),
+                    reason="worker pool needs os.fork")
+class TestPoolRouting:
+    def test_session_survives_multi_worker_pool(self):
+        from repro.service import start_pool, stop_pool
+        config = ServiceConfig(port=0, jobs=2, workers=2,
+                               timeout_s=60.0)
+        pool, _ = start_pool(config)
+        try:
+            url = f"http://127.0.0.1:{pool.port}"
+            handle, plan_payload = establish(url)
+            status, headers, envelope = post_json(
+                url + "/v1/plan/delta", delta_body(handle))
+            assert status == 200
+            assert envelope["payload"]["plan"] == plan_payload["plan"]
+            assert headers["X-BC-Session"] == handle
+            # Repairs route by the handle's root segment, so the
+            # session's whole lineage stays on the minting worker.
+            status2, headers2, _ = post_json(
+                url + "/v1/plan/delta", delta_body(handle, [MOVE]))
+            assert status2 == 200
+            assert headers2["X-BC-Worker"] == headers["X-BC-Worker"]
+        finally:
+            stop_pool(pool)
